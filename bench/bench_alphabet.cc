@@ -1,0 +1,64 @@
+// Experiment E5: the §5 mask disjointness rewrite. k distinct masks on one
+// basic event expand into 2^k micro-symbols; classification of a posted
+// event costs k mask evaluations and one table index. Measures both the
+// alphabet blowup and the per-event classification cost as k grows.
+#include <benchmark/benchmark.h>
+
+#include "compile/compiler.h"
+#include "lang/event_parser.h"
+#include "mask/mask_eval.h"
+
+namespace ode {
+namespace {
+
+/// after f(x) && x > 0 | after f(x) && x > 1 | ... (k masks).
+std::string MaskedUnion(int k) {
+  std::string out;
+  for (int i = 0; i < k; ++i) {
+    if (i > 0) out += " | ";
+    out += "after f(x) && x > " + std::to_string(i);
+  }
+  return out;
+}
+
+void BM_MaskClassification(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  EventExprPtr expr = ParseEvent(MaskedUnion(k)).value();
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+
+  PostedEvent event = MakePostedMethod(EventQualifier::kAfter, "f",
+                                       {{"x", Value(k / 2)}});
+  Alphabet::MaskEvalFn eval = [](const MaskSlot& slot,
+                                 const PostedEvent& ev) -> Result<bool> {
+    SimpleMaskEnv env;
+    for (size_t i = 0; i < slot.params.size() && i < ev.args.size(); ++i) {
+      env.Bind(slot.params[i].name, ev.args[i].value);
+    }
+    return EvalMaskBool(*slot.mask, env);
+  };
+
+  for (auto _ : state) {
+    Result<SymbolId> sym = compiled.alphabet.Classify(event, eval);
+    benchmark::DoNotOptimize(sym);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["masks"] = k;
+  state.counters["alphabet"] = static_cast<double>(compiled.alphabet.size());
+  state.counters["dfa_states"] =
+      static_cast<double>(compiled.dfa.num_states());
+}
+BENCHMARK(BM_MaskClassification)->DenseRange(1, 8);
+
+void BM_AlphabetBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  EventExprPtr expr = ParseEvent(MaskedUnion(k)).value();
+  for (auto _ : state) {
+    Result<Alphabet> alphabet = Alphabet::Build(*expr);
+    benchmark::DoNotOptimize(alphabet);
+  }
+  state.counters["masks"] = k;
+}
+BENCHMARK(BM_AlphabetBuild)->DenseRange(1, 8);
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,95 @@
+// Experiment E15: the §6 mechanisms compared. Three ways to detect events
+// over the committed history while transactions abort:
+//   * kCommitted           — automaton state inside the object, undo-logged
+//                            and restored on abort;
+//   * kCommittedViaTransform — the §6 A′ pair-state automaton, state outside
+//                            the object, never restored;
+//   * kFull                — (contrast) sees aborted operations too.
+// Workload: transactions of a few bumps; a fraction abort.
+#include <benchmark/benchmark.h>
+
+#include "ode/database.h"
+
+namespace ode {
+namespace {
+
+void BM_HistoryView(benchmark::State& state) {
+  const HistoryView view = static_cast<HistoryView>(state.range(0));
+  const int abort_percent = static_cast<int>(state.range(1));
+
+  DatabaseOptions opts;
+  opts.record_histories = false;
+  Database db(opts);
+  (void)db.RegisterAction("noop", [](const ActionContext&) -> Status {
+    return Status::OK();
+  });
+  ClassDef def("obj");
+  def.AddAttr("n", Value(0));
+  def.AddMethod(MethodDef{"bump", {}, MethodKind::kUpdate, nullptr});
+  {
+    Result<TriggerSpec> spec =
+        ParseTriggerSpec("K(): perpetual every 10 (after bump) ==> noop");
+    def.AddTrigger(*spec, view, /*auto_activate=*/true);
+  }
+  if (!db.RegisterClass(def).ok()) {
+    state.SkipWithError("register failed");
+    return;
+  }
+  TxnId setup = db.Begin().value();
+  Oid obj = db.New(setup, "obj").value();
+  (void)db.Commit(setup);
+
+  uint32_t rng = 12345;
+  int64_t since_gc = 0;
+  for (auto _ : state) {
+    TxnId t = db.Begin().value();
+    (void)db.Call(t, obj, "bump");
+    (void)db.Call(t, obj, "bump");
+    rng = rng * 1664525u + 1013904223u;
+    if (static_cast<int>(rng % 100) < abort_percent) {
+      (void)db.Abort(t);
+    } else {
+      (void)db.Commit(t);
+    }
+    if (++since_gc == 1024) {
+      db.txns().GarbageCollect();
+      since_gc = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(HistoryViewName(view)) + "/abort" +
+                 std::to_string(abort_percent) + "%");
+  state.counters["fired"] = static_cast<double>(db.FireCount(obj, "K"));
+}
+
+void CommittedArgs(benchmark::internal::Benchmark* b) {
+  for (int view = 0; view <= 2; ++view) {
+    for (int abort_percent : {0, 20, 50}) {
+      b->Args({view, abort_percent});
+    }
+  }
+}
+BENCHMARK(BM_HistoryView)->Apply(CommittedArgs);
+
+// The A′ construction cost itself: pair-state blowup before minimization.
+void BM_CommittedTransformBuild(benchmark::State& state) {
+  Result<TriggerSpec> spec = ParseTriggerSpec(
+      "K(): perpetual prior " + std::to_string(state.range(0)) +
+      " (after bump) ==> noop");
+  size_t states = 0;
+  for (auto _ : state) {
+    Result<TriggerProgram> program = CompileTrigger(
+        *spec, HistoryView::kCommittedViaTransform, CompileOptions());
+    if (!program.ok()) {
+      state.SkipWithError("compile failed");
+      return;
+    }
+    states = program->ActiveDfa().num_states();
+    benchmark::DoNotOptimize(*program);
+  }
+  state.counters["aprime_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_CommittedTransformBuild)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,117 @@
+// Experiment E12: compilation cost and automaton sizes. For each operator
+// family, state counts (NFA → DFA → minimal DFA) and compile time as the
+// expression grows; plus the minimize on/off ablation DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "compile/decompile.h"
+
+namespace ode {
+namespace {
+
+using bench_util::ChainExpr;
+using bench_util::CompileNamed;
+using bench_util::ExpressionSuite;
+
+void BM_CompileSuite(benchmark::State& state) {
+  const int expr_idx = static_cast<int>(state.range(0));
+  EventExprPtr expr =
+      ParseEvent(ExpressionSuite()[expr_idx].text).value();
+  CompileStats stats;
+  for (auto _ : state) {
+    CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+    stats = compiled.stats;
+    benchmark::DoNotOptimize(compiled.dfa);
+  }
+  state.SetLabel(ExpressionSuite()[expr_idx].name);
+  state.counters["alphabet"] = static_cast<double>(stats.alphabet_size);
+  state.counters["nfa"] = static_cast<double>(stats.nfa_states);
+  state.counters["dfa"] = static_cast<double>(stats.dfa_states);
+  state.counters["min"] = static_cast<double>(stats.min_dfa_states);
+}
+BENCHMARK(BM_CompileSuite)->DenseRange(0, 11);
+
+void BM_CompileChain(benchmark::State& state) {
+  // Growing relative/sequence/prior chains: how automaton size scales with
+  // expression length.
+  const int op = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const char* ops[] = {"relative", "sequence", "prior"};
+  EventExprPtr expr = ParseEvent(ChainExpr(ops[op], n)).value();
+  CompileStats stats;
+  for (auto _ : state) {
+    CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+    stats = compiled.stats;
+    benchmark::DoNotOptimize(compiled.dfa);
+  }
+  state.SetLabel(std::string(ops[op]) + "/" + std::to_string(n));
+  state.counters["min"] = static_cast<double>(stats.min_dfa_states);
+}
+BENCHMARK(BM_CompileChain)
+    ->ArgsProduct({{0, 1, 2}, {2, 4, 8, 16}});
+
+void BM_CompileCounting(benchmark::State& state) {
+  // choose N: the counter product grows linearly in N.
+  const int n = static_cast<int>(state.range(0));
+  EventExprPtr expr =
+      ParseEvent("choose " + std::to_string(n) + " (after a)").value();
+  CompileStats stats;
+  for (auto _ : state) {
+    CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+    stats = compiled.stats;
+    benchmark::DoNotOptimize(compiled.dfa);
+  }
+  state.counters["min"] = static_cast<double>(stats.min_dfa_states);
+}
+BENCHMARK(BM_CompileCounting)->RangeMultiplier(4)->Range(4, 256);
+
+void BM_MinimizeAblation(benchmark::State& state) {
+  // The same expression with and without minimization: table size impact.
+  const bool minimize = state.range(0) != 0;
+  EventExprPtr expr = ParseEvent(
+      "fa(after a, prior(after b, after c), after a) | "
+      "relative(after c, !after a, after b)")
+                          .value();
+  CompileOptions opts;
+  opts.minimize = minimize;
+  size_t states = 0, bytes = 0;
+  for (auto _ : state) {
+    CompiledEvent compiled = CompileEvent(expr, opts).value();
+    states = compiled.dfa.num_states();
+    bytes = compiled.dfa.TableBytes();
+    benchmark::DoNotOptimize(compiled.dfa);
+  }
+  state.SetLabel(minimize ? "minimized" : "raw");
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["table_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_MinimizeAblation)->Arg(0)->Arg(1);
+
+void BM_Decompile(benchmark::State& state) {
+  // The converse of the §4 equivalence: DFA → event expression by state
+  // elimination. Expression size grows quickly with DFA states — the
+  // direction the paper's compiler never needs to take at run time.
+  const int expr_idx = static_cast<int>(state.range(0));
+  EventExprPtr expr =
+      ParseEvent(ExpressionSuite()[expr_idx].text).value();
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    Result<EventExprPtr> back =
+        DecompileDfa(compiled.dfa, compiled.alphabet);
+    if (!back.ok()) {
+      state.SkipWithError("decompile failed");
+      return;
+    }
+    nodes = (*back)->NodeCount();
+    benchmark::DoNotOptimize(*back);
+  }
+  state.SetLabel(ExpressionSuite()[expr_idx].name);
+  state.counters["dfa_states"] =
+      static_cast<double>(compiled.dfa.num_states());
+  state.counters["expr_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_Decompile)->Arg(0)->Arg(3)->Arg(6)->Arg(9);
+
+}  // namespace
+}  // namespace ode

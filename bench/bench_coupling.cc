@@ -1,0 +1,96 @@
+// Experiment E8 (quantified): cost of the §7 coupling modes through the
+// full engine — transactions per second for a trigger in each coupling
+// mode, including the gated-subevent machinery that immediate-condition
+// modes require.
+#include <benchmark/benchmark.h>
+
+#include "ode/database.h"
+#include "trigger/coupling.h"
+
+namespace ode {
+namespace {
+
+ClassDef ObjClass() {
+  ClassDef def("obj");
+  def.AddAttr("n", Value(0));
+  def.AddAttr("ready", Value(true));
+  def.AddMethod(MethodDef{"bump",
+                          {},
+                          MethodKind::kUpdate,
+                          [](MethodContext* ctx) -> Status {
+                            ODE_ASSIGN_OR_RETURN(Value n, ctx->Get("n"));
+                            ODE_ASSIGN_OR_RETURN(Value nx, n.Add(Value(1)));
+                            return ctx->Set("n", nx);
+                          }});
+  return def;
+}
+
+void BM_CouplingMode(benchmark::State& state) {
+  const CouplingMode mode = static_cast<CouplingMode>(state.range(0));
+  EventExprPtr event =
+      BuildCouplingFromText(mode, "after bump", "ready").value();
+
+  DatabaseOptions opts;
+  opts.record_histories = false;  // Pure engine cost.
+  Database db(opts);
+  (void)db.RegisterAction("noop", [](const ActionContext&) -> Status {
+    return Status::OK();
+  });
+  ClassDef def = ObjClass();
+  TriggerSpec spec;
+  spec.name = "K";
+  spec.perpetual = true;
+  spec.event = event;
+  spec.action = "noop";
+  def.AddTrigger(spec, HistoryView::kFull, /*auto_activate=*/true);
+  if (!db.RegisterClass(def).ok()) {
+    state.SkipWithError("class registration failed");
+    return;
+  }
+  TxnId setup = db.Begin().value();
+  Oid obj = db.New(setup, "obj").value();
+  (void)db.Commit(setup);
+
+  int64_t since_gc = 0;
+  for (auto _ : state) {
+    TxnId t = db.Begin().value();
+    (void)db.Call(t, obj, "bump");
+    (void)db.Commit(t);
+    if (++since_gc == 1024) {
+      db.txns().GarbageCollect();
+      since_gc = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(CouplingModeName(mode)));
+  state.counters["fired"] = static_cast<double>(db.FireCount(obj, "K"));
+  db.txns().GarbageCollect();
+}
+BENCHMARK(BM_CouplingMode)->DenseRange(1, 9);
+
+// Baseline: the same transaction loop with no trigger at all.
+void BM_NoTriggerTxn(benchmark::State& state) {
+  DatabaseOptions opts;
+  opts.record_histories = false;
+  Database db(opts);
+  (void)db.RegisterClass(ObjClass());
+  TxnId setup = db.Begin().value();
+  Oid obj = db.New(setup, "obj").value();
+  (void)db.Commit(setup);
+  int64_t since_gc = 0;
+  for (auto _ : state) {
+    TxnId t = db.Begin().value();
+    (void)db.Call(t, obj, "bump");
+    (void)db.Commit(t);
+    if (++since_gc == 1024) {
+      db.txns().GarbageCollect();
+      since_gc = 0;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  db.txns().GarbageCollect();
+}
+BENCHMARK(BM_NoTriggerTxn);
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,66 @@
+// Experiment E4: the §5 storage claim — "the extra storage required for
+// storing the trigger state is small — one word per active trigger per
+// object". Measures per-object monitoring state for the three detector
+// families after consuming a history of growing length:
+//   * DFA: one 4-byte integer, constant.
+//   * Tree baseline: live instance nodes, grows with initiator count.
+//   * Naive baseline: the whole history.
+#include <benchmark/benchmark.h>
+
+#include "baseline/naive_detector.h"
+#include "baseline/tree_detector.h"
+#include "bench_util.h"
+#include "compile/trigger_program.h"
+
+namespace ode {
+namespace {
+
+using bench_util::CompileNamed;
+using bench_util::ExpressionSuite;
+using bench_util::MakeHistory;
+
+void BM_StoragePerObject(benchmark::State& state) {
+  const int expr_idx = static_cast<int>(state.range(0));
+  const size_t history_len = static_cast<size_t>(state.range(1));
+  EventExprPtr expr =
+      ParseEvent(ExpressionSuite()[expr_idx].text).value();
+  CompiledEvent compiled = CompileNamed(expr_idx);
+  std::vector<SymbolId> history =
+      MakeHistory(compiled.alphabet.size(), history_len, 7);
+
+  TreeDetector::Options opts;
+  opts.max_instances = 1 << 24;
+  size_t tree_instances = 0;
+  for (auto _ : state) {
+    auto tree = TreeDetector::Create(expr, &compiled.alphabet, opts).value();
+    Dfa::State s = compiled.dfa.start();
+    for (SymbolId sym : history) {
+      s = compiled.dfa.Step(s, sym);
+      (void)tree->Advance(sym);
+    }
+    tree_instances = tree->NumInstances();
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(ExpressionSuite()[expr_idx].name);
+  // Per-object bytes after `history_len` events.
+  state.counters["dfa_bytes"] =
+      static_cast<double>(TriggerProgram::PerObjectBytes());
+  state.counters["tree_nodes"] = static_cast<double>(tree_instances);
+  state.counters["naive_bytes"] =
+      static_cast<double>(history_len * sizeof(SymbolId));
+  // The shared (per-class, amortized over all instances) table.
+  state.counters["shared_table_bytes"] =
+      static_cast<double>(compiled.dfa.TableBytes());
+}
+
+void StorageArgs(benchmark::internal::Benchmark* b) {
+  for (int expr : {0, 3, 9}) {
+    for (int len : {128, 1024, 8192}) {
+      b->Args({expr, len});
+    }
+  }
+}
+BENCHMARK(BM_StoragePerObject)->Apply(StorageArgs);
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,72 @@
+#ifndef ODE_BENCH_BENCH_UTIL_H_
+#define ODE_BENCH_BENCH_UTIL_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "lang/event_parser.h"
+
+namespace ode {
+namespace bench_util {
+
+/// The benchmark expression suite: a representative spread of the paper's
+/// operators, from a single logical event to deeply composed forms.
+struct NamedExpr {
+  const char* name;
+  const char* text;
+};
+
+inline const std::vector<NamedExpr>& ExpressionSuite() {
+  static const std::vector<NamedExpr> kSuite = {
+      {"atom", "after a"},
+      {"union", "after a | before b | after c"},
+      {"negation", "!(after a | after b)"},
+      {"relative2", "relative(after a, after b)"},
+      {"relative4", "relative(after a, after b, after c, after a)"},
+      {"sequence3", "after a; after b; after c"},
+      {"prior", "prior(after a, after b)"},
+      {"choose16", "choose 16 (after a)"},
+      {"every8", "every 8 (after a)"},
+      {"fa", "fa(after a, after b, after c)"},
+      {"faAbs", "faAbs(after a, after b, after c)"},
+      {"t4_daily_report",
+       "relative(at time(HR=9), prior(choose 5 (after tcommit), "
+       "after tcommit) & !prior(at time(HR=9), after tcommit))"},
+  };
+  return kSuite;
+}
+
+inline CompiledEvent CompileNamed(int index) {
+  EventExprPtr expr =
+      ParseEvent(ExpressionSuite()[index].text).value();
+  return CompileEvent(expr, CompileOptions()).value();
+}
+
+inline std::vector<SymbolId> MakeHistory(size_t alphabet_size, size_t length,
+                                         uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(
+      0, static_cast<int>(alphabet_size) - 1);
+  std::vector<SymbolId> out(length);
+  for (SymbolId& s : out) s = dist(rng);
+  return out;
+}
+
+/// A chain expression of the given depth, e.g. relative(a, b, a, b, ...).
+inline std::string ChainExpr(const char* op, int n) {
+  std::string out(op);
+  out += "(";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += (i % 2 == 0) ? "after a" : "after b";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace bench_util
+}  // namespace ode
+
+#endif  // ODE_BENCH_BENCH_UTIL_H_

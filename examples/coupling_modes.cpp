@@ -1,0 +1,95 @@
+// §7: every E-C-A coupling mode expressed as a plain E-A event expression.
+// For each mode, the same scenario runs (a transaction bumps an object and
+// commits, then another aborts), and the program prints *when* the trigger
+// fired — at the event, at transaction completion, or after commit/abort in
+// a system transaction.
+//
+//   $ ./build/examples/coupling_modes
+#include <cstdio>
+#include <vector>
+
+#include "ode/database.h"
+#include "trigger/coupling.h"
+
+using namespace ode;
+
+namespace {
+
+std::vector<std::string>* g_log = nullptr;
+TxnId g_user_txn = 0;
+Database* g_db = nullptr;
+
+Status Record(const ActionContext& ctx) {
+  const Transaction* user = g_db->txn(g_user_txn);
+  std::string entry = std::string(BasicEventKindName(ctx.event->kind)) +
+                      " (user txn " +
+                      std::string(user ? TxnStateName(user->state()) : "?") +
+                      ")";
+  g_log->push_back(entry);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  for (int mode = 1; mode <= 9; ++mode) {
+    CouplingMode m = static_cast<CouplingMode>(mode);
+    Result<EventExprPtr> expr =
+        BuildCouplingFromText(m, "after bump", "ready");
+    if (!expr.ok()) {
+      std::printf("%d %s: build failed: %s\n", mode,
+                  std::string(CouplingModeName(m)).c_str(),
+                  expr.status().ToString().c_str());
+      continue;
+    }
+
+    Database db;
+    g_db = &db;
+    std::vector<std::string> log;
+    g_log = &log;
+    (void)db.RegisterAction("record", Record);
+
+    ClassDef def("obj");
+    def.AddAttr("n", Value(0));
+    def.AddAttr("ready", Value(true));
+    def.AddMethod(MethodDef{"bump",
+                            {},
+                            MethodKind::kUpdate,
+                            [](MethodContext* ctx) -> Status {
+                              ODE_ASSIGN_OR_RETURN(Value n, ctx->Get("n"));
+                              ODE_ASSIGN_OR_RETURN(Value nx, n.Add(Value(1)));
+                              return ctx->Set("n", nx);
+                            }});
+    TriggerSpec spec;
+    spec.name = "K";
+    spec.perpetual = true;
+    spec.event = *expr;
+    spec.action = "record";
+    def.AddTrigger(spec, HistoryView::kFull, /*auto_activate=*/true);
+    if (!db.RegisterClass(def).ok()) continue;
+
+    TxnId setup = db.Begin().value();
+    Oid obj = db.New(setup, "obj").value();
+    (void)db.Commit(setup);
+
+    // Scenario A: bump then commit.
+    g_user_txn = db.Begin().value();
+    (void)db.Call(g_user_txn, obj, "bump");
+    (void)db.Commit(g_user_txn);
+    std::string commit_firing = log.empty() ? "(never)" : log.back();
+    size_t after_commit = log.size();
+
+    // Scenario B: bump then abort.
+    g_user_txn = db.Begin().value();
+    (void)db.Call(g_user_txn, obj, "bump");
+    (void)db.Abort(g_user_txn);
+    std::string abort_firing =
+        log.size() == after_commit ? "(never)" : log.back();
+
+    std::printf("%d. %-24s commit: fired at %-28s abort: fired at %s\n",
+                mode, std::string(CouplingModeName(m)).c_str(),
+                commit_firing.c_str(), abort_firing.c_str());
+    std::printf("   event = %s\n", (*expr)->ToString().c_str());
+  }
+  return 0;
+}

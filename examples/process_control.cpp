@@ -1,0 +1,71 @@
+// The §3.5 process-control example: a vessel whose trigger watches for a
+// pressure drop followed by the valve opening (motorStart then motorStop).
+//
+//   $ ./build/examples/process_control
+#include <cstdio>
+
+#include "ode/database.h"
+
+using namespace ode;
+
+int main() {
+  Database db;
+  Status s = db.RegisterAction(
+      "checkPressure", [](const ActionContext& ctx) -> Status {
+        Result<Value> p = ctx.db->PeekAttr(ctx.self, "pressure");
+        if (!p.ok()) return p.status();
+        std::printf("  >> T: pressure dropped and the valve opened — "
+                    "checking pressure (now %s)\n",
+                    p->ToString().c_str());
+        return Status::OK();
+      });
+  if (!s.ok()) return 1;
+
+  ClassDef vessel("vessel");
+  vessel.AddAttr("pressure", Value(100.0));
+  vessel.AddAttr("low_limit", Value(50.0));
+  vessel.AddMethod(MethodDef{
+      "setPressure",
+      {{"float", "p"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value p, ctx->Arg("p"));
+        return ctx->Set("pressure", p);
+      }});
+  vessel.AddMethod(MethodDef{"motorStart", {}, MethodKind::kUpdate, nullptr});
+  vessel.AddMethod(MethodDef{"motorStop", {}, MethodKind::kUpdate, nullptr});
+  // #define pDrop (pressure < low_limit)
+  // #define valveOpen relative(after motorStart, after motorStop)
+  // T(): relative(pDrop, valveOpen) ==> checkPressure;
+  vessel.AddTrigger(
+      "T(): relative((pressure < low_limit), "
+      "relative(after motorStart, after motorStop)) ==> checkPressure",
+      HistoryView::kFull, /*auto_activate=*/true);
+
+  if (!db.RegisterClass(std::move(vessel)).ok()) return 1;
+
+  TxnId t = db.Begin().value();
+  Oid v = db.New(t, "vessel").value();
+  if (!db.Commit(t).ok()) return 1;
+
+  auto call = [&](const char* method, std::vector<Value> args = {}) {
+    TxnId txn = db.Begin().value();
+    std::printf("%s\n", method);
+    Result<Value> r = db.Call(txn, v, method, std::move(args));
+    if (!r.ok()) {
+      std::printf("  failed: %s\n", r.status().ToString().c_str());
+      return;
+    }
+    (void)db.Commit(txn);
+  };
+
+  call("motorStart");                    // Valve cycling at high pressure —
+  call("motorStop");                     // no alarm.
+  call("setPressure", {Value(32.5)});    // Pressure drop!
+  call("motorStart");                    // Valve opens...
+  call("motorStop");                     // ...fully → trigger fires.
+
+  std::printf("fire count: %llu\n",
+              static_cast<unsigned long long>(db.FireCount(v, "T")));
+  return 0;
+}

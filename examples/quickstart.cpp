@@ -1,0 +1,88 @@
+// Quickstart: declare a class with a composite-event trigger, run a few
+// transactions, and watch the trigger fire.
+//
+//   $ ./build/examples/quickstart
+//
+// The trigger below is the paper's T6 flavor: record every large
+// withdrawal (§3.5), plus a composite: order a refill the first time the
+// balance dips below a threshold after a day's trading begins.
+#include <cstdio>
+
+#include "ode/database.h"
+
+using namespace ode;  // Example code; library users may prefer explicit ode::.
+
+int main() {
+  Database db;
+
+  // 1. Actions are named C++ callbacks (the paper's O++ blocks).
+  Status s = db.RegisterAction("log", [](const ActionContext& ctx) -> Status {
+    const Value* q = ctx.event->FindArg("q");
+    std::printf("  [trigger %s] large withdrawal: q=%s\n",
+                ctx.trigger_name.c_str(),
+                q != nullptr ? q->ToString().c_str() : "?");
+    return Status::OK();
+  });
+  if (!s.ok()) return 1;
+  s = db.RegisterAction("order", [](const ActionContext& ctx) -> Status {
+    std::printf("  [trigger %s] balance low — placing an order\n",
+                ctx.trigger_name.c_str());
+    return Status::OK();
+  });
+  if (!s.ok()) return 1;
+
+  // 2. A class with attributes, methods, and a trigger section (§2).
+  ClassDef account("account");
+  account.AddAttr("balance", Value(1000));
+  account.AddMethod(MethodDef{
+      "withdraw",
+      {{"int", "q"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value balance, ctx->Get("balance"));
+        ODE_ASSIGN_OR_RETURN(Value q, ctx->Arg("q"));
+        ODE_ASSIGN_OR_RETURN(Value next, balance.Sub(q));
+        return ctx->Set("balance", next);
+      }});
+  // Logical event with a mask (§3.2). The declared parameter binds
+  // positionally to the method's argument.
+  account.AddTrigger(
+      "Large(): perpetual after withdraw (q) && q > 100 ==> log",
+      HistoryView::kFull, /*auto_activate=*/true);
+  // Object-state shorthand (§3.3): fires when an update leaves the balance
+  // below 200.
+  account.AddTrigger("Low(): balance < 200 ==> order", HistoryView::kFull,
+                     /*auto_activate=*/true);
+
+  Result<ClassId> cls = db.RegisterClass(std::move(account));
+  if (!cls.ok()) {
+    std::printf("register failed: %s\n", cls.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Transactions (§2).
+  TxnId t = db.Begin().value();
+  Oid acct = db.New(t, "account").value();
+  std::printf("created account %llu with balance 1000\n",
+              static_cast<unsigned long long>(acct.id));
+
+  for (int q : {50, 400, 30, 350}) {
+    std::printf("withdraw %d:\n", q);
+    Result<Value> r = db.Call(t, acct, "withdraw", {Value(q)});
+    if (!r.ok()) {
+      std::printf("  failed: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+  }
+  if (Status commit = db.Commit(t); !commit.ok()) {
+    std::printf("commit failed: %s\n", commit.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("final balance: %s\n",
+              db.PeekAttr(acct, "balance").value().ToString().c_str());
+  std::printf("events posted: %llu, triggers fired: %llu\n",
+              static_cast<unsigned long long>(db.stats().events_posted),
+              static_cast<unsigned long long>(db.stats().triggers_fired));
+  return 0;
+}

@@ -1,0 +1,177 @@
+// The paper's §3.5 stockRoom example, end to end: items, authorized users,
+// the eight triggers T1–T8, a virtual day of trading.
+//
+//   $ ./build/examples/stockroom
+#include <cstdio>
+
+#include "ode/database.h"
+
+using namespace ode;
+
+namespace {
+
+int64_t g_current_user = 7;  // 7 is authorized; anyone else is not.
+
+Status Bump(const ActionContext& ctx, const char* attr, const char* msg) {
+  Result<Value> v = ctx.db->PeekAttr(ctx.self, attr);
+  if (!v.ok()) return v.status();
+  Result<Value> next = v->Add(Value(1));
+  if (!next.ok()) return next.status();
+  std::printf("  >> %s\n", msg);
+  return ctx.db->SetAttr(ctx.txn, ctx.self, attr, *next);
+}
+
+ClassDef MakeItemClass() {
+  ClassDef def("Item");
+  def.AddAttr("balance", Value(0));
+  def.AddAttr("eoq", Value(20));
+  return def;
+}
+
+ClassDef MakeStockRoomClass() {
+  ClassDef def("stockRoom");
+  for (const char* c :
+       {"orders", "summaries", "reports", "averages", "logs", "printed"}) {
+    def.AddAttr(c, Value(0));
+  }
+  auto adjust = [](MethodContext* ctx, int sign) -> Status {
+    ODE_ASSIGN_OR_RETURN(Value item, ctx->Arg("i"));
+    ODE_ASSIGN_OR_RETURN(Oid oid, item.AsOid());
+    ODE_ASSIGN_OR_RETURN(Value q, ctx->Arg("q"));
+    ODE_ASSIGN_OR_RETURN(Value bal, ctx->db()->GetAttr(ctx->txn(), oid,
+                                                       "balance"));
+    ODE_ASSIGN_OR_RETURN(Value delta, q.Mul(Value(sign)));
+    ODE_ASSIGN_OR_RETURN(Value next, bal.Add(delta));
+    return ctx->db()->SetAttr(ctx->txn(), oid, "balance", next);
+  };
+  def.AddMethod(MethodDef{"deposit",
+                          {{"Item", "i"}, {"int", "q"}},
+                          MethodKind::kUpdate,
+                          [adjust](MethodContext* c) { return adjust(c, 1); }});
+  def.AddMethod(MethodDef{"withdraw",
+                          {{"Item", "i"}, {"int", "q"}},
+                          MethodKind::kUpdate,
+                          [adjust](MethodContext* c) { return adjust(c, -1); }});
+
+  // The trigger section, §3.5 — dayBegin is 09:00, dayEnd is 17:00.
+  def.AddTrigger(
+      "T1(): perpetual before withdraw && !authorized(user()) ==> tabort",
+      HistoryView::kFull, true);
+  def.AddTrigger(
+      "T2(): after withdraw(Item i, int q) && i.balance < reorder(i) "
+      "==> order",
+      HistoryView::kFull, true);
+  def.AddTrigger("T3(): perpetual at time(HR=17) ==> summary",
+                 HistoryView::kFull, true);
+  def.AddTrigger(
+      "T4(): perpetual relative(at time(HR=9), "
+      "prior(choose 5 (after tcommit), after tcommit) & "
+      "!prior(at time(HR=9), after tcommit)) ==> report",
+      HistoryView::kFull, true);
+  def.AddTrigger("T5(): perpetual every 5 (after access) ==> updateAverages",
+                 HistoryView::kFull, true);
+  def.AddTrigger("T6(): perpetual after withdraw (i, q) && q > 100 ==> log",
+                 HistoryView::kFull, true);
+  def.AddTrigger(
+      "T7(): perpetual fa(at time(HR=9), "
+      "choose 5 (after withdraw (i, q) && q > 100), at time(HR=9)) "
+      "==> summary",
+      HistoryView::kFull, true);
+  def.AddTrigger("T8(): perpetual after deposit; before withdraw ==> printLog",
+                 HistoryView::kFull, true);
+  return def;
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  auto action = [&](const char* name, const char* attr, const char* msg) {
+    Status s = db.RegisterAction(
+        name, [attr, msg](const ActionContext& ctx) -> Status {
+          return Bump(ctx, attr, msg);
+        });
+    if (!s.ok()) std::printf("%s\n", s.ToString().c_str());
+  };
+  action("order", "orders", "T2: stock below EOQ — ordering more");
+  action("summary", "summaries", "T3/T7: printing summary");
+  action("report", "reports", "T4: busy day — reporting transaction");
+  action("updateAverages", "averages", "T5: updating averages");
+  action("log", "logs", "T6: recording large withdrawal");
+  action("printLog", "printed", "T8: deposit then withdrawal — printing log");
+
+  Status s = db.RegisterHostFunction(
+      "user", [](const std::vector<Value>&, const HostContext&)
+                  -> Result<Value> { return Value(g_current_user); });
+  s = db.RegisterHostFunction(
+      "authorized",
+      [](const std::vector<Value>& args, const HostContext&) -> Result<Value> {
+        return Value(args.at(0).AsInt().value() == 7);
+      });
+  s = db.RegisterHostFunction(
+      "reorder", [](const std::vector<Value>& args,
+                    const HostContext& ctx) -> Result<Value> {
+        Result<Oid> item = args.at(0).AsOid();
+        if (!item.ok()) return item.status();
+        return ctx.db->PeekAttr(*item, "eoq");
+      });
+  (void)s;
+
+  if (!db.RegisterClass(MakeItemClass()).ok() ||
+      !db.RegisterClass(MakeStockRoomClass()).ok()) {
+    std::printf("class registration failed\n");
+    return 1;
+  }
+
+  TxnId setup = db.Begin().value();
+  Oid room = db.New(setup, "stockRoom").value();
+  Oid bolts = db.New(setup, "Item", {{"balance", Value(500)}}).value();
+  if (!db.Commit(setup).ok()) return 1;
+
+  auto run = [&](const char* what, const char* method, int q) {
+    TxnId t = db.Begin().value();
+    std::printf("%s %d:\n", what, q);
+    Result<Value> r = db.Call(t, room, method, {Value(bolts), Value(q)});
+    if (!r.ok()) {
+      std::printf("  transaction aborted: %s\n",
+                  r.status().message().c_str());
+      return;
+    }
+    if (Status c = db.Commit(t); !c.ok()) {
+      std::printf("  commit failed: %s\n", c.ToString().c_str());
+    }
+  };
+
+  std::printf("== the day begins ==\n");
+  if (!db.AdvanceClockTo(9 * 3600 * 1000LL + 1).ok()) return 1;
+
+  run("deposit", "deposit", 300);
+  run("withdraw", "withdraw", 150);  // Large → T6; also follows a deposit → T8.
+  g_current_user = 13;
+  run("withdraw (as intruder)", "withdraw", 10);  // T1 aborts it.
+  g_current_user = 7;
+  for (int i = 0; i < 5; ++i) run("withdraw", "withdraw", 120);  // T7 at 5th.
+  run("withdraw", "withdraw", 200);  // Drives balance under EOQ → T2.
+
+  // A restock immediately consumed, in one transaction → T8.
+  {
+    TxnId t = db.Begin().value();
+    std::printf("deposit 50 then withdraw 10 (one transaction):\n");
+    (void)db.Call(t, room, "deposit", {Value(bolts), Value(50)});
+    (void)db.Call(t, room, "withdraw", {Value(bolts), Value(10)});
+    (void)db.Commit(t);
+  }
+
+  std::printf("== the day ends ==\n");
+  if (!db.AdvanceClockTo(17 * 3600 * 1000LL + 1).ok()) return 1;  // T3.
+
+  std::printf("\ncounters:\n");
+  for (const char* c :
+       {"orders", "summaries", "reports", "averages", "logs", "printed"}) {
+    std::printf("  %-10s %s\n", c,
+                db.PeekAttr(room, c).value().ToString().c_str());
+  }
+  std::printf("item balance: %s\n",
+              db.PeekAttr(bolts, "balance").value().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+#include "automaton/committed_transform.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Dfa> BuildCommittedTransform(const Dfa& a,
+                                    const TxnMarkerSymbols& markers,
+                                    size_t max_states) {
+  const size_t m = a.alphabet_size();
+
+  std::map<std::pair<Dfa::State, Dfa::State>, Dfa::State> ids;
+  std::vector<std::pair<Dfa::State, Dfa::State>> pairs;
+  auto intern = [&](Dfa::State q, Dfa::State p) -> Dfa::State {
+    auto [it, inserted] = ids.emplace(std::make_pair(q, p),
+                                      static_cast<Dfa::State>(pairs.size()));
+    if (inserted) pairs.emplace_back(q, p);
+    return it->second;
+  };
+
+  Dfa::State start = intern(a.start(), a.start());
+  std::vector<std::vector<Dfa::State>> rows;
+  for (size_t cur = 0; cur < pairs.size(); ++cur) {
+    if (pairs.size() > max_states) {
+      return Status::ResourceExhausted(
+          StrFormat("committed transform exceeded %zu states", max_states));
+    }
+    auto [q, p] = pairs[cur];
+    std::vector<Dfa::State> row(m);
+    for (size_t symz = 0; symz < m; ++symz) {
+      SymbolId sym = static_cast<SymbolId>(symz);
+      if (markers.tbegin.universe_size() == m && markers.tbegin.Contains(sym)) {
+        row[symz] = intern(a.Step(q, sym), q);
+      } else if (markers.tcommit.universe_size() == m &&
+                 markers.tcommit.Contains(sym)) {
+        Dfa::State r = a.Step(q, sym);
+        row[symz] = intern(r, r);
+      } else if (markers.tabort.universe_size() == m &&
+                 markers.tabort.Contains(sym)) {
+        row[symz] = intern(p, p);
+      } else {
+        row[symz] = intern(a.Step(q, sym), p);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa out(m, pairs.size());
+  out.SetStart(start);
+  for (size_t s = 0; s < pairs.size(); ++s) {
+    // A′ reports what A would report in its "real" state.
+    out.SetAccepting(static_cast<Dfa::State>(s), a.accepting(pairs[s].first));
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  rows[s][sym]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,47 @@
+#ifndef ODE_AUTOMATON_COMMITTED_TRANSFORM_H_
+#define ODE_AUTOMATON_COMMITTED_TRANSFORM_H_
+
+#include "automaton/dfa.h"
+#include "automaton/symbol_set.h"
+#include "common/result.h"
+
+namespace ode {
+
+/// Alphabet symbols that represent transaction markers. Each marker is a
+/// *set* because a masked transaction event (e.g. `after tbegin && m`)
+/// expands into several disjoint micro-symbols (§5 rewrite); every one of
+/// them is still a tbegin for rollback purposes.
+struct TxnMarkerSymbols {
+  SymbolSet tbegin;
+  SymbolSet tcommit;
+  SymbolSet tabort;
+};
+
+/// The §6 Claim construction: converts an automaton A defined over the
+/// *committed* history (operations of committed transactions only) into an
+/// automaton A′ over the *whole* history, including operations of
+/// transactions that later abort.
+///
+/// A′'s states are pairs (a, b) of A-states: `a` is the state A is
+/// "really" in; `b` is the state A was in before the most recent
+/// `after tbegin`. Transitions (assuming object-level locking, so at most
+/// one transaction is active per object at a time, as the paper assumes):
+///
+///   * on `after tbegin`:  (q, p) → (δ(q, tbegin), q)   — checkpoint q
+///   * on `after tcommit`: (q, p) → (r, r), r = δ(q, tcommit)
+///   * on `after tabort`:  (q, p) → (p, p)              — roll back; the
+///     aborted transaction's operations (and this marker) vanish from the
+///     committed history
+///   * on any other symbol s: (q, p) → (δ(q, s), p)
+///
+/// Running A′ over the full history yields, at every point outside an
+/// in-progress transaction, exactly the acceptance A would yield over the
+/// committed sub-history (tests/committed_transform_test.cc verifies this
+/// point-for-point).
+Result<Dfa> BuildCommittedTransform(const Dfa& a,
+                                    const TxnMarkerSymbols& markers,
+                                    size_t max_states = 1 << 20);
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_COMMITTED_TRANSFORM_H_

@@ -1,0 +1,79 @@
+#include "automaton/counting.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Dfa> BuildCountingDfa(const Dfa& e, int64_t n, CountCondition cond,
+                             size_t max_states) {
+  if (n < 1) return Status::InvalidArgument("counting operator requires N >= 1");
+  const size_t m = e.alphabet_size();
+
+  // Counter update and cap per condition.
+  const int64_t cap = cond == CountCondition::kModulo ? n - 1
+                      : cond == CountCondition::kAtLeast ? n
+                                                         : n + 1;
+
+  auto bump = [&](int64_t c) -> int64_t {
+    if (cond == CountCondition::kModulo) return (c + 1) % n;
+    return c >= cap ? cap : c + 1;
+  };
+  auto holds = [&](int64_t c) -> bool {
+    switch (cond) {
+      case CountCondition::kAtLeast: return c >= n;
+      case CountCondition::kExactly: return c == n;
+      case CountCondition::kModulo: return c == 0;
+    }
+    return false;
+  };
+
+  std::map<std::pair<Dfa::State, int64_t>, Dfa::State> ids;
+  std::vector<std::pair<Dfa::State, int64_t>> states;
+  auto intern = [&](Dfa::State s, int64_t c) -> Dfa::State {
+    auto [it, inserted] =
+        ids.emplace(std::make_pair(s, c), static_cast<Dfa::State>(states.size()));
+    if (inserted) states.emplace_back(s, c);
+    return it->second;
+  };
+
+  // Initial counter: 0 occurrences seen. (For kModulo, counter 0 with the
+  // non-accepting start is fine: acceptance also requires E to occur *now*.)
+  Dfa::State start = intern(e.start(), 0);
+
+  std::vector<std::vector<Dfa::State>> rows;
+  std::vector<bool> accepting;
+  for (size_t cur = 0; cur < states.size(); ++cur) {
+    if (states.size() > max_states) {
+      return Status::ResourceExhausted(
+          StrFormat("counting product exceeded %zu states", max_states));
+    }
+    auto [s, c] = states[cur];
+    // Acceptance of the *current* state: E occurs at this point and the
+    // counter (which already includes this occurrence) satisfies the
+    // condition.
+    accepting.push_back(e.accepting(s) && holds(c));
+    std::vector<Dfa::State> row(m);
+    for (size_t sym = 0; sym < m; ++sym) {
+      Dfa::State s2 = e.Step(s, static_cast<SymbolId>(sym));
+      int64_t c2 = e.accepting(s2) ? bump(c) : c;
+      row[sym] = intern(s2, c2);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa out(m, states.size());
+  out.SetStart(start);
+  for (size_t s = 0; s < states.size(); ++s) {
+    out.SetAccepting(static_cast<Dfa::State>(s), accepting[s]);
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  rows[s][sym]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,30 @@
+#ifndef ODE_AUTOMATON_COUNTING_H_
+#define ODE_AUTOMATON_COUNTING_H_
+
+#include <cstdint>
+
+#include "automaton/dfa.h"
+#include "common/result.h"
+
+namespace ode {
+
+/// Occurrence-counting products implementing `prior N`, `choose N`, and
+/// `every N` (§3.4). Each takes the DFA of the counted expression E and
+/// builds a DFA whose states are (E-state, bounded counter). The counter
+/// counts *occurrence points* of E — positions p with H[1..p] ∈ L(E) — from
+/// the beginning of the history.
+enum class CountCondition : uint8_t {
+  kAtLeast,  ///< prior N (E): the Nth and all subsequent occurrences.
+  kExactly,  ///< choose N (E): exactly the Nth occurrence.
+  kModulo,   ///< every N (E): the Nth, 2Nth, 3Nth, ... occurrences.
+};
+
+/// Builds the counting product. `n` must be >= 1; counter growth is capped
+/// (kAtLeast: cap n; kExactly: cap n+1; kModulo: modulo n), so the result
+/// has at most |E| * (n+1) states before minimization.
+Result<Dfa> BuildCountingDfa(const Dfa& e, int64_t n, CountCondition cond,
+                             size_t max_states = 1 << 20);
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_COUNTING_H_

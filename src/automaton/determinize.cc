@@ -1,0 +1,171 @@
+#include "automaton/determinize.h"
+
+#include <map>
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Dfa> Determinize(const Nfa& nfa, size_t max_states) {
+  const size_t m = nfa.alphabet_size();
+
+  std::map<std::vector<Nfa::State>, Dfa::State> ids;
+  std::vector<std::vector<Nfa::State>> subsets;
+  std::vector<std::vector<Dfa::State>> rows;
+  std::vector<bool> accepting;
+
+  auto intern = [&](std::vector<Nfa::State> subset) -> Dfa::State {
+    auto [it, inserted] = ids.emplace(std::move(subset),
+                                      static_cast<Dfa::State>(subsets.size()));
+    if (inserted) {
+      subsets.push_back(it->first);
+      rows.emplace_back();
+      bool acc = false;
+      for (Nfa::State s : it->first) acc = acc || nfa.accepting(s);
+      accepting.push_back(acc);
+    }
+    return it->second;
+  };
+
+  Dfa::State start = intern(nfa.EpsilonClosure({nfa.start()}));
+
+  for (size_t cur = 0; cur < subsets.size(); ++cur) {
+    if (subsets.size() > max_states) {
+      return Status::ResourceExhausted(
+          StrFormat("subset construction exceeded %zu states", max_states));
+    }
+    // Compute per-symbol moves for this subset in one pass over its edges.
+    std::vector<std::vector<Nfa::State>> moves(m);
+    for (Nfa::State s : subsets[cur]) {
+      for (const Nfa::SymbolEdge& e : nfa.symbol_edges(s)) {
+        e.on.ForEach([&](SymbolId sym) { moves[sym].push_back(e.to); });
+      }
+    }
+    rows[cur].resize(m);
+    for (size_t sym = 0; sym < m; ++sym) {
+      std::vector<Nfa::State>& targets = moves[sym];
+      std::sort(targets.begin(), targets.end());
+      targets.erase(std::unique(targets.begin(), targets.end()),
+                    targets.end());
+      rows[cur][sym] = intern(nfa.EpsilonClosure(std::move(targets)));
+    }
+  }
+
+  Dfa dfa(m, subsets.size());
+  dfa.SetStart(start);
+  for (size_t s = 0; s < subsets.size(); ++s) {
+    dfa.SetAccepting(static_cast<Dfa::State>(s), accepting[s]);
+    for (size_t sym = 0; sym < m; ++sym) {
+      dfa.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  rows[s][sym]);
+    }
+  }
+  return dfa;
+}
+
+Nfa DfaToNfa(const Dfa& dfa) {
+  const size_t m = dfa.alphabet_size();
+  Nfa nfa(m);
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    nfa.AddState(dfa.accepting(static_cast<Dfa::State>(s)));
+  }
+  nfa.SetStart(dfa.start());
+  // Group each state's moves by target so edges carry symbol sets.
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    std::map<Dfa::State, SymbolSet> by_target;
+    for (size_t sym = 0; sym < m; ++sym) {
+      Dfa::State to =
+          dfa.Step(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym));
+      auto [it, inserted] = by_target.emplace(to, SymbolSet(m));
+      it->second.Add(static_cast<SymbolId>(sym));
+    }
+    for (auto& [to, on] : by_target) {
+      nfa.AddEdge(static_cast<Nfa::State>(s), std::move(on), to);
+    }
+  }
+  return nfa;
+}
+
+Dfa CloneStartIfReentrant(const Dfa& dfa) {
+  const size_t m = dfa.alphabet_size();
+  bool reentrant = false;
+  for (size_t s = 0; s < dfa.num_states() && !reentrant; ++s) {
+    for (size_t sym = 0; sym < m && !reentrant; ++sym) {
+      if (dfa.Step(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym)) ==
+          dfa.start()) {
+        reentrant = true;
+      }
+    }
+  }
+  if (!reentrant) return dfa;
+
+  Dfa out(m, dfa.num_states() + 1);
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    out.SetAccepting(static_cast<Dfa::State>(s),
+                     dfa.accepting(static_cast<Dfa::State>(s)));
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  dfa.Step(static_cast<Dfa::State>(s),
+                           static_cast<SymbolId>(sym)));
+    }
+  }
+  Dfa::State fresh = static_cast<Dfa::State>(dfa.num_states());
+  out.SetAccepting(fresh, dfa.accepting(dfa.start()));
+  for (size_t sym = 0; sym < m; ++sym) {
+    out.SetStep(fresh, static_cast<SymbolId>(sym),
+                dfa.Step(dfa.start(), static_cast<SymbolId>(sym)));
+  }
+  out.SetStart(fresh);
+  return out;
+}
+
+Dfa ComplementSigmaPlus(const Dfa& dfa) {
+  Dfa out = CloneStartIfReentrant(dfa);
+  for (size_t s = 0; s < out.num_states(); ++s) {
+    out.SetAccepting(static_cast<Dfa::State>(s),
+                     !out.accepting(static_cast<Dfa::State>(s)));
+  }
+  // The start state represents only ε, which is not a history point.
+  out.SetAccepting(out.start(), false);
+  return out;
+}
+
+Dfa IntersectDfa(const Dfa& a, const Dfa& b) {
+  const size_t m = a.alphabet_size();
+  std::map<std::pair<Dfa::State, Dfa::State>, Dfa::State> ids;
+  std::vector<std::pair<Dfa::State, Dfa::State>> pairs;
+
+  auto intern = [&](Dfa::State x, Dfa::State y) -> Dfa::State {
+    auto [it, inserted] =
+        ids.emplace(std::make_pair(x, y), static_cast<Dfa::State>(pairs.size()));
+    if (inserted) pairs.emplace_back(x, y);
+    return it->second;
+  };
+
+  Dfa::State start = intern(a.start(), b.start());
+  std::vector<std::vector<Dfa::State>> rows;
+  for (size_t cur = 0; cur < pairs.size(); ++cur) {
+    auto [x, y] = pairs[cur];
+    std::vector<Dfa::State> row(m);
+    for (size_t sym = 0; sym < m; ++sym) {
+      row[sym] = intern(a.Step(x, static_cast<SymbolId>(sym)),
+                        b.Step(y, static_cast<SymbolId>(sym)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa out(m, pairs.size());
+  out.SetStart(start);
+  for (size_t s = 0; s < pairs.size(); ++s) {
+    out.SetAccepting(static_cast<Dfa::State>(s),
+                     a.accepting(pairs[s].first) && b.accepting(pairs[s].second));
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  rows[s][sym]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,33 @@
+#ifndef ODE_AUTOMATON_DETERMINIZE_H_
+#define ODE_AUTOMATON_DETERMINIZE_H_
+
+#include "automaton/dfa.h"
+#include "automaton/nfa.h"
+#include "common/result.h"
+
+namespace ode {
+
+/// Subset construction. The resulting DFA is complete (a dead state absorbs
+/// undefined moves). Errors with kResourceExhausted if more than
+/// `max_states` subset states are produced.
+Result<Dfa> Determinize(const Nfa& nfa, size_t max_states = 1 << 20);
+
+/// Converts a DFA back to an NFA (for further composition).
+Nfa DfaToNfa(const Dfa& dfa);
+
+/// Returns an equivalent DFA whose start state has no incoming transitions
+/// (so the start state represents exactly the empty string). Needed before
+/// Σ⁺-complementation.
+Dfa CloneStartIfReentrant(const Dfa& dfa);
+
+/// L' = Σ⁺ \ L — the event-expression `!E` (§4 item 5: complement with
+/// respect to the set of all points of the history).
+Dfa ComplementSigmaPlus(const Dfa& dfa);
+
+/// L' = L(a) ∩ L(b) — the event-expression `E1 & E2` (§4 item 4). Product
+/// construction over reachable pairs.
+Dfa IntersectDfa(const Dfa& a, const Dfa& b);
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_DETERMINIZE_H_

@@ -1,0 +1,39 @@
+#include "automaton/dfa.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+bool Dfa::Accepts(const std::vector<SymbolId>& input) const {
+  State s = start_;
+  for (SymbolId sym : input) s = Step(s, sym);
+  return accepting_[s];
+}
+
+std::vector<bool> Dfa::OccurrencePoints(
+    const std::vector<SymbolId>& input) const {
+  std::vector<bool> out(input.size(), false);
+  State s = start_;
+  for (size_t i = 0; i < input.size(); ++i) {
+    s = Step(s, input[i]);
+    out[i] = accepting_[s];
+  }
+  return out;
+}
+
+std::string Dfa::ToString() const {
+  std::string out = StrFormat("DFA: %zu states, start %d, alphabet %zu\n",
+                              num_states(), start_, alphabet_size_);
+  for (size_t s = 0; s < num_states(); ++s) {
+    out += StrFormat("  %zu%s:", s,
+                     accepting_[s] ? " (accept)" : "");
+    for (size_t a = 0; a < alphabet_size_; ++a) {
+      out += StrFormat(" %zu->%d", a,
+                       Step(static_cast<State>(s), static_cast<SymbolId>(a)));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ode

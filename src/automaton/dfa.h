@@ -1,0 +1,66 @@
+#ifndef ODE_AUTOMATON_DFA_H_
+#define ODE_AUTOMATON_DFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automaton/symbol_set.h"
+
+namespace ode {
+
+/// A complete deterministic finite automaton over the trigger alphabet.
+///
+/// This is the paper's runtime representation (§5): the transition table is
+/// stored once per (class, trigger) and each object keeps only the current
+/// state — a single integer ("one word per active trigger per object").
+class Dfa {
+ public:
+  using State = int32_t;
+
+  Dfa() = default;
+  Dfa(size_t alphabet_size, size_t num_states)
+      : alphabet_size_(alphabet_size),
+        trans_(alphabet_size * num_states, 0),
+        accepting_(num_states, false) {}
+
+  size_t alphabet_size() const { return alphabet_size_; }
+  size_t num_states() const { return accepting_.size(); }
+  State start() const { return start_; }
+  void SetStart(State s) { start_ = s; }
+
+  bool accepting(State s) const { return accepting_[s]; }
+  void SetAccepting(State s, bool v) { accepting_[s] = v; }
+
+  State Step(State s, SymbolId sym) const {
+    return trans_[static_cast<size_t>(s) * alphabet_size_ + sym];
+  }
+  void SetStep(State s, SymbolId sym, State to) {
+    trans_[static_cast<size_t>(s) * alphabet_size_ + sym] = to;
+  }
+
+  /// Runs the whole string from the start state; true iff the final state
+  /// accepts (i.e. the event occurs at the last point of this history).
+  bool Accepts(const std::vector<SymbolId>& input) const;
+
+  /// Runs the string and records, for each position p (0-based), whether
+  /// the prefix ending at p is accepted — the occurrence points E[H].
+  std::vector<bool> OccurrencePoints(const std::vector<SymbolId>& input) const;
+
+  /// Approximate memory footprint of the shared transition table in bytes.
+  size_t TableBytes() const {
+    return trans_.size() * sizeof(State) + accepting_.size();
+  }
+
+  std::string ToString() const;
+
+ private:
+  size_t alphabet_size_ = 0;
+  State start_ = 0;
+  std::vector<State> trans_;  // num_states x alphabet_size, row-major.
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_DFA_H_

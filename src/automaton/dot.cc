@@ -1,0 +1,79 @@
+#include "automaton/dot.h"
+
+#include <map>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+namespace {
+
+std::string SymbolLabel(SymbolId sym,
+                        const std::vector<std::string>& symbol_names) {
+  if (sym >= 0 && static_cast<size_t>(sym) < symbol_names.size()) {
+    return symbol_names[sym];
+  }
+  return StrFormat("s%d", sym);
+}
+
+std::string SetLabel(const SymbolSet& on,
+                     const std::vector<std::string>& symbol_names) {
+  if (on.Count() == on.universe_size()) return "*";
+  std::vector<std::string> parts;
+  on.ForEach([&](SymbolId sym) {
+    parts.push_back(SymbolLabel(sym, symbol_names));
+  });
+  return Join(parts, ",");
+}
+
+}  // namespace
+
+std::string DfaToDot(const Dfa& dfa,
+                     const std::vector<std::string>& symbol_names) {
+  std::string out = "digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  out += StrFormat("  __start [shape=point];\n  __start -> %d;\n",
+                   dfa.start());
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (dfa.accepting(static_cast<Dfa::State>(s))) {
+      out += StrFormat("  %zu [shape=doublecircle];\n", s);
+    }
+    // Merge parallel edges into one label.
+    std::map<Dfa::State, SymbolSet> by_target;
+    for (size_t sym = 0; sym < dfa.alphabet_size(); ++sym) {
+      Dfa::State to =
+          dfa.Step(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym));
+      auto [it, inserted] = by_target.emplace(to, SymbolSet(dfa.alphabet_size()));
+      it->second.Add(static_cast<SymbolId>(sym));
+    }
+    for (const auto& [to, on] : by_target) {
+      out += StrFormat("  %zu -> %d [label=\"%s\"];\n", s, to,
+                       SetLabel(on, symbol_names).c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string NfaToDot(const Nfa& nfa,
+                     const std::vector<std::string>& symbol_names) {
+  std::string out = "digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  out += StrFormat("  __start [shape=point];\n  __start -> %d;\n",
+                   nfa.start());
+  for (size_t s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.accepting(static_cast<Nfa::State>(s))) {
+      out += StrFormat("  %zu [shape=doublecircle];\n", s);
+    }
+    for (const Nfa::SymbolEdge& e :
+         nfa.symbol_edges(static_cast<Nfa::State>(s))) {
+      out += StrFormat("  %zu -> %d [label=\"%s\"];\n", s, e.to,
+                       SetLabel(e.on, symbol_names).c_str());
+    }
+    for (Nfa::State t : nfa.epsilon_edges(static_cast<Nfa::State>(s))) {
+      out += StrFormat("  %zu -> %d [label=\"ε\", style=dashed];\n", s, t);
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ode

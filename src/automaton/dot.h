@@ -1,0 +1,22 @@
+#ifndef ODE_AUTOMATON_DOT_H_
+#define ODE_AUTOMATON_DOT_H_
+
+#include <string>
+#include <vector>
+
+#include "automaton/dfa.h"
+#include "automaton/nfa.h"
+
+namespace ode {
+
+/// Graphviz (dot) export for documentation and debugging. `symbol_names`
+/// optionally labels edges with logical-event descriptions instead of
+/// symbol indices; it must have alphabet_size entries when non-empty.
+std::string DfaToDot(const Dfa& dfa,
+                     const std::vector<std::string>& symbol_names = {});
+std::string NfaToDot(const Nfa& nfa,
+                     const std::vector<std::string>& symbol_names = {});
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_DOT_H_

@@ -1,0 +1,163 @@
+#include "automaton/first_occurrence.h"
+
+#include <map>
+#include <tuple>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Dfa> BuildFirstNoG(const Dfa& f, const Dfa& g) {
+  const size_t m = f.alphabet_size();
+  if (g.alphabet_size() != m) {
+    return Status::Internal("FirstNoG: alphabet mismatch");
+  }
+
+  // State: (f-state, g-state, clean). `clean` means no nonempty proper
+  // prefix so far was in L(F) ∪ L(G). All !clean states are a trap; we
+  // keep one canonical dead state for them.
+  std::map<std::tuple<Dfa::State, Dfa::State, bool>, Dfa::State> ids;
+  std::vector<std::tuple<Dfa::State, Dfa::State, bool>> states;
+  auto intern = [&](Dfa::State fs, Dfa::State gs, bool clean) -> Dfa::State {
+    if (!clean) {
+      // Canonical dead state.
+      fs = 0;
+      gs = 0;
+    }
+    auto [it, inserted] = ids.emplace(std::make_tuple(fs, gs, clean),
+                                      static_cast<Dfa::State>(states.size()));
+    if (inserted) states.emplace_back(fs, gs, clean);
+    return it->second;
+  };
+
+  Dfa::State start = intern(f.start(), g.start(), true);
+  std::vector<std::vector<Dfa::State>> rows;
+  std::vector<bool> accepting;
+  for (size_t cur = 0; cur < states.size(); ++cur) {
+    auto [fs, gs, clean] = states[cur];
+    accepting.push_back(clean && f.accepting(fs));
+    std::vector<Dfa::State> row(m);
+    // Once the current point is itself in L(F) or L(G), every strictly
+    // longer string has a nonempty proper prefix in the union.
+    bool next_clean = clean && !f.accepting(fs) && !g.accepting(gs);
+    for (size_t sym = 0; sym < m; ++sym) {
+      row[sym] = intern(f.Step(fs, static_cast<SymbolId>(sym)),
+                        g.Step(gs, static_cast<SymbolId>(sym)), next_clean);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dfa out(m, states.size());
+  out.SetStart(start);
+  for (size_t s = 0; s < states.size(); ++s) {
+    out.SetAccepting(static_cast<Dfa::State>(s), accepting[s]);
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(s), static_cast<SymbolId>(sym),
+                  rows[s][sym]);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Cleanliness phases for the faAbs product (see header).
+constexpr int kDirty = 0;
+constexpr int kClean = 1;
+constexpr int kFresh = 2;  // Just split after E; skip this point's G check.
+
+}  // namespace
+
+Result<Nfa> BuildFaAbs(const Nfa& e, const Dfa& f, const Dfa& g,
+                       size_t max_states) {
+  const size_t m = e.alphabet_size();
+  if (f.alphabet_size() != m || g.alphabet_size() != m) {
+    return Status::Internal("faAbs: alphabet mismatch");
+  }
+
+  Nfa out(m);
+  // Key: (phase, a, b, c). Phase 0: a = E-state, b = G-state.
+  //                        Phase 1: a = F-state, b = G-state, c = clean tag.
+  std::map<std::tuple<int, int, int, int>, Nfa::State> ids;
+  std::vector<std::tuple<int, int, int, int>> keys;
+
+  auto intern = [&](int phase, int a, int b, int c) -> Nfa::State {
+    auto [it, inserted] = ids.emplace(std::make_tuple(phase, a, b, c),
+                                      static_cast<Nfa::State>(keys.size()));
+    if (inserted) {
+      keys.emplace_back(phase, a, b, c);
+      bool accepting = phase == 1 && c != kDirty &&
+                       f.accepting(static_cast<Dfa::State>(a));
+      out.AddState(accepting);
+    }
+    return it->second;
+  };
+
+  Nfa::State start = intern(0, e.start(), g.start(), 0);
+  out.SetStart(start);
+
+  for (size_t cur = 0; cur < keys.size(); ++cur) {
+    if (keys.size() > max_states) {
+      return Status::ResourceExhausted(
+          StrFormat("faAbs product exceeded %zu states", max_states));
+    }
+    auto [phase, a, b, c] = keys[cur];
+    Nfa::State self = static_cast<Nfa::State>(cur);
+    if (phase == 0) {
+      // E's ε edges stay within the same G state.
+      for (Nfa::State t : e.epsilon_edges(static_cast<Nfa::State>(a))) {
+        out.AddEpsilon(self, intern(0, t, b, 0));
+      }
+      // Split point: when E accepts (after ε-closure handled by the above),
+      // guess that the truncated history starts here.
+      if (e.accepting(static_cast<Nfa::State>(a))) {
+        out.AddEpsilon(self, intern(1, f.start(), b, kFresh));
+      }
+      // Symbol edges: partition each E edge's label by the G successor.
+      for (const Nfa::SymbolEdge& edge :
+           e.symbol_edges(static_cast<Nfa::State>(a))) {
+        std::map<Dfa::State, SymbolSet> by_g;
+        edge.on.ForEach([&](SymbolId sym) {
+          Dfa::State gs2 = g.Step(static_cast<Dfa::State>(b), sym);
+          auto [it, inserted] = by_g.emplace(gs2, SymbolSet(m));
+          it->second.Add(sym);
+        });
+        for (auto& [gs2, on] : by_g) {
+          out.AddEdge(self, std::move(on), intern(0, edge.to, gs2, 0));
+        }
+      }
+    } else {
+      // Phase 1: advance F and G deterministically.
+      int next_c;
+      if (c == kFresh) {
+        // The G check at the split point itself is excluded (|w| > |u|
+        // strictly), and ε has no proper prefix, so the next point is clean.
+        next_c = kClean;
+      } else if (c == kClean &&
+                 !f.accepting(static_cast<Dfa::State>(a)) &&
+                 !g.accepting(static_cast<Dfa::State>(b))) {
+        next_c = kClean;
+      } else {
+        next_c = kDirty;
+      }
+      if (next_c == kDirty) continue;  // Trap: omit transitions entirely.
+      std::map<std::pair<Dfa::State, Dfa::State>, SymbolSet> by_target;
+      for (size_t sym = 0; sym < m; ++sym) {
+        Dfa::State fs2 =
+            f.Step(static_cast<Dfa::State>(a), static_cast<SymbolId>(sym));
+        Dfa::State gs2 =
+            g.Step(static_cast<Dfa::State>(b), static_cast<SymbolId>(sym));
+        auto [it, inserted] =
+            by_target.emplace(std::make_pair(fs2, gs2), SymbolSet(m));
+        it->second.Add(static_cast<SymbolId>(sym));
+      }
+      for (auto& [target, on] : by_target) {
+        out.AddEdge(self, std::move(on),
+                    intern(1, target.first, target.second, next_c));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ode

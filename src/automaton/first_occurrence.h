@@ -1,0 +1,38 @@
+#ifndef ODE_AUTOMATON_FIRST_OCCURRENCE_H_
+#define ODE_AUTOMATON_FIRST_OCCURRENCE_H_
+
+#include "automaton/dfa.h"
+#include "automaton/nfa.h"
+#include "common/result.h"
+
+namespace ode {
+
+/// Builds the "first occurrence of F with no intervening G" language used
+/// by `fa` (§3.4):
+///
+///   FirstNoG(F, G) = { v ∈ L(F) : no nonempty proper prefix of v is in
+///                      L(F) ∪ L(G) }
+///
+/// fa(E, F, G) is then L(E) · FirstNoG(F, G): after an occurrence of E, the
+/// first point where F occurs in the truncated history, provided no G
+/// (also relative to E) occurred strictly before it.
+///
+/// Both inputs must be complete DFAs whose languages exclude ε (guaranteed
+/// for all event-expression languages).
+Result<Dfa> BuildFirstNoG(const Dfa& f, const Dfa& g);
+
+/// Builds the NFA for faAbs(E, F, G) (§3.4): like fa, but the "no
+/// intervening G" condition runs G over the *whole* (current-context)
+/// history rather than the truncated one:
+///
+///   { u·v : u ∈ L(E), v ∈ L(F), no nonempty proper prefix of v in L(F),
+///           and no w with |u| < |w| < |uv| such that (uv)[1..w] ∈ L(G) }
+///
+/// E may be nondeterministic; F and G must be DFAs (their conditions are
+/// negative and require determinism).
+Result<Nfa> BuildFaAbs(const Nfa& e, const Dfa& f, const Dfa& g,
+                       size_t max_states = 1 << 20);
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_FIRST_OCCURRENCE_H_

@@ -1,0 +1,117 @@
+#include "automaton/minimize.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace ode {
+
+Dfa RemoveUnreachable(const Dfa& dfa) {
+  const size_t m = dfa.alphabet_size();
+  std::vector<Dfa::State> order;
+  std::vector<Dfa::State> remap(dfa.num_states(), -1);
+  order.push_back(dfa.start());
+  remap[dfa.start()] = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t sym = 0; sym < m; ++sym) {
+      Dfa::State to = dfa.Step(order[i], static_cast<SymbolId>(sym));
+      if (remap[to] < 0) {
+        remap[to] = static_cast<Dfa::State>(order.size());
+        order.push_back(to);
+      }
+    }
+  }
+  Dfa out(m, order.size());
+  out.SetStart(0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    out.SetAccepting(static_cast<Dfa::State>(i), dfa.accepting(order[i]));
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(static_cast<Dfa::State>(i), static_cast<SymbolId>(sym),
+                  remap[dfa.Step(order[i], static_cast<SymbolId>(sym))]);
+    }
+  }
+  return out;
+}
+
+Dfa Minimize(const Dfa& input) {
+  Dfa dfa = RemoveUnreachable(input);
+  const size_t n = dfa.num_states();
+  const size_t m = dfa.alphabet_size();
+
+  // Moore partition refinement: iterate signature-based splitting until the
+  // partition stabilizes. Each round is O(n·m); at most n rounds.
+  std::vector<int> block(n);
+  for (size_t s = 0; s < n; ++s) {
+    block[s] = dfa.accepting(static_cast<Dfa::State>(s)) ? 1 : 0;
+  }
+  size_t num_blocks = 2;
+
+  while (true) {
+    // Signature of a state: (own block, successor blocks per symbol).
+    std::map<std::vector<int>, int> sig_ids;
+    std::vector<int> new_block(n);
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<int> sig;
+      sig.reserve(m + 1);
+      sig.push_back(block[s]);
+      for (size_t sym = 0; sym < m; ++sym) {
+        sig.push_back(
+            block[dfa.Step(static_cast<Dfa::State>(s),
+                           static_cast<SymbolId>(sym))]);
+      }
+      auto [it, inserted] =
+          sig_ids.emplace(std::move(sig), static_cast<int>(sig_ids.size()));
+      new_block[s] = it->second;
+    }
+    if (sig_ids.size() == num_blocks) break;
+    num_blocks = sig_ids.size();
+    block = std::move(new_block);
+  }
+
+  // Renumber so the start state's block is 0 (cosmetic stability).
+  std::vector<int> renumber(num_blocks, -1);
+  int next = 0;
+  renumber[block[dfa.start()]] = next++;
+  for (size_t s = 0; s < n; ++s) {
+    if (renumber[block[s]] < 0) renumber[block[s]] = next++;
+  }
+
+  Dfa out(m, num_blocks);
+  out.SetStart(0);
+  for (size_t s = 0; s < n; ++s) {
+    Dfa::State b = renumber[block[s]];
+    out.SetAccepting(b, dfa.accepting(static_cast<Dfa::State>(s)));
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.SetStep(b, static_cast<SymbolId>(sym),
+                  renumber[block[dfa.Step(static_cast<Dfa::State>(s),
+                                          static_cast<SymbolId>(sym))]]);
+    }
+  }
+  return out;
+}
+
+bool DfaEquivalent(const Dfa& a, const Dfa& b) {
+  if (a.alphabet_size() != b.alphabet_size()) return false;
+  const size_t m = a.alphabet_size();
+  std::map<std::pair<Dfa::State, Dfa::State>, bool> seen;
+  std::vector<std::pair<Dfa::State, Dfa::State>> stack;
+  stack.emplace_back(a.start(), b.start());
+  seen[{a.start(), b.start()}] = true;
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    if (a.accepting(x) != b.accepting(y)) return false;
+    for (size_t sym = 0; sym < m; ++sym) {
+      std::pair<Dfa::State, Dfa::State> next{
+          a.Step(x, static_cast<SymbolId>(sym)),
+          b.Step(y, static_cast<SymbolId>(sym))};
+      if (!seen[next]) {
+        seen[next] = true;
+        stack.push_back(next);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace ode

@@ -1,0 +1,22 @@
+#ifndef ODE_AUTOMATON_MINIMIZE_H_
+#define ODE_AUTOMATON_MINIMIZE_H_
+
+#include "automaton/dfa.h"
+
+namespace ode {
+
+/// Returns an equivalent DFA restricted to states reachable from the start.
+Dfa RemoveUnreachable(const Dfa& dfa);
+
+/// Returns the minimal equivalent complete DFA (partition refinement on
+/// reachable states). Minimization keeps the §5 per-class transition tables
+/// small; bench/bench_compile.cc measures the reduction.
+Dfa Minimize(const Dfa& dfa);
+
+/// True iff the two DFAs accept the same language (product walk over
+/// reachable pairs — used by tests, e.g. the §6 transform equivalences).
+bool DfaEquivalent(const Dfa& a, const Dfa& b);
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_MINIMIZE_H_

@@ -1,0 +1,176 @@
+#include "automaton/nfa.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Nfa::State Nfa::AddState(bool accepting) {
+  symbol_edges_.emplace_back();
+  epsilon_edges_.emplace_back();
+  accepting_.push_back(accepting);
+  return static_cast<State>(symbol_edges_.size() - 1);
+}
+
+void Nfa::AddEdge(State from, SymbolSet on, State to) {
+  symbol_edges_[from].push_back(SymbolEdge{std::move(on), to});
+}
+
+void Nfa::AddEpsilon(State from, State to) {
+  epsilon_edges_[from].push_back(to);
+}
+
+std::vector<Nfa::State> Nfa::EpsilonClosure(std::vector<State> states) const {
+  std::vector<bool> seen(num_states(), false);
+  std::vector<State> stack;
+  for (State s : states) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  std::vector<State> out;
+  while (!stack.empty()) {
+    State s = stack.back();
+    stack.pop_back();
+    out.push_back(s);
+    for (State t : epsilon_edges_[s]) {
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool Nfa::Accepts(const std::vector<SymbolId>& input) const {
+  std::vector<State> current = EpsilonClosure({start_});
+  for (SymbolId sym : input) {
+    std::vector<State> next;
+    std::vector<bool> seen(num_states(), false);
+    for (State s : current) {
+      for (const SymbolEdge& e : symbol_edges_[s]) {
+        if (e.on.Contains(sym) && !seen[e.to]) {
+          seen[e.to] = true;
+          next.push_back(e.to);
+        }
+      }
+    }
+    current = EpsilonClosure(std::move(next));
+    if (current.empty()) return false;
+  }
+  for (State s : current) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+Nfa::State Nfa::Absorb(const Nfa& other) {
+  State offset = static_cast<State>(num_states());
+  for (size_t s = 0; s < other.num_states(); ++s) {
+    AddState(other.accepting_[s]);
+  }
+  for (size_t s = 0; s < other.num_states(); ++s) {
+    for (const SymbolEdge& e : other.symbol_edges_[s]) {
+      AddEdge(offset + static_cast<State>(s), e.on, offset + e.to);
+    }
+    for (State t : other.epsilon_edges_[s]) {
+      AddEpsilon(offset + static_cast<State>(s), offset + t);
+    }
+  }
+  return offset;
+}
+
+Nfa Nfa::EmptyLanguage(size_t alphabet_size) {
+  Nfa nfa(alphabet_size);
+  nfa.SetStart(nfa.AddState(false));
+  return nfa;
+}
+
+Nfa Nfa::SigmaStarAtom(const SymbolSet& atom) {
+  Nfa nfa(atom.universe_size());
+  State s0 = nfa.AddState(false);
+  State s1 = nfa.AddState(true);
+  nfa.SetStart(s0);
+  nfa.AddEdge(s0, SymbolSet::All(atom.universe_size()), s0);
+  nfa.AddEdge(s0, atom, s1);
+  return nfa;
+}
+
+Nfa Nfa::SigmaPlus(size_t alphabet_size) {
+  Nfa nfa(alphabet_size);
+  State s0 = nfa.AddState(false);
+  State s1 = nfa.AddState(true);
+  nfa.SetStart(s0);
+  nfa.AddEdge(s0, SymbolSet::All(alphabet_size), s1);
+  nfa.AddEdge(s1, SymbolSet::All(alphabet_size), s1);
+  return nfa;
+}
+
+Nfa Nfa::Union(const Nfa& a, const Nfa& b) {
+  Nfa nfa(a.alphabet_size());
+  State start = nfa.AddState(false);
+  nfa.SetStart(start);
+  State oa = nfa.Absorb(a);
+  State ob = nfa.Absorb(b);
+  nfa.AddEpsilon(start, oa + a.start());
+  nfa.AddEpsilon(start, ob + b.start());
+  return nfa;
+}
+
+Nfa Nfa::Concat(const Nfa& a, const Nfa& b) {
+  Nfa nfa(a.alphabet_size());
+  State oa = nfa.Absorb(a);
+  State ob = nfa.Absorb(b);
+  nfa.SetStart(oa + a.start());
+  for (size_t s = 0; s < a.num_states(); ++s) {
+    if (a.accepting_[s]) {
+      State ns = oa + static_cast<State>(s);
+      nfa.SetAccepting(ns, false);
+      nfa.AddEpsilon(ns, ob + b.start());
+    }
+  }
+  return nfa;
+}
+
+Nfa Nfa::Plus(const Nfa& a) {
+  Nfa nfa(a.alphabet_size());
+  State oa = nfa.Absorb(a);
+  nfa.SetStart(oa + a.start());
+  for (size_t s = 0; s < a.num_states(); ++s) {
+    if (a.accepting_[s]) {
+      // Accepting states loop back to start: one or more repetitions.
+      nfa.AddEpsilon(oa + static_cast<State>(s), oa + a.start());
+    }
+  }
+  return nfa;
+}
+
+Nfa Nfa::Power(const Nfa& a, int64_t n) {
+  Nfa out = a;
+  for (int64_t i = 1; i < n; ++i) {
+    out = Concat(out, a);
+  }
+  return out;
+}
+
+std::string Nfa::ToString() const {
+  std::string out = StrFormat("NFA: %zu states, start %d, alphabet %zu\n",
+                              num_states(), start_, alphabet_size_);
+  for (size_t s = 0; s < num_states(); ++s) {
+    out += StrFormat("  %zu%s:", s, accepting_[s] ? " (accept)" : "");
+    for (const SymbolEdge& e : symbol_edges_[s]) {
+      out += StrFormat(" %s->%d", e.on.ToString().c_str(), e.to);
+    }
+    for (State t : epsilon_edges_[s]) {
+      out += StrFormat(" eps->%d", t);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,96 @@
+#ifndef ODE_AUTOMATON_NFA_H_
+#define ODE_AUTOMATON_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automaton/symbol_set.h"
+
+namespace ode {
+
+/// A nondeterministic finite automaton with ε-transitions over a dense
+/// alphabet of logical-event symbols. Used as the intermediate form of the
+/// event-expression compiler (§5): every composite-event operator has a
+/// compositional NFA construction, and the result is determinized and
+/// minimized into the per-class transition table.
+///
+/// Invariant maintained by all constructions in this library: the language
+/// never contains the empty string (events occur at history *points*, so
+/// every accepted string is nonempty, §4).
+class Nfa {
+ public:
+  /// State index type; states are 0..num_states()-1.
+  using State = int32_t;
+
+  explicit Nfa(size_t alphabet_size)
+      : alphabet_size_(alphabet_size) {}
+
+  size_t alphabet_size() const { return alphabet_size_; }
+  size_t num_states() const { return symbol_edges_.size(); }
+  State start() const { return start_; }
+  bool accepting(State s) const { return accepting_[s]; }
+  const std::vector<bool>& accepting() const { return accepting_; }
+
+  /// Adds a fresh state; returns its index.
+  State AddState(bool accepting = false);
+  void SetStart(State s) { start_ = s; }
+  void SetAccepting(State s, bool v) { accepting_[s] = v; }
+
+  /// Adds an edge labeled with a set of symbols.
+  void AddEdge(State from, SymbolSet on, State to);
+  /// Adds an ε edge.
+  void AddEpsilon(State from, State to);
+
+  struct SymbolEdge {
+    SymbolSet on;
+    State to;
+  };
+  const std::vector<SymbolEdge>& symbol_edges(State s) const {
+    return symbol_edges_[s];
+  }
+  const std::vector<State>& epsilon_edges(State s) const {
+    return epsilon_edges_[s];
+  }
+
+  /// ε-closure of a state set (sorted, deduplicated).
+  std::vector<State> EpsilonClosure(std::vector<State> states) const;
+
+  /// True iff the NFA accepts the given symbol string (test helper; the
+  /// production path runs the determinized form).
+  bool Accepts(const std::vector<SymbolId>& input) const;
+
+  /// --- Compositional constructions (language algebra of §4) -----------
+
+  /// L = ∅.
+  static Nfa EmptyLanguage(size_t alphabet_size);
+  /// L = Σ* · s for a symbol set s: "the last event is one of s", the
+  /// denotation of a logical-event atom.
+  static Nfa SigmaStarAtom(const SymbolSet& atom);
+  /// L = Σ⁺ (any nonempty history prefix — every point).
+  static Nfa SigmaPlus(size_t alphabet_size);
+  /// L(a) ∪ L(b).
+  static Nfa Union(const Nfa& a, const Nfa& b);
+  /// L(a) · L(b) — the `relative` operator (§4).
+  static Nfa Concat(const Nfa& a, const Nfa& b);
+  /// L(a)⁺ — `relative+`.
+  static Nfa Plus(const Nfa& a);
+  /// L(a)^n (n >= 1) — building block for `relative N`.
+  static Nfa Power(const Nfa& a, int64_t n);
+
+  std::string ToString() const;
+
+ private:
+  /// Copies `other`'s states into this NFA; returns the index offset.
+  State Absorb(const Nfa& other);
+
+  size_t alphabet_size_;
+  State start_ = 0;
+  std::vector<std::vector<SymbolEdge>> symbol_edges_;
+  std::vector<std::vector<State>> epsilon_edges_;
+  std::vector<bool> accepting_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_NFA_H_

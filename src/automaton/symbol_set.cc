@@ -1,0 +1,83 @@
+#include "automaton/symbol_set.h"
+
+#include <bit>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+SymbolSet SymbolSet::All(size_t universe_size) {
+  SymbolSet s(universe_size);
+  for (size_t i = 0; i < universe_size; ++i) s.Add(static_cast<SymbolId>(i));
+  return s;
+}
+
+SymbolSet SymbolSet::Single(size_t universe_size, SymbolId sym) {
+  SymbolSet s(universe_size);
+  s.Add(sym);
+  return s;
+}
+
+bool SymbolSet::Empty() const {
+  for (uint64_t w : bits_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t SymbolSet::Count() const {
+  size_t n = 0;
+  for (uint64_t w : bits_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+SymbolSet SymbolSet::Union(const SymbolSet& other) const {
+  SymbolSet out(universe_);
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = bits_[i] | other.bits_[i];
+  }
+  return out;
+}
+
+SymbolSet SymbolSet::Intersect(const SymbolSet& other) const {
+  SymbolSet out(universe_);
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    out.bits_[i] = bits_[i] & other.bits_[i];
+  }
+  return out;
+}
+
+SymbolSet SymbolSet::Complement() const {
+  SymbolSet out(universe_);
+  for (size_t i = 0; i < bits_.size(); ++i) out.bits_[i] = ~bits_[i];
+  // Clear bits beyond the universe.
+  for (size_t s = universe_; s < bits_.size() * 64; ++s) {
+    out.bits_[s >> 6] &= ~(1ull << (s & 63));
+  }
+  return out;
+}
+
+void SymbolSet::ForEach(const std::function<void(SymbolId)>& fn) const {
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    uint64_t w = bits_[i];
+    while (w != 0) {
+      int b = std::countr_zero(w);
+      fn(static_cast<SymbolId>(i * 64 + b));
+      w &= w - 1;
+    }
+  }
+}
+
+std::string SymbolSet::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](SymbolId s) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("%d", s);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,58 @@
+#ifndef ODE_AUTOMATON_SYMBOL_SET_H_
+#define ODE_AUTOMATON_SYMBOL_SET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace ode {
+
+/// Index of a logical-event symbol in a trigger's alphabet (see
+/// compile/alphabet.h). Symbols are dense, starting at 0.
+using SymbolId = int32_t;
+
+/// A set of alphabet symbols, used to label NFA edges compactly (one edge
+/// per target instead of one edge per symbol).
+class SymbolSet {
+ public:
+  SymbolSet() = default;
+  explicit SymbolSet(size_t universe_size)
+      : universe_(universe_size), bits_((universe_size + 63) / 64, 0) {}
+
+  /// The full alphabet Σ.
+  static SymbolSet All(size_t universe_size);
+  /// A single-symbol set.
+  static SymbolSet Single(size_t universe_size, SymbolId s);
+
+  size_t universe_size() const { return universe_; }
+
+  void Add(SymbolId s) { bits_[s >> 6] |= (1ull << (s & 63)); }
+  void Remove(SymbolId s) { bits_[s >> 6] &= ~(1ull << (s & 63)); }
+  bool Contains(SymbolId s) const {
+    return (bits_[s >> 6] >> (s & 63)) & 1;
+  }
+
+  bool Empty() const;
+  size_t Count() const;
+
+  SymbolSet Union(const SymbolSet& other) const;
+  SymbolSet Intersect(const SymbolSet& other) const;
+  SymbolSet Complement() const;
+
+  /// Invokes fn(symbol) for each member in increasing order.
+  void ForEach(const std::function<void(SymbolId)>& fn) const;
+
+  /// E.g. "{0,2,5}".
+  std::string ToString() const;
+
+  bool operator==(const SymbolSet&) const = default;
+
+ private:
+  size_t universe_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_AUTOMATON_SYMBOL_SET_H_

@@ -1,0 +1,3 @@
+// NaiveDetector is header-only; this translation unit exists so the target
+// layout mirrors one module per detector.
+#include "baseline/naive_detector.h"

@@ -1,0 +1,39 @@
+#ifndef ODE_BASELINE_NAIVE_DETECTOR_H_
+#define ODE_BASELINE_NAIVE_DETECTOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "semantics/oracle.h"
+
+namespace ode {
+
+/// The strawman the §5 automaton implementation replaces: keep the whole
+/// event history and re-evaluate the §4 denotational semantics from scratch
+/// every time a logical event is posted. Detection cost per event grows
+/// with history length (quadratic overall); per-object storage grows
+/// without bound. bench_detection contrasts this with the DFA's O(1) step
+/// and one-word state.
+class NaiveDetector {
+ public:
+  NaiveDetector(EventExprPtr expr, const Alphabet* alphabet)
+      : oracle_(std::move(expr), alphabet) {}
+
+  /// Appends the next symbol and reports whether the event occurs at this
+  /// point (full re-evaluation).
+  Result<bool> Advance(SymbolId sym) {
+    history_.push_back(sym);
+    return oracle_.OccursAtEnd(history_);
+  }
+
+  void Reset() { history_.clear(); }
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  Oracle oracle_;
+  std::vector<SymbolId> history_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_BASELINE_NAIVE_DETECTOR_H_

@@ -1,0 +1,490 @@
+#include "baseline/tree_detector.h"
+
+#include <vector>
+
+#include "automaton/symbol_set.h"
+#include "common/strutil.h"
+
+namespace ode {
+namespace internal {
+
+/// Base of all operator nodes. Advance consumes one symbol and reports
+/// whether the node's event occurs at this point. Clone copies structure
+/// with *fresh* state (instances start detecting from their spawn point).
+class TreeNode {
+ public:
+  virtual ~TreeNode() = default;
+  virtual bool Advance(SymbolId sym) = 0;
+  virtual std::unique_ptr<TreeNode> CloneFresh() const = 0;
+  virtual size_t CountInstances() const = 0;
+  virtual void Reset() = 0;
+};
+
+using NodePtr = std::unique_ptr<TreeNode>;
+
+namespace {
+
+class ConstNode : public TreeNode {
+ public:
+  explicit ConstNode(bool value) : value_(value) {}
+  bool Advance(SymbolId) override { return value_; }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<ConstNode>(value_);
+  }
+  size_t CountInstances() const override { return 1; }
+  void Reset() override {}
+
+ private:
+  bool value_;
+};
+
+class AtomNode : public TreeNode {
+ public:
+  explicit AtomNode(SymbolSet symbols) : symbols_(std::move(symbols)) {}
+  bool Advance(SymbolId sym) override { return symbols_.Contains(sym); }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<AtomNode>(symbols_);
+  }
+  size_t CountInstances() const override { return 1; }
+  void Reset() override {}
+
+ private:
+  SymbolSet symbols_;
+};
+
+/// Or / And / Not are pointwise on per-position occurrence bits.
+class BoolNode : public TreeNode {
+ public:
+  enum class Op { kOr, kAnd, kNot };
+  BoolNode(Op op, NodePtr a, NodePtr b)
+      : op_(op), a_(std::move(a)), b_(std::move(b)) {}
+  bool Advance(SymbolId sym) override {
+    // Both children must consume the symbol unconditionally — stateful
+    // subtrees fall out of sync if a boolean short-circuits them.
+    bool a = a_->Advance(sym);
+    bool b = b_ != nullptr && b_->Advance(sym);
+    switch (op_) {
+      case Op::kOr: return a || b;
+      case Op::kAnd: return a && b;
+      case Op::kNot: return !a;
+    }
+    return false;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<BoolNode>(op_, a_->CloneFresh(),
+                                      b_ ? b_->CloneFresh() : nullptr);
+  }
+  size_t CountInstances() const override {
+    return 1 + a_->CountInstances() + (b_ ? b_->CountInstances() : 0);
+  }
+  void Reset() override {
+    a_->Reset();
+    if (b_) b_->Reset();
+  }
+
+ private:
+  Op op_;
+  NodePtr a_;
+  NodePtr b_;  // Null for kNot.
+};
+
+/// prior(A, B): B occurs and some A occurred strictly earlier.
+class PriorNode : public TreeNode {
+ public:
+  PriorNode(NodePtr a, NodePtr b) : a_(std::move(a)), b_(std::move(b)) {}
+  bool Advance(SymbolId sym) override {
+    bool b_now = b_->Advance(sym);
+    bool result = b_now && seen_a_;
+    seen_a_ = seen_a_ || a_->Advance(sym);
+    return result;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<PriorNode>(a_->CloneFresh(), b_->CloneFresh());
+  }
+  size_t CountInstances() const override {
+    return 1 + a_->CountInstances() + b_->CountInstances();
+  }
+  void Reset() override {
+    seen_a_ = false;
+    a_->Reset();
+    b_->Reset();
+  }
+
+ private:
+  NodePtr a_;
+  NodePtr b_;
+  bool seen_a_ = false;
+};
+
+/// prior N / choose N / every N: occurrence counting on the child.
+class CounterNode : public TreeNode {
+ public:
+  enum class Mode { kAtLeast, kExactly, kModulo };
+  CounterNode(Mode mode, int64_t n, NodePtr child)
+      : mode_(mode), n_(n), child_(std::move(child)) {}
+  bool Advance(SymbolId sym) override {
+    if (!child_->Advance(sym)) return false;
+    ++count_;
+    switch (mode_) {
+      case Mode::kAtLeast: return count_ >= n_;
+      case Mode::kExactly: return count_ == n_;
+      case Mode::kModulo: return count_ % n_ == 0;
+    }
+    return false;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<CounterNode>(mode_, n_, child_->CloneFresh());
+  }
+  size_t CountInstances() const override {
+    return 1 + child_->CountInstances();
+  }
+  void Reset() override {
+    count_ = 0;
+    child_->Reset();
+  }
+
+ private:
+  Mode mode_;
+  int64_t n_;
+  NodePtr child_;
+  int64_t count_ = 0;
+};
+
+/// relative(A, B): per A occurrence, spawn a fresh B instance on the
+/// suffix — the Snoop-style instance accumulation.
+class RelativeNode : public TreeNode {
+ public:
+  RelativeNode(NodePtr a, NodePtr b_proto)
+      : a_(std::move(a)), b_proto_(std::move(b_proto)) {}
+  bool Advance(SymbolId sym) override {
+    bool occurred = false;
+    for (NodePtr& inst : instances_) {
+      if (inst->Advance(sym)) occurred = true;
+    }
+    if (a_->Advance(sym)) {
+      instances_.push_back(b_proto_->CloneFresh());
+    }
+    return occurred;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<RelativeNode>(a_->CloneFresh(),
+                                          b_proto_->CloneFresh());
+  }
+  size_t CountInstances() const override {
+    size_t n = 1 + a_->CountInstances() + b_proto_->CountInstances();
+    for (const NodePtr& inst : instances_) n += inst->CountInstances();
+    return n;
+  }
+  void Reset() override {
+    instances_.clear();
+    a_->Reset();
+  }
+
+ private:
+  NodePtr a_;
+  NodePtr b_proto_;
+  std::vector<NodePtr> instances_;
+};
+
+/// relative+(A) / relative N (A): chained occurrences; each completed link
+/// spawns a fresh A instance tagged with the chain length so far.
+class ChainNode : public TreeNode {
+ public:
+  ChainNode(NodePtr a_proto, int64_t min_links)
+      : a_proto_(std::move(a_proto)), min_links_(min_links) {
+    base_ = a_proto_->CloneFresh();
+  }
+  bool Advance(SymbolId sym) override {
+    bool occurred = false;
+    std::vector<int64_t> spawn_tags;
+    for (auto& [inst, links] : instances_) {
+      if (inst->Advance(sym)) {
+        int64_t total = links + 1;
+        if (total >= min_links_) occurred = true;
+        spawn_tags.push_back(total);
+      }
+    }
+    if (base_->Advance(sym)) {
+      if (1 >= min_links_) occurred = true;
+      spawn_tags.push_back(1);
+    }
+    for (int64_t tag : spawn_tags) {
+      instances_.emplace_back(a_proto_->CloneFresh(), tag);
+    }
+    return occurred;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<ChainNode>(a_proto_->CloneFresh(), min_links_);
+  }
+  size_t CountInstances() const override {
+    size_t n = 1 + base_->CountInstances() + a_proto_->CountInstances();
+    for (const auto& [inst, links] : instances_) n += inst->CountInstances();
+    return n;
+  }
+  void Reset() override {
+    instances_.clear();
+    base_ = a_proto_->CloneFresh();
+  }
+
+ private:
+  NodePtr a_proto_;
+  int64_t min_links_;
+  NodePtr base_;
+  std::vector<std::pair<NodePtr, int64_t>> instances_;
+};
+
+/// sequence(A, B): B must occur at exactly the next point after A.
+class SequenceNode : public TreeNode {
+ public:
+  SequenceNode(NodePtr a, NodePtr b_proto)
+      : a_(std::move(a)), b_proto_(std::move(b_proto)) {}
+  bool Advance(SymbolId sym) override {
+    bool occurred = false;
+    if (prev_a_) {
+      NodePtr fresh = b_proto_->CloneFresh();
+      occurred = fresh->Advance(sym);
+    }
+    prev_a_ = a_->Advance(sym);
+    return occurred;
+  }
+  NodePtr CloneFresh() const override {
+    return std::make_unique<SequenceNode>(a_->CloneFresh(),
+                                          b_proto_->CloneFresh());
+  }
+  size_t CountInstances() const override {
+    return 1 + a_->CountInstances() + b_proto_->CountInstances();
+  }
+  void Reset() override {
+    prev_a_ = false;
+    a_->Reset();
+  }
+
+ private:
+  NodePtr a_;
+  NodePtr b_proto_;
+  bool prev_a_ = false;
+};
+
+/// fa(E, F, G) and faAbs(E, F, G).
+class FaNode : public TreeNode {
+ public:
+  FaNode(NodePtr e, NodePtr f_proto, NodePtr g_proto, bool absolute)
+      : e_(std::move(e)),
+        f_proto_(std::move(f_proto)),
+        g_proto_(std::move(g_proto)),
+        absolute_(absolute) {
+    if (absolute_) g_abs_ = g_proto_->CloneFresh();
+  }
+
+  bool Advance(SymbolId sym) override {
+    bool occurred = false;
+    for (Instance& inst : instances_) {
+      if (inst.done) continue;
+      bool f_now = inst.f->Advance(sym);
+      bool g_now = absolute_ ? false : inst.g->Advance(sym);
+      if (inst.blocked) {
+        inst.done = true;  // G already intervened; F can never fire.
+        continue;
+      }
+      if (f_now) {
+        occurred = true;  // First F; same-point G does not block (§3.4).
+        inst.done = true;
+        continue;
+      }
+      if (g_now) inst.done = true;
+    }
+    // faAbs: one global G stream; a G occurrence *now* blocks instances at
+    // strictly later points (strictly-between semantics).
+    bool g_abs_now = absolute_ ? g_abs_->Advance(sym) : false;
+    if (g_abs_now) {
+      for (Instance& inst : instances_) {
+        if (!inst.done) inst.blocked = true;
+      }
+    }
+    if (e_->Advance(sym)) {
+      Instance inst;
+      inst.f = f_proto_->CloneFresh();
+      if (!absolute_) inst.g = g_proto_->CloneFresh();
+      instances_.push_back(std::move(inst));
+    }
+    return occurred;
+  }
+
+  NodePtr CloneFresh() const override {
+    return std::make_unique<FaNode>(e_->CloneFresh(), f_proto_->CloneFresh(),
+                                    g_proto_->CloneFresh(), absolute_);
+  }
+  size_t CountInstances() const override {
+    size_t n = 1 + e_->CountInstances() + f_proto_->CountInstances() +
+               g_proto_->CountInstances();
+    for (const Instance& inst : instances_) {
+      n += inst.f->CountInstances();
+      if (inst.g) n += inst.g->CountInstances();
+    }
+    return n;
+  }
+  void Reset() override {
+    instances_.clear();
+    e_->Reset();
+    if (absolute_) g_abs_ = g_proto_->CloneFresh();
+  }
+
+ private:
+  struct Instance {
+    NodePtr f;
+    NodePtr g;  // Per-instance G for fa; null for faAbs.
+    bool blocked = false;
+    bool done = false;
+  };
+
+  NodePtr e_;
+  NodePtr f_proto_;
+  NodePtr g_proto_;
+  bool absolute_;
+  NodePtr g_abs_;
+  std::vector<Instance> instances_;
+};
+
+Result<NodePtr> BuildNode(const EventExpr& e, const Alphabet& alphabet) {
+  auto child = [&](size_t i) -> Result<NodePtr> {
+    return BuildNode(*e.children[i], alphabet);
+  };
+  switch (e.kind) {
+    case EventExprKind::kEmpty:
+      return NodePtr(std::make_unique<ConstNode>(false));
+    case EventExprKind::kAtom: {
+      Result<SymbolSet> syms = alphabet.SymbolsFor(e);
+      if (!syms.ok()) return syms.status();
+      return NodePtr(std::make_unique<AtomNode>(std::move(*syms)));
+    }
+    case EventExprKind::kOr:
+    case EventExprKind::kAnd: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      ODE_ASSIGN_OR_RETURN(NodePtr b, child(1));
+      return NodePtr(std::make_unique<BoolNode>(
+          e.kind == EventExprKind::kOr ? BoolNode::Op::kOr
+                                       : BoolNode::Op::kAnd,
+          std::move(a), std::move(b)));
+    }
+    case EventExprKind::kNot: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      return NodePtr(std::make_unique<BoolNode>(BoolNode::Op::kNot,
+                                                std::move(a), nullptr));
+    }
+    case EventExprKind::kRelative: {
+      ODE_ASSIGN_OR_RETURN(NodePtr acc, child(0));
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        ODE_ASSIGN_OR_RETURN(NodePtr next, child(i));
+        acc = std::make_unique<RelativeNode>(std::move(acc), std::move(next));
+      }
+      return acc;
+    }
+    case EventExprKind::kRelativePlus: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      return NodePtr(std::make_unique<ChainNode>(std::move(a), 1));
+    }
+    case EventExprKind::kRelativeN: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      return NodePtr(std::make_unique<ChainNode>(std::move(a), e.n));
+    }
+    case EventExprKind::kPrior: {
+      ODE_ASSIGN_OR_RETURN(NodePtr acc, child(0));
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        ODE_ASSIGN_OR_RETURN(NodePtr next, child(i));
+        acc = std::make_unique<PriorNode>(std::move(acc), std::move(next));
+      }
+      return acc;
+    }
+    case EventExprKind::kPriorN: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      return NodePtr(std::make_unique<CounterNode>(
+          CounterNode::Mode::kAtLeast, e.n, std::move(a)));
+    }
+    case EventExprKind::kSequence: {
+      ODE_ASSIGN_OR_RETURN(NodePtr acc, child(0));
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        ODE_ASSIGN_OR_RETURN(NodePtr next, child(i));
+        acc = std::make_unique<SequenceNode>(std::move(acc), std::move(next));
+      }
+      return acc;
+    }
+    case EventExprKind::kSequenceN: {
+      ODE_ASSIGN_OR_RETURN(NodePtr acc, child(0));
+      for (int64_t i = 1; i < e.n; ++i) {
+        ODE_ASSIGN_OR_RETURN(NodePtr next, child(0));
+        acc = std::make_unique<SequenceNode>(std::move(acc), std::move(next));
+      }
+      return acc;
+    }
+    case EventExprKind::kChoose:
+    case EventExprKind::kEvery: {
+      ODE_ASSIGN_OR_RETURN(NodePtr a, child(0));
+      return NodePtr(std::make_unique<CounterNode>(
+          e.kind == EventExprKind::kChoose ? CounterNode::Mode::kExactly
+                                           : CounterNode::Mode::kModulo,
+          e.n, std::move(a)));
+    }
+    case EventExprKind::kFa:
+    case EventExprKind::kFaAbs: {
+      ODE_ASSIGN_OR_RETURN(NodePtr ev, child(0));
+      ODE_ASSIGN_OR_RETURN(NodePtr f, child(1));
+      ODE_ASSIGN_OR_RETURN(NodePtr g, child(2));
+      return NodePtr(std::make_unique<FaNode>(
+          std::move(ev), std::move(f), std::move(g),
+          e.kind == EventExprKind::kFaAbs));
+    }
+    case EventExprKind::kMasked:
+      return Status::Unimplemented(
+          "the tree baseline does not evaluate composite masks");
+    case EventExprKind::kGateAtom:
+      return Status::Unimplemented(
+          "the tree baseline does not support compiled gate atoms");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace
+}  // namespace internal
+
+TreeDetector::TreeDetector(std::unique_ptr<internal::TreeNode> root,
+                           Options options)
+    : root_(std::move(root)), options_(options) {}
+
+TreeDetector::~TreeDetector() = default;
+TreeDetector::TreeDetector(TreeDetector&&) noexcept = default;
+TreeDetector& TreeDetector::operator=(TreeDetector&&) noexcept = default;
+
+Result<std::unique_ptr<TreeDetector>> TreeDetector::Create(
+    EventExprPtr expr, const Alphabet* alphabet) {
+  return Create(std::move(expr), alphabet, Options());
+}
+
+Result<std::unique_ptr<TreeDetector>> TreeDetector::Create(
+    EventExprPtr expr, const Alphabet* alphabet, Options options) {
+  // Root composite masks are stripped, matching the engine's treatment.
+  while (expr != nullptr && expr->kind == EventExprKind::kMasked) {
+    expr = expr->children[0];
+  }
+  if (expr == nullptr) return Status::InvalidArgument("null expression");
+  Result<internal::NodePtr> root = internal::BuildNode(*expr, *alphabet);
+  if (!root.ok()) return root.status();
+  return std::unique_ptr<TreeDetector>(
+      new TreeDetector(std::move(*root), options));
+}
+
+Result<bool> TreeDetector::Advance(SymbolId sym) {
+  bool occurred = root_->Advance(sym);
+  if (root_->CountInstances() > options_.max_instances) {
+    return Status::ResourceExhausted(StrFormat(
+        "tree detector exceeded %zu live instances (the §5 automata avoid "
+        "exactly this growth)",
+        options_.max_instances));
+  }
+  return occurred;
+}
+
+size_t TreeDetector::NumInstances() const { return root_->CountInstances(); }
+
+void TreeDetector::Reset() { root_->Reset(); }
+
+}  // namespace ode

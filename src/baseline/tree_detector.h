@@ -1,0 +1,64 @@
+#ifndef ODE_BASELINE_TREE_DETECTOR_H_
+#define ODE_BASELINE_TREE_DETECTOR_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "compile/alphabet.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+namespace internal {
+class TreeNode;
+}  // namespace internal
+
+/// An incremental operator-tree detector in the style of Snoop
+/// (Chakravarthy & Mishra, the paper's reference [5]): each operator node
+/// keeps partial-match state and suffix-scoped operators (`relative`, `fa`,
+/// ...) spawn a fresh sub-detector *instance* per occurrence of their left
+/// argument.
+///
+/// This is the natural alternative to the §5 automata, and its cost model
+/// is the point of the comparison: live instances accumulate with the
+/// number of initiator occurrences, so per-event work and per-object state
+/// grow with the history, where the DFA needs one transition and one
+/// integer. bench_detection measures both.
+class TreeDetector {
+ public:
+  struct Options {
+    /// Safety valve: Advance fails with kResourceExhausted beyond this many
+    /// live instances (the unbounded growth is real; benches cap runs).
+    size_t max_instances = 1 << 20;
+  };
+
+  /// Builds the operator tree. Composite masks and gate atoms are not
+  /// supported (the baseline operates on the symbol stream).
+  static Result<std::unique_ptr<TreeDetector>> Create(
+      EventExprPtr expr, const Alphabet* alphabet, Options options);
+  static Result<std::unique_ptr<TreeDetector>> Create(
+      EventExprPtr expr, const Alphabet* alphabet);
+
+  ~TreeDetector();
+  TreeDetector(TreeDetector&&) noexcept;
+  TreeDetector& operator=(TreeDetector&&) noexcept;
+
+  /// Consumes the next symbol; true iff the event occurs at this point.
+  Result<bool> Advance(SymbolId sym);
+
+  /// Total live operator/instance nodes — the detector's state footprint.
+  size_t NumInstances() const;
+
+  void Reset();
+
+ private:
+  explicit TreeDetector(std::unique_ptr<internal::TreeNode> root,
+                        Options options);
+
+  std::unique_ptr<internal::TreeNode> root_;
+  Options options_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_BASELINE_TREE_DETECTOR_H_

@@ -1,0 +1,161 @@
+#include "clock/virtual_clock.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Status VirtualClock::SetTime(TimeMs t) {
+  if (!timers_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot reset the clock while timers are registered");
+  }
+  now_ = t;
+  return Status::OK();
+}
+
+Status VirtualClock::AddTimer(Oid object, const BasicEvent& time_event) {
+  if (time_event.kind != BasicEventKind::kTime) {
+    return Status::InvalidArgument("AddTimer requires a time event");
+  }
+  ODE_RETURN_IF_ERROR(time_event.Validate());
+  std::string key = time_event.CanonicalKey();
+  auto map_key = std::make_pair(object.id, key);
+  auto it = timers_.find(map_key);
+  if (it != timers_.end()) {
+    ++it->second.refcount;
+    return Status::OK();
+  }
+
+  Timer t;
+  t.id = next_id_++;
+  t.object = object;
+  t.mode = time_event.time_mode;
+  t.spec = time_event.time_spec;
+  t.time_key = key;
+  switch (t.mode) {
+    case TimeEventMode::kAt: {
+      Result<TimeMs> next = t.spec.NextMatchAfter(now_);
+      if (!next.ok()) return next.status();
+      t.next_fire = *next;
+      break;
+    }
+    case TimeEventMode::kEvery: {
+      Result<int64_t> period = t.spec.AsPeriodMs();
+      if (!period.ok()) return period.status();
+      t.period_ms = *period;
+      t.next_fire = now_ + t.period_ms;
+      break;
+    }
+    case TimeEventMode::kAfter: {
+      Result<int64_t> period = t.spec.AsPeriodMs();
+      if (!period.ok()) return period.status();
+      t.next_fire = now_ + *period;
+      break;
+    }
+  }
+  timers_.emplace(map_key, std::move(t));
+  return Status::OK();
+}
+
+Status VirtualClock::RemoveTimer(Oid object, const BasicEvent& time_event) {
+  auto map_key = std::make_pair(object.id, time_event.CanonicalKey());
+  auto it = timers_.find(map_key);
+  if (it == timers_.end()) {
+    return Status::NotFound("no such timer");
+  }
+  if (--it->second.refcount <= 0) timers_.erase(it);
+  return Status::OK();
+}
+
+Status VirtualClock::AdvanceTo(TimeMs target, const FireFn& fire) {
+  if (target < now_) {
+    return Status::InvalidArgument("virtual time cannot move backwards");
+  }
+  while (true) {
+    // Earliest due timer at or before target (ties: lowest id).
+    Timer* due = nullptr;
+    for (auto& [key, t] : timers_) {
+      if (t.next_fire > target) continue;
+      if (due == nullptr || t.next_fire < due->next_fire ||
+          (t.next_fire == due->next_fire && t.id < due->id)) {
+        due = &t;
+      }
+    }
+    if (due == nullptr) break;
+
+    now_ = due->next_fire;
+    ++firings_;
+    Oid object = due->object;
+    std::string time_key = due->time_key;
+    TimeMs fire_time = due->next_fire;
+    Timer snapshot = *due;
+
+    // Re-arm (or retire) before the callback: the callback may re-enter
+    // (e.g. a trigger action registering new timers).
+    switch (due->mode) {
+      case TimeEventMode::kAt: {
+        Result<TimeMs> next = due->spec.NextMatchAfter(fire_time);
+        if (!next.ok()) return next.status();
+        due->next_fire = *next;
+        break;
+      }
+      case TimeEventMode::kEvery:
+        due->next_fire += due->period_ms;
+        break;
+      case TimeEventMode::kAfter:
+        timers_.erase(std::make_pair(object.id, time_key));
+        break;
+    }
+
+    if (fire != nullptr) {
+      Status delivered = fire(object, time_key, fire_time);
+      if (!delivered.ok()) {
+        // Undeliverable (e.g. the object is locked by a conflicting
+        // transaction): restore the timer so a later advance retries this
+        // firing instead of silently dropping it.
+        --firings_;
+        timers_[std::make_pair(object.id, time_key)] = snapshot;
+        return delivered;
+      }
+    }
+  }
+  now_ = target;
+  return Status::OK();
+}
+
+std::vector<VirtualClock::TimerState> VirtualClock::ExportTimers() const {
+  std::vector<TimerState> out;
+  out.reserve(timers_.size());
+  for (const auto& [key, t] : timers_) {
+    out.push_back(TimerState{t.object, t.mode, t.spec, t.next_fire,
+                             t.refcount});
+  }
+  return out;
+}
+
+Status VirtualClock::ImportTimers(std::vector<TimerState> timers, TimeMs now) {
+  timers_.clear();
+  now_ = now;
+  for (TimerState& s : timers) {
+    BasicEvent be = BasicEvent::Time(s.mode, s.spec);
+    Timer t;
+    t.id = next_id_++;
+    t.object = s.object;
+    t.mode = s.mode;
+    t.spec = s.spec;
+    t.time_key = be.CanonicalKey();
+    t.next_fire = s.next_fire;
+    t.refcount = s.refcount;
+    if (s.mode == TimeEventMode::kEvery) {
+      Result<int64_t> period = s.spec.AsPeriodMs();
+      if (!period.ok()) return period.status();
+      t.period_ms = *period;
+    }
+    timers_.emplace(std::make_pair(s.object.id, t.time_key), std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,86 @@
+#ifndef ODE_COMMON_RESULT_H_
+#define ODE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ode {
+
+/// Holds either a value of type T or an error Status (never both).
+/// Analogous to arrow::Result / absl::StatusOr.
+///
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() if this holds a value.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs`, which may be a declaration
+/// (`ODE_ASSIGN_OR_RETURN(auto v, F())`). Expands to multiple statements so
+/// the declaration stays in the enclosing scope; do not use unbraced after
+/// `if`.
+#define ODE_MACRO_CONCAT_INNER(x, y) x##y
+#define ODE_MACRO_CONCAT(x, y) ODE_MACRO_CONCAT_INNER(x, y)
+#define ODE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto ODE_MACRO_CONCAT(_ode_result_, __LINE__) = (rexpr);        \
+  if (!ODE_MACRO_CONCAT(_ode_result_, __LINE__).ok()) {           \
+    return ODE_MACRO_CONCAT(_ode_result_, __LINE__).status();     \
+  }                                                               \
+  lhs = std::move(ODE_MACRO_CONCAT(_ode_result_, __LINE__)).value()
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_RESULT_H_

@@ -1,0 +1,113 @@
+#ifndef ODE_COMMON_STATUS_H_
+#define ODE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ode {
+
+/// Error codes used across the library. The library does not throw
+/// exceptions; every fallible operation returns a Status or a Result<T>.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (bad expression, bad value, ...).
+  kParseError,        ///< The event/mask DSL failed to parse.
+  kNotFound,          ///< Named entity (class, method, object, ...) missing.
+  kAlreadyExists,     ///< Duplicate registration.
+  kFailedPrecondition,///< Operation not legal in current state.
+  kOutOfRange,        ///< Index/count out of bounds.
+  kUnimplemented,     ///< Feature intentionally unsupported.
+  kInternal,          ///< Invariant violation inside the library.
+  kAborted,           ///< Transaction aborted (by user, trigger, or deadlock).
+  kDeadlock,          ///< Lock acquisition would deadlock.
+  kWouldBlock,        ///< Lock held by another transaction; caller may retry.
+  kResourceExhausted, ///< A configured limit (states, alphabet, ...) exceeded.
+};
+
+/// Returns a stable human-readable name for a code, e.g. "InvalidArgument".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value in the style of RocksDB/Arrow.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ODE_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::ode::Status _ode_status = (expr);            \
+    if (!_ode_status.ok()) return _ode_status;     \
+  } while (0)
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef ODE_COMMON_STRUTIL_H_
+#define ODE_COMMON_STRUTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ode {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on character `sep`; empty fields preserved.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// 64-bit FNV-1a hash; stable across runs (used by persistence checksums).
+uint64_t Fnv1a64(std::string_view s);
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_STRUTIL_H_

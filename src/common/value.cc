@@ -1,0 +1,222 @@
+#include "common/value.h"
+
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+std::string_view ValueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kDouble:
+      return "double";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kOid:
+      return "oid";
+  }
+  return "unknown";
+}
+
+Result<int64_t> Value::AsInt() const {
+  if (kind() != ValueKind::kInt) {
+    return Status::InvalidArgument(
+        StrFormat("expected int, got %s", std::string(ValueKindName(kind())).c_str()));
+  }
+  return std::get<int64_t>(rep_);
+}
+
+Result<double> Value::AsDouble() const {
+  if (kind() == ValueKind::kInt) {
+    return static_cast<double>(std::get<int64_t>(rep_));
+  }
+  if (kind() != ValueKind::kDouble) {
+    return Status::InvalidArgument(
+        StrFormat("expected double, got %s", std::string(ValueKindName(kind())).c_str()));
+  }
+  return std::get<double>(rep_);
+}
+
+Result<bool> Value::AsBool() const {
+  if (kind() != ValueKind::kBool) {
+    return Status::InvalidArgument(
+        StrFormat("expected bool, got %s", std::string(ValueKindName(kind())).c_str()));
+  }
+  return std::get<bool>(rep_);
+}
+
+Result<std::string> Value::AsString() const {
+  if (kind() != ValueKind::kString) {
+    return Status::InvalidArgument(
+        StrFormat("expected string, got %s", std::string(ValueKindName(kind())).c_str()));
+  }
+  return std::get<std::string>(rep_);
+}
+
+Result<Oid> Value::AsOid() const {
+  if (kind() != ValueKind::kOid) {
+    return Status::InvalidArgument(
+        StrFormat("expected oid, got %s", std::string(ValueKindName(kind())).c_str()));
+  }
+  return std::get<Oid>(rep_);
+}
+
+bool Value::Truthy() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return false;
+    case ValueKind::kInt:
+      return std::get<int64_t>(rep_) != 0;
+    case ValueKind::kDouble:
+      return std::get<double>(rep_) != 0.0;
+    case ValueKind::kBool:
+      return std::get<bool>(rep_);
+    case ValueKind::kString:
+      return !std::get<std::string>(rep_).empty();
+    case ValueKind::kOid:
+      return !std::get<Oid>(rep_).IsNull();
+  }
+  return false;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (IsNumeric() && other.IsNumeric()) {
+    return AsDouble().value() == other.AsDouble().value();
+  }
+  return rep_ == other.rep_;
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (IsNumeric() && other.IsNumeric()) {
+    double a = AsDouble().value();
+    double b = other.AsDouble().value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (kind() != other.kind()) {
+    return Status::InvalidArgument(
+        StrFormat("cannot compare %s with %s",
+                  std::string(ValueKindName(kind())).c_str(),
+                  std::string(ValueKindName(other.kind())).c_str()));
+  }
+  switch (kind()) {
+    case ValueKind::kBool: {
+      int a = std::get<bool>(rep_) ? 1 : 0;
+      int b = std::get<bool>(other.rep_) ? 1 : 0;
+      return a - b;
+    }
+    case ValueKind::kString: {
+      int c = std::get<std::string>(rep_).compare(std::get<std::string>(other.rep_));
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueKind::kOid: {
+      uint64_t a = std::get<Oid>(rep_).id;
+      uint64_t b = std::get<Oid>(other.rep_).id;
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueKind::kNull:
+      return 0;
+    default:
+      return Status::InvalidArgument("unsupported comparison");
+  }
+}
+
+namespace {
+
+Status NonNumeric(const char* op, const Value& a, const Value& b) {
+  return Status::InvalidArgument(
+      StrFormat("operator %s requires numeric operands, got %s and %s", op,
+                std::string(ValueKindName(a.kind())).c_str(),
+                std::string(ValueKindName(b.kind())).c_str()));
+}
+
+}  // namespace
+
+Result<Value> Value::Add(const Value& other) const {
+  if (kind() == ValueKind::kString && other.kind() == ValueKind::kString) {
+    return Value(AsString().value() + other.AsString().value());
+  }
+  if (!IsNumeric() || !other.IsNumeric()) return NonNumeric("+", *this, other);
+  if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+    return Value(AsInt().value() + other.AsInt().value());
+  }
+  return Value(AsDouble().value() + other.AsDouble().value());
+}
+
+Result<Value> Value::Sub(const Value& other) const {
+  if (!IsNumeric() || !other.IsNumeric()) return NonNumeric("-", *this, other);
+  if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+    return Value(AsInt().value() - other.AsInt().value());
+  }
+  return Value(AsDouble().value() - other.AsDouble().value());
+}
+
+Result<Value> Value::Mul(const Value& other) const {
+  if (!IsNumeric() || !other.IsNumeric()) return NonNumeric("*", *this, other);
+  if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+    return Value(AsInt().value() * other.AsInt().value());
+  }
+  return Value(AsDouble().value() * other.AsDouble().value());
+}
+
+Result<Value> Value::Div(const Value& other) const {
+  if (!IsNumeric() || !other.IsNumeric()) return NonNumeric("/", *this, other);
+  if (kind() == ValueKind::kInt && other.kind() == ValueKind::kInt) {
+    int64_t d = other.AsInt().value();
+    if (d == 0) return Status::InvalidArgument("integer division by zero");
+    return Value(AsInt().value() / d);
+  }
+  double d = other.AsDouble().value();
+  if (d == 0.0) return Status::InvalidArgument("division by zero");
+  return Value(AsDouble().value() / d);
+}
+
+Result<Value> Value::Mod(const Value& other) const {
+  if (kind() != ValueKind::kInt || other.kind() != ValueKind::kInt) {
+    return Status::InvalidArgument("operator % requires integer operands");
+  }
+  int64_t d = other.AsInt().value();
+  if (d == 0) return Status::InvalidArgument("modulo by zero");
+  return Value(AsInt().value() % d);
+}
+
+Result<Value> Value::Neg() const {
+  if (kind() == ValueKind::kInt) return Value(-AsInt().value());
+  if (kind() == ValueKind::kDouble) return Value(-AsDouble().value());
+  return Status::InvalidArgument(
+      StrFormat("unary - requires a numeric operand, got %s",
+                std::string(ValueKindName(kind())).c_str()));
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case ValueKind::kNull:
+      return "null";
+    case ValueKind::kInt:
+      return StrFormat("%lld", static_cast<long long>(std::get<int64_t>(rep_)));
+    case ValueKind::kDouble: {
+      double d = std::get<double>(rep_);
+      if (d == std::floor(d) && std::abs(d) < 1e15) {
+        return StrFormat("%.1f", d);
+      }
+      return StrFormat("%g", d);
+    }
+    case ValueKind::kBool:
+      return std::get<bool>(rep_) ? "true" : "false";
+    case ValueKind::kString:
+      return "\"" + std::get<std::string>(rep_) + "\"";
+    case ValueKind::kOid:
+      return StrFormat("@%llu",
+                       static_cast<unsigned long long>(std::get<Oid>(rep_).id));
+  }
+  return "?";
+}
+
+}  // namespace ode

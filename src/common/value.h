@@ -1,0 +1,110 @@
+#ifndef ODE_COMMON_VALUE_H_
+#define ODE_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode {
+
+/// Identity of a persistent object (the paper's "object identity", §2).
+/// Oid 0 is reserved as the null reference.
+struct Oid {
+  uint64_t id = 0;
+
+  bool IsNull() const { return id == 0; }
+  bool operator==(const Oid&) const = default;
+  auto operator<=>(const Oid&) const = default;
+};
+
+/// The null object reference.
+inline constexpr Oid kNullOid{0};
+
+/// Runtime type tag of a Value.
+enum class ValueKind : uint8_t {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kBool,
+  kString,
+  kOid,
+};
+
+std::string_view ValueKindName(ValueKind kind);
+
+/// Dynamically-typed value used for object attributes, method/event
+/// parameters, and mask-expression evaluation.
+///
+/// Numeric operations promote kInt to kDouble when the operands mix.
+/// Comparisons between incomparable kinds return an error Status rather
+/// than an arbitrary ordering.
+class Value {
+ public:
+  /// Null value.
+  Value() : rep_(std::monostate{}) {}
+  Value(int64_t v) : rep_(v) {}          // NOLINT(runtime/explicit)
+  Value(int v) : rep_(int64_t{v}) {}     // NOLINT(runtime/explicit)
+  Value(double v) : rep_(v) {}           // NOLINT(runtime/explicit)
+  Value(bool v) : rep_(v) {}             // NOLINT(runtime/explicit)
+  Value(std::string v) : rep_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : rep_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  Value(Oid v) : rep_(v) {}              // NOLINT(runtime/explicit)
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  ValueKind kind() const {
+    return static_cast<ValueKind>(rep_.index());
+  }
+  bool is_null() const { return kind() == ValueKind::kNull; }
+
+  /// Strict accessors: error if the value holds a different kind.
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;  ///< Accepts kInt (promoted) and kDouble.
+  Result<bool> AsBool() const;
+  Result<std::string> AsString() const;
+  Result<Oid> AsOid() const;
+
+  /// True if the value is numeric (kInt or kDouble).
+  bool IsNumeric() const {
+    return kind() == ValueKind::kInt || kind() == ValueKind::kDouble;
+  }
+
+  /// Truthiness used by mask evaluation: bool as-is; numeric != 0;
+  /// string non-empty; Oid non-null; null -> false.
+  bool Truthy() const;
+
+  /// Deep structural equality (kInt 1 != kDouble 1.0 unless both numeric:
+  /// numeric values compare by promoted double).
+  bool Equals(const Value& other) const;
+
+  /// Three-way comparison. Errors when kinds are incomparable
+  /// (e.g. string vs int). Returns -1, 0, or +1.
+  Result<int> Compare(const Value& other) const;
+
+  /// Arithmetic with numeric promotion; errors on non-numeric operands
+  /// except operator+ which concatenates two strings.
+  Result<Value> Add(const Value& other) const;
+  Result<Value> Sub(const Value& other) const;
+  Result<Value> Mul(const Value& other) const;
+  Result<Value> Div(const Value& other) const;  ///< Errors on divide-by-zero.
+  Result<Value> Mod(const Value& other) const;  ///< Integers only.
+  Result<Value> Neg() const;
+
+  /// Display form: null, 42, 3.5, true, "text", @17 (oid).
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return Equals(other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, Oid> rep_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_VALUE_H_

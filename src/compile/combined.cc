@@ -1,0 +1,143 @@
+#include "compile/combined.h"
+
+#include <map>
+
+#include "automaton/determinize.h"
+#include "automaton/minimize.h"
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<CombinedProgram> CombinedProgram::Build(
+    std::vector<TriggerSpec> specs) {
+  return Build(std::move(specs), Options());
+}
+
+Result<CombinedProgram> CombinedProgram::Build(std::vector<TriggerSpec> specs,
+                                               const Options& options) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("no triggers to combine");
+  }
+  if (specs.size() > 64) {
+    return Status::InvalidArgument(
+        "at most 64 triggers can share one acceptance bitmask");
+  }
+
+  CombinedProgram out;
+
+  // Strip root composite masks (kept per trigger) and reject gates.
+  std::vector<EventExprPtr> cores;
+  cores.reserve(specs.size());
+  out.composite_masks_.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].event == nullptr) {
+      return Status::InvalidArgument("trigger without an event");
+    }
+    ODE_RETURN_IF_ERROR(specs[i].event->Validate());
+    EventExprPtr core = specs[i].event;
+    while (core->kind == EventExprKind::kMasked) {
+      out.composite_masks_[i].push_back(core->mask);
+      core = core->children[0];
+    }
+    // Nested masks would need per-trigger gate resolution.
+    std::function<Status(const EventExpr&)> check =
+        [&](const EventExpr& e) -> Status {
+      if (e.kind == EventExprKind::kMasked) {
+        return Status::Unimplemented(
+            "triggers with nested composite masks (gates) cannot share a "
+            "combined automaton");
+      }
+      for (const EventExprPtr& c : e.children) {
+        ODE_RETURN_IF_ERROR(check(*c));
+      }
+      return Status::OK();
+    };
+    ODE_RETURN_IF_ERROR(check(*core));
+    cores.push_back(std::move(core));
+  }
+
+  // One alphabet over the union of all triggers' logical events: build it
+  // from a synthetic disjunction (the §5 rewrite then deduplicates masks
+  // across triggers).
+  EventExprPtr union_expr = cores[0];
+  for (size_t i = 1; i < cores.size(); ++i) {
+    union_expr = EventExpr::Or(union_expr, cores[i]);
+  }
+  Alphabet::Options aopts = options.compile.alphabet;
+  aopts.include_txn_markers =
+      aopts.include_txn_markers || options.compile.include_txn_markers;
+  ODE_ASSIGN_OR_RETURN(out.alphabet_, Alphabet::Build(*union_expr, aopts));
+
+  // Compile each trigger over the shared alphabet.
+  for (const EventExprPtr& core : cores) {
+    ODE_ASSIGN_OR_RETURN(Nfa nfa,
+                         CompileToNfa(*core, out.alphabet_, options.compile));
+    ODE_ASSIGN_OR_RETURN(Dfa dfa,
+                         Determinize(nfa, options.compile.max_states));
+    out.components_.push_back(Minimize(dfa));
+  }
+
+  // Product over reachable tuples.
+  const size_t m = out.alphabet_.size();
+  const size_t k = out.components_.size();
+  std::map<std::vector<Dfa::State>, Dfa::State> ids;
+  std::vector<std::vector<Dfa::State>> tuples;
+  auto intern = [&](std::vector<Dfa::State> tuple) -> Dfa::State {
+    auto [it, inserted] =
+        ids.emplace(std::move(tuple), static_cast<Dfa::State>(tuples.size()));
+    if (inserted) tuples.push_back(it->first);
+    return it->second;
+  };
+  std::vector<Dfa::State> start(k);
+  for (size_t i = 0; i < k; ++i) start[i] = out.components_[i].start();
+  Dfa::State start_id = intern(std::move(start));
+
+  std::vector<std::vector<Dfa::State>> rows;
+  for (size_t cur = 0; cur < tuples.size(); ++cur) {
+    if (tuples.size() > options.max_product_states) {
+      return Status::ResourceExhausted(StrFormat(
+          "combined automaton exceeded %zu product states; compile these "
+          "triggers separately",
+          options.max_product_states));
+    }
+    std::vector<Dfa::State> row(m);
+    for (size_t sym = 0; sym < m; ++sym) {
+      std::vector<Dfa::State> next(k);
+      for (size_t i = 0; i < k; ++i) {
+        next[i] = out.components_[i].Step(tuples[cur][i],
+                                          static_cast<SymbolId>(sym));
+      }
+      row[sym] = intern(std::move(next));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  out.dfa_ = Dfa(m, tuples.size());
+  out.dfa_.SetStart(start_id);
+  out.accept_masks_.assign(tuples.size(), 0);
+  for (size_t s = 0; s < tuples.size(); ++s) {
+    uint64_t mask = 0;
+    for (size_t i = 0; i < k; ++i) {
+      if (out.components_[i].accepting(tuples[s][i])) {
+        mask |= (uint64_t{1} << i);
+      }
+    }
+    out.accept_masks_[s] = mask;
+    out.dfa_.SetAccepting(static_cast<Dfa::State>(s), mask != 0);
+    for (size_t sym = 0; sym < m; ++sym) {
+      out.dfa_.SetStep(static_cast<Dfa::State>(s),
+                       static_cast<SymbolId>(sym), rows[s][sym]);
+    }
+  }
+
+  out.specs_ = std::move(specs);
+  return out;
+}
+
+size_t CombinedProgram::SeparateTableBytes() const {
+  size_t total = 0;
+  for (const Dfa& d : components_) total += d.TableBytes();
+  return total;
+}
+
+}  // namespace ode

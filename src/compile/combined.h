@@ -1,0 +1,81 @@
+#ifndef ODE_COMPILE_COMBINED_H_
+#define ODE_COMPILE_COMBINED_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "compile/compiler.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+
+/// The §5 footnote-5 optimization, implemented:
+///
+///   "The above description assumes one automaton definition per trigger.
+///    In many cases such automata may be combined into one, resulting in a
+///    more efficient monitoring; we regard this item as merely one of many
+///    possible optimizations."
+///
+/// A CombinedProgram compiles up to 64 trigger events over ONE shared
+/// alphabet and runs their product automaton: each posted event costs one
+/// classification and one table step *total* (instead of one per trigger),
+/// and each monitored object stores one integer for the whole group. The
+/// price is the product state space (≤ ∏|Dᵢ|, guarded) and a wider shared
+/// table.
+///
+/// Per-state acceptance is a bitmask: bit i set means trigger i's event
+/// occurs at this point. Root composite masks remain per trigger and gate
+/// the bits at fire time; triggers with *nested* composite masks (gates)
+/// cannot be combined (kUnimplemented) — their gate bits would have to be
+/// resolved per trigger anyway, forfeiting the shared step.
+class CombinedProgram {
+ public:
+  struct Options {
+    CompileOptions compile;
+    size_t max_product_states = 1 << 18;
+  };
+
+  /// Compiles and combines. All specs' logical events share one alphabet
+  /// (masks deduplicate across triggers by the §5 rewrite).
+  static Result<CombinedProgram> Build(std::vector<TriggerSpec> specs,
+                                       const Options& options);
+  static Result<CombinedProgram> Build(std::vector<TriggerSpec> specs);
+
+  size_t num_triggers() const { return specs_.size(); }
+  const TriggerSpec& spec(size_t i) const { return specs_[i]; }
+  const Alphabet& alphabet() const { return alphabet_; }
+  const Dfa& dfa() const { return dfa_; }
+
+  /// Bitmask of triggers whose event occurs in DFA state `s`.
+  uint64_t AcceptMask(Dfa::State s) const { return accept_masks_[s]; }
+
+  /// Root composite masks of trigger i (evaluated at fire time).
+  const std::vector<MaskExprPtr>& composite_masks(size_t i) const {
+    return composite_masks_[i];
+  }
+
+  /// The individual minimal DFAs the product was built from (over the
+  /// shared alphabet) — exposed for tests and for the bench comparison.
+  const std::vector<Dfa>& component_dfas() const { return components_; }
+
+  /// Shared-table bytes of the product vs. the sum of the components'.
+  size_t CombinedTableBytes() const { return dfa_.TableBytes(); }
+  size_t SeparateTableBytes() const;
+
+  /// Default-constructible so it can live in aggregates (TriggerGroup);
+  /// a default-constructed program has no triggers and must not be run.
+  CombinedProgram() = default;
+
+ private:
+  std::vector<TriggerSpec> specs_;
+  Alphabet alphabet_;
+  std::vector<Dfa> components_;
+  std::vector<std::vector<MaskExprPtr>> composite_masks_;
+  Dfa dfa_;
+  std::vector<uint64_t> accept_masks_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMPILE_COMBINED_H_

@@ -1,0 +1,368 @@
+#include "compile/compiler.h"
+
+#include "automaton/counting.h"
+#include "automaton/determinize.h"
+#include "automaton/first_occurrence.h"
+#include "automaton/minimize.h"
+#include "common/strutil.h"
+
+namespace ode {
+
+SymbolSet CompiledEvent::ExtendSet(const SymbolSet& base) const {
+  const size_t gate_count = gates.size();
+  SymbolSet out(alphabet.size() << gate_count);
+  base.ForEach([&](SymbolId b) {
+    for (size_t combo = 0; combo < (size_t{1} << gate_count); ++combo) {
+      out.Add(static_cast<SymbolId>(
+          (static_cast<size_t>(b) << gate_count) | combo));
+    }
+  });
+  return out;
+}
+
+namespace {
+
+/// Compilation context: the base alphabet plus the gate-bit extension.
+struct Ctx {
+  const Alphabet* alphabet = nullptr;
+  size_t num_gates = 0;
+  const CompileOptions* options = nullptr;
+
+  size_t ext_size() const { return alphabet->size() << num_gates; }
+
+  /// Extended symbol set of a logical-event atom: every gate-bit variant.
+  Result<SymbolSet> AtomSet(const EventExpr& atom) const {
+    Result<SymbolSet> base = alphabet->SymbolsFor(atom);
+    if (!base.ok()) return base.status();
+    SymbolSet out(ext_size());
+    base->ForEach([&](SymbolId b) {
+      for (size_t combo = 0; combo < (size_t{1} << num_gates); ++combo) {
+        out.Add(static_cast<SymbolId>(
+            (static_cast<size_t>(b) << num_gates) | combo));
+      }
+    });
+    return out;
+  }
+
+  /// Extended symbols whose gate bit `i` is set.
+  SymbolSet GateSet(size_t i) const {
+    SymbolSet out(ext_size());
+    for (size_t b = 0; b < alphabet->size(); ++b) {
+      for (size_t combo = 0; combo < (size_t{1} << num_gates); ++combo) {
+        if ((combo >> i) & 1) {
+          out.Add(static_cast<SymbolId>((b << num_gates) | combo));
+        }
+      }
+    }
+    return out;
+  }
+};
+
+Result<Dfa> ToDfa(const Nfa& nfa, const Ctx& ctx) {
+  return Determinize(nfa, ctx.options->max_states);
+}
+
+Result<Nfa> Compile(const EventExpr& e, const Ctx& ctx);
+
+/// `sequence(A, B)` = L(A) · (L(B) ∩ Σ): B must occur at the very next
+/// point of the truncated history (§3.4). The single-symbol slice of L(B)
+/// is read off B's DFA: the symbols whose one-step successor accepts.
+Result<Nfa> SequenceStep(const Nfa& a, const Nfa& b, const Ctx& ctx) {
+  Result<Dfa> bd = ToDfa(b, ctx);
+  if (!bd.ok()) return bd.status();
+  const size_t m = a.alphabet_size();
+  SymbolSet first(m);
+  for (size_t sym = 0; sym < m; ++sym) {
+    if (bd->accepting(bd->Step(bd->start(), static_cast<SymbolId>(sym)))) {
+      first.Add(static_cast<SymbolId>(sym));
+    }
+  }
+  // L(A) · first — a single mandatory symbol after A.
+  Nfa step(m);
+  Nfa::State s0 = step.AddState(false);
+  Nfa::State s1 = step.AddState(true);
+  step.SetStart(s0);
+  step.AddEdge(s0, first, s1);
+  return Nfa::Concat(a, step);
+}
+
+Result<Nfa> Compile(const EventExpr& e, const Ctx& ctx) {
+  const size_t m = ctx.ext_size();
+  switch (e.kind) {
+    case EventExprKind::kEmpty:
+      return Nfa::EmptyLanguage(m);
+
+    case EventExprKind::kAtom: {
+      Result<SymbolSet> syms = ctx.AtomSet(e);
+      if (!syms.ok()) return syms.status();
+      return Nfa::SigmaStarAtom(*syms);
+    }
+
+    case EventExprKind::kGateAtom:
+      return Nfa::SigmaStarAtom(ctx.GateSet(static_cast<size_t>(e.n)));
+
+    case EventExprKind::kOr: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Nfa> b = Compile(*e.children[1], ctx);
+      if (!b.ok()) return b;
+      return Nfa::Union(*a, *b);
+    }
+
+    case EventExprKind::kAnd: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Nfa> b = Compile(*e.children[1], ctx);
+      if (!b.ok()) return b;
+      Result<Dfa> da = ToDfa(*a, ctx);
+      if (!da.ok()) return da.status();
+      Result<Dfa> db = ToDfa(*b, ctx);
+      if (!db.ok()) return db.status();
+      return DfaToNfa(IntersectDfa(*da, *db));
+    }
+
+    case EventExprKind::kNot: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Dfa> da = ToDfa(*a, ctx);
+      if (!da.ok()) return da.status();
+      return DfaToNfa(ComplementSigmaPlus(*da));
+    }
+
+    case EventExprKind::kRelative: {
+      // relative(E1, ..., En) = L(E1) · ... · L(En), curried (§3.4/§4).
+      Result<Nfa> acc = Compile(*e.children[0], ctx);
+      if (!acc.ok()) return acc;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        Result<Nfa> next = Compile(*e.children[i], ctx);
+        if (!next.ok()) return next;
+        acc = Nfa::Concat(*acc, *next);
+      }
+      return acc;
+    }
+
+    case EventExprKind::kRelativePlus: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      return Nfa::Plus(*a);
+    }
+
+    case EventExprKind::kRelativeN: {
+      // relative N (E) = L(E)^{N-1} · L(E)⁺ — the Nth and any subsequent
+      // chained occurrence (§3.4's "fifth and any subsequent").
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Nfa plus = Nfa::Plus(*a);
+      if (e.n == 1) return plus;
+      return Nfa::Concat(Nfa::Power(*a, e.n - 1), plus);
+    }
+
+    case EventExprKind::kPrior: {
+      // prior(E, F) = (L(E) · Σ⁺) ∩ L(F), curried.
+      Result<Nfa> acc = Compile(*e.children[0], ctx);
+      if (!acc.ok()) return acc;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        Result<Nfa> next = Compile(*e.children[i], ctx);
+        if (!next.ok()) return next;
+        Nfa strictly_after = Nfa::Concat(*acc, Nfa::SigmaPlus(m));
+        Result<Dfa> da = ToDfa(strictly_after, ctx);
+        if (!da.ok()) return da.status();
+        Result<Dfa> db = ToDfa(*next, ctx);
+        if (!db.ok()) return db.status();
+        acc = DfaToNfa(IntersectDfa(*da, *db));
+      }
+      return acc;
+    }
+
+    case EventExprKind::kPriorN: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Dfa> da = ToDfa(*a, ctx);
+      if (!da.ok()) return da.status();
+      Result<Dfa> counted = BuildCountingDfa(
+          *da, e.n, CountCondition::kAtLeast, ctx.options->max_states);
+      if (!counted.ok()) return counted.status();
+      return DfaToNfa(*counted);
+    }
+
+    case EventExprKind::kSequence: {
+      Result<Nfa> acc = Compile(*e.children[0], ctx);
+      if (!acc.ok()) return acc;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        Result<Nfa> next = Compile(*e.children[i], ctx);
+        if (!next.ok()) return next;
+        acc = SequenceStep(*acc, *next, ctx);
+      }
+      return acc;
+    }
+
+    case EventExprKind::kSequenceN: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Nfa> acc = *a;
+      for (int64_t i = 1; i < e.n; ++i) {
+        acc = SequenceStep(*acc, *a, ctx);
+        if (!acc.ok()) return acc;
+      }
+      return acc;
+    }
+
+    case EventExprKind::kChoose:
+    case EventExprKind::kEvery: {
+      Result<Nfa> a = Compile(*e.children[0], ctx);
+      if (!a.ok()) return a;
+      Result<Dfa> da = ToDfa(*a, ctx);
+      if (!da.ok()) return da.status();
+      Result<Dfa> counted = BuildCountingDfa(
+          *da, e.n,
+          e.kind == EventExprKind::kChoose ? CountCondition::kExactly
+                                           : CountCondition::kModulo,
+          ctx.options->max_states);
+      if (!counted.ok()) return counted.status();
+      return DfaToNfa(*counted);
+    }
+
+    case EventExprKind::kFa: {
+      Result<Nfa> en = Compile(*e.children[0], ctx);
+      if (!en.ok()) return en;
+      Result<Nfa> fn = Compile(*e.children[1], ctx);
+      if (!fn.ok()) return fn;
+      Result<Nfa> gn = Compile(*e.children[2], ctx);
+      if (!gn.ok()) return gn;
+      Result<Dfa> fd = ToDfa(*fn, ctx);
+      if (!fd.ok()) return fd.status();
+      Result<Dfa> gd = ToDfa(*gn, ctx);
+      if (!gd.ok()) return gd.status();
+      Result<Dfa> first = BuildFirstNoG(*fd, *gd);
+      if (!first.ok()) return first.status();
+      return Nfa::Concat(*en, DfaToNfa(*first));
+    }
+
+    case EventExprKind::kFaAbs: {
+      Result<Nfa> en = Compile(*e.children[0], ctx);
+      if (!en.ok()) return en;
+      Result<Nfa> fn = Compile(*e.children[1], ctx);
+      if (!fn.ok()) return fn;
+      Result<Nfa> gn = Compile(*e.children[2], ctx);
+      if (!gn.ok()) return gn;
+      Result<Dfa> fd = ToDfa(*fn, ctx);
+      if (!fd.ok()) return fd.status();
+      Result<Dfa> gd = ToDfa(*gn, ctx);
+      if (!gd.ok()) return gd.status();
+      return BuildFaAbs(*en, *fd, *gd, ctx.options->max_states);
+    }
+
+    case EventExprKind::kMasked:
+      return Status::Internal(
+          "kMasked node survived the gate-extraction rewrite");
+  }
+  return Status::Internal("unhandled event expression kind");
+}
+
+/// Replaces every nested masked composite by a gate atom, bottom-up, so
+/// gate i's expression can only reference gates < i.
+Result<EventExprPtr> RewriteGates(
+    const EventExprPtr& e,
+    std::vector<std::pair<EventExprPtr, MaskExprPtr>>* gates,
+    size_t max_gates) {
+  if (e->children.empty()) return e;
+
+  std::vector<EventExprPtr> new_children;
+  new_children.reserve(e->children.size());
+  bool changed = false;
+  for (const EventExprPtr& c : e->children) {
+    Result<EventExprPtr> rewritten = RewriteGates(c, gates, max_gates);
+    if (!rewritten.ok()) return rewritten;
+    changed = changed || rewritten->get() != c.get();
+    new_children.push_back(std::move(*rewritten));
+  }
+
+  if (e->kind == EventExprKind::kMasked) {
+    if (gates->size() >= max_gates) {
+      return Status::ResourceExhausted(StrFormat(
+          "trigger uses more than %zu nested composite masks (each gate "
+          "doubles the extended alphabet)",
+          max_gates));
+    }
+    gates->emplace_back(new_children[0], e->mask);
+    return EventExpr::GateAtom(static_cast<int64_t>(gates->size() - 1));
+  }
+
+  if (!changed) return e;
+  auto clone = std::make_shared<EventExpr>(*e);
+  clone->children = std::move(new_children);
+  return EventExprPtr(std::move(clone));
+}
+
+}  // namespace
+
+Result<Nfa> CompileToNfa(const EventExpr& expr, const Alphabet& alphabet,
+                         const CompileOptions& options) {
+  Ctx ctx{&alphabet, 0, &options};
+  return Compile(expr, ctx);
+}
+
+Result<CompiledEvent> CompileEvent(EventExprPtr expr,
+                                   const CompileOptions& options) {
+  if (expr == nullptr) return Status::InvalidArgument("null event expression");
+  ODE_RETURN_IF_ERROR(expr->Validate());
+
+  CompiledEvent out;
+  // Hoist root-level composite masks into runtime gates on acceptance.
+  EventExprPtr core = std::move(expr);
+  while (core->kind == EventExprKind::kMasked) {
+    out.composite_masks.push_back(core->mask);
+    core = core->children[0];
+  }
+
+  // The base alphabet covers every real atom, including those inside
+  // nested masked composites (the rewrite does not touch kAtom nodes).
+  Alphabet::Options alpha_opts = options.alphabet;
+  alpha_opts.include_txn_markers =
+      alpha_opts.include_txn_markers || options.include_txn_markers;
+  Result<Alphabet> alphabet = Alphabet::Build(*core, alpha_opts);
+  if (!alphabet.ok()) return alphabet.status();
+  out.alphabet = std::move(*alphabet);
+
+  // Extract gated subevents (nested composite masks), bottom-up.
+  std::vector<std::pair<EventExprPtr, MaskExprPtr>> raw_gates;
+  Result<EventExprPtr> rewritten =
+      RewriteGates(core, &raw_gates, options.max_gates);
+  if (!rewritten.ok()) return rewritten.status();
+  out.expr = std::move(*rewritten);
+
+  Ctx ctx{&out.alphabet, raw_gates.size(), &options};
+
+  // Compile each gate to its own minimal DFA (minimality guarantees the
+  // bit-insensitivity the engine's ordered gate pass relies on).
+  for (auto& [inner, mask] : raw_gates) {
+    Result<Nfa> gate_nfa = Compile(*inner, ctx);
+    if (!gate_nfa.ok()) return gate_nfa.status();
+    Result<Dfa> gate_dfa = ToDfa(*gate_nfa, ctx);
+    if (!gate_dfa.ok()) return gate_dfa.status();
+    GateDef gate;
+    gate.inner = inner;
+    gate.mask = mask;
+    gate.dfa = Minimize(*gate_dfa);
+    out.gates.push_back(std::move(gate));
+  }
+
+  Result<Nfa> nfa = Compile(*out.expr, ctx);
+  if (!nfa.ok()) return nfa.status();
+
+  Result<Dfa> dfa = Determinize(*nfa, options.max_states);
+  if (!dfa.ok()) return dfa.status();
+
+  out.stats.alphabet_size = ctx.ext_size();
+  out.stats.nfa_states = nfa->num_states();
+  out.stats.dfa_states = dfa->num_states();
+  if (options.minimize) {
+    out.dfa = Minimize(*dfa);
+  } else {
+    out.dfa = RemoveUnreachable(*dfa);
+  }
+  out.stats.min_dfa_states = out.dfa.num_states();
+  return out;
+}
+
+}  // namespace ode

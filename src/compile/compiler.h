@@ -1,0 +1,99 @@
+#ifndef ODE_COMPILE_COMPILER_H_
+#define ODE_COMPILE_COMPILER_H_
+
+#include <vector>
+
+#include "automaton/dfa.h"
+#include "automaton/nfa.h"
+#include "common/result.h"
+#include "compile/alphabet.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+struct CompileOptions {
+  /// Force transaction-marker symbols into the alphabet so the §6 committed
+  /// transform can be applied to the result.
+  bool include_txn_markers = false;
+  /// Run DFA minimization (recommended; benchmarked in bench_compile).
+  bool minimize = true;
+  /// State-count guard for determinization and product constructions.
+  size_t max_states = 1 << 20;
+  /// Cap on gated subevents (nested composite masks) per trigger; each gate
+  /// doubles the extended alphabet.
+  size_t max_gates = 6;
+  Alphabet::Options alphabet;
+};
+
+/// Size telemetry of one compilation (reported by bench_compile, E12).
+struct CompileStats {
+  size_t alphabet_size = 0;
+  size_t nfa_states = 0;
+  size_t dfa_states = 0;
+  size_t min_dfa_states = 0;
+};
+
+/// A *gated subevent*: the compilation artifact for a nested composite mask
+/// (`(composite) && C` appearing under another operator, as in the §7
+/// coupling expressions `fa(E && C, ...)`).
+///
+/// A pure DFA cannot encode a nested composite mask — C must consult the
+/// *current* database state at an interior history point (§3.3). We
+/// therefore compile the masked composite into its own sub-DFA; at run
+/// time, per posted event, the engine steps the sub-DFA and computes an
+/// occurrence bit = (sub-DFA accepts) ∧ (C holds now). The outer automaton
+/// runs over an *extended alphabet*: (base symbol) × (gate bits), and the
+/// rewritten expression refers to the gate through a kGateAtom leaf. Gates
+/// are numbered bottom-up, so gate i's DFA is insensitive to bits >= i and
+/// the engine can resolve bits in one ordered pass.
+struct GateDef {
+  EventExprPtr inner;  ///< The masked composite (after its own rewrite).
+  MaskExprPtr mask;    ///< C — evaluated against current DB state.
+  Dfa dfa;             ///< Minimal DFA over the extended alphabet.
+};
+
+/// A fully compiled composite event: the §5 artifact. The DFA's transition
+/// table is shared per class; each monitored object needs only the current
+/// state — one integer, plus one per gate when §7-style nested masks are
+/// used.
+struct CompiledEvent {
+  EventExprPtr expr;  ///< Rewritten expression (root masks stripped,
+                      ///< nested masked composites replaced by gate atoms).
+  Alphabet alphabet;  ///< Base alphabet (§5 disjointness rewrite).
+  Dfa dfa;            ///< Over the extended alphabet.
+  std::vector<GateDef> gates;
+  /// Masks applied to the whole composite (§3.3 logical-composite event):
+  /// evaluated against the *current* database state when the automaton
+  /// accepts; all must hold for the event to occur.
+  std::vector<MaskExprPtr> composite_masks;
+  CompileStats stats;
+
+  size_t num_gates() const { return gates.size(); }
+  /// Extended alphabet size: base × 2^gates.
+  size_t extended_alphabet_size() const {
+    return alphabet.size() << gates.size();
+  }
+  /// Maps a base symbol + gate bits to the extended symbol.
+  SymbolId ExtendSymbol(SymbolId base, uint32_t gate_bits) const {
+    return static_cast<SymbolId>(
+        (static_cast<size_t>(base) << gates.size()) | gate_bits);
+  }
+  /// Lifts a base-alphabet symbol set to the extended alphabet (all gate
+  /// bit combinations).
+  SymbolSet ExtendSet(const SymbolSet& base) const;
+};
+
+/// Compiles an event expression end-to-end: alphabet construction (§5
+/// disjointness rewrite), nested-composite-mask gate extraction,
+/// compositional NFA construction (§4 language algebra), subset
+/// construction, minimization.
+Result<CompiledEvent> CompileEvent(EventExprPtr expr,
+                                   const CompileOptions& options = {});
+
+/// The compositional core: expression → NFA over a prebuilt alphabet.
+Result<Nfa> CompileToNfa(const EventExpr& expr, const Alphabet& alphabet,
+                         const CompileOptions& options = {});
+
+}  // namespace ode
+
+#endif  // ODE_COMPILE_COMPILER_H_

@@ -1,0 +1,181 @@
+#include "compile/decompile.h"
+
+#include <vector>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+namespace {
+
+/// A language in the event algebra, split into its ε part and its nonempty
+/// part (event expressions can never denote ε, so the flag is carried
+/// alongside during state elimination and must vanish at the end).
+struct Lang {
+  bool eps = false;
+  EventExprPtr expr;  // Null = no nonempty strings.
+  size_t size = 0;    // Node-count estimate for the blowup guard.
+
+  bool IsZero() const { return !eps && expr == nullptr; }
+};
+
+Lang Zero() { return Lang{}; }
+Lang Epsilon() { return Lang{true, nullptr, 0}; }
+
+Lang UnionLang(const Lang& a, const Lang& b) {
+  Lang out;
+  out.eps = a.eps || b.eps;
+  if (a.expr != nullptr && b.expr != nullptr) {
+    out.expr = EventExpr::Or(a.expr, b.expr);
+    out.size = a.size + b.size + 1;
+  } else if (a.expr != nullptr) {
+    out.expr = a.expr;
+    out.size = a.size;
+  } else {
+    out.expr = b.expr;
+    out.size = b.size;
+  }
+  return out;
+}
+
+Lang ConcatLang(const Lang& a, const Lang& b) {
+  Lang out;
+  out.eps = a.eps && b.eps;
+  std::vector<Lang> parts;
+  if (a.expr != nullptr && b.eps) parts.push_back(Lang{false, a.expr, a.size});
+  if (a.eps && b.expr != nullptr) parts.push_back(Lang{false, b.expr, b.size});
+  if (a.expr != nullptr && b.expr != nullptr) {
+    parts.push_back(Lang{false, EventExpr::Relative({a.expr, b.expr}),
+                         a.size + b.size + 1});
+  }
+  Lang acc = Lang{out.eps, nullptr, 0};
+  for (const Lang& p : parts) acc = UnionLang(acc, p);
+  acc.eps = out.eps;
+  return acc;
+}
+
+/// Kleene star: ε plus one-or-more repetitions (relative+, §3.4).
+Lang StarLang(const Lang& a) {
+  Lang out;
+  out.eps = true;
+  if (a.expr != nullptr) {
+    out.expr = EventExpr::RelativePlus(a.expr);
+    out.size = a.size + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<EventExprPtr> DecompileDfa(const Dfa& dfa, const Alphabet& alphabet,
+                                  size_t max_nodes) {
+  if (!alphabet.IsMaskFree()) {
+    return Status::Unimplemented(
+        "decompilation requires a mask-free alphabet (masked micro-symbols "
+        "would need sign-conjunction masks)");
+  }
+  if (dfa.alphabet_size() != alphabet.size()) {
+    return Status::InvalidArgument("DFA/alphabet size mismatch");
+  }
+  if (dfa.accepting(dfa.start())) {
+    return Status::InvalidArgument(
+        "the DFA accepts the empty string; event languages never contain ε");
+  }
+
+  const size_t m = alphabet.size();
+  const size_t n = dfa.num_states();
+
+  // Building blocks. `not_empty` = Σ⁺ (every point); `len1` = strings of
+  // length exactly 1: the only points with no strictly-earlier point.
+  EventExprPtr not_empty = EventExpr::Not(EventExpr::Empty());
+  EventExprPtr len1 =
+      EventExpr::Not(EventExpr::Prior({not_empty, not_empty}));
+
+  // Per-symbol "last event is this symbol" atoms; OTHER = complement of
+  // the referenced ones.
+  std::vector<EventExprPtr> last_is(m);
+  EventExprPtr any_referenced;
+  for (size_t s = 0; s < m; ++s) {
+    const BasicEvent* spec =
+        alphabet.SpecForSymbol(static_cast<SymbolId>(s));
+    if (spec == nullptr) continue;  // OTHER handled below.
+    last_is[s] = EventExpr::Atom(*spec);
+    any_referenced = any_referenced == nullptr
+                         ? last_is[s]
+                         : EventExpr::Or(any_referenced, last_is[s]);
+  }
+  {
+    SymbolId other = alphabet.other_symbol();
+    last_is[other] = any_referenced == nullptr
+                         ? not_empty  // Alphabet = {OTHER} alone.
+                         : EventExpr::Not(any_referenced);
+  }
+
+  /// Single-symbol language for a set of symbols: (last ∈ S) ∧ length 1.
+  auto one_step = [&](const SymbolSet& set) -> Lang {
+    EventExprPtr last;
+    size_t count = 0;
+    set.ForEach([&](SymbolId s) {
+      last = last == nullptr ? last_is[s] : EventExpr::Or(last, last_is[s]);
+      ++count;
+    });
+    if (last == nullptr) return Zero();
+    return Lang{false, EventExpr::And(last, len1), count + 2};
+  };
+
+  // Generalized-automaton matrix over nodes {0 = virtual start,
+  // 1..n = DFA states, n+1 = virtual end}.
+  const size_t total = n + 2;
+  std::vector<std::vector<Lang>> r(total, std::vector<Lang>(total));
+  r[0][1 + dfa.start()] = Epsilon();
+  for (size_t s = 0; s < n; ++s) {
+    // Group this state's moves by target so each edge is one symbol set.
+    std::vector<SymbolSet> to_target(n, SymbolSet(m));
+    for (size_t sym = 0; sym < m; ++sym) {
+      to_target[dfa.Step(static_cast<Dfa::State>(s),
+                         static_cast<SymbolId>(sym))]
+          .Add(static_cast<SymbolId>(sym));
+    }
+    for (size_t t = 0; t < n; ++t) {
+      if (!to_target[t].Empty()) r[1 + s][1 + t] = one_step(to_target[t]);
+    }
+    if (dfa.accepting(static_cast<Dfa::State>(s))) {
+      r[1 + s][n + 1] = Epsilon();
+    }
+  }
+
+  // Eliminate DFA-state nodes one by one.
+  size_t budget_used = 0;
+  for (size_t k = 1; k <= n; ++k) {
+    Lang loop = StarLang(r[k][k]);
+    for (size_t i = 0; i < total; ++i) {
+      if (i == k || r[i][k].IsZero()) continue;
+      for (size_t j = 0; j < total; ++j) {
+        if (j == k || r[k][j].IsZero()) continue;
+        Lang path = ConcatLang(ConcatLang(r[i][k], loop), r[k][j]);
+        r[i][j] = UnionLang(r[i][j], path);
+        budget_used += path.size;
+        if (budget_used > max_nodes) {
+          return Status::ResourceExhausted(StrFormat(
+              "decompilation exceeded %zu expression nodes "
+              "(state elimination blowup)",
+              max_nodes));
+        }
+      }
+    }
+    for (size_t i = 0; i < total; ++i) {
+      r[i][k] = Zero();
+      r[k][i] = Zero();
+    }
+  }
+
+  Lang language = r[0][n + 1];
+  if (language.eps) {
+    return Status::Internal(
+        "eliminated automaton accepts ε despite the start-state check");
+  }
+  if (language.expr == nullptr) return EventExpr::Empty();
+  return language.expr;
+}
+
+}  // namespace ode

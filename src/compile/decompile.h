@@ -1,0 +1,40 @@
+#ifndef ODE_COMPILE_DECOMPILE_H_
+#define ODE_COMPILE_DECOMPILE_H_
+
+#include "automaton/dfa.h"
+#include "common/result.h"
+#include "compile/alphabet.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+/// The converse direction of the §4 equivalence theorem: from any finite
+/// automaton over a trigger alphabet, construct an event expression with
+/// the same occurrence semantics. Together with the compiler this makes
+/// the paper's "expressive power is exactly the regular grammars" claim
+/// executable in both directions (the paper defers the proof to [10]).
+///
+/// The construction is classical state elimination, carried out in the
+/// event algebra itself:
+///   * union            → `|`
+///   * concatenation    → `relative`  (L(relative(E,F)) = L(E)·L(F), §4)
+///   * Kleene plus      → `relative+`
+///   * one-symbol steps → `atom & !prior(!empty, !empty)` — an occurrence
+///     at exactly the first history point (strings of length 1), since
+///     L(!prior(!empty, !empty)) = Σ (see tests).
+/// The OTHER symbol (events the trigger does not mention) is expressed as
+/// `!(a₁ | … | aₖ)` over the alphabet's atoms — the complement of
+/// "last event is one of the referenced ones" is "last event is OTHER".
+///
+/// Restrictions: the alphabet must be mask-free (masked micro-symbols
+/// would need sign-conjunction masks; kUnimplemented), and the DFA must
+/// not accept ε (event languages never do). Expressions produced this way
+/// are large (state elimination is exponential in the worst case) — this
+/// is a theory tool and test oracle, not a production path; `max_nodes`
+/// guards the blowup.
+Result<EventExprPtr> DecompileDfa(const Dfa& dfa, const Alphabet& alphabet,
+                                  size_t max_nodes = 1 << 20);
+
+}  // namespace ode
+
+#endif  // ODE_COMPILE_DECOMPILE_H_

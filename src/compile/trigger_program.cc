@@ -1,0 +1,59 @@
+#include "compile/trigger_program.h"
+
+#include "automaton/committed_transform.h"
+#include "automaton/minimize.h"
+
+namespace ode {
+
+std::string_view HistoryViewName(HistoryView view) {
+  switch (view) {
+    case HistoryView::kFull:
+      return "full";
+    case HistoryView::kCommitted:
+      return "committed";
+    case HistoryView::kCommittedViaTransform:
+      return "committed-via-transform";
+  }
+  return "?";
+}
+
+Result<TriggerProgram> CompileTrigger(TriggerSpec spec, HistoryView view,
+                                      const CompileOptions& options) {
+  TriggerProgram out;
+  out.view = view;
+
+  CompileOptions opts = options;
+  if (view == HistoryView::kCommittedViaTransform) {
+    opts.include_txn_markers = true;
+  }
+
+  Result<CompiledEvent> compiled = CompileEvent(spec.event, opts);
+  if (!compiled.ok()) return compiled.status();
+  out.event = std::move(*compiled);
+  out.spec = std::move(spec);
+
+  if (view == HistoryView::kCommittedViaTransform) {
+    // Marker sets live in the base alphabet; the automaton runs over the
+    // gate-extended alphabet, so lift them.
+    TxnMarkerSymbols base = out.event.alphabet.txn_markers();
+    TxnMarkerSymbols ext;
+    ext.tbegin = out.event.ExtendSet(base.tbegin);
+    ext.tcommit = out.event.ExtendSet(base.tcommit);
+    ext.tabort = out.event.ExtendSet(base.tabort);
+    Result<Dfa> transformed =
+        BuildCommittedTransform(out.event.dfa, ext, opts.max_states);
+    if (!transformed.ok()) return transformed.status();
+    out.committed_dfa = Minimize(*transformed);
+  }
+  return out;
+}
+
+Result<TriggerProgram> CompileTriggerText(std::string_view text,
+                                          HistoryView view,
+                                          const CompileOptions& options) {
+  Result<TriggerSpec> spec = ParseTriggerSpec(text);
+  if (!spec.ok()) return spec.status();
+  return CompileTrigger(std::move(*spec), view, options);
+}
+
+}  // namespace ode

@@ -1,0 +1,98 @@
+#ifndef ODE_EVENT_BASIC_EVENT_H_
+#define ODE_EVENT_BASIC_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/time_spec.h"
+
+namespace ode {
+
+/// The paper's alphabet of basic-event categories (§3.1).
+enum class BasicEventKind : uint8_t {
+  kCreate = 0,  ///< Object creation (after only).
+  kDelete,      ///< Object deletion (before only).
+  kUpdate,      ///< Object updated through a public member function.
+  kRead,        ///< Object read (only) through a public member function.
+  kAccess,      ///< Object accessed (read or update).
+  kMethod,      ///< A specific member function execution.
+  kTbegin,      ///< Transaction begin (after only).
+  kTcomplete,   ///< Transaction code complete, about to commit (before only).
+  kTcommit,     ///< Transaction commit (after only; `before tcommit` illegal).
+  kTabort,      ///< Transaction abort (before or after).
+  kTime,        ///< A time event (at / every / after time-spec).
+};
+
+/// `before` / `after` qualifier (§3.1). Time events carry kNone.
+enum class EventQualifier : uint8_t { kBefore = 0, kAfter, kNone };
+
+/// How a TimeSpec is interpreted for a kTime basic event (§3.1).
+enum class TimeEventMode : uint8_t {
+  kAt = 0,  ///< `at time-spec`: pattern match on the calendar.
+  kEvery,   ///< `every time-period`: periodic from trigger activation.
+  kAfter,   ///< `after time-period`: once, period after trigger activation.
+};
+
+std::string_view BasicEventKindName(BasicEventKind kind);
+std::string_view EventQualifierName(EventQualifier q);
+std::string_view TimeEventModeName(TimeEventMode mode);
+
+/// A formal parameter declaration in a method-event specification,
+/// e.g. `after withdraw(Item i, int q)` has params {Item i, int q}.
+struct ParamDecl {
+  std::string type_name;
+  std::string name;
+
+  bool operator==(const ParamDecl&) const = default;
+};
+
+/// A *basic event* specification: one symbol of the paper's §3.1 alphabet.
+///
+/// Identity (operator==, CanonicalKey) distinguishes events that the
+/// detection machinery must treat as different history symbols.
+struct BasicEvent {
+  BasicEventKind kind = BasicEventKind::kMethod;
+  EventQualifier qualifier = EventQualifier::kAfter;
+
+  /// kMethod only: the member-function name.
+  std::string method_name;
+  /// kMethod only: optional signature used to disambiguate overloads and to
+  /// name parameters for masks. Empty means "match by name alone".
+  std::vector<ParamDecl> params;
+
+  /// kTime only.
+  TimeEventMode time_mode = TimeEventMode::kAt;
+  TimeSpec time_spec;
+
+  /// --- Factories -------------------------------------------------------
+  static BasicEvent Make(BasicEventKind kind, EventQualifier q);
+  static BasicEvent Method(EventQualifier q, std::string name,
+                           std::vector<ParamDecl> params = {});
+  static BasicEvent Time(TimeEventMode mode, TimeSpec spec);
+
+  /// Checks the paper's legality rules: `after create`, `before delete`,
+  /// before/after for update/read/access/method/tabort, `after tbegin`,
+  /// `before tcomplete`, `after tcommit`; everything else rejected
+  /// (in particular `before tcommit`, §3.1).
+  Status Validate() const;
+
+  /// Stable string identity, e.g. "after:method:withdraw/2" or
+  /// "at:time(HR=9)". Two BasicEvents with equal keys are the same
+  /// history symbol.
+  std::string CanonicalKey() const;
+
+  /// Human-oriented display form matching the paper's syntax,
+  /// e.g. "after withdraw(Item i, int q)".
+  std::string ToString() const;
+
+  bool operator==(const BasicEvent& other) const;
+};
+
+/// True if the (kind, qualifier) pair is legal per §3.1.
+bool IsLegalQualifier(BasicEventKind kind, EventQualifier q);
+
+}  // namespace ode
+
+#endif  // ODE_EVENT_BASIC_EVENT_H_

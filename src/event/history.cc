@@ -1,0 +1,23 @@
+#include "event/history.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+uint64_t EventHistory::Append(PostedEvent event) {
+  event.seq = events_.size() + 1;
+  events_.push_back(std::move(event));
+  return events_.back().seq;
+}
+
+std::string EventHistory::ToString() const {
+  std::string out;
+  for (const PostedEvent& e : events_) {
+    out += StrFormat("%4llu: ", static_cast<unsigned long long>(e.seq));
+    out += e.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,46 @@
+#ifndef ODE_EVENT_HISTORY_H_
+#define ODE_EVENT_HISTORY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "event/posted_event.h"
+
+namespace ode {
+
+/// An *event history* (§3.4): the ordered sequence of logical events posted
+/// to one object. Positions are 1-based, matching the paper's "point"
+/// numbering; the implicit `start` pseudo-event sits at position 0.
+///
+/// The history is append-only. Suffix views (used by the `relative`
+/// semantics, §4) are expressed as offsets — no copying.
+class EventHistory {
+ public:
+  EventHistory() = default;
+
+  /// Appends an occurrence, assigning its 1-based seq number. Returns the
+  /// position.
+  uint64_t Append(PostedEvent event);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// 1-based access (position 1 is the first posted event).
+  const PostedEvent& at(uint64_t pos) const { return events_[pos - 1]; }
+
+  const std::vector<PostedEvent>& events() const { return events_; }
+
+  /// Drops all events (used when an object's monitoring is reset).
+  void Clear() { events_.clear(); }
+
+  /// Multi-line dump for debugging/tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<PostedEvent> events_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_EVENT_HISTORY_H_

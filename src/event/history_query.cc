@@ -1,0 +1,129 @@
+#include "event/history_query.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+HistoryQuery HistoryQuery::Over(const EventHistory& history) {
+  std::vector<const PostedEvent*> events;
+  events.reserve(history.size());
+  for (const PostedEvent& e : history.events()) events.push_back(&e);
+  return HistoryQuery(std::move(events));
+}
+
+HistoryQuery HistoryQuery::Filtered(const Predicate& pred) const {
+  std::vector<const PostedEvent*> out;
+  for (const PostedEvent* e : events_) {
+    if (pred(*e)) out.push_back(e);
+  }
+  return HistoryQuery(std::move(out));
+}
+
+HistoryQuery HistoryQuery::Matching(const BasicEvent& spec) const {
+  return Filtered([&spec](const PostedEvent& e) { return e.Matches(spec); });
+}
+
+HistoryQuery HistoryQuery::Method(std::string_view name,
+                                  EventQualifier q) const {
+  std::string method(name);
+  return Filtered([method, q](const PostedEvent& e) {
+    return e.kind == BasicEventKind::kMethod && e.method_name == method &&
+           (q == EventQualifier::kNone || e.qualifier == q);
+  });
+}
+
+HistoryQuery HistoryQuery::Kind(BasicEventKind kind) const {
+  return Filtered([kind](const PostedEvent& e) { return e.kind == kind; });
+}
+
+HistoryQuery HistoryQuery::InTxn(TxnId txn) const {
+  return Filtered([txn](const PostedEvent& e) { return e.txn == txn; });
+}
+
+HistoryQuery HistoryQuery::Between(TimeMs from, TimeMs to) const {
+  return Filtered([from, to](const PostedEvent& e) {
+    return e.time >= from && e.time <= to;
+  });
+}
+
+HistoryQuery HistoryQuery::After(uint64_t seq) const {
+  return Filtered([seq](const PostedEvent& e) { return e.seq > seq; });
+}
+
+HistoryQuery HistoryQuery::Where(const Predicate& pred) const {
+  return Filtered(pred);
+}
+
+HistoryQuery HistoryQuery::SinceLast(const BasicEvent& spec) const {
+  uint64_t anchor = 0;
+  for (const PostedEvent* e : events_) {
+    if (e->Matches(spec)) anchor = e->seq;
+  }
+  return After(anchor);
+}
+
+const PostedEvent* HistoryQuery::First() const {
+  return events_.empty() ? nullptr : events_.front();
+}
+
+const PostedEvent* HistoryQuery::Last() const {
+  return events_.empty() ? nullptr : events_.back();
+}
+
+namespace {
+
+Result<Value> ArgOf(const PostedEvent& e, std::string_view arg_name) {
+  const Value* v = e.FindArg(arg_name);
+  if (v == nullptr) {
+    return Status::NotFound(StrFormat(
+        "event at position %llu has no argument '%s'",
+        static_cast<unsigned long long>(e.seq),
+        std::string(arg_name).c_str()));
+  }
+  if (!v->IsNumeric()) {
+    return Status::InvalidArgument(StrFormat(
+        "argument '%s' is not numeric", std::string(arg_name).c_str()));
+  }
+  return *v;
+}
+
+}  // namespace
+
+Result<Value> HistoryQuery::SumArg(std::string_view arg_name) const {
+  Value total(0);
+  for (const PostedEvent* e : events_) {
+    ODE_ASSIGN_OR_RETURN(Value v, ArgOf(*e, arg_name));
+    ODE_ASSIGN_OR_RETURN(total, total.Add(v));
+  }
+  return total;
+}
+
+Result<Value> HistoryQuery::MinArg(std::string_view arg_name) const {
+  if (events_.empty()) {
+    return Status::FailedPrecondition("Min over an empty selection");
+  }
+  ODE_ASSIGN_OR_RETURN(Value best, ArgOf(*events_.front(), arg_name));
+  for (size_t i = 1; i < events_.size(); ++i) {
+    ODE_ASSIGN_OR_RETURN(Value v, ArgOf(*events_[i], arg_name));
+    ODE_ASSIGN_OR_RETURN(int cmp, v.Compare(best));
+    if (cmp < 0) best = v;
+  }
+  return best;
+}
+
+Result<Value> HistoryQuery::MaxArg(std::string_view arg_name) const {
+  if (events_.empty()) {
+    return Status::FailedPrecondition("Max over an empty selection");
+  }
+  ODE_ASSIGN_OR_RETURN(Value best, ArgOf(*events_.front(), arg_name));
+  for (size_t i = 1; i < events_.size(); ++i) {
+    ODE_ASSIGN_OR_RETURN(Value v, ArgOf(*events_[i], arg_name));
+    ODE_ASSIGN_OR_RETURN(int cmp, v.Compare(best));
+    if (cmp > 0) best = v;
+  }
+  return best;
+}
+
+}  // namespace ode

@@ -1,0 +1,78 @@
+#ifndef ODE_EVENT_HISTORY_QUERY_H_
+#define ODE_EVENT_HISTORY_QUERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "event/basic_event.h"
+#include "event/history.h"
+
+namespace ode {
+
+/// §9 "history expressions": a fluent, explicit query interface over an
+/// object's event history, complementing the automaton path (which never
+/// needs the history) for analysis and debugging. Queries are value
+/// objects holding pointers into the underlying history; the history must
+/// outlive the query.
+///
+///   int64_t large = HistoryQuery::Over(*db.history(acct))
+///                       .Method("withdraw", EventQualifier::kAfter)
+///                       .Where([](const PostedEvent& e) {
+///                         return e.FindArg("q")->AsInt().value() > 100;
+///                       })
+///                       .Count();
+class HistoryQuery {
+ public:
+  using Predicate = std::function<bool(const PostedEvent&)>;
+
+  static HistoryQuery Over(const EventHistory& history);
+
+  /// --- Filters (each returns a narrowed query) --------------------------
+
+  /// Events matching a basic-event specification.
+  HistoryQuery Matching(const BasicEvent& spec) const;
+  /// Method events by name (and qualifier unless kNone is passed).
+  HistoryQuery Method(std::string_view name,
+                      EventQualifier q = EventQualifier::kNone) const;
+  /// Events of one kind (any qualifier).
+  HistoryQuery Kind(BasicEventKind kind) const;
+  /// Events posted by the given transaction.
+  HistoryQuery InTxn(TxnId txn) const;
+  /// Events with occurrence time in [from, to].
+  HistoryQuery Between(TimeMs from, TimeMs to) const;
+  /// Events strictly after history position `seq`.
+  HistoryQuery After(uint64_t seq) const;
+  /// Arbitrary predicate.
+  HistoryQuery Where(const Predicate& pred) const;
+  /// The suffix starting right after the *last* event matching `spec` —
+  /// the `relative` truncation (§4) as an explicit history operation.
+  HistoryQuery SinceLast(const BasicEvent& spec) const;
+
+  /// --- Terminals --------------------------------------------------------
+
+  size_t Count() const { return events_.size(); }
+  bool Empty() const { return events_.empty(); }
+  const PostedEvent* First() const;
+  const PostedEvent* Last() const;
+  std::vector<const PostedEvent*> All() const { return events_; }
+
+  /// Numeric aggregation over a named argument; errors if any matching
+  /// event lacks the argument or it is non-numeric. Sum of zero events is
+  /// int 0; Min/Max of zero events is an error.
+  Result<Value> SumArg(std::string_view arg_name) const;
+  Result<Value> MinArg(std::string_view arg_name) const;
+  Result<Value> MaxArg(std::string_view arg_name) const;
+
+ private:
+  explicit HistoryQuery(std::vector<const PostedEvent*> events)
+      : events_(std::move(events)) {}
+
+  HistoryQuery Filtered(const Predicate& pred) const;
+
+  std::vector<const PostedEvent*> events_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_EVENT_HISTORY_QUERY_H_

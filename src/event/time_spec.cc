@@ -1,0 +1,284 @@
+#include "event/time_spec.h"
+
+#include <array>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+namespace {
+constexpr int64_t kMsPerSecond = 1000;
+constexpr int64_t kMsPerMinute = 60 * kMsPerSecond;
+constexpr int64_t kMsPerHour = 60 * kMsPerMinute;
+constexpr int64_t kMsPerDay = 24 * kMsPerHour;
+}  // namespace
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  year -= month <= 2;
+  const int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(year - era * 400);
+  const unsigned doy =
+      (153 * (month + (month > 2 ? -3 : 9)) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  days += 719468;
+  const int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  *day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  *month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  *year = static_cast<int>(y + (*month <= 2));
+}
+
+TimeMs ToEpochMs(const DateTime& dt) {
+  int64_t days = DaysFromCivil(dt.year, dt.month, dt.day);
+  return days * kMsPerDay + dt.hour * kMsPerHour + dt.minute * kMsPerMinute +
+         dt.second * kMsPerSecond + dt.ms;
+}
+
+DateTime FromEpochMs(TimeMs t) {
+  int64_t days = t / kMsPerDay;
+  int64_t rem = t % kMsPerDay;
+  if (rem < 0) {
+    rem += kMsPerDay;
+    days -= 1;
+  }
+  DateTime dt;
+  CivilFromDays(days, &dt.year, &dt.month, &dt.day);
+  dt.hour = static_cast<int>(rem / kMsPerHour);
+  rem %= kMsPerHour;
+  dt.minute = static_cast<int>(rem / kMsPerMinute);
+  rem %= kMsPerMinute;
+  dt.second = static_cast<int>(rem / kMsPerSecond);
+  dt.ms = static_cast<int>(rem % kMsPerSecond);
+  return dt;
+}
+
+int DaysInMonth(int year, int month) {
+  static constexpr int kDays[12] = {31, 28, 31, 30, 31, 30,
+                                    31, 31, 30, 31, 30, 31};
+  if (month == 2) {
+    bool leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    return leap ? 29 : 28;
+  }
+  return kDays[month - 1];
+}
+
+Status TimeSpec::ValidateAsPattern() const {
+  if (empty()) {
+    return Status::InvalidArgument("time specification has no fields");
+  }
+  if (year && *year < 1) return Status::InvalidArgument("YR must be >= 1");
+  if (month && (*month < 1 || *month > 12)) {
+    return Status::InvalidArgument("MON must be in 1..12");
+  }
+  if (day && (*day < 1 || *day > 31)) {
+    return Status::InvalidArgument("DAY must be in 1..31");
+  }
+  if (hour && (*hour < 0 || *hour > 23)) {
+    return Status::InvalidArgument("HR must be in 0..23");
+  }
+  if (minute && (*minute < 0 || *minute > 59)) {
+    return Status::InvalidArgument("M must be in 0..59");
+  }
+  if (second && (*second < 0 || *second > 59)) {
+    return Status::InvalidArgument("SEC must be in 0..59");
+  }
+  if (ms && (*ms < 0 || *ms > 999)) {
+    return Status::InvalidArgument("MS must be in 0..999");
+  }
+  return Status::OK();
+}
+
+Result<int64_t> TimeSpec::AsPeriodMs() const {
+  if (empty()) {
+    return Status::InvalidArgument("time period has no fields");
+  }
+  int64_t total = 0;
+  auto add = [&total](const std::optional<int>& f, int64_t unit) -> Status {
+    if (!f) return Status::OK();
+    if (*f < 0) return Status::InvalidArgument("negative time period field");
+    total += static_cast<int64_t>(*f) * unit;
+    return Status::OK();
+  };
+  ODE_RETURN_IF_ERROR(add(year, 365 * kMsPerDay));
+  ODE_RETURN_IF_ERROR(add(month, 30 * kMsPerDay));
+  ODE_RETURN_IF_ERROR(add(day, kMsPerDay));
+  ODE_RETURN_IF_ERROR(add(hour, kMsPerHour));
+  ODE_RETURN_IF_ERROR(add(minute, kMsPerMinute));
+  ODE_RETURN_IF_ERROR(add(second, kMsPerSecond));
+  ODE_RETURN_IF_ERROR(add(ms, 1));
+  if (total <= 0) {
+    return Status::InvalidArgument("time period must be positive");
+  }
+  return total;
+}
+
+namespace {
+
+// Effective per-field pattern: -1 means wildcard, otherwise the fixed value.
+// Index: 0=year 1=month 2=day 3=hour 4=minute 5=second 6=ms.
+struct EffectivePattern {
+  std::array<int, 7> fixed;
+};
+
+EffectivePattern MakeEffective(const TimeSpec& spec) {
+  std::array<std::optional<int>, 7> raw = {spec.year,   spec.month,
+                                           spec.day,    spec.hour,
+                                           spec.minute, spec.second,
+                                           spec.ms};
+  int finest = -1;
+  for (int i = 0; i < 7; ++i) {
+    if (raw[i]) finest = i;
+  }
+  static constexpr int kMinValue[7] = {0, 1, 1, 0, 0, 0, 0};
+  EffectivePattern p;
+  for (int i = 0; i < 7; ++i) {
+    if (raw[i]) {
+      p.fixed[i] = *raw[i];
+    } else if (i > finest) {
+      // Fields finer than the finest specified default to their minimum.
+      p.fixed[i] = kMinValue[i];
+    } else {
+      p.fixed[i] = -1;  // Wildcard.
+    }
+  }
+  return p;
+}
+
+int FieldOf(const DateTime& dt, int i) {
+  switch (i) {
+    case 0: return dt.year;
+    case 1: return dt.month;
+    case 2: return dt.day;
+    case 3: return dt.hour;
+    case 4: return dt.minute;
+    case 5: return dt.second;
+    default: return dt.ms;
+  }
+}
+
+void SetField(DateTime* dt, int i, int v) {
+  switch (i) {
+    case 0: dt->year = v; break;
+    case 1: dt->month = v; break;
+    case 2: dt->day = v; break;
+    case 3: dt->hour = v; break;
+    case 4: dt->minute = v; break;
+    case 5: dt->second = v; break;
+    default: dt->ms = v; break;
+  }
+}
+
+int MinValue(int i) {
+  static constexpr int kMinValue[7] = {0, 1, 1, 0, 0, 0, 0};
+  return kMinValue[i];
+}
+
+int MaxValue(const DateTime& dt, int i, int max_year) {
+  switch (i) {
+    case 0: return max_year;
+    case 1: return 12;
+    case 2: return DaysInMonth(dt.year, dt.month);
+    case 3: return 23;
+    case 4: return 59;
+    case 5: return 59;
+    default: return 999;
+  }
+}
+
+}  // namespace
+
+bool TimeSpec::Matches(const DateTime& dt) const {
+  EffectivePattern p = MakeEffective(*this);
+  for (int i = 0; i < 7; ++i) {
+    if (p.fixed[i] >= 0 && FieldOf(dt, i) != p.fixed[i]) return false;
+  }
+  return true;
+}
+
+Result<TimeMs> TimeSpec::NextMatchAfter(TimeMs after, int horizon_days) const {
+  ODE_RETURN_IF_ERROR(ValidateAsPattern());
+  EffectivePattern p = MakeEffective(*this);
+  DateTime cand = FromEpochMs(after + 1);
+  const int max_year = FromEpochMs(after).year + horizon_days / 365 + 2;
+
+  // Sets fields finer than `level` to their minimum value.
+  auto reset_finer = [&cand](int level) {
+    for (int j = level + 1; j < 7; ++j) SetField(&cand, j, MinValue(j));
+  };
+  // Increments the nearest wildcard field at index <= level (cascading
+  // further up on overflow). Returns false if impossible.
+  auto carry = [&](int level) -> bool {
+    for (int j = level; j >= 0; --j) {
+      if (p.fixed[j] >= 0) continue;  // Fixed field: cannot change.
+      int v = FieldOf(cand, j) + 1;
+      if (v > MaxValue(cand, j, max_year)) {
+        SetField(&cand, j, MinValue(j));
+        continue;  // Overflow: keep carrying upward.
+      }
+      SetField(&cand, j, v);
+      reset_finer(j);
+      return true;
+    }
+    return false;
+  };
+
+  for (int guard = 0; guard < 200000; ++guard) {
+    bool restart = false;
+    for (int i = 0; i < 7 && !restart; ++i) {
+      int cur = FieldOf(cand, i);
+      if (p.fixed[i] >= 0) {
+        if (cur < p.fixed[i]) {
+          // Day values may exceed the month's length; treat as carry.
+          if (i == 2 && p.fixed[i] > MaxValue(cand, i, max_year)) {
+            if (!carry(i - 1)) return Status::OutOfRange("no matching time");
+            restart = true;
+            break;
+          }
+          SetField(&cand, i, p.fixed[i]);
+          reset_finer(i);
+        } else if (cur > p.fixed[i]) {
+          if (!carry(i - 1)) return Status::OutOfRange("no matching time");
+          restart = true;
+        }
+      } else if (cur > MaxValue(cand, i, max_year)) {
+        if (!carry(i - 1)) return Status::OutOfRange("no matching time");
+        restart = true;
+      }
+    }
+    if (restart) continue;
+    // Re-check day-of-month validity (e.g. fixed DAY=31 in a 30-day month).
+    if (cand.day > DaysInMonth(cand.year, cand.month)) {
+      if (!carry(1)) return Status::OutOfRange("no matching time");
+      continue;
+    }
+    TimeMs t = ToEpochMs(cand);
+    if (t - after > static_cast<int64_t>(horizon_days) * kMsPerDay) {
+      return Status::OutOfRange("no matching time within horizon");
+    }
+    return t;
+  }
+  return Status::OutOfRange("time pattern search did not converge");
+}
+
+std::string TimeSpec::ToString() const {
+  std::vector<std::string> parts;
+  if (year) parts.push_back(StrFormat("YR=%d", *year));
+  if (month) parts.push_back(StrFormat("MON=%d", *month));
+  if (day) parts.push_back(StrFormat("DAY=%d", *day));
+  if (hour) parts.push_back(StrFormat("HR=%d", *hour));
+  if (minute) parts.push_back(StrFormat("M=%d", *minute));
+  if (second) parts.push_back(StrFormat("SEC=%d", *second));
+  if (ms) parts.push_back(StrFormat("MS=%d", *ms));
+  return "time(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace ode

@@ -1,0 +1,96 @@
+#ifndef ODE_EVENT_TIME_SPEC_H_
+#define ODE_EVENT_TIME_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace ode {
+
+/// Milliseconds since the epoch of the virtual clock
+/// (1970-01-01 00:00:00.000 in the proleptic Gregorian calendar).
+using TimeMs = int64_t;
+
+/// A broken-down civil time in the proleptic Gregorian calendar.
+struct DateTime {
+  int year = 1970;
+  int month = 1;   ///< 1..12
+  int day = 1;     ///< 1..31
+  int hour = 0;    ///< 0..23
+  int minute = 0;  ///< 0..59
+  int second = 0;  ///< 0..59
+  int ms = 0;      ///< 0..999
+
+  bool operator==(const DateTime&) const = default;
+};
+
+/// Days since 1970-01-01 for a civil date (Hinnant's algorithm).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+/// Converts a civil DateTime to epoch milliseconds.
+TimeMs ToEpochMs(const DateTime& dt);
+
+/// Converts epoch milliseconds to a civil DateTime.
+DateTime FromEpochMs(TimeMs t);
+
+/// Number of days in the given month (handles leap years).
+int DaysInMonth(int year, int month);
+
+/// The paper's time specification (§3.1):
+///
+///   time(YR=year, MON=month, DAY=day, HR=hour, M=minute, SEC=s, MS=ms)
+///
+/// with any item possibly omitted. A TimeSpec is used in two roles:
+///
+///  * As a *pattern* for `at time(...)`: the event occurs whenever the
+///    current time matches every specified field. Fields coarser than the
+///    coarsest specified field are wildcards; fields finer than the finest
+///    specified field are implicitly zero (so `at time(HR=9)` means "every
+///    day at 09:00:00.000" and `at time(M=30)` means "every hour at :30").
+///  * As a *period* for `every time(...)` / `after time(...)`: the fields
+///    are summed into a duration (YR = 365 days and MON = 30 days, a
+///    documented simplification for period arithmetic).
+struct TimeSpec {
+  std::optional<int> year;
+  std::optional<int> month;
+  std::optional<int> day;
+  std::optional<int> hour;
+  std::optional<int> minute;
+  std::optional<int> second;
+  std::optional<int> ms;
+
+  bool operator==(const TimeSpec&) const = default;
+
+  /// True if no field is specified.
+  bool empty() const {
+    return !year && !month && !day && !hour && !minute && !second && !ms;
+  }
+
+  /// Validates field ranges (month 1..12, hour 0..23, ...), pattern role.
+  Status ValidateAsPattern() const;
+
+  /// Duration in milliseconds for the period role. Errors if empty or if
+  /// any field is negative.
+  Result<int64_t> AsPeriodMs() const;
+
+  /// True if the civil time `dt` matches this pattern (wildcard/zero rules
+  /// described above).
+  bool Matches(const DateTime& dt) const;
+
+  /// The earliest time strictly greater than `after` matching this pattern,
+  /// or an error if no match exists within `horizon_days` days (guards
+  /// impossible patterns like DAY=31 with MON=2).
+  Result<TimeMs> NextMatchAfter(TimeMs after, int horizon_days = 1500) const;
+
+  /// Canonical display form, e.g. "time(HR=9, M=30)".
+  std::string ToString() const;
+};
+
+}  // namespace ode
+
+#endif  // ODE_EVENT_TIME_SPEC_H_

@@ -1,0 +1,178 @@
+#include "lang/builder.h"
+
+#include "lang/mask_parser.h"
+
+namespace ode {
+namespace builder {
+
+namespace {
+
+Ev Atom(BasicEventKind kind, EventQualifier q) {
+  BasicEvent be = BasicEvent::Make(kind, q);
+  Status s = be.Validate();
+  if (!s.ok()) return Ev::Fail(s.ToString());
+  return Ev(EventExpr::Atom(std::move(be)));
+}
+
+Ev TimeAtom(TimeEventMode mode, TimeSpec spec) {
+  BasicEvent be = BasicEvent::Time(mode, std::move(spec));
+  Status s = be.Validate();
+  if (!s.ok()) return Ev::Fail(s.ToString());
+  return Ev(EventExpr::Atom(std::move(be)));
+}
+
+/// Lifts an n-ary constructor over error propagation.
+template <typename Fn>
+Ev Nary(std::initializer_list<Ev> events, Fn build) {
+  std::vector<const Ev*> ptrs;
+  for (const Ev& e : events) ptrs.push_back(&e);
+  for (const Ev* e : ptrs) {
+    if (!e->error().empty()) return Ev::Fail(e->error());
+    if (e->ptr() == nullptr) return Ev::Fail("empty event in combinator");
+  }
+  std::vector<EventExprPtr> children;
+  children.reserve(ptrs.size());
+  for (const Ev* e : ptrs) children.push_back(e->ptr());
+  return build(std::move(children));
+}
+
+Ev Unary(const Ev& e, EventExprPtr (*build)(EventExprPtr)) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  if (e.ptr() == nullptr) return Ev::Fail("empty event in combinator");
+  return Ev(build(e.ptr()));
+}
+
+}  // namespace
+
+Ev Ev::Where(std::string_view mask_text) const {
+  if (!error_.empty()) return *this;
+  if (expr_ == nullptr) return Fail("Where() on an empty event");
+  Result<MaskExprPtr> mask = ParseMask(mask_text);
+  if (!mask.ok()) return Fail(mask.status().ToString());
+  if (expr_->kind == EventExprKind::kAtom && expr_->atom_mask == nullptr) {
+    return Ev(EventExpr::Atom(expr_->atom, std::move(*mask)));
+  }
+  return Ev(EventExpr::Masked(expr_, std::move(*mask)));
+}
+
+Ev After(std::string method, std::vector<ParamDecl> params) {
+  return Ev(EventExpr::Atom(BasicEvent::Method(
+      EventQualifier::kAfter, std::move(method), std::move(params))));
+}
+
+Ev Before(std::string method, std::vector<ParamDecl> params) {
+  return Ev(EventExpr::Atom(BasicEvent::Method(
+      EventQualifier::kBefore, std::move(method), std::move(params))));
+}
+
+Ev AfterCreate() { return Atom(BasicEventKind::kCreate, EventQualifier::kAfter); }
+Ev BeforeDelete() { return Atom(BasicEventKind::kDelete, EventQualifier::kBefore); }
+Ev AfterUpdate() { return Atom(BasicEventKind::kUpdate, EventQualifier::kAfter); }
+Ev BeforeUpdate() { return Atom(BasicEventKind::kUpdate, EventQualifier::kBefore); }
+Ev AfterRead() { return Atom(BasicEventKind::kRead, EventQualifier::kAfter); }
+Ev BeforeRead() { return Atom(BasicEventKind::kRead, EventQualifier::kBefore); }
+Ev AfterAccess() { return Atom(BasicEventKind::kAccess, EventQualifier::kAfter); }
+Ev BeforeAccess() { return Atom(BasicEventKind::kAccess, EventQualifier::kBefore); }
+Ev AfterTbegin() { return Atom(BasicEventKind::kTbegin, EventQualifier::kAfter); }
+Ev BeforeTcomplete() {
+  return Atom(BasicEventKind::kTcomplete, EventQualifier::kBefore);
+}
+Ev AfterTcommit() { return Atom(BasicEventKind::kTcommit, EventQualifier::kAfter); }
+Ev BeforeTabort() { return Atom(BasicEventKind::kTabort, EventQualifier::kBefore); }
+Ev AfterTabort() { return Atom(BasicEventKind::kTabort, EventQualifier::kAfter); }
+
+Ev At(TimeSpec spec) { return TimeAtom(TimeEventMode::kAt, std::move(spec)); }
+Ev EveryPeriod(TimeSpec period) {
+  return TimeAtom(TimeEventMode::kEvery, std::move(period));
+}
+Ev AfterPeriod(TimeSpec period) {
+  return TimeAtom(TimeEventMode::kAfter, std::move(period));
+}
+
+Ev Never() { return Ev(EventExpr::Empty()); }
+
+Ev Method(const std::string& name) {
+  return Ev(EventExpr::MethodShorthand(name));
+}
+
+Ev StateReached(std::string_view predicate_text) {
+  Result<MaskExprPtr> mask = ParseMask(predicate_text);
+  if (!mask.ok()) return Ev::Fail(mask.status().ToString());
+  return Ev(EventExpr::StateShorthand(std::move(*mask)));
+}
+
+Ev Or(const Ev& a, const Ev& b) {
+  return Nary({a, b}, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::Or(std::move(c[0]), std::move(c[1])));
+  });
+}
+
+Ev And(const Ev& a, const Ev& b) {
+  return Nary({a, b}, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::And(std::move(c[0]), std::move(c[1])));
+  });
+}
+
+Ev Not(const Ev& a) { return Unary(a, &EventExpr::Not); }
+
+Ev Relative(std::initializer_list<Ev> events) {
+  return Nary(events, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::Relative(std::move(c)));
+  });
+}
+
+Ev RelativePlus(const Ev& e) { return Unary(e, &EventExpr::RelativePlus); }
+
+Ev RelativeN(int64_t n, const Ev& e) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  return Ev(EventExpr::RelativeN(n, e.ptr()));
+}
+
+Ev Prior(std::initializer_list<Ev> events) {
+  return Nary(events, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::Prior(std::move(c)));
+  });
+}
+
+Ev PriorN(int64_t n, const Ev& e) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  return Ev(EventExpr::PriorN(n, e.ptr()));
+}
+
+Ev Sequence(std::initializer_list<Ev> events) {
+  return Nary(events, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::Sequence(std::move(c)));
+  });
+}
+
+Ev SequenceN(int64_t n, const Ev& e) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  return Ev(EventExpr::SequenceN(n, e.ptr()));
+}
+
+Ev Choose(int64_t n, const Ev& e) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  return Ev(EventExpr::Choose(n, e.ptr()));
+}
+
+Ev Every(int64_t n, const Ev& e) {
+  if (!e.error().empty()) return Ev::Fail(e.error());
+  return Ev(EventExpr::Every(n, e.ptr()));
+}
+
+Ev Fa(const Ev& e, const Ev& f, const Ev& g) {
+  return Nary({e, f, g}, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::Fa(std::move(c[0]), std::move(c[1]),
+                            std::move(c[2])));
+  });
+}
+
+Ev FaAbs(const Ev& e, const Ev& f, const Ev& g) {
+  return Nary({e, f, g}, [](std::vector<EventExprPtr> c) {
+    return Ev(EventExpr::FaAbs(std::move(c[0]), std::move(c[1]),
+                               std::move(c[2])));
+  });
+}
+
+}  // namespace builder
+}  // namespace ode

@@ -1,0 +1,120 @@
+#ifndef ODE_LANG_BUILDER_H_
+#define ODE_LANG_BUILDER_H_
+
+#include <initializer_list>
+#include <string>
+
+#include "lang/event_ast.h"
+
+namespace ode {
+namespace builder {
+
+/// A fluent, type-checked C++ alternative to the DSL strings — programs
+/// that assemble trigger events dynamically (or want compiler-checked
+/// structure) build `Ev` values instead of concatenating text:
+///
+///   using namespace ode::builder;
+///   Ev large = After("withdraw", {{"Item", "i"}, {"int", "q"}})
+///                  .Where("q > 1000");
+///   Ev evt = Fa(large, BeforeTcomplete(), AfterTbegin());
+///   trigger_spec.event = evt.ptr();
+///
+/// Ev is a thin immutable wrapper over EventExprPtr; every combinator maps
+/// one-to-one onto a §3.3 operator. Mask texts are parsed eagerly; a parse
+/// error poisons the value and surfaces when `ptr()`/`Build()` is called
+/// (keeping the fluent chain exception- and Status-free mid-expression).
+class Ev {
+ public:
+  /*implicit*/ Ev(EventExprPtr expr) : expr_(std::move(expr)) {}
+
+  /// The built expression; null if any step of the chain failed (call
+  /// `error()` for the diagnostic).
+  EventExprPtr ptr() const { return error_.empty() ? expr_ : nullptr; }
+  const std::string& error() const { return error_; }
+  bool ok() const { return error_.empty() && expr_ != nullptr; }
+
+  /// Validated build — the Status carries the first chain error.
+  Result<EventExprPtr> Build() const {
+    if (!error_.empty()) return Status::ParseError(error_);
+    if (expr_ == nullptr) return Status::InvalidArgument("empty event");
+    ODE_RETURN_IF_ERROR(expr_->Validate());
+    return expr_;
+  }
+
+  /// Attaches a mask (§3.2 on atoms, §3.3 on composites). Text is parsed
+  /// with the DSL mask grammar.
+  Ev Where(std::string_view mask_text) const;
+
+  static Ev Fail(std::string message) {
+    Ev e{EventExprPtr(nullptr)};
+    e.error_ = std::move(message);
+    return e;
+  }
+
+  /// Propagates the first error through a combinator.
+  static const std::string* FirstError(std::initializer_list<const Ev*> evs) {
+    for (const Ev* e : evs) {
+      if (!e->error_.empty()) return &e->error_;
+    }
+    return nullptr;
+  }
+
+ private:
+  EventExprPtr expr_;
+  std::string error_;
+};
+
+/// --- Atoms (§3.1) ---------------------------------------------------------
+
+Ev After(std::string method, std::vector<ParamDecl> params = {});
+Ev Before(std::string method, std::vector<ParamDecl> params = {});
+Ev AfterCreate();
+Ev BeforeDelete();
+Ev AfterUpdate();
+Ev BeforeUpdate();
+Ev AfterRead();
+Ev BeforeRead();
+Ev AfterAccess();
+Ev BeforeAccess();
+Ev AfterTbegin();
+Ev BeforeTcomplete();
+Ev AfterTcommit();
+Ev BeforeTabort();
+Ev AfterTabort();
+Ev At(TimeSpec spec);
+Ev EveryPeriod(TimeSpec period);
+Ev AfterPeriod(TimeSpec period);
+Ev Never();  ///< The empty event set.
+
+/// The §3.3 bare-method shorthand: (before f | after f).
+Ev Method(const std::string& name);
+/// The §3.3 object-state shorthand: (after update | after create) && pred.
+Ev StateReached(std::string_view predicate_text);
+
+/// --- Combinators (§3.3–3.4) -------------------------------------------------
+
+Ev Or(const Ev& a, const Ev& b);
+Ev And(const Ev& a, const Ev& b);
+Ev Not(const Ev& a);
+Ev Relative(std::initializer_list<Ev> events);
+Ev RelativePlus(const Ev& e);
+Ev RelativeN(int64_t n, const Ev& e);
+Ev Prior(std::initializer_list<Ev> events);
+Ev PriorN(int64_t n, const Ev& e);
+Ev Sequence(std::initializer_list<Ev> events);
+Ev SequenceN(int64_t n, const Ev& e);
+Ev Choose(int64_t n, const Ev& e);
+Ev Every(int64_t n, const Ev& e);
+Ev Fa(const Ev& e, const Ev& f, const Ev& g);
+Ev FaAbs(const Ev& e, const Ev& f, const Ev& g);
+
+/// Operator sugar for union, intersection, complement. (&& and || are
+/// deliberately *not* overloaded; use Where for masks.)
+inline Ev operator|(const Ev& a, const Ev& b) { return Or(a, b); }
+inline Ev operator&(const Ev& a, const Ev& b) { return And(a, b); }
+inline Ev operator!(const Ev& a) { return Not(a); }
+
+}  // namespace builder
+}  // namespace ode
+
+#endif  // ODE_LANG_BUILDER_H_

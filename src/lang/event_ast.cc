@@ -1,0 +1,228 @@
+#include "lang/event_ast.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+std::string_view EventExprKindName(EventExprKind kind) {
+  switch (kind) {
+    case EventExprKind::kEmpty: return "empty";
+    case EventExprKind::kAtom: return "atom";
+    case EventExprKind::kOr: return "or";
+    case EventExprKind::kAnd: return "and";
+    case EventExprKind::kNot: return "not";
+    case EventExprKind::kRelative: return "relative";
+    case EventExprKind::kRelativePlus: return "relative+";
+    case EventExprKind::kRelativeN: return "relativeN";
+    case EventExprKind::kPrior: return "prior";
+    case EventExprKind::kPriorN: return "priorN";
+    case EventExprKind::kSequence: return "sequence";
+    case EventExprKind::kSequenceN: return "sequenceN";
+    case EventExprKind::kChoose: return "choose";
+    case EventExprKind::kEvery: return "every";
+    case EventExprKind::kFa: return "fa";
+    case EventExprKind::kFaAbs: return "faAbs";
+    case EventExprKind::kMasked: return "masked";
+    case EventExprKind::kGateAtom: return "gate";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<EventExpr> MakeNode(EventExprKind kind) {
+  auto e = std::make_shared<EventExpr>();
+  e->kind = kind;
+  return e;
+}
+
+EventExprPtr MakeNary(EventExprKind kind, std::vector<EventExprPtr> children) {
+  auto e = MakeNode(kind);
+  e->children = std::move(children);
+  return e;
+}
+
+EventExprPtr MakeCounted(EventExprKind kind, int64_t n, EventExprPtr a) {
+  auto e = MakeNode(kind);
+  e->n = n;
+  e->children.push_back(std::move(a));
+  return e;
+}
+
+}  // namespace
+
+EventExprPtr EventExpr::Empty() { return MakeNode(EventExprKind::kEmpty); }
+
+EventExprPtr EventExpr::Atom(BasicEvent basic, MaskExprPtr mask) {
+  auto e = MakeNode(EventExprKind::kAtom);
+  e->atom = std::move(basic);
+  e->atom_mask = std::move(mask);
+  return e;
+}
+
+EventExprPtr EventExpr::Or(EventExprPtr a, EventExprPtr b) {
+  return MakeNary(EventExprKind::kOr, {std::move(a), std::move(b)});
+}
+
+EventExprPtr EventExpr::And(EventExprPtr a, EventExprPtr b) {
+  return MakeNary(EventExprKind::kAnd, {std::move(a), std::move(b)});
+}
+
+EventExprPtr EventExpr::Not(EventExprPtr a) {
+  return MakeNary(EventExprKind::kNot, {std::move(a)});
+}
+
+EventExprPtr EventExpr::Relative(std::vector<EventExprPtr> children) {
+  return MakeNary(EventExprKind::kRelative, std::move(children));
+}
+
+EventExprPtr EventExpr::RelativePlus(EventExprPtr a) {
+  return MakeNary(EventExprKind::kRelativePlus, {std::move(a)});
+}
+
+EventExprPtr EventExpr::RelativeN(int64_t n, EventExprPtr a) {
+  return MakeCounted(EventExprKind::kRelativeN, n, std::move(a));
+}
+
+EventExprPtr EventExpr::Prior(std::vector<EventExprPtr> children) {
+  return MakeNary(EventExprKind::kPrior, std::move(children));
+}
+
+EventExprPtr EventExpr::PriorN(int64_t n, EventExprPtr a) {
+  return MakeCounted(EventExprKind::kPriorN, n, std::move(a));
+}
+
+EventExprPtr EventExpr::Sequence(std::vector<EventExprPtr> children) {
+  return MakeNary(EventExprKind::kSequence, std::move(children));
+}
+
+EventExprPtr EventExpr::SequenceN(int64_t n, EventExprPtr a) {
+  return MakeCounted(EventExprKind::kSequenceN, n, std::move(a));
+}
+
+EventExprPtr EventExpr::Choose(int64_t n, EventExprPtr a) {
+  return MakeCounted(EventExprKind::kChoose, n, std::move(a));
+}
+
+EventExprPtr EventExpr::Every(int64_t n, EventExprPtr a) {
+  return MakeCounted(EventExprKind::kEvery, n, std::move(a));
+}
+
+EventExprPtr EventExpr::Fa(EventExprPtr e, EventExprPtr f, EventExprPtr g) {
+  return MakeNary(EventExprKind::kFa,
+                  {std::move(e), std::move(f), std::move(g)});
+}
+
+EventExprPtr EventExpr::FaAbs(EventExprPtr e, EventExprPtr f,
+                              EventExprPtr g) {
+  return MakeNary(EventExprKind::kFaAbs,
+                  {std::move(e), std::move(f), std::move(g)});
+}
+
+EventExprPtr EventExpr::Masked(EventExprPtr a, MaskExprPtr mask) {
+  auto e = MakeNode(EventExprKind::kMasked);
+  e->children.push_back(std::move(a));
+  e->mask = std::move(mask);
+  return e;
+}
+
+EventExprPtr EventExpr::GateAtom(int64_t gate_index) {
+  auto e = MakeNode(EventExprKind::kGateAtom);
+  e->n = gate_index;
+  return e;
+}
+
+EventExprPtr EventExpr::MethodShorthand(const std::string& name) {
+  return Or(Atom(BasicEvent::Method(EventQualifier::kBefore, name)),
+            Atom(BasicEvent::Method(EventQualifier::kAfter, name)));
+}
+
+EventExprPtr EventExpr::StateShorthand(MaskExprPtr predicate) {
+  return Or(Atom(BasicEvent::Make(BasicEventKind::kUpdate,
+                                  EventQualifier::kAfter),
+                 predicate),
+            Atom(BasicEvent::Make(BasicEventKind::kCreate,
+                                  EventQualifier::kAfter),
+                 predicate));
+}
+
+Status EventExpr::Validate() const {
+  auto require_children = [this](size_t want) -> Status {
+    if (children.size() != want) {
+      return Status::Internal(
+          StrFormat("%s node expects %zu children, has %zu",
+                    std::string(EventExprKindName(kind)).c_str(), want,
+                    children.size()));
+    }
+    return Status::OK();
+  };
+
+  switch (kind) {
+    case EventExprKind::kEmpty:
+      break;
+    case EventExprKind::kAtom:
+      ODE_RETURN_IF_ERROR(atom.Validate());
+      break;
+    case EventExprKind::kOr:
+    case EventExprKind::kAnd:
+      ODE_RETURN_IF_ERROR(require_children(2));
+      break;
+    case EventExprKind::kNot:
+    case EventExprKind::kRelativePlus:
+    case EventExprKind::kMasked:
+      ODE_RETURN_IF_ERROR(require_children(1));
+      break;
+    case EventExprKind::kRelative:
+    case EventExprKind::kPrior:
+    case EventExprKind::kSequence:
+      if (children.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("%s requires at least one argument",
+                      std::string(EventExprKindName(kind)).c_str()));
+      }
+      break;
+    case EventExprKind::kRelativeN:
+    case EventExprKind::kPriorN:
+    case EventExprKind::kSequenceN:
+    case EventExprKind::kChoose:
+    case EventExprKind::kEvery:
+      ODE_RETURN_IF_ERROR(require_children(1));
+      if (n < 1) {
+        return Status::InvalidArgument(
+            StrFormat("%s requires N >= 1, got %lld",
+                      std::string(EventExprKindName(kind)).c_str(),
+                      static_cast<long long>(n)));
+      }
+      break;
+    case EventExprKind::kFa:
+    case EventExprKind::kFaAbs:
+      ODE_RETURN_IF_ERROR(require_children(3));
+      break;
+    case EventExprKind::kGateAtom:
+      if (n < 0) return Status::Internal("negative gate index");
+      break;
+  }
+  if (kind == EventExprKind::kMasked && mask == nullptr) {
+    return Status::Internal("masked node without a mask");
+  }
+  for (const EventExprPtr& c : children) {
+    ODE_RETURN_IF_ERROR(c->Validate());
+  }
+  return Status::OK();
+}
+
+void EventExpr::CollectAtoms(std::vector<const EventExpr*>* out) const {
+  if (kind == EventExprKind::kAtom) {
+    out->push_back(this);
+    return;
+  }
+  for (const EventExprPtr& c : children) c->CollectAtoms(out);
+}
+
+size_t EventExpr::NodeCount() const {
+  size_t count = 1;
+  for (const EventExprPtr& c : children) count += c->NodeCount();
+  return count;
+}
+
+}  // namespace ode

@@ -1,0 +1,110 @@
+#ifndef ODE_LANG_EVENT_AST_H_
+#define ODE_LANG_EVENT_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "event/basic_event.h"
+#include "mask/mask_ast.h"
+
+namespace ode {
+
+/// Node discriminator for composite-event expressions (§3.3 BNF).
+enum class EventExprKind : uint8_t {
+  kEmpty,         ///< ∅ — the empty set of logical events (§4 item 1).
+  kAtom,          ///< A logical event: basic event + optional mask.
+  kOr,            ///< E1 | E2 (union).
+  kAnd,           ///< E1 & E2 (intersection).
+  kNot,           ///< !E (complement w.r.t. all points of the history).
+  kRelative,      ///< relative(E1, ..., En), curried left-to-right.
+  kRelativePlus,  ///< relative+(E).
+  kRelativeN,     ///< relative N (E).
+  kPrior,         ///< prior(E1, ..., En), curried.
+  kPriorN,        ///< prior N (E).
+  kSequence,      ///< sequence(E1, ..., En) — also `E1; E2; ...`.
+  kSequenceN,     ///< sequence N (E).
+  kChoose,        ///< choose N (E): exactly the Nth occurrence.
+  kEvery,         ///< every N (E): every Nth occurrence.
+  kFa,            ///< fa(E, F, G).
+  kFaAbs,         ///< faAbs(E, F, G).
+  kMasked,        ///< composite-event && mask (logical-composite event).
+  kGateAtom,      ///< Compiler-internal: a gated subevent's occurrence bit
+                  ///< (produced by the nested-composite-mask rewrite; never
+                  ///< created by the parser). `n` holds the gate index.
+};
+
+std::string_view EventExprKindName(EventExprKind kind);
+
+struct EventExpr;
+using EventExprPtr = std::shared_ptr<const EventExpr>;
+
+/// An immutable composite-event expression tree. Built by the parser
+/// (lang/event_parser.h) or directly through the factory functions, then
+/// evaluated by the oracle (semantics/oracle.h) or compiled to a DFA
+/// (compile/compiler.h).
+struct EventExpr {
+  EventExprKind kind = EventExprKind::kEmpty;
+  std::vector<EventExprPtr> children;
+
+  /// kRelativeN / kPriorN / kSequenceN / kChoose / kEvery.
+  int64_t n = 0;
+
+  /// kAtom: the basic event and its optional mask (a *logical event*, §3.2).
+  BasicEvent atom;
+  MaskExprPtr atom_mask;  // may be null
+
+  /// kMasked: predicate over the *current* database state evaluated when
+  /// the composite occurs (§3.3).
+  MaskExprPtr mask;  // non-null for kMasked
+
+  /// --- Factories -------------------------------------------------------
+  static EventExprPtr Empty();
+  static EventExprPtr Atom(BasicEvent basic, MaskExprPtr mask = nullptr);
+  static EventExprPtr Or(EventExprPtr a, EventExprPtr b);
+  static EventExprPtr And(EventExprPtr a, EventExprPtr b);
+  static EventExprPtr Not(EventExprPtr a);
+  static EventExprPtr Relative(std::vector<EventExprPtr> children);
+  static EventExprPtr RelativePlus(EventExprPtr a);
+  static EventExprPtr RelativeN(int64_t n, EventExprPtr a);
+  static EventExprPtr Prior(std::vector<EventExprPtr> children);
+  static EventExprPtr PriorN(int64_t n, EventExprPtr a);
+  static EventExprPtr Sequence(std::vector<EventExprPtr> children);
+  static EventExprPtr SequenceN(int64_t n, EventExprPtr a);
+  static EventExprPtr Choose(int64_t n, EventExprPtr a);
+  static EventExprPtr Every(int64_t n, EventExprPtr a);
+  static EventExprPtr Fa(EventExprPtr e, EventExprPtr f, EventExprPtr g);
+  static EventExprPtr FaAbs(EventExprPtr e, EventExprPtr f, EventExprPtr g);
+  static EventExprPtr Masked(EventExprPtr a, MaskExprPtr mask);
+  static EventExprPtr GateAtom(int64_t gate_index);
+
+  /// The paper's shorthand: a bare method name f denotes
+  /// (before f | after f) (§3.3).
+  static EventExprPtr MethodShorthand(const std::string& name);
+
+  /// The paper's object-state shorthand: a bare boolean expression denotes
+  /// (after update | after create) && expr (§3.3). The mask becomes the
+  /// *atom mask of both atoms* so it is evaluated against the state at the
+  /// moment of the update/create.
+  static EventExprPtr StateShorthand(MaskExprPtr predicate);
+
+  /// Structural checks: legal qualifier/kind pairs in atoms, N >= 1,
+  /// correct child counts, masks present where required.
+  Status Validate() const;
+
+  /// Collects every atom (logical event) in the tree, in left-to-right
+  /// order (used by the alphabet builder).
+  void CollectAtoms(std::vector<const EventExpr*>* out) const;
+
+  /// Number of nodes in the tree (benchmark sizing).
+  size_t NodeCount() const;
+
+  /// Paper-style textual form; see lang/printer.h.
+  std::string ToString() const;
+};
+
+}  // namespace ode
+
+#endif  // ODE_LANG_EVENT_AST_H_

@@ -1,0 +1,437 @@
+#include "lang/event_parser.h"
+
+#include "common/strutil.h"
+#include "lang/mask_parser.h"
+
+namespace ode {
+
+namespace {
+
+Result<EventExprPtr> ParseSeq(TokenStream* ts);
+
+/// True for tokens that mean "the preceding parenthesized expression was
+/// really a mask sub-expression" (e.g. `(balance*2) < x`).
+bool IsMaskContinuation(TokenKind k) {
+  switch (k) {
+    case TokenKind::kLt:
+    case TokenKind::kLe:
+    case TokenKind::kGt:
+    case TokenKind::kGe:
+    case TokenKind::kEqEq:
+    case TokenKind::kBangEq:
+    case TokenKind::kPlus:
+    case TokenKind::kMinus:
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent:
+    case TokenKind::kDot:
+    case TokenKind::kPipePipe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool KeywordToEventKind(Keyword kw, BasicEventKind* kind) {
+  switch (kw) {
+    case Keyword::kCreate: *kind = BasicEventKind::kCreate; return true;
+    case Keyword::kDelete: *kind = BasicEventKind::kDelete; return true;
+    case Keyword::kUpdate: *kind = BasicEventKind::kUpdate; return true;
+    case Keyword::kRead: *kind = BasicEventKind::kRead; return true;
+    case Keyword::kAccess: *kind = BasicEventKind::kAccess; return true;
+    case Keyword::kTbegin: *kind = BasicEventKind::kTbegin; return true;
+    case Keyword::kTcomplete: *kind = BasicEventKind::kTcomplete; return true;
+    case Keyword::kTcommit: *kind = BasicEventKind::kTcommit; return true;
+    case Keyword::kTabort: *kind = BasicEventKind::kTabort; return true;
+    default: return false;
+  }
+}
+
+/// Parses `( [type] name, ... )` formal parameter declarations after a
+/// method name (§3.1: "Formal parameter declarations help distinguish
+/// between ... overloaded functions").
+Result<std::vector<ParamDecl>> ParseParamDecls(TokenStream* ts) {
+  std::vector<ParamDecl> params;
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kLParen));
+  if (ts->TryConsume(TokenKind::kRParen)) return params;
+  while (true) {
+    const Token& first = ts->Peek();
+    if (!first.is_plain_ident()) {
+      return ParseErrorAt(first, "parameter name or type");
+    }
+    ts->Next();
+    ParamDecl p;
+    if (ts->Peek().is_plain_ident()) {
+      // Two identifiers: "type name".
+      p.type_name = first.text;
+      p.name = ts->Peek().text;
+      ts->Next();
+    } else {
+      // One identifier: name only, as in `after withdraw (i, q)`.
+      p.name = first.text;
+    }
+    params.push_back(std::move(p));
+    if (!ts->TryConsume(TokenKind::kComma)) break;
+  }
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+  return params;
+}
+
+/// Parses a basic event following a before/after qualifier.
+Result<EventExprPtr> ParseQualifiedBasic(TokenStream* ts, EventQualifier q) {
+  const Token& t = ts->Peek();
+  BasicEventKind kind;
+  if (t.kind == TokenKind::kIdent && KeywordToEventKind(t.keyword, &kind)) {
+    ts->Next();
+    BasicEvent be = BasicEvent::Make(kind, q);
+    ODE_RETURN_IF_ERROR(be.Validate());
+    return EventExpr::Atom(std::move(be));
+  }
+  if (t.is_plain_ident()) {
+    std::string name = t.text;
+    ts->Next();
+    std::vector<ParamDecl> params;
+    if (ts->Peek().is(TokenKind::kLParen)) {
+      Result<std::vector<ParamDecl>> parsed = ParseParamDecls(ts);
+      if (!parsed.ok()) return parsed.status();
+      params = std::move(*parsed);
+    }
+    return EventExpr::Atom(
+        BasicEvent::Method(q, std::move(name), std::move(params)));
+  }
+  return ParseErrorAt(t, "a basic event after the qualifier");
+}
+
+/// Parses an operator argument list: `'(' event (',' event)* ')'`.
+Result<std::vector<EventExprPtr>> ParseEventList(TokenStream* ts,
+                                                 size_t exactly = 0) {
+  std::vector<EventExprPtr> items;
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kLParen));
+  while (true) {
+    Result<EventExprPtr> e = ParseSeq(ts);
+    if (!e.ok()) return e.status();
+    items.push_back(std::move(*e));
+    if (!ts->TryConsume(TokenKind::kComma)) break;
+  }
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+  if (exactly != 0 && items.size() != exactly) {
+    return Status::ParseError(
+        StrFormat("operator expects %zu arguments, got %zu", exactly,
+                  items.size()));
+  }
+  return items;
+}
+
+/// Parses `relative|prior|sequence` with their `+`/N variants (§3.4).
+Result<EventExprPtr> ParseSequencingOp(TokenStream* ts, Keyword kw) {
+  ts->Next();  // The operator keyword.
+  const char* name = kw == Keyword::kRelative ? "relative"
+                     : kw == Keyword::kPrior  ? "prior"
+                                              : "sequence";
+  if (ts->TryConsume(TokenKind::kPlus)) {
+    if (kw != Keyword::kRelative) {
+      // §3.4: prior+(E) and sequence+(E) are both equivalent to E, so the
+      // modifier is not provided for them.
+      return Status::ParseError(
+          StrFormat("modifier + is not provided for operator %s "
+                    "(it would be equivalent to its argument, see §3.4)",
+                    name));
+    }
+    Result<std::vector<EventExprPtr>> args = ParseEventList(ts, 1);
+    if (!args.ok()) return args.status();
+    return EventExpr::RelativePlus(std::move((*args)[0]));
+  }
+  if (ts->Peek().is(TokenKind::kInt)) {
+    int64_t n = ts->Next().int_value;
+    if (n < 1) {
+      return Status::ParseError(
+          StrFormat("%s N requires N >= 1", name));
+    }
+    Result<std::vector<EventExprPtr>> args = ParseEventList(ts, 1);
+    if (!args.ok()) return args.status();
+    switch (kw) {
+      case Keyword::kRelative:
+        return EventExpr::RelativeN(n, std::move((*args)[0]));
+      case Keyword::kPrior:
+        return EventExpr::PriorN(n, std::move((*args)[0]));
+      default:
+        return EventExpr::SequenceN(n, std::move((*args)[0]));
+    }
+  }
+  Result<std::vector<EventExprPtr>> args = ParseEventList(ts);
+  if (!args.ok()) return args.status();
+  switch (kw) {
+    case Keyword::kRelative:
+      return EventExpr::Relative(std::move(*args));
+    case Keyword::kPrior:
+      return EventExpr::Prior(std::move(*args));
+    default:
+      return EventExpr::Sequence(std::move(*args));
+  }
+}
+
+/// Fallback for a primary that does not start with event syntax: parse a
+/// mask expression and apply the paper's shorthands (§3.3).
+Result<EventExprPtr> ParseBareShorthand(TokenStream* ts) {
+  Result<MaskExprPtr> mask = ParseMaskExpr(ts);
+  if (!mask.ok()) return mask.status();
+  if ((*mask)->kind == MaskKind::kIdent) {
+    // A bare method name f is shorthand for (before f | after f).
+    return EventExpr::MethodShorthand((*mask)->name);
+  }
+  // A bare boolean object-state expression is shorthand for
+  // (after update | after create) && expr.
+  return EventExpr::StateShorthand(std::move(*mask));
+}
+
+Result<EventExprPtr> ParsePrimary(TokenStream* ts) {
+  NestingScope nesting(ts);
+  if (!nesting.ok()) return NestingScope::TooDeep();
+  const Token& t = ts->Peek();
+
+  if (t.is(TokenKind::kLParen)) {
+    size_t saved = ts->Save();
+    ts->Next();
+    Result<EventExprPtr> inner = ParseSeq(ts);
+    if (inner.ok() && ts->TryConsume(TokenKind::kRParen) &&
+        !IsMaskContinuation(ts->Peek().kind)) {
+      return inner;
+    }
+    // Not an event after all (e.g. `(balance*2) < x`): re-parse the whole
+    // parenthesized form as a boolean state predicate.
+    ts->Restore(saved);
+    return ParseBareShorthand(ts);
+  }
+
+  if (t.kind != TokenKind::kIdent) {
+    // Literals etc. can only begin a bare state predicate.
+    return ParseBareShorthand(ts);
+  }
+
+  switch (t.keyword) {
+    case Keyword::kEmpty:
+      ts->Next();
+      return EventExpr::Empty();
+
+    case Keyword::kBefore:
+      ts->Next();
+      return ParseQualifiedBasic(ts, EventQualifier::kBefore);
+
+    case Keyword::kAfter:
+      if (ts->Peek(1).is_keyword(Keyword::kTime)) {
+        // `after time(...)`: one-shot timer event (§3.1).
+        ts->Next();
+        Result<TimeSpec> spec = ParseTimeSpec(ts);
+        if (!spec.ok()) return spec.status();
+        BasicEvent be = BasicEvent::Time(TimeEventMode::kAfter, *spec);
+        ODE_RETURN_IF_ERROR(be.Validate());
+        return EventExpr::Atom(std::move(be));
+      }
+      ts->Next();
+      return ParseQualifiedBasic(ts, EventQualifier::kAfter);
+
+    case Keyword::kAt: {
+      ts->Next();
+      Result<TimeSpec> spec = ParseTimeSpec(ts);
+      if (!spec.ok()) return spec.status();
+      BasicEvent be = BasicEvent::Time(TimeEventMode::kAt, *spec);
+      ODE_RETURN_IF_ERROR(be.Validate());
+      return EventExpr::Atom(std::move(be));
+    }
+
+    case Keyword::kEvery: {
+      if (ts->Peek(1).is(TokenKind::kInt)) {
+        // `every N (E)`: every Nth occurrence (§3.4).
+        ts->Next();
+        int64_t n = ts->Next().int_value;
+        if (n < 1) return Status::ParseError("every N requires N >= 1");
+        Result<std::vector<EventExprPtr>> args = ParseEventList(ts, 1);
+        if (!args.ok()) return args.status();
+        return EventExpr::Every(n, std::move((*args)[0]));
+      }
+      if (ts->Peek(1).is_keyword(Keyword::kTime)) {
+        // `every time(...)`: periodic timer event (§3.1).
+        ts->Next();
+        Result<TimeSpec> spec = ParseTimeSpec(ts);
+        if (!spec.ok()) return spec.status();
+        BasicEvent be = BasicEvent::Time(TimeEventMode::kEvery, *spec);
+        ODE_RETURN_IF_ERROR(be.Validate());
+        return EventExpr::Atom(std::move(be));
+      }
+      return ParseErrorAt(ts->Peek(1),
+                          "an integer (every N (E)) or time(...) after "
+                          "'every'");
+    }
+
+    case Keyword::kRelative:
+    case Keyword::kPrior:
+    case Keyword::kSequence:
+      return ParseSequencingOp(ts, t.keyword);
+
+    case Keyword::kChoose: {
+      ts->Next();
+      if (!ts->Peek().is(TokenKind::kInt)) {
+        return ParseErrorAt(ts->Peek(), "an integer after 'choose'");
+      }
+      int64_t n = ts->Next().int_value;
+      if (n < 1) return Status::ParseError("choose N requires N >= 1");
+      Result<std::vector<EventExprPtr>> args = ParseEventList(ts, 1);
+      if (!args.ok()) return args.status();
+      return EventExpr::Choose(n, std::move((*args)[0]));
+    }
+
+    case Keyword::kFa:
+    case Keyword::kFaAbs: {
+      bool abs = t.keyword == Keyword::kFaAbs;
+      ts->Next();
+      Result<std::vector<EventExprPtr>> args = ParseEventList(ts, 3);
+      if (!args.ok()) return args.status();
+      if (abs) {
+        return EventExpr::FaAbs(std::move((*args)[0]), std::move((*args)[1]),
+                                std::move((*args)[2]));
+      }
+      return EventExpr::Fa(std::move((*args)[0]), std::move((*args)[1]),
+                           std::move((*args)[2]));
+    }
+
+    case Keyword::kNone:
+    case Keyword::kTrue:
+    case Keyword::kFalse:
+      return ParseBareShorthand(ts);
+
+    default:
+      return ParseErrorAt(t, "a composite-event primary");
+  }
+}
+
+Result<EventExprPtr> ParsePostfix(TokenStream* ts) {
+  Result<EventExprPtr> primary = ParsePrimary(ts);
+  if (!primary.ok()) return primary;
+  EventExprPtr expr = std::move(*primary);
+  while (ts->TryConsume(TokenKind::kAmpAmp)) {
+    Result<MaskExprPtr> mask = ParseMaskExpr(ts);
+    if (!mask.ok()) return mask.status();
+    if (expr->kind == EventExprKind::kAtom && expr->atom_mask == nullptr) {
+      // Basic event + mask = logical event (§3.2).
+      expr = EventExpr::Atom(expr->atom, std::move(*mask));
+    } else {
+      // Composite event + mask = logical-composite event (§3.3).
+      expr = EventExpr::Masked(std::move(expr), std::move(*mask));
+    }
+  }
+  return expr;
+}
+
+Result<EventExprPtr> ParseUnary(TokenStream* ts) {
+  if (ts->TryConsume(TokenKind::kBang)) {
+    NestingScope nesting(ts);
+    if (!nesting.ok()) return NestingScope::TooDeep();
+    Result<EventExprPtr> operand = ParseUnary(ts);
+    if (!operand.ok()) return operand;
+    return EventExpr::Not(std::move(*operand));
+  }
+  return ParsePostfix(ts);
+}
+
+Result<EventExprPtr> ParseAnd(TokenStream* ts) {
+  Result<EventExprPtr> lhs = ParseUnary(ts);
+  if (!lhs.ok()) return lhs;
+  EventExprPtr expr = std::move(*lhs);
+  while (ts->TryConsume(TokenKind::kAmp)) {
+    Result<EventExprPtr> rhs = ParseUnary(ts);
+    if (!rhs.ok()) return rhs;
+    expr = EventExpr::And(std::move(expr), std::move(*rhs));
+  }
+  return expr;
+}
+
+Result<EventExprPtr> ParseOrExpr(TokenStream* ts) {
+  Result<EventExprPtr> lhs = ParseAnd(ts);
+  if (!lhs.ok()) return lhs;
+  EventExprPtr expr = std::move(*lhs);
+  while (ts->TryConsume(TokenKind::kPipe)) {
+    Result<EventExprPtr> rhs = ParseAnd(ts);
+    if (!rhs.ok()) return rhs;
+    expr = EventExpr::Or(std::move(expr), std::move(*rhs));
+  }
+  return expr;
+}
+
+Result<EventExprPtr> ParseSeq(TokenStream* ts) {
+  Result<EventExprPtr> first = ParseOrExpr(ts);
+  if (!first.ok()) return first;
+  if (!ts->Peek().is(TokenKind::kSemicolon)) return first;
+  std::vector<EventExprPtr> parts;
+  parts.push_back(std::move(*first));
+  while (ts->TryConsume(TokenKind::kSemicolon)) {
+    Result<EventExprPtr> next = ParseOrExpr(ts);
+    if (!next.ok()) return next;
+    parts.push_back(std::move(*next));
+  }
+  return EventExpr::Sequence(std::move(parts));
+}
+
+}  // namespace
+
+Result<TimeSpec> ParseTimeSpec(TokenStream* ts) {
+  if (!ts->TryConsumeKeyword(Keyword::kTime)) {
+    return ParseErrorAt(ts->Peek(), "'time'");
+  }
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kLParen));
+  TimeSpec spec;
+  if (!ts->Peek().is(TokenKind::kRParen)) {
+    while (true) {
+      const Token& field = ts->Peek();
+      if (field.kind != TokenKind::kIdent) {
+        return ParseErrorAt(field, "a time field (YR/MON/DAY/HR/M/SEC/MS)");
+      }
+      std::string name = field.text;
+      ts->Next();
+      ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kEq));
+      if (!ts->Peek().is(TokenKind::kInt)) {
+        return ParseErrorAt(ts->Peek(), "an integer time-field value");
+      }
+      int64_t v = ts->Next().int_value;
+      std::optional<int>* slot = nullptr;
+      if (name == "YR") slot = &spec.year;
+      else if (name == "MON") slot = &spec.month;
+      else if (name == "DAY") slot = &spec.day;
+      else if (name == "HR") slot = &spec.hour;
+      else if (name == "M") slot = &spec.minute;
+      else if (name == "SEC") slot = &spec.second;
+      else if (name == "MS") slot = &spec.ms;
+      else {
+        return Status::ParseError(
+            StrFormat("unknown time field '%s'", name.c_str()));
+      }
+      if (slot->has_value()) {
+        return Status::ParseError(
+            StrFormat("duplicate time field '%s'", name.c_str()));
+      }
+      *slot = static_cast<int>(v);
+      if (!ts->TryConsume(TokenKind::kComma)) break;
+    }
+  }
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+  if (spec.empty()) {
+    return Status::ParseError("time specification has no fields");
+  }
+  return spec;
+}
+
+Result<EventExprPtr> ParseEventExpr(TokenStream* ts) { return ParseSeq(ts); }
+
+Result<EventExprPtr> ParseEvent(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  TokenStream ts(std::move(*tokens));
+  Result<EventExprPtr> expr = ParseSeq(&ts);
+  if (!expr.ok()) return expr;
+  if (!ts.AtEnd()) {
+    return ParseErrorAt(ts.Peek(), "end of event expression");
+  }
+  ODE_RETURN_IF_ERROR((*expr)->Validate());
+  return expr;
+}
+
+}  // namespace ode

@@ -1,0 +1,52 @@
+#ifndef ODE_LANG_EVENT_PARSER_H_
+#define ODE_LANG_EVENT_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/event_ast.h"
+#include "lang/lexer.h"
+
+namespace ode {
+
+/// Parses a composite-event expression per the §3.3 BNF:
+///
+///   event    := seq
+///   seq      := or (';' or)*                      -- sugar for sequence()
+///   or       := and ('|' and)*
+///   and      := unary ('&' unary)*
+///   unary    := '!' unary | postfix
+///   postfix  := primary ('&&' mask)*              -- logical / masked event
+///   primary  := '(' event ')'
+///            | 'empty'
+///            | ('relative'|'prior'|'sequence') args
+///            | ('choose'|'every') INT '(' event ')'
+///            | ('fa'|'faAbs') '(' event ',' event ',' event ')'
+///            | ('before'|'after') basic-event
+///            | 'at' time-spec | 'every' time-spec | 'after' time-spec
+///            | method-name                        -- (before f | after f)
+///            | bare-boolean-expression            -- object-state shorthand
+///   args     := '+' '(' event ')'                 -- relative only (§3.4)
+///            | INT '(' event ')'
+///            | '(' event (',' event)* ')'
+///
+/// Disambiguation notes:
+///  * `after time(...)` is a time event; `after <name>` is a qualifier.
+///  * `every 5 (E)` is the occurrence operator; `every time(...)` a timer.
+///  * `prior+` / `sequence+` are rejected with the paper's §3.4 rationale
+///    (both are equivalent to their argument).
+///  * A parenthesized or bare expression that only parses as a boolean
+///    predicate desugars to `(after update | after create) && expr` (§3.3);
+///    a bare identifier desugars to `(before f | after f)`.
+Result<EventExprPtr> ParseEvent(std::string_view input);
+
+/// Stream-based variant; stops before tokens that cannot extend the
+/// expression (')', ',', '==>', ':', end).
+Result<EventExprPtr> ParseEventExpr(TokenStream* ts);
+
+/// Parses `time(HR=9, M=30)`-style specs (stream positioned at `time`).
+Result<TimeSpec> ParseTimeSpec(TokenStream* ts);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_EVENT_PARSER_H_

@@ -1,0 +1,188 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&out](TokenKind kind, size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    t.text = std::move(text);
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\\') {
+      // Backslash-newline (the paper's #define continuations) is whitespace.
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) ++i;
+      if (i + 1 >= n) {
+        return Status::ParseError(
+            StrFormat("unterminated block comment at offset %zu", start));
+      }
+      i += 2;
+      continue;
+    }
+
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      Token t;
+      t.kind = TokenKind::kIdent;
+      t.text = std::string(input.substr(start, i - start));
+      t.keyword = KeywordFromSpelling(t.text);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      bool is_float = false;
+      if (i + 1 < n && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      Token t;
+      t.text = std::string(input.substr(start, i - start));
+      t.offset = start;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        char d = input[i++];
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && i < n) {
+          char e = input[i++];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default:
+              return Status::ParseError(
+                  StrFormat("bad escape '\\%c' at offset %zu", e, i - 1));
+          }
+          continue;
+        }
+        text += d;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string at offset %zu", start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.text = std::move(text);
+      t.offset = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (c == '=' && i + 2 < n && input[i + 1] == '=' && input[i + 2] == '>') {
+      push(TokenKind::kArrow, start);
+      i += 3;
+      continue;
+    }
+    if (two('=', '=')) { push(TokenKind::kEqEq, start); i += 2; continue; }
+    if (two('!', '=')) { push(TokenKind::kBangEq, start); i += 2; continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, start); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, start); i += 2; continue; }
+    if (two('&', '&')) { push(TokenKind::kAmpAmp, start); i += 2; continue; }
+    if (two('|', '|')) { push(TokenKind::kPipePipe, start); i += 2; continue; }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); break;
+      case ')': push(TokenKind::kRParen, start); break;
+      case ',': push(TokenKind::kComma, start); break;
+      case ';': push(TokenKind::kSemicolon, start); break;
+      case ':': push(TokenKind::kColon, start); break;
+      case '.': push(TokenKind::kDot, start); break;
+      case '+': push(TokenKind::kPlus, start); break;
+      case '-': push(TokenKind::kMinus, start); break;
+      case '*': push(TokenKind::kStar, start); break;
+      case '/': push(TokenKind::kSlash, start); break;
+      case '%': push(TokenKind::kPercent, start); break;
+      case '!': push(TokenKind::kBang, start); break;
+      case '&': push(TokenKind::kAmp, start); break;
+      case '|': push(TokenKind::kPipe, start); break;
+      case '=': push(TokenKind::kEq, start); break;
+      case '<': push(TokenKind::kLt, start); break;
+      case '>': push(TokenKind::kGt, start); break;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+    ++i;
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+Status TokenStream::Expect(TokenKind kind) {
+  if (TryConsume(kind)) return Status::OK();
+  return ParseErrorAt(Peek(), TokenKindName(kind));
+}
+
+Status ParseErrorAt(const Token& token, std::string_view expected) {
+  return Status::ParseError(
+      StrFormat("expected %s, found %s at offset %zu",
+                std::string(expected).c_str(), token.ToString().c_str(),
+                token.offset));
+}
+
+}  // namespace ode

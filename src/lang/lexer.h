@@ -1,0 +1,96 @@
+#ifndef ODE_LANG_LEXER_H_
+#define ODE_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/token.h"
+
+namespace ode {
+
+/// Tokenizes an entire DSL input up front. Producing a flat token vector
+/// keeps parser backtracking (needed for the bare-state-predicate
+/// shorthand, §3.3) a matter of saving/restoring an index.
+///
+/// Supports `//` line and `/* */` block comments.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// A cursor over a token vector, shared by the mask and event parsers.
+class TokenStream {
+ public:
+  explicit TokenStream(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& Peek(size_t lookahead = 0) const {
+    size_t i = pos_ + lookahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() {
+    const Token& t = Peek();
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    else pos_ = tokens_.size() - 1;
+    return t;
+  }
+  bool AtEnd() const { return Peek().is(TokenKind::kEnd); }
+
+  /// Consumes the next token if it has the given kind.
+  bool TryConsume(TokenKind kind) {
+    if (!Peek().is(kind)) return false;
+    Next();
+    return true;
+  }
+  /// Consumes the next token if it is the given keyword.
+  bool TryConsumeKeyword(Keyword kw) {
+    if (!Peek().is_keyword(kw)) return false;
+    Next();
+    return true;
+  }
+  /// Consumes a token of the given kind or returns a ParseError naming the
+  /// surprise token.
+  Status Expect(TokenKind kind);
+
+  /// Save/restore for backtracking.
+  size_t Save() const { return pos_; }
+  void Restore(size_t saved) { pos_ = saved; }
+
+  /// Recursive-descent depth guard: adversarial inputs like thousands of
+  /// nested parentheses or `!` chains must fail with a clean ParseError
+  /// instead of exhausting the stack.
+  static constexpr int kMaxNesting = 200;
+  int nesting() const { return nesting_; }
+  int* mutable_nesting() { return &nesting_; }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int nesting_ = 0;
+};
+
+/// RAII scope for TokenStream's nesting counter. Check ok() right after
+/// construction; when false the caller must return a ParseError.
+class NestingScope {
+ public:
+  explicit NestingScope(TokenStream* ts)
+      : counter_(ts->mutable_nesting()),
+        ok_(++*counter_ <= TokenStream::kMaxNesting) {}
+  ~NestingScope() { --*counter_; }
+  NestingScope(const NestingScope&) = delete;
+  NestingScope& operator=(const NestingScope&) = delete;
+
+  bool ok() const { return ok_; }
+  static Status TooDeep() {
+    return Status::ParseError("expression nesting exceeds the parser limit");
+  }
+
+ private:
+  int* counter_;
+  bool ok_;
+};
+
+/// Formats "expected X, found Y at offset N" parse diagnostics.
+Status ParseErrorAt(const Token& token, std::string_view expected);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_LEXER_H_

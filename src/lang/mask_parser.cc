@@ -1,0 +1,196 @@
+#include "lang/mask_parser.h"
+
+namespace ode {
+
+namespace {
+
+Result<MaskExprPtr> ParseOr(TokenStream* ts);
+
+Result<MaskExprPtr> ParsePrimary(TokenStream* ts) {
+  NestingScope nesting(ts);
+  if (!nesting.ok()) return NestingScope::TooDeep();
+  const Token& t = ts->Peek();
+  switch (t.kind) {
+    case TokenKind::kInt: {
+      ts->Next();
+      return MaskExpr::Literal(Value(t.int_value));
+    }
+    case TokenKind::kFloat: {
+      ts->Next();
+      return MaskExpr::Literal(Value(t.float_value));
+    }
+    case TokenKind::kString: {
+      ts->Next();
+      return MaskExpr::Literal(Value(t.text));
+    }
+    case TokenKind::kLParen: {
+      ts->Next();
+      Result<MaskExprPtr> inner = ParseOr(ts);
+      if (!inner.ok()) return inner;
+      ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+      return inner;
+    }
+    case TokenKind::kIdent: {
+      if (t.keyword == Keyword::kTrue) {
+        ts->Next();
+        return MaskExpr::Literal(Value(true));
+      }
+      if (t.keyword == Keyword::kFalse) {
+        ts->Next();
+        return MaskExpr::Literal(Value(false));
+      }
+      if (t.keyword != Keyword::kNone) {
+        return ParseErrorAt(t, "identifier (keywords are reserved in masks)");
+      }
+      std::string name = t.text;
+      ts->Next();
+      if (ts->TryConsume(TokenKind::kLParen)) {
+        std::vector<MaskExprPtr> args;
+        if (!ts->Peek().is(TokenKind::kRParen)) {
+          while (true) {
+            Result<MaskExprPtr> arg = ParseOr(ts);
+            if (!arg.ok()) return arg;
+            args.push_back(std::move(*arg));
+            if (!ts->TryConsume(TokenKind::kComma)) break;
+          }
+        }
+        ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+        return MaskExpr::Call(std::move(name), std::move(args));
+      }
+      return MaskExpr::Ident(std::move(name));
+    }
+    default:
+      return ParseErrorAt(t, "a mask primary expression");
+  }
+}
+
+Result<MaskExprPtr> ParsePostfix(TokenStream* ts) {
+  Result<MaskExprPtr> base = ParsePrimary(ts);
+  if (!base.ok()) return base;
+  MaskExprPtr expr = std::move(*base);
+  while (ts->TryConsume(TokenKind::kDot)) {
+    const Token& field = ts->Peek();
+    if (!field.is_plain_ident()) {
+      return ParseErrorAt(field, "member name after '.'");
+    }
+    ts->Next();
+    expr = MaskExpr::Member(std::move(expr), field.text);
+  }
+  return expr;
+}
+
+Result<MaskExprPtr> ParseUnary(TokenStream* ts) {
+  if (ts->TryConsume(TokenKind::kBang)) {
+    NestingScope nesting(ts);
+    if (!nesting.ok()) return NestingScope::TooDeep();
+    Result<MaskExprPtr> operand = ParseUnary(ts);
+    if (!operand.ok()) return operand;
+    return MaskExpr::Unary(MaskOp::kNot, std::move(*operand));
+  }
+  if (ts->TryConsume(TokenKind::kMinus)) {
+    NestingScope nesting(ts);
+    if (!nesting.ok()) return NestingScope::TooDeep();
+    Result<MaskExprPtr> operand = ParseUnary(ts);
+    if (!operand.ok()) return operand;
+    return MaskExpr::Unary(MaskOp::kNeg, std::move(*operand));
+  }
+  return ParsePostfix(ts);
+}
+
+/// Parses a left-associative binary level given the operand parser and the
+/// accepted (token, op) pairs.
+template <typename Sub, typename Match>
+Result<MaskExprPtr> ParseBinaryLevel(TokenStream* ts, Sub sub, Match match) {
+  Result<MaskExprPtr> lhs = sub(ts);
+  if (!lhs.ok()) return lhs;
+  MaskExprPtr expr = std::move(*lhs);
+  MaskOp op;
+  while (match(ts->Peek().kind, &op)) {
+    ts->Next();
+    Result<MaskExprPtr> rhs = sub(ts);
+    if (!rhs.ok()) return rhs;
+    expr = MaskExpr::Binary(op, std::move(expr), std::move(*rhs));
+  }
+  return expr;
+}
+
+Result<MaskExprPtr> ParseMul(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseUnary, [](TokenKind k, MaskOp* op) {
+    switch (k) {
+      case TokenKind::kStar: *op = MaskOp::kMul; return true;
+      case TokenKind::kSlash: *op = MaskOp::kDiv; return true;
+      case TokenKind::kPercent: *op = MaskOp::kMod; return true;
+      default: return false;
+    }
+  });
+}
+
+Result<MaskExprPtr> ParseAdd(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseMul, [](TokenKind k, MaskOp* op) {
+    switch (k) {
+      case TokenKind::kPlus: *op = MaskOp::kAdd; return true;
+      case TokenKind::kMinus: *op = MaskOp::kSub; return true;
+      default: return false;
+    }
+  });
+}
+
+Result<MaskExprPtr> ParseRel(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseAdd, [](TokenKind k, MaskOp* op) {
+    switch (k) {
+      case TokenKind::kLt: *op = MaskOp::kLt; return true;
+      case TokenKind::kLe: *op = MaskOp::kLe; return true;
+      case TokenKind::kGt: *op = MaskOp::kGt; return true;
+      case TokenKind::kGe: *op = MaskOp::kGe; return true;
+      default: return false;
+    }
+  });
+}
+
+Result<MaskExprPtr> ParseEq(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseRel, [](TokenKind k, MaskOp* op) {
+    switch (k) {
+      case TokenKind::kEqEq: *op = MaskOp::kEq; return true;
+      case TokenKind::kBangEq: *op = MaskOp::kNe; return true;
+      default: return false;
+    }
+  });
+}
+
+Result<MaskExprPtr> ParseAnd(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseEq, [](TokenKind k, MaskOp* op) {
+    if (k == TokenKind::kAmpAmp) {
+      *op = MaskOp::kAnd;
+      return true;
+    }
+    return false;
+  });
+}
+
+Result<MaskExprPtr> ParseOr(TokenStream* ts) {
+  return ParseBinaryLevel(ts, ParseAnd, [](TokenKind k, MaskOp* op) {
+    if (k == TokenKind::kPipePipe) {
+      *op = MaskOp::kOr;
+      return true;
+    }
+    return false;
+  });
+}
+
+}  // namespace
+
+Result<MaskExprPtr> ParseMaskExpr(TokenStream* ts) { return ParseOr(ts); }
+
+Result<MaskExprPtr> ParseMask(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  TokenStream ts(std::move(*tokens));
+  Result<MaskExprPtr> mask = ParseMaskExpr(&ts);
+  if (!mask.ok()) return mask;
+  if (!ts.AtEnd()) {
+    return ParseErrorAt(ts.Peek(), "end of mask");
+  }
+  return mask;
+}
+
+}  // namespace ode

@@ -1,0 +1,37 @@
+#ifndef ODE_LANG_MASK_PARSER_H_
+#define ODE_LANG_MASK_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "lang/lexer.h"
+#include "mask/mask_ast.h"
+
+namespace ode {
+
+/// Parses a mask expression starting at the stream's current position and
+/// stopping at the first token that cannot extend the expression (so the
+/// event parser can resume, e.g. at '|', ';', ')' or ','). Consumes '&&'
+/// chains greedily: in `after f && a>0 && b>0` the whole conjunction is one
+/// mask, matching the paper's usage in §5.
+///
+/// Grammar (loosest to tightest):
+///   or    := and ('||' and)*
+///   and   := eq ('&&' eq)*
+///   eq    := rel (('=='|'!=') rel)*
+///   rel   := add (('<'|'<='|'>'|'>=') add)*
+///   add   := mul (('+'|'-') mul)*
+///   mul   := unary (('*'|'/'|'%') unary)*
+///   unary := ('!'|'-') unary | postfix
+///   postfix := primary ('.' IDENT)*
+///   primary := INT | FLOAT | STRING | true | false
+///            | IDENT ['(' [or (',' or)*] ')']
+///            | '(' or ')'
+Result<MaskExprPtr> ParseMaskExpr(TokenStream* ts);
+
+/// Parses a complete standalone mask; errors on trailing tokens.
+Result<MaskExprPtr> ParseMask(std::string_view input);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_MASK_PARSER_H_

@@ -1,0 +1,17 @@
+#ifndef ODE_LANG_PRINTER_H_
+#define ODE_LANG_PRINTER_H_
+
+#include <string>
+
+#include "lang/event_ast.h"
+
+namespace ode {
+
+/// Renders an event expression in the paper's concrete syntax. The output
+/// re-parses to a structurally identical tree (round-trip property, tested
+/// in tests/lang_printer_test.cc).
+std::string PrintEventExpr(const EventExpr& expr);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_PRINTER_H_

@@ -1,0 +1,83 @@
+#include "lang/token.h"
+
+#include <utility>
+
+namespace ode {
+
+Keyword KeywordFromSpelling(std::string_view spelling) {
+  static constexpr std::pair<std::string_view, Keyword> kTable[] = {
+      {"before", Keyword::kBefore},
+      {"after", Keyword::kAfter},
+      {"create", Keyword::kCreate},
+      {"delete", Keyword::kDelete},
+      {"update", Keyword::kUpdate},
+      {"read", Keyword::kRead},
+      {"access", Keyword::kAccess},
+      {"tbegin", Keyword::kTbegin},
+      {"tcomplete", Keyword::kTcomplete},
+      {"tcommit", Keyword::kTcommit},
+      {"tabort", Keyword::kTabort},
+      {"at", Keyword::kAt},
+      {"every", Keyword::kEvery},
+      {"time", Keyword::kTime},
+      {"relative", Keyword::kRelative},
+      {"prior", Keyword::kPrior},
+      {"sequence", Keyword::kSequence},
+      {"choose", Keyword::kChoose},
+      {"fa", Keyword::kFa},
+      {"faAbs", Keyword::kFaAbs},
+      {"perpetual", Keyword::kPerpetual},
+      {"empty", Keyword::kEmpty},
+      {"true", Keyword::kTrue},
+      {"false", Keyword::kFalse},
+  };
+  for (const auto& [text, kw] : kTable) {
+    if (text == spelling) return kw;
+  }
+  return Keyword::kNone;
+}
+
+std::string_view TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kBangEq: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kArrow: return "'==>'";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdent || kind == TokenKind::kInt ||
+      kind == TokenKind::kFloat || kind == TokenKind::kString) {
+    return "'" + text + "'";
+  }
+  return std::string(TokenKindName(kind));
+}
+
+}  // namespace ode

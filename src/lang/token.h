@@ -1,0 +1,100 @@
+#ifndef ODE_LANG_TOKEN_H_
+#define ODE_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ode {
+
+/// Token categories for the O++ trigger-event DSL and mask expressions.
+enum class TokenKind : uint8_t {
+  kEnd = 0,     ///< End of input.
+  kIdent,       ///< Identifier (includes keywords; see keyword below).
+  kInt,         ///< Integer literal.
+  kFloat,       ///< Floating-point literal.
+  kString,      ///< Double-quoted string literal.
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kSemicolon,   // ;
+  kColon,       // :
+  kDot,         // .
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kBang,        // !
+  kAmp,         // &   (event intersection)
+  kAmpAmp,      // &&  (mask attachment / mask conjunction)
+  kPipe,        // |   (event union)
+  kPipePipe,    // ||  (mask disjunction)
+  kEq,          // =
+  kEqEq,        // ==
+  kBangEq,      // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kArrow,       // ==> (trigger action separator)
+};
+
+/// Keywords recognized contextually by the parsers. They are lexed as
+/// kIdent with this tag so grammar positions that allow arbitrary names can
+/// still use them where unambiguous.
+enum class Keyword : uint8_t {
+  kNone = 0,
+  kBefore,
+  kAfter,
+  kCreate,
+  kDelete,
+  kUpdate,
+  kRead,
+  kAccess,
+  kTbegin,
+  kTcomplete,
+  kTcommit,
+  kTabort,
+  kAt,
+  kEvery,
+  kTime,
+  kRelative,
+  kPrior,
+  kSequence,
+  kChoose,
+  kFa,
+  kFaAbs,
+  kPerpetual,
+  kEmpty,
+  kTrue,
+  kFalse,
+};
+
+/// Maps an identifier spelling to its keyword tag (kNone if not a keyword).
+Keyword KeywordFromSpelling(std::string_view spelling);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  Keyword keyword = Keyword::kNone;  ///< Set when kind == kIdent.
+  std::string text;                  ///< Source spelling.
+  int64_t int_value = 0;             ///< kInt.
+  double float_value = 0.0;          ///< kFloat.
+  size_t offset = 0;                 ///< Byte offset in the input.
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_keyword(Keyword k) const {
+    return kind == TokenKind::kIdent && keyword == k;
+  }
+  /// An identifier that is not a reserved word.
+  bool is_plain_ident() const {
+    return kind == TokenKind::kIdent && keyword == Keyword::kNone;
+  }
+
+  std::string ToString() const;
+};
+
+std::string_view TokenKindName(TokenKind kind);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_TOKEN_H_

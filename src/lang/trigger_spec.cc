@@ -1,0 +1,114 @@
+#include "lang/trigger_spec.h"
+
+#include "common/strutil.h"
+#include "lang/event_parser.h"
+#include "lang/lexer.h"
+
+namespace ode {
+
+namespace {
+
+/// Recognizes the optional `name(params):` header by lookahead: an
+/// identifier followed by '(' whose matching ')' is followed by ':'.
+bool HasHeader(const TokenStream& ts) {
+  if (!ts.Peek(0).is_plain_ident() || !ts.Peek(1).is(TokenKind::kLParen)) {
+    return false;
+  }
+  size_t depth = 0;
+  for (size_t i = 1;; ++i) {
+    const Token& t = ts.Peek(i);
+    if (t.is(TokenKind::kEnd)) return false;
+    if (t.is(TokenKind::kLParen)) ++depth;
+    if (t.is(TokenKind::kRParen)) {
+      if (--depth == 0) return ts.Peek(i + 1).is(TokenKind::kColon);
+    }
+  }
+}
+
+Result<std::vector<ParamDecl>> ParseHeaderParams(TokenStream* ts) {
+  std::vector<ParamDecl> params;
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kLParen));
+  if (ts->TryConsume(TokenKind::kRParen)) return params;
+  while (true) {
+    const Token& first = ts->Peek();
+    if (!first.is_plain_ident()) {
+      return ParseErrorAt(first, "trigger parameter declaration");
+    }
+    ts->Next();
+    ParamDecl p;
+    if (ts->Peek().is_plain_ident()) {
+      p.type_name = first.text;
+      p.name = ts->Peek().text;
+      ts->Next();
+    } else {
+      p.name = first.text;
+    }
+    params.push_back(std::move(p));
+    if (!ts->TryConsume(TokenKind::kComma)) break;
+  }
+  ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
+  return params;
+}
+
+}  // namespace
+
+Result<TriggerSpec> ParseTriggerSpec(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  TokenStream ts(std::move(*tokens));
+
+  TriggerSpec spec;
+  if (HasHeader(ts)) {
+    spec.name = ts.Next().text;
+    Result<std::vector<ParamDecl>> params = ParseHeaderParams(&ts);
+    if (!params.ok()) return params.status();
+    spec.params = std::move(*params);
+    ODE_RETURN_IF_ERROR(ts.Expect(TokenKind::kColon));
+  }
+
+  spec.perpetual = ts.TryConsumeKeyword(Keyword::kPerpetual);
+
+  Result<EventExprPtr> event = ParseEventExpr(&ts);
+  if (!event.ok()) return event.status();
+  spec.event = std::move(*event);
+  ODE_RETURN_IF_ERROR(spec.event->Validate());
+
+  if (ts.TryConsume(TokenKind::kArrow)) {
+    const Token& action = ts.Peek();
+    if (action.kind != TokenKind::kIdent) {
+      return ParseErrorAt(action, "an action name after '==>'");
+    }
+    spec.action = action.text;
+    ts.Next();
+    // Tolerate a trailing `()` and `;` as in the paper's listings
+    // (`==> summary();`).
+    if (ts.TryConsume(TokenKind::kLParen)) {
+      ODE_RETURN_IF_ERROR(ts.Expect(TokenKind::kRParen));
+    }
+    ts.TryConsume(TokenKind::kSemicolon);
+  }
+
+  if (!ts.AtEnd()) {
+    return ParseErrorAt(ts.Peek(), "end of trigger declaration");
+  }
+  return spec;
+}
+
+std::string TriggerSpec::ToString() const {
+  std::string out;
+  if (!name.empty()) {
+    std::vector<std::string> decls;
+    decls.reserve(params.size());
+    for (const ParamDecl& p : params) {
+      decls.push_back(p.type_name.empty() ? p.name
+                                          : p.type_name + " " + p.name);
+    }
+    out += name + "(" + Join(decls, ", ") + "): ";
+  }
+  if (perpetual) out += "perpetual ";
+  out += event ? event->ToString() : "<null>";
+  if (!action.empty()) out += " ==> " + action;
+  return out;
+}
+
+}  // namespace ode

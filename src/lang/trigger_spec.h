@@ -1,0 +1,36 @@
+#ifndef ODE_LANG_TRIGGER_SPEC_H_
+#define ODE_LANG_TRIGGER_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+/// A parsed trigger declaration in the paper's syntax (§2):
+///
+///   trigger-name(parameters): [perpetual] event ==> action-name
+///
+/// The header (`name(params):`) and the action part are optional so the
+/// same parser accepts a bare `[perpetual] event`. In the paper the action
+/// is an arbitrary O++ block; in this library it is a named C++ callback
+/// registered with the trigger engine, with `tabort` accepted as the
+/// built-in abort action (trigger T1 of §3.5).
+struct TriggerSpec {
+  std::string name;               ///< Empty when no header given.
+  std::vector<ParamDecl> params;  ///< Trigger parameters (bound at activation).
+  bool perpetual = false;
+  EventExprPtr event;
+  std::string action;             ///< Empty when no `==>` part given.
+
+  std::string ToString() const;
+};
+
+/// Parses one trigger declaration.
+Result<TriggerSpec> ParseTriggerSpec(std::string_view input);
+
+}  // namespace ode
+
+#endif  // ODE_LANG_TRIGGER_SPEC_H_

@@ -1,0 +1,86 @@
+#ifndef ODE_MASK_MASK_AST_H_
+#define ODE_MASK_MASK_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ode {
+
+/// Node discriminator for mask-expression ASTs (§3.2).
+enum class MaskKind : uint8_t {
+  kLiteral,  ///< 42, 3.5, "s", true, false
+  kIdent,    ///< q, balance, user-defined name
+  kMember,   ///< base.field (base must evaluate to an object reference)
+  kCall,     ///< f(args...) — host-registered function
+  kUnary,    ///< !x or -x
+  kBinary,   ///< x op y
+};
+
+/// Operators usable inside masks.
+enum class MaskOp : uint8_t {
+  kOr,   // ||
+  kAnd,  // &&
+  kNot,  // !
+  kEq,   // ==
+  kNe,   // !=
+  kLt,   // <
+  kLe,   // <=
+  kGt,   // >
+  kGe,   // >=
+  kAdd,  // +
+  kSub,  // -
+  kMul,  // *
+  kDiv,  // /
+  kMod,  // %
+  kNeg,  // unary -
+};
+
+std::string_view MaskOpName(MaskOp op);
+
+struct MaskExpr;
+using MaskExprPtr = std::shared_ptr<const MaskExpr>;
+
+/// A mask: a side-effect-free predicate attached to a basic or composite
+/// event (§3.2). Masks over basic events may reference the event's
+/// parameters; all masks may read object state via identifiers/members and
+/// call registered host functions.
+///
+/// Nodes are immutable and shared (shared_ptr-const idiom), so subtrees can
+/// be reused freely by the desugarer and the disjointness rewriter.
+struct MaskExpr {
+  MaskKind kind = MaskKind::kLiteral;
+  MaskOp op = MaskOp::kAnd;              // kUnary/kBinary
+  Value literal;                         // kLiteral
+  std::string name;                      // kIdent/kMember(field)/kCall(fn)
+  std::vector<MaskExprPtr> children;     // operands / call args / member base
+
+  /// --- Factories -------------------------------------------------------
+  static MaskExprPtr Literal(Value v);
+  static MaskExprPtr Ident(std::string name);
+  static MaskExprPtr Member(MaskExprPtr base, std::string field);
+  static MaskExprPtr Call(std::string fn, std::vector<MaskExprPtr> args);
+  static MaskExprPtr Unary(MaskOp op, MaskExprPtr operand);
+  static MaskExprPtr Binary(MaskOp op, MaskExprPtr lhs, MaskExprPtr rhs);
+
+  /// Convenience combinators used by the §5 disjointness rewrite.
+  static MaskExprPtr And(MaskExprPtr a, MaskExprPtr b);
+  static MaskExprPtr Not(MaskExprPtr a);
+
+  /// Canonical, re-parsable text (used for structural identity and
+  /// alphabet deduplication).
+  std::string ToString() const;
+
+  /// Structural equality via canonical text.
+  bool Equals(const MaskExpr& other) const;
+
+  /// All identifier names referenced at the top level (used to report which
+  /// event parameters a mask depends on).
+  void CollectIdents(std::vector<std::string>* out) const;
+};
+
+}  // namespace ode
+
+#endif  // ODE_MASK_MASK_AST_H_

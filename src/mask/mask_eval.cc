@@ -1,0 +1,132 @@
+#include "mask/mask_eval.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Value> SimpleMaskEnv::Lookup(std::string_view name) const {
+  auto it = vars_.find(name);
+  if (it == vars_.end()) {
+    return Status::NotFound(StrFormat("unbound identifier '%s'",
+                                      std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+Result<Value> SimpleMaskEnv::Member(const Value& base,
+                                    std::string_view field) const {
+  // Without a database, member access is resolved as "<oid>.<field>"
+  // bindings, letting tests exercise the syntax.
+  Result<Oid> oid = base.AsOid();
+  if (!oid.ok()) return oid.status();
+  std::string key = StrFormat("@%llu.%s",
+                              static_cast<unsigned long long>(oid->id),
+                              std::string(field).c_str());
+  auto it = vars_.find(key);
+  if (it == vars_.end()) {
+    return Status::NotFound(StrFormat("no member binding '%s'", key.c_str()));
+  }
+  return it->second;
+}
+
+Result<Value> SimpleMaskEnv::Call(std::string_view fn,
+                                  const std::vector<Value>& args) const {
+  auto it = fns_.find(fn);
+  if (it == fns_.end()) {
+    return Status::NotFound(StrFormat("unknown function '%s'",
+                                      std::string(fn).c_str()));
+  }
+  return it->second(args);
+}
+
+namespace {
+
+Result<Value> EvalBinary(const MaskExpr& mask, const MaskEnv& env) {
+  // Short-circuit for && and ||.
+  if (mask.op == MaskOp::kAnd || mask.op == MaskOp::kOr) {
+    Result<Value> lhs = EvalMask(*mask.children[0], env);
+    if (!lhs.ok()) return lhs.status();
+    bool l = lhs->Truthy();
+    if (mask.op == MaskOp::kAnd && !l) return Value(false);
+    if (mask.op == MaskOp::kOr && l) return Value(true);
+    Result<Value> rhs = EvalMask(*mask.children[1], env);
+    if (!rhs.ok()) return rhs.status();
+    return Value(rhs->Truthy());
+  }
+
+  Result<Value> lhs = EvalMask(*mask.children[0], env);
+  if (!lhs.ok()) return lhs.status();
+  Result<Value> rhs = EvalMask(*mask.children[1], env);
+  if (!rhs.ok()) return rhs.status();
+
+  switch (mask.op) {
+    case MaskOp::kEq:
+      return Value(lhs->Equals(*rhs));
+    case MaskOp::kNe:
+      return Value(!lhs->Equals(*rhs));
+    case MaskOp::kLt:
+    case MaskOp::kLe:
+    case MaskOp::kGt:
+    case MaskOp::kGe: {
+      Result<int> c = lhs->Compare(*rhs);
+      if (!c.ok()) return c.status();
+      switch (mask.op) {
+        case MaskOp::kLt: return Value(*c < 0);
+        case MaskOp::kLe: return Value(*c <= 0);
+        case MaskOp::kGt: return Value(*c > 0);
+        default: return Value(*c >= 0);
+      }
+    }
+    case MaskOp::kAdd: return lhs->Add(*rhs);
+    case MaskOp::kSub: return lhs->Sub(*rhs);
+    case MaskOp::kMul: return lhs->Mul(*rhs);
+    case MaskOp::kDiv: return lhs->Div(*rhs);
+    case MaskOp::kMod: return lhs->Mod(*rhs);
+    default:
+      return Status::Internal("unexpected binary mask operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> EvalMask(const MaskExpr& mask, const MaskEnv& env) {
+  switch (mask.kind) {
+    case MaskKind::kLiteral:
+      return mask.literal;
+    case MaskKind::kIdent:
+      return env.Lookup(mask.name);
+    case MaskKind::kMember: {
+      Result<Value> base = EvalMask(*mask.children[0], env);
+      if (!base.ok()) return base.status();
+      return env.Member(*base, mask.name);
+    }
+    case MaskKind::kCall: {
+      std::vector<Value> args;
+      args.reserve(mask.children.size());
+      for (const MaskExprPtr& c : mask.children) {
+        Result<Value> v = EvalMask(*c, env);
+        if (!v.ok()) return v.status();
+        args.push_back(std::move(*v));
+      }
+      return env.Call(mask.name, args);
+    }
+    case MaskKind::kUnary: {
+      Result<Value> v = EvalMask(*mask.children[0], env);
+      if (!v.ok()) return v.status();
+      if (mask.op == MaskOp::kNot) return Value(!v->Truthy());
+      if (mask.op == MaskOp::kNeg) return v->Neg();
+      return Status::Internal("unexpected unary mask operator");
+    }
+    case MaskKind::kBinary:
+      return EvalBinary(mask, env);
+  }
+  return Status::Internal("unexpected mask node kind");
+}
+
+Result<bool> EvalMaskBool(const MaskExpr& mask, const MaskEnv& env) {
+  Result<Value> v = EvalMask(mask, env);
+  if (!v.ok()) return v.status();
+  return v->Truthy();
+}
+
+}  // namespace ode

@@ -1,0 +1,68 @@
+#ifndef ODE_MASK_MASK_EVAL_H_
+#define ODE_MASK_MASK_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "mask/mask_ast.h"
+
+namespace ode {
+
+/// Name-resolution environment for mask evaluation. Masks associated with a
+/// logical event are evaluated "as of the time at which the basic event
+/// occurred" (§3.2): the environment the engine passes in binds that
+/// moment's event parameters and object state.
+class MaskEnv {
+ public:
+  virtual ~MaskEnv() = default;
+
+  /// Resolves a bare identifier. Engines resolve in order: event argument,
+  /// trigger parameter, object attribute.
+  virtual Result<Value> Lookup(std::string_view name) const = 0;
+
+  /// Resolves `base.field` where `base` evaluated to an object reference.
+  virtual Result<Value> Member(const Value& base,
+                               std::string_view field) const = 0;
+
+  /// Invokes a registered host function (e.g. `authorized(user())`).
+  virtual Result<Value> Call(std::string_view fn,
+                             const std::vector<Value>& args) const = 0;
+};
+
+/// A MaskEnv over plain maps — sufficient for tests and for the oracle.
+class SimpleMaskEnv : public MaskEnv {
+ public:
+  using HostFn =
+      std::function<Result<Value>(const std::vector<Value>&)>;
+
+  SimpleMaskEnv() = default;
+
+  void Bind(std::string name, Value v) { vars_[std::move(name)] = std::move(v); }
+  void BindFn(std::string name, HostFn fn) {
+    fns_[std::move(name)] = std::move(fn);
+  }
+
+  Result<Value> Lookup(std::string_view name) const override;
+  Result<Value> Member(const Value& base,
+                       std::string_view field) const override;
+  Result<Value> Call(std::string_view fn,
+                     const std::vector<Value>& args) const override;
+
+ private:
+  std::map<std::string, Value, std::less<>> vars_;
+  std::map<std::string, HostFn, std::less<>> fns_;
+};
+
+/// Evaluates a mask expression in `env`.
+Result<Value> EvalMask(const MaskExpr& mask, const MaskEnv& env);
+
+/// Evaluates and coerces to a predicate outcome via Value::Truthy.
+Result<bool> EvalMaskBool(const MaskExpr& mask, const MaskEnv& env);
+
+}  // namespace ode
+
+#endif  // ODE_MASK_MASK_EVAL_H_

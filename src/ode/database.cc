@@ -1,0 +1,989 @@
+#include "ode/database.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "trigger/trigger_engine.h"
+
+namespace ode {
+
+Database::Database(DatabaseOptions options)
+    : options_(std::move(options)),
+      engine_(std::make_unique<TriggerEngine>(this)) {}
+
+Database::~Database() = default;
+
+// --- Schema ------------------------------------------------------------
+
+Result<ClassId> Database::RegisterClass(ClassDef def) {
+  std::string name = def.name();
+  Result<ClassId> id = classes_.Register(std::move(def), options_.compile);
+  if (!id.ok()) return id;
+
+  // §3 database-scope events: announce the schema modification to the
+  // schema object (from a system transaction, like other global events).
+  if (!schema_oid_.IsNull() && name != "__schema") {
+    Status posted = RunSystemTxn([&](Transaction* sys) -> Status {
+      // The ordinary invocation path posts the full §3.1 event set around
+      // the (body-less) classRegistered method.
+      return Call(sys->id(), schema_oid_, "classRegistered",
+                  {Value(name)})
+          .status();
+    });
+    if (!posted.ok()) return posted;
+  }
+  return id;
+}
+
+Status Database::AddSchemaTrigger(std::string dsl_text) {
+  if (!schema_oid_.IsNull()) {
+    return Status::FailedPrecondition(
+        "schema triggers must be declared before EnableSchemaEvents");
+  }
+  pending_schema_triggers_.push_back(std::move(dsl_text));
+  return Status::OK();
+}
+
+Status Database::EnableSchemaEvents() {
+  if (!schema_oid_.IsNull()) return Status::OK();  // Idempotent.
+  ClassDef def("__schema");
+  def.AddAttr("classes_registered", Value(0));
+  def.AddMethod(MethodDef{
+      "classRegistered", {{"string", "name"}}, MethodKind::kUpdate, nullptr});
+  for (std::string& dsl : pending_schema_triggers_) {
+    def.AddTrigger(std::move(dsl), HistoryView::kFull,
+                   /*auto_activate=*/true);
+  }
+  pending_schema_triggers_.clear();
+  ODE_RETURN_IF_ERROR(classes_.Register(std::move(def), options_.compile)
+                          .status());
+  return RunSystemTxn([&](Transaction* sys) -> Status {
+    const RegisteredClass* cls = classes_.Find("__schema");
+    Oid oid{next_oid_++};
+    Object obj(oid, cls->id);
+    for (const AttrDecl& attr : cls->def.attrs()) {
+      obj.InitAttr(attr.name, attr.default_value);
+    }
+    objects_.emplace(oid, std::move(obj));
+    schema_oid_ = oid;
+    Object* stored = &objects_.find(oid)->second;
+    for (size_t i = 0; i < cls->triggers.size(); ++i) {
+      if (!cls->auto_activate[i]) continue;
+      ODE_RETURN_IF_ERROR(ActivateTriggerInternal(sys, stored, *cls,
+                                                  static_cast<int>(i), {}));
+    }
+    return Status::OK();
+  });
+}
+
+Status Database::RegisterAction(std::string name, TriggerAction action) {
+  return actions_.Register(std::move(name), std::move(action));
+}
+
+Status Database::RegisterHostFunction(std::string name, HostFn fn) {
+  auto [it, inserted] = host_fns_.emplace(std::move(name), std::move(fn));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("host function '%s' already registered",
+                  it->first.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<Value> Database::CallHostFunction(std::string_view name,
+                                         const std::vector<Value>& args,
+                                         const HostContext& ctx) const {
+  auto it = host_fns_.find(name);
+  if (it == host_fns_.end()) {
+    return Status::NotFound(StrFormat("unknown host function '%s'",
+                                      std::string(name).c_str()));
+  }
+  return it->second(args, ctx);
+}
+
+// --- Internal helpers -----------------------------------------------------
+
+Result<Object*> Database::GetObject(Oid oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrFormat(
+        "no object @%llu", static_cast<unsigned long long>(oid.id)));
+  }
+  return &it->second;
+}
+
+void Database::RecordHistory(const PostedEvent& event) {
+  if (!options_.record_histories) return;
+  histories_[event.object].Append(event);
+}
+
+void Database::BumpTriggersFired(Oid oid, const std::string& trigger_name) {
+  ++stats_.triggers_fired;
+  ++fire_counts_[{oid.id, trigger_name}];
+}
+
+void Database::ReleaseAlphabetTimers(Oid oid, const Alphabet& alphabet) {
+  for (const BasicEvent& te : alphabet.TimeEvents()) {
+    (void)clock_.RemoveTimer(oid, te);  // Best effort.
+  }
+}
+
+void Database::AcquireAlphabetTimers(Oid oid, const Alphabet& alphabet) {
+  for (const BasicEvent& te : alphabet.TimeEvents()) {
+    (void)clock_.AddTimer(oid, te);
+  }
+}
+
+void Database::ReleaseTriggerTimers(Oid oid, const TriggerProgram& program) {
+  ReleaseAlphabetTimers(oid, program.event.alphabet);
+}
+
+void Database::AcquireTriggerTimers(Oid oid, const TriggerProgram& program) {
+  AcquireAlphabetTimers(oid, program.event.alphabet);
+}
+
+Status Database::TouchObject(Transaction* txn, Oid oid, LockMode mode) {
+  ODE_RETURN_IF_ERROR(locks_.Acquire(txn->id(), oid, mode));
+  if (txn->RecordAccess(oid) && !txn->is_system()) {
+    // "The 'after tbegin' event is posted to an object only immediately
+    // before the object is first accessed by the transaction" (§3.1).
+    Result<int> posted = engine_->PostSimple(txn, oid, BasicEventKind::kTbegin,
+                                             EventQualifier::kAfter);
+    if (!posted.ok()) return posted.status();
+  }
+  return Status::OK();
+}
+
+Status Database::RunSystemTxn(const std::function<Status(Transaction*)>& fn) {
+  Transaction* sys = txns_.Begin(/*is_system=*/true);
+  ++stats_.system_txns;
+  Status s = fn(sys);
+  if (s.ok()) {
+    sys->set_state(TxnState::kCommitted);
+    locks_.Release(sys->id());
+    return Status::OK();
+  }
+  // Roll the system transaction back. A trigger action aborting a *system*
+  // transaction affects only that transaction; the user-level operation
+  // that spawned it has already completed (§5).
+  std::vector<UndoEntry> log = sys->TakeUndoLog();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    (void)ApplyUndo(*it);
+  }
+  sys->set_state(TxnState::kAborted);
+  locks_.Release(sys->id());
+  if (s.code() == StatusCode::kAborted) return Status::OK();
+  return s;
+}
+
+// --- Transactions ----------------------------------------------------------
+
+Result<TxnId> Database::Begin() { return txns_.Begin(/*is_system=*/false)->id(); }
+
+Status Database::AddCommitDependency(TxnId txn_id, TxnId dep) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  if (txn_id == dep) {
+    return Status::InvalidArgument("transaction cannot depend on itself");
+  }
+  txn->AddCommitDependency(dep);
+  return Status::OK();
+}
+
+Status Database::Commit(TxnId txn_id) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  return CommitInternal(txn);
+}
+
+Status Database::CommitInternal(Transaction* txn) {
+  // Commit dependencies (§7): wait for dependees; abort if any aborted.
+  for (TxnId dep : txn->commit_deps()) {
+    const Transaction* t = txns_.Get(dep);
+    if (t == nullptr) continue;  // Collected — treated as committed.
+    if (t->state() == TxnState::kAborted) {
+      (void)AbortInternal(txn);
+      return Status::Aborted(StrFormat(
+          "commit dependency on aborted transaction %llu",
+          static_cast<unsigned long long>(dep)));
+    }
+    if (t->state() == TxnState::kActive) {
+      return Status::WouldBlock(StrFormat(
+          "commit dependency on still-active transaction %llu",
+          static_cast<unsigned long long>(dep)));
+    }
+  }
+
+  // `before tcomplete` fixpoint (§6): keep posting until no trigger fires.
+  for (int round = 0;; ++round) {
+    if (round >= options_.max_tcomplete_rounds) {
+      (void)AbortInternal(txn);
+      return Status::ResourceExhausted(
+          "before-tcomplete trigger cascade did not quiesce");
+    }
+    ++stats_.tcomplete_rounds;
+    int fired = 0;
+    for (size_t i = 0; i < txn->accessed().size(); ++i) {
+      Oid oid = txn->accessed()[i];
+      if (!Exists(oid)) continue;
+      Result<int> f = engine_->PostSimple(txn, oid, BasicEventKind::kTcomplete,
+                                          EventQualifier::kBefore);
+      if (!f.ok()) {
+        if (f.status().code() == StatusCode::kAborted) {
+          (void)AbortInternal(txn);
+        }
+        return f.status();
+      }
+      fired += *f;
+    }
+    if (fired == 0) break;
+  }
+
+  txn->set_state(TxnState::kCommitted);
+  txns_.CountCommit();
+  locks_.Release(txn->id());
+
+  // `after tcommit` events are posted by a system transaction (§5); any
+  // actions they fire execute as part of that transaction.
+  std::vector<Oid> accessed = txn->accessed();
+  TxnId committed_id = txn->id();
+  return RunSystemTxn([&](Transaction* sys) -> Status {
+    for (Oid oid : accessed) {
+      if (!Exists(oid)) continue;
+      PostedEvent e = MakePosted(BasicEventKind::kTcommit,
+                                 EventQualifier::kAfter, committed_id);
+      Result<int> f = engine_->Post(sys, oid, std::move(e));
+      if (!f.ok()) return f.status();
+    }
+    return Status::OK();
+  });
+}
+
+Status Database::Abort(TxnId txn_id) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  return AbortInternal(txn);
+}
+
+Status Database::AbortInternal(Transaction* txn) {
+  if (txn->state() != TxnState::kActive || txn->aborting()) {
+    return Status::OK();
+  }
+  txn->set_aborting(true);
+
+  // `before tabort` (§3.1) — posted while the transaction's effects are
+  // still visible and the transaction can still execute actions (their
+  // writes are undo-logged below and rolled back with everything else).
+  // Action failures during abort are swallowed: the abort must complete.
+  for (size_t i = 0; i < txn->accessed().size(); ++i) {
+    Oid oid = txn->accessed()[i];
+    if (!Exists(oid)) continue;
+    (void)engine_->PostSimple(txn, oid, BasicEventKind::kTabort,
+                              EventQualifier::kBefore);
+  }
+  txn->set_state(TxnState::kAborted);
+
+  // Undo in reverse order: attributes, trigger states (committed view),
+  // activations, creations, deletions.
+  std::vector<UndoEntry> log = txn->TakeUndoLog();
+  for (auto it = log.rbegin(); it != log.rend(); ++it) {
+    ODE_RETURN_IF_ERROR(ApplyUndo(*it));
+  }
+
+  txns_.CountAbort();
+  locks_.Release(txn->id());
+
+  // `after tabort` via system transaction (§5).
+  std::vector<Oid> accessed = txn->accessed();
+  TxnId aborted_id = txn->id();
+  return RunSystemTxn([&](Transaction* sys) -> Status {
+    for (Oid oid : accessed) {
+      if (!Exists(oid)) continue;
+      PostedEvent e = MakePosted(BasicEventKind::kTabort,
+                                 EventQualifier::kAfter, aborted_id);
+      Result<int> f = engine_->Post(sys, oid, std::move(e));
+      if (!f.ok()) return f.status();
+    }
+    return Status::OK();
+  });
+}
+
+Status Database::ApplyUndo(const UndoEntry& entry) {
+  switch (entry.kind) {
+    case UndoEntry::Kind::kAttr: {
+      auto it = objects_.find(entry.oid);
+      if (it == objects_.end()) return Status::OK();
+      return it->second.SetAttr(entry.attr, entry.old_value);
+    }
+    case UndoEntry::Kind::kTriggerState: {
+      auto it = objects_.find(entry.oid);
+      if (it == objects_.end()) return Status::OK();
+      ActiveTrigger& slot = it->second.SlotFor(entry.trigger_idx);
+      slot.state = entry.old_state;
+      slot.gate_states = entry.old_gate_states;
+      return Status::OK();
+    }
+    case UndoEntry::Kind::kTriggerActive: {
+      auto it = objects_.find(entry.oid);
+      if (it == objects_.end()) return Status::OK();
+      ActiveTrigger& slot = it->second.SlotFor(entry.trigger_idx);
+      if (slot.active == entry.old_active) return Status::OK();
+      const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+      if (cls != nullptr &&
+          entry.trigger_idx < static_cast<int>(cls->triggers.size())) {
+        const TriggerProgram& program = cls->triggers[entry.trigger_idx];
+        if (entry.old_active) {
+          AcquireTriggerTimers(entry.oid, program);
+        } else {
+          ReleaseTriggerTimers(entry.oid, program);
+        }
+      }
+      slot.active = entry.old_active;
+      return Status::OK();
+    }
+    case UndoEntry::Kind::kCreate:
+      objects_.erase(entry.oid);
+      return Status::OK();
+    case UndoEntry::Kind::kDelete:
+      if (entry.deleted_object.has_value()) {
+        objects_[entry.oid] = *entry.deleted_object;
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unknown undo entry kind");
+}
+
+// --- Objects -----------------------------------------------------------------
+
+Result<Oid> Database::New(TxnId txn_id, std::string_view class_name,
+                          const std::map<std::string, Value>& init) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  const RegisteredClass* cls = classes_.Find(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound(StrFormat("unknown class '%s'",
+                                      std::string(class_name).c_str()));
+  }
+
+  Oid oid{next_oid_++};
+  Object obj(oid, cls->id);
+  for (const AttrDecl& attr : cls->def.attrs()) {
+    obj.InitAttr(attr.name, attr.default_value);
+  }
+  for (const auto& [name, value] : init) {
+    if (!obj.HasAttr(name)) {
+      return Status::InvalidArgument(StrFormat(
+          "class '%s' has no attribute '%s'",
+          std::string(class_name).c_str(), name.c_str()));
+    }
+    obj.InitAttr(name, value);
+  }
+  objects_.emplace(oid, std::move(obj));
+
+  UndoEntry undo;
+  undo.kind = UndoEntry::Kind::kCreate;
+  undo.oid = oid;
+  txn->PushUndo(std::move(undo));
+
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+
+  Status touched = TouchObject(txn, oid, LockMode::kExclusive);
+  if (!touched.ok()) return fail(touched);
+
+  // Constructor-time trigger activation (§3.5), before `after create` so
+  // the new triggers observe the creation event.
+  Object* stored = &objects_.find(oid)->second;
+  for (size_t i = 0; i < cls->triggers.size(); ++i) {
+    if (!cls->auto_activate[i]) continue;
+    Status s = ActivateTriggerInternal(txn, stored, *cls,
+                                       static_cast<int>(i), {});
+    if (!s.ok()) return fail(s);
+  }
+
+  Result<int> posted = engine_->PostSimple(txn, oid, BasicEventKind::kCreate,
+                                           EventQualifier::kAfter);
+  if (!posted.ok()) return fail(posted.status());
+  return oid;
+}
+
+Status Database::Delete(TxnId txn_id, Oid oid) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  (void)obj;
+
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+
+  Status touched = TouchObject(txn, oid, LockMode::kExclusive);
+  if (!touched.ok()) return fail(touched);
+
+  Result<int> posted = engine_->PostSimple(txn, oid, BasicEventKind::kDelete,
+                                           EventQualifier::kBefore);
+  if (!posted.ok()) return fail(posted.status());
+
+  // The posting pipeline may have mutated the object; snapshot now.
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::FailedPrecondition("object vanished during before-delete");
+  }
+  UndoEntry undo;
+  undo.kind = UndoEntry::Kind::kDelete;
+  undo.oid = oid;
+  undo.deleted_object = it->second;
+  txn->PushUndo(std::move(undo));
+
+  objects_.erase(it);
+  return Status::OK();
+}
+
+const Object* Database::object(Oid oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Result<Value> Database::Call(TxnId txn_id, Oid oid, std::string_view method,
+                             std::vector<Value> args) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  const MethodDef* def = cls->def.FindMethod(method);
+  if (def == nullptr) {
+    return Status::NotFound(StrFormat(
+        "class '%s' has no method '%s'", cls->def.name().c_str(),
+        std::string(method).c_str()));
+  }
+  if (args.size() != def->params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "method '%s' expects %zu arguments, got %zu",
+        def->name.c_str(), def->params.size(), args.size()));
+  }
+
+  std::vector<EventArg> named;
+  named.reserve(args.size());
+  for (size_t i = 0; i < args.size(); ++i) {
+    named.push_back(EventArg{def->params[i].name, std::move(args[i])});
+  }
+
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+
+  LockMode mode = def->kind == MethodKind::kReadOnly ? LockMode::kShared
+                                                     : LockMode::kExclusive;
+  Status touched = TouchObject(txn, oid, mode);
+  if (!touched.ok()) return fail(touched);
+
+  const EventPostingPolicy& policy = cls->def.policy();
+  BasicEventKind state_kind = def->kind == MethodKind::kReadOnly
+                                  ? BasicEventKind::kRead
+                                  : BasicEventKind::kUpdate;
+
+  auto post = [&](BasicEventKind kind, EventQualifier q) -> Status {
+    if (kind == BasicEventKind::kMethod) {
+      Result<int> f = engine_->Post(
+          txn, oid, MakePostedMethod(q, def->name, named, txn->id()));
+      return f.ok() ? Status::OK() : f.status();
+    }
+    Result<int> f = engine_->PostSimple(txn, oid, kind, q);
+    return f.ok() ? Status::OK() : f.status();
+  };
+
+  // Event order around a method execution (§3.1; order within one
+  // invocation is a documented implementation choice):
+  //   before f → before access → before read/update
+  //   [body]
+  //   after read/update → after access → after f
+  if (policy.method_events) {
+    Status s = post(BasicEventKind::kMethod, EventQualifier::kBefore);
+    if (!s.ok()) return fail(s);
+  }
+  if (policy.access_events) {
+    Status s = post(BasicEventKind::kAccess, EventQualifier::kBefore);
+    if (!s.ok()) return fail(s);
+  }
+  if (policy.read_update_events) {
+    Status s = post(state_kind, EventQualifier::kBefore);
+    if (!s.ok()) return fail(s);
+  }
+
+  MethodContext ctx(this, txn_id, oid, named);
+  if (def->body) {
+    Status body_status = def->body(&ctx);
+    if (!body_status.ok()) return fail(body_status);
+  }
+
+  if (policy.read_update_events) {
+    Status s = post(state_kind, EventQualifier::kAfter);
+    if (!s.ok()) return fail(s);
+  }
+  if (policy.access_events) {
+    Status s = post(BasicEventKind::kAccess, EventQualifier::kAfter);
+    if (!s.ok()) return fail(s);
+  }
+  if (policy.method_events) {
+    Status s = post(BasicEventKind::kMethod, EventQualifier::kAfter);
+    if (!s.ok()) return fail(s);
+  }
+  return ctx.result();
+}
+
+Result<Value> Database::GetAttr(TxnId txn_id, Oid oid, std::string_view attr) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_RETURN_IF_ERROR(TouchObject(txn, oid, LockMode::kShared));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  return obj->GetAttr(attr);
+}
+
+Status Database::SetAttr(TxnId txn_id, Oid oid, std::string_view attr,
+                         Value v) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_RETURN_IF_ERROR(TouchObject(txn, oid, LockMode::kExclusive));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  ODE_ASSIGN_OR_RETURN(Value old_value, obj->GetAttr(attr));
+
+  UndoEntry undo;
+  undo.kind = UndoEntry::Kind::kAttr;
+  undo.oid = oid;
+  undo.attr = std::string(attr);
+  undo.old_value = std::move(old_value);
+  txn->PushUndo(std::move(undo));
+
+  return obj->SetAttr(attr, std::move(v));
+}
+
+Result<Value> Database::PeekAttr(Oid oid, std::string_view attr) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    return Status::NotFound(StrFormat(
+        "no object @%llu", static_cast<unsigned long long>(oid.id)));
+  }
+  return it->second.GetAttr(attr);
+}
+
+// --- Triggers -------------------------------------------------------------
+
+Status Database::ActivateTrigger(TxnId txn_id, Oid oid,
+                                 std::string_view trigger_name,
+                                 std::vector<Value> params) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat(
+        "class '%s' has no trigger '%s'", cls->def.name().c_str(),
+        std::string(trigger_name).c_str()));
+  }
+  const TriggerProgram& program = cls->triggers[idx];
+  if (!program.spec.action.empty() &&
+      actions_.Find(program.spec.action) == nullptr) {
+    return Status::NotFound(StrFormat(
+        "trigger '%s' names unregistered action '%s'",
+        program.spec.name.c_str(), program.spec.action.c_str()));
+  }
+  if (params.size() != program.spec.params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "trigger '%s' expects %zu parameters, got %zu",
+        program.spec.name.c_str(), program.spec.params.size(),
+        params.size()));
+  }
+
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+  Status touched = TouchObject(txn, oid, LockMode::kExclusive);
+  if (!touched.ok()) return fail(touched);
+
+  // TouchObject may have fired triggers; re-fetch.
+  ODE_ASSIGN_OR_RETURN(obj, GetObject(oid));
+  return ActivateTriggerInternal(txn, obj, *cls, idx, std::move(params));
+}
+
+Status Database::ActivateTriggerInternal(Transaction* txn, Object* obj,
+                                         const RegisteredClass& cls, int idx,
+                                         std::vector<Value> params) {
+  const TriggerProgram& program = cls.triggers[idx];
+  ActiveTrigger& slot = obj->SlotFor(idx);
+
+  UndoEntry active_undo;
+  active_undo.kind = UndoEntry::Kind::kTriggerActive;
+  active_undo.oid = obj->oid();
+  active_undo.trigger_idx = idx;
+  active_undo.old_active = slot.active;
+  txn->PushUndo(std::move(active_undo));
+
+  UndoEntry state_undo;
+  state_undo.kind = UndoEntry::Kind::kTriggerState;
+  state_undo.oid = obj->oid();
+  state_undo.trigger_idx = idx;
+  state_undo.old_state = slot.state;
+  state_undo.old_gate_states = slot.gate_states;
+  txn->PushUndo(std::move(state_undo));
+
+  bool was_active = slot.active;
+  slot.active = true;
+  slot.state = program.ActiveDfa().start();
+  slot.witnesses.clear();
+  slot.gate_states.assign(program.event.gates.size(), 0);
+  for (size_t g = 0; g < program.event.gates.size(); ++g) {
+    slot.gate_states[g] = program.event.gates[g].dfa.start();
+  }
+  slot.params.clear();
+  for (size_t i = 0; i < params.size(); ++i) {
+    slot.params[program.spec.params[i].name] = std::move(params[i]);
+  }
+  if (!was_active) {
+    AcquireTriggerTimers(obj->oid(), program);
+  }
+  return Status::OK();
+}
+
+Status Database::DeactivateTrigger(TxnId txn_id, Oid oid,
+                                   std::string_view trigger_name) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat(
+        "class '%s' has no trigger '%s'", cls->def.name().c_str(),
+        std::string(trigger_name).c_str()));
+  }
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+  Status touched = TouchObject(txn, oid, LockMode::kExclusive);
+  if (!touched.ok()) return fail(touched);
+  ODE_ASSIGN_OR_RETURN(obj, GetObject(oid));
+
+  ActiveTrigger& slot = obj->SlotFor(idx);
+  if (!slot.active) return Status::OK();
+
+  UndoEntry undo;
+  undo.kind = UndoEntry::Kind::kTriggerActive;
+  undo.oid = oid;
+  undo.trigger_idx = idx;
+  undo.old_active = true;
+  txn->PushUndo(std::move(undo));
+
+  slot.active = false;
+  ReleaseTriggerTimers(oid, cls->triggers[idx]);
+  return Status::OK();
+}
+
+Result<bool> Database::TriggerActive(Oid oid,
+                                     std::string_view trigger_name) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) return Status::NotFound("no such trigger");
+  const ActiveTrigger* slot = it->second.FindSlot(idx);
+  return slot != nullptr && slot->active;
+}
+
+Result<int32_t> Database::TriggerState(Oid oid,
+                                       std::string_view trigger_name) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) return Status::NotFound("no such trigger");
+  const ActiveTrigger* slot = it->second.FindSlot(idx);
+  if (slot == nullptr) return Status::FailedPrecondition("never activated");
+  return slot->state;
+}
+
+uint64_t Database::FireCount(Oid oid, std::string_view trigger_name) const {
+  auto it = fire_counts_.find({oid.id, std::string(trigger_name)});
+  return it == fire_counts_.end() ? 0 : it->second;
+}
+
+// --- Trigger groups (§5 footnote 5) -------------------------------------
+
+Status Database::DefineTriggerGroup(
+    std::string_view class_name, std::string group_name,
+    const std::vector<std::string>& trigger_names) {
+  RegisteredClass* cls = classes_.FindMutable(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound(StrFormat("unknown class '%s'",
+                                      std::string(class_name).c_str()));
+  }
+  if (cls->GroupIndex(group_name) >= 0) {
+    return Status::AlreadyExists(
+        StrFormat("group '%s' already defined", group_name.c_str()));
+  }
+  if (trigger_names.empty()) {
+    return Status::InvalidArgument("a trigger group needs members");
+  }
+
+  TriggerGroup group;
+  group.name = std::move(group_name);
+  std::vector<TriggerSpec> specs;
+  for (const std::string& name : trigger_names) {
+    int idx = cls->TriggerIndex(name);
+    if (idx < 0) {
+      return Status::NotFound(StrFormat(
+          "class '%s' has no trigger '%s'", cls->def.name().c_str(),
+          name.c_str()));
+    }
+    const TriggerProgram& program = cls->triggers[idx];
+    if (program.view != HistoryView::kFull) {
+      return Status::InvalidArgument(StrFormat(
+          "trigger '%s' is not full-history view; combined monitoring "
+          "state is not undo-logged",
+          name.c_str()));
+    }
+    if (!program.spec.params.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "trigger '%s' takes parameters; group members must be "
+          "parameterless",
+          name.c_str()));
+    }
+    group.member_idxs.push_back(idx);
+    specs.push_back(program.spec);
+  }
+
+  CombinedProgram::Options opts;
+  opts.compile = options_.compile;
+  ODE_ASSIGN_OR_RETURN(group.program,
+                       CombinedProgram::Build(std::move(specs), opts));
+  cls->groups.push_back(std::move(group));
+  return Status::OK();
+}
+
+Status Database::ActivateTriggerGroup(TxnId txn_id, Oid oid,
+                                      std::string_view group_name) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int gidx = cls->GroupIndex(group_name);
+  if (gidx < 0) {
+    return Status::NotFound(StrFormat("no trigger group '%s'",
+                                      std::string(group_name).c_str()));
+  }
+  const TriggerGroup& group = cls->groups[gidx];
+  for (int member : group.member_idxs) {
+    const TriggerProgram& program = cls->triggers[member];
+    if (!program.spec.action.empty() &&
+        actions_.Find(program.spec.action) == nullptr) {
+      return Status::NotFound(StrFormat(
+          "trigger '%s' names unregistered action '%s'",
+          program.spec.name.c_str(), program.spec.action.c_str()));
+    }
+  }
+
+  auto fail = [&](Status s) -> Status {
+    if (s.code() == StatusCode::kAborted) (void)AbortInternal(txn);
+    return s;
+  };
+  Status touched = TouchObject(txn, oid, LockMode::kExclusive);
+  if (!touched.ok()) return fail(touched);
+  ODE_ASSIGN_OR_RETURN(obj, GetObject(oid));
+
+  GroupSlot& slot = obj->GroupSlotFor(gidx);
+  bool was_active = slot.active;
+  slot.active = true;
+  slot.state = group.program.dfa().start();
+  slot.enabled = group.member_idxs.size() >= 64
+                     ? ~uint64_t{0}
+                     : (uint64_t{1} << group.member_idxs.size()) - 1;
+  slot.witnesses.clear();
+  if (!was_active) AcquireAlphabetTimers(oid, group.program.alphabet());
+  return Status::OK();
+}
+
+Status Database::DeactivateTriggerGroup(TxnId txn_id, Oid oid,
+                                        std::string_view group_name) {
+  ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
+  ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int gidx = cls->GroupIndex(group_name);
+  if (gidx < 0) return Status::NotFound("no such trigger group");
+  ODE_RETURN_IF_ERROR(TouchObject(txn, oid, LockMode::kExclusive));
+  ODE_ASSIGN_OR_RETURN(obj, GetObject(oid));
+  GroupSlot& slot = obj->GroupSlotFor(gidx);
+  if (slot.active) {
+    slot.active = false;
+    ReleaseAlphabetTimers(oid, cls->groups[gidx].program.alphabet());
+  }
+  return Status::OK();
+}
+
+Result<bool> Database::TriggerGroupActive(
+    Oid oid, std::string_view group_name) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int gidx = cls->GroupIndex(group_name);
+  if (gidx < 0) return Status::NotFound("no such trigger group");
+  const GroupSlot* slot = it->second.FindGroupSlot(gidx);
+  return slot != nullptr && slot->active;
+}
+
+Result<int32_t> Database::TriggerGroupState(
+    Oid oid, std::string_view group_name) const {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+  int gidx = cls->GroupIndex(group_name);
+  if (gidx < 0) return Status::NotFound("no such trigger group");
+  const GroupSlot* slot = it->second.FindGroupSlot(gidx);
+  if (slot == nullptr) return Status::FailedPrecondition("never activated");
+  return slot->state;
+}
+
+// --- Class-scope triggers (§9 extension) -------------------------------
+
+void Database::BumpClassTriggersFired(ClassId cls,
+                                      const std::string& trigger_name) {
+  ++stats_.triggers_fired;
+  ++class_fire_counts_[{cls, trigger_name}];
+}
+
+std::vector<ActiveTrigger>* Database::ClassSlots(ClassId cls) {
+  auto it = class_slots_.find(cls);
+  return it == class_slots_.end() ? nullptr : &it->second;
+}
+
+Status Database::ActivateClassTrigger(std::string_view class_name,
+                                      std::string_view trigger_name,
+                                      std::vector<Value> params) {
+  const RegisteredClass* cls = classes_.Find(class_name);
+  if (cls == nullptr) {
+    return Status::NotFound(StrFormat("unknown class '%s'",
+                                      std::string(class_name).c_str()));
+  }
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) {
+    return Status::NotFound(StrFormat(
+        "class '%s' has no trigger '%s'", cls->def.name().c_str(),
+        std::string(trigger_name).c_str()));
+  }
+  const TriggerProgram& program = cls->triggers[idx];
+  if (program.view != HistoryView::kFull) {
+    return Status::InvalidArgument(
+        "class-scope activation requires a full-history trigger: the "
+        "merged instance stream interleaves transactions, so committed-"
+        "view rollback is not well-defined at class scope");
+  }
+  if (!program.event.alphabet.TimeEvents().empty()) {
+    return Status::Unimplemented(
+        "class-scope triggers with time events are not supported (timers "
+        "are registered per object)");
+  }
+  if (!program.spec.action.empty() &&
+      actions_.Find(program.spec.action) == nullptr) {
+    return Status::NotFound(StrFormat(
+        "trigger '%s' names unregistered action '%s'",
+        program.spec.name.c_str(), program.spec.action.c_str()));
+  }
+  if (params.size() != program.spec.params.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "trigger '%s' expects %zu parameters, got %zu",
+        program.spec.name.c_str(), program.spec.params.size(),
+        params.size()));
+  }
+
+  std::vector<ActiveTrigger>& slots = class_slots_[cls->id];
+  ActiveTrigger* slot = nullptr;
+  for (ActiveTrigger& s : slots) {
+    if (s.trigger_idx == idx) slot = &s;
+  }
+  if (slot == nullptr) {
+    slots.emplace_back();
+    slot = &slots.back();
+    slot->trigger_idx = idx;
+  }
+  slot->active = true;
+  slot->state = program.ActiveDfa().start();
+  slot->witnesses.clear();
+  slot->gate_states.assign(program.event.gates.size(), 0);
+  for (size_t g = 0; g < program.event.gates.size(); ++g) {
+    slot->gate_states[g] = program.event.gates[g].dfa.start();
+  }
+  slot->params.clear();
+  for (size_t i = 0; i < params.size(); ++i) {
+    slot->params[program.spec.params[i].name] = std::move(params[i]);
+  }
+  return Status::OK();
+}
+
+Status Database::DeactivateClassTrigger(std::string_view class_name,
+                                        std::string_view trigger_name) {
+  const RegisteredClass* cls = classes_.Find(class_name);
+  if (cls == nullptr) return Status::NotFound("unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) return Status::NotFound("no such trigger");
+  auto it = class_slots_.find(cls->id);
+  if (it == class_slots_.end()) return Status::OK();
+  for (ActiveTrigger& s : it->second) {
+    if (s.trigger_idx == idx) s.active = false;
+  }
+  return Status::OK();
+}
+
+Result<bool> Database::ClassTriggerActive(
+    std::string_view class_name, std::string_view trigger_name) const {
+  const RegisteredClass* cls = classes_.Find(class_name);
+  if (cls == nullptr) return Status::NotFound("unknown class");
+  int idx = cls->TriggerIndex(trigger_name);
+  if (idx < 0) return Status::NotFound("no such trigger");
+  auto it = class_slots_.find(cls->id);
+  if (it == class_slots_.end()) return false;
+  for (const ActiveTrigger& s : it->second) {
+    if (s.trigger_idx == idx) return s.active;
+  }
+  return false;
+}
+
+uint64_t Database::ClassFireCount(std::string_view class_name,
+                                  std::string_view trigger_name) const {
+  const RegisteredClass* cls = classes_.Find(class_name);
+  if (cls == nullptr) return 0;
+  auto it = class_fire_counts_.find({cls->id, std::string(trigger_name)});
+  return it == class_fire_counts_.end() ? 0 : it->second;
+}
+
+// --- Time -------------------------------------------------------------------
+
+Status Database::AdvanceClock(TimeMs delta_ms) {
+  return AdvanceClockTo(clock_.now() + delta_ms);
+}
+
+Status Database::AdvanceClockTo(TimeMs target_ms) {
+  return clock_.AdvanceTo(
+      target_ms,
+      [this](Oid oid, const std::string& time_key, TimeMs t) -> Status {
+        if (!Exists(oid)) return Status::OK();  // Stale timer.
+        return RunSystemTxn([&](Transaction* sys) -> Status {
+          ODE_RETURN_IF_ERROR(locks_.Acquire(sys->id(), oid,
+                                             LockMode::kExclusive));
+          sys->RecordAccess(oid);
+          Result<int> f = engine_->PostTime(sys, oid, time_key, t);
+          return f.ok() ? Status::OK() : f.status();
+        });
+      });
+}
+
+// --- Introspection ------------------------------------------------------------
+
+const EventHistory* Database::history(Oid oid) const {
+  auto it = histories_.find(oid);
+  return it == histories_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ode

@@ -1,0 +1,311 @@
+#ifndef ODE_ODE_DATABASE_H_
+#define ODE_ODE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "clock/virtual_clock.h"
+#include "common/result.h"
+#include "common/value.h"
+#include "event/history.h"
+#include "ode/class_def.h"
+#include "ode/object.h"
+#include "trigger/trigger_def.h"
+#include "txn/lock_manager.h"
+#include "txn/transaction.h"
+
+namespace ode {
+
+class TriggerEngine;
+
+/// Context passed to host functions registered for mask expressions
+/// (e.g. `authorized(user())` in §3.5 trigger T1).
+struct HostContext {
+  Database* db = nullptr;
+  TxnId txn = 0;
+  Oid self;
+  const PostedEvent* event = nullptr;  ///< Null for composite-mask checks.
+};
+
+/// A mask-callable host function.
+using HostFn =
+    std::function<Result<Value>(const std::vector<Value>&, const HostContext&)>;
+
+struct DatabaseOptions {
+  /// Record full per-object event histories (needed by the baseline
+  /// detectors and by tests; the DFA path itself does not need them —
+  /// that is the §5 point).
+  bool record_histories = true;
+  /// Bound on the §6 `before tcomplete` fixpoint rounds.
+  int max_tcomplete_rounds = 32;
+  /// Bound on recursive event posting through trigger actions.
+  int max_posting_depth = 64;
+  /// §9 argument capture: record, per active trigger, the latest
+  /// occurrence of each referenced logical event so actions can read the
+  /// constituent events' parameters (ActionContext::Witness).
+  bool capture_witnesses = true;
+  /// Compilation options for class triggers.
+  CompileOptions compile;
+};
+
+/// Engine statistics (used by tests and benches).
+struct DatabaseStats {
+  uint64_t events_posted = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t mask_evaluations = 0;
+  uint64_t tcomplete_rounds = 0;
+  uint64_t system_txns = 0;
+};
+
+/// The Ode-like active object database (§2): persistent objects with
+/// identity, classes with compiled trigger sections, transactions with
+/// undo-based atomicity and object-level locking, a virtual clock, and the
+/// event-posting pipeline that drives trigger automata (§5).
+///
+/// Single-threaded by design: concurrency is modeled by interleaving
+/// transactions cooperatively; lock conflicts surface as
+/// kWouldBlock/kDeadlock statuses.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- Schema ------------------------------------------------------------
+
+  /// Registers a class, compiling its trigger section (§2).
+  Result<ClassId> RegisterClass(ClassDef def);
+  const ClassRegistry& classes() const { return classes_; }
+
+  /// §3: "In some cases it may be appropriate to define events over other
+  /// scopes, such as the database. An example ... is the creation of object
+  /// type, i.e., schema modification." Enabling schema events creates a
+  /// singleton schema object (class `__schema`) that receives a
+  /// `classRegistered(name)` method event — posted from a system
+  /// transaction — every time a class is subsequently registered. Attach
+  /// triggers to it like to any object:
+  ///
+  ///   db.EnableSchemaEvents();
+  ///   db.ActivateTrigger(txn, db.schema_object(),
+  ///                      "..." /* a __schema trigger */);
+  ///
+  /// Extra `__schema` triggers can be declared by passing a ClassDef-style
+  /// customization before the first EnableSchemaEvents call via
+  /// `AddSchemaTrigger`.
+  Status EnableSchemaEvents();
+  Status AddSchemaTrigger(std::string dsl_text);
+  Oid schema_object() const { return schema_oid_; }
+
+  /// Registers a named trigger action callback (`==> name` in trigger DSL).
+  Status RegisterAction(std::string name, TriggerAction action);
+
+  /// Registers a host function callable from masks.
+  Status RegisterHostFunction(std::string name, HostFn fn);
+
+  // --- Transactions (§2, §6) ----------------------------------------------
+
+  Result<TxnId> Begin();
+  /// Runs the `before tcomplete` fixpoint (§6), then commits: releases
+  /// locks and posts `after tcommit` to every accessed object from a system
+  /// transaction (§5). kAborted if a deferred trigger aborts the
+  /// transaction; kWouldBlock if a commit dependency is still active.
+  Status Commit(TxnId txn);
+  /// Posts `before tabort`, rolls back every effect (attributes, object
+  /// creation/deletion, committed-view trigger states, activations),
+  /// releases locks, posts `after tabort` from a system transaction.
+  Status Abort(TxnId txn);
+  /// Declares that `txn` may only commit after `dep` commits and must abort
+  /// if `dep` aborts (§7 commit dependency).
+  Status AddCommitDependency(TxnId txn, TxnId dep);
+  const Transaction* txn(TxnId id) const { return txns_.Get(id); }
+  TxnManager& txns() { return txns_; }
+
+  // --- Objects -------------------------------------------------------------
+
+  /// Creates an instance: attributes initialized from class defaults
+  /// overridden by `init`; auto-activate triggers armed; `after create`
+  /// posted (§3.1).
+  Result<Oid> New(TxnId txn, std::string_view class_name,
+                  const std::map<std::string, Value>& init = {});
+  /// Posts `before delete`, then removes the object.
+  Status Delete(TxnId txn, Oid oid);
+  bool Exists(Oid oid) const { return objects_.count(oid) > 0; }
+  const Object* object(Oid oid) const;
+
+  /// Invokes a public member function: acquires the lock, posts the
+  /// §3.1 events around the body per the class's posting policy, runs the
+  /// body. Returns the method result. kAborted when a trigger aborted the
+  /// transaction (the abort has already been performed).
+  Result<Value> Call(TxnId txn, Oid oid, std::string_view method,
+                     std::vector<Value> args = {});
+
+  /// Transactional attribute access. These do *not* post events — the
+  /// paper's object-state events exist only at public-member-function
+  /// granularity (§3.1).
+  Result<Value> GetAttr(TxnId txn, Oid oid, std::string_view attr);
+  Status SetAttr(TxnId txn, Oid oid, std::string_view attr, Value v);
+
+  /// Attribute read without transaction/locking (mask evaluation, tests).
+  Result<Value> PeekAttr(Oid oid, std::string_view attr) const;
+
+  /// Invokes a registered host function (mask evaluation).
+  Result<Value> CallHostFunction(std::string_view name,
+                                 const std::vector<Value>& args,
+                                 const HostContext& ctx) const;
+
+  // --- Triggers (§2) --------------------------------------------------------
+
+  /// Arms a trigger on an object, binding `params` positionally to the
+  /// trigger's declared parameters. Re-activation resets the automaton.
+  Status ActivateTrigger(TxnId txn, Oid oid, std::string_view trigger_name,
+                         std::vector<Value> params = {});
+  Status DeactivateTrigger(TxnId txn, Oid oid, std::string_view trigger_name);
+  /// Is the trigger currently active on the object?
+  Result<bool> TriggerActive(Oid oid, std::string_view trigger_name) const;
+  /// Current automaton state (the §5 one-word-per-object storage).
+  Result<int32_t> TriggerState(Oid oid, std::string_view trigger_name) const;
+
+  // --- Class-scope triggers (§9 extension) -----------------------------
+  //
+  // The paper's future-work list asks about monitoring "at the system
+  // level where a large number of objects need be tracked". A class-scope
+  // activation runs ONE automaton over the merged event stream of every
+  // instance of the class; the firing action receives the posting object
+  // as `self`. Because the merged stream interleaves transactions, only
+  // HistoryView::kFull triggers may be activated at class scope, and
+  // triggers referencing time events are rejected (timers are per-object).
+  // Activation is a schema-level operation: it is not transactional and —
+  // like actions and host functions — not persisted by SaveSnapshot;
+  // re-activate after LoadSnapshot.
+
+  // --- Trigger groups (§5 footnote 5) -----------------------------------
+  //
+  // "In many cases such automata may be combined into one, resulting in a
+  // more efficient monitoring." A group compiles several of a class's
+  // triggers into one product automaton (compile/combined.h); activating
+  // the group on an object costs ONE classification and ONE table step per
+  // posted event for all members, and one integer of per-object state.
+  // Restrictions: members must be full-history-view and parameterless;
+  // group state is monitoring metadata (not undo-logged). Ordinary
+  // (non-perpetual) members individually disarm after firing via the
+  // slot's enabled mask.
+
+  Status DefineTriggerGroup(std::string_view class_name,
+                            std::string group_name,
+                            const std::vector<std::string>& trigger_names);
+  Status ActivateTriggerGroup(TxnId txn, Oid oid,
+                              std::string_view group_name);
+  Status DeactivateTriggerGroup(TxnId txn, Oid oid,
+                                std::string_view group_name);
+  Result<bool> TriggerGroupActive(Oid oid,
+                                  std::string_view group_name) const;
+  /// The single shared automaton state (§5 footnote 5 storage bound).
+  Result<int32_t> TriggerGroupState(Oid oid,
+                                    std::string_view group_name) const;
+
+  Status ActivateClassTrigger(std::string_view class_name,
+                              std::string_view trigger_name,
+                              std::vector<Value> params = {});
+  Status DeactivateClassTrigger(std::string_view class_name,
+                                std::string_view trigger_name);
+  Result<bool> ClassTriggerActive(std::string_view class_name,
+                                  std::string_view trigger_name) const;
+  uint64_t ClassFireCount(std::string_view class_name,
+                          std::string_view trigger_name) const;
+
+  // --- Time (§3.1) ----------------------------------------------------------
+
+  VirtualClock& clock() { return clock_; }
+  /// Advances virtual time, firing due timers; each firing posts its time
+  /// event to the subscribed object from a system transaction.
+  Status AdvanceClock(TimeMs delta_ms);
+  Status AdvanceClockTo(TimeMs target_ms);
+
+  // --- Introspection ---------------------------------------------------------
+
+  const EventHistory* history(Oid oid) const;
+  const DatabaseOptions& options() const { return options_; }
+  const DatabaseStats& stats() const { return stats_; }
+  LockManager& locks() { return locks_; }
+
+  /// Count of firings per (object, trigger name) — test convenience.
+  uint64_t FireCount(Oid oid, std::string_view trigger_name) const;
+
+  // --- Persistence (§2: persistent objects survive the program) -------------
+
+  /// Serializes objects, trigger activation states (just the state
+  /// integers, per §5), the clock, and timers. Class definitions are code
+  /// and must be re-registered before LoadSnapshot.
+  Status SaveSnapshot(const std::string& path) const;
+  Status LoadSnapshot(const std::string& path);
+
+ private:
+  friend class TriggerEngine;
+
+  // --- Engine-internal helpers (TriggerEngine is a friend) -----------------
+  Result<Object*> GetObject(Oid oid);
+  uint64_t NextSeq(Oid oid) { return ++seq_counters_[oid]; }
+  void RecordHistory(const PostedEvent& event);
+  void BumpEventsPosted() { ++stats_.events_posted; }
+  void BumpMaskEvaluations() { ++stats_.mask_evaluations; }
+  void BumpTriggersFired(Oid oid, const std::string& trigger_name);
+  void BumpClassTriggersFired(ClassId cls, const std::string& trigger_name);
+  /// Class-scope trigger slots for the engine's posting loop (null when the
+  /// class has none).
+  std::vector<ActiveTrigger>* ClassSlots(ClassId cls);
+  void ReleaseTriggerTimers(Oid oid, const TriggerProgram& program);
+  void AcquireTriggerTimers(Oid oid, const TriggerProgram& program);
+  void ReleaseAlphabetTimers(Oid oid, const Alphabet& alphabet);
+  void AcquireAlphabetTimers(Oid oid, const Alphabet& alphabet);
+  const TriggerAction* FindAction(std::string_view name) const {
+    return actions_.Find(name);
+  }
+
+  /// Lock + first-access bookkeeping; posts `after tbegin` lazily (§3.1).
+  Status TouchObject(Transaction* txn, Oid oid, LockMode mode);
+
+  /// Runs `fn` inside a fresh system transaction (§5: events after
+  /// commit/abort are posted by a special system transaction). System
+  /// transactions generate no transaction events of their own.
+  Status RunSystemTxn(const std::function<Status(Transaction*)>& fn);
+
+  Status AbortInternal(Transaction* txn);
+  Status CommitInternal(Transaction* txn);
+
+  /// Applies one undo entry (reverse order during abort).
+  Status ApplyUndo(const UndoEntry& entry);
+
+  Status ActivateTriggerInternal(Transaction* txn, Object* obj,
+                                 const RegisteredClass& cls, int idx,
+                                 std::vector<Value> params);
+
+  DatabaseOptions options_;
+  ClassRegistry classes_;
+  std::map<Oid, Object> objects_;
+  uint64_t next_oid_ = 1;
+  Oid schema_oid_;  ///< Null until EnableSchemaEvents.
+  std::vector<std::string> pending_schema_triggers_;
+
+  TxnManager txns_;
+  LockManager locks_;
+  VirtualClock clock_;
+  ActionRegistry actions_;
+  std::map<std::string, HostFn, std::less<>> host_fns_;
+
+  std::map<Oid, EventHistory> histories_;
+  std::map<Oid, uint64_t> seq_counters_;
+  std::map<std::pair<uint64_t, std::string>, uint64_t> fire_counts_;
+  std::map<ClassId, std::vector<ActiveTrigger>> class_slots_;
+  std::map<std::pair<ClassId, std::string>, uint64_t> class_fire_counts_;
+
+  DatabaseStats stats_;
+  std::unique_ptr<TriggerEngine> engine_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_ODE_DATABASE_H_

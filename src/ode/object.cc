@@ -1,0 +1,76 @@
+#include "ode/object.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Result<Value> Object::GetAttr(std::string_view name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    return Status::NotFound(
+        StrFormat("object @%llu has no attribute '%s'",
+                  static_cast<unsigned long long>(oid_.id),
+                  std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+Status Object::SetAttr(std::string_view name, Value v) {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end()) {
+    return Status::NotFound(
+        StrFormat("object @%llu has no attribute '%s'",
+                  static_cast<unsigned long long>(oid_.id),
+                  std::string(name).c_str()));
+  }
+  it->second = std::move(v);
+  return Status::OK();
+}
+
+ActiveTrigger& Object::SlotFor(int idx) {
+  for (ActiveTrigger& slot : trigger_slots_) {
+    if (slot.trigger_idx == idx) return slot;
+  }
+  ActiveTrigger slot;
+  slot.trigger_idx = idx;
+  trigger_slots_.push_back(std::move(slot));
+  return trigger_slots_.back();
+}
+
+const ActiveTrigger* Object::FindSlot(int idx) const {
+  for (const ActiveTrigger& slot : trigger_slots_) {
+    if (slot.trigger_idx == idx) return &slot;
+  }
+  return nullptr;
+}
+
+GroupSlot& Object::GroupSlotFor(int group_idx) {
+  for (GroupSlot& slot : group_slots_) {
+    if (slot.group_idx == group_idx) return slot;
+  }
+  GroupSlot slot;
+  slot.group_idx = group_idx;
+  group_slots_.push_back(std::move(slot));
+  return group_slots_.back();
+}
+
+const GroupSlot* Object::FindGroupSlot(int group_idx) const {
+  for (const GroupSlot& slot : group_slots_) {
+    if (slot.group_idx == group_idx) return &slot;
+  }
+  return nullptr;
+}
+
+std::string Object::ToString() const {
+  std::string out = StrFormat("@%llu {", static_cast<unsigned long long>(oid_.id));
+  bool first = true;
+  for (const auto& [name, value] : attrs_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + "=" + value.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,322 @@
+#include "semantics/oracle.h"
+
+#include <map>
+#include <utility>
+
+namespace ode {
+
+namespace {
+
+/// One evaluation session: memoizes Eval(node, start) results.
+class Evaluator {
+ public:
+  Evaluator(const Alphabet& alphabet, const std::vector<SymbolId>& history)
+      : alphabet_(alphabet), history_(history) {}
+
+  /// Marks for the suffix history_[start..]; index i corresponds to the
+  /// absolute position start + i (0-based).
+  Result<std::vector<bool>> Eval(const EventExpr& e, size_t start) {
+    auto key = std::make_pair(&e, start);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Result<std::vector<bool>> r = EvalUncached(e, start);
+    if (r.ok()) memo_.emplace(key, *r);
+    return r;
+  }
+
+ private:
+  size_t SuffixLen(size_t start) const { return history_.size() - start; }
+
+  Result<std::vector<bool>> EvalUncached(const EventExpr& e, size_t start) {
+    const size_t len = SuffixLen(start);
+    std::vector<bool> res(len, false);
+    switch (e.kind) {
+      case EventExprKind::kEmpty:
+        return res;
+
+      case EventExprKind::kAtom: {
+        Result<SymbolSet> syms = alphabet_.SymbolsFor(e);
+        if (!syms.ok()) return syms.status();
+        for (size_t i = 0; i < len; ++i) {
+          res[i] = syms->Contains(history_[start + i]);
+        }
+        return res;
+      }
+
+      case EventExprKind::kOr: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> a,
+                             Eval(*e.children[0], start));
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> b,
+                             Eval(*e.children[1], start));
+        for (size_t i = 0; i < len; ++i) res[i] = a[i] || b[i];
+        return res;
+      }
+
+      case EventExprKind::kAnd: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> a,
+                             Eval(*e.children[0], start));
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> b,
+                             Eval(*e.children[1], start));
+        for (size_t i = 0; i < len; ++i) res[i] = a[i] && b[i];
+        return res;
+      }
+
+      case EventExprKind::kNot: {
+        // Complement with respect to the set of all points (§4 item 5).
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> a,
+                             Eval(*e.children[0], start));
+        for (size_t i = 0; i < len; ++i) res[i] = !a[i];
+        return res;
+      }
+
+      case EventExprKind::kRelative: {
+        // Curried: relative(E1,...,En) = relative(relative(E1,E2),...).
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> acc,
+                             Eval(*e.children[0], start));
+        for (size_t c = 1; c < e.children.size(); ++c) {
+          ODE_ASSIGN_OR_RETURN(
+              acc, RelativeStep(acc, *e.children[c], start));
+        }
+        return acc;
+      }
+
+      case EventExprKind::kRelativePlus: {
+        // Chains of one or more (§4 item 6): worklist closure.
+        ODE_ASSIGN_OR_RETURN(res, Eval(*e.children[0], start));
+        ODE_RETURN_IF_ERROR(ChainClosure(&res, *e.children[0], start));
+        return res;
+      }
+
+      case EventExprKind::kRelativeN: {
+        // Chains of length >= N.
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> s,
+                             Eval(*e.children[0], start));
+        for (int64_t k = 2; k <= e.n; ++k) {
+          ODE_ASSIGN_OR_RETURN(s, RelativeStep(s, *e.children[0], start));
+        }
+        ODE_RETURN_IF_ERROR(ChainClosure(&s, *e.children[0], start));
+        return s;
+      }
+
+      case EventExprKind::kPrior: {
+        // prior(E, F): F's point with some E point strictly before it.
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> acc,
+                             Eval(*e.children[0], start));
+        for (size_t c = 1; c < e.children.size(); ++c) {
+          ODE_ASSIGN_OR_RETURN(std::vector<bool> b,
+                               Eval(*e.children[c], start));
+          std::vector<bool> next(len, false);
+          bool seen_a = false;
+          for (size_t i = 0; i < len; ++i) {
+            next[i] = b[i] && seen_a;
+            seen_a = seen_a || acc[i];
+          }
+          acc = std::move(next);
+        }
+        return acc;
+      }
+
+      case EventExprKind::kPriorN: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> a,
+                             Eval(*e.children[0], start));
+        int64_t count = 0;
+        for (size_t i = 0; i < len; ++i) {
+          if (a[i]) {
+            ++count;
+            res[i] = count >= e.n;
+          }
+        }
+        return res;
+      }
+
+      case EventExprKind::kSequence: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> acc,
+                             Eval(*e.children[0], start));
+        for (size_t c = 1; c < e.children.size(); ++c) {
+          ODE_ASSIGN_OR_RETURN(
+              acc, SequenceStep(acc, *e.children[c], start));
+        }
+        return acc;
+      }
+
+      case EventExprKind::kSequenceN: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> acc,
+                             Eval(*e.children[0], start));
+        for (int64_t k = 1; k < e.n; ++k) {
+          ODE_ASSIGN_OR_RETURN(acc,
+                               SequenceStep(acc, *e.children[0], start));
+        }
+        return acc;
+      }
+
+      case EventExprKind::kChoose:
+      case EventExprKind::kEvery: {
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> a,
+                             Eval(*e.children[0], start));
+        int64_t count = 0;
+        for (size_t i = 0; i < len; ++i) {
+          if (a[i]) {
+            ++count;
+            res[i] = e.kind == EventExprKind::kChoose
+                         ? count == e.n
+                         : count % e.n == 0;
+          }
+        }
+        return res;
+      }
+
+      case EventExprKind::kFa: {
+        // First F relative to E with no G (relative to E) before it.
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> ev,
+                             Eval(*e.children[0], start));
+        for (size_t i = 0; i < len; ++i) {
+          if (!ev[i]) continue;
+          size_t sub = start + i + 1;
+          if (sub > history_.size()) continue;
+          ODE_ASSIGN_OR_RETURN(std::vector<bool> f,
+                               Eval(*e.children[1], sub));
+          ODE_ASSIGN_OR_RETURN(std::vector<bool> g,
+                               Eval(*e.children[2], sub));
+          for (size_t j = 0; j < f.size(); ++j) {
+            if (g[j] && !f[j]) break;  // G strictly before the first F.
+            if (f[j]) {
+              // If G occurs at the same point as the first F, F still wins:
+              // G must occur *prior to* p (§3.4).
+              res[i + 1 + j] = true;
+              break;
+            }
+          }
+        }
+        return res;
+      }
+
+      case EventExprKind::kFaAbs: {
+        // Like fa, but G runs over the whole (current-context) history.
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> ev,
+                             Eval(*e.children[0], start));
+        ODE_ASSIGN_OR_RETURN(std::vector<bool> g_abs,
+                             Eval(*e.children[2], start));
+        for (size_t i = 0; i < len; ++i) {
+          if (!ev[i]) continue;
+          size_t sub = start + i + 1;
+          if (sub > history_.size()) continue;
+          ODE_ASSIGN_OR_RETURN(std::vector<bool> f,
+                               Eval(*e.children[1], sub));
+          for (size_t j = 0; j < f.size(); ++j) {
+            // Positions strictly between |u| and the candidate p.
+            if (f[j]) {
+              bool blocked = false;
+              for (size_t q = i + 1; q < i + 1 + j; ++q) {
+                if (g_abs[q]) {
+                  blocked = true;
+                  break;
+                }
+              }
+              if (!blocked) res[i + 1 + j] = true;
+              break;  // Only the first F occurrence counts.
+            }
+            // A non-F point cannot end the search; the G check happens
+            // against g_abs above once the first F is found.
+          }
+        }
+        return res;
+      }
+
+      case EventExprKind::kMasked:
+        return Status::Unimplemented(
+            "the oracle does not evaluate nested composite masks (root "
+            "masks are stripped by the engine before evaluation)");
+      case EventExprKind::kGateAtom:
+        return Status::Unimplemented(
+            "the oracle evaluates source expressions, not compiled gate "
+            "atoms");
+    }
+    return Status::Internal("unhandled expression kind in oracle");
+  }
+
+  /// relative step: points of `next` in suffixes starting right after each
+  /// marked point of `acc`.
+  Result<std::vector<bool>> RelativeStep(const std::vector<bool>& acc,
+                                         const EventExpr& next,
+                                         size_t start) {
+    const size_t len = SuffixLen(start);
+    std::vector<bool> out(len, false);
+    for (size_t i = 0; i < len; ++i) {
+      if (!acc[i]) continue;
+      size_t sub = start + i + 1;
+      if (sub > history_.size()) continue;
+      ODE_ASSIGN_OR_RETURN(std::vector<bool> b, Eval(next, sub));
+      for (size_t j = 0; j < b.size(); ++j) {
+        if (b[j]) out[i + 1 + j] = true;
+      }
+    }
+    return out;
+  }
+
+  /// sequence step: `next` must occur at exactly the next point.
+  Result<std::vector<bool>> SequenceStep(const std::vector<bool>& acc,
+                                         const EventExpr& next,
+                                         size_t start) {
+    const size_t len = SuffixLen(start);
+    std::vector<bool> out(len, false);
+    for (size_t i = 0; i + 1 < len; ++i) {
+      if (!acc[i]) continue;
+      size_t sub = start + i + 1;
+      ODE_ASSIGN_OR_RETURN(std::vector<bool> b, Eval(next, sub));
+      if (!b.empty() && b[0]) out[i + 1] = true;
+    }
+    return out;
+  }
+
+  /// Closes `marks` under "followed by another chained occurrence of e".
+  Status ChainClosure(std::vector<bool>* marks, const EventExpr& e,
+                      size_t start) {
+    const size_t len = SuffixLen(start);
+    std::vector<size_t> work;
+    for (size_t i = 0; i < len; ++i) {
+      if ((*marks)[i]) work.push_back(i);
+    }
+    while (!work.empty()) {
+      size_t i = work.back();
+      work.pop_back();
+      size_t sub = start + i + 1;
+      if (sub > history_.size()) continue;
+      Result<std::vector<bool>> b = Eval(e, sub);
+      if (!b.ok()) return b.status();
+      for (size_t j = 0; j < b->size(); ++j) {
+        if ((*b)[j] && !(*marks)[i + 1 + j]) {
+          (*marks)[i + 1 + j] = true;
+          work.push_back(i + 1 + j);
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  const Alphabet& alphabet_;
+  const std::vector<SymbolId>& history_;
+  std::map<std::pair<const EventExpr*, size_t>, std::vector<bool>> memo_;
+};
+
+}  // namespace
+
+Oracle::Oracle(EventExprPtr expr, const Alphabet* alphabet)
+    : expr_(std::move(expr)), alphabet_(alphabet) {
+  while (expr_ != nullptr && expr_->kind == EventExprKind::kMasked) {
+    expr_ = expr_->children[0];
+  }
+}
+
+Result<std::vector<bool>> Oracle::OccurrencePoints(
+    const std::vector<SymbolId>& history) const {
+  Evaluator evaluator(*alphabet_, history);
+  return evaluator.Eval(*expr_, 0);
+}
+
+Result<bool> Oracle::OccursAtEnd(const std::vector<SymbolId>& history) const {
+  if (history.empty()) return false;
+  ODE_ASSIGN_OR_RETURN(std::vector<bool> marks, OccurrencePoints(history));
+  return static_cast<bool>(marks.back());
+}
+
+}  // namespace ode

@@ -1,0 +1,49 @@
+#ifndef ODE_SEMANTICS_ORACLE_H_
+#define ODE_SEMANTICS_ORACLE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "compile/alphabet.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+/// Executable denotational semantics of §4: evaluates E[H] — the set of
+/// history points labeled by an event expression — directly from the
+/// operator definitions, *without* automata. Independent of the compiler,
+/// so property tests can cross-check the two implementations
+/// (tests/equivalence_property_test.cc, experiment E2), and the naive
+/// baseline detector can re-evaluate it per posted event.
+///
+/// Histories are given as symbol sequences over a trigger Alphabet (masks
+/// are resolved to micro-symbols at posting time, §5, so both the oracle
+/// and the DFA consume identical inputs).
+///
+/// Complexity: memoized over (subexpression, suffix offset); worst case
+/// O(|expr| · |H|²) per full evaluation — the cost the §5 automata avoid.
+class Oracle {
+ public:
+  /// The expression must not contain nested composite masks (root-level
+  /// masks are gated at fire time by the engine and ignored here, matching
+  /// the compiler's treatment).
+  Oracle(EventExprPtr expr, const Alphabet* alphabet);
+
+  /// occurrence[p] (0-based) == true iff the expression occurs at history
+  /// point p+1, i.e. H[1..p+1] ∈ L(E).
+  Result<std::vector<bool>> OccurrencePoints(
+      const std::vector<SymbolId>& history) const;
+
+  /// Convenience: does the event occur at the last point of this history?
+  Result<bool> OccursAtEnd(const std::vector<SymbolId>& history) const;
+
+  const EventExpr& expr() const { return *expr_; }
+
+ private:
+  EventExprPtr expr_;           // Root composite masks stripped.
+  const Alphabet* alphabet_;    // Not owned.
+};
+
+}  // namespace ode
+
+#endif  // ODE_SEMANTICS_ORACLE_H_

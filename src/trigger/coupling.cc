@@ -1,0 +1,125 @@
+#include "trigger/coupling.h"
+
+#include "lang/event_parser.h"
+#include "lang/mask_parser.h"
+
+namespace ode {
+
+std::string_view CouplingModeName(CouplingMode mode) {
+  switch (mode) {
+    case CouplingMode::kImmediateImmediate: return "immediate-immediate";
+    case CouplingMode::kImmediateDeferred: return "immediate-deferred";
+    case CouplingMode::kImmediateDependent: return "immediate-dependent";
+    case CouplingMode::kImmediateIndependent: return "immediate-independent";
+    case CouplingMode::kDeferredImmediate: return "deferred-immediate";
+    case CouplingMode::kDeferredDependent: return "deferred-dependent";
+    case CouplingMode::kDeferredIndependent: return "deferred-independent";
+    case CouplingMode::kDependentImmediate: return "dependent-immediate";
+    case CouplingMode::kIndependentImmediate: return "independent-immediate";
+  }
+  return "?";
+}
+
+namespace {
+
+EventExprPtr AfterTbegin() {
+  return EventExpr::Atom(
+      BasicEvent::Make(BasicEventKind::kTbegin, EventQualifier::kAfter));
+}
+EventExprPtr BeforeTcomplete() {
+  return EventExpr::Atom(
+      BasicEvent::Make(BasicEventKind::kTcomplete, EventQualifier::kBefore));
+}
+EventExprPtr AfterTcommit() {
+  return EventExpr::Atom(
+      BasicEvent::Make(BasicEventKind::kTcommit, EventQualifier::kAfter));
+}
+EventExprPtr AfterTabort() {
+  return EventExpr::Atom(
+      BasicEvent::Make(BasicEventKind::kTabort, EventQualifier::kAfter));
+}
+EventExprPtr CommitOrAbort() {
+  return EventExpr::Or(AfterTcommit(), AfterTabort());
+}
+
+EventExprPtr MaybeMask(EventExprPtr e, const MaskExprPtr& c) {
+  if (c == nullptr) return e;
+  return EventExpr::Masked(std::move(e), c);
+}
+
+}  // namespace
+
+Result<EventExprPtr> BuildCoupling(CouplingMode mode, EventExprPtr e,
+                                   MaskExprPtr c) {
+  if (e == nullptr) return Status::InvalidArgument("null coupling event");
+  switch (mode) {
+    case CouplingMode::kImmediateImmediate:
+      // 1. E && C ==> A
+      return MaybeMask(std::move(e), c);
+
+    case CouplingMode::kImmediateDeferred:
+      // 2. fa(E && C, before tcomplete, after tbegin) ==> A
+      return EventExpr::Fa(MaybeMask(std::move(e), c), BeforeTcomplete(),
+                           AfterTbegin());
+
+    case CouplingMode::kImmediateDependent:
+      // 3. fa(E && C, after tcommit, after tbegin) ==> A
+      return EventExpr::Fa(MaybeMask(std::move(e), c), AfterTcommit(),
+                           AfterTbegin());
+
+    case CouplingMode::kImmediateIndependent:
+      // 4. fa(E && C, after tcommit | after tabort, after tbegin) ==> A
+      return EventExpr::Fa(MaybeMask(std::move(e), c), CommitOrAbort(),
+                           AfterTbegin());
+
+    case CouplingMode::kDeferredImmediate:
+      // 5. fa(E, before tcomplete, after tbegin) && C ==> A
+      return MaybeMask(
+          EventExpr::Fa(std::move(e), BeforeTcomplete(), AfterTbegin()), c);
+
+    case CouplingMode::kDeferredDependent:
+      // 6. fa(fa(E, before tcomplete, after tbegin) && C,
+      //       after tcommit, after tbegin) ==> A
+      return EventExpr::Fa(
+          MaybeMask(
+              EventExpr::Fa(std::move(e), BeforeTcomplete(), AfterTbegin()),
+              c),
+          AfterTcommit(), AfterTbegin());
+
+    case CouplingMode::kDeferredIndependent:
+      // 7. fa(fa(E, before tcomplete, after tbegin) && C,
+      //       after tcommit | after tabort, after tbegin) ==> A
+      return EventExpr::Fa(
+          MaybeMask(
+              EventExpr::Fa(std::move(e), BeforeTcomplete(), AfterTbegin()),
+              c),
+          CommitOrAbort(), AfterTbegin());
+
+    case CouplingMode::kDependentImmediate:
+      // 8. fa(E, after tcommit, after tbegin) && C ==> A
+      return MaybeMask(
+          EventExpr::Fa(std::move(e), AfterTcommit(), AfterTbegin()), c);
+
+    case CouplingMode::kIndependentImmediate:
+      // 9. fa(E, after tcommit | after tabort, after tbegin) && C ==> A
+      return MaybeMask(
+          EventExpr::Fa(std::move(e), CommitOrAbort(), AfterTbegin()), c);
+  }
+  return Status::InvalidArgument("unknown coupling mode");
+}
+
+Result<EventExprPtr> BuildCouplingFromText(CouplingMode mode,
+                                           std::string_view event_text,
+                                           std::string_view condition_text) {
+  Result<EventExprPtr> e = ParseEvent(event_text);
+  if (!e.ok()) return e;
+  MaskExprPtr c;
+  if (!condition_text.empty()) {
+    Result<MaskExprPtr> parsed = ParseMask(condition_text);
+    if (!parsed.ok()) return parsed.status();
+    c = std::move(*parsed);
+  }
+  return BuildCoupling(mode, std::move(*e), std::move(c));
+}
+
+}  // namespace ode

@@ -1,0 +1,61 @@
+#ifndef ODE_TRIGGER_COUPLING_H_
+#define ODE_TRIGGER_COUPLING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "lang/event_ast.h"
+
+namespace ode {
+
+/// The nine E-C-A coupling modes of §7, expressed — as the paper argues —
+/// purely as E-A event expressions over transaction events. Mode names are
+/// (event→condition coupling)-(condition→action coupling):
+///
+///  1. Immediate-Immediate:     E && C
+///  2. Immediate-Deferred:      fa(E && C, before tcomplete, after tbegin)
+///  3. Immediate-Dependent:     fa(E && C, after tcommit, after tbegin)
+///  4. Immediate-Independent:   fa(E && C, after tcommit | after tabort,
+///                                 after tbegin)
+///  5. Deferred-Immediate (= Deferred-Deferred):
+///                              fa(E, before tcomplete, after tbegin) && C
+///  6. Deferred-Dependent:      fa(fa(E, before tcomplete, after tbegin)
+///                                 && C, after tcommit, after tbegin)
+///  7. Deferred-Independent:    fa(fa(E, before tcomplete, after tbegin)
+///                                 && C, after tcommit | after tabort,
+///                                 after tbegin)
+///  8. Dependent-Immediate:     fa(E, after tcommit, after tbegin) && C
+///  9. Independent-Immediate:   fa(E, after tcommit | after tabort,
+///                                 after tbegin) && C
+///
+/// "Immediate" condition evaluation means C is checked at E's occurrence —
+/// this puts `E && C` *inside* fa(), which the compiler supports through
+/// gated subevents (see compile/compiler.h). Pass a null C to omit the
+/// condition.
+enum class CouplingMode : uint8_t {
+  kImmediateImmediate = 1,
+  kImmediateDeferred = 2,
+  kImmediateDependent = 3,
+  kImmediateIndependent = 4,
+  kDeferredImmediate = 5,
+  kDeferredDependent = 6,
+  kDeferredIndependent = 7,
+  kDependentImmediate = 8,
+  kIndependentImmediate = 9,
+};
+
+std::string_view CouplingModeName(CouplingMode mode);
+
+/// Builds the §7 expression for the given mode from event E and optional
+/// condition C (null = no condition).
+Result<EventExprPtr> BuildCoupling(CouplingMode mode, EventExprPtr e,
+                                   MaskExprPtr c);
+
+/// Convenience: builds from DSL texts ("after withdraw", "q > 100").
+Result<EventExprPtr> BuildCouplingFromText(CouplingMode mode,
+                                           std::string_view event_text,
+                                           std::string_view condition_text);
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_COUPLING_H_

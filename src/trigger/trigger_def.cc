@@ -1,0 +1,58 @@
+#include "trigger/trigger_def.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Value ActionContext::Param(std::string_view name) const {
+  if (trigger_params == nullptr) return Value();
+  auto it = trigger_params->find(std::string(name));
+  return it == trigger_params->end() ? Value() : it->second;
+}
+
+const PostedEvent* ActionContext::Witness(std::string_view method_name) const {
+  if (witnesses == nullptr) return nullptr;
+  // Prefer the `after` occurrence (it carries post-execution state); fall
+  // back to `before`.
+  const PostedEvent* found = nullptr;
+  for (const auto& [key, event] : *witnesses) {
+    if (event.kind != BasicEventKind::kMethod ||
+        event.method_name != method_name) {
+      continue;
+    }
+    if (event.qualifier == EventQualifier::kAfter) return &event;
+    found = &event;
+  }
+  return found;
+}
+
+Value ActionContext::WitnessArg(std::string_view method_name,
+                                std::string_view arg_name) const {
+  const PostedEvent* w = Witness(method_name);
+  if (w == nullptr) return Value();
+  const Value* v = w->FindArg(arg_name);
+  return v == nullptr ? Value() : *v;
+}
+
+ActionRegistry::ActionRegistry() {
+  // The paper's built-in abort action (trigger T1, §3.5).
+  actions_.emplace("tabort", [](const ActionContext&) -> Status {
+    return Status::Aborted("trigger requested transaction abort");
+  });
+}
+
+Status ActionRegistry::Register(std::string name, TriggerAction action) {
+  auto [it, inserted] = actions_.emplace(std::move(name), std::move(action));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrFormat("action '%s' already registered", it->first.c_str()));
+  }
+  return Status::OK();
+}
+
+const TriggerAction* ActionRegistry::Find(std::string_view name) const {
+  auto it = actions_.find(name);
+  return it == actions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ode

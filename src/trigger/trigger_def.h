@@ -1,0 +1,100 @@
+#ifndef ODE_TRIGGER_TRIGGER_DEF_H_
+#define ODE_TRIGGER_TRIGGER_DEF_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "event/posted_event.h"
+
+namespace ode {
+
+class Database;
+
+/// Everything a trigger action can see when it runs: the firing event, the
+/// object the trigger is attached to, the executing transaction (the
+/// posting transaction for immediate firings, a system transaction for
+/// post-commit/post-abort firings, §5), and the trigger's activation
+/// parameters.
+struct ActionContext {
+  Database* db = nullptr;
+  TxnId txn = 0;
+  Oid self;
+  std::string trigger_name;
+  const PostedEvent* event = nullptr;  ///< The occurrence that fired it.
+  const std::map<std::string, Value>* trigger_params = nullptr;
+  /// §9 argument capture: latest occurrence of each referenced logical
+  /// event, keyed by BasicEvent::CanonicalKey (null when capture is off).
+  const std::map<std::string, PostedEvent>* witnesses = nullptr;
+
+  /// Parameter lookup; null Value if absent.
+  Value Param(std::string_view name) const;
+
+  /// The most recent constituent occurrence of the method event with the
+  /// given name (either qualifier), or null. E.g. after
+  /// `relative(after deposit, after withdraw)` fires, Witness("deposit")
+  /// carries the deposit's arguments.
+  const PostedEvent* Witness(std::string_view method_name) const;
+
+  /// Convenience: a named argument of Witness(method_name); null Value if
+  /// absent.
+  Value WitnessArg(std::string_view method_name,
+                   std::string_view arg_name) const;
+};
+
+/// A trigger action. Returning a non-OK status aborts the executing
+/// transaction (the paper's `==> tabort` is the built-in action that always
+/// does so).
+using TriggerAction = std::function<Status(const ActionContext&)>;
+
+/// Name → action mapping. A database owns one; `tabort` is pre-registered.
+class ActionRegistry {
+ public:
+  ActionRegistry();
+
+  Status Register(std::string name, TriggerAction action);
+  const TriggerAction* Find(std::string_view name) const;
+
+ private:
+  std::map<std::string, TriggerAction, std::less<>> actions_;
+};
+
+/// Per-(object, trigger) activation record. `state` is the §5 "one word
+/// per active trigger per object"; for committed-view triggers it is
+/// undo-logged with the object, for full-view triggers it is not.
+struct ActiveTrigger {
+  int trigger_idx = -1;  ///< Index into the class's TriggerProgram list.
+  bool active = false;
+  int32_t state = 0;
+  /// One sub-automaton state per gated subevent (nested composite mask);
+  /// empty for ordinary triggers.
+  std::vector<int32_t> gate_states;
+  std::map<std::string, Value> params;  ///< Bound at activation (§2).
+
+  /// §9 "incorporation of arguments into composite event specification":
+  /// the most recent occurrence of each logical event the trigger
+  /// references, so the action can read the constituent events' parameters
+  /// when the composite fires. Keyed by BasicEvent::CanonicalKey; bounded
+  /// by the trigger's alphabet size. Monitoring metadata — not undo-logged.
+  std::map<std::string, PostedEvent> witnesses;
+};
+
+/// Per-(object, trigger group) activation record (§5 footnote 5): one
+/// shared product-automaton state for all member triggers. `enabled` masks
+/// out ordinary members that already fired; when it reaches zero the slot
+/// deactivates. Group monitoring is full-history (not undo-logged) and
+/// group members take no activation parameters.
+struct GroupSlot {
+  int group_idx = -1;
+  bool active = false;
+  int32_t state = 0;
+  uint64_t enabled = 0;
+  std::map<std::string, PostedEvent> witnesses;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TRIGGER_TRIGGER_DEF_H_

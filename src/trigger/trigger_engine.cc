@@ -1,0 +1,459 @@
+#include "trigger/trigger_engine.h"
+
+#include "common/strutil.h"
+#include "mask/mask_eval.h"
+#include "ode/database.h"
+
+namespace ode {
+
+namespace {
+
+/// Mask-evaluation environment bound to one posting (§3.2): identifiers
+/// resolve, in order, to (1) the atom's declared formal parameters bound
+/// positionally to the event's actual arguments, (2) the event's own
+/// argument names, (3) the trigger's activation parameters, (4) the
+/// object's attributes. Member access dereferences object references; calls
+/// dispatch to the database's registered host functions.
+class DbMaskEnv : public MaskEnv {
+ public:
+  DbMaskEnv(Database* db, TxnId txn, const Object* self,
+            const PostedEvent* event, const std::vector<ParamDecl>* params,
+            const std::map<std::string, Value>* trigger_params)
+      : db_(db),
+        txn_(txn),
+        self_(self),
+        event_(event),
+        params_(params),
+        trigger_params_(trigger_params) {}
+
+  Result<Value> Lookup(std::string_view name) const override {
+    if (event_ != nullptr && params_ != nullptr) {
+      for (size_t i = 0; i < params_->size(); ++i) {
+        if ((*params_)[i].name == name) {
+          if (i >= event_->args.size()) {
+            return Status::InvalidArgument(StrFormat(
+                "event '%s' has no argument at position %zu for parameter "
+                "'%s'",
+                event_->method_name.c_str(), i, std::string(name).c_str()));
+          }
+          return event_->args[i].value;
+        }
+      }
+    }
+    if (event_ != nullptr) {
+      if (const Value* arg = event_->FindArg(name)) return *arg;
+    }
+    if (trigger_params_ != nullptr) {
+      auto it = trigger_params_->find(std::string(name));
+      if (it != trigger_params_->end()) return it->second;
+    }
+    if (self_ != nullptr && self_->HasAttr(name)) {
+      return self_->GetAttr(name);
+    }
+    return Status::NotFound(StrFormat("mask identifier '%s' is unbound",
+                                      std::string(name).c_str()));
+  }
+
+  Result<Value> Member(const Value& base,
+                       std::string_view field) const override {
+    Result<Oid> oid = base.AsOid();
+    if (!oid.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("member access '.%s' requires an object reference",
+                    std::string(field).c_str()));
+    }
+    return db_->PeekAttr(*oid, field);
+  }
+
+  Result<Value> Call(std::string_view fn,
+                     const std::vector<Value>& args) const override {
+    HostContext ctx;
+    ctx.db = db_;
+    ctx.txn = txn_;
+    ctx.self = self_ != nullptr ? self_->oid() : kNullOid;
+    ctx.event = event_;
+    return db_->CallHostFunction(fn, args, ctx);
+  }
+
+ private:
+  Database* db_;
+  TxnId txn_;
+  const Object* self_;
+  const PostedEvent* event_;
+  const std::vector<ParamDecl>* params_;
+  const std::map<std::string, Value>* trigger_params_;
+};
+
+class DepthGuard {
+ public:
+  explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+  ~DepthGuard() { --*depth_; }
+
+ private:
+  int* depth_;
+};
+
+}  // namespace
+
+Result<bool> TriggerEngine::AdvanceSlot(ActiveTrigger* slot,
+                                        const TriggerProgram& program,
+                                        Transaction* txn, Object* obj,
+                                        Oid oid, const PostedEvent& event,
+                                        bool undo_logged) {
+  auto eval_mask = [&](const MaskSlot& mask_slot,
+                       const PostedEvent& ev) -> Result<bool> {
+    db_->BumpMaskEvaluations();
+    DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj, &ev,
+                  &mask_slot.params, &slot->params);
+    return EvalMaskBool(*mask_slot.mask, env);
+  };
+  Result<SymbolId> base_sym =
+      program.event.alphabet.Classify(event, eval_mask);
+  if (!base_sym.ok()) return base_sym.status();
+
+  // §9 argument capture: remember the latest occurrence of each referenced
+  // logical event for the action's Witness() lookups.
+  if (db_->options().capture_witnesses) {
+    const BasicEvent* spec = program.event.alphabet.MatchingSpec(event);
+    if (spec != nullptr) {
+      slot->witnesses[spec->CanonicalKey()] = event;
+    }
+  }
+
+  const Dfa& dfa = program.ActiveDfa();
+  int32_t old_state = slot->state;
+  std::vector<int32_t> old_gate_states = slot->gate_states;
+
+  // Resolve gated subevents bottom-up (§7 nested composite masks): step
+  // each gate's sub-DFA, evaluate its mask against the current database
+  // state, and accumulate the occurrence bits into the extended symbol.
+  uint32_t gate_bits = 0;
+  const std::vector<GateDef>& gates = program.event.gates;
+  if (slot->gate_states.size() < gates.size()) {
+    slot->gate_states.resize(gates.size(), 0);
+  }
+  for (size_t g = 0; g < gates.size(); ++g) {
+    SymbolId ext = program.event.ExtendSymbol(*base_sym, gate_bits);
+    int32_t gs = gates[g].dfa.Step(slot->gate_states[g], ext);
+    slot->gate_states[g] = gs;
+    if (gates[g].dfa.accepting(gs)) {
+      db_->BumpMaskEvaluations();
+      DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj,
+                    /*event=*/nullptr, /*params=*/nullptr, &slot->params);
+      Result<bool> holds = EvalMaskBool(*gates[g].mask, env);
+      if (!holds.ok()) return holds.status();
+      if (*holds) gate_bits |= (1u << g);
+    }
+  }
+
+  SymbolId ext_sym = program.event.ExtendSymbol(*base_sym, gate_bits);
+  int32_t new_state = dfa.Step(old_state, ext_sym);
+  if (undo_logged && program.view == HistoryView::kCommitted &&
+      txn != nullptr &&
+      (new_state != old_state || slot->gate_states != old_gate_states)) {
+    UndoEntry undo;
+    undo.kind = UndoEntry::Kind::kTriggerState;
+    undo.oid = oid;
+    undo.trigger_idx = slot->trigger_idx;
+    undo.old_state = old_state;
+    undo.old_gate_states = std::move(old_gate_states);
+    txn->PushUndo(std::move(undo));
+  }
+  slot->state = new_state;
+
+  if (!dfa.accepting(new_state)) return false;
+
+  // Composite masks gate occurrence against the *current* database state
+  // (§3.3). They see trigger params and object state but not the
+  // constituent events' parameters.
+  for (const MaskExprPtr& mask : program.event.composite_masks) {
+    db_->BumpMaskEvaluations();
+    DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj,
+                  /*event=*/nullptr, /*params=*/nullptr, &slot->params);
+    Result<bool> ok = EvalMaskBool(*mask, env);
+    if (!ok.ok()) return ok.status();
+    if (!*ok) return false;
+  }
+  return true;
+}
+
+Status TriggerEngine::FireSlot(ActiveTrigger* slot,
+                               const TriggerProgram& program,
+                               Transaction* txn, Oid oid,
+                               const PostedEvent& event, bool class_scope,
+                               ClassId class_id) {
+  if (class_scope) {
+    db_->BumpClassTriggersFired(class_id, program.spec.name);
+  } else {
+    db_->BumpTriggersFired(oid, program.spec.name);
+  }
+
+  if (!program.spec.perpetual) {
+    // An ordinary trigger is automatically deactivated the moment it
+    // fires (§2).
+    if (!class_scope && program.view == HistoryView::kCommitted &&
+        txn != nullptr) {
+      UndoEntry undo;
+      undo.kind = UndoEntry::Kind::kTriggerActive;
+      undo.oid = oid;
+      undo.trigger_idx = slot->trigger_idx;
+      undo.old_active = true;
+      txn->PushUndo(std::move(undo));
+    }
+    slot->active = false;
+    if (!class_scope) db_->ReleaseTriggerTimers(oid, program);
+  }
+
+  if (program.spec.action.empty()) return Status::OK();
+  const TriggerAction* action = db_->FindAction(program.spec.action);
+  if (action == nullptr) {
+    return Status::NotFound(StrFormat(
+        "trigger '%s' names unregistered action '%s'",
+        program.spec.name.c_str(), program.spec.action.c_str()));
+  }
+  ActionContext ctx;
+  ctx.db = db_;
+  ctx.txn = txn != nullptr ? txn->id() : 0;
+  ctx.self = oid;
+  ctx.trigger_name = program.spec.name;
+  ctx.event = &event;
+  ctx.trigger_params = &slot->params;
+  ctx.witnesses = &slot->witnesses;
+  Status s = (*action)(ctx);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kAborted) {
+      return Status::Aborted(StrFormat(
+          "trigger '%s' aborted the transaction: %s",
+          program.spec.name.c_str(), s.message().c_str()));
+    }
+    return s;
+  }
+  return Status::OK();
+}
+
+namespace {
+const std::map<std::string, Value>& EmptyParams() {
+  static const std::map<std::string, Value>* kEmpty =
+      new std::map<std::string, Value>();
+  return *kEmpty;
+}
+}  // namespace
+
+Result<uint64_t> TriggerEngine::AdvanceGroupSlot(GroupSlot* slot,
+                                                 const TriggerGroup& group,
+                                                 Transaction* txn,
+                                                 Object* obj,
+                                                 const PostedEvent& event) {
+  auto eval_mask = [&](const MaskSlot& mask_slot,
+                       const PostedEvent& ev) -> Result<bool> {
+    db_->BumpMaskEvaluations();
+    DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj, &ev,
+                  &mask_slot.params, &EmptyParams());
+    return EvalMaskBool(*mask_slot.mask, env);
+  };
+  Result<SymbolId> sym = group.program.alphabet().Classify(event, eval_mask);
+  if (!sym.ok()) return sym.status();
+
+  if (db_->options().capture_witnesses) {
+    const BasicEvent* spec = group.program.alphabet().MatchingSpec(event);
+    if (spec != nullptr) slot->witnesses[spec->CanonicalKey()] = event;
+  }
+
+  // The footnote-5 payoff: ONE step for every member trigger.
+  slot->state = group.program.dfa().Step(slot->state, *sym);
+  uint64_t bits = group.program.AcceptMask(slot->state) & slot->enabled;
+  if (bits == 0) return uint64_t{0};
+
+  // Per-member root composite masks gate occurrence (§3.3).
+  uint64_t passed = 0;
+  for (size_t bit = 0; bit < group.member_idxs.size(); ++bit) {
+    if (((bits >> bit) & 1) == 0) continue;
+    bool pass = true;
+    for (const MaskExprPtr& mask : group.program.composite_masks(bit)) {
+      db_->BumpMaskEvaluations();
+      DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj,
+                    /*event=*/nullptr, /*params=*/nullptr, &EmptyParams());
+      Result<bool> ok = EvalMaskBool(*mask, env);
+      if (!ok.ok()) return ok.status();
+      if (!*ok) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) passed |= (uint64_t{1} << bit);
+  }
+  return passed;
+}
+
+Status TriggerEngine::FireGroupMember(GroupSlot* slot,
+                                      const TriggerGroup& group, size_t bit,
+                                      Transaction* txn, Oid oid,
+                                      const PostedEvent& event,
+                                      const RegisteredClass* cls) {
+  const TriggerProgram& member = cls->triggers[group.member_idxs[bit]];
+  db_->BumpTriggersFired(oid, member.spec.name);
+
+  if (!member.spec.perpetual) {
+    // An ordinary member disarms individually; the group slot dies when
+    // its last member has fired.
+    slot->enabled &= ~(uint64_t{1} << bit);
+    if (slot->enabled == 0) {
+      slot->active = false;
+      db_->ReleaseAlphabetTimers(oid, group.program.alphabet());
+    }
+  }
+
+  if (member.spec.action.empty()) return Status::OK();
+  const TriggerAction* action = db_->FindAction(member.spec.action);
+  if (action == nullptr) {
+    return Status::NotFound(StrFormat(
+        "trigger '%s' names unregistered action '%s'",
+        member.spec.name.c_str(), member.spec.action.c_str()));
+  }
+  ActionContext ctx;
+  ctx.db = db_;
+  ctx.txn = txn != nullptr ? txn->id() : 0;
+  ctx.self = oid;
+  ctx.trigger_name = member.spec.name;
+  ctx.event = &event;
+  ctx.trigger_params = &EmptyParams();
+  ctx.witnesses = &slot->witnesses;
+  Status s = (*action)(ctx);
+  if (!s.ok() && s.code() == StatusCode::kAborted) {
+    return Status::Aborted(StrFormat(
+        "trigger '%s' aborted the transaction: %s",
+        member.spec.name.c_str(), s.message().c_str()));
+  }
+  return s;
+}
+
+Result<int> TriggerEngine::Post(Transaction* txn, Oid oid, PostedEvent event) {
+  if (depth_ >= db_->options().max_posting_depth) {
+    return Status::ResourceExhausted(StrFormat(
+        "trigger actions recursively posted events beyond depth %d "
+        "(non-terminating trigger cascade?)",
+        db_->options().max_posting_depth));
+  }
+  DepthGuard guard(&depth_);
+
+  Result<Object*> obj_result = db_->GetObject(oid);
+  if (!obj_result.ok()) return obj_result.status();
+  Object* obj = *obj_result;
+
+  event.object = oid;
+  event.time = db_->clock().now();
+  if (event.txn == 0 && txn != nullptr) event.txn = txn->id();
+  event.seq = db_->NextSeq(oid);
+  db_->RecordHistory(event);
+  db_->BumpEventsPosted();
+
+  const ClassId class_id = obj->class_id();
+  const RegisteredClass* cls = db_->classes().FindById(class_id);
+  if (cls == nullptr) return Status::Internal("object with unknown class");
+
+  // Phase 1 (§5): advance every active trigger — per-object slots, then
+  // class-scope slots over the merged instance stream (§9 extension), then
+  // combined trigger groups (§5 footnote 5) — and determine all
+  // occurrences.
+  enum class Scope { kObject, kClass, kGroup };
+  struct Pending {
+    Scope scope;
+    size_t idx;
+    uint64_t bits = 0;  // kGroup: which members occurred (mask-gated).
+  };
+  std::vector<Pending> fired;
+  const size_t num_slots = obj->trigger_slots().size();
+  for (size_t i = 0; i < num_slots; ++i) {
+    ActiveTrigger& slot = obj->trigger_slots()[i];
+    if (!slot.active) continue;
+    const TriggerProgram& program = cls->triggers[slot.trigger_idx];
+    Result<bool> occurred = AdvanceSlot(&slot, program, txn, obj, oid, event,
+                                        /*undo_logged=*/true);
+    if (!occurred.ok()) return occurred.status();
+    if (*occurred) fired.push_back({Scope::kObject, i, 0});
+  }
+  if (std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id)) {
+    for (size_t i = 0; i < class_slots->size(); ++i) {
+      ActiveTrigger& slot = (*class_slots)[i];
+      if (!slot.active) continue;
+      const TriggerProgram& program = cls->triggers[slot.trigger_idx];
+      Result<bool> occurred = AdvanceSlot(&slot, program, txn, obj, oid,
+                                          event, /*undo_logged=*/false);
+      if (!occurred.ok()) return occurred.status();
+      if (*occurred) fired.push_back({Scope::kClass, i, 0});
+    }
+  }
+  const size_t num_group_slots = obj->group_slots().size();
+  for (size_t i = 0; i < num_group_slots; ++i) {
+    GroupSlot& slot = obj->group_slots()[i];
+    if (!slot.active) continue;
+    const TriggerGroup& group = cls->groups[slot.group_idx];
+    Result<uint64_t> bits =
+        AdvanceGroupSlot(&slot, group, txn, obj, event);
+    if (!bits.ok()) return bits.status();
+    if (*bits != 0) fired.push_back({Scope::kGroup, i, *bits});
+  }
+
+  // Phase 2 (§5): fire the triggers. "If the posting of a logical event
+  // leads to the firing of multiple triggers, then the order in which the
+  // triggers are fired is implementation dependent" — ours is object slots
+  // in slot order, then class slots, then groups.
+  int total_fired = 0;
+  for (const Pending& p : fired) {
+    if (p.scope == Scope::kGroup) {
+      Result<Object*> refetched = db_->GetObject(oid);
+      if (!refetched.ok()) break;
+      if (p.idx >= (*refetched)->group_slots().size()) continue;
+      GroupSlot* slot = &(*refetched)->group_slots()[p.idx];
+      const TriggerGroup& group = cls->groups[slot->group_idx];
+      for (size_t bit = 0; bit < group.member_idxs.size(); ++bit) {
+        if (((p.bits >> bit) & 1) == 0) continue;
+        ++total_fired;
+        ODE_RETURN_IF_ERROR(FireGroupMember(slot, group, bit, txn, oid,
+                                            event, cls));
+        // Re-fetch in case the action touched the object.
+        refetched = db_->GetObject(oid);
+        if (!refetched.ok()) break;
+        if (p.idx >= (*refetched)->group_slots().size()) break;
+        slot = &(*refetched)->group_slots()[p.idx];
+      }
+      continue;
+    }
+    ActiveTrigger* slot = nullptr;
+    if (p.scope == Scope::kClass) {
+      std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id);
+      if (class_slots == nullptr || p.idx >= class_slots->size()) continue;
+      slot = &(*class_slots)[p.idx];
+    } else {
+      // Re-fetch: an earlier action may have mutated or even deleted the
+      // object.
+      Result<Object*> refetched = db_->GetObject(oid);
+      if (!refetched.ok()) break;
+      if (p.idx >= (*refetched)->trigger_slots().size()) continue;
+      slot = &(*refetched)->trigger_slots()[p.idx];
+    }
+    ++total_fired;
+    const TriggerProgram& program = cls->triggers[slot->trigger_idx];
+    ODE_RETURN_IF_ERROR(FireSlot(slot, program, txn, oid, event,
+                                 p.scope == Scope::kClass, class_id));
+  }
+  return total_fired;
+}
+
+Result<int> TriggerEngine::PostSimple(Transaction* txn, Oid oid,
+                                      BasicEventKind kind, EventQualifier q) {
+  return Post(txn, oid, MakePosted(kind, q, txn != nullptr ? txn->id() : 0));
+}
+
+Result<int> TriggerEngine::PostTime(Transaction* txn, Oid oid,
+                                    const std::string& time_key,
+                                    TimeMs fire_time) {
+  PostedEvent event;
+  event.kind = BasicEventKind::kTime;
+  event.qualifier = EventQualifier::kNone;
+  event.time_key = time_key;
+  event.time = fire_time;
+  return Post(txn, oid, std::move(event));
+}
+
+}  // namespace ode

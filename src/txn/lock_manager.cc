@@ -1,0 +1,114 @@
+#include "txn/lock_manager.h"
+
+#include "common/strutil.h"
+
+namespace ode {
+
+Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
+  Entry& entry = table_[oid];
+
+  auto self = entry.holders.find(txn);
+  if (self != entry.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // Re-entrant.
+    }
+    // Upgrade S -> X: legal only if we are the sole holder.
+    if (entry.holders.size() == 1) {
+      self->second = LockMode::kExclusive;
+      waits_for_.erase(txn);
+      return Status::OK();
+    }
+  }
+
+  // Conflict check against other holders.
+  std::set<TxnId> conflicting;
+  for (const auto& [holder, held_mode] : entry.holders) {
+    if (holder == txn) continue;
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      conflicting.insert(holder);
+    }
+  }
+  if (conflicting.empty()) {
+    auto [it, inserted] = entry.holders.emplace(txn, mode);
+    if (!inserted && mode == LockMode::kExclusive) {
+      it->second = LockMode::kExclusive;
+    }
+    waits_for_.erase(txn);
+    return Status::OK();
+  }
+
+  if (WouldDeadlock(txn, conflicting)) {
+    ++deadlocks_;
+    waits_for_.erase(txn);
+    return Status::Deadlock(StrFormat(
+        "txn %llu waiting for object @%llu would deadlock",
+        static_cast<unsigned long long>(txn),
+        static_cast<unsigned long long>(oid.id)));
+  }
+  waits_for_[txn] = conflicting;
+  return Status::WouldBlock(StrFormat(
+      "object @%llu locked by a conflicting transaction",
+      static_cast<unsigned long long>(oid.id)));
+}
+
+bool LockManager::WouldDeadlock(TxnId waiter,
+                                const std::set<TxnId>& holders) const {
+  // DFS from each holder through existing wait edges looking for `waiter`.
+  std::vector<TxnId> stack(holders.begin(), holders.end());
+  std::set<TxnId> seen(holders.begin(), holders.end());
+  while (!stack.empty()) {
+    TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == waiter) return true;
+    auto it = waits_for_.find(cur);
+    if (it == waits_for_.end()) continue;
+    for (TxnId next : it->second) {
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void LockManager::Release(TxnId txn) {
+  for (auto it = table_.begin(); it != table_.end();) {
+    it->second.holders.erase(txn);
+    if (it->second.holders.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  waits_for_.erase(txn);
+  // Drop wait edges pointing at the released transaction.
+  for (auto& [waiter, holders] : waits_for_) {
+    holders.erase(txn);
+  }
+}
+
+bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
+  auto it = table_.find(oid);
+  if (it == table_.end()) return false;
+  auto holder = it->second.holders.find(txn);
+  if (holder == it->second.holders.end()) return false;
+  return mode == LockMode::kShared ||
+         holder->second == LockMode::kExclusive;
+}
+
+std::vector<TxnId> LockManager::HoldersOf(Oid oid) const {
+  std::vector<TxnId> out;
+  auto it = table_.find(oid);
+  if (it == table_.end()) return out;
+  out.reserve(it->second.holders.size());
+  for (const auto& [txn, mode] : it->second.holders) out.push_back(txn);
+  return out;
+}
+
+std::vector<Oid> LockManager::ObjectsLockedBy(TxnId txn) const {
+  std::vector<Oid> out;
+  for (const auto& [oid, entry] : table_) {
+    if (entry.holders.count(txn) > 0) out.push_back(oid);
+  }
+  return out;
+}
+
+}  // namespace ode

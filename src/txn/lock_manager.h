@@ -1,0 +1,66 @@
+#ifndef ODE_TXN_LOCK_MANAGER_H_
+#define ODE_TXN_LOCK_MANAGER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "event/posted_event.h"
+
+namespace ode {
+
+/// Lock modes: shared (read) and exclusive (update).
+enum class LockMode : uint8_t { kShared = 0, kExclusive };
+
+/// Object-level strict two-phase locking with wait-for-graph deadlock
+/// detection — the concurrency substrate §6 assumes ("assuming object
+/// level locking"). Locks are held until Release(txn) at commit/abort.
+///
+/// The engine is cooperatively scheduled: a conflicting Acquire returns
+/// kWouldBlock (the caller may retry after the holder finishes) or
+/// kDeadlock when waiting would close a cycle in the wait-for graph; the
+/// caller is expected to abort the transaction in that case.
+class LockManager {
+ public:
+  /// Acquires (or upgrades) a lock. Outcomes:
+  ///  * OK           — granted (re-entrant, upgrade included).
+  ///  * kWouldBlock  — conflict; a wait edge has been recorded.
+  ///  * kDeadlock    — waiting would deadlock; no wait edge remains.
+  Status Acquire(TxnId txn, Oid oid, LockMode mode);
+
+  /// Releases all locks held by `txn` and removes its wait edges.
+  void Release(TxnId txn);
+
+  /// True if `txn` holds a lock on `oid` at least as strong as `mode`.
+  bool Holds(TxnId txn, Oid oid, LockMode mode) const;
+
+  /// Transactions currently holding any lock on `oid`.
+  std::vector<TxnId> HoldersOf(Oid oid) const;
+
+  /// Objects locked by `txn`.
+  std::vector<Oid> ObjectsLockedBy(TxnId txn) const;
+
+  /// Diagnostic counters.
+  size_t num_locked_objects() const { return table_.size(); }
+  size_t deadlocks_detected() const { return deadlocks_; }
+
+ private:
+  struct Entry {
+    std::map<TxnId, LockMode> holders;
+  };
+
+  /// DFS over the wait-for graph: would txn waiting on `holders` create a
+  /// cycle back to txn?
+  bool WouldDeadlock(TxnId waiter, const std::set<TxnId>& holders) const;
+
+  std::map<Oid, Entry> table_;
+  std::map<TxnId, std::set<TxnId>> waits_for_;
+  size_t deadlocks_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TXN_LOCK_MANAGER_H_

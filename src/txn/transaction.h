@@ -1,0 +1,120 @@
+#ifndef ODE_TXN_TRANSACTION_H_
+#define ODE_TXN_TRANSACTION_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "event/posted_event.h"
+#include "ode/object.h"
+
+namespace ode {
+
+enum class TxnState : uint8_t { kActive = 0, kCommitted, kAborted };
+
+std::string_view TxnStateName(TxnState state);
+
+/// One reversible effect of a transaction. Applied in reverse order on
+/// abort (Database::Abort), giving the paper's atomicity: "either the
+/// transaction commits and all its effects are reflected in the database or
+/// it aborted and none of its effects are in the database" (§6).
+struct UndoEntry {
+  enum class Kind : uint8_t {
+    kAttr,          ///< Restore attrs[attr] = old_value.
+    kTriggerState,  ///< Restore a committed-view trigger's automaton state.
+    kTriggerActive, ///< Restore a trigger slot's active flag.
+    kCreate,        ///< Remove the created object.
+    kDelete,        ///< Re-insert the deleted object (full snapshot).
+  };
+
+  Kind kind = Kind::kAttr;
+  Oid oid;
+  std::string attr;            // kAttr.
+  Value old_value;             // kAttr.
+  int trigger_idx = -1;        // kTriggerState / kTriggerActive.
+  int32_t old_state = 0;       // kTriggerState.
+  std::vector<int32_t> old_gate_states;  // kTriggerState.
+  bool old_active = false;     // kTriggerActive.
+  std::optional<Object> deleted_object;  // kDelete.
+};
+
+/// Bookkeeping for one transaction. Lifecycle (begin / tcomplete fixpoint /
+/// commit / abort) is orchestrated by Database; this is the record.
+class Transaction {
+ public:
+  Transaction(TxnId id, bool is_system) : id_(id), system_(is_system) {}
+
+  TxnId id() const { return id_; }
+  bool is_system() const { return system_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  /// Set while the abort sequence runs: `before tabort` actions still see
+  /// an active transaction (their writes are undo-logged and then rolled
+  /// back), but nested abort requests become no-ops.
+  bool aborting() const { return aborting_; }
+  void set_aborting(bool v) { aborting_ = v; }
+
+  /// Objects accessed by this transaction in first-access order — the set
+  /// to which transaction events are posted (§3.1: "events of interest to
+  /// exactly the set of objects accessed by the transaction").
+  const std::vector<Oid>& accessed() const { return accessed_; }
+  /// Returns true on the first access (the caller then posts
+  /// `after tbegin` to the object, §3.1).
+  bool RecordAccess(Oid oid);
+
+  void PushUndo(UndoEntry entry) { undo_log_.push_back(std::move(entry)); }
+  const std::vector<UndoEntry>& undo_log() const { return undo_log_; }
+  std::vector<UndoEntry> TakeUndoLog() { return std::move(undo_log_); }
+
+  /// Commit dependencies (§7 "separate dependent" coupling): this
+  /// transaction may not commit until every listed transaction has
+  /// committed; if any of them aborts, this one must abort too.
+  void AddCommitDependency(TxnId other) { commit_deps_.insert(other); }
+  const std::set<TxnId>& commit_deps() const { return commit_deps_; }
+
+ private:
+  TxnId id_;
+  bool system_;
+  TxnState state_ = TxnState::kActive;
+  bool aborting_ = false;
+  std::vector<Oid> accessed_;
+  std::set<Oid> accessed_set_;
+  std::vector<UndoEntry> undo_log_;
+  std::set<TxnId> commit_deps_;
+};
+
+/// Allocates transaction ids and stores live/finished transactions.
+class TxnManager {
+ public:
+  Transaction* Begin(bool is_system = false);
+  Transaction* Get(TxnId id);
+  const Transaction* Get(TxnId id) const;
+
+  /// Fails unless the transaction exists and is active.
+  Result<Transaction*> GetActive(TxnId id);
+
+  size_t num_begun() const { return next_ - 1; }
+  size_t num_committed() const { return committed_; }
+  size_t num_aborted() const { return aborted_; }
+  void CountCommit() { ++committed_; }
+  void CountAbort() { ++aborted_; }
+
+  /// Drops finished transactions' records (tests keep them around for
+  /// inspection; long benches call this to bound memory).
+  void GarbageCollect();
+
+ private:
+  TxnId next_ = 1;
+  std::map<TxnId, Transaction> live_;
+  size_t committed_ = 0;
+  size_t aborted_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_TXN_TRANSACTION_H_

@@ -1,0 +1,169 @@
+#include "compile/alphabet.h"
+
+#include <gtest/gtest.h>
+
+#include "mask/mask_eval.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+/// Mask evaluator binding the slot's positional parameter names to the
+/// posted event's arguments (no object state involved).
+Alphabet::MaskEvalFn ArgEval() {
+  return [](const MaskSlot& slot, const PostedEvent& event) -> Result<bool> {
+    SimpleMaskEnv env;
+    for (size_t i = 0; i < slot.params.size() && i < event.args.size(); ++i) {
+      env.Bind(slot.params[i].name, event.args[i].value);
+    }
+    for (const EventArg& a : event.args) env.Bind(a.name, a.value);
+    return EvalMaskBool(*slot.mask, env);
+  };
+}
+
+TEST(AlphabetTest, MaskFreeAtomsGetOneSymbolEach) {
+  EventExprPtr e = ParseOrDie("after f | before g");
+  Alphabet a = Alphabet::Build(*e).value();
+  // f-group, g-group, OTHER.
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(AlphabetTest, SameAtomTwiceSharesGroup) {
+  EventExprPtr e = ParseOrDie("relative(after f, after f)");
+  Alphabet a = Alphabet::Build(*e).value();
+  EXPECT_EQ(a.size(), 2u);  // f + OTHER.
+}
+
+TEST(AlphabetTest, MaskedAtomSplitsGroupInTwo) {
+  // One mask on one basic event → micro-symbols {mask-true, mask-false}.
+  EventExprPtr e = ParseOrDie("after w(i, q) && q > 100");
+  Alphabet a = Alphabet::Build(*e).value();
+  EXPECT_EQ(a.size(), 3u);  // 2 micro-symbols + OTHER.
+}
+
+// The §5 example: two masks a>0 and b>0 on the same basic event expand into
+// 2^2 disjoint Boolean combinations.
+TEST(AlphabetTest, Section5DisjointnessRewrite) {
+  EventExprPtr e = ParseOrDie(
+      "sequence(before log(a, b) && a > 0, before log(a, b) && b > 0)");
+  Alphabet a = Alphabet::Build(*e).value();
+  EXPECT_EQ(a.size(), 5u);  // 4 combinations + OTHER.
+
+  // Classification picks the combination matching the actual arguments.
+  PostedEvent both = MakePostedMethod(EventQualifier::kBefore, "log",
+                                      {{"a", Value(1)}, {"b", Value(1)}});
+  PostedEvent only_a = MakePostedMethod(EventQualifier::kBefore, "log",
+                                        {{"a", Value(1)}, {"b", Value(0)}});
+  PostedEvent only_b = MakePostedMethod(EventQualifier::kBefore, "log",
+                                        {{"a", Value(0)}, {"b", Value(1)}});
+  PostedEvent neither = MakePostedMethod(EventQualifier::kBefore, "log",
+                                         {{"a", Value(0)}, {"b", Value(0)}});
+  SymbolId s_both = a.Classify(both, ArgEval()).value();
+  SymbolId s_a = a.Classify(only_a, ArgEval()).value();
+  SymbolId s_b = a.Classify(only_b, ArgEval()).value();
+  SymbolId s_n = a.Classify(neither, ArgEval()).value();
+  // All four distinct — the §5 disjointness property.
+  EXPECT_NE(s_both, s_a);
+  EXPECT_NE(s_both, s_b);
+  EXPECT_NE(s_both, s_n);
+  EXPECT_NE(s_a, s_b);
+  EXPECT_NE(s_a, s_n);
+  EXPECT_NE(s_b, s_n);
+
+  // The atom masked with a>0 denotes exactly the combinations with bit
+  // a>0 set.
+  std::vector<const EventExpr*> atoms;
+  e->CollectAtoms(&atoms);
+  SymbolSet a_set = a.SymbolsFor(*atoms[0]).value();
+  EXPECT_TRUE(a_set.Contains(s_both));
+  EXPECT_TRUE(a_set.Contains(s_a));
+  EXPECT_FALSE(a_set.Contains(s_b));
+  EXPECT_FALSE(a_set.Contains(s_n));
+}
+
+TEST(AlphabetTest, UnreferencedEventsClassifyAsOther) {
+  EventExprPtr e = ParseOrDie("after f");
+  Alphabet a = Alphabet::Build(*e).value();
+  PostedEvent g = MakePostedMethod(EventQualifier::kAfter, "g");
+  EXPECT_EQ(a.Classify(g, ArgEval()).value(), a.other_symbol());
+  PostedEvent before_f = MakePostedMethod(EventQualifier::kBefore, "f");
+  EXPECT_EQ(a.Classify(before_f, ArgEval()).value(), a.other_symbol());
+}
+
+TEST(AlphabetTest, MixedSignatureOverlapRejected) {
+  // `after w` and `after w(Item i, int q)` overlap: a 2-arg posting would
+  // match both groups.
+  EventExprPtr e = ParseOrDie("after w | after w(Item i, int q)");
+  EXPECT_EQ(Alphabet::Build(*e).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AlphabetTest, DistinctAritiesCoexist) {
+  EventExprPtr e =
+      ParseOrDie("after w(Item i) | after w(Item i, int q)");
+  Alphabet a = Alphabet::Build(*e).value();
+  EXPECT_EQ(a.size(), 3u);
+  PostedEvent one = MakePostedMethod(EventQualifier::kAfter, "w",
+                                     {{"i", Value(1)}});
+  PostedEvent two = MakePostedMethod(EventQualifier::kAfter, "w",
+                                     {{"i", Value(1)}, {"q", Value(2)}});
+  EXPECT_NE(a.Classify(one, ArgEval()).value(),
+            a.Classify(two, ArgEval()).value());
+}
+
+TEST(AlphabetTest, MaskCapEnforced) {
+  // 3 masks with a cap of 2.
+  EventExprPtr e = ParseOrDie(
+      "after f(a) && a > 1 | after f(a) && a > 2 | after f(a) && a > 3");
+  Alphabet::Options opts;
+  opts.max_masks_per_group = 2;
+  EXPECT_EQ(Alphabet::Build(*e, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(AlphabetTest, PositionalParamRenaming) {
+  // The same mask text under different formal names is a different slot.
+  EventExprPtr e = ParseOrDie(
+      "after f(x, y) && x > 0 | after f(a, b) && a > 0");
+  Alphabet a = Alphabet::Build(*e).value();
+  // Same predicate on the same positional argument... but keyed by
+  // (mask text, param names): two slots → 4 combos + OTHER.
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(AlphabetTest, TxnMarkersIncludedOnRequest) {
+  EventExprPtr e = ParseOrDie("after f");
+  Alphabet::Options opts;
+  opts.include_txn_markers = true;
+  Alphabet a = Alphabet::Build(*e, opts).value();
+  EXPECT_EQ(a.size(), 5u);  // f, tbegin, tcommit, tabort, OTHER.
+  TxnMarkerSymbols markers = a.txn_markers();
+  EXPECT_EQ(markers.tbegin.Count(), 1u);
+  EXPECT_EQ(markers.tcommit.Count(), 1u);
+  EXPECT_EQ(markers.tabort.Count(), 1u);
+  EXPECT_TRUE(markers.tbegin.Intersect(markers.tcommit).Empty());
+}
+
+TEST(AlphabetTest, TimeEventsListed) {
+  EventExprPtr e = ParseOrDie("relative(at time(HR=9), at time(HR=17))");
+  Alphabet a = Alphabet::Build(*e).value();
+  EXPECT_EQ(a.TimeEvents().size(), 2u);
+}
+
+TEST(AlphabetTest, SymbolNamesHumanReadable) {
+  EventExprPtr e = ParseOrDie("after w(i, q) && q > 100");
+  Alphabet a = Alphabet::Build(*e).value();
+  std::vector<std::string> names = a.SymbolNames();
+  ASSERT_EQ(names.size(), a.size());
+  EXPECT_EQ(names.back(), "<other>");
+  bool found_masked = false;
+  for (const std::string& n : names) {
+    if (n.find("q > 100") != std::string::npos) found_masked = true;
+  }
+  EXPECT_TRUE(found_masked);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,86 @@
+#include "automaton/dfa.h"
+
+#include <gtest/gtest.h>
+
+#include "automaton/determinize.h"
+#include "automaton/dot.h"
+#include "automaton/nfa.h"
+
+namespace ode {
+namespace {
+
+SymbolSet S(std::initializer_list<SymbolId> syms, size_t m = 2) {
+  SymbolSet out(m);
+  for (SymbolId s : syms) out.Add(s);
+  return out;
+}
+
+// Hand-built DFA over {0,1}: accepts strings ending in 1.
+Dfa EndsInOne() {
+  Dfa d(2, 2);
+  d.SetStart(0);
+  d.SetStep(0, 0, 0);
+  d.SetStep(0, 1, 1);
+  d.SetStep(1, 0, 0);
+  d.SetStep(1, 1, 1);
+  d.SetAccepting(1, true);
+  return d;
+}
+
+TEST(DfaTest, StepAndAccept) {
+  Dfa d = EndsInOne();
+  EXPECT_EQ(d.Step(0, 1), 1);
+  EXPECT_TRUE(d.Accepts({0, 1}));
+  EXPECT_FALSE(d.Accepts({1, 0}));
+  EXPECT_FALSE(d.Accepts({}));
+}
+
+TEST(DfaTest, OccurrencePointsMatchPrefixAcceptance) {
+  Dfa d = EndsInOne();
+  std::vector<bool> marks = d.OccurrencePoints({1, 0, 1, 1});
+  ASSERT_EQ(marks.size(), 4u);
+  EXPECT_TRUE(marks[0]);
+  EXPECT_FALSE(marks[1]);
+  EXPECT_TRUE(marks[2]);
+  EXPECT_TRUE(marks[3]);
+}
+
+TEST(DfaTest, TableBytesScalesWithStatesAndAlphabet) {
+  Dfa small(2, 2);
+  Dfa large(4, 100);
+  EXPECT_LT(small.TableBytes(), large.TableBytes());
+  EXPECT_GE(large.TableBytes(), 100u * 4u * sizeof(int32_t));
+}
+
+TEST(DotExportTest, ContainsStatesAndLabels) {
+  Dfa d = EndsInOne();
+  std::string dot = DfaToDot(d, {"zero", "one"});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("one"), std::string::npos);
+}
+
+TEST(DotExportTest, NfaIncludesEpsilonEdges) {
+  Nfa nfa = Nfa::Union(Nfa::SigmaStarAtom(S({0})),
+                       Nfa::SigmaStarAtom(S({1})));
+  std::string dot = NfaToDot(nfa);
+  EXPECT_NE(dot.find("ε"), std::string::npos);
+}
+
+TEST(CloneStartTest, MakesStartUnreachable) {
+  // The EndsInOne DFA re-enters state 0 on symbol 0.
+  Dfa cloned = CloneStartIfReentrant(EndsInOne());
+  for (size_t s = 0; s < cloned.num_states(); ++s) {
+    for (size_t sym = 0; sym < cloned.alphabet_size(); ++sym) {
+      EXPECT_NE(cloned.Step(static_cast<Dfa::State>(s),
+                            static_cast<SymbolId>(sym)),
+                cloned.start());
+    }
+  }
+  // Language unchanged.
+  EXPECT_TRUE(cloned.Accepts({0, 1}));
+  EXPECT_FALSE(cloned.Accepts({1, 0}));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,89 @@
+#include "automaton/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automaton/determinize.h"
+#include "automaton/nfa.h"
+
+namespace ode {
+namespace {
+
+SymbolSet S(std::initializer_list<SymbolId> syms, size_t m = 2) {
+  SymbolSet out(m);
+  for (SymbolId s : syms) out.Add(s);
+  return out;
+}
+
+TEST(MinimizeTest, RemovesRedundantStates) {
+  // Build a deliberately redundant DFA: 4 states, two of which are
+  // behaviorally identical.
+  Dfa d(2, 4);
+  d.SetStart(0);
+  // States 1 and 2 behave identically (both accept, both go to 3/3).
+  d.SetStep(0, 0, 1);
+  d.SetStep(0, 1, 2);
+  d.SetStep(1, 0, 3);
+  d.SetStep(1, 1, 3);
+  d.SetStep(2, 0, 3);
+  d.SetStep(2, 1, 3);
+  d.SetStep(3, 0, 3);
+  d.SetStep(3, 1, 3);
+  d.SetAccepting(1, true);
+  d.SetAccepting(2, true);
+  Dfa m = Minimize(d);
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_TRUE(DfaEquivalent(d, m));
+}
+
+TEST(MinimizeTest, DropsUnreachableStates) {
+  Dfa d(2, 3);
+  d.SetStart(0);
+  for (int s = 0; s < 3; ++s) {
+    d.SetStep(s, 0, 0);
+    d.SetStep(s, 1, 0);
+  }
+  d.SetAccepting(2, true);  // Unreachable accepting state.
+  Dfa m = Minimize(d);
+  EXPECT_EQ(m.num_states(), 1u);
+}
+
+TEST(MinimizeTest, MinimalDfaIsFixpoint) {
+  Nfa nfa = Nfa::Concat(Nfa::SigmaStarAtom(S({0})),
+                        Nfa::SigmaStarAtom(S({1})));
+  Dfa m1 = Minimize(Determinize(nfa).value());
+  Dfa m2 = Minimize(m1);
+  EXPECT_EQ(m1.num_states(), m2.num_states());
+  EXPECT_TRUE(DfaEquivalent(m1, m2));
+}
+
+TEST(MinimizeTest, PreservesLanguageOnRandomNfas) {
+  std::mt19937 rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random composition of atoms over a 3-symbol alphabet.
+    Nfa a = Nfa::SigmaStarAtom(S({static_cast<SymbolId>(rng() % 3)}, 3));
+    Nfa b = Nfa::SigmaStarAtom(S({static_cast<SymbolId>(rng() % 3)}, 3));
+    Nfa nfa = (rng() % 2) ? Nfa::Concat(a, b) : Nfa::Union(Nfa::Plus(a), b);
+    Dfa d = Determinize(nfa).value();
+    Dfa m = Minimize(d);
+    EXPECT_LE(m.num_states(), d.num_states());
+    EXPECT_TRUE(DfaEquivalent(d, m));
+    // Spot-check with random strings too.
+    for (int i = 0; i < 20; ++i) {
+      std::vector<SymbolId> input(rng() % 8);
+      for (SymbolId& s : input) s = static_cast<SymbolId>(rng() % 3);
+      EXPECT_EQ(d.Accepts(input), m.Accepts(input));
+    }
+  }
+}
+
+TEST(DfaEquivalentTest, DetectsDifference) {
+  Dfa ends0 = Determinize(Nfa::SigmaStarAtom(S({0}))).value();
+  Dfa ends1 = Determinize(Nfa::SigmaStarAtom(S({1}))).value();
+  EXPECT_FALSE(DfaEquivalent(ends0, ends1));
+  EXPECT_TRUE(DfaEquivalent(ends0, ends0));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,170 @@
+#include "automaton/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include "automaton/determinize.h"
+
+namespace ode {
+namespace {
+
+// Alphabet {0, 1, 2}; helper sets.
+SymbolSet S(std::initializer_list<SymbolId> syms, size_t m = 3) {
+  SymbolSet out(m);
+  for (SymbolId s : syms) out.Add(s);
+  return out;
+}
+
+TEST(SymbolSetTest, BasicOps) {
+  SymbolSet a = S({0, 2});
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(a.Contains(1));
+  EXPECT_EQ(a.Count(), 2u);
+  EXPECT_FALSE(a.Empty());
+  EXPECT_TRUE(SymbolSet(3).Empty());
+
+  SymbolSet b = S({1, 2});
+  EXPECT_EQ(a.Union(b).Count(), 3u);
+  EXPECT_EQ(a.Intersect(b).Count(), 1u);
+  EXPECT_TRUE(a.Intersect(b).Contains(2));
+  SymbolSet c = a.Complement();
+  EXPECT_EQ(c.Count(), 1u);
+  EXPECT_TRUE(c.Contains(1));
+  EXPECT_EQ(SymbolSet::All(3).Count(), 3u);
+}
+
+TEST(SymbolSetTest, LargeUniverseCrossesWords) {
+  SymbolSet s(130);
+  s.Add(0);
+  s.Add(64);
+  s.Add(129);
+  EXPECT_EQ(s.Count(), 3u);
+  EXPECT_EQ(s.Complement().Count(), 127u);
+  size_t seen = 0;
+  s.ForEach([&](SymbolId) { ++seen; });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(NfaTest, SigmaStarAtomAcceptsSuffixOccurrence) {
+  // L = Σ* {1}: any string ending in symbol 1.
+  Nfa nfa = Nfa::SigmaStarAtom(S({1}));
+  EXPECT_TRUE(nfa.Accepts({1}));
+  EXPECT_TRUE(nfa.Accepts({0, 2, 1}));
+  EXPECT_FALSE(nfa.Accepts({1, 0}));
+  EXPECT_FALSE(nfa.Accepts({}));
+}
+
+TEST(NfaTest, EmptyLanguageAcceptsNothing) {
+  Nfa nfa = Nfa::EmptyLanguage(3);
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_FALSE(nfa.Accepts({0}));
+}
+
+TEST(NfaTest, SigmaPlus) {
+  Nfa nfa = Nfa::SigmaPlus(3);
+  EXPECT_FALSE(nfa.Accepts({}));
+  EXPECT_TRUE(nfa.Accepts({0}));
+  EXPECT_TRUE(nfa.Accepts({2, 2, 2}));
+}
+
+TEST(NfaTest, UnionAndConcat) {
+  Nfa a = Nfa::SigmaStarAtom(S({0}));
+  Nfa b = Nfa::SigmaStarAtom(S({1}));
+  Nfa u = Nfa::Union(a, b);
+  EXPECT_TRUE(u.Accepts({2, 0}));
+  EXPECT_TRUE(u.Accepts({2, 1}));
+  EXPECT_FALSE(u.Accepts({2, 2}));
+
+  // Concat: ends in 0, later (or immediately) ends in 1 => contains a 0
+  // followed eventually by a final 1.
+  Nfa c = Nfa::Concat(a, b);
+  EXPECT_TRUE(c.Accepts({0, 1}));
+  EXPECT_TRUE(c.Accepts({2, 0, 2, 1}));
+  EXPECT_FALSE(c.Accepts({1, 0}));
+  EXPECT_FALSE(c.Accepts({1}));
+}
+
+TEST(NfaTest, PlusChains) {
+  // L = (Σ*{0})⁺ — strings ending in 0.
+  Nfa a = Nfa::SigmaStarAtom(S({0}));
+  Nfa p = Nfa::Plus(a);
+  EXPECT_TRUE(p.Accepts({0}));
+  EXPECT_TRUE(p.Accepts({1, 0, 1, 0}));
+  EXPECT_FALSE(p.Accepts({0, 1}));
+}
+
+TEST(NfaTest, PowerRepeats) {
+  // L(a)^2 where a = Σ*{0}: strings ending in 0 with at least two 0s.
+  Nfa a = Nfa::SigmaStarAtom(S({0}));
+  Nfa p = Nfa::Power(a, 2);
+  EXPECT_FALSE(p.Accepts({0}));
+  EXPECT_TRUE(p.Accepts({0, 0}));
+  EXPECT_TRUE(p.Accepts({0, 1, 0}));
+  EXPECT_FALSE(p.Accepts({0, 1}));
+}
+
+TEST(DeterminizeTest, PreservesLanguage) {
+  Nfa nfa = Nfa::Concat(Nfa::SigmaStarAtom(S({0})),
+                        Nfa::SigmaStarAtom(S({1})));
+  Dfa dfa = Determinize(nfa).value();
+  for (const std::vector<SymbolId>& input :
+       {std::vector<SymbolId>{0, 1}, {2, 0, 2, 1}, {1, 0}, {0}, {1},
+        {0, 1, 2}, {0, 2, 1, 1}}) {
+    EXPECT_EQ(dfa.Accepts(input), nfa.Accepts(input));
+  }
+}
+
+TEST(DeterminizeTest, StateLimitEnforced) {
+  // A union of many atoms is fine; verify the limit triggers when tiny.
+  Nfa nfa = Nfa::Concat(Nfa::SigmaStarAtom(S({0})),
+                        Nfa::SigmaStarAtom(S({1})));
+  EXPECT_EQ(Determinize(nfa, /*max_states=*/1).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ComplementTest, SigmaPlusComplementExcludesEpsilon) {
+  // !(Σ*{0}) should accept nonempty strings not ending in 0, reject ε.
+  Dfa d = Determinize(Nfa::SigmaStarAtom(S({0}))).value();
+  Dfa c = ComplementSigmaPlus(d);
+  EXPECT_FALSE(c.Accepts({}));
+  EXPECT_TRUE(c.Accepts({1}));
+  EXPECT_FALSE(c.Accepts({1, 0}));
+  EXPECT_TRUE(c.Accepts({0, 1}));
+}
+
+TEST(ComplementTest, DoubleComplementRestoresLanguage) {
+  Dfa d = Determinize(Nfa::Concat(Nfa::SigmaStarAtom(S({0})),
+                                  Nfa::SigmaStarAtom(S({1}))))
+              .value();
+  Dfa cc = ComplementSigmaPlus(ComplementSigmaPlus(d));
+  for (const std::vector<SymbolId>& input :
+       {std::vector<SymbolId>{0, 1}, {1, 0}, {0, 2, 1}, {2}, {0}}) {
+    EXPECT_EQ(cc.Accepts(input), d.Accepts(input));
+  }
+}
+
+TEST(IntersectTest, ProductLanguage) {
+  // Ends in {0 or 1} AND contains an earlier 2... use: (Σ*{0,1}) ∩ (Σ*{2}Σ⁺).
+  Dfa ends01 = Determinize(Nfa::SigmaStarAtom(S({0, 1}))).value();
+  Dfa after2 = Determinize(Nfa::Concat(Nfa::SigmaStarAtom(S({2})),
+                                       Nfa::SigmaPlus(3)))
+                   .value();
+  Dfa both = IntersectDfa(ends01, after2);
+  EXPECT_TRUE(both.Accepts({2, 0}));
+  EXPECT_TRUE(both.Accepts({1, 2, 1}));
+  EXPECT_FALSE(both.Accepts({2}));
+  EXPECT_FALSE(both.Accepts({0, 2}));
+  EXPECT_FALSE(both.Accepts({0, 0}));
+}
+
+TEST(DfaToNfaTest, RoundTripPreservesLanguage) {
+  Nfa original = Nfa::Plus(Nfa::SigmaStarAtom(S({1})));
+  Dfa dfa = Determinize(original).value();
+  Nfa back = DfaToNfa(dfa);
+  for (const std::vector<SymbolId>& input :
+       {std::vector<SymbolId>{1}, {0, 1}, {1, 1}, {1, 0}, {}}) {
+    EXPECT_EQ(back.Accepts(input), original.Accepts(input));
+  }
+}
+
+}  // namespace
+}  // namespace ode

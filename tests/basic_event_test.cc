@@ -1,0 +1,129 @@
+#include "event/basic_event.h"
+
+#include <gtest/gtest.h>
+
+#include "event/posted_event.h"
+
+namespace ode {
+namespace {
+
+TEST(BasicEventTest, QualifierLegality) {
+  // §3.1 item 1: "Immediately after an object is created. Immediately
+  // before an object is deleted."
+  EXPECT_TRUE(IsLegalQualifier(BasicEventKind::kCreate, EventQualifier::kAfter));
+  EXPECT_FALSE(IsLegalQualifier(BasicEventKind::kCreate, EventQualifier::kBefore));
+  EXPECT_TRUE(IsLegalQualifier(BasicEventKind::kDelete, EventQualifier::kBefore));
+  EXPECT_FALSE(IsLegalQualifier(BasicEventKind::kDelete, EventQualifier::kAfter));
+  // update/read/access/method/tabort: both.
+  for (BasicEventKind kind : {BasicEventKind::kUpdate, BasicEventKind::kRead,
+                              BasicEventKind::kAccess, BasicEventKind::kMethod,
+                              BasicEventKind::kTabort}) {
+    EXPECT_TRUE(IsLegalQualifier(kind, EventQualifier::kBefore));
+    EXPECT_TRUE(IsLegalQualifier(kind, EventQualifier::kAfter));
+  }
+  // Transaction events (§3.1 item 4).
+  EXPECT_TRUE(IsLegalQualifier(BasicEventKind::kTbegin, EventQualifier::kAfter));
+  EXPECT_FALSE(IsLegalQualifier(BasicEventKind::kTbegin, EventQualifier::kBefore));
+  EXPECT_TRUE(IsLegalQualifier(BasicEventKind::kTcomplete, EventQualifier::kBefore));
+  EXPECT_FALSE(IsLegalQualifier(BasicEventKind::kTcomplete, EventQualifier::kAfter));
+}
+
+// "The specification of the event `before tcommit` is not allowed because
+// we cannot be sure that a transaction is going to commit until it actually
+// does so" (§3.1).
+TEST(BasicEventTest, BeforeTcommitIsIllegal) {
+  EXPECT_FALSE(IsLegalQualifier(BasicEventKind::kTcommit, EventQualifier::kBefore));
+  BasicEvent e = BasicEvent::Make(BasicEventKind::kTcommit, EventQualifier::kBefore);
+  EXPECT_FALSE(e.Validate().ok());
+}
+
+TEST(BasicEventTest, MethodRequiresName) {
+  BasicEvent e = BasicEvent::Method(EventQualifier::kAfter, "");
+  EXPECT_FALSE(e.Validate().ok());
+}
+
+TEST(BasicEventTest, CanonicalKeysDistinguishQualifiers) {
+  BasicEvent before = BasicEvent::Method(EventQualifier::kBefore, "f");
+  BasicEvent after = BasicEvent::Method(EventQualifier::kAfter, "f");
+  EXPECT_NE(before.CanonicalKey(), after.CanonicalKey());
+}
+
+TEST(BasicEventTest, CanonicalKeysDistinguishArity) {
+  BasicEvent bare = BasicEvent::Method(EventQualifier::kAfter, "f");
+  BasicEvent two = BasicEvent::Method(EventQualifier::kAfter, "f",
+                                      {{"int", "a"}, {"int", "b"}});
+  EXPECT_NE(bare.CanonicalKey(), two.CanonicalKey());
+  // But parameter names do not matter for identity, only the signature.
+  BasicEvent two_other = BasicEvent::Method(EventQualifier::kAfter, "f",
+                                            {{"int", "x"}, {"int", "y"}});
+  EXPECT_EQ(two.CanonicalKey(), two_other.CanonicalKey());
+}
+
+TEST(BasicEventTest, TimeEventKeyIncludesModeAndSpec) {
+  TimeSpec nine;
+  nine.hour = 9;
+  TimeSpec five;
+  five.hour = 17;
+  BasicEvent at9 = BasicEvent::Time(TimeEventMode::kAt, nine);
+  BasicEvent at5 = BasicEvent::Time(TimeEventMode::kAt, five);
+  BasicEvent every9 = BasicEvent::Time(TimeEventMode::kEvery, nine);
+  EXPECT_NE(at9.CanonicalKey(), at5.CanonicalKey());
+  EXPECT_NE(at9.CanonicalKey(), every9.CanonicalKey());
+}
+
+TEST(BasicEventTest, ToStringMatchesPaperSyntax) {
+  EXPECT_EQ(BasicEvent::Make(BasicEventKind::kRead, EventQualifier::kAfter)
+                .ToString(),
+            "after read");
+  EXPECT_EQ(BasicEvent::Method(EventQualifier::kAfter, "withdraw",
+                               {{"Item", "i"}, {"int", "q"}})
+                .ToString(),
+            "after withdraw(Item i, int q)");
+}
+
+TEST(PostedEventTest, MatchesKindAndQualifier) {
+  PostedEvent e = MakePosted(BasicEventKind::kUpdate, EventQualifier::kAfter);
+  EXPECT_TRUE(e.Matches(
+      BasicEvent::Make(BasicEventKind::kUpdate, EventQualifier::kAfter)));
+  EXPECT_FALSE(e.Matches(
+      BasicEvent::Make(BasicEventKind::kUpdate, EventQualifier::kBefore)));
+  EXPECT_FALSE(e.Matches(
+      BasicEvent::Make(BasicEventKind::kRead, EventQualifier::kAfter)));
+}
+
+TEST(PostedEventTest, MethodMatchingHonorsDeclaredArity) {
+  PostedEvent e = MakePostedMethod(EventQualifier::kAfter, "withdraw",
+                                   {{"i", Value(1)}, {"q", Value(50)}});
+  EXPECT_TRUE(e.Matches(BasicEvent::Method(EventQualifier::kAfter, "withdraw")));
+  EXPECT_TRUE(e.Matches(BasicEvent::Method(EventQualifier::kAfter, "withdraw",
+                                           {{"Item", "i"}, {"int", "q"}})));
+  // Declared arity 1 does not match a 2-argument posting.
+  EXPECT_FALSE(e.Matches(BasicEvent::Method(EventQualifier::kAfter, "withdraw",
+                                            {{"Item", "i"}})));
+  EXPECT_FALSE(e.Matches(BasicEvent::Method(EventQualifier::kAfter, "deposit")));
+}
+
+TEST(PostedEventTest, FindArg) {
+  PostedEvent e = MakePostedMethod(EventQualifier::kAfter, "f",
+                                   {{"a", Value(1)}, {"b", Value(2)}});
+  ASSERT_NE(e.FindArg("b"), nullptr);
+  EXPECT_EQ(e.FindArg("b")->AsInt().value(), 2);
+  EXPECT_EQ(e.FindArg("c"), nullptr);
+}
+
+TEST(PostedEventTest, TimeEventMatchesByCanonicalKey) {
+  TimeSpec nine;
+  nine.hour = 9;
+  BasicEvent spec = BasicEvent::Time(TimeEventMode::kAt, nine);
+  PostedEvent e;
+  e.kind = BasicEventKind::kTime;
+  e.qualifier = EventQualifier::kNone;
+  e.time_key = spec.CanonicalKey();
+  EXPECT_TRUE(e.Matches(spec));
+  TimeSpec other;
+  other.hour = 17;
+  EXPECT_FALSE(e.Matches(BasicEvent::Time(TimeEventMode::kAt, other)));
+}
+
+}  // namespace
+}  // namespace ode

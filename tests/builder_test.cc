@@ -1,0 +1,112 @@
+#include "lang/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using namespace ode::builder;  // NOLINT — the builder is designed for this.
+using testing_util::ParseOrDie;
+
+/// Builder output must equal the parsed DSL form (canonical text).
+void ExpectSameAs(const Ev& built, std::string_view dsl) {
+  Result<EventExprPtr> e = built.Build();
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(), ParseOrDie(dsl)->ToString());
+}
+
+TEST(BuilderTest, AtomsMatchDsl) {
+  ExpectSameAs(After("withdraw"), "after withdraw");
+  ExpectSameAs(Before("withdraw"), "before withdraw");
+  ExpectSameAs(AfterCreate(), "after create");
+  ExpectSameAs(BeforeDelete(), "before delete");
+  ExpectSameAs(AfterTcommit(), "after tcommit");
+  ExpectSameAs(Never(), "empty");
+  TimeSpec nine;
+  nine.hour = 9;
+  ExpectSameAs(At(nine), "at time(HR=9)");
+}
+
+TEST(BuilderTest, SignatureAndMask) {
+  ExpectSameAs(
+      After("withdraw", {{"Item", "i"}, {"int", "q"}}).Where("q > 1000"),
+      "after withdraw(Item i, int q) && q > 1000");
+}
+
+TEST(BuilderTest, OperatorSugar) {
+  ExpectSameAs(After("a") | Before("b"), "after a | before b");
+  ExpectSameAs(After("a") & !Before("b"), "after a & !before b");
+}
+
+TEST(BuilderTest, Combinators) {
+  ExpectSameAs(Relative({After("a"), After("b"), After("c")}),
+               "relative(after a, after b, after c)");
+  ExpectSameAs(RelativePlus(After("a")), "relative+(after a)");
+  ExpectSameAs(RelativeN(5, After("deposit")), "relative 5 (after deposit)");
+  ExpectSameAs(Prior({After("a"), After("b")}), "prior(after a, after b)");
+  ExpectSameAs(Sequence({After("a"), Before("b"), After("b")}),
+               "after a; before b; after b");
+  ExpectSameAs(Choose(5, AfterTcommit()), "choose 5 (after tcommit)");
+  ExpectSameAs(Every(5, AfterAccess()), "every 5 (after access)");
+  ExpectSameAs(Fa(After("a"), After("b"), After("c")),
+               "fa(after a, after b, after c)");
+  ExpectSameAs(FaAbs(After("a"), After("b"), After("c")),
+               "faAbs(after a, after b, after c)");
+}
+
+TEST(BuilderTest, Shorthands) {
+  ExpectSameAs(Method("deposit"), "deposit");
+  ExpectSameAs(StateReached("balance < 500.00"), "balance < 500.00");
+}
+
+TEST(BuilderTest, CompositeMaskViaWhere) {
+  ExpectSameAs((After("f") | After("g")).Where("ready"),
+               "(after f | after g) && ready");
+}
+
+TEST(BuilderTest, PaperTriggerT4) {
+  TimeSpec nine;
+  nine.hour = 9;
+  Ev day_begin = At(nine);
+  Ev t4 = Relative(
+      {day_begin,
+       Prior({Choose(5, AfterTcommit()), AfterTcommit()}) &
+           !Prior({day_begin, AfterTcommit()})});
+  ExpectSameAs(t4,
+               "relative(at time(HR=9), prior(choose 5 (after tcommit), "
+               "after tcommit) & !prior(at time(HR=9), after tcommit))");
+}
+
+TEST(BuilderTest, ErrorsPoisonTheChain) {
+  Ev bad = After("f").Where("q >");  // Mask parse error.
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(bad.error().empty());
+  // The error propagates through combinators and surfaces in Build.
+  Ev composed = Fa(bad, After("g"), After("h"));
+  EXPECT_FALSE(composed.ok());
+  Result<EventExprPtr> built = composed.Build();
+  EXPECT_EQ(built.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(composed.ptr(), nullptr);
+}
+
+TEST(BuilderTest, InvalidAtomRejected) {
+  TimeSpec bad;
+  bad.hour = 42;
+  EXPECT_FALSE(At(bad).ok());
+}
+
+TEST(BuilderTest, BuiltExpressionsCompile) {
+  Ev evt = Fa(After("withdraw", {{"int", "q"}}).Where("q > 500"),
+              Relative({After("withdraw", {{"int", "q"}}),
+                        After("withdraw", {{"int", "q"}})}),
+              Method("deposit"));
+  Result<EventExprPtr> e = evt.Build();
+  ASSERT_TRUE(e.ok());
+  Result<CompiledEvent> compiled = CompileEvent(*e, CompileOptions());
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,213 @@
+#include "clock/virtual_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+BasicEvent At(int hour) {
+  TimeSpec spec;
+  spec.hour = hour;
+  return BasicEvent::Time(TimeEventMode::kAt, spec);
+}
+
+BasicEvent EveryMinutes(int minutes) {
+  TimeSpec spec;
+  spec.minute = minutes;
+  return BasicEvent::Time(TimeEventMode::kEvery, spec);
+}
+
+BasicEvent AfterMinutes(int minutes) {
+  TimeSpec spec;
+  spec.minute = minutes;
+  return BasicEvent::Time(TimeEventMode::kAfter, spec);
+}
+
+TEST(VirtualClockTest, AtTimerFiresDaily) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, At(9)));
+  std::vector<TimeMs> fired;
+  ODE_ASSERT_OK(clock.AdvanceTo(
+      3 * 24 * 3600 * 1000LL,
+      [&](Oid, const std::string&, TimeMs t) -> Status {
+        fired.push_back(t);
+        return Status::OK();
+      }));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(FromEpochMs(fired[0]).hour, 9);
+  EXPECT_EQ(fired[1] - fired[0], 24 * 3600 * 1000LL);
+}
+
+TEST(VirtualClockTest, EveryTimerIsPeriodicFromRegistration) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.SetTime(1000));
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, EveryMinutes(5)));
+  std::vector<TimeMs> fired;
+  ODE_ASSERT_OK(clock.AdvanceTo(
+      1000 + 16 * 60 * 1000,
+      [&](Oid, const std::string&, TimeMs t) -> Status {
+        fired.push_back(t);
+        return Status::OK();
+      }));
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[0], 1000 + 5 * 60 * 1000);
+  EXPECT_EQ(fired[2], 1000 + 15 * 60 * 1000);
+}
+
+TEST(VirtualClockTest, AfterTimerFiresOnce) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, AfterMinutes(2)));
+  int fires = 0;
+  ODE_ASSERT_OK(clock.AdvanceTo(3600 * 1000,
+                                [&](Oid, const std::string&, TimeMs) -> Status {
+                                  ++fires;
+                                  return Status::OK();
+                                }));
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(clock.num_timers(), 0u);
+}
+
+TEST(VirtualClockTest, RefcountSharesTimers) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, At(9)));
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, At(9)));
+  EXPECT_EQ(clock.num_timers(), 1u);
+  ODE_ASSERT_OK(clock.RemoveTimer(Oid{1}, At(9)));
+  EXPECT_EQ(clock.num_timers(), 1u);
+  ODE_ASSERT_OK(clock.RemoveTimer(Oid{1}, At(9)));
+  EXPECT_EQ(clock.num_timers(), 0u);
+  EXPECT_EQ(clock.RemoveTimer(Oid{1}, At(9)).code(), StatusCode::kNotFound);
+}
+
+TEST(VirtualClockTest, FiringOrderIsChronological) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.AddTimer(Oid{1}, AfterMinutes(10)));
+  ODE_ASSERT_OK(clock.AddTimer(Oid{2}, AfterMinutes(5)));
+  std::vector<uint64_t> order;
+  ODE_ASSERT_OK(clock.AdvanceTo(3600 * 1000,
+                                [&](Oid o, const std::string&, TimeMs) -> Status {
+                                  order.push_back(o.id);
+                                  return Status::OK();
+                                }));
+  EXPECT_EQ(order, (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(VirtualClockTest, CannotMoveBackwards) {
+  VirtualClock clock;
+  ODE_ASSERT_OK(clock.SetTime(5000));
+  EXPECT_FALSE(clock.AdvanceTo(1000, nullptr).ok());
+}
+
+// --- Database integration: §3.5 trigger T3 (dayEnd ==> summary) ----------
+
+TEST(ClockIntegrationTest, DayEndTriggerFiresDaily) {
+  ClassDef def("room");
+  def.AddAttr("summaries", Value(0));
+  // #define dayEnd at time(HR=17); T3: perpetual dayEnd ==> summary.
+  def.AddTrigger("T3(): perpetual at time(HR=17) ==> summary");
+
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "summary", [](const ActionContext& ctx) -> Status {
+        Result<Value> v = ctx.db->PeekAttr(ctx.self, "summaries");
+        if (!v.ok()) return v.status();
+        Result<Value> next = v->Add(Value(1));
+        if (!next.ok()) return next.status();
+        return ctx.db->SetAttr(ctx.txn, ctx.self, "summaries", *next);
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+
+  TxnId t = db.Begin().value();
+  Oid room = db.New(t, "room").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t, room, "T3"));
+  ODE_ASSERT_OK(db.Commit(t));
+
+  // Two full days pass.
+  ODE_ASSERT_OK(db.AdvanceClock(2 * 24 * 3600 * 1000LL));
+  EXPECT_EQ(db.PeekAttr(room, "summaries").value().AsInt().value(), 2);
+  EXPECT_EQ(db.FireCount(room, "T3"), 2u);
+}
+
+// §2 footnote: "timed triggers can be simulated using composite events" —
+// an `after time(...)` one-shot composed with a method event.
+TEST(ClockIntegrationTest, TimedTriggerViaComposition) {
+  ClassDef def("room");
+  def.AddAttr("hits", Value(0));
+  def.AddMethod(MethodDef{"poke", {}, MethodKind::kUpdate, nullptr});
+  // Fire at the first poke that happens at least 1 minute after activation.
+  def.AddTrigger("T(): relative(after time(M=1), after poke) ==> hit");
+
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "hit", [](const ActionContext& ctx) -> Status {
+        Result<Value> v = ctx.db->PeekAttr(ctx.self, "hits");
+        if (!v.ok()) return v.status();
+        Result<Value> next = v->Add(Value(1));
+        if (!next.ok()) return next.status();
+        return ctx.db->SetAttr(ctx.txn, ctx.self, "hits", *next);
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+
+  TxnId t = db.Begin().value();
+  Oid room = db.New(t, "room").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t, room, "T"));
+  ODE_ASSERT_OK(db.Commit(t));
+
+  // Poke before the minute elapses: no fire.
+  TxnId t2 = db.Begin().value();
+  ODE_ASSERT_OK(db.Call(t2, room, "poke").status());
+  ODE_ASSERT_OK(db.Commit(t2));
+  EXPECT_EQ(db.PeekAttr(room, "hits").value().AsInt().value(), 0);
+
+  ODE_ASSERT_OK(db.AdvanceClock(61 * 1000));
+
+  TxnId t3 = db.Begin().value();
+  ODE_ASSERT_OK(db.Call(t3, room, "poke").status());
+  ODE_ASSERT_OK(db.Commit(t3));
+  EXPECT_EQ(db.PeekAttr(room, "hits").value().AsInt().value(), 1);
+}
+
+TEST(ClockIntegrationTest, DeactivationRemovesTimers) {
+  ClassDef def("room");
+  def.AddAttr("x", Value(0));
+  def.AddTrigger("T(): perpetual at time(HR=17) ==> noop");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "noop", [](const ActionContext&) -> Status { return Status::OK(); }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  TxnId t = db.Begin().value();
+  Oid room = db.New(t, "room").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t, room, "T"));
+  EXPECT_EQ(db.clock().num_timers(), 1u);
+  ODE_ASSERT_OK(db.DeactivateTrigger(t, room, "T"));
+  EXPECT_EQ(db.clock().num_timers(), 0u);
+  ODE_ASSERT_OK(db.Commit(t));
+}
+
+TEST(ClockIntegrationTest, AbortRestoresTimerOfDeactivatedTrigger) {
+  ClassDef def("room");
+  def.AddAttr("x", Value(0));
+  def.AddTrigger("T(): perpetual at time(HR=17) ==> noop");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "noop", [](const ActionContext&) -> Status { return Status::OK(); }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  TxnId t1 = db.Begin().value();
+  Oid room = db.New(t1, "room").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t1, room, "T"));
+  ODE_ASSERT_OK(db.Commit(t1));
+
+  TxnId t2 = db.Begin().value();
+  ODE_ASSERT_OK(db.DeactivateTrigger(t2, room, "T"));
+  EXPECT_EQ(db.clock().num_timers(), 0u);
+  ODE_ASSERT_OK(db.Abort(t2));
+  // The deactivation was rolled back, timer restored.
+  EXPECT_TRUE(db.TriggerActive(room, "T").value());
+  EXPECT_EQ(db.clock().num_timers(), 1u);
+}
+
+}  // namespace
+}  // namespace ode

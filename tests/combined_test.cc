@@ -1,0 +1,139 @@
+// §5 footnote 5: several triggers' automata combined into one product with
+// bitmask acceptance. Property: the product's per-trigger bits equal each
+// component automaton's acceptance on every input.
+#include "compile/combined.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+TriggerSpec Spec(const char* text) {
+  Result<TriggerSpec> spec = ParseTriggerSpec(text);
+  EXPECT_TRUE(spec.ok()) << text << ": " << spec.status().ToString();
+  return spec.ok() ? *spec : TriggerSpec{};
+}
+
+TEST(CombinedTest, BitsMatchComponents) {
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("A(): perpetual after deposit"),
+      Spec("B(): perpetual relative(after deposit, after withdraw)"),
+      Spec("C(): perpetual choose 2 (after withdraw)"),
+  });
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  ASSERT_EQ(combined->num_triggers(), 3u);
+
+  std::mt19937 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<SymbolId> history(20);
+    for (SymbolId& s : history) {
+      s = static_cast<SymbolId>(rng() % combined->alphabet().size());
+    }
+    Dfa::State prod = combined->dfa().start();
+    std::vector<Dfa::State> comps;
+    for (const Dfa& d : combined->component_dfas()) comps.push_back(d.start());
+    for (SymbolId sym : history) {
+      prod = combined->dfa().Step(prod, sym);
+      uint64_t mask = combined->AcceptMask(prod);
+      for (size_t i = 0; i < comps.size(); ++i) {
+        comps[i] = combined->component_dfas()[i].Step(comps[i], sym);
+        EXPECT_EQ((mask >> i) & 1,
+                  combined->component_dfas()[i].accepting(comps[i]) ? 1u
+                                                                     : 0u);
+      }
+    }
+  }
+}
+
+TEST(CombinedTest, SharedAlphabetDeduplicatesMasks) {
+  // Two triggers using the same masked logical event share its
+  // micro-symbols; a third mask on the same basic event adds one bit.
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("A(): after w(q) && q > 10"),
+      Spec("B(): relative(after w(q) && q > 10, after w(q) && q > 20)"),
+  });
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  // Group w has masks {q>10, q>20} → 4 micro-symbols, + OTHER.
+  EXPECT_EQ(combined->alphabet().size(), 5u);
+}
+
+TEST(CombinedTest, StockroomTriggerGroup) {
+  // A realistic group: the §3.5 stockroom's non-timer triggers share one
+  // product automaton.
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("T5(): perpetual every 5 (after access)"),
+      Spec("T6(): perpetual after withdraw (i, q) && q > 100"),
+      Spec("T8(): perpetual after deposit; before withdraw"),
+  });
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  // One integer of state instead of three.
+  EXPECT_GT(combined->dfa().num_states(), 0u);
+  // The product's shared table is bounded by the components' product...
+  size_t product_bound = 1;
+  for (const Dfa& d : combined->component_dfas()) {
+    product_bound *= d.num_states();
+  }
+  EXPECT_LE(combined->dfa().num_states(), product_bound);
+}
+
+TEST(CombinedTest, RootCompositeMasksKeptPerTrigger) {
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("A(): (after f | after g) && ready"),
+      Spec("B(): after f"),
+  });
+  ASSERT_TRUE(combined.ok()) << combined.status().ToString();
+  EXPECT_EQ(combined->composite_masks(0).size(), 1u);
+  EXPECT_TRUE(combined->composite_masks(1).empty());
+}
+
+TEST(CombinedTest, GatedTriggersRejected) {
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("A(): fa((after f | after g) && ready, before tcomplete, "
+           "after tbegin)"),
+  });
+  EXPECT_EQ(combined.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(CombinedTest, LimitsEnforced) {
+  EXPECT_EQ(CombinedProgram::Build({}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<TriggerSpec> many;
+  for (int i = 0; i < 65; ++i) {
+    many.push_back(Spec("T(): after f"));
+  }
+  EXPECT_EQ(CombinedProgram::Build(std::move(many)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Product-state guard.
+  CombinedProgram::Options opts;
+  opts.max_product_states = 4;
+  EXPECT_EQ(CombinedProgram::Build(
+                {Spec("A(): choose 5 (after f)"),
+                 Spec("B(): choose 7 (after g)")},
+                opts)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CombinedTest, ProductSmallerThanComponentsSometimes) {
+  // Related triggers share structure: the product can be far below the
+  // worst-case bound. (This is the footnote's "more efficient
+  // monitoring".)
+  Result<CombinedProgram> combined = CombinedProgram::Build({
+      Spec("A(): prior 2 (after f)"),
+      Spec("B(): prior 3 (after f)"),
+  });
+  ASSERT_TRUE(combined.ok());
+  // prior-2 has ~3 live states, prior-3 ~4; the product collapses to ~4
+  // because the counters advance in lockstep.
+  EXPECT_LE(combined->dfa().num_states(), 5u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,130 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacroDeclares) {
+  auto helper = []() -> Result<int> {
+    ODE_ASSIGN_OR_RETURN(int v, Result<int>(5));
+    ODE_ASSIGN_OR_RETURN(int w, Result<int>(7));
+    return v + w;
+  };
+  Result<int> r = helper();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 12);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto helper = []() -> Result<int> {
+    ODE_ASSIGN_OR_RETURN(int v, Result<int>(Status::Aborted("x")));
+    return v;
+  };
+  EXPECT_EQ(helper().status().code(), StatusCode::kAborted);
+}
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value().kind(), ValueKind::kNull);
+  EXPECT_EQ(Value(3).kind(), ValueKind::kInt);
+  EXPECT_EQ(Value(3.5).kind(), ValueKind::kDouble);
+  EXPECT_EQ(Value(true).kind(), ValueKind::kBool);
+  EXPECT_EQ(Value("hi").kind(), ValueKind::kString);
+  EXPECT_EQ(Value(Oid{7}).kind(), ValueKind::kOid);
+
+  EXPECT_EQ(Value(3).AsInt().value(), 3);
+  EXPECT_EQ(Value(3).AsDouble().value(), 3.0);  // Int promotes.
+  EXPECT_FALSE(Value(3.5).AsInt().ok());        // Double does not demote.
+  EXPECT_EQ(Value("hi").AsString().value(), "hi");
+  EXPECT_EQ(Value(Oid{7}).AsOid().value().id, 7u);
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value().Truthy());
+  EXPECT_FALSE(Value(0).Truthy());
+  EXPECT_TRUE(Value(-2).Truthy());
+  EXPECT_FALSE(Value(0.0).Truthy());
+  EXPECT_TRUE(Value(0.1).Truthy());
+  EXPECT_FALSE(Value(false).Truthy());
+  EXPECT_FALSE(Value("").Truthy());
+  EXPECT_TRUE(Value("x").Truthy());
+  EXPECT_FALSE(Value(kNullOid).Truthy());
+  EXPECT_TRUE(Value(Oid{1}).Truthy());
+}
+
+TEST(ValueTest, NumericEqualityCrossesKinds) {
+  EXPECT_TRUE(Value(2).Equals(Value(2.0)));
+  EXPECT_FALSE(Value(2).Equals(Value(2.5)));
+  EXPECT_FALSE(Value(1).Equals(Value(true)));  // Bool is not numeric.
+}
+
+TEST(ValueTest, CompareNumericAndString) {
+  EXPECT_EQ(Value(1).Compare(Value(2.0)).value(), -1);
+  EXPECT_EQ(Value(2.0).Compare(Value(2)).value(), 0);
+  EXPECT_EQ(Value("b").Compare(Value("a")).value(), 1);
+  EXPECT_FALSE(Value("a").Compare(Value(1)).ok());
+}
+
+TEST(ValueTest, ArithmeticPromotion) {
+  EXPECT_EQ(Value(2).Add(Value(3)).value().AsInt().value(), 5);
+  EXPECT_EQ(Value(2).Add(Value(0.5)).value().AsDouble().value(), 2.5);
+  EXPECT_EQ(Value("a").Add(Value("b")).value().AsString().value(), "ab");
+  EXPECT_FALSE(Value("a").Add(Value(1)).ok());
+  EXPECT_EQ(Value(7).Mod(Value(3)).value().AsInt().value(), 1);
+  EXPECT_FALSE(Value(7.0).Mod(Value(3)).ok());
+}
+
+TEST(ValueTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(Value(1).Div(Value(0)).ok());
+  EXPECT_FALSE(Value(1.0).Div(Value(0.0)).ok());
+  EXPECT_FALSE(Value(1).Mod(Value(0)).ok());
+  EXPECT_EQ(Value(7).Div(Value(2)).value().AsInt().value(), 3);
+}
+
+TEST(ValueTest, Negation) {
+  EXPECT_EQ(Value(3).Neg().value().AsInt().value(), -3);
+  EXPECT_EQ(Value(2.5).Neg().value().AsDouble().value(), -2.5);
+  EXPECT_FALSE(Value("x").Neg().ok());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(Oid{17}).ToString(), "@17");
+  EXPECT_EQ(Value(500.0).ToString(), "500.0");
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,252 @@
+#include "compile/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::CompileOrDie;
+using testing_util::Compiled;
+
+/// Test harness: compile an expression over method events and run symbol
+/// histories written as method-name strings ("a+" = after a, "a-" =
+/// before a, "." = an unrelated event).
+class CompiledExpr {
+ public:
+  explicit CompiledExpr(std::string_view text) : c_(CompileOrDie(text)) {}
+
+  SymbolId Sym(char method, char qual) {
+    PostedEvent e = MakePostedMethod(
+        qual == '+' ? EventQualifier::kAfter : EventQualifier::kBefore,
+        std::string(1, method));
+    Result<SymbolId> s = c_.event.alphabet.Classify(
+        e, [](const MaskSlot&, const PostedEvent&) -> Result<bool> {
+          return Status::Internal("mask-free test");
+        });
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return s.ok() ? *s : 0;
+  }
+
+  /// History notation: pairs of (method, +/-), '.' = OTHER.
+  std::vector<bool> Run(std::string_view history) {
+    std::vector<SymbolId> syms;
+    for (size_t i = 0; i < history.size();) {
+      if (history[i] == '.') {
+        syms.push_back(c_.event.alphabet.other_symbol());
+        ++i;
+      } else {
+        syms.push_back(Sym(history[i], history[i + 1]));
+        i += 2;
+      }
+    }
+    return c_.event.dfa.OccurrencePoints(syms);
+  }
+
+  /// Does the event occur at the last point of `history`?
+  bool AtEnd(std::string_view history) {
+    std::vector<bool> marks = Run(history);
+    return !marks.empty() && marks.back();
+  }
+
+  const CompiledEvent& event() const { return c_.event; }
+
+ private:
+  Compiled c_;
+};
+
+TEST(CompilerTest, AtomOccursAtEachPosting) {
+  CompiledExpr e("after a");
+  EXPECT_EQ(e.Run("a+.a+"), (std::vector<bool>{true, false, true}));
+  EXPECT_EQ(e.Run("a-"), (std::vector<bool>{false}));
+}
+
+TEST(CompilerTest, UnionAndIntersection) {
+  CompiledExpr u("after a | before b");
+  EXPECT_EQ(u.Run("a+b-."), (std::vector<bool>{true, true, false}));
+
+  // Intersection of two distinct atoms is empty.
+  CompiledExpr both("after a & before b");
+  EXPECT_EQ(both.Run("a+b-"), (std::vector<bool>{false, false}));
+
+  // Intersection with a non-trivial overlap: (a | b) & (b | c) = b.
+  CompiledExpr overlap("(after a | after b) & (after b | after c)");
+  EXPECT_EQ(overlap.Run("a+b+c+"), (std::vector<bool>{false, true, false}));
+}
+
+TEST(CompilerTest, ComplementMarksNonOccurrences) {
+  CompiledExpr e("!after a");
+  EXPECT_EQ(e.Run("a+.b+a+"),
+            (std::vector<bool>{false, true, true, false}));
+}
+
+TEST(CompilerTest, RelativeIsStrictSequencing) {
+  CompiledExpr e("relative(after a, after b)");
+  EXPECT_TRUE(e.AtEnd("a+b+"));
+  EXPECT_TRUE(e.AtEnd("a+..b+"));
+  EXPECT_FALSE(e.AtEnd("b+a+"));
+  // b before a, then another b after: fires at the final b.
+  EXPECT_TRUE(e.AtEnd("b+a+b+"));
+  // Marks every qualifying b.
+  EXPECT_EQ(e.Run("a+b+b+"), (std::vector<bool>{false, true, true}));
+}
+
+TEST(CompilerTest, RelativePlusChains) {
+  CompiledExpr e("relative+ (after a)");
+  // Equivalent to `after a` for an atom (§3.4 footnote on prior+).
+  EXPECT_EQ(e.Run("a+.a+"), (std::vector<bool>{true, false, true}));
+}
+
+TEST(CompilerTest, RelativeNMarksNthAndSubsequent) {
+  // §3.4: relative 5 (after deposit) = fifth and any subsequent.
+  CompiledExpr e("relative 3 (after a)");
+  EXPECT_EQ(e.Run("a+a+a+a+"),
+            (std::vector<bool>{false, false, true, true}));
+  EXPECT_EQ(e.Run("a+.a+.a+"),
+            (std::vector<bool>{false, false, false, false, true}));
+}
+
+TEST(CompilerTest, PriorOnlyNeedsLastPointsOrdered) {
+  // §3.4: prior(E, F) holds if E's last point is before F's last point.
+  CompiledExpr e("prior(after a, after b)");
+  EXPECT_TRUE(e.AtEnd("a+b+"));
+  EXPECT_TRUE(e.AtEnd("a+..b+"));
+  EXPECT_FALSE(e.AtEnd("b+"));
+  EXPECT_FALSE(e.AtEnd("b+a+"));
+  EXPECT_TRUE(e.AtEnd("b+a+b+"));
+}
+
+TEST(CompilerTest, PriorVsRelativeOnComposites) {
+  // The §3.4 example: E = relative(E1, E2), F = relative(F1, F2) with
+  // history F1 E1 E2 F2. prior(E, F) occurs at F2; relative(E, F) does not.
+  // Encode E1=a+, E2=b+, F1=c+, F2=d+.
+  CompiledExpr prior_ef(
+      "prior(relative(after a, after b), relative(after c, after d))");
+  CompiledExpr relative_ef(
+      "relative(relative(after a, after b), relative(after c, after d))");
+  EXPECT_TRUE(prior_ef.AtEnd("c+a+b+d+"));
+  EXPECT_FALSE(relative_ef.AtEnd("c+a+b+d+"));
+  // With F entirely after E, both fire.
+  EXPECT_TRUE(prior_ef.AtEnd("a+b+c+d+"));
+  EXPECT_TRUE(relative_ef.AtEnd("a+b+c+d+"));
+}
+
+TEST(CompilerTest, SequenceRequiresAdjacency) {
+  // §3.4: sequence components occur at immediately consecutive points.
+  CompiledExpr e("sequence(after a, after b)");
+  EXPECT_TRUE(e.AtEnd("a+b+"));
+  EXPECT_FALSE(e.AtEnd("a+.b+"));  // An intervening event breaks it.
+  EXPECT_FALSE(e.AtEnd("a+b-"));
+}
+
+TEST(CompilerTest, SemicolonChainsAreSequences) {
+  // Trigger T8: after deposit; before withdraw; after withdraw.
+  CompiledExpr e("after a; before b; after b");
+  EXPECT_TRUE(e.AtEnd("a+b-b+"));
+  EXPECT_FALSE(e.AtEnd("a+b-.b+"));
+  EXPECT_FALSE(e.AtEnd("a+.b-b+"));
+}
+
+TEST(CompilerTest, SequenceN) {
+  CompiledExpr e("sequence 3 (after a)");
+  EXPECT_TRUE(e.AtEnd("a+a+a+"));
+  EXPECT_FALSE(e.AtEnd("a+a+.a+"));
+  EXPECT_TRUE(e.AtEnd("a+a+a+a+"));  // Any window of 3 adjacent.
+}
+
+TEST(CompilerTest, PriorN) {
+  CompiledExpr e("prior 2 (after a)");
+  EXPECT_EQ(e.Run("a+.a+a+"),
+            (std::vector<bool>{false, false, true, true}));
+}
+
+TEST(CompilerTest, ChooseAndEvery) {
+  CompiledExpr choose2("choose 2 (after a)");
+  EXPECT_EQ(choose2.Run("a+a+a+"), (std::vector<bool>{false, true, false}));
+
+  CompiledExpr every2("every 2 (after a)");
+  EXPECT_EQ(every2.Run("a+a+a+a+"),
+            (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(CompilerTest, FaOperator) {
+  CompiledExpr e("fa(after a, after b, after c)");
+  EXPECT_TRUE(e.AtEnd("a+b+"));
+  EXPECT_TRUE(e.AtEnd("a+.b+"));
+  EXPECT_FALSE(e.AtEnd("a+c+b+"));   // c intervenes.
+  EXPECT_TRUE(e.AtEnd("a+c+a+b+"));  // Fresh anchor after c.
+  EXPECT_EQ(e.Run("a+b+b+"), (std::vector<bool>{false, true, false}));
+}
+
+TEST(CompilerTest, FaAbsOperator) {
+  CompiledExpr e("faAbs(after a, after b, after c)");
+  EXPECT_TRUE(e.AtEnd("c+a+b+"));   // c before the anchor is irrelevant.
+  EXPECT_FALSE(e.AtEnd("a+c+b+"));  // c between anchor and b blocks.
+}
+
+TEST(CompilerTest, EmptyNeverOccurs) {
+  CompiledExpr e("empty");
+  EXPECT_EQ(e.Run("a+a+"), (std::vector<bool>{false, false}));
+}
+
+TEST(CompilerTest, MethodShorthandCoversBothQualifiers) {
+  CompiledExpr e("a");
+  EXPECT_EQ(e.Run("a-a+."), (std::vector<bool>{true, true, false}));
+}
+
+TEST(CompilerTest, StatsPopulated) {
+  CompiledExpr e("relative(after a, !after b & after c)");
+  const CompileStats& stats = e.event().stats;
+  EXPECT_GT(stats.alphabet_size, 0u);
+  EXPECT_GT(stats.nfa_states, 0u);
+  EXPECT_GE(stats.dfa_states, stats.min_dfa_states);
+  EXPECT_GT(stats.min_dfa_states, 0u);
+}
+
+TEST(CompilerTest, RootCompositeMasksHoisted) {
+  // `&& ready && steady` parses as one conjunction mask (greedy, §5 usage);
+  // it is hoisted to a runtime gate and the expression compiles mask-free.
+  Compiled c = CompileOrDie("(after a | after b) && ready && steady");
+  EXPECT_EQ(c.event.composite_masks.size(), 1u);
+  EXPECT_EQ(c.event.composite_masks[0]->ToString(), "(ready && steady)");
+  EXPECT_EQ(c.event.num_gates(), 0u);
+}
+
+TEST(CompilerTest, NestedCompositeMaskBecomesGate) {
+  Compiled c = CompileOrDie(
+      "fa((after a | after b) && ready, before tcomplete, after tbegin)");
+  EXPECT_EQ(c.event.num_gates(), 1u);
+  EXPECT_EQ(c.event.extended_alphabet_size(), c.event.alphabet.size() * 2);
+  EXPECT_EQ(c.event.gates[0].mask->ToString(), "ready");
+}
+
+TEST(CompilerTest, GateCapEnforced) {
+  CompileOptions opts;
+  opts.max_gates = 1;
+  EventExprPtr e = testing_util::ParseOrDie(
+      "relative((after a) && m1, (after b) && m2)");
+  // Note: masks attach to atoms here, so force composite masks with parens
+  // around unions.
+  e = testing_util::ParseOrDie(
+      "relative((after a | after b) && m1, (after b | after c) && m2)");
+  EXPECT_EQ(CompileEvent(e, opts).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(CompilerTest, MinimizationNeverGrowsStates) {
+  for (const char* text :
+       {"relative(after a, after b, after c)",
+        "!(after a | before a) & after b",
+        "fa(after a, prior(after b, after c), after a)"}) {
+    CompileOptions raw;
+    raw.minimize = false;
+    EventExprPtr e = testing_util::ParseOrDie(text);
+    CompiledEvent unmin = CompileEvent(e, raw).value();
+    CompiledEvent min = CompileEvent(e, CompileOptions()).value();
+    EXPECT_LE(min.dfa.num_states(), unmin.dfa.num_states()) << text;
+  }
+}
+
+}  // namespace
+}  // namespace ode

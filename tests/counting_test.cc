@@ -1,0 +1,77 @@
+#include "automaton/counting.h"
+
+#include <gtest/gtest.h>
+
+#include "automaton/determinize.h"
+#include "automaton/nfa.h"
+
+namespace ode {
+namespace {
+
+// DFA for "last symbol is 0" over alphabet {0, 1}.
+Dfa EndsInZero() {
+  SymbolSet zero(2);
+  zero.Add(0);
+  return Determinize(Nfa::SigmaStarAtom(zero)).value();
+}
+
+std::vector<bool> Marks(const Dfa& d, const std::vector<SymbolId>& input) {
+  return d.OccurrencePoints(input);
+}
+
+TEST(CountingTest, PriorNMarksNthAndSubsequent) {
+  // prior 3 (after zero): third and later occurrences of the event.
+  Dfa d = BuildCountingDfa(EndsInZero(), 3, CountCondition::kAtLeast).value();
+  std::vector<bool> m = Marks(d, {0, 1, 0, 0, 1, 0});
+  // Occurrences at positions 0,2,3,5 (0-based); third is position 3.
+  EXPECT_EQ(m, (std::vector<bool>{false, false, false, true, false, true}));
+}
+
+TEST(CountingTest, ChooseNMarksExactlyNth) {
+  // choose 2: only the second occurrence (§3.4: choose 5 (after tcommit)
+  // is posted by the commit of the fifth transaction — and only that one).
+  Dfa d = BuildCountingDfa(EndsInZero(), 2, CountCondition::kExactly).value();
+  std::vector<bool> m = Marks(d, {0, 0, 0, 1, 0});
+  EXPECT_EQ(m, (std::vector<bool>{false, true, false, false, false}));
+}
+
+TEST(CountingTest, EveryNMarksMultiples) {
+  // every 2: 2nd, 4th, 6th, ... occurrences (§3.4's every 5 semantics).
+  Dfa d = BuildCountingDfa(EndsInZero(), 2, CountCondition::kModulo).value();
+  std::vector<bool> m = Marks(d, {0, 0, 0, 0, 0});
+  EXPECT_EQ(m, (std::vector<bool>{false, true, false, true, false}));
+}
+
+TEST(CountingTest, EveryOneMarksAll) {
+  Dfa d = BuildCountingDfa(EndsInZero(), 1, CountCondition::kModulo).value();
+  std::vector<bool> m = Marks(d, {0, 1, 0});
+  EXPECT_EQ(m, (std::vector<bool>{true, false, true}));
+}
+
+TEST(CountingTest, ChooseOneIsFirstOnly) {
+  Dfa d = BuildCountingDfa(EndsInZero(), 1, CountCondition::kExactly).value();
+  std::vector<bool> m = Marks(d, {1, 0, 0});
+  EXPECT_EQ(m, (std::vector<bool>{false, true, false}));
+}
+
+TEST(CountingTest, NonOccurrencesDoNotAdvanceCounter) {
+  Dfa d = BuildCountingDfa(EndsInZero(), 2, CountCondition::kExactly).value();
+  // Interleave many 1s; still the second 0 fires.
+  std::vector<bool> m = Marks(d, {1, 1, 0, 1, 1, 0, 1});
+  EXPECT_EQ(m, (std::vector<bool>{false, false, false, false, false, true,
+                                  false}));
+}
+
+TEST(CountingTest, RejectsNonPositiveN) {
+  EXPECT_FALSE(BuildCountingDfa(EndsInZero(), 0, CountCondition::kAtLeast)
+                   .ok());
+}
+
+TEST(CountingTest, CounterStateSpaceIsBounded) {
+  Dfa d = BuildCountingDfa(EndsInZero(), 50, CountCondition::kAtLeast).value();
+  // At most |E| * (N+1) states.
+  EXPECT_LE(d.num_states(), EndsInZero().num_states() * 51);
+}
+
+}  // namespace
+}  // namespace ode

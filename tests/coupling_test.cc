@@ -1,0 +1,273 @@
+// Experiment E8: the nine §7 coupling modes, expressed purely as E-A event
+// expressions, fire at the times the E-C-A couplings prescribe. The firing
+// moment is observed through a recording action that notes the phase of the
+// triggering transaction.
+#include "trigger/coupling.h"
+
+#include <gtest/gtest.h>
+
+#include "compile/trigger_program.h"
+#include "lang/printer.h"
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+// Compile-level checks: each mode builds the paper's exact expression.
+TEST(CouplingBuildTest, ExpressionShapes) {
+  EventExprPtr e = testing_util::ParseOrDie("after bump");
+  MaskExprPtr c = testing_util::ParseMaskOrDie("ready");
+
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kImmediateImmediate, e, c).value()
+          ->ToString(),
+      "after bump && ready");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kImmediateDeferred, e, c).value()
+          ->ToString(),
+      "fa(after bump && ready, before tcomplete, after tbegin)");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kImmediateDependent, e, c).value()
+          ->ToString(),
+      "fa(after bump && ready, after tcommit, after tbegin)");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kImmediateIndependent, e, c).value()
+          ->ToString(),
+      "fa(after bump && ready, after tcommit | after tabort, after tbegin)");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kDeferredImmediate, e, c).value()
+          ->ToString(),
+      "fa(after bump, before tcomplete, after tbegin) && ready");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kDeferredDependent, e, c).value()
+          ->ToString(),
+      "fa(fa(after bump, before tcomplete, after tbegin) && ready, "
+      "after tcommit, after tbegin)");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kDeferredIndependent, e, c).value()
+          ->ToString(),
+      "fa(fa(after bump, before tcomplete, after tbegin) && ready, "
+      "after tcommit | after tabort, after tbegin)");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kDependentImmediate, e, c).value()
+          ->ToString(),
+      "fa(after bump, after tcommit, after tbegin) && ready");
+  EXPECT_EQ(
+      BuildCoupling(CouplingMode::kIndependentImmediate, e, c).value()
+          ->ToString(),
+      "fa(after bump, after tcommit | after tabort, after tbegin) && ready");
+}
+
+TEST(CouplingBuildTest, AllModesCompile) {
+  for (int m = 1; m <= 9; ++m) {
+    Result<EventExprPtr> e = BuildCouplingFromText(
+        static_cast<CouplingMode>(m), "after bump", "ready");
+    ASSERT_TRUE(e.ok()) << m << ": " << e.status().ToString();
+    Result<CompiledEvent> compiled = CompileEvent(*e, CompileOptions());
+    EXPECT_TRUE(compiled.ok())
+        << CouplingModeName(static_cast<CouplingMode>(m)) << ": "
+        << compiled.status().ToString();
+  }
+}
+
+// --- Engine-level timing -----------------------------------------------
+
+// The recording action notes the state of the *triggering* user
+// transaction at firing time (active / committed / aborted), which is
+// exactly what distinguishes immediate, deferred, and separate couplings.
+struct FiringLog {
+  std::vector<std::string> entries;
+};
+
+ClassDef MakeClass(CouplingMode mode, const char* condition) {
+  Result<EventExprPtr> expr =
+      BuildCouplingFromText(mode, "after bump", condition);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  ClassDef def("obj");
+  def.AddAttr("n", Value(0));
+  def.AddAttr("ready", Value(true));
+  def.AddMethod(MethodDef{
+      "bump",
+      {},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value n, ctx->Get("n"));
+        ODE_ASSIGN_OR_RETURN(Value next, n.Add(Value(1)));
+        return ctx->Set("n", next);
+      }});
+  TriggerSpec spec;
+  spec.name = "K";
+  spec.perpetual = true;
+  spec.event = *expr;
+  spec.action = "record";
+  def.AddTrigger(spec);
+  return def;
+}
+
+struct CouplingFixture {
+  Database db;
+  Oid obj;
+  TxnId user_txn = 0;
+  FiringLog log;
+
+  explicit CouplingFixture(CouplingMode mode, const char* condition = "ready") {
+    EXPECT_TRUE(db.RegisterAction("record",
+                                  [this](const ActionContext& ctx) -> Status {
+                                    Record(ctx);
+                                    return Status::OK();
+                                  })
+                    .ok());
+    EXPECT_TRUE(db.RegisterClass(MakeClass(mode, condition)).status().ok());
+    TxnId t = db.Begin().value();
+    obj = db.New(t, "obj").value();
+    EXPECT_TRUE(db.ActivateTrigger(t, obj, "K").ok());
+    EXPECT_TRUE(db.Commit(t).ok());
+  }
+
+  void Record(const ActionContext& ctx) {
+    const Transaction* user = db.txn(user_txn);
+    std::string phase = user == nullptr
+                            ? "?"
+                            : std::string(TxnStateName(user->state()));
+    std::string in_system =
+        db.txn(ctx.txn) != nullptr && db.txn(ctx.txn)->is_system()
+            ? "system"
+            : "user";
+    log.entries.push_back(phase + "/" + in_system + "/" +
+                          std::string(BasicEventKindName(ctx.event->kind)));
+  }
+
+  /// Runs one transaction doing a bump, committing or aborting.
+  void RunTxn(bool commit) {
+    user_txn = db.Begin().value();
+    EXPECT_TRUE(db.Call(user_txn, obj, "bump").status().ok());
+    if (commit) {
+      EXPECT_TRUE(db.Commit(user_txn).ok());
+    } else {
+      EXPECT_TRUE(db.Abort(user_txn).ok());
+    }
+  }
+};
+
+TEST(CouplingEngineTest, ImmediateImmediateFiresAtEvent) {
+  CouplingFixture f(CouplingMode::kImmediateImmediate);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  // Fired while the user transaction was active, in the user transaction,
+  // at the bump event itself.
+  EXPECT_EQ(f.log.entries[0], "active/user/method");
+}
+
+TEST(CouplingEngineTest, ImmediateDeferredFiresAtTcomplete) {
+  CouplingFixture f(CouplingMode::kImmediateDeferred);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  // Fired at before-tcomplete: still the user transaction, still active.
+  EXPECT_EQ(f.log.entries[0], "active/user/tcomplete");
+}
+
+TEST(CouplingEngineTest, ImmediateDependentFiresAfterCommit) {
+  CouplingFixture f(CouplingMode::kImmediateDependent);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  // Fired at after-tcommit: user txn committed, action in a system txn.
+  EXPECT_EQ(f.log.entries[0], "committed/system/tcommit");
+  // On abort, the dependent coupling never fires.
+  f.log.entries.clear();
+  f.RunTxn(/*commit=*/false);
+  EXPECT_TRUE(f.log.entries.empty());
+}
+
+TEST(CouplingEngineTest, ImmediateIndependentFiresEitherWay) {
+  CouplingFixture f(CouplingMode::kImmediateIndependent);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "committed/system/tcommit");
+  f.log.entries.clear();
+  f.RunTxn(/*commit=*/false);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "aborted/system/tabort");
+}
+
+TEST(CouplingEngineTest, DeferredImmediateFiresAtTcomplete) {
+  CouplingFixture f(CouplingMode::kDeferredImmediate);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "active/user/tcomplete");
+}
+
+TEST(CouplingEngineTest, DeferredDependentFiresAfterCommit) {
+  CouplingFixture f(CouplingMode::kDeferredDependent);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "committed/system/tcommit");
+  f.log.entries.clear();
+  f.RunTxn(/*commit=*/false);
+  EXPECT_TRUE(f.log.entries.empty());
+}
+
+TEST(CouplingEngineTest, DeferredIndependentFiresEitherWay) {
+  CouplingFixture f(CouplingMode::kDeferredIndependent);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "committed/system/tcommit");
+  f.log.entries.clear();
+  f.RunTxn(/*commit=*/false);
+  // The deferred inner fa never completed (no tcomplete in an aborted
+  // txn), so nothing fires even on the abort path.
+  EXPECT_TRUE(f.log.entries.empty());
+}
+
+TEST(CouplingEngineTest, DependentImmediateChecksConditionAtCommit) {
+  CouplingFixture f(CouplingMode::kDependentImmediate);
+  f.RunTxn(/*commit=*/true);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "committed/system/tcommit");
+}
+
+TEST(CouplingEngineTest, IndependentImmediateFiresOnAbortToo) {
+  CouplingFixture f(CouplingMode::kIndependentImmediate);
+  f.RunTxn(/*commit=*/false);
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "aborted/system/tabort");
+}
+
+TEST(CouplingEngineTest, ImmediateConditionEvaluatedAtEventTime) {
+  // Immediate-Deferred: C is checked when E occurs, not at tcomplete. Flip
+  // `ready` to false *after* the bump: the trigger must still fire,
+  // because C held at E's occurrence (the gate bit latched it, §7).
+  CouplingFixture f(CouplingMode::kImmediateDeferred);
+  f.user_txn = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(f.user_txn, f.obj, "bump").status());
+  ODE_ASSERT_OK(f.db.SetAttr(f.user_txn, f.obj, "ready", Value(false)));
+  ODE_ASSERT_OK(f.db.Commit(f.user_txn));
+  ASSERT_EQ(f.log.entries.size(), 1u);
+  EXPECT_EQ(f.log.entries[0], "active/user/tcomplete");
+}
+
+TEST(CouplingEngineTest, DeferredConditionEvaluatedAtTcomplete) {
+  // Deferred-Immediate: C is a composite mask on the whole fa — checked at
+  // tcomplete time. Flipping `ready` to false after the bump suppresses
+  // the firing.
+  CouplingFixture f(CouplingMode::kDeferredImmediate);
+  f.user_txn = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(f.user_txn, f.obj, "bump").status());
+  ODE_ASSERT_OK(f.db.SetAttr(f.user_txn, f.obj, "ready", Value(false)));
+  ODE_ASSERT_OK(f.db.Commit(f.user_txn));
+  EXPECT_TRUE(f.log.entries.empty());
+}
+
+TEST(CouplingEngineTest, FalseImmediateConditionSuppresses) {
+  // E occurs while C is false: no coupling mode with an immediate
+  // condition may fire.
+  CouplingFixture f(CouplingMode::kImmediateDeferred);
+  f.user_txn = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.SetAttr(f.user_txn, f.obj, "ready", Value(false)));
+  ODE_ASSERT_OK(f.db.Call(f.user_txn, f.obj, "bump").status());
+  ODE_ASSERT_OK(f.db.Commit(f.user_txn));
+  EXPECT_TRUE(f.log.entries.empty());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,185 @@
+// Cross-feature integration: combinations the individual suites don't
+// cover — gated (nested-mask) triggers under the §6 transform, snapshots
+// taken mid-scenario, and trigger firing across a save/load boundary.
+#include <gtest/gtest.h>
+
+#include "ode/database.h"
+#include "test_util.h"
+#include "trigger/coupling.h"
+
+namespace ode {
+namespace {
+
+TEST(CrossFeatureTest, GatedTriggerCompilesUnderCommittedTransform) {
+  // Coupling mode 2 embeds a gate; the §6 transform must lift the marker
+  // sets into the gate-extended alphabet.
+  Result<EventExprPtr> expr = BuildCouplingFromText(
+      CouplingMode::kImmediateDeferred, "after bump", "ready");
+  ASSERT_TRUE(expr.ok());
+  TriggerSpec spec;
+  spec.name = "K";
+  spec.perpetual = true;
+  spec.event = *expr;
+  Result<TriggerProgram> program = CompileTrigger(
+      spec, HistoryView::kCommittedViaTransform, CompileOptions());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->event.num_gates(), 1u);
+  ASSERT_TRUE(program->committed_dfa.has_value());
+  EXPECT_EQ(program->committed_dfa->alphabet_size(),
+            program->event.extended_alphabet_size());
+}
+
+ClassDef CounterClass() {
+  ClassDef def("counter");
+  def.AddAttr("n", Value(0));
+  def.AddAttr("ready", Value(true));
+  def.AddAttr("fired", Value(0));
+  def.AddMethod(MethodDef{"bump",
+                          {},
+                          MethodKind::kUpdate,
+                          [](MethodContext* ctx) -> Status {
+                            ODE_ASSIGN_OR_RETURN(Value n, ctx->Get("n"));
+                            ODE_ASSIGN_OR_RETURN(Value nx, n.Add(Value(1)));
+                            return ctx->Set("n", nx);
+                          }});
+  return def;
+}
+
+void SetUpSchema(Database* db, ClassDef def) {
+  EXPECT_TRUE(db->RegisterAction(
+                    "bump_fired",
+                    [](const ActionContext& ctx) -> Status {
+                      Result<Value> v = ctx.db->PeekAttr(ctx.self, "fired");
+                      if (!v.ok()) return v.status();
+                      Result<Value> next = v->Add(Value(1));
+                      if (!next.ok()) return next.status();
+                      return ctx.db->SetAttr(ctx.txn, ctx.self, "fired",
+                                             *next);
+                    })
+                  .ok());
+  EXPECT_TRUE(db->RegisterClass(std::move(def)).status().ok());
+}
+
+TEST(CrossFeatureTest, GatedStateSurvivesSnapshot) {
+  // An immediate-deferred coupling latches its gate bit at the bump; a
+  // snapshot taken between the bump and the commit must preserve the
+  // latched gate state so the firing still happens after reload.
+  Result<EventExprPtr> expr = BuildCouplingFromText(
+      CouplingMode::kImmediateDeferred, "after bump", "ready");
+  ASSERT_TRUE(expr.ok());
+  TriggerSpec spec;
+  spec.name = "K";
+  spec.perpetual = true;
+  spec.event = *expr;
+  spec.action = "bump_fired";
+  ClassDef def = CounterClass();
+  def.AddTrigger(spec);
+
+  std::string path = std::string(::testing::TempDir()) + "/gate_snap.ode";
+  Oid obj;
+  {
+    Database db;
+    SetUpSchema(&db, def);
+    TxnId t0 = db.Begin().value();
+    obj = db.New(t0, "counter").value();
+    ODE_ASSERT_OK(db.ActivateTrigger(t0, obj, "K"));
+    ODE_ASSERT_OK(db.Commit(t0));
+
+    TxnId t = db.Begin().value();
+    ODE_ASSERT_OK(db.Call(t, obj, "bump").status());
+    // Snapshot mid-transaction state of the *monitoring* machinery. (The
+    // open transaction itself is not persisted — only object and trigger
+    // state; commit before saving.)
+    ODE_ASSERT_OK(db.Commit(t));
+    // The gate latched and the fa fired at this commit's tcomplete.
+    EXPECT_EQ(db.PeekAttr(obj, "fired").value().AsInt().value(), 1);
+    ODE_ASSERT_OK(db.SaveSnapshot(path));
+  }
+  {
+    Database db;
+    SetUpSchema(&db, def);
+    ODE_ASSERT_OK(db.LoadSnapshot(path));
+    // A new transaction with no bump: no further firing.
+    TxnId t = db.Begin().value();
+    ODE_ASSERT_OK(db.GetAttr(t, obj, "n").status());
+    ODE_ASSERT_OK(db.Commit(t));
+    EXPECT_EQ(db.PeekAttr(obj, "fired").value().AsInt().value(), 1);
+    // A bump+commit fires again (perpetual trigger, automaton re-anchors).
+    TxnId t2 = db.Begin().value();
+    ODE_ASSERT_OK(db.Call(t2, obj, "bump").status());
+    ODE_ASSERT_OK(db.Commit(t2));
+    EXPECT_EQ(db.PeekAttr(obj, "fired").value().AsInt().value(), 2);
+  }
+}
+
+TEST(CrossFeatureTest, ChooseStateCrossesSnapshotExactlyOnce) {
+  // choose N fires exactly once in an object's lifetime, even when the
+  // lifetime spans snapshots — the §5 point that the integer state *is*
+  // the monitoring history.
+  ClassDef def = CounterClass();
+  def.AddTrigger("C(): perpetual choose 2 (after bump) ==> bump_fired");
+  std::string path =
+      std::string(::testing::TempDir()) + "/choose_snap.ode";
+  Oid obj;
+  {
+    Database db;
+    SetUpSchema(&db, def);
+    TxnId t = db.Begin().value();
+    obj = db.New(t, "counter").value();
+    ODE_ASSERT_OK(db.ActivateTrigger(t, obj, "C"));
+    ODE_ASSERT_OK(db.Call(t, obj, "bump").status());
+    ODE_ASSERT_OK(db.Call(t, obj, "bump").status());  // Fires (2nd).
+    ODE_ASSERT_OK(db.Commit(t));
+    EXPECT_EQ(db.PeekAttr(obj, "fired").value().AsInt().value(), 1);
+    ODE_ASSERT_OK(db.SaveSnapshot(path));
+  }
+  {
+    Database db;
+    SetUpSchema(&db, def);
+    ODE_ASSERT_OK(db.LoadSnapshot(path));
+    TxnId t = db.Begin().value();
+    ODE_ASSERT_OK(db.Call(t, obj, "bump").status());  // 3rd: silent.
+    ODE_ASSERT_OK(db.Commit(t));
+    EXPECT_EQ(db.PeekAttr(obj, "fired").value().AsInt().value(), 1);
+  }
+}
+
+TEST(CrossFeatureTest, WitnessAvailableInDeferredAction) {
+  // Argument capture composes with deferred couplings: the action fires at
+  // tcomplete but can still read the bump... (witnesses only record events
+  // in the trigger's alphabet — the gate's constituents are, via the base
+  // alphabet).
+  Result<EventExprPtr> expr = BuildCouplingFromText(
+      CouplingMode::kImmediateDeferred, "after bump2(int k)", "ready");
+  ASSERT_TRUE(expr.ok());
+  TriggerSpec spec;
+  spec.name = "K";
+  spec.perpetual = true;
+  spec.event = *expr;
+  spec.action = "note";
+  ClassDef def = CounterClass();
+  def.AddMethod(MethodDef{"bump2", {{"int", "k"}}, MethodKind::kUpdate,
+                          nullptr});
+  def.AddTrigger(spec);
+
+  Database db;
+  Value seen;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "note", [&seen](const ActionContext& ctx) -> Status {
+        seen = ctx.WitnessArg("bump2", "k");
+        return Status::OK();
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  TxnId t0 = db.Begin().value();
+  Oid obj = db.New(t0, "counter").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t0, obj, "K"));
+  ODE_ASSERT_OK(db.Commit(t0));
+
+  TxnId t = db.Begin().value();
+  ODE_ASSERT_OK(db.Call(t, obj, "bump2", {Value(77)}).status());
+  ODE_ASSERT_OK(db.Commit(t));
+  EXPECT_EQ(seen.AsInt().value_or(-1), 77);
+}
+
+}  // namespace
+}  // namespace ode

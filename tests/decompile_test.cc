@@ -1,0 +1,135 @@
+// The converse of the §4 equivalence theorem, executable: any DFA over a
+// trigger alphabet decompiles to an event expression with the same
+// occurrence semantics. Round-trip property: compile → decompile →
+// recompile yields a language-equivalent automaton.
+#include "compile/decompile.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "automaton/determinize.h"
+#include "automaton/minimize.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::RandomExpr;
+
+/// compile(expr) → DFA → decompile → compile again over the SAME alphabet
+/// → language equivalence.
+void ExpectRoundTrip(const EventExprPtr& expr) {
+  Result<CompiledEvent> compiled = CompileEvent(expr, CompileOptions());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->num_gates(), 0u);
+
+  Result<EventExprPtr> back = DecompileDfa(compiled->dfa, compiled->alphabet);
+  ASSERT_TRUE(back.ok()) << expr->ToString() << ": "
+                         << back.status().ToString();
+
+  Result<Nfa> nfa = CompileToNfa(**back, compiled->alphabet);
+  ASSERT_TRUE(nfa.ok()) << nfa.status().ToString();
+  Result<Dfa> redone = Determinize(*nfa);
+  ASSERT_TRUE(redone.ok()) << redone.status().ToString();
+  EXPECT_TRUE(DfaEquivalent(Minimize(*redone), Minimize(compiled->dfa)))
+      << "expr: " << expr->ToString()
+      << "\ndecompiled: " << (*back)->ToString();
+}
+
+class DecompileRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DecompileRoundTrip, LanguagePreserved) {
+  ExpectRoundTrip(ParseOrDie(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, DecompileRoundTrip,
+    ::testing::Values("after a", "after a | before b",
+                      "relative(after a, after b)", "!after a",
+                      "after a; after b", "prior(after a, after b)",
+                      "choose 3 (after a)", "every 2 (after a)",
+                      "fa(after a, after b, after c)",
+                      "relative+ (after a | after b)", "empty",
+                      "faAbs(after a, after b, after c)",
+                      "relative 3 (after a)"));
+
+TEST(DecompileTest, RandomExpressionsRoundTrip) {
+  std::mt19937 rng(4242);
+  int done = 0;
+  for (int trial = 0; trial < 30 && done < 20; ++trial) {
+    EventExprPtr expr = RandomExpr(&rng, 2);
+    Result<CompiledEvent> compiled = CompileEvent(expr, CompileOptions());
+    if (!compiled.ok()) continue;
+    if (compiled->dfa.num_states() > 12) continue;  // Keep elimination sane.
+    ExpectRoundTrip(expr);
+    ++done;
+  }
+  EXPECT_GT(done, 0);
+}
+
+TEST(DecompileTest, UsesOnlyCoreOperators) {
+  // The §4 "core" claim: union, relative, relative+, &, !, atoms suffice.
+  EventExprPtr expr = ParseOrDie("choose 2 (after a); before b");
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+  EventExprPtr back = DecompileDfa(compiled.dfa, compiled.alphabet).value();
+  std::function<void(const EventExpr&)> walk = [&](const EventExpr& e) {
+    switch (e.kind) {
+      case EventExprKind::kEmpty:
+      case EventExprKind::kAtom:
+      case EventExprKind::kOr:
+      case EventExprKind::kAnd:
+      case EventExprKind::kNot:
+      case EventExprKind::kRelative:
+      case EventExprKind::kRelativePlus:
+      case EventExprKind::kPrior:  // Used only inside the length-1 helper.
+        break;
+      default:
+        ADD_FAILURE() << "non-core operator in decompiled expression: "
+                      << EventExprKindName(e.kind);
+    }
+    for (const EventExprPtr& c : e.children) walk(*c);
+  };
+  walk(*back);
+}
+
+TEST(DecompileTest, Len1HelperSemantics) {
+  // L(!prior(!empty, !empty)) = strings of length exactly 1.
+  EventExprPtr len1 = ParseOrDie("!prior(!empty, !empty)");
+  CompiledEvent compiled = CompileEvent(len1, CompileOptions()).value();
+  // Alphabet is just OTHER here.
+  EXPECT_TRUE(compiled.dfa.Accepts({compiled.alphabet.other_symbol()}));
+  EXPECT_FALSE(compiled.dfa.Accepts({compiled.alphabet.other_symbol(),
+                                     compiled.alphabet.other_symbol()}));
+  EXPECT_FALSE(compiled.dfa.Accepts({}));
+}
+
+TEST(DecompileTest, MaskedAlphabetRejected) {
+  EventExprPtr expr = ParseOrDie("after f(q) && q > 1");
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+  EXPECT_EQ(DecompileDfa(compiled.dfa, compiled.alphabet).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(DecompileTest, EpsilonAcceptingDfaRejected) {
+  EventExprPtr expr = ParseOrDie("after a");
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+  Dfa bad = compiled.dfa;
+  bad.SetAccepting(bad.start(), true);
+  EXPECT_EQ(DecompileDfa(bad, compiled.alphabet).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DecompileTest, BudgetGuard) {
+  EventExprPtr expr = ParseOrDie(
+      "choose 6 (after a) & every 4 (after b | after a)");
+  CompiledEvent compiled = CompileEvent(expr, CompileOptions()).value();
+  EXPECT_EQ(DecompileDfa(compiled.dfa, compiled.alphabet, /*max_nodes=*/8)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,192 @@
+// Randomized engine stress: thousands of random operations (create, call,
+// set, activate/deactivate, commit, abort, clock advances) against a
+// shadow model that only applies effects at commit. After every
+// commit/abort, the database's visible state must equal the model —
+// the §6 atomicity contract under trigger load.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+ClassDef CellClass() {
+  ClassDef def("cell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddMethod(MethodDef{"peek", {}, MethodKind::kReadOnly, nullptr});
+  // A mix of trigger shapes riding along; `count` bumps `touches`.
+  def.AddTrigger("T1(): perpetual every 3 (after add) ==> count");
+  def.AddTrigger("T2(): perpetual after add (d) && d > 50 ==> count");
+  {
+    Result<TriggerSpec> spec = ParseTriggerSpec(
+        "T3(): perpetual choose 4 (after add) ==> count");
+    def.AddTrigger(*spec, HistoryView::kCommitted);
+  }
+  {
+    Result<TriggerSpec> spec = ParseTriggerSpec(
+        "T4(): perpetual choose 4 (after add) ==> count");
+    def.AddTrigger(*spec, HistoryView::kCommittedViaTransform);
+  }
+  return def;
+}
+
+struct Shadow {
+  // Committed attribute values.
+  std::map<uint64_t, int64_t> v;
+  std::map<uint64_t, bool> exists;
+};
+
+class StressSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StressSweep, AtomicityHoldsUnderRandomOps) {
+  std::mt19937 rng(GetParam());
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "count", [](const ActionContext& ctx) -> Status {
+        Result<Value> t = ctx.db->PeekAttr(ctx.self, "touches");
+        if (!t.ok()) return t.status();
+        Result<Value> next = t->Add(Value(1));
+        if (!next.ok()) return next.status();
+        return ctx.db->SetAttr(ctx.txn, ctx.self, "touches", *next);
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(CellClass()).status());
+
+  Shadow committed;
+  std::vector<Oid> objects;
+
+  for (int txn_round = 0; txn_round < 120; ++txn_round) {
+    TxnId t = db.Begin().value();
+    // Pending view starts from the committed shadow.
+    Shadow pending = committed;
+    bool doomed = false;  // Set when an action aborted the txn.
+
+    int ops = 1 + static_cast<int>(rng() % 6);
+    for (int op = 0; op < ops && !doomed; ++op) {
+      int what = static_cast<int>(rng() % 10);
+      if (what < 2 || objects.empty()) {
+        // Create.
+        Result<Oid> oid = db.New(t, "cell");
+        ASSERT_TRUE(oid.ok()) << oid.status().ToString();
+        objects.push_back(*oid);
+        pending.exists[oid->id] = true;
+        pending.v[oid->id] = 0;
+        // Arm a random subset of triggers; T3/T4 always together so the
+        // committed-view-vs-transform comparison below is meaningful.
+        for (const char* trig : {"T1", "T2"}) {
+          if (rng() % 2 == 0) {
+            ODE_ASSERT_OK(db.ActivateTrigger(t, *oid, trig));
+          }
+        }
+        if (rng() % 2 == 0) {
+          ODE_ASSERT_OK(db.ActivateTrigger(t, *oid, "T3"));
+          ODE_ASSERT_OK(db.ActivateTrigger(t, *oid, "T4"));
+        }
+        continue;
+      }
+      Oid target = objects[rng() % objects.size()];
+      if (!pending.exists[target.id]) continue;
+      switch (what) {
+        case 2:
+        case 3:
+        case 4: {
+          int64_t d = static_cast<int64_t>(rng() % 100);
+          Status s = db.Call(t, target, "add", {Value(d)}).status();
+          if (s.code() == StatusCode::kAborted) {
+            doomed = true;
+            break;
+          }
+          ODE_ASSERT_OK(s);
+          pending.v[target.id] += d;
+          break;
+        }
+        case 5: {
+          ODE_ASSERT_OK(db.Call(t, target, "peek").status());
+          break;
+        }
+        case 6: {
+          int64_t nv = static_cast<int64_t>(rng() % 1000);
+          ODE_ASSERT_OK(db.SetAttr(t, target, "v", Value(nv)));
+          pending.v[target.id] = nv;
+          break;
+        }
+        case 7: {
+          Status s = db.Delete(t, target);
+          if (s.code() == StatusCode::kAborted) {
+            doomed = true;
+            break;
+          }
+          ODE_ASSERT_OK(s);
+          pending.exists[target.id] = false;
+          break;
+        }
+        case 8: {
+          ODE_ASSERT_OK(db.ActivateTrigger(t, target, "T1"));
+          break;
+        }
+        default: {
+          ODE_ASSERT_OK(db.DeactivateTrigger(t, target, "T2"));
+          break;
+        }
+      }
+    }
+
+    bool commit = !doomed && (rng() % 3 != 0);
+    if (doomed) {
+      // The engine already aborted the transaction.
+      ASSERT_EQ(db.txn(t)->state(), TxnState::kAborted);
+    } else if (commit) {
+      ODE_ASSERT_OK(db.Commit(t));
+      committed = pending;
+    } else {
+      ODE_ASSERT_OK(db.Abort(t));
+    }
+
+    // Invariant: visible state == committed shadow. (The `touches`
+    // attribute is trigger-driven and intentionally unmodeled; `v` and
+    // existence are the atomicity contract.)
+    for (Oid oid : objects) {
+      bool should_exist = committed.exists.count(oid.id) > 0 &&
+                          committed.exists[oid.id];
+      ASSERT_EQ(db.Exists(oid), should_exist)
+          << "round " << txn_round << " object " << oid.id;
+      if (should_exist) {
+        ASSERT_EQ(db.PeekAttr(oid, "v").value().AsInt().value(),
+                  committed.v[oid.id])
+            << "round " << txn_round << " object " << oid.id;
+      }
+    }
+    // The §6 claim, continuously: the committed-view trigger and its A′
+    // twin never diverge.
+    for (Oid oid : objects) {
+      if (!db.Exists(oid)) continue;
+      ASSERT_EQ(db.FireCount(oid, "T3"), db.FireCount(oid, "T4"))
+          << "object " << oid.id;
+    }
+  }
+
+  // The run must have exercised both outcomes and some trigger firings.
+  EXPECT_GT(db.txns().num_committed(), 10u);
+  EXPECT_GT(db.txns().num_aborted(), 5u);
+  EXPECT_GT(db.stats().triggers_fired, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSweep,
+                         ::testing::Values(7u, 77u, 777u, 7777u, 77777u));
+
+}  // namespace
+}  // namespace ode

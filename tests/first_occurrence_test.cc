@@ -1,0 +1,114 @@
+#include "automaton/first_occurrence.h"
+
+#include <gtest/gtest.h>
+
+#include "automaton/determinize.h"
+#include "automaton/nfa.h"
+
+namespace ode {
+namespace {
+
+// Alphabet {0=e, 1=f, 2=g, 3=x}.
+constexpr SymbolId kE = 0;
+constexpr SymbolId kF = 1;
+constexpr SymbolId kG = 2;
+constexpr SymbolId kX = 3;
+
+Dfa AtomDfa(SymbolId sym) {
+  SymbolSet s(4);
+  s.Add(sym);
+  return Determinize(Nfa::SigmaStarAtom(s)).value();
+}
+
+Nfa AtomNfa(SymbolId sym) {
+  SymbolSet s(4);
+  s.Add(sym);
+  return Nfa::SigmaStarAtom(s);
+}
+
+TEST(FirstNoGTest, AcceptsOnlyFirstF) {
+  Dfa d = BuildFirstNoG(AtomDfa(kF), AtomDfa(kG)).value();
+  // v ∈ L(F) with no earlier F or G.
+  EXPECT_TRUE(d.Accepts({kF}));
+  EXPECT_TRUE(d.Accepts({kX, kF}));
+  EXPECT_FALSE(d.Accepts({kF, kF}));     // Second F.
+  EXPECT_FALSE(d.Accepts({kG, kF}));     // G intervenes.
+  EXPECT_FALSE(d.Accepts({kX, kG, kF}));
+  EXPECT_FALSE(d.Accepts({kG}));
+}
+
+TEST(FaConcatTest, FaSemantics) {
+  // fa(E, F, G) = L(E) · FirstNoG(F, G).
+  Dfa first = BuildFirstNoG(AtomDfa(kF), AtomDfa(kG)).value();
+  Nfa fa = Nfa::Concat(AtomNfa(kE), DfaToNfa(first));
+  // E then first F with no G between.
+  EXPECT_TRUE(fa.Accepts({kE, kF}));
+  EXPECT_TRUE(fa.Accepts({kE, kX, kF}));
+  EXPECT_FALSE(fa.Accepts({kE, kG, kF}));
+  // A second E re-opens the window after a G.
+  EXPECT_TRUE(fa.Accepts({kE, kG, kE, kF}));
+  // Only the first F after E (for every E-anchor the first F coincides).
+  EXPECT_FALSE(fa.Accepts({kE, kF, kF}));
+  // ...but a later E makes the second F "first" relative to it.
+  EXPECT_TRUE(fa.Accepts({kE, kF, kE, kF}));
+}
+
+TEST(FaAbsTest, GRelativeToWholeHistory) {
+  // faAbs(E, F, G): G counts even before E? No — only strictly between
+  // |u| and |uv| (the anchor point itself excluded).
+  Nfa faabs = BuildFaAbs(AtomNfa(kE), AtomDfa(kF), AtomDfa(kG)).value();
+  EXPECT_TRUE(faabs.Accepts({kE, kF}));
+  EXPECT_TRUE(faabs.Accepts({kG, kE, kF}));   // G before the anchor: fine.
+  EXPECT_FALSE(faabs.Accepts({kE, kG, kF}));  // G between anchor and F.
+  EXPECT_TRUE(faabs.Accepts({kE, kX, kF}));
+  EXPECT_FALSE(faabs.Accepts({kE, kF, kF}));  // Only first F per anchor.
+  EXPECT_TRUE(faabs.Accepts({kE, kF, kE, kF}));
+}
+
+TEST(FaVsFaAbsDifference, GBetweenTwoAnchors) {
+  // History: E G E F.
+  //  * fa: the second E's window has no G, so F fires.
+  //  * faAbs with anchor = first E: G at position 2 blocks; but anchor =
+  //    second E also exists and its window is clean, so faAbs fires too.
+  // Distinguishing case: E G F (single anchor).
+  Dfa first = BuildFirstNoG(AtomDfa(kF), AtomDfa(kG)).value();
+  Nfa fa = Nfa::Concat(AtomNfa(kE), DfaToNfa(first));
+  Nfa faabs = BuildFaAbs(AtomNfa(kE), AtomDfa(kF), AtomDfa(kG)).value();
+  EXPECT_FALSE(fa.Accepts({kE, kG, kF}));
+  EXPECT_FALSE(faabs.Accepts({kE, kG, kF}));
+
+  // Case where they genuinely differ: G occurs *inside the E part* of a
+  // composite E. Let E' = relative(e, e) (an e then another e). History:
+  // e G e F. For fa: G relative to E' (anchor = 2nd e) — window after the
+  // 2nd e is {F}, clean → fires. For faAbs: G is at a position before the
+  // anchor, also fine → fires. True difference needs G *after* the anchor,
+  // which both treat the same... The §3.4 distinction is that fa restarts
+  // G at the anchor; faAbs does not. With E' anchored at the FIRST e and G
+  // occurring before the second e:
+  Nfa e_chain = Nfa::Concat(AtomNfa(kE), AtomNfa(kE));
+  Dfa e_chain_dfa = Determinize(e_chain).value();
+  Nfa fa2 = Nfa::Concat(DfaToNfa(e_chain_dfa), DfaToNfa(first));
+  Nfa faabs2 =
+      BuildFaAbs(DfaToNfa(e_chain_dfa), AtomDfa(kF), AtomDfa(kG)).value();
+  // History: e e F — both fire (anchor after the 2nd e).
+  EXPECT_TRUE(fa2.Accepts({kE, kE, kF}));
+  EXPECT_TRUE(faabs2.Accepts({kE, kE, kF}));
+  // History: e e G F — G strictly between anchor and F blocks both.
+  EXPECT_FALSE(fa2.Accepts({kE, kE, kG, kF}));
+  EXPECT_FALSE(faabs2.Accepts({kE, kE, kG, kF}));
+}
+
+TEST(FirstNoGTest, GAtSamePointAsFDoesNotBlock) {
+  // A symbol that is both F and G (overlapping atom sets): F wins at the
+  // same point (G must be strictly prior, §3.4).
+  SymbolSet fg(4);
+  fg.Add(kF);
+  fg.Add(kG);
+  Dfa f_or_g = Determinize(Nfa::SigmaStarAtom(fg)).value();
+  Dfa d = BuildFirstNoG(AtomDfa(kF), f_or_g).value();
+  EXPECT_TRUE(d.Accepts({kF}));       // F and "G" at the same point.
+  EXPECT_FALSE(d.Accepts({kG, kF}));  // Pure G strictly before.
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,235 @@
+// Differential tests for the gated-subevent mechanism (nested composite
+// masks) outside the engine: a library-level runner replicates the
+// engine's gate loop, and constant masks make gated compilations
+// comparable against plain ones:
+//   * mask ≡ true  →  gated(E && true)  ≡  plain(E)
+//   * mask ≡ false →  gated(E && false) ≡  plain(empty in that position)
+// Also: classification invariants under random masked alphabets.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "compile/compiler.h"
+#include "mask/mask_eval.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+/// Replicates TriggerEngine's per-event gate resolution for a compiled
+/// event, with mask outcomes supplied by a callback.
+class GateRunner {
+ public:
+  explicit GateRunner(const CompiledEvent* event) : event_(event) {
+    Reset();
+  }
+
+  void Reset() {
+    state_ = event_->dfa.start();
+    gate_states_.assign(event_->gates.size(), 0);
+    for (size_t g = 0; g < event_->gates.size(); ++g) {
+      gate_states_[g] = event_->gates[g].dfa.start();
+    }
+  }
+
+  bool Advance(SymbolId base_sym,
+               const std::function<bool(size_t)>& mask_holds) {
+    uint32_t bits = 0;
+    for (size_t g = 0; g < event_->gates.size(); ++g) {
+      SymbolId ext = event_->ExtendSymbol(base_sym, bits);
+      gate_states_[g] = event_->gates[g].dfa.Step(gate_states_[g], ext);
+      if (event_->gates[g].dfa.accepting(gate_states_[g]) &&
+          mask_holds(g)) {
+        bits |= (1u << g);
+      }
+    }
+    state_ = event_->dfa.Step(state_, event_->ExtendSymbol(base_sym, bits));
+    return event_->dfa.accepting(state_);
+  }
+
+ private:
+  const CompiledEvent* event_;
+  Dfa::State state_ = 0;
+  std::vector<int32_t> gate_states_;
+};
+
+struct GatePair {
+  const char* gated;  // Contains `(X) && m`.
+  const char* plain;  // The mask-true equivalent.
+};
+
+class GateTrueSweep : public ::testing::TestWithParam<GatePair> {};
+
+TEST_P(GateTrueSweep, TrueMaskEqualsPlainExpression) {
+  EventExprPtr gated_expr = ParseOrDie(GetParam().gated);
+  EventExprPtr plain_expr = ParseOrDie(GetParam().plain);
+  Result<CompiledEvent> gated = CompileEvent(gated_expr, CompileOptions());
+  Result<CompiledEvent> plain = CompileEvent(plain_expr, CompileOptions());
+  ASSERT_TRUE(gated.ok()) << gated.status().ToString();
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  ASSERT_GT(gated->num_gates(), 0u);
+  ASSERT_EQ(gated->alphabet.size(), plain->alphabet.size())
+      << "the pair must reference the same logical events";
+
+  std::mt19937 rng(31);
+  GateRunner runner(&*gated);
+  for (int trial = 0; trial < 60; ++trial) {
+    runner.Reset();
+    Dfa::State plain_state = plain->dfa.start();
+    for (int i = 0; i < 24; ++i) {
+      SymbolId sym =
+          static_cast<SymbolId>(rng() % gated->alphabet.size());
+      bool gated_occurs = runner.Advance(sym, [](size_t) { return true; });
+      plain_state = plain->dfa.Step(plain_state, sym);
+      ASSERT_EQ(gated_occurs, plain->dfa.accepting(plain_state))
+          << GetParam().gated << " step " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, GateTrueSweep,
+    ::testing::Values(
+        GatePair{"fa((after a | after b) && m, after c, after a)",
+                 "fa(after a | after b, after c, after a)"},
+        GatePair{"relative((after a | after b) && m, after c)",
+                 "relative(after a | after b, after c)"},
+        GatePair{"prior((relative(after a, after b)) && m, after c)",
+                 "prior(relative(after a, after b), after c)"},
+        GatePair{"choose 3 ((after a | after b) && m) | after c & after c",
+                 "choose 3 (after a | after b) | after c & after c"},
+        GatePair{
+            "fa(fa((after a | after b) && m, after c, after a) && m2, "
+            "after b, after c)",
+            "fa(fa(after a | after b, after c, after a), after b, "
+            "after c)"}));
+
+TEST(GateFalseTest, FalseMaskNeverLetsTheGateFire) {
+  // With the mask constantly false the gated composite never occurs, so
+  // fa anchored on it never fires — but plain atoms elsewhere still do.
+  EventExprPtr expr = ParseOrDie(
+      "fa((after a | after b) && m, after c, after a) | after b & after b");
+  CompiledEvent gated = CompileEvent(expr, CompileOptions()).value();
+  ASSERT_EQ(gated.num_gates(), 1u);
+
+  // Equivalent plain form: the fa anchor collapses to the empty language.
+  // `(after a | after b) & empty` keeps the atom collection order (and
+  // hence the symbol numbering) identical to the gated expression.
+  EventExprPtr plain_expr = ParseOrDie(
+      "fa((after a | after b) & empty, after c, after a) | "
+      "after b & after b");
+  CompiledEvent plain = CompileEvent(plain_expr, CompileOptions()).value();
+  ASSERT_EQ(gated.alphabet.size(), plain.alphabet.size());
+
+  std::mt19937 rng(32);
+  GateRunner runner(&gated);
+  for (int trial = 0; trial < 40; ++trial) {
+    runner.Reset();
+    Dfa::State plain_state = plain.dfa.start();
+    for (int i = 0; i < 24; ++i) {
+      SymbolId sym = static_cast<SymbolId>(rng() % gated.alphabet.size());
+      bool gated_occurs = runner.Advance(sym, [](size_t) { return false; });
+      plain_state = plain.dfa.Step(plain_state, sym);
+      ASSERT_EQ(gated_occurs, plain.dfa.accepting(plain_state)) << i;
+    }
+  }
+}
+
+TEST(GateFlipTest, MaskLatchedAtOccurrenceTime) {
+  // fa((after a) && m, after b, after c): flip m per event; the anchor
+  // only forms when m held at the a-point. Reference: hand simulation.
+  EventExprPtr expr = ParseOrDie("fa((after a & after a) && m, after b, "
+                                 "after c)");
+  CompiledEvent gated = CompileEvent(expr, CompileOptions()).value();
+  ASSERT_EQ(gated.num_gates(), 1u);
+
+  SymbolId a = -1, b = -1, c = -1;
+  gated.alphabet.GroupSymbols(BasicEvent::Method(EventQualifier::kAfter, "a"))
+      .ForEach([&](SymbolId s) { a = s; });
+  gated.alphabet.GroupSymbols(BasicEvent::Method(EventQualifier::kAfter, "b"))
+      .ForEach([&](SymbolId s) { b = s; });
+  gated.alphabet.GroupSymbols(BasicEvent::Method(EventQualifier::kAfter, "c"))
+      .ForEach([&](SymbolId s) { c = s; });
+
+  struct Step {
+    SymbolId sym;
+    bool mask;
+    bool expect;
+  };
+  // a(mask off) b → no anchor → no fire. a(mask on) b → fire.
+  std::vector<Step> script = {{a, false, false}, {b, true, false},
+                              {a, true, false},  {b, false, true}};
+  GateRunner runner(&gated);
+  for (size_t i = 0; i < script.size(); ++i) {
+    bool fired = runner.Advance(script[i].sym, [&](size_t) {
+      return script[i].mask;
+    });
+    EXPECT_EQ(fired, script[i].expect) << "step " << i;
+  }
+}
+
+// --- Classification invariants under random masked alphabets ---------------
+
+TEST(ClassificationInvariantTest, SymbolMembershipMatchesMaskOutcomes) {
+  std::mt19937 rng(77);
+  EventExprPtr expr = ParseOrDie(
+      "after f(x, y) && x > 10 | after f(x, y) && y > 10 | "
+      "before g(z) && z > 5 | after h");
+  Alphabet alphabet = Alphabet::Build(*expr).value();
+  std::vector<const EventExpr*> atoms;
+  expr->CollectAtoms(&atoms);
+
+  Alphabet::MaskEvalFn eval = [](const MaskSlot& slot,
+                                 const PostedEvent& ev) -> Result<bool> {
+    SimpleMaskEnv env;
+    for (size_t i = 0; i < slot.params.size() && i < ev.args.size(); ++i) {
+      env.Bind(slot.params[i].name, ev.args[i].value);
+    }
+    return EvalMaskBool(*slot.mask, env);
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    // Random posted event among f/g/h/other.
+    PostedEvent event;
+    int pick = static_cast<int>(rng() % 4);
+    int64_t x = static_cast<int64_t>(rng() % 30);
+    int64_t y = static_cast<int64_t>(rng() % 30);
+    switch (pick) {
+      case 0:
+        event = MakePostedMethod(EventQualifier::kAfter, "f",
+                                 {{"x", Value(x)}, {"y", Value(y)}});
+        break;
+      case 1:
+        event = MakePostedMethod(EventQualifier::kBefore, "g",
+                                 {{"z", Value(x)}});
+        break;
+      case 2:
+        event = MakePostedMethod(EventQualifier::kAfter, "h");
+        break;
+      default:
+        event = MakePostedMethod(EventQualifier::kAfter, "unrelated");
+        break;
+    }
+    SymbolId sym = alphabet.Classify(event, eval).value();
+    ASSERT_GE(sym, 0);
+    ASSERT_LT(static_cast<size_t>(sym), alphabet.size());
+
+    // Invariant: the classified symbol is in an atom's symbol set iff the
+    // event matches the atom's basic event AND its mask holds.
+    for (const EventExpr* atom : atoms) {
+      SymbolSet set = alphabet.SymbolsFor(*atom).value();
+      bool expect = event.Matches(atom->atom);
+      if (expect && atom->atom_mask != nullptr) {
+        MaskSlot slot{atom->atom_mask, atom->atom.params};
+        expect = eval(slot, event).value();
+      }
+      EXPECT_EQ(set.Contains(sym), expect)
+          << atom->atom.ToString() << " vs " << event.ToString();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ode

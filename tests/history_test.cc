@@ -1,0 +1,38 @@
+#include "event/history.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+TEST(HistoryTest, AppendAssignsOneBasedPositions) {
+  EventHistory h;
+  EXPECT_TRUE(h.empty());
+  uint64_t p1 = h.Append(MakePosted(BasicEventKind::kCreate,
+                                    EventQualifier::kAfter));
+  uint64_t p2 = h.Append(MakePostedMethod(EventQualifier::kAfter, "f"));
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(p2, 2u);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.at(1).kind, BasicEventKind::kCreate);
+  EXPECT_EQ(h.at(2).method_name, "f");
+  EXPECT_EQ(h.at(2).seq, 2u);
+}
+
+TEST(HistoryTest, ClearEmpties) {
+  EventHistory h;
+  h.Append(MakePostedMethod(EventQualifier::kAfter, "f"));
+  h.Clear();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.Append(MakePostedMethod(EventQualifier::kAfter, "g")), 1u);
+}
+
+TEST(HistoryTest, ToStringListsEvents) {
+  EventHistory h;
+  h.Append(MakePostedMethod(EventQualifier::kBefore, "deposit"));
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("before deposit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,99 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+std::vector<Token> Lex(std::string_view s) {
+  Result<std::vector<Token>> r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, PunctuationLongestMatch) {
+  std::vector<Token> t = Lex("&& & || | == = ==> <= < >= > !=");
+  ASSERT_EQ(t.size(), 13u);  // 12 tokens + end.
+  EXPECT_EQ(t[0].kind, TokenKind::kAmpAmp);
+  EXPECT_EQ(t[1].kind, TokenKind::kAmp);
+  EXPECT_EQ(t[2].kind, TokenKind::kPipePipe);
+  EXPECT_EQ(t[3].kind, TokenKind::kPipe);
+  EXPECT_EQ(t[4].kind, TokenKind::kEqEq);
+  EXPECT_EQ(t[5].kind, TokenKind::kEq);
+  EXPECT_EQ(t[6].kind, TokenKind::kArrow);
+  EXPECT_EQ(t[7].kind, TokenKind::kLe);
+  EXPECT_EQ(t[8].kind, TokenKind::kLt);
+  EXPECT_EQ(t[9].kind, TokenKind::kGe);
+  EXPECT_EQ(t[10].kind, TokenKind::kGt);
+  EXPECT_EQ(t[11].kind, TokenKind::kBangEq);
+}
+
+TEST(LexerTest, NumbersIntAndFloat) {
+  std::vector<Token> t = Lex("42 500.00 0 3.14159");
+  EXPECT_EQ(t[0].kind, TokenKind::kInt);
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[1].float_value, 500.0);
+  EXPECT_EQ(t[2].int_value, 0);
+  EXPECT_DOUBLE_EQ(t[3].float_value, 3.14159);
+}
+
+TEST(LexerTest, KeywordsTagged) {
+  std::vector<Token> t = Lex("before after withdraw faAbs perpetual");
+  EXPECT_TRUE(t[0].is_keyword(Keyword::kBefore));
+  EXPECT_TRUE(t[1].is_keyword(Keyword::kAfter));
+  EXPECT_TRUE(t[2].is_plain_ident());
+  EXPECT_TRUE(t[3].is_keyword(Keyword::kFaAbs));
+  EXPECT_TRUE(t[4].is_keyword(Keyword::kPerpetual));
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  std::vector<Token> t = Lex(R"("a\nb" "q\"x")");
+  EXPECT_EQ(t[0].text, "a\nb");
+  EXPECT_EQ(t[1].text, "q\"x");
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize(R"("bad \z escape")").ok());
+}
+
+TEST(LexerTest, Comments) {
+  std::vector<Token> t = Lex("a // comment\n b /* mid */ c");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+  EXPECT_FALSE(Tokenize("/* open").ok());
+}
+
+TEST(LexerTest, BackslashContinuationIsWhitespace) {
+  // The paper's #define-style listings use backslash-newline continuations.
+  std::vector<Token> t = Lex("choose 5\\\n(after withdraw)");
+  EXPECT_EQ(t[0].text, "choose");
+  EXPECT_EQ(t[1].int_value, 5);
+  EXPECT_EQ(t[2].kind, TokenKind::kLParen);
+}
+
+TEST(LexerTest, UnknownCharacterIsError) {
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+}
+
+TEST(TokenStreamTest, SaveRestore) {
+  TokenStream ts(Lex("a b c"));
+  size_t mark = ts.Save();
+  ts.Next();
+  ts.Next();
+  EXPECT_EQ(ts.Peek().text, "c");
+  ts.Restore(mark);
+  EXPECT_EQ(ts.Peek().text, "a");
+}
+
+TEST(TokenStreamTest, EndIsSticky) {
+  TokenStream ts(Lex("a"));
+  ts.Next();
+  EXPECT_TRUE(ts.AtEnd());
+  ts.Next();
+  ts.Next();
+  EXPECT_TRUE(ts.AtEnd());
+}
+
+}  // namespace
+}  // namespace ode

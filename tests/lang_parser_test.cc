@@ -1,0 +1,258 @@
+#include "lang/event_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+TEST(EventParserTest, QualifiedBasicEvents) {
+  EventExprPtr e = ParseOrDie("after read");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  EXPECT_EQ(e->atom.kind, BasicEventKind::kRead);
+  EXPECT_EQ(e->atom.qualifier, EventQualifier::kAfter);
+
+  e = ParseOrDie("before tcomplete");
+  EXPECT_EQ(e->atom.kind, BasicEventKind::kTcomplete);
+}
+
+TEST(EventParserTest, BeforeTcommitRejected) {
+  EXPECT_FALSE(ParseEvent("before tcommit").ok());
+  EXPECT_FALSE(ParseEvent("after tcomplete").ok());
+  EXPECT_FALSE(ParseEvent("before create").ok());
+  EXPECT_FALSE(ParseEvent("after delete").ok());
+}
+
+TEST(EventParserTest, MethodEventWithSignature) {
+  EventExprPtr e = ParseOrDie("after withdraw(Item i, int q)");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  EXPECT_EQ(e->atom.method_name, "withdraw");
+  ASSERT_EQ(e->atom.params.size(), 2u);
+  EXPECT_EQ(e->atom.params[0].type_name, "Item");
+  EXPECT_EQ(e->atom.params[0].name, "i");
+  EXPECT_EQ(e->atom.params[1].name, "q");
+}
+
+TEST(EventParserTest, MethodEventNamesOnlyParams) {
+  // The paper's `choose 5 (after withdraw (i, q) && q>100)` names params
+  // without types.
+  EventExprPtr e = ParseOrDie("after withdraw (i, q) && q > 100");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  ASSERT_EQ(e->atom.params.size(), 2u);
+  EXPECT_EQ(e->atom.params[0].type_name, "");
+  EXPECT_EQ(e->atom.params[1].name, "q");
+  ASSERT_NE(e->atom_mask, nullptr);
+  EXPECT_EQ(e->atom_mask->ToString(), "(q > 100)");
+}
+
+TEST(EventParserTest, LogicalEventMaskBindsToAtom) {
+  // §3.2: after withdraw(Item, int q) && q>1000.
+  EventExprPtr e = ParseOrDie("after withdraw(Item i, int q) && q > 1000");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  ASSERT_NE(e->atom_mask, nullptr);
+}
+
+TEST(EventParserTest, MaskConjunctionIsGreedy) {
+  // §5: before log && a>0 && b>0 — the whole conjunction is one mask.
+  EventExprPtr e = ParseOrDie("before log && a > 0 && b > 0");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  ASSERT_NE(e->atom_mask, nullptr);
+  EXPECT_EQ(e->atom_mask->ToString(), "((a > 0) && (b > 0))");
+}
+
+TEST(EventParserTest, UnionIntersectionNegationPrecedence) {
+  // ! > & > |.
+  EventExprPtr e = ParseOrDie("!after read & before f | after g");
+  ASSERT_EQ(e->kind, EventExprKind::kOr);
+  EXPECT_EQ(e->children[0]->kind, EventExprKind::kAnd);
+  EXPECT_EQ(e->children[0]->children[0]->kind, EventExprKind::kNot);
+}
+
+TEST(EventParserTest, MethodShorthand) {
+  // §3.3: a bare method name f denotes (before f | after f).
+  EventExprPtr e = ParseOrDie("deposit");
+  ASSERT_EQ(e->kind, EventExprKind::kOr);
+  EXPECT_EQ(e->children[0]->atom.qualifier, EventQualifier::kBefore);
+  EXPECT_EQ(e->children[0]->atom.method_name, "deposit");
+  EXPECT_EQ(e->children[1]->atom.qualifier, EventQualifier::kAfter);
+}
+
+TEST(EventParserTest, NegatedMethodShorthand) {
+  // §3.3: !deposit is !(before deposit | after deposit).
+  EventExprPtr e = ParseOrDie("!deposit");
+  ASSERT_EQ(e->kind, EventExprKind::kNot);
+  EXPECT_EQ(e->children[0]->kind, EventExprKind::kOr);
+}
+
+TEST(EventParserTest, StateShorthand) {
+  // §3.3: a bare boolean object-state expression denotes
+  // (after update | after create) && expr.
+  EventExprPtr e = ParseOrDie("balance < 500.00");
+  ASSERT_EQ(e->kind, EventExprKind::kOr);
+  ASSERT_EQ(e->children[0]->kind, EventExprKind::kAtom);
+  EXPECT_EQ(e->children[0]->atom.kind, BasicEventKind::kUpdate);
+  EXPECT_EQ(e->children[1]->atom.kind, BasicEventKind::kCreate);
+  ASSERT_NE(e->children[0]->atom_mask, nullptr);
+}
+
+TEST(EventParserTest, ParenthesizedStatePredicate) {
+  // The vessel example's pDrop: (pressure < low_limit).
+  EventExprPtr e = ParseOrDie("(pressure < low_limit)");
+  ASSERT_EQ(e->kind, EventExprKind::kOr);
+  EXPECT_EQ(e->children[0]->atom.kind, BasicEventKind::kUpdate);
+}
+
+TEST(EventParserTest, ParenthesizedMaskSubexpression) {
+  // `(balance * 2) < x` must re-parse as one predicate, not an event.
+  EventExprPtr e = ParseOrDie("(balance * 2) < x");
+  ASSERT_EQ(e->kind, EventExprKind::kOr);
+  ASSERT_NE(e->children[0]->atom_mask, nullptr);
+}
+
+TEST(EventParserTest, SequencingOperators) {
+  EventExprPtr e = ParseOrDie("relative(after f, before g, after g)");
+  ASSERT_EQ(e->kind, EventExprKind::kRelative);
+  EXPECT_EQ(e->children.size(), 3u);
+
+  e = ParseOrDie("prior(after f, after g)");
+  EXPECT_EQ(e->kind, EventExprKind::kPrior);
+
+  e = ParseOrDie("sequence(after tbegin, before access, after access, "
+                 "before tcomplete)");
+  ASSERT_EQ(e->kind, EventExprKind::kSequence);
+  EXPECT_EQ(e->children.size(), 4u);
+}
+
+TEST(EventParserTest, SemicolonIsSequenceSugar) {
+  // §3.4 / trigger T8: after deposit; before withdraw; after withdraw.
+  EventExprPtr e =
+      ParseOrDie("after deposit; before withdraw; after withdraw");
+  ASSERT_EQ(e->kind, EventExprKind::kSequence);
+  EXPECT_EQ(e->children.size(), 3u);
+}
+
+TEST(EventParserTest, SingletonSequencingCollapses) {
+  // §3.4: relative(E) means simply E — represented as a 1-ary node that
+  // validates and evaluates as E.
+  EventExprPtr e = ParseOrDie("relative(after f)");
+  ASSERT_EQ(e->kind, EventExprKind::kRelative);
+  EXPECT_EQ(e->children.size(), 1u);
+  EXPECT_TRUE(e->Validate().ok());
+}
+
+TEST(EventParserTest, RelativePlusAndN) {
+  EventExprPtr e = ParseOrDie("relative+ (after f)");
+  EXPECT_EQ(e->kind, EventExprKind::kRelativePlus);
+
+  e = ParseOrDie("relative 5 (after deposit)");
+  ASSERT_EQ(e->kind, EventExprKind::kRelativeN);
+  EXPECT_EQ(e->n, 5);
+}
+
+TEST(EventParserTest, PriorPlusAndSequencePlusRejected) {
+  // §3.4: "modifier + is not provided for the operators prior and
+  // sequence".
+  EXPECT_FALSE(ParseEvent("prior+ (after f)").ok());
+  EXPECT_FALSE(ParseEvent("sequence+ (after f)").ok());
+}
+
+TEST(EventParserTest, ChooseAndEvery) {
+  EventExprPtr e = ParseOrDie("choose 5 (after tcommit)");
+  ASSERT_EQ(e->kind, EventExprKind::kChoose);
+  EXPECT_EQ(e->n, 5);
+
+  e = ParseOrDie("every 5 (after tcommit)");
+  ASSERT_EQ(e->kind, EventExprKind::kEvery);
+  EXPECT_EQ(e->n, 5);
+
+  EXPECT_FALSE(ParseEvent("choose 0 (after f)").ok());
+  EXPECT_FALSE(ParseEvent("choose (after f)").ok());
+}
+
+TEST(EventParserTest, FaAndFaAbs) {
+  // §3.4's fa example.
+  EventExprPtr e = ParseOrDie(
+      "fa(after tbegin, prior(after update, after tcommit), "
+      "(after tcommit | after tabort))");
+  ASSERT_EQ(e->kind, EventExprKind::kFa);
+  EXPECT_EQ(e->children[1]->kind, EventExprKind::kPrior);
+  EXPECT_EQ(e->children[2]->kind, EventExprKind::kOr);
+
+  e = ParseOrDie("faAbs(after f, after g, after h)");
+  EXPECT_EQ(e->kind, EventExprKind::kFaAbs);
+
+  EXPECT_FALSE(ParseEvent("fa(after f, after g)").ok());  // Arity 3.
+}
+
+TEST(EventParserTest, TimeEvents) {
+  EventExprPtr e = ParseOrDie("at time(HR=9)");
+  ASSERT_EQ(e->kind, EventExprKind::kAtom);
+  EXPECT_EQ(e->atom.kind, BasicEventKind::kTime);
+  EXPECT_EQ(e->atom.time_mode, TimeEventMode::kAt);
+  EXPECT_EQ(e->atom.time_spec.hour, 9);
+
+  e = ParseOrDie("after time(HR=2, M=30)");
+  EXPECT_EQ(e->atom.time_mode, TimeEventMode::kAfter);
+  EXPECT_EQ(e->atom.time_spec.minute, 30);
+
+  e = ParseOrDie("every time(SEC=10)");
+  EXPECT_EQ(e->atom.time_mode, TimeEventMode::kEvery);
+}
+
+TEST(EventParserTest, TimeSpecErrors) {
+  EXPECT_FALSE(ParseEvent("at time()").ok());
+  EXPECT_FALSE(ParseEvent("at time(XX=1)").ok());
+  EXPECT_FALSE(ParseEvent("at time(HR=9, HR=10)").ok());
+  EXPECT_FALSE(ParseEvent("at time(HR=25)").ok());
+}
+
+TEST(EventParserTest, EveryDisambiguation) {
+  // `every 5 (E)` is the operator; `every time(...)` a periodic timer.
+  EXPECT_EQ(ParseOrDie("every 5 (after f)")->kind, EventExprKind::kEvery);
+  EXPECT_EQ(ParseOrDie("every time(M=5)")->atom.time_mode,
+            TimeEventMode::kEvery);
+  EXPECT_FALSE(ParseEvent("every after f").ok());
+}
+
+TEST(EventParserTest, CompositeMaskOnParenthesizedEvent) {
+  EventExprPtr e = ParseOrDie("(after f | after g) && ready");
+  ASSERT_EQ(e->kind, EventExprKind::kMasked);
+  EXPECT_EQ(e->children[0]->kind, EventExprKind::kOr);
+}
+
+TEST(EventParserTest, EmptyKeyword) {
+  EXPECT_EQ(ParseOrDie("empty")->kind, EventExprKind::kEmpty);
+}
+
+TEST(EventParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseEvent("after f after g").ok());
+  EXPECT_FALSE(ParseEvent("after f )").ok());
+}
+
+TEST(EventParserTest, PaperHeadlineExamples) {
+  // A sweep over every §3.5 trigger event expression.
+  const char* kExamples[] = {
+      "before withdraw && !authorized(user())",
+      "after withdraw (i, q) && i.balance < reorder(i)",
+      "at time(HR=17)",
+      "relative(at time(HR=9), prior(choose 5 (after tcommit), "
+      "after tcommit) & !prior(at time(HR=9), after tcommit))",
+      "every 5 (after access)",
+      "after withdraw (i, q) && q > 100",
+      "fa(at time(HR=9), choose 5 (after withdraw (i, q) && q > 100), "
+      "at time(HR=9))",
+      "after deposit; before withdraw; after withdraw",
+      "relative((pressure < low_limit), relative(after motorStart, "
+      "after motorStop))",
+  };
+  for (const char* text : kExamples) {
+    Result<EventExprPtr> e = ParseEvent(text);
+    EXPECT_TRUE(e.ok()) << text << ": " << e.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ode

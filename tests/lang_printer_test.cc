@@ -1,0 +1,83 @@
+#include "lang/printer.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lang/event_parser.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+using testing_util::RandomExpr;
+
+/// Printing and re-parsing must reproduce the same printed text (the
+/// canonical-form fixpoint property).
+void ExpectRoundTrip(std::string_view text) {
+  EventExprPtr e1 = ParseOrDie(text);
+  std::string printed1 = PrintEventExpr(*e1);
+  EventExprPtr e2 = ParseOrDie(printed1);
+  std::string printed2 = PrintEventExpr(*e2);
+  EXPECT_EQ(printed1, printed2) << "source: " << text;
+}
+
+TEST(PrinterTest, AtomForms) {
+  EXPECT_EQ(ParseOrDie("after read")->ToString(), "after read");
+  EXPECT_EQ(ParseOrDie("before withdraw(Item i, int q)")->ToString(),
+            "before withdraw(Item i, int q)");
+  EXPECT_EQ(ParseOrDie("at time(HR=9)")->ToString(), "at time(HR=9)");
+}
+
+TEST(PrinterTest, OperatorForms) {
+  EXPECT_EQ(ParseOrDie("relative+(after f)")->ToString(),
+            "relative+(after f)");
+  EXPECT_EQ(ParseOrDie("relative 5 (after f)")->ToString(),
+            "relative 5 (after f)");
+  EXPECT_EQ(ParseOrDie("choose 2 (after f)")->ToString(),
+            "choose 2 (after f)");
+  EXPECT_EQ(ParseOrDie("fa(after a, after b, after c)")->ToString(),
+            "fa(after a, after b, after c)");
+}
+
+TEST(PrinterTest, PrecedenceParenthesization) {
+  // Or of And keeps children unparenthesized; And of Or must parenthesize.
+  EXPECT_EQ(ParseOrDie("after a & after b | after c")->ToString(),
+            "after a & after b | after c");
+  EXPECT_EQ(ParseOrDie("after a & (after b | after c)")->ToString(),
+            "after a & (after b | after c)");
+  EXPECT_EQ(ParseOrDie("!(after a | after b)")->ToString(),
+            "!(after a | after b)");
+}
+
+TEST(PrinterTest, MaskedForms) {
+  ExpectRoundTrip("after withdraw(Item i, int q) && q > 1000");
+  ExpectRoundTrip("(after f | after g) && ready");
+}
+
+TEST(PrinterTest, PaperExamplesRoundTrip) {
+  ExpectRoundTrip("before withdraw && !authorized(user())");
+  ExpectRoundTrip(
+      "fa(at time(HR=9), choose 5 (after withdraw (i, q) && q > 100), "
+      "at time(HR=9))");
+  ExpectRoundTrip("after deposit; before withdraw; after withdraw");
+  ExpectRoundTrip("every 5 (after access)");
+  ExpectRoundTrip(
+      "relative(at time(HR=9), prior(choose 5 (after tcommit), "
+      "after tcommit) & !prior(at time(HR=9), after tcommit))");
+}
+
+TEST(PrinterTest, RandomExpressionsRoundTrip) {
+  std::mt19937 rng(1234);
+  for (int i = 0; i < 200; ++i) {
+    EventExprPtr e1 = RandomExpr(&rng, 4);
+    std::string printed1 = PrintEventExpr(*e1);
+    Result<EventExprPtr> e2 = ParseEvent(printed1);
+    ASSERT_TRUE(e2.ok()) << printed1 << ": " << e2.status().ToString();
+    EXPECT_EQ(PrintEventExpr(**e2), printed1);
+  }
+}
+
+}  // namespace
+}  // namespace ode

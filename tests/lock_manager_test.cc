@@ -1,0 +1,101 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+constexpr Oid kA{1};
+constexpr Oid kB{2};
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, kA, LockMode::kShared).ok());
+  EXPECT_EQ(lm.HoldersOf(kA).size(), 2u);
+}
+
+TEST(LockManagerTest, ExclusiveConflicts) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.Acquire(2, kA, LockMode::kShared).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(lm.Acquire(2, kA, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  lm.Release(1);
+  EXPECT_TRUE(lm.Acquire(2, kA, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReentrantAndUpgrade) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  // Sole holder upgrades S -> X.
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Holds(1, kA, LockMode::kExclusive));
+  // X implies S.
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Holds(1, kA, LockMode::kExclusive));
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(2, kA, LockMode::kShared).ok());
+  EXPECT_EQ(lm.Acquire(1, kA, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  lm.Release(2);
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, kB, LockMode::kExclusive).ok());
+  // 1 waits for B (held by 2).
+  EXPECT_EQ(lm.Acquire(1, kB, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  // 2 waiting for A would close the cycle.
+  EXPECT_EQ(lm.Acquire(2, kA, LockMode::kExclusive).code(),
+            StatusCode::kDeadlock);
+  EXPECT_EQ(lm.deadlocks_detected(), 1u);
+}
+
+TEST(LockManagerTest, ThreeWayDeadlock) {
+  LockManager lm;
+  constexpr Oid kC{3};
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(2, kB, LockMode::kExclusive).ok());
+  EXPECT_TRUE(lm.Acquire(3, kC, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.Acquire(1, kB, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(lm.Acquire(2, kC, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(lm.Acquire(3, kA, LockMode::kExclusive).code(),
+            StatusCode::kDeadlock);
+}
+
+TEST(LockManagerTest, ReleaseClearsWaitEdges) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.Acquire(2, kA, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+  lm.Release(1);
+  // 2 can retry; and 1 waiting on 2's (new) lock is not a stale deadlock.
+  EXPECT_TRUE(lm.Acquire(2, kA, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.Acquire(1, kA, LockMode::kExclusive).code(),
+            StatusCode::kWouldBlock);
+}
+
+TEST(LockManagerTest, ObjectsLockedBy) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, kA, LockMode::kShared).ok());
+  EXPECT_TRUE(lm.Acquire(1, kB, LockMode::kExclusive).ok());
+  EXPECT_EQ(lm.ObjectsLockedBy(1).size(), 2u);
+  lm.Release(1);
+  EXPECT_EQ(lm.ObjectsLockedBy(1).size(), 0u);
+  EXPECT_EQ(lm.num_locked_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,133 @@
+#include "mask/mask_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/mask_parser.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseMaskOrDie;
+
+Value Eval(const std::string& text, const SimpleMaskEnv& env) {
+  MaskExprPtr m = ParseMaskOrDie(text);
+  Result<Value> v = EvalMask(*m, env);
+  EXPECT_TRUE(v.ok()) << text << ": " << v.status().ToString();
+  return v.ok() ? *v : Value();
+}
+
+TEST(MaskParseTest, Precedence) {
+  // * binds tighter than +, + than <, < than &&, && than ||.
+  MaskExprPtr m = ParseMaskOrDie("a + b * c < d && e || f");
+  EXPECT_EQ(m->ToString(), "((((a + (b * c)) < d) && e) || f)");
+  SimpleMaskEnv env;
+  env.Bind("a", 1);
+  env.Bind("b", 2);
+  env.Bind("c", 3);
+  env.Bind("d", 10);
+  env.Bind("e", true);
+  env.Bind("f", false);
+  EXPECT_TRUE(Eval("a + b * c < d && e || f", env).AsBool().value());
+  env.Bind("d", 5);  // 1 + 6 < 5 is false; e irrelevant; f false.
+  EXPECT_FALSE(Eval("a + b * c < d && e || f", env).AsBool().value());
+}
+
+TEST(MaskParseTest, RejectsKeywordsAsIdentifiers) {
+  EXPECT_FALSE(ParseMask("before > 1").ok());
+  EXPECT_FALSE(ParseMask("relative + 1").ok());
+}
+
+TEST(MaskParseTest, RejectsTrailingGarbage) {
+  EXPECT_FALSE(ParseMask("a + ").ok());
+  EXPECT_FALSE(ParseMask("a b").ok());
+}
+
+TEST(MaskEvalTest, ComparisonOperators) {
+  SimpleMaskEnv env;
+  env.Bind("q", 1500);
+  EXPECT_TRUE(Eval("q > 1000", env).AsBool().value());
+  EXPECT_FALSE(Eval("q <= 1000", env).AsBool().value());
+  EXPECT_TRUE(Eval("q != 0", env).AsBool().value());
+  EXPECT_TRUE(Eval("q == 1500", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, ShortCircuit) {
+  SimpleMaskEnv env;
+  env.Bind("x", 0);
+  // `undefined` is unbound; && short-circuits so no error surfaces.
+  EXPECT_FALSE(Eval("x != 0 && undefined > 1", env).Truthy());
+  EXPECT_TRUE(Eval("x == 0 || undefined > 1", env).Truthy());
+  // Without short-circuit the unbound identifier is an error.
+  MaskExprPtr m = ParseMaskOrDie("x == 0 && undefined > 1");
+  EXPECT_FALSE(EvalMask(*m, env).ok());
+}
+
+TEST(MaskEvalTest, UnaryOperators) {
+  SimpleMaskEnv env;
+  env.Bind("flag", false);
+  env.Bind("n", 4);
+  EXPECT_TRUE(Eval("!flag", env).AsBool().value());
+  EXPECT_EQ(Eval("-n + 1", env).AsInt().value(), -3);
+  EXPECT_TRUE(Eval("!!n", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, FloatLiterals) {
+  SimpleMaskEnv env;
+  env.Bind("balance", 450.0);
+  // The paper's §3.3 example: balance < 500.00.
+  EXPECT_TRUE(Eval("balance < 500.00", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, StringLiterals) {
+  SimpleMaskEnv env;
+  env.Bind("name", std::string("ode"));
+  EXPECT_TRUE(Eval("name == \"ode\"", env).AsBool().value());
+  EXPECT_FALSE(Eval("name == \"x\"", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, HostFunctionCalls) {
+  SimpleMaskEnv env;
+  env.BindFn("user", [](const std::vector<Value>&) -> Result<Value> {
+    return Value(7);
+  });
+  env.BindFn("authorized", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value(args.at(0).AsInt().value() == 7);
+  });
+  // The paper's T1 condition: !authorized(user()).
+  EXPECT_FALSE(Eval("!authorized(user())", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, MemberAccessThroughOid) {
+  SimpleMaskEnv env;
+  env.Bind("i", Value(Oid{3}));
+  env.Bind("@3.balance", Value(42));
+  EXPECT_TRUE(Eval("i.balance < 100", env).AsBool().value());
+}
+
+TEST(MaskEvalTest, UnknownFunctionIsError) {
+  SimpleMaskEnv env;
+  MaskExprPtr m = ParseMaskOrDie("f(1)");
+  EXPECT_EQ(EvalMask(*m, env).status().code(), StatusCode::kNotFound);
+}
+
+TEST(MaskAstTest, CanonicalTextRoundTrips) {
+  for (const char* text :
+       {"q > 1000", "a && b || !c", "(x + 1) * 2 >= y.balance",
+        "authorized(user())", "a != b && -c < 3.5"}) {
+    MaskExprPtr m1 = ParseMaskOrDie(text);
+    MaskExprPtr m2 = ParseMaskOrDie(m1->ToString());
+    EXPECT_TRUE(m1->Equals(*m2)) << text << " -> " << m1->ToString();
+  }
+}
+
+TEST(MaskAstTest, CollectIdents) {
+  MaskExprPtr m = ParseMaskOrDie("a + f(b) < c.d");
+  std::vector<std::string> idents;
+  m->CollectIdents(&idents);
+  // a, b, and the member base c.
+  EXPECT_EQ(idents.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,124 @@
+// Exhaustive operator-semantics sweep: for each operator instance, compare
+// the compiled DFA against the §4 oracle on EVERY history up to a bounded
+// length over the expression's alphabet. Small alphabets make this
+// tractable and it covers corner cases random sampling misses (empty
+// prefixes, all-OTHER runs, boundary counts).
+#include <gtest/gtest.h>
+
+#include "semantics/oracle.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+class OperatorSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(OperatorSweep, DfaEqualsOracleOnAllShortHistories) {
+  EventExprPtr expr = ParseOrDie(GetParam());
+  Result<CompiledEvent> compiled = CompileEvent(expr, CompileOptions());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  Oracle oracle(expr, &compiled->alphabet);
+
+  const size_t m = compiled->alphabet.size();
+  // Keep the enumeration around a few hundred thousand symbol steps.
+  const size_t max_len = m <= 3 ? 9 : (m == 4 ? 7 : 5);
+
+  std::vector<SymbolId> history;
+  uint64_t checked = 0;
+  // Iterative odometer over all histories of length 1..max_len.
+  for (size_t len = 1; len <= max_len; ++len) {
+    history.assign(len, 0);
+    while (true) {
+      std::vector<bool> dfa_marks = compiled->dfa.OccurrencePoints(history);
+      Result<std::vector<bool>> oracle_marks =
+          oracle.OccurrencePoints(history);
+      ASSERT_TRUE(oracle_marks.ok()) << oracle_marks.status().ToString();
+      if (dfa_marks != *oracle_marks) {
+        std::string h;
+        for (SymbolId s : history) h += std::to_string(s) + " ";
+        FAIL() << "mismatch for '" << GetParam() << "' on history " << h;
+      }
+      ++checked;
+      // Next history (odometer increment).
+      size_t i = 0;
+      while (i < len && ++history[i] == static_cast<SymbolId>(m)) {
+        history[i] = 0;
+        ++i;
+      }
+      if (i == len) break;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, OperatorSweep,
+    ::testing::Values(
+        // Atoms and boolean algebra.
+        "after a", "before a", "after a | before a", "after a & !before a",
+        "!(after a | before a)", "!!after a",
+        // relative family (incl. the singleton identity).
+        "relative(after a)", "relative(after a, before a)",
+        "relative(after a, before a, after a)", "relative+ (after a)",
+        "relative 1 (after a)", "relative 2 (after a)",
+        "relative 3 (after a)",
+        "relative+ (relative(after a, before a))",
+        "relative 2 (relative(after a, before a))",
+        // prior family.
+        "prior(after a, before a)", "prior(after a, before a, after a)",
+        "prior 1 (after a)", "prior 3 (after a)",
+        "prior(relative(after a, before a), after a)",
+        // sequence family.
+        "sequence(after a, before a)", "after a; before a; after a",
+        "sequence 2 (after a)", "sequence 3 (after a)",
+        "sequence(relative(after a, before a), after a)",
+        // counting.
+        "choose 1 (after a)", "choose 3 (after a)", "every 1 (after a)",
+        "every 2 (after a)", "every 3 (after a | before a)",
+        "choose 2 (relative(after a, before a))",
+        // fa / faAbs with composite arguments.
+        "fa(after a, before a, after b)",
+        "fa(after a, relative(before a, before a), after b)",
+        "fa(relative(after a, after a), before a, after b)",
+        "faAbs(after a, before a, after b)",
+        "faAbs(relative(after a, after a), before a, after b)",
+        // The empty event.
+        "empty", "empty | after a", "!(empty)",
+        // Mixed nests.
+        "prior(choose 2 (after a), every 2 (before a))",
+        "relative(fa(after a, before a, after b), after a)",
+        "!relative(after a, before a)",
+        // Masked atoms: micro-symbols from the §5 rewrite join the sweep.
+        "after a(x) && x > 0",
+        "relative(after a(x) && x > 0, after a(x) && x <= 0)",
+        "sequence(after a(x) && x > 0, after a(x) && x > 0)",
+        "choose 2 (after a(x) && x > 0) | before a",
+        "fa(after a(x) && x > 0, after a(x) && x <= 0, before a)"));
+
+// Acceptance-language equivalence: printing an expression and re-parsing
+// it yields an automaton with the same language (minimal DFAs of both are
+// equivalent). Catches printer/parser semantic drift.
+class RoundTripLanguage : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripLanguage, ReparsedExpressionHasSameAutomaton) {
+  EventExprPtr e1 = ParseOrDie(GetParam());
+  EventExprPtr e2 = ParseOrDie(e1->ToString());
+  Result<CompiledEvent> c1 = CompileEvent(e1, CompileOptions());
+  Result<CompiledEvent> c2 = CompileEvent(e2, CompileOptions());
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  ASSERT_EQ(c1->alphabet.size(), c2->alphabet.size());
+  EXPECT_EQ(c1->dfa.num_states(), c2->dfa.num_states())
+      << "printed: " << e1->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Exprs, RoundTripLanguage,
+    ::testing::Values("fa(after a, prior(after b, after c), after a)",
+                      "relative 4 (after a | before b)",
+                      "!(after a; after b)",
+                      "every 3 (choose 2 (after a) | before b)"));
+
+}  // namespace
+}  // namespace ode

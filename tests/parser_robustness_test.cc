@@ -1,0 +1,122 @@
+// Robustness: the parser must return clean errors (never crash, never
+// accept garbage) on malformed and adversarial inputs.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lang/event_parser.h"
+#include "lang/trigger_spec.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+class MalformedInput : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MalformedInput, RejectedWithParseError) {
+  Result<EventExprPtr> r = ParseEvent(GetParam());
+  EXPECT_FALSE(r.ok()) << "accepted: " << GetParam() << " as "
+                       << (*r)->ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, MalformedInput,
+    ::testing::Values(
+        "", "(", ")", "after", "before", "after (", "relative",
+        "relative(", "relative()", "relative(after a",
+        "relative(after a,)", "after a |", "after a &", "after a ;",
+        "!(after a", "choose (after a)", "choose x (after a)",
+        "every (after a)", "fa(after a)", "fa(after a, after b)",
+        "fa(after a, after b, after c, after d)", "at", "at time",
+        "at time(", "at time(HR)", "at time(HR=)", "at time(HR=9",
+        "after a after b", "after a)", "a b", "&& x > 1",
+        "after a && ", "prior+ (after a)", "sequence+ (after a)",
+        "relative 0 (after a)", "choose 0 (after a)",
+        "before tcommit", "after tcomplete", "before tbegin",
+        "before create", "after delete", "5thLrgWdrl",  // Ident with digit start.
+        "after a && before b"));  // Keywords are reserved in masks.
+
+TEST(ParserRobustnessTest, RandomTokenSoupNeverCrashes) {
+  // Random sequences of valid tokens: the parser must terminate with a
+  // clean status on every one.
+  static const char* kTokens[] = {
+      "after", "before", "relative", "prior", "sequence", "choose",
+      "every", "fa", "faAbs", "at", "time", "a", "b", "q", "(", ")",
+      ",", ";", "|", "&", "&&", "||", "!", "+", "5", "==>", ":", "<",
+      ">", "perpetual", "tbegin", "tcommit", "100", "3.5", "\"s\""};
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string input;
+    int len = 1 + static_cast<int>(rng() % 12);
+    for (int i = 0; i < len; ++i) {
+      input += kTokens[rng() % (sizeof(kTokens) / sizeof(kTokens[0]))];
+      input += " ";
+    }
+    Result<EventExprPtr> r = ParseEvent(input);
+    if (r.ok()) {
+      // Whatever parsed must validate and print.
+      EXPECT_TRUE((*r)->Validate().ok()) << input;
+      EXPECT_FALSE((*r)->ToString().empty());
+    }
+    Result<TriggerSpec> spec = ParseTriggerSpec(input);
+    if (spec.ok()) {
+      EXPECT_TRUE(spec->event->Validate().ok()) << input;
+    }
+  }
+}
+
+TEST(ParserRobustnessTest, RandomBytesNeverCrashLexer) {
+  std::mt19937 rng(321);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string input;
+    int len = static_cast<int>(rng() % 40);
+    for (int i = 0; i < len; ++i) {
+      input += static_cast<char>(rng() % 127 + 1);  // Printable-ish ASCII.
+    }
+    (void)ParseEvent(input);  // Must not crash; status is irrelevant.
+  }
+}
+
+TEST(ParserRobustnessTest, DeeplyNestedParensHitNestingLimit) {
+  // Found by an AddressSanitizer run: unbounded recursive descent blew the
+  // stack on adversarial nesting. The parser now enforces a depth limit
+  // and returns a clean error.
+  std::string deep;
+  for (int i = 0; i < 100000; ++i) deep += "(";
+  deep += "after a";
+  for (int i = 0; i < 100000; ++i) deep += ")";
+  Result<EventExprPtr> r = ParseEvent(deep);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+
+  // Shallow nesting (within the limit) still parses.
+  std::string shallow;
+  for (int i = 0; i < 50; ++i) shallow += "(";
+  shallow += "after a";
+  for (int i = 0; i < 50; ++i) shallow += ")";
+  EXPECT_TRUE(ParseEvent(shallow).ok());
+}
+
+TEST(ParserRobustnessTest, DeepBangChainsHitNestingLimit) {
+  std::string bangs(100000, '!');
+  bangs += "after a";
+  EXPECT_EQ(ParseEvent(bangs).status().code(), StatusCode::kParseError);
+  // Mask-side unary chains too.
+  std::string mask_bangs = "after f && ";
+  mask_bangs += std::string(100000, '-');
+  mask_bangs += "1 > 0";
+  EXPECT_EQ(ParseEvent(mask_bangs).status().code(), StatusCode::kParseError);
+  // Modest chains are fine.
+  EXPECT_TRUE(ParseEvent("!!!!!after a").ok());
+}
+
+TEST(ParserRobustnessTest, LongUnionChain) {
+  std::string chain = "after a";
+  for (int i = 0; i < 500; ++i) chain += " | after a";
+  Result<EventExprPtr> r = ParseEvent(chain);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->NodeCount(), 1001u);  // 501 atoms + 500 unions.
+}
+
+}  // namespace
+}  // namespace ode

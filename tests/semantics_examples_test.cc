@@ -1,0 +1,173 @@
+// Executable checks of the paper's §3.4 and §4 worked examples, evaluated
+// through the denotational oracle (experiment E11). The automaton/oracle
+// agreement is covered separately by equivalence_property_test.cc.
+#include "semantics/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+/// Oracle harness over method events with the compiler's alphabet.
+class OracleExpr {
+ public:
+  explicit OracleExpr(std::string_view text)
+      : expr_(ParseOrDie(text)),
+        alphabet_(Alphabet::Build(*expr_).value()),
+        oracle_(expr_, &alphabet_) {}
+
+  SymbolId Sym(char method, char qual) {
+    PostedEvent e = MakePostedMethod(
+        qual == '+' ? EventQualifier::kAfter : EventQualifier::kBefore,
+        std::string(1, method));
+    return alphabet_
+        .Classify(e,
+                  [](const MaskSlot&, const PostedEvent&) -> Result<bool> {
+                    return Status::Internal("mask-free");
+                  })
+        .value();
+  }
+
+  std::vector<bool> Run(std::string_view history) {
+    std::vector<SymbolId> syms;
+    for (size_t i = 0; i < history.size();) {
+      if (history[i] == '.') {
+        syms.push_back(alphabet_.other_symbol());
+        ++i;
+      } else {
+        syms.push_back(Sym(history[i], history[i + 1]));
+        i += 2;
+      }
+    }
+    return oracle_.OccurrencePoints(syms).value();
+  }
+
+  bool AtEnd(std::string_view history) {
+    std::vector<bool> marks = Run(history);
+    return !marks.empty() && marks.back();
+  }
+
+ private:
+  EventExprPtr expr_;
+  Alphabet alphabet_;
+  Oracle oracle_;
+};
+
+// §3.4: history F1 E1 E2 F2 with E = E1.*E2, F = F1.*F2:
+// "the event prior(E, F) occurs at F2 ... but relative(E, F) does not".
+TEST(Section34Test, PriorVersusRelative) {
+  // E1=a+, E2=b+, F1=c+, F2=d+.
+  OracleExpr prior_ef(
+      "prior(relative(after a, after b), relative(after c, after d))");
+  OracleExpr rel_ef(
+      "relative(relative(after a, after b), relative(after c, after d))");
+  EXPECT_TRUE(prior_ef.AtEnd("c+a+b+d+"));
+  EXPECT_FALSE(rel_ef.AtEnd("c+a+b+d+"));
+  EXPECT_TRUE(prior_ef.AtEnd("a+b+c+d+"));
+  EXPECT_TRUE(rel_ef.AtEnd("a+b+c+d+"));
+}
+
+// §3.4: "The two operators have identical semantics when applied to
+// logical events."
+TEST(Section34Test, PriorEqualsRelativeOnLogicalEvents) {
+  OracleExpr p("prior(after a, after b)");
+  OracleExpr r("relative(after a, after b)");
+  for (const char* h : {"a+b+", "b+a+", "a+.b+", "b+a+b+", "a+b+b+", "b+"}) {
+    EXPECT_EQ(p.AtEnd(h), r.AtEnd(h)) << h;
+  }
+}
+
+// §3.4: curried operators — prior(E, F, G) = prior(prior(E, F), G).
+TEST(Section34Test, CurriedPrior) {
+  OracleExpr curried("prior(after a, after b, after c)");
+  OracleExpr nested("prior(prior(after a, after b), after c)");
+  for (const char* h :
+       {"a+b+c+", "c+b+a+", "a+c+b+c+", "b+a+c+", "a+b+c+c+"}) {
+    EXPECT_EQ(curried.AtEnd(h), nested.AtEnd(h)) << h;
+  }
+  EXPECT_TRUE(curried.AtEnd("a+b+c+"));
+  EXPECT_FALSE(curried.AtEnd("b+a+c+"));
+}
+
+// §3.4: relative+(E) as the infinite disjunction
+// relative(E) | relative(E, E) | relative(E, E, E) | ...
+TEST(Section34Test, RelativePlusIsUnboundedDisjunction) {
+  OracleExpr plus("relative+ (relative(after a, after b))");
+  OracleExpr one("relative(after a, after b)");
+  OracleExpr two("relative(relative(after a, after b), "
+                 "relative(after a, after b))");
+  // Wherever the 1-chain or 2-chain fires, plus fires.
+  for (const char* h : {"a+b+", "a+b+a+b+", "a+a+b+b+", "b+a+"}) {
+    EXPECT_EQ(plus.AtEnd(h), one.AtEnd(h) || two.AtEnd(h)) << h;
+  }
+}
+
+// §3.4 footnote 4: with E = F & !prior(F, F), given the history F F, the
+// event E occurs at the first F but not at the second, yet relative(E, E)
+// occurs at the second F and not the first.
+TEST(Section34Test, Footnote4Anomaly) {
+  OracleExpr e("after f & !prior(after f, after f)");
+  std::vector<bool> marks_e = e.Run("f+f+");
+  EXPECT_EQ(marks_e, (std::vector<bool>{true, false}));
+
+  OracleExpr rel_ee(
+      "relative(after f & !prior(after f, after f), "
+      "after f & !prior(after f, after f))");
+  std::vector<bool> marks_rel = rel_ee.Run("f+f+");
+  // relative(E, E) occurs at the second F but not the first: within the
+  // truncated history (after the first F), the second F is "first" again.
+  EXPECT_EQ(marks_rel, (std::vector<bool>{false, true}));
+}
+
+// §3.4's fa example reading: "the commit of a transaction that updated an
+// object, since there are no intervening aborts or commits after the
+// tbegin". Encoded with method stand-ins: tbegin=t+, update=u+, commit=c+,
+// abort=x+.
+TEST(Section34Test, FaTransactionExample) {
+  OracleExpr e(
+      "fa(after t, prior(after u, after c), (after c | after x))");
+  EXPECT_TRUE(e.AtEnd("t+u+c+"));        // Update then commit.
+  EXPECT_FALSE(e.AtEnd("t+c+"));         // Commit without update:
+                                          // prior(u,c) never occurred.
+  EXPECT_FALSE(e.AtEnd("t+u+x+c+"));     // Abort intervened.
+  EXPECT_TRUE(e.AtEnd("t+u+x+t+u+c+"));  // Fresh tbegin re-anchors.
+}
+
+// §4 model: "the system only takes cognizance of the occurrence of this
+// event once" — multiple prior E-occurrences yield one labeled point.
+TEST(Section4Test, MultipleWitnessesOnePoint) {
+  OracleExpr e("relative(after a, after b)");
+  // Two a's before one b: b is marked once (a boolean, not a count).
+  std::vector<bool> marks = e.Run("a+a+b+");
+  EXPECT_EQ(marks, (std::vector<bool>{false, false, true}));
+}
+
+// §4 item 5: complement is with respect to all points of the history.
+TEST(Section4Test, ComplementOverPoints) {
+  OracleExpr e("!(after a)");
+  EXPECT_EQ(e.Run("a+.b-"), (std::vector<bool>{false, true, true}));
+}
+
+// The empty event set labels no points (§4 item 1).
+TEST(Section4Test, EmptySetLabelsNothing) {
+  OracleExpr e("empty");
+  EXPECT_EQ(e.Run("a+a+"), (std::vector<bool>{false, false}));
+}
+
+// §3.3: the sequence example — a transaction attempting to commit after
+// accessing an object and causing no other events to be posted.
+TEST(Section33Test, SequenceTransactionExample) {
+  // Stand-ins: tbegin=t+, before access=a-, after access=a+,
+  // before tcomplete=c-.
+  OracleExpr e("sequence(after t, before a, after a, before c)");
+  EXPECT_TRUE(e.AtEnd("t+a-a+c-"));
+  EXPECT_FALSE(e.AtEnd("t+a-a+.c-"));   // Another event intervened.
+  EXPECT_FALSE(e.AtEnd("t+a-.a+c-"));
+}
+
+}  // namespace
+}  // namespace ode

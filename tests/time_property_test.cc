@@ -1,0 +1,111 @@
+// Property tests for TimeSpec pattern matching: NextMatchAfter must return
+// a matching time, be strictly increasing, and skip no earlier match.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "event/time_spec.h"
+
+namespace ode {
+namespace {
+
+TimeSpec RandomPattern(std::mt19937* rng) {
+  TimeSpec spec;
+  // Choose from hour/minute/second fields (day-level patterns are covered
+  // by deterministic tests; second-level keeps the no-earlier-match scan
+  // cheap).
+  switch ((*rng)() % 6) {
+    case 0:
+      spec.hour = static_cast<int>((*rng)() % 24);
+      break;
+    case 1:
+      spec.minute = static_cast<int>((*rng)() % 60);
+      break;
+    case 2:
+      spec.second = static_cast<int>((*rng)() % 60);
+      break;
+    case 3:
+      spec.hour = static_cast<int>((*rng)() % 24);
+      spec.minute = static_cast<int>((*rng)() % 60);
+      break;
+    case 4:
+      spec.minute = static_cast<int>((*rng)() % 60);
+      spec.second = static_cast<int>((*rng)() % 60);
+      break;
+    default:
+      spec.day = static_cast<int>((*rng)() % 28 + 1);
+      spec.hour = static_cast<int>((*rng)() % 24);
+      break;
+  }
+  return spec;
+}
+
+class TimePatternSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TimePatternSweep, NextMatchProperties) {
+  std::mt19937 rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    TimeSpec spec = RandomPattern(&rng);
+    TimeMs after =
+        static_cast<TimeMs>(rng() % (90ull * 24 * 3600 * 1000));
+    Result<TimeMs> next = spec.NextMatchAfter(after);
+    ASSERT_TRUE(next.ok()) << spec.ToString() << ": "
+                           << next.status().ToString();
+
+    // (1) Strictly after the anchor.
+    EXPECT_GT(*next, after) << spec.ToString();
+    // (2) The result matches the pattern.
+    EXPECT_TRUE(spec.Matches(FromEpochMs(*next)))
+        << spec.ToString() << " -> " << *next;
+    // (3) No earlier match: sample intermediate instants.
+    if (*next > after + 1) {
+      std::uniform_int_distribution<TimeMs> mid(after + 1, *next - 1);
+      for (int probe = 0; probe < 100; ++probe) {
+        TimeMs t = mid(rng);
+        EXPECT_FALSE(spec.Matches(FromEpochMs(t)))
+            << spec.ToString() << " matched at " << t << " before " << *next;
+      }
+      // Also probe the instants directly around the result.
+      EXPECT_FALSE(spec.Matches(FromEpochMs(*next - 1)));
+    }
+    // (4) Chaining yields strictly increasing matches.
+    Result<TimeMs> next2 = spec.NextMatchAfter(*next);
+    ASSERT_TRUE(next2.ok());
+    EXPECT_GT(*next2, *next);
+    EXPECT_TRUE(spec.Matches(FromEpochMs(*next2)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimePatternSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(CivilTimeProperty, RoundTripAcrossRandomInstants) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    // ±200 years around the epoch.
+    TimeMs t = static_cast<TimeMs>(rng() % (400ull * 365 * 24 * 3600 * 1000)) -
+               200ll * 365 * 24 * 3600 * 1000;
+    DateTime dt = FromEpochMs(t);
+    EXPECT_EQ(ToEpochMs(dt), t);
+    EXPECT_GE(dt.month, 1);
+    EXPECT_LE(dt.month, 12);
+    EXPECT_GE(dt.day, 1);
+    EXPECT_LE(dt.day, DaysInMonth(dt.year, dt.month));
+  }
+}
+
+TEST(CivilTimeProperty, DaysFromCivilIsMonotone) {
+  int64_t prev = DaysFromCivil(1969, 12, 31);
+  for (int year = 1970; year <= 1974; ++year) {
+    for (int month = 1; month <= 12; ++month) {
+      for (int day = 1; day <= DaysInMonth(year, month); ++day) {
+        int64_t d = DaysFromCivil(year, month, day);
+        EXPECT_EQ(d, prev + 1);
+        prev = d;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ode

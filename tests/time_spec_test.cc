@@ -1,0 +1,176 @@
+#include "event/time_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+TEST(CivilTimeTest, EpochRoundTrip) {
+  DateTime dt;
+  dt.year = 1992;
+  dt.month = 6;
+  dt.day = 3;
+  dt.hour = 9;
+  dt.minute = 30;
+  dt.second = 15;
+  dt.ms = 250;
+  TimeMs t = ToEpochMs(dt);
+  EXPECT_EQ(FromEpochMs(t), dt);
+}
+
+TEST(CivilTimeTest, EpochZeroIs1970) {
+  DateTime dt = FromEpochMs(0);
+  EXPECT_EQ(dt.year, 1970);
+  EXPECT_EQ(dt.month, 1);
+  EXPECT_EQ(dt.day, 1);
+  EXPECT_EQ(dt.hour, 0);
+}
+
+TEST(CivilTimeTest, KnownDayNumbers) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1), 11017);  // Known leap-century date.
+}
+
+TEST(CivilTimeTest, LeapYears) {
+  EXPECT_EQ(DaysInMonth(2000, 2), 29);  // Divisible by 400.
+  EXPECT_EQ(DaysInMonth(1900, 2), 28);  // Divisible by 100, not 400.
+  EXPECT_EQ(DaysInMonth(1992, 2), 29);
+  EXPECT_EQ(DaysInMonth(1991, 2), 28);
+}
+
+TEST(TimeSpecTest, ValidationRanges) {
+  TimeSpec ok;
+  ok.hour = 9;
+  EXPECT_TRUE(ok.ValidateAsPattern().ok());
+
+  TimeSpec empty;
+  EXPECT_FALSE(empty.ValidateAsPattern().ok());
+
+  TimeSpec bad_month;
+  bad_month.month = 13;
+  EXPECT_FALSE(bad_month.ValidateAsPattern().ok());
+
+  TimeSpec bad_hour;
+  bad_hour.hour = 24;
+  EXPECT_FALSE(bad_hour.ValidateAsPattern().ok());
+}
+
+TEST(TimeSpecTest, PeriodArithmetic) {
+  TimeSpec p;
+  p.hour = 2;
+  p.minute = 30;
+  EXPECT_EQ(p.AsPeriodMs().value(), (2 * 60 + 30) * 60 * 1000);
+
+  TimeSpec days;
+  days.day = 1;
+  EXPECT_EQ(days.AsPeriodMs().value(), 24 * 3600 * 1000);
+
+  TimeSpec zero;
+  zero.ms = 0;
+  EXPECT_FALSE(zero.AsPeriodMs().ok());  // Must be positive.
+}
+
+// `at time(HR=9)` means every day at 09:00:00.000 — finer fields zero,
+// coarser wildcards (§3.1 and header contract).
+TEST(TimeSpecTest, MatchesZeroFillsFinerFields) {
+  TimeSpec nine_am;
+  nine_am.hour = 9;
+  DateTime dt = FromEpochMs(0);
+  dt.hour = 9;
+  EXPECT_TRUE(nine_am.Matches(dt));
+  dt.minute = 1;
+  EXPECT_FALSE(nine_am.Matches(dt));  // Minute must be 0.
+  dt.minute = 0;
+  dt.day = 17;
+  EXPECT_TRUE(nine_am.Matches(dt));  // Day is a wildcard.
+}
+
+TEST(TimeSpecTest, NextMatchDaily) {
+  TimeSpec nine_am;
+  nine_am.hour = 9;
+  // From midnight, the next 9am is the same day.
+  TimeMs t0 = 0;
+  TimeMs t1 = nine_am.NextMatchAfter(t0).value();
+  DateTime dt = FromEpochMs(t1);
+  EXPECT_EQ(dt.hour, 9);
+  EXPECT_EQ(dt.day, 1);
+  // From 9am exactly, the next match is tomorrow (strictly greater).
+  TimeMs t2 = nine_am.NextMatchAfter(t1).value();
+  EXPECT_EQ(FromEpochMs(t2).day, 2);
+  EXPECT_EQ(t2 - t1, 24 * 3600 * 1000);
+}
+
+TEST(TimeSpecTest, NextMatchHourlyMinute) {
+  TimeSpec half_past;
+  half_past.minute = 30;
+  TimeMs t = half_past.NextMatchAfter(0).value();
+  DateTime dt = FromEpochMs(t);
+  EXPECT_EQ(dt.hour, 0);
+  EXPECT_EQ(dt.minute, 30);
+  TimeMs t2 = half_past.NextMatchAfter(t).value();
+  EXPECT_EQ(t2 - t, 3600 * 1000);
+}
+
+TEST(TimeSpecTest, NextMatchMonthlyDay) {
+  TimeSpec first;
+  first.day = 1;
+  // From Jan 15 1970, next DAY=1 is Feb 1.
+  DateTime mid;
+  mid.year = 1970;
+  mid.month = 1;
+  mid.day = 15;
+  TimeMs t = first.NextMatchAfter(ToEpochMs(mid)).value();
+  DateTime dt = FromEpochMs(t);
+  EXPECT_EQ(dt.month, 2);
+  EXPECT_EQ(dt.day, 1);
+  EXPECT_EQ(dt.hour, 0);
+}
+
+TEST(TimeSpecTest, NextMatchHandlesShortMonths) {
+  TimeSpec day31;
+  day31.day = 31;
+  // From Feb 1, the next DAY=31 is Mar 31 (February is skipped).
+  DateTime feb;
+  feb.year = 1970;
+  feb.month = 2;
+  feb.day = 1;
+  TimeMs t = day31.NextMatchAfter(ToEpochMs(feb)).value();
+  DateTime dt = FromEpochMs(t);
+  EXPECT_EQ(dt.month, 3);
+  EXPECT_EQ(dt.day, 31);
+}
+
+TEST(TimeSpecTest, ImpossiblePatternErrors) {
+  TimeSpec feb30;
+  feb30.month = 2;
+  feb30.day = 30;
+  EXPECT_FALSE(feb30.NextMatchAfter(0).ok());
+}
+
+TEST(TimeSpecTest, FullySpecifiedFiresOnce) {
+  TimeSpec once;
+  once.year = 1992;
+  once.month = 6;
+  once.day = 3;
+  once.hour = 12;
+  TimeMs t = once.NextMatchAfter(0, /*horizon_days=*/20000).value();
+  DateTime dt = FromEpochMs(t);
+  EXPECT_EQ(dt.year, 1992);
+  EXPECT_EQ(dt.month, 6);
+  EXPECT_EQ(dt.day, 3);
+  EXPECT_EQ(dt.hour, 12);
+  // No later occurrence exists.
+  EXPECT_FALSE(once.NextMatchAfter(t, /*horizon_days=*/20000).ok());
+}
+
+TEST(TimeSpecTest, ToStringListsFields) {
+  TimeSpec s;
+  s.hour = 9;
+  s.minute = 30;
+  EXPECT_EQ(s.ToString(), "time(HR=9, M=30)");
+}
+
+}  // namespace
+}  // namespace ode

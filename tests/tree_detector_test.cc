@@ -1,0 +1,136 @@
+#include "baseline/tree_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_detector.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseOrDie;
+
+struct Harness {
+  EventExprPtr expr;
+  Alphabet alphabet;
+  std::unique_ptr<TreeDetector> tree;
+
+  explicit Harness(std::string_view text) : expr(ParseOrDie(text)) {
+    alphabet = Alphabet::Build(*expr).value();
+    tree = TreeDetector::Create(expr, &alphabet).value();
+  }
+
+  SymbolId Sym(char method, char qual) {
+    PostedEvent e = MakePostedMethod(
+        qual == '+' ? EventQualifier::kAfter : EventQualifier::kBefore,
+        std::string(1, method));
+    return alphabet
+        .Classify(e,
+                  [](const MaskSlot&, const PostedEvent&) -> Result<bool> {
+                    return Status::Internal("mask-free");
+                  })
+        .value();
+  }
+
+  std::vector<bool> Run(std::string_view history) {
+    tree->Reset();
+    std::vector<bool> out;
+    for (size_t i = 0; i < history.size();) {
+      SymbolId sym;
+      if (history[i] == '.') {
+        sym = alphabet.other_symbol();
+        ++i;
+      } else {
+        sym = Sym(history[i], history[i + 1]);
+        i += 2;
+      }
+      out.push_back(tree->Advance(sym).value());
+    }
+    return out;
+  }
+};
+
+TEST(TreeDetectorTest, AtomAndBoolean) {
+  Harness h("after a | before b");
+  EXPECT_EQ(h.Run("a+b-."), (std::vector<bool>{true, true, false}));
+  Harness n("!after a");
+  EXPECT_EQ(n.Run("a+."), (std::vector<bool>{false, true}));
+}
+
+TEST(TreeDetectorTest, RelativeSpawnsInstances) {
+  Harness h("relative(after a, after b)");
+  EXPECT_EQ(h.Run("a+b+b+"), (std::vector<bool>{false, true, true}));
+  size_t before = h.tree->NumInstances();
+  // Each further `a` spawns a fresh B-instance: state grows with the
+  // history — the §5 contrast.
+  h.tree->Reset();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(h.tree->Advance(h.Sym('a', '+')).ok());
+  }
+  EXPECT_GT(h.tree->NumInstances(), before);
+}
+
+TEST(TreeDetectorTest, PriorAndCounters) {
+  Harness p("prior(after a, after b)");
+  EXPECT_EQ(p.Run("b+a+b+"), (std::vector<bool>{false, false, true}));
+
+  Harness c("choose 2 (after a)");
+  EXPECT_EQ(c.Run("a+a+a+"), (std::vector<bool>{false, true, false}));
+
+  Harness ev("every 2 (after a)");
+  EXPECT_EQ(ev.Run("a+a+a+a+"), (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(TreeDetectorTest, SequenceAdjacency) {
+  Harness h("after a; after b");
+  EXPECT_EQ(h.Run("a+b+"), (std::vector<bool>{false, true}));
+  EXPECT_EQ(h.Run("a+.b+"), (std::vector<bool>{false, false, false}));
+}
+
+TEST(TreeDetectorTest, FaFirstOnly) {
+  Harness h("fa(after a, after b, after c)");
+  EXPECT_EQ(h.Run("a+b+b+"), (std::vector<bool>{false, true, false}));
+  EXPECT_EQ(h.Run("a+c+b+"), (std::vector<bool>{false, false, false}));
+}
+
+TEST(TreeDetectorTest, InstanceCapTrips) {
+  Harness h("relative(after a, after b)");
+  TreeDetector::Options opts;
+  opts.max_instances = 16;
+  auto capped = TreeDetector::Create(h.expr, &h.alphabet, opts).value();
+  Status last = Status::OK();
+  for (int i = 0; i < 64 && last.ok(); ++i) {
+    Result<bool> r = capped->Advance(h.Sym('a', '+'));
+    last = r.ok() ? Status::OK() : r.status();
+  }
+  EXPECT_EQ(last.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(TreeDetectorTest, NaiveDetectorMatchesTree) {
+  for (const char* text :
+       {"relative(after a, after b)", "prior 2 (after a)",
+        "fa(after a, after b, after c)", "after a; after b",
+        "every 3 (after a | before b)"}) {
+    Harness h(text);
+    NaiveDetector naive(h.expr, &h.alphabet);
+    h.tree->Reset();
+    std::mt19937 rng(42);
+    for (int i = 0; i < 60; ++i) {
+      SymbolId sym = static_cast<SymbolId>(rng() % h.alphabet.size());
+      Result<bool> t = h.tree->Advance(sym);
+      Result<bool> n = naive.Advance(sym);
+      ASSERT_TRUE(t.ok() && n.ok());
+      ASSERT_EQ(*t, *n) << text << " at step " << i;
+    }
+  }
+}
+
+TEST(TreeDetectorTest, RejectsGateAtomsAndNestedMasks) {
+  EventExprPtr gate = EventExpr::GateAtom(0);
+  Alphabet a = Alphabet::Build(*gate).value();
+  EXPECT_EQ(TreeDetector::Create(gate, &a).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,288 @@
+#include "trigger/trigger_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+/// A stockroom-flavored class with a counter the triggers can bump, so
+/// tests observe firings through both FireCount and object state.
+ClassDef ItemClass() {
+  ClassDef def("item");
+  def.AddAttr("qty", Value(0));
+  def.AddAttr("log_count", Value(0));
+  def.AddMethod(MethodDef{
+      "deposit",
+      {{"int", "q"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value qty, ctx->Get("qty"));
+        ODE_ASSIGN_OR_RETURN(Value q, ctx->Arg("q"));
+        ODE_ASSIGN_OR_RETURN(Value sum, qty.Add(q));
+        return ctx->Set("qty", sum);
+      }});
+  def.AddMethod(MethodDef{
+      "withdraw",
+      {{"int", "q"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value qty, ctx->Get("qty"));
+        ODE_ASSIGN_OR_RETURN(Value q, ctx->Arg("q"));
+        ODE_ASSIGN_OR_RETURN(Value diff, qty.Sub(q));
+        return ctx->Set("qty", diff);
+      }});
+  return def;
+}
+
+Status BumpLog(const ActionContext& ctx) {
+  Result<Value> count = ctx.db->PeekAttr(ctx.self, "log_count");
+  if (!count.ok()) return count.status();
+  Result<Value> next = count->Add(Value(1));
+  if (!next.ok()) return next.status();
+  return ctx.db->SetAttr(ctx.txn, ctx.self, "log_count", *next);
+}
+
+struct Fixture {
+  Database db;
+  Oid item;
+  TxnId txn = 0;
+
+  explicit Fixture(ClassDef def) {
+    EXPECT_TRUE(db.RegisterAction("log", BumpLog).ok());
+    EXPECT_TRUE(db.RegisterClass(std::move(def)).status().ok());
+    txn = db.Begin().value();
+    item = db.New(txn, "item").value();
+  }
+
+  int64_t LogCount() {
+    return db.PeekAttr(item, "log_count").value().AsInt().value();
+  }
+};
+
+TEST(TriggerEngineTest, OrdinaryTriggerDeactivatesOnFiring) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): after deposit ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 1);  // Fired once, then deactivated (§2).
+  EXPECT_FALSE(f.db.TriggerActive(f.item, "T").value());
+  // Explicit reactivation re-arms it.
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 2);
+}
+
+TEST(TriggerEngineTest, PerpetualTriggerStaysActive) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T"));
+  for (int i = 0; i < 5; ++i) {
+    ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  }
+  EXPECT_EQ(f.LogCount(), 5);
+  EXPECT_TRUE(f.db.TriggerActive(f.item, "T").value());
+}
+
+TEST(TriggerEngineTest, InactiveTriggerDoesNotFire) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit ==> log");
+  Fixture f(std::move(def));
+  // Never activated.
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 0);
+}
+
+TEST(TriggerEngineTest, MaskGatesFiring) {
+  // Trigger T6: all large withdrawals (q > 100) are recorded (§3.5).
+  ClassDef def = ItemClass();
+  def.AddTrigger("T6(): perpetual after withdraw (q) && q > 100 ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T6"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(50)}).status());
+  EXPECT_EQ(f.LogCount(), 0);
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(150)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+}
+
+TEST(TriggerEngineTest, PositionalMaskParams) {
+  // The trigger's declared name `q` binds by position even though the
+  // method's formal parameter is also named q in our class; use a
+  // different name to prove positional binding.
+  ClassDef def = ItemClass();
+  def.AddTrigger(
+      "T(): perpetual after withdraw (amount) && amount > 10 ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(5)}).status());
+  EXPECT_EQ(f.LogCount(), 0);
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(50)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+}
+
+TEST(TriggerEngineTest, TriggerActivationParameters) {
+  // Trigger parameters are bound at activation and usable in masks (§2).
+  ClassDef def = ItemClass();
+  def.AddTrigger(
+      "T(int threshold): perpetual after withdraw (q) && q > threshold "
+      "==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T", {Value(20)}));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(15)}).status());
+  EXPECT_EQ(f.LogCount(), 0);
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(25)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+  // Wrong parameter count rejected.
+  EXPECT_EQ(f.db.ActivateTrigger(f.txn, f.item, "T").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TriggerEngineTest, StateShorthandFiresOnReachedState) {
+  // §3.3: `qty < 0` fires when an update/create leaves qty negative.
+  ClassDef def = ItemClass();
+  def.AddTrigger("Neg(): perpetual qty < 0 ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "Neg"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(5)}).status());
+  EXPECT_EQ(f.LogCount(), 0);
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(9)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+}
+
+TEST(TriggerEngineTest, TabortActionAbortsTransaction) {
+  // Trigger T1 (§3.5): unauthorized withdrawals abort the transaction.
+  ClassDef def = ItemClass();
+  def.AddTrigger(
+      "T1(): perpetual before withdraw && !authorized(user()) ==> tabort");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterHostFunction(
+      "user", [](const std::vector<Value>&, const HostContext&)
+                  -> Result<Value> { return Value(13); }));
+  ODE_ASSERT_OK(db.RegisterHostFunction(
+      "authorized",
+      [](const std::vector<Value>& args, const HostContext&)
+          -> Result<Value> {
+        return Value(args.at(0).AsInt().value() == 7);
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+
+  TxnId t1 = db.Begin().value();
+  Oid item = db.New(t1, "item", {{"qty", Value(10)}}).value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t1, item, "T1"));
+  ODE_ASSERT_OK(db.Commit(t1));
+
+  TxnId t2 = db.Begin().value();
+  EXPECT_EQ(db.Call(t2, item, "withdraw", {Value(3)}).status().code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(db.txn(t2)->state(), TxnState::kAborted);
+  // The withdrawal never happened.
+  EXPECT_EQ(db.PeekAttr(item, "qty").value().AsInt().value(), 10);
+}
+
+TEST(TriggerEngineTest, SequenceTriggerAcrossMethods) {
+  // T8: print the log when a deposit is immediately followed by a
+  // withdrawal (§3.5). At method-event granularity the adjacent events
+  // are `after deposit; before withdraw; after withdraw`.
+  ClassDef def = ItemClass();
+  EventPostingPolicy policy;
+  policy.access_events = false;
+  policy.read_update_events = false;
+  def.SetPostingPolicy(policy);
+  def.AddTrigger(
+      "T8(): perpetual after deposit; before withdraw; after withdraw "
+      "==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T8"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+  // deposit, deposit, withdraw: the second deposit breaks adjacency with
+  // the first, but itself chains → fires once more.
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "withdraw", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 2);
+}
+
+TEST(TriggerEngineTest, Every5AccessTrigger) {
+  // T5: after every 5 operations the averages are updated (§3.5).
+  ClassDef def = ItemClass();
+  def.AddTrigger("T5(): perpetual every 2 (after access) ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T5"));
+  for (int i = 0; i < 6; ++i) {
+    ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  }
+  // 6 accesses → fires at the 2nd, 4th, 6th.
+  EXPECT_EQ(f.LogCount(), 3);
+}
+
+TEST(TriggerEngineTest, UnregisteredActionRejectedAtActivation) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): after deposit ==> ghost");
+  Fixture f(std::move(def));
+  EXPECT_EQ(f.db.ActivateTrigger(f.txn, f.item, "T").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(TriggerEngineTest, TriggerStateIsOneWord) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit; after withdraw ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "T"));
+  Result<int32_t> s0 = f.db.TriggerState(f.item, "T");
+  ODE_ASSERT_OK(s0.status());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  Result<int32_t> s1 = f.db.TriggerState(f.item, "T");
+  EXPECT_NE(*s0, *s1);  // The single integer advanced (§5).
+}
+
+TEST(TriggerEngineTest, RecursivePostingDepthGuard) {
+  // An action that re-posts the same event forever trips the depth guard.
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit ==> recurse");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "recurse", [](const ActionContext& ctx) -> Status {
+        return ctx.db->Call(ctx.txn, ctx.self, "deposit", {Value(1)})
+            .status();
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  TxnId t = db.Begin().value();
+  Oid item = db.New(t, "item").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t, item, "T"));
+  EXPECT_EQ(db.Call(t, item, "deposit", {Value(1)}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(TriggerEngineTest, MultipleTriggersOneEvent) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("A(): perpetual after deposit ==> log");
+  def.AddTrigger("B(): perpetual after deposit ==> log");
+  Fixture f(std::move(def));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "A"));
+  ODE_ASSERT_OK(f.db.ActivateTrigger(f.txn, f.item, "B"));
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 2);
+  EXPECT_EQ(f.db.FireCount(f.item, "A"), 1u);
+  EXPECT_EQ(f.db.FireCount(f.item, "B"), 1u);
+}
+
+TEST(TriggerEngineTest, AutoActivateOnCreate) {
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit ==> log",
+                 HistoryView::kFull, /*auto_activate=*/true);
+  Fixture f(std::move(def));
+  // Never explicitly activated, yet armed by the constructor (§3.5).
+  EXPECT_TRUE(f.db.TriggerActive(f.item, "T").value());
+  ODE_ASSERT_OK(f.db.Call(f.txn, f.item, "deposit", {Value(1)}).status());
+  EXPECT_EQ(f.LogCount(), 1);
+}
+
+}  // namespace
+}  // namespace ode

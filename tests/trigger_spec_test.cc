@@ -1,0 +1,80 @@
+#include "lang/trigger_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+TEST(TriggerSpecTest, FullDeclaration) {
+  Result<TriggerSpec> r = ParseTriggerSpec(
+      "T1(): perpetual before withdraw && !authorized(user()) ==> tabort");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->name, "T1");
+  EXPECT_TRUE(r->perpetual);
+  EXPECT_EQ(r->action, "tabort");
+  EXPECT_EQ(r->event->kind, EventExprKind::kAtom);
+}
+
+TEST(TriggerSpecTest, ParametersTypedAndUntyped) {
+  Result<TriggerSpec> r = ParseTriggerSpec(
+      "T2(Item i, int q): after withdraw(i, q) && q > 100 ==> order");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->params.size(), 2u);
+  EXPECT_EQ(r->params[0].type_name, "Item");
+  EXPECT_EQ(r->params[0].name, "i");
+  EXPECT_FALSE(r->perpetual);
+}
+
+TEST(TriggerSpecTest, BareEventWithoutHeader) {
+  Result<TriggerSpec> r = ParseTriggerSpec("perpetual after access");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->name.empty());
+  EXPECT_TRUE(r->perpetual);
+  EXPECT_TRUE(r->action.empty());
+}
+
+TEST(TriggerSpecTest, ToleratesActionCallSyntax) {
+  // Paper listings write `==> summary();`.
+  Result<TriggerSpec> r =
+      ParseTriggerSpec("T3(): perpetual at time(HR=17) ==> summary();");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->action, "summary");
+}
+
+TEST(TriggerSpecTest, PaperT8SequenceTrigger) {
+  Result<TriggerSpec> r = ParseTriggerSpec(
+      "T8(): perpetual after deposit; before withdraw; after withdraw "
+      "==> printLog");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->event->kind, EventExprKind::kSequence);
+  EXPECT_EQ(r->event->children.size(), 3u);
+}
+
+TEST(TriggerSpecTest, HeaderLookaheadDoesNotEatMethodCalls) {
+  // `deposit(i, q): ...` is a header; a bare event starting with a method
+  // event is not.
+  Result<TriggerSpec> r = ParseTriggerSpec("after withdraw(Item i, int q)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->name.empty());
+  EXPECT_EQ(r->event->atom.method_name, "withdraw");
+}
+
+TEST(TriggerSpecTest, Errors) {
+  EXPECT_FALSE(ParseTriggerSpec("T1(): ==> act").ok());
+  EXPECT_FALSE(ParseTriggerSpec("T1(): after f ==>").ok());
+  EXPECT_FALSE(ParseTriggerSpec("T1(): after f trailing").ok());
+}
+
+TEST(TriggerSpecTest, ToStringRoundTrips) {
+  Result<TriggerSpec> r = ParseTriggerSpec(
+      "T6(): perpetual after withdraw (i, q) && q > 100 ==> log");
+  ASSERT_TRUE(r.ok());
+  Result<TriggerSpec> r2 = ParseTriggerSpec(r->ToString());
+  ASSERT_TRUE(r2.ok()) << r->ToString() << ": " << r2.status().ToString();
+  EXPECT_EQ(r2->name, "T6");
+  EXPECT_TRUE(r2->perpetual);
+  EXPECT_EQ(r2->action, "log");
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,105 @@
+// Engine-level concurrency tests: lock conflicts and deadlocks surfacing
+// through the public Database API, and recovery by aborting a victim.
+#include <gtest/gtest.h>
+
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+ClassDef PairClass() {
+  ClassDef def("cell");
+  def.AddAttr("v", Value(0));
+  def.AddMethod(MethodDef{"write", {}, MethodKind::kUpdate, nullptr});
+  def.AddMethod(MethodDef{"read", {}, MethodKind::kReadOnly, nullptr});
+  return def;
+}
+
+struct TwoObjects {
+  Database db;
+  Oid x;
+  Oid y;
+
+  TwoObjects() {
+    EXPECT_TRUE(db.RegisterClass(PairClass()).status().ok());
+    TxnId t = db.Begin().value();
+    x = db.New(t, "cell").value();
+    y = db.New(t, "cell").value();
+    EXPECT_TRUE(db.Commit(t).ok());
+  }
+};
+
+TEST(TxnDeadlockTest, CrossLockDeadlockDetected) {
+  TwoObjects f;
+  TxnId t1 = f.db.Begin().value();
+  TxnId t2 = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(t1, f.x, "write").status());
+  ODE_ASSERT_OK(f.db.Call(t2, f.y, "write").status());
+  // t1 waits for y...
+  EXPECT_EQ(f.db.Call(t1, f.y, "write").status().code(),
+            StatusCode::kWouldBlock);
+  // ...so t2 asking for x would close the cycle.
+  EXPECT_EQ(f.db.Call(t2, f.x, "write").status().code(),
+            StatusCode::kDeadlock);
+  // Victim aborts; the survivor proceeds.
+  ODE_ASSERT_OK(f.db.Abort(t2));
+  ODE_ASSERT_OK(f.db.Call(t1, f.y, "write").status());
+  ODE_ASSERT_OK(f.db.Commit(t1));
+  EXPECT_EQ(f.db.locks().deadlocks_detected(), 1u);
+}
+
+TEST(TxnDeadlockTest, ReadersDoNotDeadlockEachOther) {
+  TwoObjects f;
+  TxnId t1 = f.db.Begin().value();
+  TxnId t2 = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(t1, f.x, "read").status());
+  ODE_ASSERT_OK(f.db.Call(t2, f.x, "read").status());
+  ODE_ASSERT_OK(f.db.Call(t1, f.y, "read").status());
+  ODE_ASSERT_OK(f.db.Call(t2, f.y, "read").status());
+  ODE_ASSERT_OK(f.db.Commit(t1));
+  ODE_ASSERT_OK(f.db.Commit(t2));
+  EXPECT_EQ(f.db.locks().deadlocks_detected(), 0u);
+}
+
+TEST(TxnDeadlockTest, AbortReleasesLocksForWaiter) {
+  TwoObjects f;
+  TxnId t1 = f.db.Begin().value();
+  TxnId t2 = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(t1, f.x, "write").status());
+  EXPECT_EQ(f.db.Call(t2, f.x, "write").status().code(),
+            StatusCode::kWouldBlock);
+  ODE_ASSERT_OK(f.db.Abort(t1));
+  ODE_ASSERT_OK(f.db.Call(t2, f.x, "write").status());
+  ODE_ASSERT_OK(f.db.Commit(t2));
+}
+
+TEST(TxnDeadlockTest, StrictTwoPhaseLocksHeldUntilCommit) {
+  TwoObjects f;
+  TxnId t1 = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(t1, f.x, "write").status());
+  // Even after the call returns, the lock persists until commit.
+  TxnId t2 = f.db.Begin().value();
+  EXPECT_EQ(f.db.Call(t2, f.x, "read").status().code(),
+            StatusCode::kWouldBlock);
+  ODE_ASSERT_OK(f.db.Commit(t1));
+  ODE_ASSERT_OK(f.db.Call(t2, f.x, "read").status());
+  ODE_ASSERT_OK(f.db.Commit(t2));
+}
+
+TEST(TxnDeadlockTest, WouldBlockLeavesTransactionUsable) {
+  TwoObjects f;
+  TxnId t1 = f.db.Begin().value();
+  TxnId t2 = f.db.Begin().value();
+  ODE_ASSERT_OK(f.db.Call(t1, f.x, "write").status());
+  EXPECT_EQ(f.db.Call(t2, f.x, "write").status().code(),
+            StatusCode::kWouldBlock);
+  // t2 can still work elsewhere.
+  ODE_ASSERT_OK(f.db.Call(t2, f.y, "write").status());
+  ODE_ASSERT_OK(f.db.Commit(t1));
+  ODE_ASSERT_OK(f.db.Call(t2, f.x, "write").status());
+  ODE_ASSERT_OK(f.db.Commit(t2));
+}
+
+}  // namespace
+}  // namespace ode

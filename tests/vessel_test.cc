@@ -1,0 +1,128 @@
+// Experiment E10: the §3.5 process-control example — class vessel with
+//   #define pDrop (pressure < low_limit)
+//   #define valveOpen relative(after motorStart, after motorStop)
+//   T(): relative(pDrop, valveOpen) ==> checkPressure
+#include <gtest/gtest.h>
+
+#include "ode/database.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+ClassDef VesselClass() {
+  ClassDef def("vessel");
+  def.AddAttr("pressure", Value(100.0));
+  def.AddAttr("low_limit", Value(50.0));
+  def.AddAttr("checks", Value(0));
+  def.AddMethod(MethodDef{
+      "setPressure",
+      {{"float", "p"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value p, ctx->Arg("p"));
+        return ctx->Set("pressure", p);
+      }});
+  def.AddMethod(MethodDef{"motorStart", {}, MethodKind::kUpdate, nullptr});
+  def.AddMethod(MethodDef{"motorStop", {}, MethodKind::kUpdate, nullptr});
+  def.AddTrigger(
+      "T(): relative((pressure < low_limit), "
+      "relative(after motorStart, after motorStop)) ==> checkPressure",
+      HistoryView::kFull, /*auto_activate=*/true);
+  return def;
+}
+
+struct Vessel {
+  Database db;
+  Oid vessel;
+
+  Vessel() {
+    EXPECT_TRUE(db.RegisterAction("checkPressure",
+                                  [](const ActionContext& ctx) -> Status {
+                                    Result<Value> v =
+                                        ctx.db->PeekAttr(ctx.self, "checks");
+                                    if (!v.ok()) return v.status();
+                                    Result<Value> next = v->Add(Value(1));
+                                    if (!next.ok()) return next.status();
+                                    return ctx.db->SetAttr(ctx.txn, ctx.self,
+                                                           "checks", *next);
+                                  })
+                    .ok());
+    EXPECT_TRUE(db.RegisterClass(VesselClass()).status().ok());
+    TxnId t = db.Begin().value();
+    vessel = db.New(t, "vessel").value();
+    EXPECT_TRUE(db.Commit(t).ok());
+  }
+
+  void Call(const char* method, std::vector<Value> args = {}) {
+    TxnId t = db.Begin().value();
+    EXPECT_TRUE(db.Call(t, vessel, method, std::move(args)).status().ok());
+    EXPECT_TRUE(db.Commit(t).ok());
+  }
+  int64_t Checks() {
+    return db.PeekAttr(vessel, "checks").value().AsInt().value();
+  }
+};
+
+TEST(VesselTest, PressureDropThenValveOpenFires) {
+  Vessel v;
+  v.Call("setPressure", {Value(30.0)});  // pDrop occurs.
+  EXPECT_EQ(v.Checks(), 0);
+  v.Call("motorStart");
+  EXPECT_EQ(v.Checks(), 0);  // Valve not fully open yet.
+  v.Call("motorStop");       // valveOpen completes → composite fires.
+  EXPECT_EQ(v.Checks(), 1);
+}
+
+TEST(VesselTest, ValveOpenWithoutDropDoesNotFire) {
+  Vessel v;
+  v.Call("motorStart");
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 0);
+}
+
+TEST(VesselTest, OrderingMatters) {
+  // motorStart before the pressure drop: the valveOpen sequence must occur
+  // *relative to* (i.e. entirely after) the drop.
+  Vessel v;
+  v.Call("motorStart");
+  v.Call("setPressure", {Value(30.0)});
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 0);
+  // A full start/stop after the drop fires.
+  v.Call("motorStart");
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 1);
+}
+
+TEST(VesselTest, OrdinaryTriggerFiresOnce) {
+  Vessel v;
+  v.Call("setPressure", {Value(30.0)});
+  v.Call("motorStart");
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 1);
+  // T is not perpetual: a second episode does not fire until reactivation.
+  v.Call("motorStart");
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 1);
+  TxnId t = v.db.Begin().value();
+  ODE_ASSERT_OK(v.db.ActivateTrigger(t, v.vessel, "T"));
+  ODE_ASSERT_OK(v.db.Commit(t));
+  v.Call("motorStart");  // Drop already happened (pressure still low).
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 2);
+}
+
+TEST(VesselTest, PressureRecoveryStillCountsPastDrop) {
+  // relative(pDrop, valveOpen) anchors at the drop *event*; the predicate
+  // is not re-checked later (it is a state event, not a guard).
+  Vessel v;
+  v.Call("setPressure", {Value(30.0)});   // Drop.
+  v.Call("setPressure", {Value(90.0)});   // Recovers.
+  v.Call("motorStart");
+  v.Call("motorStop");
+  EXPECT_EQ(v.Checks(), 1);
+}
+
+}  // namespace
+}  // namespace ode
