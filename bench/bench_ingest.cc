@@ -1,0 +1,152 @@
+// Ingest-runtime throughput: events/sec through the sharded runtime as a
+// function of shard count (1/2/4/8) and max batch size (1/16/128), against
+// two single-threaded baselines (one txn per event, and hand-batched
+// transactions). The batch axis is the interesting one on small machines:
+// draining K events into one worker transaction amortises Begin/Commit and
+// the commit-time event postings over the batch. The shard axis needs
+// multiple cores to pay off; on a single-core host it mostly measures that
+// sharding does not cost anything.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ode/database.h"
+#include "runtime/ingest_runtime.h"
+
+namespace ode {
+namespace {
+
+using runtime::IngestOptions;
+using runtime::IngestRuntime;
+
+constexpr size_t kObjects = 16;
+constexpr int kEventsPerIter = 4096;
+
+// An accumulator with a live counting trigger, so every event exercises
+// the §5 pipeline (posting, automaton step, occasional firing), not just
+// the transaction machinery.
+ClassDef BenchClass() {
+  ClassDef def("cell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("T1(): perpetual every 3 (after add) ==> count");
+  // The trigger listens to method events only; skip the object-state
+  // event categories (§3.1 lets classes turn them off) so the bench
+  // measures ingest machinery, not postings nothing consumes.
+  def.SetPostingPolicy(EventPostingPolicy{
+      /*method_events=*/true, /*access_events=*/false,
+      /*read_update_events=*/false});
+  return def;
+}
+
+std::vector<Oid> Setup(Database* db) {
+  (void)db->RegisterAction("count", [](const ActionContext& ctx) -> Status {
+    Result<Value> t = ctx.db->PeekAttr(ctx.self, "touches");
+    if (!t.ok()) return t.status();
+    Result<Value> next = t->Add(Value(1));
+    if (!next.ok()) return next.status();
+    return ctx.db->SetAttr(ctx.txn, ctx.self, "touches", *next);
+  });
+  (void)db->RegisterClass(BenchClass());
+  std::vector<Oid> oids;
+  TxnId t = db->Begin().value();
+  for (size_t i = 0; i < kObjects; ++i) {
+    Oid oid = db->New(t, "cell").value();
+    (void)db->ActivateTrigger(t, oid, "T1");
+    oids.push_back(oid);
+  }
+  (void)db->Commit(t);
+  return oids;
+}
+
+/// Baseline: the pre-runtime idiom — one transaction per event, one
+/// thread, no queueing.
+void BM_SingleThreadTxnPerEvent(benchmark::State& state) {
+  Database db;
+  std::vector<Oid> oids = Setup(&db);
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventsPerIter; ++i) {
+      TxnId t = db.Begin().value();
+      (void)db.Call(t, oids[next++ % kObjects], "add", {Value(1)});
+      (void)db.Commit(t);
+    }
+    db.txns().GarbageCollect();
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+}
+BENCHMARK(BM_SingleThreadTxnPerEvent)->Unit(benchmark::kMillisecond);
+
+/// Baseline: hand-batched transactions on one thread — isolates the
+/// Begin/Commit amortisation from the runtime's queue + thread overhead.
+void BM_SingleThreadBatchedTxn(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Database db;
+  std::vector<Oid> oids = Setup(&db);
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventsPerIter; i += batch) {
+      TxnId t = db.Begin().value();
+      for (int j = 0; j < batch && i + j < kEventsPerIter; ++j) {
+        (void)db.Call(t, oids[next++ % kObjects], "add", {Value(1)});
+      }
+      (void)db.Commit(t);
+    }
+    db.txns().GarbageCollect();
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+  state.counters["batch"] = batch;
+}
+BENCHMARK(BM_SingleThreadBatchedTxn)
+    ->Arg(16)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/// The runtime: post kEventsPerIter events round-robin, then Drain — the
+/// barrier puts the full queue backlog inside the timed region, so
+/// items/sec is end-to-end ingest throughput. UseRealTime because the
+/// work happens on the shard workers, not the posting thread.
+void BM_IngestRuntime(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Database db;
+  std::vector<Oid> oids = Setup(&db);
+  IngestOptions opts;
+  opts.num_shards = shards;
+  opts.max_batch = batch;
+  opts.queue_capacity = 4096;
+  opts.record_latency = false;  // Pure throughput; no clock reads per event.
+  IngestRuntime rt(&db, opts);
+  (void)rt.Start();
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventsPerIter; ++i) {
+      (void)rt.Post(oids[next++ % kObjects], "add", {Value(1)});
+    }
+    (void)rt.Drain();
+  }
+  (void)rt.Stop();
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = static_cast<double>(batch);
+  runtime::RuntimeMetricsSnapshot m = rt.Metrics();
+  state.counters["mean_batch"] = m.total.MeanBatch();
+  state.counters["queue_hw"] = static_cast<double>(m.total.queue_high_water);
+}
+BENCHMARK(BM_IngestRuntime)
+    ->ArgsProduct({{1, 2, 4, 8}, {1, 16, 128, 512}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace ode

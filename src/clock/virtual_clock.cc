@@ -7,11 +7,12 @@
 namespace ode {
 
 Status VirtualClock::SetTime(TimeMs t) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!timers_.empty()) {
     return Status::FailedPrecondition(
         "cannot reset the clock while timers are registered");
   }
-  now_ = t;
+  now_.store(t, std::memory_order_release);
   return Status::OK();
 }
 
@@ -22,6 +23,7 @@ Status VirtualClock::AddTimer(Oid object, const BasicEvent& time_event) {
   ODE_RETURN_IF_ERROR(time_event.Validate());
   std::string key = time_event.CanonicalKey();
   auto map_key = std::make_pair(object.id, key);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(map_key);
   if (it != timers_.end()) {
     ++it->second.refcount;
@@ -61,6 +63,7 @@ Status VirtualClock::AddTimer(Oid object, const BasicEvent& time_event) {
 
 Status VirtualClock::RemoveTimer(Oid object, const BasicEvent& time_event) {
   auto map_key = std::make_pair(object.id, time_event.CanonicalKey());
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = timers_.find(map_key);
   if (it == timers_.end()) {
     return Status::NotFound("no such timer");
@@ -70,43 +73,51 @@ Status VirtualClock::RemoveTimer(Oid object, const BasicEvent& time_event) {
 }
 
 Status VirtualClock::AdvanceTo(TimeMs target, const FireFn& fire) {
-  if (target < now_) {
+  if (target < now()) {
     return Status::InvalidArgument("virtual time cannot move backwards");
   }
   while (true) {
-    // Earliest due timer at or before target (ties: lowest id).
-    Timer* due = nullptr;
-    for (auto& [key, t] : timers_) {
-      if (t.next_fire > target) continue;
-      if (due == nullptr || t.next_fire < due->next_fire ||
-          (t.next_fire == due->next_fire && t.id < due->id)) {
-        due = &t;
+    Oid object;
+    std::string time_key;
+    TimeMs fire_time = 0;
+    Timer snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Earliest due timer at or before target (ties: lowest id).
+      Timer* due = nullptr;
+      for (auto& [key, t] : timers_) {
+        if (t.next_fire > target) continue;
+        if (due == nullptr || t.next_fire < due->next_fire ||
+            (t.next_fire == due->next_fire && t.id < due->id)) {
+          due = &t;
+        }
       }
-    }
-    if (due == nullptr) break;
+      if (due == nullptr) break;
 
-    now_ = due->next_fire;
-    ++firings_;
-    Oid object = due->object;
-    std::string time_key = due->time_key;
-    TimeMs fire_time = due->next_fire;
-    Timer snapshot = *due;
+      now_.store(due->next_fire, std::memory_order_release);
+      firings_.fetch_add(1, std::memory_order_relaxed);
+      object = due->object;
+      time_key = due->time_key;
+      fire_time = due->next_fire;
+      snapshot = *due;
 
-    // Re-arm (or retire) before the callback: the callback may re-enter
-    // (e.g. a trigger action registering new timers).
-    switch (due->mode) {
-      case TimeEventMode::kAt: {
-        Result<TimeMs> next = due->spec.NextMatchAfter(fire_time);
-        if (!next.ok()) return next.status();
-        due->next_fire = *next;
-        break;
+      // Re-arm (or retire) before the callback: the callback may re-enter
+      // (e.g. a trigger action registering new timers), so it runs outside
+      // the lock, and the table must already reflect this firing.
+      switch (due->mode) {
+        case TimeEventMode::kAt: {
+          Result<TimeMs> next = due->spec.NextMatchAfter(fire_time);
+          if (!next.ok()) return next.status();
+          due->next_fire = *next;
+          break;
+        }
+        case TimeEventMode::kEvery:
+          due->next_fire += due->period_ms;
+          break;
+        case TimeEventMode::kAfter:
+          timers_.erase(std::make_pair(object.id, time_key));
+          break;
       }
-      case TimeEventMode::kEvery:
-        due->next_fire += due->period_ms;
-        break;
-      case TimeEventMode::kAfter:
-        timers_.erase(std::make_pair(object.id, time_key));
-        break;
     }
 
     if (fire != nullptr) {
@@ -115,17 +126,19 @@ Status VirtualClock::AdvanceTo(TimeMs target, const FireFn& fire) {
         // Undeliverable (e.g. the object is locked by a conflicting
         // transaction): restore the timer so a later advance retries this
         // firing instead of silently dropping it.
-        --firings_;
+        std::lock_guard<std::mutex> lock(mu_);
+        firings_.fetch_sub(1, std::memory_order_relaxed);
         timers_[std::make_pair(object.id, time_key)] = snapshot;
         return delivered;
       }
     }
   }
-  now_ = target;
+  now_.store(target, std::memory_order_release);
   return Status::OK();
 }
 
 std::vector<VirtualClock::TimerState> VirtualClock::ExportTimers() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TimerState> out;
   out.reserve(timers_.size());
   for (const auto& [key, t] : timers_) {
@@ -136,8 +149,9 @@ std::vector<VirtualClock::TimerState> VirtualClock::ExportTimers() const {
 }
 
 Status VirtualClock::ImportTimers(std::vector<TimerState> timers, TimeMs now) {
+  std::lock_guard<std::mutex> lock(mu_);
   timers_.clear();
-  now_ = now;
+  now_.store(now, std::memory_order_release);
   for (TimerState& s : timers) {
     BasicEvent be = BasicEvent::Time(s.mode, s.spec);
     Timer t;

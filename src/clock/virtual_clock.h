@@ -1,8 +1,10 @@
 #ifndef ODE_CLOCK_VIRTUAL_CLOCK_H_
 #define ODE_CLOCK_VIRTUAL_CLOCK_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -27,13 +29,20 @@ namespace ode {
 /// back into the database, which posts the time event to the subscribed
 /// object (time events are "really global, but ... posted only to the
 /// relevant objects", §3.1).
+///
+/// Thread model: `now()` is a lock-free atomic read (it is on the event
+/// posting hot path); the timer table is mutex-guarded so shard workers can
+/// activate/deactivate timer-bearing triggers concurrently. AdvanceTo runs
+/// the fire callback outside the lock (it re-enters Add/RemoveTimer), but
+/// time advancement itself must be externally serialized against ingestion
+/// — drain the ingest runtime before advancing the clock.
 class VirtualClock {
  public:
   using FireFn =
       std::function<Status(Oid object, const std::string& time_key,
                            TimeMs fire_time)>;
 
-  TimeMs now() const { return now_; }
+  TimeMs now() const { return now_.load(std::memory_order_acquire); }
 
   /// Sets the current time without firing timers (initialization only;
   /// errors if timers are registered).
@@ -50,11 +59,14 @@ class VirtualClock {
   /// `target` at the end.
   Status AdvanceTo(TimeMs target, const FireFn& fire);
   Status Advance(TimeMs delta, const FireFn& fire) {
-    return AdvanceTo(now_ + delta, fire);
+    return AdvanceTo(now() + delta, fire);
   }
 
-  size_t num_timers() const { return timers_.size(); }
-  uint64_t firings() const { return firings_; }
+  size_t num_timers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return timers_.size();
+  }
+  uint64_t firings() const { return firings_.load(std::memory_order_relaxed); }
 
   /// Snapshot support (ode/persistence).
   struct TimerState {
@@ -80,10 +92,11 @@ class VirtualClock {
   };
 
   /// Key: (oid, canonical key) — one timer per event per object.
+  mutable std::mutex mu_;  ///< Guards timers_ and next_id_.
   std::map<std::pair<uint64_t, std::string>, Timer> timers_;
-  TimeMs now_ = 0;
+  std::atomic<TimeMs> now_{0};
   uint64_t next_id_ = 1;
-  uint64_t firings_ = 0;
+  std::atomic<uint64_t> firings_{0};
 };
 
 }  // namespace ode

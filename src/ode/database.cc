@@ -59,14 +59,18 @@ Status Database::EnableSchemaEvents() {
                           .status());
   return RunSystemTxn([&](Transaction* sys) -> Status {
     const RegisteredClass* cls = classes_.Find("__schema");
-    Oid oid{next_oid_++};
-    Object obj(oid, cls->id);
-    for (const AttrDecl& attr : cls->def.attrs()) {
-      obj.InitAttr(attr.name, attr.default_value);
+    Object* stored = nullptr;
+    {
+      std::unique_lock<std::shared_mutex> lock(objects_mu_);
+      Oid oid{next_oid_++};
+      Object obj(oid, cls->id);
+      for (const AttrDecl& attr : cls->def.attrs()) {
+        obj.InitAttr(attr.name, attr.default_value);
+      }
+      auto [it, inserted] = objects_.emplace(oid, std::move(obj));
+      schema_oid_ = oid;
+      stored = &it->second;
     }
-    objects_.emplace(oid, std::move(obj));
-    schema_oid_ = oid;
-    Object* stored = &objects_.find(oid)->second;
     for (size_t i = 0; i < cls->triggers.size(); ++i) {
       if (!cls->auto_activate[i]) continue;
       ODE_RETURN_IF_ERROR(ActivateTriggerInternal(sys, stored, *cls,
@@ -104,6 +108,7 @@ Result<Value> Database::CallHostFunction(std::string_view name,
 // --- Internal helpers -----------------------------------------------------
 
 Result<Object*> Database::GetObject(Oid oid) {
+  std::shared_lock<std::shared_mutex> lock(objects_mu_);
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
     return Status::NotFound(StrFormat(
@@ -112,14 +117,51 @@ Result<Object*> Database::GetObject(Oid oid) {
   return &it->second;
 }
 
+bool Database::Exists(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(objects_mu_);
+  return objects_.count(oid) > 0;
+}
+
+uint64_t Database::NextSeq(Oid oid) {
+  // Fast path: the counter exists (shared lock, per-object single-writer
+  // increment). Slow path: first event on the object inserts the entry.
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = seq_counters_.find(oid);
+    if (it != seq_counters_.end()) return ++it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(aux_mu_);
+  return ++seq_counters_[oid];
+}
+
 void Database::RecordHistory(const PostedEvent& event) {
   if (!options_.record_histories) return;
-  histories_[event.object].Append(event);
+  EventHistory* history = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = histories_.find(event.object);
+    if (it != histories_.end()) history = &it->second;
+  }
+  if (history == nullptr) {
+    std::unique_lock<std::shared_mutex> lock(aux_mu_);
+    history = &histories_[event.object];
+  }
+  history->Append(event);
 }
 
 void Database::BumpTriggersFired(Oid oid, const std::string& trigger_name) {
-  ++stats_.triggers_fired;
-  ++fire_counts_[{oid.id, trigger_name}];
+  stats_.triggers_fired.fetch_add(1, std::memory_order_relaxed);
+  auto key = std::make_pair(oid.id, trigger_name);
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = fire_counts_.find(key);
+    if (it != fire_counts_.end()) {
+      ++it->second;
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(aux_mu_);
+  ++fire_counts_[key];
 }
 
 void Database::ReleaseAlphabetTimers(Oid oid, const Alphabet& alphabet) {
@@ -156,22 +198,26 @@ Status Database::TouchObject(Transaction* txn, Oid oid, LockMode mode) {
 
 Status Database::RunSystemTxn(const std::function<Status(Transaction*)>& fn) {
   Transaction* sys = txns_.Begin(/*is_system=*/true);
-  ++stats_.system_txns;
+  stats_.system_txns.fetch_add(1, std::memory_order_relaxed);
+  // Once a transaction leaves the active state it is eligible for
+  // TxnManager::GarbageCollect, so no member may be touched after
+  // set_state — copy what the epilogue needs first.
+  TxnId sys_id = sys->id();
   Status s = fn(sys);
   if (s.ok()) {
     sys->set_state(TxnState::kCommitted);
-    locks_.Release(sys->id());
+    locks_.Release(sys_id);
     return Status::OK();
   }
   // Roll the system transaction back. A trigger action aborting a *system*
   // transaction affects only that transaction; the user-level operation
   // that spawned it has already completed (§5).
   std::vector<UndoEntry> log = sys->TakeUndoLog();
+  sys->set_state(TxnState::kAborted);
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     (void)ApplyUndo(*it);
   }
-  sys->set_state(TxnState::kAborted);
-  locks_.Release(sys->id());
+  locks_.Release(sys_id);
   if (s.code() == StatusCode::kAborted) return Status::OK();
   return s;
 }
@@ -219,7 +265,7 @@ Status Database::CommitInternal(Transaction* txn) {
       return Status::ResourceExhausted(
           "before-tcomplete trigger cascade did not quiesce");
     }
-    ++stats_.tcomplete_rounds;
+    stats_.tcomplete_rounds.fetch_add(1, std::memory_order_relaxed);
     int fired = 0;
     for (size_t i = 0; i < txn->accessed().size(); ++i) {
       Oid oid = txn->accessed()[i];
@@ -237,14 +283,16 @@ Status Database::CommitInternal(Transaction* txn) {
     if (fired == 0) break;
   }
 
+  // Copy everything the epilogue needs before set_state: a non-active
+  // transaction is eligible for TxnManager::GarbageCollect.
+  std::vector<Oid> accessed = txn->accessed();
+  TxnId committed_id = txn->id();
   txn->set_state(TxnState::kCommitted);
   txns_.CountCommit();
-  locks_.Release(txn->id());
+  locks_.Release(committed_id);
 
   // `after tcommit` events are posted by a system transaction (§5); any
   // actions they fire execute as part of that transaction.
-  std::vector<Oid> accessed = txn->accessed();
-  TxnId committed_id = txn->id();
   return RunSystemTxn([&](Transaction* sys) -> Status {
     for (Oid oid : accessed) {
       if (!Exists(oid)) continue;
@@ -278,21 +326,23 @@ Status Database::AbortInternal(Transaction* txn) {
     (void)engine_->PostSimple(txn, oid, BasicEventKind::kTabort,
                               EventQualifier::kBefore);
   }
+  // Copy everything the rollback and epilogue need before set_state: a
+  // non-active transaction is eligible for TxnManager::GarbageCollect.
+  std::vector<UndoEntry> log = txn->TakeUndoLog();
+  std::vector<Oid> accessed = txn->accessed();
+  TxnId aborted_id = txn->id();
   txn->set_state(TxnState::kAborted);
 
   // Undo in reverse order: attributes, trigger states (committed view),
   // activations, creations, deletions.
-  std::vector<UndoEntry> log = txn->TakeUndoLog();
   for (auto it = log.rbegin(); it != log.rend(); ++it) {
     ODE_RETURN_IF_ERROR(ApplyUndo(*it));
   }
 
   txns_.CountAbort();
-  locks_.Release(txn->id());
+  locks_.Release(aborted_id);
 
   // `after tabort` via system transaction (§5).
-  std::vector<Oid> accessed = txn->accessed();
-  TxnId aborted_id = txn->id();
   return RunSystemTxn([&](Transaction* sys) -> Status {
     for (Oid oid : accessed) {
       if (!Exists(oid)) continue;
@@ -308,24 +358,24 @@ Status Database::AbortInternal(Transaction* txn) {
 Status Database::ApplyUndo(const UndoEntry& entry) {
   switch (entry.kind) {
     case UndoEntry::Kind::kAttr: {
-      auto it = objects_.find(entry.oid);
-      if (it == objects_.end()) return Status::OK();
-      return it->second.SetAttr(entry.attr, entry.old_value);
+      Result<Object*> obj = GetObject(entry.oid);
+      if (!obj.ok()) return Status::OK();
+      return (*obj)->SetAttr(entry.attr, entry.old_value);
     }
     case UndoEntry::Kind::kTriggerState: {
-      auto it = objects_.find(entry.oid);
-      if (it == objects_.end()) return Status::OK();
-      ActiveTrigger& slot = it->second.SlotFor(entry.trigger_idx);
+      Result<Object*> obj = GetObject(entry.oid);
+      if (!obj.ok()) return Status::OK();
+      ActiveTrigger& slot = (*obj)->SlotFor(entry.trigger_idx);
       slot.state = entry.old_state;
       slot.gate_states = entry.old_gate_states;
       return Status::OK();
     }
     case UndoEntry::Kind::kTriggerActive: {
-      auto it = objects_.find(entry.oid);
-      if (it == objects_.end()) return Status::OK();
-      ActiveTrigger& slot = it->second.SlotFor(entry.trigger_idx);
+      Result<Object*> obj = GetObject(entry.oid);
+      if (!obj.ok()) return Status::OK();
+      ActiveTrigger& slot = (*obj)->SlotFor(entry.trigger_idx);
       if (slot.active == entry.old_active) return Status::OK();
-      const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+      const RegisteredClass* cls = classes_.FindById((*obj)->class_id());
       if (cls != nullptr &&
           entry.trigger_idx < static_cast<int>(cls->triggers.size())) {
         const TriggerProgram& program = cls->triggers[entry.trigger_idx];
@@ -338,11 +388,14 @@ Status Database::ApplyUndo(const UndoEntry& entry) {
       slot.active = entry.old_active;
       return Status::OK();
     }
-    case UndoEntry::Kind::kCreate:
+    case UndoEntry::Kind::kCreate: {
+      std::unique_lock<std::shared_mutex> lock(objects_mu_);
       objects_.erase(entry.oid);
       return Status::OK();
+    }
     case UndoEntry::Kind::kDelete:
       if (entry.deleted_object.has_value()) {
+        std::unique_lock<std::shared_mutex> lock(objects_mu_);
         objects_[entry.oid] = *entry.deleted_object;
       }
       return Status::OK();
@@ -361,20 +414,25 @@ Result<Oid> Database::New(TxnId txn_id, std::string_view class_name,
                                       std::string(class_name).c_str()));
   }
 
-  Oid oid{next_oid_++};
-  Object obj(oid, cls->id);
-  for (const AttrDecl& attr : cls->def.attrs()) {
-    obj.InitAttr(attr.name, attr.default_value);
-  }
-  for (const auto& [name, value] : init) {
-    if (!obj.HasAttr(name)) {
-      return Status::InvalidArgument(StrFormat(
-          "class '%s' has no attribute '%s'",
-          std::string(class_name).c_str(), name.c_str()));
+  Oid oid;
+  Object* stored = nullptr;
+  {
+    std::unique_lock<std::shared_mutex> lock(objects_mu_);
+    oid = Oid{next_oid_++};
+    Object obj(oid, cls->id);
+    for (const AttrDecl& attr : cls->def.attrs()) {
+      obj.InitAttr(attr.name, attr.default_value);
     }
-    obj.InitAttr(name, value);
+    for (const auto& [name, value] : init) {
+      if (!obj.HasAttr(name)) {
+        return Status::InvalidArgument(StrFormat(
+            "class '%s' has no attribute '%s'",
+            std::string(class_name).c_str(), name.c_str()));
+      }
+      obj.InitAttr(name, value);
+    }
+    stored = &objects_.emplace(oid, std::move(obj)).first->second;
   }
-  objects_.emplace(oid, std::move(obj));
 
   UndoEntry undo;
   undo.kind = UndoEntry::Kind::kCreate;
@@ -391,7 +449,6 @@ Result<Oid> Database::New(TxnId txn_id, std::string_view class_name,
 
   // Constructor-time trigger activation (§3.5), before `after create` so
   // the new triggers observe the creation event.
-  Object* stored = &objects_.find(oid)->second;
   for (size_t i = 0; i < cls->triggers.size(); ++i) {
     if (!cls->auto_activate[i]) continue;
     Status s = ActivateTriggerInternal(txn, stored, *cls,
@@ -423,6 +480,7 @@ Status Database::Delete(TxnId txn_id, Oid oid) {
   if (!posted.ok()) return fail(posted.status());
 
   // The posting pipeline may have mutated the object; snapshot now.
+  std::unique_lock<std::shared_mutex> lock(objects_mu_);
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
     return Status::FailedPrecondition("object vanished during before-delete");
@@ -438,12 +496,13 @@ Status Database::Delete(TxnId txn_id, Oid oid) {
 }
 
 const Object* Database::object(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(objects_mu_);
   auto it = objects_.find(oid);
   return it == objects_.end() ? nullptr : &it->second;
 }
 
 Result<Value> Database::Call(TxnId txn_id, Oid oid, std::string_view method,
-                             std::vector<Value> args) {
+                             std::vector<Value> args, int* triggers_fired) {
   ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
   ODE_ASSIGN_OR_RETURN(Object * obj, GetObject(oid));
   const RegisteredClass* cls = classes_.FindById(obj->class_id());
@@ -482,13 +541,14 @@ Result<Value> Database::Call(TxnId txn_id, Oid oid, std::string_view method,
                                   : BasicEventKind::kUpdate;
 
   auto post = [&](BasicEventKind kind, EventQualifier q) -> Status {
-    if (kind == BasicEventKind::kMethod) {
-      Result<int> f = engine_->Post(
-          txn, oid, MakePostedMethod(q, def->name, named, txn->id()));
-      return f.ok() ? Status::OK() : f.status();
-    }
-    Result<int> f = engine_->PostSimple(txn, oid, kind, q);
-    return f.ok() ? Status::OK() : f.status();
+    Result<int> f =
+        kind == BasicEventKind::kMethod
+            ? engine_->Post(txn, oid,
+                            MakePostedMethod(q, def->name, named, txn->id()))
+            : engine_->PostSimple(txn, oid, kind, q);
+    if (!f.ok()) return f.status();
+    if (triggers_fired != nullptr) *triggers_fired += *f;
+    return Status::OK();
   };
 
   // Event order around a method execution (§3.1; order within one
@@ -555,12 +615,12 @@ Status Database::SetAttr(TxnId txn_id, Oid oid, std::string_view attr,
 }
 
 Result<Value> Database::PeekAttr(Oid oid, std::string_view attr) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) {
+  const Object* obj = object(oid);
+  if (obj == nullptr) {
     return Status::NotFound(StrFormat(
         "no object @%llu", static_cast<unsigned long long>(oid.id)));
   }
-  return it->second.GetAttr(attr);
+  return obj->GetAttr(attr);
 }
 
 // --- Triggers -------------------------------------------------------------
@@ -680,30 +740,31 @@ Status Database::DeactivateTrigger(TxnId txn_id, Oid oid,
 
 Result<bool> Database::TriggerActive(Oid oid,
                                      std::string_view trigger_name) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("no such object");
-  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  const Object* obj = object(oid);
+  if (obj == nullptr) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
   if (cls == nullptr) return Status::Internal("object with unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
-  const ActiveTrigger* slot = it->second.FindSlot(idx);
+  const ActiveTrigger* slot = obj->FindSlot(idx);
   return slot != nullptr && slot->active;
 }
 
 Result<int32_t> Database::TriggerState(Oid oid,
                                        std::string_view trigger_name) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("no such object");
-  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  const Object* obj = object(oid);
+  if (obj == nullptr) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
   if (cls == nullptr) return Status::Internal("object with unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
-  const ActiveTrigger* slot = it->second.FindSlot(idx);
+  const ActiveTrigger* slot = obj->FindSlot(idx);
   if (slot == nullptr) return Status::FailedPrecondition("never activated");
   return slot->state;
 }
 
 uint64_t Database::FireCount(Oid oid, std::string_view trigger_name) const {
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = fire_counts_.find({oid.id, std::string(trigger_name)});
   return it == fire_counts_.end() ? 0 : it->second;
 }
@@ -823,25 +884,25 @@ Status Database::DeactivateTriggerGroup(TxnId txn_id, Oid oid,
 
 Result<bool> Database::TriggerGroupActive(
     Oid oid, std::string_view group_name) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("no such object");
-  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  const Object* obj = object(oid);
+  if (obj == nullptr) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
   if (cls == nullptr) return Status::Internal("object with unknown class");
   int gidx = cls->GroupIndex(group_name);
   if (gidx < 0) return Status::NotFound("no such trigger group");
-  const GroupSlot* slot = it->second.FindGroupSlot(gidx);
+  const GroupSlot* slot = obj->FindGroupSlot(gidx);
   return slot != nullptr && slot->active;
 }
 
 Result<int32_t> Database::TriggerGroupState(
     Oid oid, std::string_view group_name) const {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return Status::NotFound("no such object");
-  const RegisteredClass* cls = classes_.FindById(it->second.class_id());
+  const Object* obj = object(oid);
+  if (obj == nullptr) return Status::NotFound("no such object");
+  const RegisteredClass* cls = classes_.FindById(obj->class_id());
   if (cls == nullptr) return Status::Internal("object with unknown class");
   int gidx = cls->GroupIndex(group_name);
   if (gidx < 0) return Status::NotFound("no such trigger group");
-  const GroupSlot* slot = it->second.FindGroupSlot(gidx);
+  const GroupSlot* slot = obj->FindGroupSlot(gidx);
   if (slot == nullptr) return Status::FailedPrecondition("never activated");
   return slot->state;
 }
@@ -850,11 +911,22 @@ Result<int32_t> Database::TriggerGroupState(
 
 void Database::BumpClassTriggersFired(ClassId cls,
                                       const std::string& trigger_name) {
-  ++stats_.triggers_fired;
-  ++class_fire_counts_[{cls, trigger_name}];
+  stats_.triggers_fired.fetch_add(1, std::memory_order_relaxed);
+  auto key = std::make_pair(cls, trigger_name);
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = class_fire_counts_.find(key);
+    if (it != class_fire_counts_.end()) {
+      ++it->second;
+      return;
+    }
+  }
+  std::unique_lock<std::shared_mutex> lock(aux_mu_);
+  ++class_fire_counts_[key];
 }
 
 std::vector<ActiveTrigger>* Database::ClassSlots(ClassId cls) {
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = class_slots_.find(cls);
   return it == class_slots_.end() ? nullptr : &it->second;
 }
@@ -898,7 +970,12 @@ Status Database::ActivateClassTrigger(std::string_view class_name,
         params.size()));
   }
 
+  // Class-scope activation is a schema-level operation: it must not run
+  // concurrently with ingestion (the unique lock covers only the slot
+  // vector's structure).
+  std::unique_lock<std::shared_mutex> structure_lock(aux_mu_);
   std::vector<ActiveTrigger>& slots = class_slots_[cls->id];
+  structure_lock.unlock();
   ActiveTrigger* slot = nullptr;
   for (ActiveTrigger& s : slots) {
     if (s.trigger_idx == idx) slot = &s;
@@ -928,6 +1005,7 @@ Status Database::DeactivateClassTrigger(std::string_view class_name,
   if (cls == nullptr) return Status::NotFound("unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = class_slots_.find(cls->id);
   if (it == class_slots_.end()) return Status::OK();
   for (ActiveTrigger& s : it->second) {
@@ -942,6 +1020,7 @@ Result<bool> Database::ClassTriggerActive(
   if (cls == nullptr) return Status::NotFound("unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = class_slots_.find(cls->id);
   if (it == class_slots_.end()) return false;
   for (const ActiveTrigger& s : it->second) {
@@ -954,6 +1033,7 @@ uint64_t Database::ClassFireCount(std::string_view class_name,
                                   std::string_view trigger_name) const {
   const RegisteredClass* cls = classes_.Find(class_name);
   if (cls == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = class_fire_counts_.find({cls->id, std::string(trigger_name)});
   return it == class_fire_counts_.end() ? 0 : it->second;
 }
@@ -982,6 +1062,7 @@ Status Database::AdvanceClockTo(TimeMs target_ms) {
 // --- Introspection ------------------------------------------------------------
 
 const EventHistory* Database::history(Oid oid) const {
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = histories_.find(oid);
   return it == histories_.end() ? nullptr : &it->second;
 }

@@ -1,8 +1,11 @@
 #ifndef ODE_ODE_DATABASE_H_
 #define ODE_ODE_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -50,13 +53,15 @@ struct DatabaseOptions {
   CompileOptions compile;
 };
 
-/// Engine statistics (used by tests and benches).
+/// Engine statistics (used by tests and benches). Counters are relaxed
+/// atomics so concurrent shard workers can bump them wait-free; read them
+/// field-wise (the struct itself is not copyable).
 struct DatabaseStats {
-  uint64_t events_posted = 0;
-  uint64_t triggers_fired = 0;
-  uint64_t mask_evaluations = 0;
-  uint64_t tcomplete_rounds = 0;
-  uint64_t system_txns = 0;
+  std::atomic<uint64_t> events_posted{0};
+  std::atomic<uint64_t> triggers_fired{0};
+  std::atomic<uint64_t> mask_evaluations{0};
+  std::atomic<uint64_t> tcomplete_rounds{0};
+  std::atomic<uint64_t> system_txns{0};
 };
 
 /// The Ode-like active object database (§2): persistent objects with
@@ -64,9 +69,19 @@ struct DatabaseStats {
 /// undo-based atomicity and object-level locking, a virtual clock, and the
 /// event-posting pipeline that drives trigger automata (§5).
 ///
-/// Single-threaded by design: concurrency is modeled by interleaving
-/// transactions cooperatively; lock conflicts surface as
-/// kWouldBlock/kDeadlock statuses.
+/// Concurrency is modeled by interleaving transactions cooperatively; lock
+/// conflicts surface as kWouldBlock/kDeadlock statuses.
+///
+/// Thread model (the substrate for runtime/IngestRuntime): the database is
+/// *thread-compatible under object-sharding*. Concurrent transactions may
+/// run on disjoint object sets — per-object state (attributes, trigger
+/// slots, histories, sequence numbers) is single-writer, while the shared
+/// structures (object registry, oid allocation, txn manager, lock table,
+/// timer table, stats) are internally synchronized. Out of scope for
+/// concurrent use, and to be serialized by the caller (drain the runtime
+/// first): schema registration, class-scope trigger (de)activation, clock
+/// advancement, persistence, and any cross-shard object access from
+/// trigger actions. See docs/RUNTIME.md for the sharding argument.
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -133,15 +148,18 @@ class Database {
                   const std::map<std::string, Value>& init = {});
   /// Posts `before delete`, then removes the object.
   Status Delete(TxnId txn, Oid oid);
-  bool Exists(Oid oid) const { return objects_.count(oid) > 0; }
+  bool Exists(Oid oid) const;
   const Object* object(Oid oid) const;
 
   /// Invokes a public member function: acquires the lock, posts the
   /// §3.1 events around the body per the class's posting policy, runs the
   /// body. Returns the method result. kAborted when a trigger aborted the
   /// transaction (the abort has already been performed).
+  /// `triggers_fired`, when non-null, accumulates the number of trigger
+  /// firings caused by this invocation's postings (runtime/ shard metrics).
   Result<Value> Call(TxnId txn, Oid oid, std::string_view method,
-                     std::vector<Value> args = {});
+                     std::vector<Value> args = {},
+                     int* triggers_fired = nullptr);
 
   /// Transactional attribute access. These do *not* post events — the
   /// paper's object-state events exist only at public-member-function
@@ -248,10 +266,14 @@ class Database {
 
   // --- Engine-internal helpers (TriggerEngine is a friend) -----------------
   Result<Object*> GetObject(Oid oid);
-  uint64_t NextSeq(Oid oid) { return ++seq_counters_[oid]; }
+  uint64_t NextSeq(Oid oid);
   void RecordHistory(const PostedEvent& event);
-  void BumpEventsPosted() { ++stats_.events_posted; }
-  void BumpMaskEvaluations() { ++stats_.mask_evaluations; }
+  void BumpEventsPosted() {
+    stats_.events_posted.fetch_add(1, std::memory_order_relaxed);
+  }
+  void BumpMaskEvaluations() {
+    stats_.mask_evaluations.fetch_add(1, std::memory_order_relaxed);
+  }
   void BumpTriggersFired(Oid oid, const std::string& trigger_name);
   void BumpClassTriggersFired(ClassId cls, const std::string& trigger_name);
   /// Class-scope trigger slots for the engine's posting loop (null when the
@@ -285,8 +307,15 @@ class Database {
 
   DatabaseOptions options_;
   ClassRegistry classes_;
+
+  /// Guards the object registry *structure* (insert/erase/find on
+  /// `objects_`) and oid allocation. Object *contents* are single-writer
+  /// per shard; std::map node stability keeps Object pointers valid across
+  /// unrelated inserts/erases.
+  mutable std::shared_mutex objects_mu_;
   std::map<Oid, Object> objects_;
   uint64_t next_oid_ = 1;
+
   Oid schema_oid_;  ///< Null until EnableSchemaEvents.
   std::vector<std::string> pending_schema_triggers_;
 
@@ -296,6 +325,10 @@ class Database {
   ActionRegistry actions_;
   std::map<std::string, HostFn, std::less<>> host_fns_;
 
+  /// Guards the *structure* of the per-object bookkeeping maps below
+  /// (first-touch insert vs. concurrent find); entry values are
+  /// single-writer per shard, like object contents.
+  mutable std::shared_mutex aux_mu_;
   std::map<Oid, EventHistory> histories_;
   std::map<Oid, uint64_t> seq_counters_;
   std::map<std::pair<uint64_t, std::string>, uint64_t> fire_counts_;

@@ -286,11 +286,19 @@ Status Database::LoadSnapshot(const std::string& path) {
     }
   }
 
-  objects_ = std::move(objects);
-  next_oid_ = next_oid;
-  histories_.clear();
-  seq_counters_.clear();
-  fire_counts_.clear();
+  // Persistence requires a quiesced database (no concurrent ingestion);
+  // the locks here only keep lock-order discipline consistent.
+  {
+    std::unique_lock<std::shared_mutex> lock(objects_mu_);
+    objects_ = std::move(objects);
+    next_oid_ = next_oid;
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(aux_mu_);
+    histories_.clear();
+    seq_counters_.clear();
+    fire_counts_.clear();
+  }
   ODE_RETURN_IF_ERROR(clock_.ImportTimers(std::move(timers), clock_now));
   return Status::OK();
 }

@@ -1,0 +1,97 @@
+#ifndef ODE_RUNTIME_EVENT_QUEUE_H_
+#define ODE_RUNTIME_EVENT_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ode {
+namespace runtime {
+
+/// What a shard's ingest queue carries: one method invocation destined for
+/// one object. The §5 pipeline turns it into the full event set around the
+/// call (before/after f, access, read/update) inside the worker's
+/// transaction.
+struct IngestEvent {
+  Oid oid;
+  std::string method;
+  std::vector<Value> args;
+  /// Steady-clock nanoseconds at enqueue (latency histogram); 0 when
+  /// latency recording is off.
+  uint64_t enqueue_ns = 0;
+};
+
+/// What a full queue does to a new event (per shard, set at runtime
+/// construction):
+///  * kBlock      — the posting thread waits for space (lossless, the
+///                  default; producers inherit the consumer's pace).
+///  * kDropNewest — the new event is discarded and counted (lossy but
+///                  non-blocking; telemetry-style workloads).
+///  * kReject     — Post returns kWouldBlock and the caller decides
+///                  (shed-load-at-the-edge policy).
+enum class BackpressurePolicy { kBlock, kDropNewest, kReject };
+
+const char* BackpressurePolicyName(BackpressurePolicy policy);
+
+/// A bounded multi-producer single-consumer FIFO: a fixed ring buffer under
+/// one mutex with separate producer/consumer condition variables. Per-object
+/// event order is inherited from FIFO order — every event for an object
+/// lands in the same shard queue, so the single consumer replays each
+/// object's posts in arrival order (the property that keeps object-id
+/// sharding faithful to the paper's per-object histories).
+class EventQueue {
+ public:
+  enum class PushResult { kOk, kFull, kClosed };
+
+  explicit EventQueue(size_t capacity);
+
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Blocks while the queue is full. kClosed if Close() ran first.
+  PushResult Push(IngestEvent event);
+
+  /// Never blocks: kFull when at capacity.
+  PushResult TryPush(IngestEvent event);
+
+  /// Blocks up to `timeout` for space.
+  PushResult PushFor(IngestEvent event, std::chrono::milliseconds timeout);
+
+  /// Dequeues up to `max_events` in FIFO order into `*out` (appended).
+  /// Blocks until at least one event is available or the queue is closed
+  /// and empty; returns the number appended (0 only at shutdown).
+  size_t PopBatch(std::vector<IngestEvent>* out, size_t max_events);
+
+  /// No further pushes succeed; the consumer drains what remains.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Maximum queue depth ever observed (after a push).
+  size_t high_water() const;
+
+ private:
+  PushResult PushLocked(std::unique_lock<std::mutex>& lock,
+                        IngestEvent&& event);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   ///< Producers wait for space.
+  std::condition_variable not_empty_;  ///< The consumer waits for events.
+  std::vector<IngestEvent> ring_;      ///< Fixed storage, size == capacity_.
+  size_t head_ = 0;                    ///< Index of the oldest event.
+  size_t count_ = 0;                   ///< Events currently queued.
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace runtime
+}  // namespace ode
+
+#endif  // ODE_RUNTIME_EVENT_QUEUE_H_

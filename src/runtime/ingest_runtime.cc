@@ -1,0 +1,91 @@
+#include "runtime/ingest_runtime.h"
+
+#include <utility>
+
+#include "ode/database.h"
+
+namespace ode {
+namespace runtime {
+
+IngestRuntime::IngestRuntime(Database* db, IngestOptions options)
+    : db_(db), options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.max_batch == 0) options_.max_batch = 1;
+}
+
+IngestRuntime::~IngestRuntime() { (void)Stop(); }
+
+Status IngestRuntime::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("ingest runtime cannot be restarted");
+  }
+  started_ = true;
+  Shard::Options shard_options;
+  shard_options.queue_capacity = options_.queue_capacity;
+  shard_options.max_batch = options_.max_batch;
+  shard_options.backpressure = options_.backpressure;
+  shard_options.error_policy = options_.error_policy;
+  shard_options.dead_letter = options_.dead_letter;
+  shard_options.record_latency = options_.record_latency;
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, db_, shard_options));
+  }
+  for (auto& shard : shards_) shard->Start();
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+Status IngestRuntime::Post(Oid oid, std::string method,
+                           std::vector<Value> args) {
+  if (!running()) {
+    return Status::FailedPrecondition("ingest runtime is not running");
+  }
+  IngestEvent event;
+  event.oid = oid;
+  event.method = std::move(method);
+  event.args = std::move(args);
+  return shards_[ShardOf(oid)]->Enqueue(std::move(event));
+}
+
+Status IngestRuntime::Drain() {
+  if (!running()) {
+    return Status::FailedPrecondition("ingest runtime is not running");
+  }
+  for (auto& shard : shards_) shard->WaitDrained();
+  // All workers are parked on their queues here (nothing mid-commit, as
+  // long as producers honour the barrier contract), so reclaiming
+  // finished transaction records is safe.
+  if (options_.gc_finished_txns_on_drain) db_->txns().GarbageCollect();
+  return Status::OK();
+}
+
+Status IngestRuntime::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
+  for (auto& shard : shards_) shard->Stop();
+  return Status::OK();
+}
+
+size_t IngestRuntime::ShardOf(Oid oid) const {
+  // splitmix64 finalizer: spreads sequential oids across shards.
+  uint64_t x = oid.id + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % options_.num_shards);
+}
+
+RuntimeMetricsSnapshot IngestRuntime::Metrics() const {
+  RuntimeMetricsSnapshot snapshot;
+  snapshot.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    snapshot.shards.push_back(shard->MetricsSnapshot());
+    snapshot.shards.back().AddInto(&snapshot.total);
+  }
+  return snapshot;
+}
+
+}  // namespace runtime
+}  // namespace ode

@@ -1,0 +1,118 @@
+#ifndef ODE_RUNTIME_INGEST_RUNTIME_H_
+#define ODE_RUNTIME_INGEST_RUNTIME_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "runtime/event_queue.h"
+#include "runtime/metrics.h"
+#include "runtime/shard.h"
+
+namespace ode {
+
+class Database;
+
+namespace runtime {
+
+/// Configuration for IngestRuntime. Defaults are sensible for tests; the
+/// bench sweeps num_shards and max_batch.
+struct IngestOptions {
+  /// Worker shards. Events are routed by object-id hash, so all events for
+  /// one object always land in the same shard (preserving per-object
+  /// order). Clamped to >= 1.
+  size_t num_shards = 4;
+  /// Per-shard queue capacity (events).
+  size_t queue_capacity = 1024;
+  /// Maximum events drained into one worker transaction.
+  size_t max_batch = 64;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  ErrorPolicy error_policy;
+  /// Receives events whose retries are exhausted (or that failed
+  /// non-retryably). Runs on the owning shard's worker thread.
+  DeadLetterFn dead_letter;
+  /// Stamp events at Post and feed the enqueue→commit latency histogram.
+  bool record_latency = true;
+  /// Reclaim finished transaction records at each Drain() barrier — the
+  /// one point where no worker can be mid-commit. Keeps long runs from
+  /// accumulating one Transaction record per event.
+  bool gc_finished_txns_on_drain = true;
+};
+
+/// Sharded concurrent event-ingestion front end over a Database.
+///
+/// Concurrency model: the paper's per-object event histories (§3–§5) make
+/// events on *different* objects commute — each object's automata consume
+/// only that object's events. Routing by object-id hash therefore
+/// preserves semantics exactly: one shard owns an object's entire event
+/// stream, its FIFO queue plus single consumer replay the stream in
+/// arrival order, and per-object trigger evaluation is single-threaded by
+/// construction. Shared substrate structures (object table, lock table,
+/// transaction table, counters) are internally synchronized.
+///
+/// What the caller must still serialize externally (see docs/RUNTIME.md):
+/// schema registration, class-scope trigger (de)activation, virtual-clock
+/// advancement, and persistence — do these before Start() or after a
+/// Drain() with producers quiesced.
+///
+/// Typical use:
+///
+///   IngestRuntime rt(&db, {.num_shards = 4, .max_batch = 64});
+///   ODE_RETURN_IF_ERROR(rt.Start());
+///   for (...) ODE_RETURN_IF_ERROR(rt.Post(oid, "deposit", {Value::Int(5)}));
+///   ODE_RETURN_IF_ERROR(rt.Drain());   // barrier: all posts processed
+///   ODE_RETURN_IF_ERROR(rt.Stop());    // graceful: drains, joins workers
+class IngestRuntime {
+ public:
+  explicit IngestRuntime(Database* db, IngestOptions options = {});
+  ~IngestRuntime();  ///< Stops if still running.
+
+  IngestRuntime(const IngestRuntime&) = delete;
+  IngestRuntime& operator=(const IngestRuntime&) = delete;
+
+  /// Creates the shards and launches their workers. A runtime can be
+  /// started once; kFailedPrecondition on a second Start.
+  Status Start();
+
+  /// Queues one method invocation for `oid`. Thread-safe; any number of
+  /// producer threads may post concurrently. The outcome under a full
+  /// queue depends on the backpressure policy (see BackpressurePolicy).
+  /// kFailedPrecondition when the runtime is not running.
+  Status Post(Oid oid, std::string method, std::vector<Value> args = {});
+
+  /// Barrier: returns once every event posted before the call has been
+  /// processed (committed or dead-lettered). Callers must quiesce
+  /// producers for the barrier to be meaningful.
+  Status Drain();
+
+  /// Graceful shutdown: closes the queues (pending events are still
+  /// processed), joins all workers. Idempotent; Post fails afterwards.
+  Status Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  size_t num_shards() const { return options_.num_shards; }
+  const IngestOptions& options() const { return options_; }
+
+  /// Which shard owns `oid` (splitmix64 finalizer over the raw id, so
+  /// sequentially-allocated oids spread evenly).
+  size_t ShardOf(Oid oid) const;
+
+  /// Aggregated + per-shard counter snapshot.
+  RuntimeMetricsSnapshot Metrics() const;
+
+ private:
+  Database* const db_;
+  IngestOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+};
+
+}  // namespace runtime
+}  // namespace ode
+
+#endif  // ODE_RUNTIME_INGEST_RUNTIME_H_

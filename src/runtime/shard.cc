@@ -1,0 +1,185 @@
+#include "runtime/shard.h"
+
+#include <utility>
+
+#include "ode/database.h"
+
+namespace ode {
+namespace runtime {
+
+Shard::Shard(size_t index, Database* db, Options options)
+    : index_(index),
+      db_(db),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity) {}
+
+Shard::~Shard() { Stop(); }
+
+void Shard::Start() {
+  if (worker_.joinable()) return;
+  worker_ = std::thread([this] { Run(); });
+}
+
+void Shard::Stop() {
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+Status Shard::Enqueue(IngestEvent event) {
+  if (options_.record_latency) event.enqueue_ns = NowNs();
+  EventQueue::PushResult result = EventQueue::PushResult::kOk;
+  switch (options_.backpressure) {
+    case BackpressurePolicy::kBlock:
+      result = queue_.Push(std::move(event));
+      break;
+    case BackpressurePolicy::kDropNewest:
+      result = queue_.TryPush(std::move(event));
+      if (result == EventQueue::PushResult::kFull) {
+        metrics_.RecordDrop();
+        return Status::OK();
+      }
+      break;
+    case BackpressurePolicy::kReject:
+      result = queue_.TryPush(std::move(event));
+      if (result == EventQueue::PushResult::kFull) {
+        metrics_.RecordReject();
+        return Status::WouldBlock("shard queue full");
+      }
+      break;
+  }
+  if (result == EventQueue::PushResult::kClosed) {
+    return Status::FailedPrecondition("shard is stopped");
+  }
+  metrics_.RecordEnqueue();
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  ++enqueued_;
+  return Status::OK();
+}
+
+void Shard::WaitDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  const uint64_t target = enqueued_;
+  drain_cv_.wait(lock, [&] { return completed_ >= target; });
+}
+
+ShardMetricsSnapshot Shard::MetricsSnapshot() const {
+  metrics_.UpdateQueueHighWater(queue_.high_water());
+  return metrics_.Snapshot();
+}
+
+void Shard::Run() {
+  std::vector<IngestEvent> batch;
+  batch.reserve(options_.max_batch);
+  while (true) {
+    batch.clear();
+    size_t n = queue_.PopBatch(&batch, options_.max_batch);
+    if (n == 0) break;  // Closed and fully drained.
+    ProcessBatch(batch);
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    completed_ += n;
+    drain_cv_.notify_all();
+  }
+}
+
+void Shard::ProcessBatch(const std::vector<IngestEvent>& batch) {
+  metrics_.RecordBatch(batch.size());
+  Status status = RunBatch(batch);
+  if (!status.ok()) {
+    metrics_.RecordAbort();
+    // The batch transaction rolled back as a unit, so replaying every
+    // event individually is exactly-once: nothing from the failed attempt
+    // survived.
+    for (const IngestEvent& event : batch) ProcessOne(event);
+  }
+  metrics_.RecordProcessed(batch.size());
+  if (options_.record_latency) {
+    const uint64_t now = NowNs();
+    for (const IngestEvent& event : batch) {
+      if (event.enqueue_ns == 0) continue;
+      const uint64_t ns = now > event.enqueue_ns ? now - event.enqueue_ns : 0;
+      metrics_.RecordLatencyUs(ns / 1000);
+    }
+  }
+}
+
+Status Shard::RunBatch(const std::vector<IngestEvent>& batch) {
+  Result<TxnId> txn = db_->Begin();
+  if (!txn.ok()) return txn.status();
+  int fired = 0;
+  for (const IngestEvent& event : batch) {
+    Result<Value> r = db_->Call(*txn, event.oid, event.method, event.args,
+                                &fired);
+    if (!r.ok()) {
+      // kAborted means Call already rolled the transaction back; anything
+      // else leaves it active and we must clean up ourselves.
+      if (r.status().code() != StatusCode::kAborted) (void)db_->Abort(*txn);
+      return r.status();
+    }
+  }
+  Status committed = db_->Commit(*txn);
+  if (!committed.ok()) {
+    if (committed.code() != StatusCode::kAborted) (void)db_->Abort(*txn);
+    return committed;
+  }
+  metrics_.RecordFired(static_cast<uint64_t>(fired));
+  return Status::OK();
+}
+
+void Shard::ProcessOne(const IngestEvent& event) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.error_policy.max_retries;
+       ++attempt) {
+    if (attempt > 0) {
+      metrics_.RecordRetry();
+      const int shift = attempt - 1 < 10 ? attempt - 1 : 10;
+      std::this_thread::sleep_for(options_.error_policy.initial_backoff *
+                                  (1 << shift));
+    }
+    last = TryOne(event);
+    if (last.ok()) return;
+    metrics_.RecordAbort();
+    if (!IsRetryable(last)) break;
+  }
+  DeadLetter(event, last);
+}
+
+Status Shard::TryOne(const IngestEvent& event) {
+  Result<TxnId> txn = db_->Begin();
+  if (!txn.ok()) return txn.status();
+  int fired = 0;
+  Result<Value> r =
+      db_->Call(*txn, event.oid, event.method, event.args, &fired);
+  Status status = r.ok() ? db_->Commit(*txn) : r.status();
+  if (!status.ok()) {
+    if (status.code() != StatusCode::kAborted) (void)db_->Abort(*txn);
+    return status;
+  }
+  metrics_.RecordFired(static_cast<uint64_t>(fired));
+  return Status::OK();
+}
+
+void Shard::DeadLetter(const IngestEvent& event, const Status& status) {
+  metrics_.RecordDeadLetter();
+  if (options_.dead_letter) options_.dead_letter(event, status);
+}
+
+bool Shard::IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kAborted:
+    case StatusCode::kWouldBlock:
+    case StatusCode::kDeadlock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint64_t Shard::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace runtime
+}  // namespace ode

@@ -1,0 +1,124 @@
+#ifndef ODE_RUNTIME_SHARD_H_
+#define ODE_RUNTIME_SHARD_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/event_queue.h"
+#include "runtime/metrics.h"
+
+namespace ode {
+
+class Database;
+
+namespace runtime {
+
+/// Invoked (on the shard's worker thread) for every event the shard gives
+/// up on: retries exhausted or a non-retryable failure. The status is the
+/// last failure. The hook must not post back into the runtime for the same
+/// shard synchronously via a blocking path (it runs on the consumer).
+using DeadLetterFn =
+    std::function<void(const IngestEvent& event, const Status& status)>;
+
+/// How a shard worker responds to a failed event transaction. Retryable
+/// failures (kAborted, kWouldBlock, kDeadlock) are retried with doubling
+/// backoff up to `max_retries` extra attempts; everything else (unknown
+/// object, bad method, arity mismatch) is dead-lettered immediately.
+struct ErrorPolicy {
+  int max_retries = 3;
+  std::chrono::microseconds initial_backoff{50};
+};
+
+/// One ingest shard: a bounded MPSC queue plus the single worker thread
+/// that drains it. Exactly one shard owns any given object (the runtime
+/// routes by object-id hash), so the worker is the only thread mutating
+/// that object's automaton state and attributes — the substrate's
+/// object-sharding thread model.
+///
+/// The worker drains up to `max_batch` events per wakeup and runs the
+/// whole batch inside one transaction (amortising Begin/Commit and the
+/// commit-time event postings over the batch). If the batch transaction
+/// fails, the rollback is total, so the worker replays the same events
+/// individually — each in its own transaction under the ErrorPolicy —
+/// which keeps one poison event from discarding its neighbours.
+class Shard {
+ public:
+  struct Options {
+    size_t queue_capacity = 1024;
+    size_t max_batch = 64;
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    ErrorPolicy error_policy;
+    DeadLetterFn dead_letter;  ///< May be null (drops are still counted).
+    bool record_latency = true;
+  };
+
+  Shard(size_t index, Database* db, Options options);
+  ~Shard();  ///< Stops (close + join) if still running.
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  /// Launches the worker thread. Idempotent.
+  void Start();
+
+  /// Applies the backpressure policy and queues the event.
+  ///  * kBlock       — waits for space; always OK while running.
+  ///  * kDropNewest  — OK even when full; the event is counted and dropped.
+  ///  * kReject      — kWouldBlock when full; the caller decides.
+  /// kFailedPrecondition after Stop().
+  Status Enqueue(IngestEvent event);
+
+  /// Blocks until every event enqueued before this call has been processed
+  /// (committed or dead-lettered). Barrier semantics only hold if no
+  /// producer posts to this shard concurrently with the wait.
+  void WaitDrained();
+
+  /// Closes the queue (subsequent Enqueues fail), drains what remains, and
+  /// joins the worker. Idempotent.
+  void Stop();
+
+  size_t index() const { return index_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+  /// Counter snapshot, including the queue's depth high-water mark.
+  ShardMetricsSnapshot MetricsSnapshot() const;
+
+ private:
+  void Run();  ///< Worker loop: PopBatch → ProcessBatch until closed+empty.
+  void ProcessBatch(const std::vector<IngestEvent>& batch);
+  /// One transaction around the whole batch.
+  Status RunBatch(const std::vector<IngestEvent>& batch);
+  /// Retry loop for a single event, ending in success or dead-letter.
+  void ProcessOne(const IngestEvent& event);
+  /// One transaction around a single event.
+  Status TryOne(const IngestEvent& event);
+  void DeadLetter(const IngestEvent& event, const Status& status);
+
+  static bool IsRetryable(const Status& status);
+  static uint64_t NowNs();
+
+  const size_t index_;
+  Database* const db_;
+  const Options options_;
+  EventQueue queue_;
+  mutable ShardMetrics metrics_;
+  std::thread worker_;
+
+  // Drain barrier: enqueued_ counts events accepted into the queue,
+  // completed_ counts events fully processed. Both under drain_mu_.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t enqueued_ = 0;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace runtime
+}  // namespace ode
+
+#endif  // ODE_RUNTIME_SHARD_H_

@@ -6,6 +6,8 @@
 
 namespace ode {
 
+thread_local int TriggerEngine::depth_ = 0;
+
 namespace {
 
 /// Mask-evaluation environment bound to one posting (§3.2): identifiers

@@ -47,6 +47,9 @@ class TriggerEngine {
   Result<int> PostTime(Transaction* txn, Oid oid, const std::string& time_key,
                        TimeMs fire_time);
 
+  /// Current recursive posting depth on the calling thread. Depth is
+  /// thread-local: each shard worker's action cascade is its own call
+  /// chain, so the §5 depth bound applies per thread.
   int depth() const { return depth_; }
 
  private:
@@ -78,7 +81,7 @@ class TriggerEngine {
                          const RegisteredClass* cls);
 
   Database* db_;
-  int depth_ = 0;
+  static thread_local int depth_;
 };
 
 }  // namespace ode

@@ -5,6 +5,7 @@
 namespace ode {
 
 Status LockManager::Acquire(TxnId txn, Oid oid, LockMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
   Entry& entry = table_[oid];
 
   auto self = entry.holders.find(txn);
@@ -70,6 +71,7 @@ bool LockManager::WouldDeadlock(TxnId waiter,
 }
 
 void LockManager::Release(TxnId txn) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = table_.begin(); it != table_.end();) {
     it->second.holders.erase(txn);
     if (it->second.holders.empty()) {
@@ -86,6 +88,7 @@ void LockManager::Release(TxnId txn) {
 }
 
 bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(oid);
   if (it == table_.end()) return false;
   auto holder = it->second.holders.find(txn);
@@ -95,6 +98,7 @@ bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
 }
 
 std::vector<TxnId> LockManager::HoldersOf(Oid oid) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<TxnId> out;
   auto it = table_.find(oid);
   if (it == table_.end()) return out;
@@ -104,6 +108,7 @@ std::vector<TxnId> LockManager::HoldersOf(Oid oid) const {
 }
 
 std::vector<Oid> LockManager::ObjectsLockedBy(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Oid> out;
   for (const auto& [oid, entry] : table_) {
     if (entry.holders.count(txn) > 0) out.push_back(oid);

@@ -2,6 +2,7 @@
 #define ODE_TXN_LOCK_MANAGER_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -23,6 +24,10 @@ enum class LockMode : uint8_t { kShared = 0, kExclusive };
 /// kWouldBlock (the caller may retry after the holder finishes) or
 /// kDeadlock when waiting would close a cycle in the wait-for graph; the
 /// caller is expected to abort the transaction in that case.
+///
+/// Thread-safe: shard workers acquire/release concurrently; one mutex
+/// guards the lock table and wait-for graph (critical sections are map
+/// operations, never user code).
 class LockManager {
  public:
   /// Acquires (or upgrades) a lock. Outcomes:
@@ -44,8 +49,14 @@ class LockManager {
   std::vector<Oid> ObjectsLockedBy(TxnId txn) const;
 
   /// Diagnostic counters.
-  size_t num_locked_objects() const { return table_.size(); }
-  size_t deadlocks_detected() const { return deadlocks_; }
+  size_t num_locked_objects() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return table_.size();
+  }
+  size_t deadlocks_detected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return deadlocks_;
+  }
 
  private:
   struct Entry {
@@ -56,6 +67,7 @@ class LockManager {
   /// cycle back to txn?
   bool WouldDeadlock(TxnId waiter, const std::set<TxnId>& holders) const;
 
+  mutable std::mutex mu_;
   std::map<Oid, Entry> table_;
   std::map<TxnId, std::set<TxnId>> waits_for_;
   size_t deadlocks_ = 0;

@@ -20,17 +20,20 @@ bool Transaction::RecordAccess(Oid oid) {
 }
 
 Transaction* TxnManager::Begin(bool is_system) {
+  std::lock_guard<std::mutex> lock(mu_);
   TxnId id = next_++;
-  auto [it, inserted] = live_.emplace(id, Transaction(id, is_system));
+  auto [it, inserted] = live_.try_emplace(id, id, is_system);
   return &it->second;
 }
 
 Transaction* TxnManager::Get(TxnId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(id);
   return it == live_.end() ? nullptr : &it->second;
 }
 
 const Transaction* TxnManager::Get(TxnId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(id);
   return it == live_.end() ? nullptr : &it->second;
 }
@@ -52,6 +55,7 @@ Result<Transaction*> TxnManager::GetActive(TxnId id) {
 }
 
 void TxnManager::GarbageCollect() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = live_.begin(); it != live_.end();) {
     if (it->second.state() != TxnState::kActive) {
       it = live_.erase(it);

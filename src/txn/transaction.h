@@ -1,7 +1,9 @@
 #ifndef ODE_TXN_TRANSACTION_H_
 #define ODE_TXN_TRANSACTION_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -44,14 +46,18 @@ struct UndoEntry {
 
 /// Bookkeeping for one transaction. Lifecycle (begin / tcomplete fixpoint /
 /// commit / abort) is orchestrated by Database; this is the record.
+///
+/// Thread model: every field is owned by the thread running the transaction,
+/// except `state_`, which other threads read when checking commit
+/// dependencies — hence the atomic.
 class Transaction {
  public:
   Transaction(TxnId id, bool is_system) : id_(id), system_(is_system) {}
 
   TxnId id() const { return id_; }
   bool is_system() const { return system_; }
-  TxnState state() const { return state_; }
-  void set_state(TxnState s) { state_ = s; }
+  TxnState state() const { return state_.load(std::memory_order_acquire); }
+  void set_state(TxnState s) { state_.store(s, std::memory_order_release); }
 
   /// Set while the abort sequence runs: `before tabort` actions still see
   /// an active transaction (their writes are undo-logged and then rolled
@@ -80,7 +86,7 @@ class Transaction {
  private:
   TxnId id_;
   bool system_;
-  TxnState state_ = TxnState::kActive;
+  std::atomic<TxnState> state_{TxnState::kActive};
   bool aborting_ = false;
   std::vector<Oid> accessed_;
   std::set<Oid> accessed_set_;
@@ -89,6 +95,11 @@ class Transaction {
 };
 
 /// Allocates transaction ids and stores live/finished transactions.
+///
+/// Thread-safe: shard workers begin/commit transactions concurrently. The
+/// mutex guards id allocation and the `live_` map structure; returned
+/// Transaction pointers stay valid (std::map nodes are stable) and are
+/// owned by the beginning thread until GarbageCollect.
 class TxnManager {
  public:
   Transaction* Begin(bool is_system = false);
@@ -98,21 +109,30 @@ class TxnManager {
   /// Fails unless the transaction exists and is active.
   Result<Transaction*> GetActive(TxnId id);
 
-  size_t num_begun() const { return next_ - 1; }
-  size_t num_committed() const { return committed_; }
-  size_t num_aborted() const { return aborted_; }
-  void CountCommit() { ++committed_; }
-  void CountAbort() { ++aborted_; }
+  size_t num_begun() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_ - 1;
+  }
+  size_t num_committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  size_t num_aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+  void CountCommit() { committed_.fetch_add(1, std::memory_order_relaxed); }
+  void CountAbort() { aborted_.fetch_add(1, std::memory_order_relaxed); }
 
   /// Drops finished transactions' records (tests keep them around for
-  /// inspection; long benches call this to bound memory).
+  /// inspection; long benches call this to bound memory). Callers must not
+  /// hold pointers to finished transactions across this call.
   void GarbageCollect();
 
  private:
+  mutable std::mutex mu_;
   TxnId next_ = 1;
   std::map<TxnId, Transaction> live_;
-  size_t committed_ = 0;
-  size_t aborted_ = 0;
+  std::atomic<size_t> committed_{0};
+  std::atomic<size_t> aborted_{0};
 };
 
 }  // namespace ode
