@@ -1,6 +1,8 @@
 #include "ode/database.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/strutil.h"
 #include "trigger/trigger_engine.h"
@@ -235,12 +237,30 @@ Status Database::AddCommitDependency(TxnId txn_id, TxnId dep) {
   return Status::OK();
 }
 
-Status Database::Commit(TxnId txn_id) {
+Status Database::Commit(TxnId txn_id, CommitOutcome* outcome) {
+  if (outcome != nullptr) *outcome = CommitOutcome::kNotCommitted;
   ODE_ASSIGN_OR_RETURN(Transaction * txn, txns_.GetActive(txn_id));
-  return CommitInternal(txn);
+  return CommitInternal(txn, outcome);
 }
 
-Status Database::CommitInternal(Transaction* txn) {
+bool Database::AcquireEpilogueLock(TxnId sys, Oid oid) {
+  // Conflicting holders under multi-shard ingestion are worker
+  // transactions, which finish in well under the ~50ms bound: spin with a
+  // small sleep. A hold-out past the bound is a cooperative caller keeping
+  // a transaction open across this commit (the legacy single-threaded
+  // model, where posting unlocked is safe) — don't hang or fail on it.
+  constexpr int kMaxAttempts = 1000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    Status s = locks_.Acquire(sys, oid, LockMode::kExclusive);
+    if (s.ok()) return true;
+    if (s.code() != StatusCode::kWouldBlock) return false;  // kDeadlock.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  return false;
+}
+
+Status Database::CommitInternal(Transaction* txn, CommitOutcome* outcome) {
+  if (outcome != nullptr) *outcome = CommitOutcome::kNotCommitted;
   // Commit dependencies (§7): wait for dependees; abort if any aborted.
   for (TxnId dep : txn->commit_deps()) {
     const Transaction* t = txns_.Get(dep);
@@ -290,19 +310,32 @@ Status Database::CommitInternal(Transaction* txn) {
   txn->set_state(TxnState::kCommitted);
   txns_.CountCommit();
   locks_.Release(committed_id);
+  if (outcome != nullptr) *outcome = CommitOutcome::kCommitted;
 
   // `after tcommit` events are posted by a system transaction (§5); any
-  // actions they fire execute as part of that transaction.
-  return RunSystemTxn([&](Transaction* sys) -> Status {
+  // actions they fire execute as part of that transaction. The system
+  // transaction re-acquires each object's lock before posting to it —
+  // releasing the user locks above may have handed an accessed object to
+  // another shard's worker, and posting advances its trigger slots.
+  Status epilogue = RunSystemTxn([&](Transaction* sys) -> Status {
     for (Oid oid : accessed) {
       if (!Exists(oid)) continue;
+      const bool locked = AcquireEpilogueLock(sys->id(), oid);
       PostedEvent e = MakePosted(BasicEventKind::kTcommit,
                                  EventQualifier::kAfter, committed_id);
       Result<int> f = engine_->Post(sys, oid, std::move(e));
+      // Release per object so concurrent epilogues never hold two locks
+      // (no lock-order cycles between them); actions keep their own locks
+      // until the system transaction finishes.
+      if (locked) locks_.Release(sys->id(), oid);
       if (!f.ok()) return f.status();
     }
     return Status::OK();
   });
+  if (!epilogue.ok() && outcome != nullptr) {
+    *outcome = CommitOutcome::kEpilogueFailed;
+  }
+  return epilogue;
 }
 
 Status Database::Abort(TxnId txn_id) {
@@ -342,13 +375,16 @@ Status Database::AbortInternal(Transaction* txn) {
   txns_.CountAbort();
   locks_.Release(aborted_id);
 
-  // `after tabort` via system transaction (§5).
+  // `after tabort` via system transaction (§5), re-locking each object
+  // before posting (see the commit epilogue for why).
   return RunSystemTxn([&](Transaction* sys) -> Status {
     for (Oid oid : accessed) {
       if (!Exists(oid)) continue;
+      const bool locked = AcquireEpilogueLock(sys->id(), oid);
       PostedEvent e = MakePosted(BasicEventKind::kTabort,
                                  EventQualifier::kAfter, aborted_id);
       Result<int> f = engine_->Post(sys, oid, std::move(e));
+      if (locked) locks_.Release(sys->id(), oid);
       if (!f.ok()) return f.status();
     }
     return Status::OK();
@@ -917,12 +953,14 @@ void Database::BumpClassTriggersFired(ClassId cls,
     std::shared_lock<std::shared_mutex> lock(aux_mu_);
     auto it = class_fire_counts_.find(key);
     if (it != class_fire_counts_.end()) {
-      ++it->second;
+      // Atomic: class triggers fire from any shard worker, so unlike the
+      // per-object counters there is no single-writer owner.
+      it->second.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
   std::unique_lock<std::shared_mutex> lock(aux_mu_);
-  ++class_fire_counts_[key];
+  class_fire_counts_[key].fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<ActiveTrigger>* Database::ClassSlots(ClassId cls) {
@@ -970,12 +1008,14 @@ Status Database::ActivateClassTrigger(std::string_view class_name,
         params.size()));
   }
 
-  // Class-scope activation is a schema-level operation: it must not run
-  // concurrently with ingestion (the unique lock covers only the slot
-  // vector's structure).
+  // The slot vector's *structure* lives under aux_mu_; its *contents* are
+  // shared mutable state with the engine's posting loop, so mutate them
+  // only under class_post_mu_ — (de)activation is then safe even while
+  // shard workers are posting events to instances of the class.
   std::unique_lock<std::shared_mutex> structure_lock(aux_mu_);
   std::vector<ActiveTrigger>& slots = class_slots_[cls->id];
   structure_lock.unlock();
+  std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
   ActiveTrigger* slot = nullptr;
   for (ActiveTrigger& s : slots) {
     if (s.trigger_idx == idx) slot = &s;
@@ -1005,10 +1045,15 @@ Status Database::DeactivateClassTrigger(std::string_view class_name,
   if (cls == nullptr) return Status::NotFound("unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
-  std::shared_lock<std::shared_mutex> lock(aux_mu_);
-  auto it = class_slots_.find(cls->id);
-  if (it == class_slots_.end()) return Status::OK();
-  for (ActiveTrigger& s : it->second) {
+  std::vector<ActiveTrigger>* slots = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = class_slots_.find(cls->id);
+    if (it == class_slots_.end()) return Status::OK();
+    slots = &it->second;
+  }
+  std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
+  for (ActiveTrigger& s : *slots) {
     if (s.trigger_idx == idx) s.active = false;
   }
   return Status::OK();
@@ -1020,10 +1065,15 @@ Result<bool> Database::ClassTriggerActive(
   if (cls == nullptr) return Status::NotFound("unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
-  std::shared_lock<std::shared_mutex> lock(aux_mu_);
-  auto it = class_slots_.find(cls->id);
-  if (it == class_slots_.end()) return false;
-  for (const ActiveTrigger& s : it->second) {
+  const std::vector<ActiveTrigger>* slots = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = class_slots_.find(cls->id);
+    if (it == class_slots_.end()) return false;
+    slots = &it->second;
+  }
+  std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
+  for (const ActiveTrigger& s : *slots) {
     if (s.trigger_idx == idx) return s.active;
   }
   return false;
@@ -1035,7 +1085,9 @@ uint64_t Database::ClassFireCount(std::string_view class_name,
   if (cls == nullptr) return 0;
   std::shared_lock<std::shared_mutex> lock(aux_mu_);
   auto it = class_fire_counts_.find({cls->id, std::string(trigger_name)});
-  return it == class_fire_counts_.end() ? 0 : it->second;
+  return it == class_fire_counts_.end()
+             ? 0
+             : it->second.load(std::memory_order_relaxed);
 }
 
 // --- Time -------------------------------------------------------------------

@@ -77,11 +77,15 @@ struct DatabaseStats {
 /// run on disjoint object sets — per-object state (attributes, trigger
 /// slots, histories, sequence numbers) is single-writer, while the shared
 /// structures (object registry, oid allocation, txn manager, lock table,
-/// timer table, stats) are internally synchronized. Out of scope for
-/// concurrent use, and to be serialized by the caller (drain the runtime
-/// first): schema registration, class-scope trigger (de)activation, clock
-/// advancement, persistence, and any cross-shard object access from
-/// trigger actions. See docs/RUNTIME.md for the sharding argument.
+/// timer table, stats) are internally synchronized. Class-scope trigger
+/// slots are shared across all instances of a class; their advancement,
+/// firing, and (de)activation serialize on an internal mutex, so active
+/// class triggers are safe under multi-shard ingestion (at the cost of
+/// serializing that class's postings). Out of scope for concurrent use,
+/// and to be serialized by the caller (drain the runtime first): schema
+/// registration, clock advancement, persistence, and any cross-shard
+/// object access from trigger actions. See docs/RUNTIME.md for the
+/// sharding argument.
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -124,11 +128,25 @@ class Database {
   // --- Transactions (§2, §6) ----------------------------------------------
 
   Result<TxnId> Begin();
+
+  /// What Commit did to the user transaction — lets callers distinguish a
+  /// rollback (safe to replay) from a commit whose after-tcommit epilogue
+  /// failed (replaying would double-apply the transaction's effects).
+  enum class CommitOutcome : uint8_t {
+    kNotCommitted,   ///< Rolled back (or never reached the commit point).
+    kCommitted,      ///< Committed; the epilogue ran cleanly.
+    kEpilogueFailed, ///< Committed, but the after-tcommit system
+                     ///< transaction failed (its own effects rolled back).
+  };
+
   /// Runs the `before tcomplete` fixpoint (§6), then commits: releases
   /// locks and posts `after tcommit` to every accessed object from a system
   /// transaction (§5). kAborted if a deferred trigger aborts the
   /// transaction; kWouldBlock if a commit dependency is still active.
-  Status Commit(TxnId txn);
+  /// A non-OK status does NOT always mean the transaction rolled back:
+  /// check `outcome` (kEpilogueFailed = the user transaction committed but
+  /// the epilogue's postings failed non-abortively).
+  Status Commit(TxnId txn, CommitOutcome* outcome = nullptr);
   /// Posts `before tabort`, rolls back every effect (attributes, object
   /// creation/deletion, committed-view trigger states, activations),
   /// releases locks, posts `after tabort` from a system transaction.
@@ -296,7 +314,16 @@ class Database {
   Status RunSystemTxn(const std::function<Status(Transaction*)>& fn);
 
   Status AbortInternal(Transaction* txn);
-  Status CommitInternal(Transaction* txn);
+  Status CommitInternal(Transaction* txn, CommitOutcome* outcome = nullptr);
+
+  /// Acquires an exclusive lock on `oid` for the commit/abort epilogue's
+  /// system transaction, spinning briefly while a (short-lived) shard
+  /// transaction holds the object. Returns false when the lock could not
+  /// be had within the bound — a cooperative single-threaded caller
+  /// keeping a transaction open across this commit — in which case the
+  /// epilogue posts unlocked, the pre-existing (single-thread-safe)
+  /// behavior.
+  bool AcquireEpilogueLock(TxnId sys, Oid oid);
 
   /// Applies one undo entry (reverse order during abort).
   Status ApplyUndo(const UndoEntry& entry);
@@ -333,7 +360,18 @@ class Database {
   std::map<Oid, uint64_t> seq_counters_;
   std::map<std::pair<uint64_t, std::string>, uint64_t> fire_counts_;
   std::map<ClassId, std::vector<ActiveTrigger>> class_slots_;
-  std::map<std::pair<ClassId, std::string>, uint64_t> class_fire_counts_;
+  /// Atomic values: class triggers fire from any shard worker (keyed by
+  /// class, not object), so increments have no single-writer owner.
+  std::map<std::pair<ClassId, std::string>, std::atomic<uint64_t>>
+      class_fire_counts_;
+
+  /// Serializes everything that touches class-scope trigger slots: the
+  /// engine's class-slot advancement/firing in Post (a class slot is
+  /// shared mutable state across all objects of the class, so two shard
+  /// workers posting to different instances would otherwise race on the
+  /// same automaton) and ActivateClassTrigger/DeactivateClassTrigger.
+  /// Recursive because trigger actions may post events re-entrantly.
+  mutable std::recursive_mutex class_post_mu_;
 
   DatabaseStats stats_;
   std::unique_ptr<TriggerEngine> engine_;

@@ -16,10 +16,9 @@ IngestRuntime::IngestRuntime(Database* db, IngestOptions options)
 IngestRuntime::~IngestRuntime() { (void)Stop(); }
 
 Status IngestRuntime::Start() {
-  if (started_) {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
     return Status::FailedPrecondition("ingest runtime cannot be restarted");
   }
-  started_ = true;
   Shard::Options shard_options;
   shard_options.queue_capacity = options_.queue_capacity;
   shard_options.max_batch = options_.max_batch;

@@ -75,7 +75,9 @@ class IngestRuntime {
   IngestRuntime& operator=(const IngestRuntime&) = delete;
 
   /// Creates the shards and launches their workers. A runtime can be
-  /// started once; kFailedPrecondition on a second Start.
+  /// started once; kFailedPrecondition on a second Start. Thread-safe:
+  /// concurrent callers race on an atomic flag, exactly one wins and the
+  /// rest fail without touching the shards.
   Status Start();
 
   /// Queues one method invocation for `oid`. Thread-safe; any number of
@@ -108,8 +110,12 @@ class IngestRuntime {
   Database* const db_;
   IngestOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Post/Drain gate: the release store in Start publishes `shards_` to
+  /// any thread whose acquire load sees true.
   std::atomic<bool> running_{false};
-  bool started_ = false;
+  /// One-shot latch claimed by atomic exchange, so concurrent Start calls
+  /// cannot both build the shard vector.
+  std::atomic<bool> started_{false};
 };
 
 }  // namespace runtime

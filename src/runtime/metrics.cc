@@ -60,6 +60,7 @@ void ShardMetricsSnapshot::AddInto(ShardMetricsSnapshot* total) const {
   total->aborted += aborted;
   total->retried += retried;
   total->dead_lettered += dead_lettered;
+  total->epilogue_failures += epilogue_failures;
   total->batches += batches;
   if (queue_high_water > total->queue_high_water) {
     total->queue_high_water = queue_high_water;
@@ -101,6 +102,7 @@ ShardMetricsSnapshot ShardMetrics::Snapshot() const {
   s.aborted = aborted_.load(std::memory_order_relaxed);
   s.retried = retried_.load(std::memory_order_relaxed);
   s.dead_lettered = dead_lettered_.load(std::memory_order_relaxed);
+  s.epilogue_failures = epilogue_failures_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   for (size_t i = 0; i < kBatchHistBuckets; ++i) {
@@ -118,7 +120,7 @@ std::string RuntimeMetricsSnapshot::ToString() const {
       "ingest runtime: %zu shard(s)\n"
       "  enqueued=%llu processed=%llu fired=%llu\n"
       "  dropped=%llu rejected=%llu aborted=%llu retried=%llu "
-      "dead_lettered=%llu\n"
+      "dead_lettered=%llu epilogue_failures=%llu\n"
       "  batches=%llu mean_batch=%.2f queue_high_water=%llu "
       "p50_latency_us<=%llu p99_latency_us<=%llu\n",
       shards.size(), static_cast<unsigned long long>(total.enqueued),
@@ -129,6 +131,7 @@ std::string RuntimeMetricsSnapshot::ToString() const {
       static_cast<unsigned long long>(total.aborted),
       static_cast<unsigned long long>(total.retried),
       static_cast<unsigned long long>(total.dead_lettered),
+      static_cast<unsigned long long>(total.epilogue_failures),
       static_cast<unsigned long long>(total.batches), total.MeanBatch(),
       static_cast<unsigned long long>(total.queue_high_water),
       static_cast<unsigned long long>(total.LatencyPercentileUs(50)),

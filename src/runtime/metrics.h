@@ -27,6 +27,9 @@ struct ShardMetricsSnapshot {
   uint64_t aborted = 0;       ///< Worker transactions that aborted.
   uint64_t retried = 0;       ///< Per-event retry attempts after an abort.
   uint64_t dead_lettered = 0; ///< Events routed to the dead-letter hook.
+  /// Transactions that committed but whose after-tcommit epilogue failed
+  /// (the events are applied; only the epilogue's postings were lost).
+  uint64_t epilogue_failures = 0;
   uint64_t batches = 0;       ///< Worker transactions begun (drained batches).
   uint64_t queue_high_water = 0;
   std::array<uint64_t, kBatchHistBuckets> batch_size_hist{};
@@ -54,6 +57,7 @@ class ShardMetrics {
   void RecordAbort() { Bump(&aborted_); }
   void RecordRetry() { Bump(&retried_); }
   void RecordDeadLetter() { Bump(&dead_lettered_); }
+  void RecordEpilogueFailure() { Bump(&epilogue_failures_); }
 
   /// One drained batch of `n` events entering a worker transaction.
   void RecordBatch(uint64_t n);
@@ -81,6 +85,7 @@ class ShardMetrics {
   std::atomic<uint64_t> aborted_{0};
   std::atomic<uint64_t> retried_{0};
   std::atomic<uint64_t> dead_lettered_{0};
+  std::atomic<uint64_t> epilogue_failures_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> queue_high_water_{0};
   std::array<std::atomic<uint64_t>, kBatchHistBuckets> batch_size_hist_{};

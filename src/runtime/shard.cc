@@ -86,9 +86,10 @@ void Shard::ProcessBatch(const std::vector<IngestEvent>& batch) {
   Status status = RunBatch(batch);
   if (!status.ok()) {
     metrics_.RecordAbort();
-    // The batch transaction rolled back as a unit, so replaying every
-    // event individually is exactly-once: nothing from the failed attempt
-    // survived.
+    // RunBatch returns non-OK only when the batch transaction rolled back
+    // as a unit (a commit whose epilogue failed reports OK), so replaying
+    // every event individually is exactly-once: nothing from the failed
+    // attempt survived.
     for (const IngestEvent& event : batch) ProcessOne(event);
   }
   metrics_.RecordProcessed(batch.size());
@@ -116,8 +117,17 @@ Status Shard::RunBatch(const std::vector<IngestEvent>& batch) {
       return r.status();
     }
   }
-  Status committed = db_->Commit(*txn);
+  Database::CommitOutcome outcome = Database::CommitOutcome::kNotCommitted;
+  Status committed = db_->Commit(*txn, &outcome);
   if (!committed.ok()) {
+    if (outcome == Database::CommitOutcome::kEpilogueFailed) {
+      // The batch COMMITTED; only the after-tcommit system transaction
+      // failed (and rolled its own effects back). Replaying the events
+      // would apply them twice — count the lost epilogue and move on.
+      metrics_.RecordEpilogueFailure();
+      metrics_.RecordFired(static_cast<uint64_t>(fired));
+      return Status::OK();
+    }
     if (committed.code() != StatusCode::kAborted) (void)db_->Abort(*txn);
     return committed;
   }
@@ -149,8 +159,15 @@ Status Shard::TryOne(const IngestEvent& event) {
   int fired = 0;
   Result<Value> r =
       db_->Call(*txn, event.oid, event.method, event.args, &fired);
-  Status status = r.ok() ? db_->Commit(*txn) : r.status();
+  Database::CommitOutcome outcome = Database::CommitOutcome::kNotCommitted;
+  Status status = r.ok() ? db_->Commit(*txn, &outcome) : r.status();
   if (!status.ok()) {
+    if (outcome == Database::CommitOutcome::kEpilogueFailed) {
+      // Committed; retrying would double-apply the event (see RunBatch).
+      metrics_.RecordEpilogueFailure();
+      metrics_.RecordFired(static_cast<uint64_t>(fired));
+      return Status::OK();
+    }
     if (status.code() != StatusCode::kAborted) (void)db_->Abort(*txn);
     return status;
   }

@@ -1,5 +1,7 @@
 #include "trigger/trigger_engine.h"
 
+#include <mutex>
+
 #include "common/strutil.h"
 #include "mask/mask_eval.h"
 #include "ode/database.h"
@@ -374,7 +376,17 @@ Result<int> TriggerEngine::Post(Transaction* txn, Oid oid, PostedEvent event) {
     if (!occurred.ok()) return occurred.status();
     if (*occurred) fired.push_back({Scope::kObject, i, 0});
   }
-  if (std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id)) {
+  // Class-scope slots are shared mutable state across every instance of
+  // the class: serialize their advancement AND firing (held to the end of
+  // this Post) so two shard workers posting to different objects cannot
+  // race on the same automaton. Recursive, so actions that post
+  // re-entrantly on this thread do not self-deadlock; lock-manager
+  // acquires inside actions never block (kWouldBlock), so no cycle.
+  std::unique_lock<std::recursive_mutex> class_lock;
+  std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id);
+  if (class_slots != nullptr) {
+    class_lock =
+        std::unique_lock<std::recursive_mutex>(db_->class_post_mu_);
     for (size_t i = 0; i < class_slots->size(); ++i) {
       ActiveTrigger& slot = (*class_slots)[i];
       if (!slot.active) continue;
@@ -423,7 +435,7 @@ Result<int> TriggerEngine::Post(Transaction* txn, Oid oid, PostedEvent event) {
     }
     ActiveTrigger* slot = nullptr;
     if (p.scope == Scope::kClass) {
-      std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id);
+      // Still under class_lock from phase 1.
       if (class_slots == nullptr || p.idx >= class_slots->size()) continue;
       slot = &(*class_slots)[p.idx];
     } else {

@@ -87,6 +87,14 @@ void LockManager::Release(TxnId txn) {
   }
 }
 
+void LockManager::Release(TxnId txn, Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_.find(oid);
+  if (it == table_.end()) return;
+  it->second.holders.erase(txn);
+  if (it->second.holders.empty()) table_.erase(it);
+}
+
 bool LockManager::Holds(TxnId txn, Oid oid, LockMode mode) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(oid);

@@ -39,6 +39,11 @@ class LockManager {
   /// Releases all locks held by `txn` and removes its wait edges.
   void Release(TxnId txn);
 
+  /// Releases only `txn`'s lock on `oid` (commit/abort epilogues post to
+  /// one object at a time and drop each lock before moving on). Wait edges
+  /// recorded against `txn` are left for the waiters' next Acquire.
+  void Release(TxnId txn, Oid oid);
+
   /// True if `txn` holds a lock on `oid` at least as strong as `mode`.
   bool Holds(TxnId txn, Oid oid, LockMode mode) const;
 

@@ -44,6 +44,54 @@ TEST(DatabaseTest, CreateWithDefaultsAndInit) {
   ODE_ASSERT_OK(db.Commit(t));
 }
 
+// Commit's out-parameter separates "rolled back" from "committed but the
+// after-tcommit system transaction failed" — callers that replay on
+// failure (the ingest shards) must not replay the latter.
+TEST(DatabaseTest, CommitOutcomeDistinguishesEpilogueFailure) {
+  bool armed = false;
+  ClassDef def = AccountClass();
+  def.AddTrigger("E(): perpetual after tcommit ==> boom");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "boom", [&armed](const ActionContext&) -> Status {
+        return armed ? Status::Internal("epilogue action failure")
+                     : Status::OK();
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+
+  Oid a;
+  {
+    TxnId t = db.Begin().value();
+    a = db.New(t, "account").value();
+    ODE_ASSERT_OK(db.ActivateTrigger(t, a, "E"));
+    Database::CommitOutcome outcome = Database::CommitOutcome::kNotCommitted;
+    ODE_ASSERT_OK(db.Commit(t, &outcome));
+    EXPECT_EQ(outcome, Database::CommitOutcome::kCommitted);
+  }
+
+  // A commit that never happens reports kNotCommitted.
+  {
+    TxnId dep = db.Begin().value();
+    TxnId t = db.Begin().value();
+    ODE_ASSERT_OK(db.AddCommitDependency(t, dep));
+    ODE_ASSERT_OK(db.Abort(dep));
+    Database::CommitOutcome outcome = Database::CommitOutcome::kCommitted;
+    EXPECT_EQ(db.Commit(t, &outcome).code(), StatusCode::kAborted);
+    EXPECT_EQ(outcome, Database::CommitOutcome::kNotCommitted);
+  }
+
+  // Armed: the user transaction commits (its write survives) even though
+  // the epilogue's posting fails.
+  armed = true;
+  TxnId t = db.Begin().value();
+  ODE_ASSERT_OK(db.Call(t, a, "deposit", {Value(7)}).status());
+  Database::CommitOutcome outcome = Database::CommitOutcome::kNotCommitted;
+  Status s = db.Commit(t, &outcome);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(outcome, Database::CommitOutcome::kEpilogueFailed);
+  EXPECT_EQ(db.PeekAttr(a, "balance").value().AsInt().value(), 7);
+}
+
 TEST(DatabaseTest, UnknownClassAndAttrRejected) {
   Database db;
   ODE_ASSERT_OK(db.RegisterClass(AccountClass()).status());

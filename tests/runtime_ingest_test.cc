@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -507,6 +509,146 @@ TEST(IngestRuntimeTest, MpscStressSharedObjects) {
   std::string dump = m.ToString();
   EXPECT_NE(dump.find("ingest runtime"), std::string::npos);
   EXPECT_NE(dump.find("shard 0"), std::string::npos);
+}
+
+// A class-scope trigger (§9 extension) runs ONE automaton over the merged
+// event stream of every instance, so its slot is shared mutable state
+// across shards: every worker that posts to any instance advances the same
+// automaton. This drives one active class trigger from 4 shards at once —
+// the TSan CI job turns any unsynchronized slot advancement into a hard
+// failure — and checks the merged-stream fire count is exact (`every 3` is
+// insensitive to the cross-shard interleaving of `add` symbols).
+TEST(IngestRuntimeTest, ClassTriggerUnderMpscLoad) {
+  constexpr size_t kObjects = 8;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducerPerObject = 75;
+  ClassDef def("ccell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("CT(): perpetual every 3 (after add) ==> count");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction("count", CountAction));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  std::vector<Oid> oids;
+  {
+    TxnId t = db.Begin().value();
+    for (size_t i = 0; i < kObjects; ++i) {
+      oids.push_back(db.New(t, "ccell").value());
+    }
+    ODE_ASSERT_OK(db.Commit(t));
+  }
+  ODE_ASSERT_OK(db.ActivateClassTrigger("ccell", "CT"));
+
+  IngestOptions opts;
+  opts.num_shards = 4;
+  opts.max_batch = 16;
+  opts.queue_capacity = 256;
+  IngestRuntime rt(&db, opts);
+  ODE_ASSERT_OK(rt.Start());
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducerPerObject; ++i) {
+        for (Oid oid : oids) {
+          ASSERT_TRUE(rt.Post(oid, "add", {Value(1)}).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  ODE_ASSERT_OK(rt.Drain());
+  ODE_ASSERT_OK(rt.Stop());
+
+  constexpr uint64_t kTotalAdds =
+      static_cast<uint64_t>(kObjects) * kProducers * kPerProducerPerObject;
+  RuntimeMetricsSnapshot m = rt.Metrics();
+  EXPECT_EQ(m.total.processed, kTotalAdds);
+  EXPECT_EQ(m.total.dead_lettered, 0u);
+  // The merged stream saw kTotalAdds `add` symbols; exactly every third
+  // one fires, no matter how the shards interleaved.
+  EXPECT_EQ(db.ClassFireCount("ccell", "CT"), kTotalAdds / 3);
+  EXPECT_TRUE(db.ClassTriggerActive("ccell", "CT").value());
+  // Each firing bumped `touches` on the instance whose event completed the
+  // pattern, so the per-object counts sum to the fire count.
+  int64_t touches = 0;
+  int64_t total_v = 0;
+  for (Oid oid : oids) {
+    touches += db.PeekAttr(oid, "touches").value().AsInt().value();
+    total_v += db.PeekAttr(oid, "v").value().AsInt().value();
+  }
+  EXPECT_EQ(touches, static_cast<int64_t>(kTotalAdds / 3));
+  EXPECT_EQ(total_v, static_cast<int64_t>(kTotalAdds));
+}
+
+// A commit whose after-tcommit epilogue fails must NOT be replayed: the
+// user transaction committed, only the system transaction's postings were
+// lost. The worker must count an epilogue failure and move on — replaying
+// or retrying would apply the batch twice.
+TEST(IngestRuntimeTest, CommitEpilogueFailureDoesNotReplay) {
+  // `boom` starts disarmed so the setup commit (which also posts tcommit)
+  // succeeds; armed before Start, every worker commit's epilogue fails.
+  auto armed = std::make_shared<std::atomic<bool>>(false);
+  ClassDef def("fragile");
+  def.AddAttr("v", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("E(): perpetual after tcommit ==> boom");
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction(
+      "boom", [armed](const ActionContext&) -> Status {
+        return armed->load() ? Status::Internal("epilogue action failure")
+                             : Status::OK();
+      }));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+  Oid oid;
+  {
+    TxnId t = db.Begin().value();
+    oid = db.New(t, "fragile").value();
+    ODE_ASSERT_OK(db.ActivateTrigger(t, oid, "E"));
+    ODE_ASSERT_OK(db.Commit(t));
+  }
+  armed->store(true);
+
+  IngestOptions opts;
+  opts.num_shards = 1;
+  opts.max_batch = 8;
+  opts.error_policy.max_retries = 2;
+  IngestRuntime rt(&db, opts);
+  ODE_ASSERT_OK(rt.Start());
+  constexpr int kPosts = 40;
+  for (int i = 0; i < kPosts; ++i) {
+    ODE_ASSERT_OK(rt.Post(oid, "add", {Value(1)}));
+  }
+  ODE_ASSERT_OK(rt.Drain());
+
+  RuntimeMetricsSnapshot m = rt.Metrics();
+  EXPECT_EQ(m.total.processed, static_cast<uint64_t>(kPosts));
+  // Committed-with-failed-epilogue is not an abort: nothing was retried,
+  // replayed, or dead-lettered...
+  EXPECT_EQ(m.total.aborted, 0u);
+  EXPECT_EQ(m.total.retried, 0u);
+  EXPECT_EQ(m.total.dead_lettered, 0u);
+  EXPECT_GE(m.total.epilogue_failures, 1u);
+  // ...so every add applied exactly once.
+  EXPECT_EQ(db.PeekAttr(oid, "v").value().AsInt().value(), kPosts);
 }
 
 }  // namespace
