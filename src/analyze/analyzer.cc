@@ -1,0 +1,317 @@
+#include "analyze/analyzer.h"
+
+#include <string>
+#include <utility>
+
+#include "analyze/mask_check.h"
+#include "common/strutil.h"
+#include "lang/lexer.h"
+#include "lang/token.h"
+
+namespace ode {
+
+std::vector<Diagnostic> AnalysisReport::AllDiagnostics() const {
+  std::vector<Diagnostic> all;
+  for (const TriggerAnalysis& t : triggers) {
+    all.insert(all.end(), t.diagnostics.begin(), t.diagnostics.end());
+  }
+  all.insert(all.end(), file_diagnostics.begin(), file_diagnostics.end());
+  return all;
+}
+
+namespace {
+
+Diagnostic MakeDiag(const char* id, Severity sev, std::string message,
+                    SourceSpan span, std::string trigger = {}) {
+  Diagnostic d;
+  d.id = id;
+  d.severity = sev;
+  d.message = std::move(message);
+  d.span = span;
+  d.trigger = std::move(trigger);
+  return d;
+}
+
+SourceSpan EventSpan(const TriggerSpec& spec) {
+  return spec.event != nullptr ? spec.event->span : SourceSpan{};
+}
+
+void RunAutomatonChecks(const CompiledEvent& compiled, TriggerAnalysis* ta) {
+  std::vector<bool> possible = ComputePossibleSymbols(compiled);
+  SourceSpan span = EventSpan(ta->spec);
+
+  if (DfaEmptySigmaPlus(compiled.dfa, possible)) {
+    ta->never_fires = true;
+    ta->diagnostics.push_back(MakeDiag(
+        "A001", Severity::kError,
+        "this event expression can never occur on any history — the "
+        "trigger will never fire (empty language over the realizable "
+        "symbols)",
+        span, ta->name));
+    return;  // Emptiness makes the remaining automaton checks vacuous.
+  }
+
+  if (DfaUniversalSigmaPlus(compiled.dfa, possible)) {
+    bool masks_gate = false;
+    for (const MaskExprPtr& m : compiled.composite_masks) {
+      if (AnalyzeMaskTruth(*m) != MaskTruth::kAlways) masks_gate = true;
+    }
+    if (masks_gate) {
+      ta->diagnostics.push_back(MakeDiag(
+          "A002", Severity::kWarning,
+          "the event part matches every history point; only the composite "
+          "mask gates firing — consider moving the condition into the "
+          "event expression",
+          span, ta->name));
+    } else {
+      ta->always_fires = true;
+      ta->diagnostics.push_back(MakeDiag(
+          "A002", Severity::kWarning,
+          "this trigger fires at every history point (universal language) "
+          "— almost certainly a specification bug",
+          span, ta->name));
+    }
+  }
+
+  StateReport states = AnalyzeStates(compiled.dfa, possible);
+  if (states.dead > 0 || states.unreachable > 0) {
+    ta->diagnostics.push_back(MakeDiag(
+        "A003", Severity::kNote,
+        StrFormat("%zu of %zu automaton states are dead (once entered, the "
+                  "trigger can never fire again)%s",
+                  states.dead, states.total,
+                  states.unreachable > 0 ? "; some states are unreachable"
+                                         : ""),
+        span, ta->name));
+  }
+}
+
+void RunBudgetChecks(const AnalyzeOptions& options, TriggerAnalysis* ta) {
+  SourceSpan span = EventSpan(ta->spec);
+  if (options.budget_dfa_states > 0 &&
+      ta->cost.dfa_states > options.budget_dfa_states) {
+    ta->diagnostics.push_back(MakeDiag(
+        "C001", Severity::kWarning,
+        StrFormat("automaton has %zu states, over the budget of %zu",
+                  ta->cost.dfa_states, options.budget_dfa_states),
+        span, ta->name));
+  }
+  if (options.budget_table_bytes > 0 &&
+      ta->cost.table_bytes > options.budget_table_bytes) {
+    ta->diagnostics.push_back(MakeDiag(
+        "C001", Severity::kWarning,
+        StrFormat("transition tables take %zu bytes, over the budget of "
+                  "%zu",
+                  ta->cost.table_bytes, options.budget_table_bytes),
+        span, ta->name));
+  }
+}
+
+}  // namespace
+
+TriggerAnalysis AnalyzeTrigger(const TriggerSpec& spec,
+                               const AnalyzeOptions& options) {
+  TriggerAnalysis ta;
+  ta.name = spec.name;
+  ta.spec = spec;
+
+  SpecCheckContext ctx;
+  ctx.class_def = options.class_def;
+  CheckTriggerSpec(spec, ctx, &ta.diagnostics);
+  // Stamp the trigger name onto spec-check findings (they only know the
+  // spec's own name, which may have been replaced by a placeholder).
+  for (Diagnostic& d : ta.diagnostics) {
+    if (d.trigger.empty()) d.trigger = ta.name;
+  }
+
+  if (spec.event == nullptr) return ta;
+  Result<CompiledEvent> compiled = CompileEvent(spec.event, options.compile);
+  if (!compiled.ok()) {
+    ta.diagnostics.push_back(MakeDiag(
+        "A006", Severity::kError,
+        StrFormat("event expression does not compile: %s",
+                  compiled.status().message().c_str()),
+        EventSpan(spec), ta.name));
+    return ta;
+  }
+  ta.compiled = true;
+  ta.cost = EstimateCost(*compiled);
+
+  if (options.automaton_checks) {
+    RunAutomatonChecks(*compiled, &ta);
+  }
+  RunBudgetChecks(options, &ta);
+  return ta;
+}
+
+namespace {
+
+/// One blank-line-separated declaration block.
+struct Block {
+  size_t begin = 0;  ///< Byte offset of the block's first line.
+  size_t end = 0;    ///< One past the block's last byte.
+};
+
+std::vector<Block> SplitBlocks(std::string_view source) {
+  std::vector<Block> blocks;
+  size_t pos = 0;
+  std::optional<Block> current;
+  while (pos <= source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    std::string_view line = source.substr(pos, eol - pos);
+    bool blank = line.find_first_not_of(" \t\r") == std::string_view::npos;
+    if (blank) {
+      if (current) {
+        blocks.push_back(*current);
+        current.reset();
+      }
+    } else {
+      if (!current) current = Block{pos, eol};
+      current->end = eol;
+    }
+    if (eol == source.size()) break;
+    pos = eol + 1;
+  }
+  if (current) blocks.push_back(*current);
+  return blocks;
+}
+
+/// The whole source with everything outside [block.begin, block.end)
+/// blanked to spaces (newlines kept), so parsing the block yields offsets
+/// and line/columns that are valid for the original file.
+std::string PadToFile(std::string_view source, const Block& block) {
+  std::string padded(source);
+  for (size_t i = 0; i < padded.size(); ++i) {
+    if (i >= block.begin && i < block.end) continue;
+    if (padded[i] != '\n') padded[i] = ' ';
+  }
+  return padded;
+}
+
+/// True when the block contains no tokens (comments / whitespace only).
+bool BlockIsEmpty(const std::string& padded) {
+  Result<std::vector<Token>> tokens = Tokenize(padded);
+  return tokens.ok() && tokens->size() == 1;  // Just kEnd.
+}
+
+/// The pairwise A004/A005 sweep over every compiled trigger in the report.
+void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
+  for (size_t i = 0; i < report->triggers.size(); ++i) {
+    for (size_t j = i + 1; j < report->triggers.size(); ++j) {
+      const TriggerAnalysis& a = report->triggers[i];
+      const TriggerAnalysis& b = report->triggers[j];
+      if (!a.compiled || !b.compiled) continue;
+      // An empty-language trigger (A001) is vacuously contained in every
+      // other; repeating that pairwise would only bury the real finding.
+      if (a.never_fires || b.never_fires) continue;
+      Result<PairRelation> rel =
+          CompareEventExprs(a.spec.event, b.spec.event, options.compile);
+      if (!rel.ok()) continue;  // Resource limits: treat as incomparable.
+      switch (*rel) {
+        case PairRelation::kEquivalent:
+          report->file_diagnostics.push_back(MakeDiag(
+              "A004", Severity::kWarning,
+              StrFormat("trigger '%s' is equivalent to trigger '%s' — they "
+                        "fire at exactly the same history points%s",
+                        b.name.c_str(), a.name.c_str(),
+                        a.spec.action == b.spec.action
+                            ? " and run the same action (duplicate)"
+                            : ""),
+              EventSpan(b.spec), b.name));
+          break;
+        case PairRelation::kASubsumesB:
+          report->file_diagnostics.push_back(MakeDiag(
+              "A005", Severity::kWarning,
+              StrFormat("every firing of trigger '%s' is also a firing of "
+                        "trigger '%s' (its language is contained in the "
+                        "other's)",
+                        b.name.c_str(), a.name.c_str()),
+              EventSpan(b.spec), b.name));
+          break;
+        case PairRelation::kBSubsumesA:
+          report->file_diagnostics.push_back(MakeDiag(
+              "A005", Severity::kWarning,
+              StrFormat("every firing of trigger '%s' is also a firing of "
+                        "trigger '%s' (its language is contained in the "
+                        "other's)",
+                        a.name.c_str(), b.name.c_str()),
+              EventSpan(a.spec), a.name));
+          break;
+        case PairRelation::kDistinct:
+        case PairRelation::kIncomparable:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+AnalysisReport AnalyzeSpecSource(std::string_view source,
+                                 const AnalyzeOptions& options) {
+  AnalysisReport report;
+  for (const Block& block : SplitBlocks(source)) {
+    std::string padded = PadToFile(source, block);
+    if (BlockIsEmpty(padded)) continue;
+    Result<TriggerSpec> spec = ParseTriggerSpec(padded);
+    if (!spec.ok()) {
+      LineCol lc = LineColAt(source, block.begin);
+      report.file_diagnostics.push_back(MakeDiag(
+          "P001", Severity::kError,
+          StrFormat("declaration starting at line %d does not parse: %s",
+                    lc.line, spec.status().message().c_str()),
+          SourceSpan{}));
+      continue;
+    }
+    TriggerAnalysis ta = AnalyzeTrigger(*spec, options);
+    if (ta.name.empty()) {
+      LineCol lc = LineColAt(source, block.begin);
+      ta.name = StrFormat("<trigger@line %d>", lc.line);
+      for (Diagnostic& d : ta.diagnostics) {
+        if (d.trigger.empty()) d.trigger = ta.name;
+      }
+    }
+    report.triggers.push_back(std::move(ta));
+  }
+
+  if (options.pairwise_checks) RunPairwiseChecks(options, &report);
+  return report;
+}
+
+AnalysisReport AnalyzeClassDef(const ClassDef& def, AnalyzeOptions options) {
+  options.class_def = &def;
+  AnalysisReport report;
+  size_t index = 0;
+  for (const ClassDef::PendingTrigger& pending : def.pending_triggers()) {
+    ++index;
+    TriggerSpec spec;
+    if (pending.spec) {
+      spec = *pending.spec;
+    } else {
+      Result<TriggerSpec> parsed = ParseTriggerSpec(pending.dsl_text);
+      if (!parsed.ok()) {
+        report.file_diagnostics.push_back(MakeDiag(
+            "P001", Severity::kError,
+            StrFormat("trigger #%zu of class '%s' does not parse: %s", index,
+                      def.name().c_str(),
+                      parsed.status().message().c_str()),
+            SourceSpan{}));
+        continue;
+      }
+      spec = std::move(*parsed);
+    }
+    TriggerAnalysis ta = AnalyzeTrigger(spec, options);
+    if (ta.name.empty()) {
+      ta.name = StrFormat("<%s trigger #%zu>", def.name().c_str(), index);
+      for (Diagnostic& d : ta.diagnostics) {
+        if (d.trigger.empty()) d.trigger = ta.name;
+      }
+    }
+    report.triggers.push_back(std::move(ta));
+  }
+  if (options.pairwise_checks) RunPairwiseChecks(options, &report);
+  return report;
+}
+
+}  // namespace ode

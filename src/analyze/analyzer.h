@@ -1,0 +1,83 @@
+#ifndef ODE_ANALYZE_ANALYZER_H_
+#define ODE_ANALYZE_ANALYZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/automaton_check.h"
+#include "analyze/cost.h"
+#include "analyze/diagnostic.h"
+#include "analyze/spec_check.h"
+#include "compile/compiler.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+
+/// Knobs for one analysis run.
+struct AnalyzeOptions {
+  /// Compilation options used when building the automata (must match what
+  /// the engine will use for the verdicts to be authoritative).
+  CompileOptions compile;
+  /// Layer 2: emptiness / universality / state-liveness on the DFA.
+  bool automaton_checks = true;
+  /// Pairwise subsumption/equivalence across the analyzed triggers.
+  bool pairwise_checks = true;
+  /// Optional class context for method/attribute resolution (layer 1).
+  const ClassDef* class_def = nullptr;
+  /// Cost budgets; 0 disables the check. Exceeding one emits C001.
+  size_t budget_dfa_states = 0;
+  size_t budget_table_bytes = 0;
+};
+
+/// Analysis result for one trigger.
+struct TriggerAnalysis {
+  std::string name;        ///< Spec name, or a synthesized placeholder.
+  TriggerSpec spec;
+  bool compiled = false;   ///< CompileEvent succeeded.
+  CostReport cost;         ///< Valid when `compiled`.
+  bool never_fires = false;   ///< A001 was emitted.
+  bool always_fires = false;  ///< A002 was emitted.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Result of analyzing a whole specification source (one or more trigger
+/// declarations separated by blank lines).
+struct AnalysisReport {
+  std::vector<TriggerAnalysis> triggers;
+  /// File-level diagnostics: parse failures (P001) and pairwise findings
+  /// (A004/A005).
+  std::vector<Diagnostic> file_diagnostics;
+
+  /// Every diagnostic — per-trigger ones first, in declaration order.
+  std::vector<Diagnostic> AllDiagnostics() const;
+  bool has_errors() const { return HasErrors(AllDiagnostics()); }
+};
+
+/// Analyzes one parsed trigger: layer-1 spec checks, compilation, layer-2
+/// automaton checks, and the cost report. Never fails outright — a
+/// compilation error becomes diagnostic A006.
+TriggerAnalysis AnalyzeTrigger(const TriggerSpec& spec,
+                               const AnalyzeOptions& options = {});
+
+/// Analyzes a specification source: splits it into blank-line-separated
+/// declarations, parses each (parse failures become P001 diagnostics with
+/// file-accurate positions), runs AnalyzeTrigger on each, then the
+/// pairwise automaton comparison across every compiled pair (A004
+/// duplicate / A005 subsumed). All spans index into `source`.
+AnalysisReport AnalyzeSpecSource(std::string_view source,
+                                 const AnalyzeOptions& options = {});
+
+/// Analyzes every pending trigger of a class definition — the
+/// registration-time hook's entry point (DatabaseOptions::analyze_triggers).
+/// Layer-1 checks run with the class as context, so unknown methods and
+/// attributes are resolved against it; the pairwise comparison runs across
+/// the class's triggers. `options.class_def` is overridden with `def`.
+/// Spans index into each trigger's own DSL text (when it was declared as
+/// text); Diagnostic::ToString() renders without source context.
+AnalysisReport AnalyzeClassDef(const ClassDef& def,
+                               AnalyzeOptions options = {});
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_ANALYZER_H_

@@ -1,0 +1,224 @@
+#include "analyze/automaton_check.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+
+#include "analyze/mask_check.h"
+#include "automaton/determinize.h"
+#include "automaton/minimize.h"
+
+namespace ode {
+
+std::vector<bool> ComputePossibleSymbols(const CompiledEvent& compiled) {
+  const Alphabet& alphabet = compiled.alphabet;
+  std::vector<bool> base(alphabet.size(), true);
+  for (size_t g = 0; g < alphabet.num_groups(); ++g) {
+    const std::vector<MaskSlot>& masks = alphabet.group_masks(g);
+    if (masks.empty()) continue;
+    std::vector<MaskTruth> truth(masks.size());
+    bool any_decided = false;
+    for (size_t i = 0; i < masks.size(); ++i) {
+      truth[i] = AnalyzeMaskTruth(*masks[i].mask);
+      any_decided |= truth[i] != MaskTruth::kUnknown;
+    }
+    if (!any_decided) continue;
+    SymbolId first = alphabet.group_base(g);
+    for (size_t bits = 0; bits < alphabet.group_num_symbols(g); ++bits) {
+      for (size_t i = 0; i < masks.size(); ++i) {
+        bool required = (bits >> i) & 1;
+        if ((required && truth[i] == MaskTruth::kNever) ||
+            (!required && truth[i] == MaskTruth::kAlways)) {
+          base[first + bits] = false;
+          break;
+        }
+      }
+    }
+  }
+  // The DFA runs over the extended alphabet (base symbol × gate bits); a
+  // gate bit can go either way, so extended feasibility is the base's.
+  size_t gates = compiled.num_gates();
+  if (gates == 0) return base;
+  std::vector<bool> extended(compiled.extended_alphabet_size(), true);
+  for (size_t s = 0; s < base.size(); ++s) {
+    for (size_t bits = 0; bits < (size_t{1} << gates); ++bits) {
+      extended[(s << gates) | bits] = base[s];
+    }
+  }
+  return extended;
+}
+
+namespace {
+
+/// States reachable from `from` via >= `min_steps` possible symbols.
+std::vector<bool> Reachable(const Dfa& dfa, Dfa::State from,
+                            const std::vector<bool>& possible,
+                            int min_steps) {
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::deque<Dfa::State> frontier;
+  auto expand = [&](Dfa::State cur) {
+    for (size_t s = 0; s < dfa.alphabet_size(); ++s) {
+      if (!possible[s]) continue;
+      Dfa::State to = dfa.Step(cur, static_cast<SymbolId>(s));
+      if (!seen[to]) {
+        seen[to] = true;
+        frontier.push_back(to);
+      }
+    }
+  };
+  if (min_steps <= 0) {
+    seen[from] = true;
+    frontier.push_back(from);
+  } else {
+    expand(from);
+  }
+  while (!frontier.empty()) {
+    Dfa::State cur = frontier.front();
+    frontier.pop_front();
+    expand(cur);
+  }
+  return seen;
+}
+
+std::vector<bool> AllPossible(const Dfa& dfa) {
+  return std::vector<bool>(dfa.alphabet_size(), true);
+}
+
+}  // namespace
+
+bool DfaEmptySigmaPlus(const Dfa& dfa, const std::vector<bool>& possible) {
+  std::vector<bool> seen = Reachable(dfa, dfa.start(), possible, 1);
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (seen[s] && dfa.accepting(static_cast<Dfa::State>(s))) return false;
+  }
+  return true;
+}
+
+bool DfaUniversalSigmaPlus(const Dfa& dfa, const std::vector<bool>& possible) {
+  if (std::none_of(possible.begin(), possible.end(),
+                   [](bool b) { return b; })) {
+    return false;  // No realizable history at all.
+  }
+  std::vector<bool> seen = Reachable(dfa, dfa.start(), possible, 1);
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (seen[s] && !dfa.accepting(static_cast<Dfa::State>(s))) return false;
+  }
+  return true;
+}
+
+StateReport AnalyzeStates(const Dfa& dfa, const std::vector<bool>& possible) {
+  StateReport report;
+  report.total = dfa.num_states();
+  std::vector<bool> reachable = Reachable(dfa, dfa.start(), possible, 0);
+
+  // Live = some accepting state is reachable (>= 0 steps): one backward
+  // closure from the accepting states over the reversed transitions.
+  std::vector<std::vector<Dfa::State>> reverse(dfa.num_states());
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    for (size_t sym = 0; sym < dfa.alphabet_size(); ++sym) {
+      if (!possible[sym]) continue;
+      reverse[dfa.Step(static_cast<Dfa::State>(s),
+                       static_cast<SymbolId>(sym))]
+          .push_back(static_cast<Dfa::State>(s));
+    }
+  }
+  std::vector<bool> live(dfa.num_states(), false);
+  std::deque<Dfa::State> frontier;
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (dfa.accepting(static_cast<Dfa::State>(s))) {
+      live[s] = true;
+      frontier.push_back(static_cast<Dfa::State>(s));
+    }
+  }
+  while (!frontier.empty()) {
+    Dfa::State cur = frontier.front();
+    frontier.pop_front();
+    for (Dfa::State pred : reverse[cur]) {
+      if (!live[pred]) {
+        live[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (!reachable[s]) {
+      ++report.unreachable;
+    } else if (!live[s]) {
+      ++report.dead;
+    }
+  }
+  return report;
+}
+
+namespace {
+
+/// Strips the root chain of kMasked nodes, collecting the canonical text of
+/// each stripped mask (the compiler does the same into composite_masks).
+EventExprPtr StripRootMasks(EventExprPtr e, std::vector<std::string>* masks) {
+  while (e->kind == EventExprKind::kMasked) {
+    masks->push_back(e->mask->ToString());
+    e = e->children[0];
+  }
+  return e;
+}
+
+bool HasMaskedNode(const EventExpr& e) {
+  if (e.kind == EventExprKind::kMasked) return true;
+  for (const EventExprPtr& c : e.children) {
+    if (HasMaskedNode(*c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
+                                       const EventExprPtr& b,
+                                       const CompileOptions& options) {
+  std::vector<std::string> masks_a, masks_b;
+  EventExprPtr core_a = StripRootMasks(a, &masks_a);
+  EventExprPtr core_b = StripRootMasks(b, &masks_b);
+
+  // Root masks gate firing on run-time state; the languages are comparable
+  // only when both triggers apply the same set of them.
+  std::sort(masks_a.begin(), masks_a.end());
+  std::sort(masks_b.begin(), masks_b.end());
+  masks_a.erase(std::unique(masks_a.begin(), masks_a.end()), masks_a.end());
+  masks_b.erase(std::unique(masks_b.begin(), masks_b.end()), masks_b.end());
+  if (masks_a != masks_b) return PairRelation::kIncomparable;
+
+  // Nested composite masks compile to gates whose bits depend on run-time
+  // state — not a regular-language question anymore.
+  if (HasMaskedNode(*core_a) || HasMaskedNode(*core_b)) {
+    return PairRelation::kIncomparable;
+  }
+
+  // One alphabet over both expressions, so their DFAs share symbols. Build
+  // can fail (e.g. one trigger uses a signature the other omits): that is
+  // an overlap the §5 rewrite cannot express, hence incomparable.
+  EventExprPtr joined = EventExpr::Or(core_a, core_b);
+  Result<Alphabet> joint = Alphabet::Build(*joined, options.alphabet);
+  if (!joint.ok()) return PairRelation::kIncomparable;
+
+  ODE_ASSIGN_OR_RETURN(Nfa nfa_a, CompileToNfa(*core_a, *joint, options));
+  ODE_ASSIGN_OR_RETURN(Nfa nfa_b, CompileToNfa(*core_b, *joint, options));
+  ODE_ASSIGN_OR_RETURN(Dfa dfa_a, Determinize(nfa_a, options.max_states));
+  ODE_ASSIGN_OR_RETURN(Dfa dfa_b, Determinize(nfa_b, options.max_states));
+
+  if (DfaEquivalent(dfa_a, dfa_b)) return PairRelation::kEquivalent;
+
+  std::vector<bool> all_a = AllPossible(dfa_a);
+  // L(b) ⊆ L(a)  iff  L(b) ∩ (Σ⁺ \ L(a)) = ∅. Event languages never
+  // contain ε, so plain emptiness of the product suffices.
+  Dfa not_a = ComplementSigmaPlus(dfa_a);
+  if (DfaEmptySigmaPlus(IntersectDfa(dfa_b, not_a), all_a)) {
+    return PairRelation::kASubsumesB;
+  }
+  Dfa not_b = ComplementSigmaPlus(dfa_b);
+  if (DfaEmptySigmaPlus(IntersectDfa(dfa_a, not_b), all_a)) {
+    return PairRelation::kBSubsumesA;
+  }
+  return PairRelation::kDistinct;
+}
+
+}  // namespace ode

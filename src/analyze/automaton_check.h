@@ -1,0 +1,68 @@
+#ifndef ODE_ANALYZE_AUTOMATON_CHECK_H_
+#define ODE_ANALYZE_AUTOMATON_CHECK_H_
+
+#include <vector>
+
+#include "automaton/dfa.h"
+#include "common/result.h"
+#include "compile/compiler.h"
+
+namespace ode {
+
+/// Per-symbol feasibility of a compiled trigger's (extended) alphabet.
+///
+/// A micro-symbol is *impossible* when Classify can never produce it: some
+/// mask slot of its group is statically never-true but the symbol's sign
+/// bit requires it to hold (or the slot is always-true and the bit requires
+/// it to fail). Impossible symbols never appear in a real history, so
+/// emptiness/universality are decided over the possible ones only — an
+/// unsatisfiable mask does not make the DFA language empty, but it does
+/// make the trigger unfireable, and this is where the two views meet.
+std::vector<bool> ComputePossibleSymbols(const CompiledEvent& compiled);
+
+/// True iff the DFA accepts no string of length >= 1 over the `possible`
+/// symbols (Σ⁺ emptiness: a trigger never fires on any realizable
+/// history). `possible` must have dfa.alphabet_size() entries.
+bool DfaEmptySigmaPlus(const Dfa& dfa, const std::vector<bool>& possible);
+
+/// True iff the DFA accepts every string of length >= 1 over the
+/// `possible` symbols (Σ⁺ universality: the trigger fires at every history
+/// point — almost certainly a specification bug).
+bool DfaUniversalSigmaPlus(const Dfa& dfa, const std::vector<bool>& possible);
+
+/// State-liveness report over the possible symbols.
+struct StateReport {
+  size_t total = 0;        ///< States in the DFA.
+  size_t unreachable = 0;  ///< Not reachable from the start state.
+  size_t dead = 0;         ///< Reachable but no accepting state is reachable
+                           ///< from them (monitoring continues but can
+                           ///< never fire once entered).
+};
+StateReport AnalyzeStates(const Dfa& dfa, const std::vector<bool>& possible);
+
+/// Language relation between two triggers' event expressions.
+enum class PairRelation : uint8_t {
+  kIncomparable = 0,  ///< Analyzer cannot decide (gates, root-mask
+                      ///< mismatch, alphabet conflict).
+  kEquivalent,        ///< Same language: the triggers fire at exactly the
+                      ///< same history points.
+  kASubsumesB,        ///< L(b) ⊆ L(a): every firing of b is a firing of a.
+  kBSubsumesA,        ///< L(a) ⊆ L(b).
+  kDistinct,          ///< Neither contains the other.
+};
+
+/// Decides the relation by compiling both expressions over one *joint*
+/// alphabet (built from `a | b`) and comparing the DFAs — the paper's
+/// registration-time decidability claim (§4/§5) made executable.
+///
+/// Root composite masks are stripped and compared textually: differing
+/// root-mask sets make the pair kIncomparable (the masks consult run-time
+/// state the analyzer cannot see). Expressions with *nested* composite
+/// masks (compiled as gates) are kIncomparable for the same reason.
+Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
+                                       const EventExprPtr& b,
+                                       const CompileOptions& options = {});
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_AUTOMATON_CHECK_H_

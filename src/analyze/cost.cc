@@ -1,0 +1,39 @@
+#include "analyze/cost.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+
+namespace ode {
+
+CostReport EstimateCost(const CompiledEvent& compiled) {
+  CostReport r;
+  r.dfa_states = compiled.dfa.num_states();
+  r.alphabet_size = compiled.alphabet.size();
+  r.extended_alphabet_size = compiled.extended_alphabet_size();
+  r.num_gates = compiled.num_gates();
+  r.table_bytes = compiled.dfa.TableBytes();
+  for (const GateDef& gate : compiled.gates) {
+    r.table_bytes += gate.dfa.TableBytes();
+  }
+  for (size_t g = 0; g < compiled.alphabet.num_groups(); ++g) {
+    r.worst_classify_masks = std::max(
+        r.worst_classify_masks, compiled.alphabet.group_masks(g).size());
+  }
+  r.steps_per_event = 1 + r.num_gates;
+  return r;
+}
+
+std::string CostReport::ToString() const {
+  std::string out = StrFormat(
+      "states=%zu alphabet=%zu", dfa_states, alphabet_size);
+  if (num_gates > 0) {
+    out += StrFormat(" gates=%zu extended-alphabet=%zu", num_gates,
+                     extended_alphabet_size);
+  }
+  out += StrFormat(" table-bytes=%zu classify-masks<=%zu steps/event=%zu",
+                   table_bytes, worst_classify_masks, steps_per_event);
+  return out;
+}
+
+}  // namespace ode

@@ -1,0 +1,38 @@
+#ifndef ODE_ANALYZE_COST_H_
+#define ODE_ANALYZE_COST_H_
+
+#include <string>
+
+#include "compile/compiler.h"
+
+namespace ode {
+
+/// Per-trigger cost model: what one activation of this trigger costs the
+/// engine per posted event, and what its shared per-class artifacts weigh.
+/// IngestRuntime operators gate registrations on these numbers — a
+/// million-events-per-second deployment cannot afford a trigger whose
+/// alphabet fans out into thousands of micro-symbols (§5's 2^k rewrite).
+struct CostReport {
+  size_t dfa_states = 0;            ///< Minimal DFA states.
+  size_t alphabet_size = 0;         ///< Base micro-symbols (incl. OTHER).
+  size_t extended_alphabet_size = 0;  ///< Base × 2^gates.
+  size_t num_gates = 0;             ///< Nested-composite-mask sub-DFAs.
+  size_t table_bytes = 0;           ///< Shared transition table(s), bytes.
+  /// Worst-case mask evaluations to classify one posted event (the largest
+  /// mask group, §5: k evaluations for 2^k micro-symbols).
+  size_t worst_classify_masks = 0;
+  /// Per posted event: one table step for the main DFA plus one per gate
+  /// (each gate also re-evaluates its composite mask when its sub-DFA
+  /// accepts).
+  size_t steps_per_event = 0;
+
+  /// One-line summary for CLI/report output.
+  std::string ToString() const;
+};
+
+/// Derives the report from a compiled event (no execution involved).
+CostReport EstimateCost(const CompiledEvent& compiled);
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_COST_H_

@@ -1,0 +1,92 @@
+#include "analyze/diagnostic.h"
+
+#include <algorithm>
+
+#include "common/strutil.h"
+#include "lang/token.h"
+
+namespace ode {
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString() const {
+  return StrFormat("%s: [%s] %s", std::string(SeverityName(severity)).c_str(),
+                   id.c_str(), message.c_str());
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+namespace {
+
+/// The full source line containing `offset` (without the newline).
+std::string_view LineAt(std::string_view source, size_t offset) {
+  if (offset > source.size()) offset = source.size();
+  size_t begin = offset;
+  while (begin > 0 && source[begin - 1] != '\n') --begin;
+  size_t end = source.find('\n', offset);
+  if (end == std::string_view::npos) end = source.size();
+  return source.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
+                             std::string_view file) {
+  std::string out;
+  if (!file.empty()) {
+    out += std::string(file);
+    out += ':';
+  }
+  if (!diag.span.empty() && diag.span.begin <= source.size()) {
+    LineCol lc = LineColAt(source, diag.span.begin);
+    out += StrFormat("%d:%d: ", lc.line, lc.col);
+  } else if (!file.empty()) {
+    out += ' ';
+  }
+  out += diag.ToString();
+  if (!diag.trigger.empty()) {
+    out += StrFormat(" (trigger '%s')", diag.trigger.c_str());
+  }
+  if (!diag.span.empty() && diag.span.begin <= source.size()) {
+    LineCol lc = LineColAt(source, diag.span.begin);
+    std::string_view line = LineAt(source, diag.span.begin);
+    out += "\n  ";
+    out += std::string(line);
+    out += "\n  ";
+    size_t col = static_cast<size_t>(lc.col - 1);
+    for (size_t i = 0; i < col && i < line.size(); ++i) {
+      out += (line[i] == '\t') ? '\t' : ' ';
+    }
+    // The caret run covers the span but stops at the end of the line.
+    size_t span_len = std::max<size_t>(diag.span.size(), 1);
+    size_t max_len = line.size() > col ? line.size() - col : 1;
+    size_t len = std::min(span_len, max_len);
+    out += '^';
+    for (size_t i = 1; i < len; ++i) out += '~';
+  }
+  return out;
+}
+
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
+                              std::string_view source, std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    if (!out.empty()) out += "\n";
+    out += RenderDiagnostic(d, source, file);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ode

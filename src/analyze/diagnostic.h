@@ -1,0 +1,61 @@
+#ifndef ODE_ANALYZE_DIAGNOSTIC_H_
+#define ODE_ANALYZE_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/source_span.h"
+
+namespace ode {
+
+/// Severity of an analyzer finding. kError findings identify specifications
+/// that cannot behave as written (never-true masks, empty-language
+/// automata, compile failures); kWarning findings are almost certainly spec
+/// bugs (universal triggers, duplicate registrations); kNote findings are
+/// informational (dead states, degenerate counts, cost reports).
+enum class Severity : uint8_t {
+  kNote = 0,
+  kWarning,
+  kError,
+};
+
+std::string_view SeverityName(Severity s);
+
+/// One analyzer finding. `id` is a stable catalogue identifier
+/// (docs/ANALYSIS.md): L--- for AST/mask checks, A--- for automaton checks,
+/// C--- for cost checks, P--- for parse failures.
+struct Diagnostic {
+  std::string id;        ///< e.g. "L001".
+  Severity severity = Severity::kWarning;
+  std::string message;
+  SourceSpan span;       ///< Into the analyzed source text; may be empty.
+  std::string trigger;   ///< Owning trigger name; empty for file-level.
+
+  /// "error: [L001] message" (no source context).
+  std::string ToString() const;
+};
+
+/// True if any diagnostic has Severity::kError.
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+/// Renders one diagnostic caret-style against the source it was produced
+/// from:
+///
+///   file.trig:3:14: error: [L001] mask can never be true
+///     after withdraw(i, q) && q > 100 && q < 50
+///                             ^~~~~~~~~~~~~~~~~
+///
+/// A diagnostic with an empty span renders as a single header line. `file`
+/// may be empty (omitted from the header).
+std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
+                             std::string_view file = {});
+
+/// Renders every diagnostic, separated by blank lines.
+std::string RenderDiagnostics(const std::vector<Diagnostic>& diags,
+                              std::string_view source,
+                              std::string_view file = {});
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_DIAGNOSTIC_H_

@@ -1,0 +1,315 @@
+#include "analyze/mask_check.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ode {
+
+std::optional<Value> FoldMaskConst(const MaskExpr& mask) {
+  switch (mask.kind) {
+    case MaskKind::kLiteral:
+      return mask.literal;
+    case MaskKind::kIdent:
+    case MaskKind::kMember:
+    case MaskKind::kCall:
+      return std::nullopt;
+    case MaskKind::kUnary: {
+      std::optional<Value> v = FoldMaskConst(*mask.children[0]);
+      if (!v) return std::nullopt;
+      if (mask.op == MaskOp::kNot) return Value(!v->Truthy());
+      Result<Value> r = v->Neg();
+      if (!r.ok()) return std::nullopt;
+      return *r;
+    }
+    case MaskKind::kBinary: {
+      std::optional<Value> a = FoldMaskConst(*mask.children[0]);
+      // Short-circuit: masks are side-effect free, so `false && x` and
+      // `true || x` fold even when x does not.
+      if (mask.op == MaskOp::kAnd) {
+        if (a && !a->Truthy()) return Value(false);
+        std::optional<Value> b = FoldMaskConst(*mask.children[1]);
+        if (b && !b->Truthy()) return Value(false);
+        if (a && b) return Value(a->Truthy() && b->Truthy());
+        return std::nullopt;
+      }
+      if (mask.op == MaskOp::kOr) {
+        if (a && a->Truthy()) return Value(true);
+        std::optional<Value> b = FoldMaskConst(*mask.children[1]);
+        if (b && b->Truthy()) return Value(true);
+        if (a && b) return Value(a->Truthy() || b->Truthy());
+        return std::nullopt;
+      }
+      if (!a) return std::nullopt;
+      std::optional<Value> b = FoldMaskConst(*mask.children[1]);
+      if (!b) return std::nullopt;
+      switch (mask.op) {
+        case MaskOp::kAdd: case MaskOp::kSub: case MaskOp::kMul:
+        case MaskOp::kDiv: case MaskOp::kMod: {
+          Result<Value> r = mask.op == MaskOp::kAdd   ? a->Add(*b)
+                            : mask.op == MaskOp::kSub ? a->Sub(*b)
+                            : mask.op == MaskOp::kMul ? a->Mul(*b)
+                            : mask.op == MaskOp::kDiv ? a->Div(*b)
+                                                      : a->Mod(*b);
+          if (!r.ok()) return std::nullopt;
+          return *r;
+        }
+        case MaskOp::kEq: return Value(a->Equals(*b));
+        case MaskOp::kNe: return Value(!a->Equals(*b));
+        case MaskOp::kLt: case MaskOp::kLe:
+        case MaskOp::kGt: case MaskOp::kGe: {
+          Result<int> c = a->Compare(*b);
+          if (!c.ok()) return std::nullopt;
+          switch (mask.op) {
+            case MaskOp::kLt: return Value(*c < 0);
+            case MaskOp::kLe: return Value(*c <= 0);
+            case MaskOp::kGt: return Value(*c > 0);
+            default: return Value(*c >= 0);
+          }
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Accumulated constraints on one non-constant term (keyed by its canonical
+/// text), built from comparisons against constants.
+struct TermFacts {
+  double lo = -HUGE_VAL;
+  bool lo_strict = false;
+  double hi = HUGE_VAL;
+  bool hi_strict = false;
+  std::vector<Value> excluded;
+  std::optional<Value> must_eq;
+  bool contradiction = false;
+
+  void Apply(MaskOp op, const Value& c) {
+    Result<double> num = c.AsDouble();
+    switch (op) {
+      case MaskOp::kLt: case MaskOp::kLe:
+      case MaskOp::kGt: case MaskOp::kGe: {
+        if (!num.ok()) return;  // Non-numeric relational: undecidable here.
+        double v = *num;
+        if (op == MaskOp::kLt || op == MaskOp::kLe) {
+          bool strict = op == MaskOp::kLt;
+          if (v < hi || (v == hi && strict && !hi_strict)) {
+            hi = v;
+            hi_strict = strict;
+          }
+        } else {
+          bool strict = op == MaskOp::kGt;
+          if (v > lo || (v == lo && strict && !lo_strict)) {
+            lo = v;
+            lo_strict = strict;
+          }
+        }
+        break;
+      }
+      case MaskOp::kEq:
+        if (must_eq && !must_eq->Equals(c)) contradiction = true;
+        must_eq = c;
+        if (num.ok()) {
+          if (*num < hi) { hi = *num; hi_strict = false; }
+          if (*num > lo) { lo = *num; lo_strict = false; }
+        }
+        break;
+      case MaskOp::kNe:
+        excluded.push_back(c);
+        break;
+      default:
+        break;
+    }
+  }
+
+  bool Empty() const {
+    if (contradiction) return true;
+    if (lo > hi) return true;
+    if (lo == hi && (lo_strict || hi_strict) && std::isfinite(lo)) return true;
+    if (must_eq) {
+      for (const Value& v : excluded) {
+        if (must_eq->Equals(v)) return true;
+      }
+    }
+    // A pinched interval [c, c] plus a `!= c` constraint.
+    if (lo == hi && std::isfinite(lo)) {
+      for (const Value& v : excluded) {
+        Result<double> num = v.AsDouble();
+        if (num.ok() && *num == lo) return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// The comparison operators interval reasoning understands.
+bool IsComparisonOp(MaskOp op) {
+  switch (op) {
+    case MaskOp::kEq: case MaskOp::kNe: case MaskOp::kLt:
+    case MaskOp::kLe: case MaskOp::kGt: case MaskOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+MaskOp FlipComparison(MaskOp op) {
+  switch (op) {
+    case MaskOp::kLt: return MaskOp::kGt;
+    case MaskOp::kLe: return MaskOp::kGe;
+    case MaskOp::kGt: return MaskOp::kLt;
+    case MaskOp::kGe: return MaskOp::kLe;
+    default: return op;  // ==, != are symmetric.
+  }
+}
+
+/// The comparison accepting exactly the values `key op c` rejects.
+MaskOp NegateComparison(MaskOp op) {
+  switch (op) {
+    case MaskOp::kLt: return MaskOp::kGe;
+    case MaskOp::kLe: return MaskOp::kGt;
+    case MaskOp::kGt: return MaskOp::kLe;
+    case MaskOp::kGe: return MaskOp::kLt;
+    case MaskOp::kEq: return MaskOp::kNe;
+    default: return MaskOp::kEq;
+  }
+}
+
+/// Matches `term op constant` / `constant op term` where exactly one side
+/// constant-folds. Returns the term's canonical text, the op normalized to
+/// constant-on-the-right, and the constant.
+bool AsComparison(const MaskExpr& e, std::string* key, MaskOp* op, Value* c) {
+  if (e.kind != MaskKind::kBinary || !IsComparisonOp(e.op)) return false;
+  std::optional<Value> left = FoldMaskConst(*e.children[0]);
+  std::optional<Value> right = FoldMaskConst(*e.children[1]);
+  if (left.has_value() == right.has_value()) return false;
+  if (right) {
+    *key = e.children[0]->ToString();
+    *op = e.op;
+    *c = *right;
+  } else {
+    *key = e.children[1]->ToString();
+    *op = FlipComparison(e.op);
+    *c = *left;
+  }
+  return true;
+}
+
+/// Flattens nested kAnd (or kOr) binaries into their operand list.
+void FlattenOp(const MaskExpr& e, MaskOp op,
+               std::vector<const MaskExpr*>* out) {
+  if (e.kind == MaskKind::kBinary && e.op == op) {
+    FlattenOp(*e.children[0], op, out);
+    FlattenOp(*e.children[1], op, out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+MaskTruth Truth(const MaskExpr& e);
+
+MaskTruth TruthOfAnd(const MaskExpr& e) {
+  std::vector<const MaskExpr*> conjuncts;
+  FlattenOp(e, MaskOp::kAnd, &conjuncts);
+
+  bool all_always = true;
+  std::set<std::string> asserted, denied;
+  std::map<std::string, TermFacts> facts;
+  for (const MaskExpr* c : conjuncts) {
+    MaskTruth t = Truth(*c);
+    if (t == MaskTruth::kNever) return MaskTruth::kNever;
+    if (t != MaskTruth::kAlways) all_always = false;
+
+    std::string key;
+    MaskOp op;
+    Value constant;
+    if (AsComparison(*c, &key, &op, &constant)) {
+      facts[key].Apply(op, constant);
+      continue;
+    }
+    if (c->kind == MaskKind::kUnary && c->op == MaskOp::kNot) {
+      denied.insert(c->children[0]->ToString());
+    } else {
+      asserted.insert(c->ToString());
+    }
+  }
+  for (const auto& [key, f] : facts) {
+    if (f.Empty()) return MaskTruth::kNever;
+  }
+  for (const std::string& name : asserted) {
+    if (denied.count(name)) return MaskTruth::kNever;  // x && !x
+  }
+  return all_always ? MaskTruth::kAlways : MaskTruth::kUnknown;
+}
+
+MaskTruth TruthOfOr(const MaskExpr& e) {
+  std::vector<const MaskExpr*> disjuncts;
+  FlattenOp(e, MaskOp::kOr, &disjuncts);
+
+  bool all_never = true;
+  std::set<std::string> asserted, denied;
+  std::map<std::string, TermFacts> negated;  // Intersection of complements.
+  for (const MaskExpr* d : disjuncts) {
+    MaskTruth t = Truth(*d);
+    if (t == MaskTruth::kAlways) return MaskTruth::kAlways;
+    if (t != MaskTruth::kNever) all_never = false;
+
+    std::string key;
+    MaskOp op;
+    Value constant;
+    if (AsComparison(*d, &key, &op, &constant)) {
+      // The union of comparisons on one term covers every (numeric) value
+      // exactly when the intersection of their complements is empty.
+      negated[key].Apply(NegateComparison(op), constant);
+      continue;
+    }
+    if (d->kind == MaskKind::kUnary && d->op == MaskOp::kNot) {
+      denied.insert(d->children[0]->ToString());
+    } else {
+      asserted.insert(d->ToString());
+    }
+  }
+  if (all_never) return MaskTruth::kNever;
+  for (const auto& [key, f] : negated) {
+    if (f.Empty()) return MaskTruth::kAlways;  // e.g. x > 100 || x <= 100
+  }
+  for (const std::string& name : asserted) {
+    if (denied.count(name)) return MaskTruth::kAlways;  // x || !x
+  }
+  return MaskTruth::kUnknown;
+}
+
+MaskTruth Truth(const MaskExpr& e) {
+  if (std::optional<Value> v = FoldMaskConst(e)) {
+    return v->Truthy() ? MaskTruth::kAlways : MaskTruth::kNever;
+  }
+  switch (e.kind) {
+    case MaskKind::kUnary:
+      if (e.op == MaskOp::kNot) {
+        switch (Truth(*e.children[0])) {
+          case MaskTruth::kNever: return MaskTruth::kAlways;
+          case MaskTruth::kAlways: return MaskTruth::kNever;
+          case MaskTruth::kUnknown: return MaskTruth::kUnknown;
+        }
+      }
+      return MaskTruth::kUnknown;
+    case MaskKind::kBinary:
+      if (e.op == MaskOp::kAnd) return TruthOfAnd(e);
+      if (e.op == MaskOp::kOr) return TruthOfOr(e);
+      return MaskTruth::kUnknown;
+    default:
+      return MaskTruth::kUnknown;
+  }
+}
+
+}  // namespace
+
+MaskTruth AnalyzeMaskTruth(const MaskExpr& mask) { return Truth(mask); }
+
+}  // namespace ode

@@ -1,0 +1,44 @@
+#ifndef ODE_ANALYZE_MASK_CHECK_H_
+#define ODE_ANALYZE_MASK_CHECK_H_
+
+#include <optional>
+
+#include "common/value.h"
+#include "mask/mask_ast.h"
+
+namespace ode {
+
+/// Three-valued static truth of a mask expression.
+///
+/// kNever / kAlways are sound under the assumption that the mask evaluates
+/// without a runtime error: comparisons used for interval reasoning assume
+/// their non-constant side is numeric (a non-numeric operand makes the
+/// whole evaluation error out at run time, in which case the logical event
+/// does not occur either way). kUnknown is the safe default.
+enum class MaskTruth : uint8_t {
+  kUnknown = 0,
+  kNever,   ///< The mask cannot evaluate to true.
+  kAlways,  ///< The mask cannot evaluate to false.
+};
+
+/// Constant-folds a mask expression built from literals and the mask
+/// operators; nullopt when any leaf is an identifier, member access, or
+/// host call, or when the arithmetic errors (division by zero, type
+/// mismatch). Short-circuits `false && x` and `true || x` even when `x`
+/// does not fold (masks are side-effect free, §3.2).
+std::optional<Value> FoldMaskConst(const MaskExpr& mask);
+
+/// Decides the static truth of a mask via constant folding, boolean
+/// polarity (`x && !x`, `x || !x`) and interval reasoning over comparisons
+/// between a common subexpression and constants:
+///
+///   amount > 100 && amount < 50     -> kNever
+///   q >= 0 || q < 100               -> kAlways
+///   balance * 2 > 10 && balance * 2 < 5  -> kNever  (keyed by canonical text)
+///
+/// Everything it cannot decide is kUnknown.
+MaskTruth AnalyzeMaskTruth(const MaskExpr& mask);
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_MASK_CHECK_H_

@@ -1,0 +1,236 @@
+#include "analyze/spec_check.h"
+
+#include <set>
+#include <string>
+
+#include "analyze/mask_check.h"
+#include "common/strutil.h"
+
+namespace ode {
+
+namespace {
+
+class SpecChecker {
+ public:
+  SpecChecker(const TriggerSpec& spec, const SpecCheckContext& ctx,
+              std::vector<Diagnostic>* out)
+      : spec_(spec), ctx_(ctx), out_(out) {
+    for (const ParamDecl& p : spec.params) trigger_params_.insert(p.name);
+    if (ctx.class_def != nullptr) {
+      for (const AttrDecl& a : ctx.class_def->attrs()) {
+        attrs_.insert(a.name);
+      }
+    }
+  }
+
+  void Run() {
+    if (spec_.event == nullptr) return;
+    const EventExpr* core = spec_.event.get();
+    // Root composite masks: evaluated against current DB state at fire
+    // time; the compiler strips them the same way (CompileEvent).
+    while (core->kind == EventExprKind::kMasked) {
+      CheckMask(*core->mask, core->span, /*atom=*/nullptr);
+      core = core->children[0].get();
+    }
+    if (core->kind == EventExprKind::kNot) {
+      Add("L006", Severity::kWarning,
+          "top-level '!E' occurs at every history point where E does not — "
+          "this trigger fires almost always; did you mean a sequence or "
+          "mask?",
+          Span(core->span, spec_.event->span));
+    }
+    Walk(*core);
+  }
+
+ private:
+  static SourceSpan Span(SourceSpan preferred, SourceSpan fallback) {
+    return preferred.empty() ? fallback : preferred;
+  }
+
+  void Add(const char* id, Severity sev, std::string message,
+           SourceSpan span) {
+    Diagnostic d;
+    d.id = id;
+    d.severity = sev;
+    d.message = std::move(message);
+    d.span = span;
+    d.trigger = spec_.name;
+    out_->push_back(std::move(d));
+  }
+
+  void Walk(const EventExpr& e) {
+    switch (e.kind) {
+      case EventExprKind::kAtom:
+        CheckAtom(e);
+        return;
+      case EventExprKind::kMasked:
+        CheckMask(*e.mask, e.span, /*atom=*/nullptr);
+        break;
+      case EventExprKind::kRelativeN:
+      case EventExprKind::kSequenceN:
+      case EventExprKind::kEvery:
+        if (e.n == 1) {
+          const char* kw = e.kind == EventExprKind::kRelativeN ? "relative"
+                           : e.kind == EventExprKind::kSequenceN ? "sequence"
+                                                                 : "every";
+          Add("L007", Severity::kNote,
+              StrFormat("'%s 1 (E)' is equivalent to 'E'; the count adds "
+                        "nothing",
+                        kw),
+              e.span);
+        }
+        break;
+      default:
+        break;
+    }
+    for (const EventExprPtr& child : e.children) {
+      if (child->kind == EventExprKind::kEmpty) {
+        Add("L008", Severity::kNote,
+            "'empty' as an operand denotes the empty event set; the "
+            "surrounding operator can usually be simplified away",
+            Span(child->span, e.span));
+        continue;
+      }
+      Walk(*child);
+    }
+  }
+
+  void CheckAtom(const EventExpr& atom) {
+    const BasicEvent& be = atom.atom;
+    if (be.kind == BasicEventKind::kMethod && ctx_.class_def != nullptr) {
+      const MethodDef* m = ctx_.class_def->FindMethod(be.method_name);
+      if (m == nullptr) {
+        Add("L003", Severity::kWarning,
+            StrFormat("method event '%s' does not match any method declared "
+                      "by class '%s'; the logical event can never be posted",
+                      be.method_name.c_str(),
+                      ctx_.class_def->name().c_str()),
+            atom.span);
+      } else if (!be.params.empty() &&
+                 be.params.size() != m->params.size()) {
+        Add("L003", Severity::kWarning,
+            StrFormat("method event '%s' declares %zu parameter(s) but the "
+                      "class method takes %zu; the signatures never match",
+                      be.method_name.c_str(), be.params.size(),
+                      m->params.size()),
+            atom.span);
+      }
+    }
+    if (atom.atom_mask != nullptr) {
+      CheckMask(*atom.atom_mask, atom.span, &atom);
+    }
+  }
+
+  /// Truth + identifier checks on one mask. `atom` is the owning logical
+  /// event for atom masks, null for composite masks.
+  void CheckMask(const MaskExpr& mask, SourceSpan fallback,
+                 const EventExpr* atom) {
+    SourceSpan span = Span(mask.span, fallback);
+    switch (AnalyzeMaskTruth(mask)) {
+      case MaskTruth::kNever:
+        Add("L001", Severity::kError,
+            StrFormat("mask '%s' can never be true; the %s never occurs",
+                      mask.ToString().c_str(),
+                      atom != nullptr ? "logical event" : "composite event"),
+            span);
+        break;
+      case MaskTruth::kAlways:
+        Add("L002", Severity::kWarning,
+            StrFormat("mask '%s' is always true; it can be removed",
+                      mask.ToString().c_str()),
+            span);
+        break;
+      case MaskTruth::kUnknown:
+        break;
+    }
+    CheckIdents(mask, fallback, atom);
+  }
+
+  void CheckIdents(const MaskExpr& mask, SourceSpan fallback,
+                   const EventExpr* atom) {
+    switch (mask.kind) {
+      case MaskKind::kIdent:
+        CheckIdent(mask, fallback, atom);
+        return;
+      case MaskKind::kMember:
+        // Only the base can be resolved statically; fields depend on the
+        // referenced object's class.
+        CheckIdents(*mask.children[0], fallback, atom);
+        return;
+      case MaskKind::kCall:
+        // The callee is a host function (registered at run time, not
+        // checkable); arguments resolve normally.
+        for (const MaskExprPtr& arg : mask.children) {
+          CheckIdents(*arg, fallback, atom);
+        }
+        return;
+      default:
+        for (const MaskExprPtr& child : mask.children) {
+          CheckIdents(*child, fallback, atom);
+        }
+        return;
+    }
+  }
+
+  void CheckIdent(const MaskExpr& ident, SourceSpan fallback,
+                  const EventExpr* atom) {
+    const std::string& name = ident.name;
+    if (trigger_params_.count(name)) return;
+
+    // Event-argument bindings: the atom's declared signature, or (with
+    // class context) the declared parameter names of the method itself.
+    bool has_signature = false;
+    if (atom != nullptr && atom->atom.kind == BasicEventKind::kMethod) {
+      const BasicEvent& be = atom->atom;
+      has_signature = !be.params.empty();
+      for (const ParamDecl& p : be.params) {
+        if (p.name == name) return;
+      }
+      if (ctx_.class_def != nullptr) {
+        const MethodDef* m = ctx_.class_def->FindMethod(be.method_name);
+        if (m != nullptr) {
+          for (const ParamDecl& p : m->params) {
+            if (p.name == name) return;
+          }
+        }
+      }
+    }
+
+    SourceSpan span = Span(ident.span, fallback);
+    if (ctx_.class_def != nullptr) {
+      if (attrs_.count(name)) return;
+      Add("L004", Severity::kWarning,
+          StrFormat("'%s' is not an event parameter, trigger parameter, or "
+                    "attribute of class '%s'; evaluating this mask will "
+                    "fail at run time",
+                    name.c_str(), ctx_.class_def->name().c_str()),
+          span);
+      return;
+    }
+    // Without class context, attributes are invisible: only flag names on
+    // atoms that declared a full signature, where a typo is most likely.
+    if (atom != nullptr && has_signature) {
+      Add("L005", Severity::kNote,
+          StrFormat("'%s' is not bound by the event's signature or the "
+                    "trigger's parameters (it may be an object attribute "
+                    "the analyzer cannot see)",
+                    name.c_str()),
+          span);
+    }
+  }
+
+  const TriggerSpec& spec_;
+  const SpecCheckContext& ctx_;
+  std::vector<Diagnostic>* out_;
+  std::set<std::string> trigger_params_;
+  std::set<std::string> attrs_;
+};
+
+}  // namespace
+
+void CheckTriggerSpec(const TriggerSpec& spec, const SpecCheckContext& ctx,
+                      std::vector<Diagnostic>* out) {
+  SpecChecker(spec, ctx, out).Run();
+}
+
+}  // namespace ode

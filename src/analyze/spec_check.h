@@ -1,0 +1,37 @@
+#ifndef ODE_ANALYZE_SPEC_CHECK_H_
+#define ODE_ANALYZE_SPEC_CHECK_H_
+
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "lang/trigger_spec.h"
+#include "ode/class_def.h"
+
+namespace ode {
+
+/// Context for AST-level checks. `class_def` is optional: with it, method
+/// and identifier references are resolved against the class's declared
+/// methods and attributes (L003/L004); without it (the standalone CLI),
+/// only class-independent checks run.
+struct SpecCheckContext {
+  const ClassDef* class_def = nullptr;
+};
+
+/// Layer-1 checks (AST + masks) on a parsed trigger specification. Appends
+/// diagnostics (L-series, see docs/ANALYSIS.md):
+///
+///   L001 error    a mask can never be true (the logical event never occurs)
+///   L002 warning  a mask is always true (redundant)
+///   L003 warning  method event does not match any declared method
+///   L004 warning  mask identifier resolves to nothing (class context)
+///   L005 note     mask identifier is not a bound parameter (no class
+///                 context; may be an attribute the analyzer cannot see)
+///   L006 warning  top-level `!E` (occurs at almost every history point)
+///   L007 note     degenerate count: relative/sequence/every 1 (E) is E
+///   L008 note     `empty` as an operand denotes the empty event set
+void CheckTriggerSpec(const TriggerSpec& spec, const SpecCheckContext& ctx,
+                      std::vector<Diagnostic>* out);
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_SPEC_CHECK_H_

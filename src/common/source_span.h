@@ -1,0 +1,39 @@
+#ifndef ODE_COMMON_SOURCE_SPAN_H_
+#define ODE_COMMON_SOURCE_SPAN_H_
+
+#include <cstddef>
+
+namespace ode {
+
+/// A half-open byte range [begin, end) into the DSL source text a node was
+/// parsed from. Spans survive into the AST so the analyzer (src/analyze/)
+/// can point diagnostics at the offending subexpression; nodes synthesized
+/// after parsing (desugaring, the §5 disjointness rewrite) carry the empty
+/// span and callers fall back to an enclosing node's span.
+struct SourceSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  bool empty() const { return end <= begin; }
+  size_t size() const { return empty() ? 0 : end - begin; }
+
+  /// Smallest span covering both operands (an empty operand is ignored).
+  static SourceSpan Union(SourceSpan a, SourceSpan b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    return SourceSpan{a.begin < b.begin ? a.begin : b.begin,
+                      a.end > b.end ? a.end : b.end};
+  }
+
+  bool operator==(const SourceSpan&) const = default;
+};
+
+/// 1-based line/column position of a byte offset within a source text.
+struct LineCol {
+  int line = 1;
+  int col = 1;
+};
+
+}  // namespace ode
+
+#endif  // ODE_COMMON_SOURCE_SPAN_H_

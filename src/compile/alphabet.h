@@ -116,6 +116,19 @@ class Alphabet {
   /// a clock timer for each at activation (§3.1).
   std::vector<BasicEvent> TimeEvents() const;
 
+  /// --- Read-only access to the §5 grouping (static analysis) -----------
+  size_t num_groups() const { return groups_.size(); }
+  const BasicEvent& group_spec(size_t g) const { return groups_[g].spec; }
+  const std::vector<MaskSlot>& group_masks(size_t g) const {
+    return groups_[g].masks;
+  }
+  /// First micro-symbol id of group `g`; the group spans
+  /// [base, base + 2^masks) (micro-symbol bit i = group_masks()[i] holds).
+  SymbolId group_base(size_t g) const { return groups_[g].base; }
+  size_t group_num_symbols(size_t g) const {
+    return groups_[g].num_symbols();
+  }
+
  private:
   struct Group {
     BasicEvent spec;               ///< Representative basic event.

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/source_span.h"
 #include "event/basic_event.h"
 #include "mask/mask_ast.h"
 
@@ -59,6 +60,10 @@ struct EventExpr {
   /// kMasked: predicate over the *current* database state evaluated when
   /// the composite occurs (§3.3).
   MaskExprPtr mask;  // non-null for kMasked
+
+  /// Source range this node was parsed from; empty for nodes synthesized by
+  /// desugaring or the compiler. The parser sets it after construction.
+  SourceSpan span;
 
   /// --- Factories -------------------------------------------------------
   static EventExprPtr Empty();

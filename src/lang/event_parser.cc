@@ -9,6 +9,14 @@ namespace {
 
 Result<EventExprPtr> ParseSeq(TokenStream* ts);
 
+/// Stamps a span onto a freshly built node. The const_cast is safe: every
+/// node reaching here was just created by an EventExpr factory in this
+/// parse and has no other owners yet.
+EventExprPtr WithSpan(EventExprPtr e, size_t begin, size_t end) {
+  const_cast<EventExpr*>(e.get())->span = SourceSpan{begin, end};
+  return e;
+}
+
 /// True for tokens that mean "the preceding parenthesized expression was
 /// really a mask sub-expression" (e.g. `(balance*2) < x`).
 bool IsMaskContinuation(TokenKind k) {
@@ -184,7 +192,7 @@ Result<EventExprPtr> ParseBareShorthand(TokenStream* ts) {
   return EventExpr::StateShorthand(std::move(*mask));
 }
 
-Result<EventExprPtr> ParsePrimary(TokenStream* ts) {
+Result<EventExprPtr> ParsePrimaryImpl(TokenStream* ts) {
   NestingScope nesting(ts);
   if (!nesting.ok()) return NestingScope::TooDeep();
   const Token& t = ts->Peek();
@@ -304,7 +312,17 @@ Result<EventExprPtr> ParsePrimary(TokenStream* ts) {
   }
 }
 
+/// All ParsePrimaryImpl returns get the span of the tokens they consumed,
+/// stamped in one place (covers every production, including shorthands).
+Result<EventExprPtr> ParsePrimary(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
+  Result<EventExprPtr> r = ParsePrimaryImpl(ts);
+  if (!r.ok()) return r;
+  return WithSpan(std::move(*r), begin, ts->PrevEnd());
+}
+
 Result<EventExprPtr> ParsePostfix(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   Result<EventExprPtr> primary = ParsePrimary(ts);
   if (!primary.ok()) return primary;
   EventExprPtr expr = std::move(*primary);
@@ -318,46 +336,54 @@ Result<EventExprPtr> ParsePostfix(TokenStream* ts) {
       // Composite event + mask = logical-composite event (§3.3).
       expr = EventExpr::Masked(std::move(expr), std::move(*mask));
     }
+    expr = WithSpan(std::move(expr), begin, ts->PrevEnd());
   }
   return expr;
 }
 
 Result<EventExprPtr> ParseUnary(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   if (ts->TryConsume(TokenKind::kBang)) {
     NestingScope nesting(ts);
     if (!nesting.ok()) return NestingScope::TooDeep();
     Result<EventExprPtr> operand = ParseUnary(ts);
     if (!operand.ok()) return operand;
-    return EventExpr::Not(std::move(*operand));
+    return WithSpan(EventExpr::Not(std::move(*operand)), begin,
+                    ts->PrevEnd());
   }
   return ParsePostfix(ts);
 }
 
 Result<EventExprPtr> ParseAnd(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   Result<EventExprPtr> lhs = ParseUnary(ts);
   if (!lhs.ok()) return lhs;
   EventExprPtr expr = std::move(*lhs);
   while (ts->TryConsume(TokenKind::kAmp)) {
     Result<EventExprPtr> rhs = ParseUnary(ts);
     if (!rhs.ok()) return rhs;
-    expr = EventExpr::And(std::move(expr), std::move(*rhs));
+    expr = WithSpan(EventExpr::And(std::move(expr), std::move(*rhs)), begin,
+                    ts->PrevEnd());
   }
   return expr;
 }
 
 Result<EventExprPtr> ParseOrExpr(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   Result<EventExprPtr> lhs = ParseAnd(ts);
   if (!lhs.ok()) return lhs;
   EventExprPtr expr = std::move(*lhs);
   while (ts->TryConsume(TokenKind::kPipe)) {
     Result<EventExprPtr> rhs = ParseAnd(ts);
     if (!rhs.ok()) return rhs;
-    expr = EventExpr::Or(std::move(expr), std::move(*rhs));
+    expr = WithSpan(EventExpr::Or(std::move(expr), std::move(*rhs)), begin,
+                    ts->PrevEnd());
   }
   return expr;
 }
 
 Result<EventExprPtr> ParseSeq(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   Result<EventExprPtr> first = ParseOrExpr(ts);
   if (!first.ok()) return first;
   if (!ts->Peek().is(TokenKind::kSemicolon)) return first;
@@ -368,7 +394,8 @@ Result<EventExprPtr> ParseSeq(TokenStream* ts) {
     if (!next.ok()) return next;
     parts.push_back(std::move(*next));
   }
-  return EventExpr::Sequence(std::move(parts));
+  return WithSpan(EventExpr::Sequence(std::move(parts)), begin,
+                  ts->PrevEnd());
 }
 
 }  // namespace

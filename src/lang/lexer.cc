@@ -18,15 +18,45 @@ bool IsIdentChar(char c) {
 
 }  // namespace
 
+namespace {
+
+/// Fills in the 1-based line/col of every token in one pass (tokens are in
+/// increasing offset order).
+void AssignLineCol(std::string_view input, std::vector<Token>* tokens) {
+  int line = 1;
+  size_t line_start = 0;
+  size_t scanned = 0;
+  for (Token& t : *tokens) {
+    for (; scanned < t.offset && scanned < input.size(); ++scanned) {
+      if (input[scanned] == '\n') {
+        ++line;
+        line_start = scanned + 1;
+      }
+    }
+    t.line = line;
+    t.col = static_cast<int>(t.offset - line_start) + 1;
+  }
+}
+
+Status LexErrorAt(std::string_view input, size_t offset, std::string what) {
+  LineCol lc = LineColAt(input, offset);
+  return Status::ParseError(
+      StrFormat("%s at line %d, column %d", what.c_str(), lc.line, lc.col));
+}
+
+}  // namespace
+
 Result<std::vector<Token>> Tokenize(std::string_view input) {
   std::vector<Token> out;
   size_t i = 0;
   const size_t n = input.size();
 
-  auto push = [&out](TokenKind kind, size_t offset, std::string text = "") {
+  auto push = [&out](TokenKind kind, size_t offset, size_t length,
+                     std::string text = "") {
     Token t;
     t.kind = kind;
     t.offset = offset;
+    t.length = length;
     t.text = std::move(text);
     out.push_back(std::move(t));
   };
@@ -47,8 +77,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       i += 2;
       while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) ++i;
       if (i + 1 >= n) {
-        return Status::ParseError(
-            StrFormat("unterminated block comment at offset %zu", start));
+        return LexErrorAt(input, start, "unterminated block comment");
       }
       i += 2;
       continue;
@@ -62,6 +91,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       t.text = std::string(input.substr(start, i - start));
       t.keyword = KeywordFromSpelling(t.text);
       t.offset = start;
+      t.length = i - start;
       out.push_back(std::move(t));
       continue;
     }
@@ -79,6 +109,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       Token t;
       t.text = std::string(input.substr(start, i - start));
       t.offset = start;
+      t.length = i - start;
       if (is_float) {
         t.kind = TokenKind::kFloat;
         t.float_value = std::strtod(t.text.c_str(), nullptr);
@@ -107,21 +138,21 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
             case '\\': text += '\\'; break;
             case '"': text += '"'; break;
             default:
-              return Status::ParseError(
-                  StrFormat("bad escape '\\%c' at offset %zu", e, i - 1));
+              return LexErrorAt(input, i - 1,
+                                StrFormat("bad escape '\\%c'", e));
           }
           continue;
         }
         text += d;
       }
       if (!closed) {
-        return Status::ParseError(
-            StrFormat("unterminated string at offset %zu", start));
+        return LexErrorAt(input, start, "unterminated string");
       }
       Token t;
       t.kind = TokenKind::kString;
       t.text = std::move(text);
       t.offset = start;
+      t.length = i - start;
       out.push_back(std::move(t));
       continue;
     }
@@ -131,37 +162,37 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       return c == a && i + 1 < n && input[i + 1] == b;
     };
     if (c == '=' && i + 2 < n && input[i + 1] == '=' && input[i + 2] == '>') {
-      push(TokenKind::kArrow, start);
+      push(TokenKind::kArrow, start, 3);
       i += 3;
       continue;
     }
-    if (two('=', '=')) { push(TokenKind::kEqEq, start); i += 2; continue; }
-    if (two('!', '=')) { push(TokenKind::kBangEq, start); i += 2; continue; }
-    if (two('<', '=')) { push(TokenKind::kLe, start); i += 2; continue; }
-    if (two('>', '=')) { push(TokenKind::kGe, start); i += 2; continue; }
-    if (two('&', '&')) { push(TokenKind::kAmpAmp, start); i += 2; continue; }
-    if (two('|', '|')) { push(TokenKind::kPipePipe, start); i += 2; continue; }
+    if (two('=', '=')) { push(TokenKind::kEqEq, start, 2); i += 2; continue; }
+    if (two('!', '=')) { push(TokenKind::kBangEq, start, 2); i += 2; continue; }
+    if (two('<', '=')) { push(TokenKind::kLe, start, 2); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, start, 2); i += 2; continue; }
+    if (two('&', '&')) { push(TokenKind::kAmpAmp, start, 2); i += 2; continue; }
+    if (two('|', '|')) { push(TokenKind::kPipePipe, start, 2); i += 2; continue; }
     switch (c) {
-      case '(': push(TokenKind::kLParen, start); break;
-      case ')': push(TokenKind::kRParen, start); break;
-      case ',': push(TokenKind::kComma, start); break;
-      case ';': push(TokenKind::kSemicolon, start); break;
-      case ':': push(TokenKind::kColon, start); break;
-      case '.': push(TokenKind::kDot, start); break;
-      case '+': push(TokenKind::kPlus, start); break;
-      case '-': push(TokenKind::kMinus, start); break;
-      case '*': push(TokenKind::kStar, start); break;
-      case '/': push(TokenKind::kSlash, start); break;
-      case '%': push(TokenKind::kPercent, start); break;
-      case '!': push(TokenKind::kBang, start); break;
-      case '&': push(TokenKind::kAmp, start); break;
-      case '|': push(TokenKind::kPipe, start); break;
-      case '=': push(TokenKind::kEq, start); break;
-      case '<': push(TokenKind::kLt, start); break;
-      case '>': push(TokenKind::kGt, start); break;
+      case '(': push(TokenKind::kLParen, start, 1); break;
+      case ')': push(TokenKind::kRParen, start, 1); break;
+      case ',': push(TokenKind::kComma, start, 1); break;
+      case ';': push(TokenKind::kSemicolon, start, 1); break;
+      case ':': push(TokenKind::kColon, start, 1); break;
+      case '.': push(TokenKind::kDot, start, 1); break;
+      case '+': push(TokenKind::kPlus, start, 1); break;
+      case '-': push(TokenKind::kMinus, start, 1); break;
+      case '*': push(TokenKind::kStar, start, 1); break;
+      case '/': push(TokenKind::kSlash, start, 1); break;
+      case '%': push(TokenKind::kPercent, start, 1); break;
+      case '!': push(TokenKind::kBang, start, 1); break;
+      case '&': push(TokenKind::kAmp, start, 1); break;
+      case '|': push(TokenKind::kPipe, start, 1); break;
+      case '=': push(TokenKind::kEq, start, 1); break;
+      case '<': push(TokenKind::kLt, start, 1); break;
+      case '>': push(TokenKind::kGt, start, 1); break;
       default:
-        return Status::ParseError(
-            StrFormat("unexpected character '%c' at offset %zu", c, start));
+        return LexErrorAt(input, start,
+                          StrFormat("unexpected character '%c'", c));
     }
     ++i;
   }
@@ -170,6 +201,7 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
   end.kind = TokenKind::kEnd;
   end.offset = n;
   out.push_back(std::move(end));
+  AssignLineCol(input, &out);
   return out;
 }
 
@@ -180,9 +212,9 @@ Status TokenStream::Expect(TokenKind kind) {
 
 Status ParseErrorAt(const Token& token, std::string_view expected) {
   return Status::ParseError(
-      StrFormat("expected %s, found %s at offset %zu",
+      StrFormat("expected %s, found %s at line %d, column %d",
                 std::string(expected).c_str(), token.ToString().c_str(),
-                token.offset));
+                token.line, token.col));
 }
 
 }  // namespace ode

@@ -54,6 +54,15 @@ class TokenStream {
   size_t Save() const { return pos_; }
   void Restore(size_t saved) { pos_ = saved; }
 
+  /// Source end (offset past the last byte) of the most recently consumed
+  /// token, or 0 when nothing has been consumed. Parsers use this as the
+  /// exclusive end of a just-finished production's source span.
+  size_t PrevEnd() const {
+    if (pos_ == 0) return 0;
+    const Token& t = tokens_[pos_ - 1];
+    return t.offset + t.length;
+  }
+
   /// Recursive-descent depth guard: adversarial inputs like thousands of
   /// nested parentheses or `!` chains must fail with a clean ParseError
   /// instead of exhausting the stack.
@@ -88,7 +97,7 @@ class NestingScope {
   bool ok_;
 };
 
-/// Formats "expected X, found Y at offset N" parse diagnostics.
+/// Formats "expected X, found Y at line L, column C" parse diagnostics.
 Status ParseErrorAt(const Token& token, std::string_view expected);
 
 }  // namespace ode

@@ -4,6 +4,14 @@ namespace ode {
 
 namespace {
 
+/// Stamps a span onto a freshly built node. The const_cast is safe: every
+/// node reaching here was just created by a MaskExpr factory in this parse
+/// and has no other owners yet.
+MaskExprPtr WithSpan(MaskExprPtr e, size_t begin, size_t end) {
+  const_cast<MaskExpr*>(e.get())->span = SourceSpan{begin, end};
+  return e;
+}
+
 Result<MaskExprPtr> ParseOr(TokenStream* ts);
 
 Result<MaskExprPtr> ParsePrimary(TokenStream* ts) {
@@ -13,31 +21,37 @@ Result<MaskExprPtr> ParsePrimary(TokenStream* ts) {
   switch (t.kind) {
     case TokenKind::kInt: {
       ts->Next();
-      return MaskExpr::Literal(Value(t.int_value));
+      return WithSpan(MaskExpr::Literal(Value(t.int_value)), t.offset,
+                      t.offset + t.length);
     }
     case TokenKind::kFloat: {
       ts->Next();
-      return MaskExpr::Literal(Value(t.float_value));
+      return WithSpan(MaskExpr::Literal(Value(t.float_value)), t.offset,
+                      t.offset + t.length);
     }
     case TokenKind::kString: {
       ts->Next();
-      return MaskExpr::Literal(Value(t.text));
+      return WithSpan(MaskExpr::Literal(Value(t.text)), t.offset,
+                      t.offset + t.length);
     }
     case TokenKind::kLParen: {
       ts->Next();
       Result<MaskExprPtr> inner = ParseOr(ts);
       if (!inner.ok()) return inner;
       ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
-      return inner;
+      // Widen to include the parentheses so carets cover what was written.
+      return WithSpan(std::move(*inner), t.offset, ts->PrevEnd());
     }
     case TokenKind::kIdent: {
       if (t.keyword == Keyword::kTrue) {
         ts->Next();
-        return MaskExpr::Literal(Value(true));
+        return WithSpan(MaskExpr::Literal(Value(true)), t.offset,
+                        t.offset + t.length);
       }
       if (t.keyword == Keyword::kFalse) {
         ts->Next();
-        return MaskExpr::Literal(Value(false));
+        return WithSpan(MaskExpr::Literal(Value(false)), t.offset,
+                        t.offset + t.length);
       }
       if (t.keyword != Keyword::kNone) {
         return ParseErrorAt(t, "identifier (keywords are reserved in masks)");
@@ -55,9 +69,11 @@ Result<MaskExprPtr> ParsePrimary(TokenStream* ts) {
           }
         }
         ODE_RETURN_IF_ERROR(ts->Expect(TokenKind::kRParen));
-        return MaskExpr::Call(std::move(name), std::move(args));
+        return WithSpan(MaskExpr::Call(std::move(name), std::move(args)),
+                        t.offset, ts->PrevEnd());
       }
-      return MaskExpr::Ident(std::move(name));
+      return WithSpan(MaskExpr::Ident(std::move(name)), t.offset,
+                      t.offset + t.length);
     }
     default:
       return ParseErrorAt(t, "a mask primary expression");
@@ -65,6 +81,7 @@ Result<MaskExprPtr> ParsePrimary(TokenStream* ts) {
 }
 
 Result<MaskExprPtr> ParsePostfix(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   Result<MaskExprPtr> base = ParsePrimary(ts);
   if (!base.ok()) return base;
   MaskExprPtr expr = std::move(*base);
@@ -74,25 +91,29 @@ Result<MaskExprPtr> ParsePostfix(TokenStream* ts) {
       return ParseErrorAt(field, "member name after '.'");
     }
     ts->Next();
-    expr = MaskExpr::Member(std::move(expr), field.text);
+    expr = WithSpan(MaskExpr::Member(std::move(expr), field.text), begin,
+                    ts->PrevEnd());
   }
   return expr;
 }
 
 Result<MaskExprPtr> ParseUnary(TokenStream* ts) {
+  const size_t begin = ts->Peek().offset;
   if (ts->TryConsume(TokenKind::kBang)) {
     NestingScope nesting(ts);
     if (!nesting.ok()) return NestingScope::TooDeep();
     Result<MaskExprPtr> operand = ParseUnary(ts);
     if (!operand.ok()) return operand;
-    return MaskExpr::Unary(MaskOp::kNot, std::move(*operand));
+    return WithSpan(MaskExpr::Unary(MaskOp::kNot, std::move(*operand)), begin,
+                    ts->PrevEnd());
   }
   if (ts->TryConsume(TokenKind::kMinus)) {
     NestingScope nesting(ts);
     if (!nesting.ok()) return NestingScope::TooDeep();
     Result<MaskExprPtr> operand = ParseUnary(ts);
     if (!operand.ok()) return operand;
-    return MaskExpr::Unary(MaskOp::kNeg, std::move(*operand));
+    return WithSpan(MaskExpr::Unary(MaskOp::kNeg, std::move(*operand)), begin,
+                    ts->PrevEnd());
   }
   return ParsePostfix(ts);
 }
@@ -101,6 +122,7 @@ Result<MaskExprPtr> ParseUnary(TokenStream* ts) {
 /// accepted (token, op) pairs.
 template <typename Sub, typename Match>
 Result<MaskExprPtr> ParseBinaryLevel(TokenStream* ts, Sub sub, Match match) {
+  const size_t begin = ts->Peek().offset;
   Result<MaskExprPtr> lhs = sub(ts);
   if (!lhs.ok()) return lhs;
   MaskExprPtr expr = std::move(*lhs);
@@ -109,7 +131,8 @@ Result<MaskExprPtr> ParseBinaryLevel(TokenStream* ts, Sub sub, Match match) {
     ts->Next();
     Result<MaskExprPtr> rhs = sub(ts);
     if (!rhs.ok()) return rhs;
-    expr = MaskExpr::Binary(op, std::move(expr), std::move(*rhs));
+    expr = WithSpan(MaskExpr::Binary(op, std::move(expr), std::move(*rhs)),
+                    begin, ts->PrevEnd());
   }
   return expr;
 }

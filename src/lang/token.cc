@@ -80,4 +80,18 @@ std::string Token::ToString() const {
   return std::string(TokenKindName(kind));
 }
 
+LineCol LineColAt(std::string_view input, size_t offset) {
+  if (offset > input.size()) offset = input.size();
+  LineCol lc;
+  size_t line_start = 0;
+  for (size_t i = 0; i < offset; ++i) {
+    if (input[i] == '\n') {
+      ++lc.line;
+      line_start = i + 1;
+    }
+  }
+  lc.col = static_cast<int>(offset - line_start) + 1;
+  return lc;
+}
+
 }  // namespace ode

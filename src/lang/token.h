@@ -3,6 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "common/source_span.h"
 
 namespace ode {
 
@@ -80,6 +83,12 @@ struct Token {
   int64_t int_value = 0;             ///< kInt.
   double float_value = 0.0;          ///< kFloat.
   size_t offset = 0;                 ///< Byte offset in the input.
+  size_t length = 0;                 ///< Source length in bytes (0 for kEnd).
+  int line = 1;                      ///< 1-based source line.
+  int col = 1;                       ///< 1-based source column.
+
+  /// The source byte range this token occupies.
+  SourceSpan span() const { return SourceSpan{offset, offset + length}; }
 
   bool is(TokenKind k) const { return kind == k; }
   bool is_keyword(Keyword k) const {
@@ -94,6 +103,11 @@ struct Token {
 };
 
 std::string_view TokenKindName(TokenKind kind);
+
+/// 1-based line/column of a byte offset in `input` (newlines counted up to
+/// but not including `offset`). Offsets past the end clamp to the last
+/// position.
+LineCol LineColAt(std::string_view input, size_t offset);
 
 }  // namespace ode
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_span.h"
 #include "common/value.h"
 
 namespace ode {
@@ -56,6 +57,10 @@ struct MaskExpr {
   Value literal;                         // kLiteral
   std::string name;                      // kIdent/kMember(field)/kCall(fn)
   std::vector<MaskExprPtr> children;     // operands / call args / member base
+
+  /// Source range this node was parsed from; empty for synthesized nodes
+  /// (the §5 rewrite's combinators). Set by the parser after construction.
+  SourceSpan span;
 
   /// --- Factories -------------------------------------------------------
   static MaskExprPtr Literal(Value v);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "analyze/analyzer.h"
 #include "common/strutil.h"
 #include "trigger/trigger_engine.h"
 
@@ -19,6 +20,28 @@ Database::~Database() = default;
 
 Result<ClassId> Database::RegisterClass(ClassDef def) {
   std::string name = def.name();
+
+  if (options_.analyze_triggers != DatabaseOptions::TriggerAnalysisMode::kOff) {
+    AnalyzeOptions aopts;
+    aopts.compile = options_.compile;
+    AnalysisReport report = AnalyzeClassDef(def, std::move(aopts));
+    std::vector<Diagnostic> diags = report.AllDiagnostics();
+    std::string first_error;
+    for (const Diagnostic& d : diags) {
+      if (first_error.empty() && d.severity == Severity::kError) {
+        first_error = d.ToString();
+      }
+      analysis_diagnostics_.push_back(std::move(d));
+    }
+    if (!first_error.empty() &&
+        options_.analyze_triggers ==
+            DatabaseOptions::TriggerAnalysisMode::kReject) {
+      return Status::InvalidArgument(
+          StrFormat("class '%s' rejected by trigger analysis: %s",
+                    name.c_str(), first_error.c_str()));
+    }
+  }
+
   Result<ClassId> id = classes_.Register(std::move(def), options_.compile);
   if (!id.ok()) return id;
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analyze/diagnostic.h"
 #include "clock/virtual_clock.h"
 #include "common/result.h"
 #include "common/value.h"
@@ -51,6 +52,14 @@ struct DatabaseOptions {
   bool capture_witnesses = true;
   /// Compilation options for class triggers.
   CompileOptions compile;
+  /// Registration-time static analysis of trigger sections (the ode-lint
+  /// layers run inside RegisterClass, with the class as resolution
+  /// context). kWarn records findings — read them via
+  /// Database::analysis_diagnostics(). kReject additionally fails the
+  /// registration when any error-severity finding is produced (never-true
+  /// mask, empty-language automaton, compile failure).
+  enum class TriggerAnalysisMode : uint8_t { kOff = 0, kWarn, kReject };
+  TriggerAnalysisMode analyze_triggers = TriggerAnalysisMode::kOff;
 };
 
 /// Engine statistics (used by tests and benches). Counters are relaxed
@@ -96,9 +105,19 @@ class Database {
 
   // --- Schema ------------------------------------------------------------
 
-  /// Registers a class, compiling its trigger section (§2).
+  /// Registers a class, compiling its trigger section (§2). When
+  /// DatabaseOptions::analyze_triggers is not kOff, the ode-lint analysis
+  /// runs first; under kReject an error-severity finding fails the
+  /// registration with kInvalidArgument.
   Result<ClassId> RegisterClass(ClassDef def);
   const ClassRegistry& classes() const { return classes_; }
+
+  /// Findings accumulated by registration-time trigger analysis (empty
+  /// when analyze_triggers is kOff). Like schema registration itself,
+  /// not synchronized — read between registrations.
+  const std::vector<Diagnostic>& analysis_diagnostics() const {
+    return analysis_diagnostics_;
+  }
 
   /// §3: "In some cases it may be appropriate to define events over other
   /// scopes, such as the database. An example ... is the creation of object
@@ -334,6 +353,7 @@ class Database {
 
   DatabaseOptions options_;
   ClassRegistry classes_;
+  std::vector<Diagnostic> analysis_diagnostics_;
 
   /// Guards the object registry *structure* (insert/erase/find on
   /// `objects_`) and oid allocation. Object *contents* are single-writer

@@ -1,0 +1,240 @@
+// Layer-2 automaton checks (analyze/automaton_check.h), the cost model
+// (analyze/cost.h), and the whole-source analyzer (analyze/analyzer.h):
+// A001 emptiness, A002 universality, A003 liveness, A004/A005 pairwise,
+// C001 budgets, P001 parse errors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/automaton_check.h"
+#include "lang/event_parser.h"
+
+namespace ode {
+namespace {
+
+TriggerAnalysis Analyze(const std::string& source,
+                        AnalyzeOptions options = {}) {
+  Result<TriggerSpec> spec = ParseTriggerSpec(source);
+  EXPECT_TRUE(spec.ok()) << source << ": " << spec.status().ToString();
+  if (!spec.ok()) return {};
+  return AnalyzeTrigger(*spec, options);
+}
+
+const Diagnostic* Find(const std::vector<Diagnostic>& diags,
+                       std::string_view id) {
+  for (const Diagnostic& d : diags) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+TEST(AutomatonCheckTest, A001SimultaneousDistinctAtomsNeverOccur) {
+  // `after a & after b` requires one event to be both — empty language.
+  TriggerAnalysis ta = Analyze("t(): after a & after b ==> x");
+  EXPECT_TRUE(ta.never_fires);
+  const Diagnostic* d = Find(ta.diagnostics, "A001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+}
+
+TEST(AutomatonCheckTest, A001NeverTrueMaskEmptiesTheLanguage) {
+  // The mask's micro-symbol can never be realized, so the automaton's
+  // accepting states become unreachable over the possible symbols.
+  TriggerAnalysis ta =
+      Analyze("t(): after w(q) && q > 9 && q < 1 ==> x");
+  EXPECT_TRUE(ta.never_fires);
+  EXPECT_NE(Find(ta.diagnostics, "A001"), nullptr);
+  EXPECT_NE(Find(ta.diagnostics, "L001"), nullptr);  // Layer 1 agrees.
+}
+
+TEST(AutomatonCheckTest, A002UniversalLanguage) {
+  TriggerAnalysis ta = Analyze("t(): after a | !after a ==> x");
+  EXPECT_TRUE(ta.always_fires);
+  const Diagnostic* d = Find(ta.diagnostics, "A002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(AutomatonCheckTest, A002MaskGatedUniversalIsCalledOut) {
+  // The event part is universal; only the root composite mask gates
+  // firing. Flagged with the mask-specific wording, not always_fires.
+  TriggerAnalysis ta =
+      Analyze("t(): (after a | !after a) && q > 0 ==> x");
+  EXPECT_FALSE(ta.always_fires);
+  const Diagnostic* d = Find(ta.diagnostics, "A002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("composite mask"), std::string::npos)
+      << d->message;
+}
+
+TEST(AutomatonCheckTest, CleanTriggerHasNoAutomatonFindings) {
+  TriggerAnalysis ta = Analyze("t(): sequence(after a, after b) ==> x");
+  EXPECT_FALSE(ta.never_fires);
+  EXPECT_FALSE(ta.always_fires);
+  EXPECT_EQ(Find(ta.diagnostics, "A001"), nullptr);
+  EXPECT_EQ(Find(ta.diagnostics, "A002"), nullptr);
+}
+
+TEST(AutomatonCheckTest, AnalyzeStatesFindsDeadAndUnreachable) {
+  // Hand-built 4-state DFA over {0,1}: state 2 is a non-accepting sink
+  // (dead); state 3 is unreachable.
+  Dfa dfa(2, 4);
+  dfa.SetStart(0);
+  dfa.SetStep(0, 0, 1);
+  dfa.SetStep(0, 1, 2);
+  dfa.SetStep(1, 0, 1);
+  dfa.SetStep(1, 1, 2);
+  dfa.SetStep(2, 0, 2);
+  dfa.SetStep(2, 1, 2);
+  dfa.SetStep(3, 0, 0);
+  dfa.SetStep(3, 1, 0);
+  dfa.SetAccepting(1, true);
+  StateReport report = AnalyzeStates(dfa, {true, true});
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.unreachable, 1u);  // State 3.
+  EXPECT_EQ(report.dead, 1u);         // State 2.
+}
+
+TEST(CostTest, ReportsBasicShape) {
+  Result<TriggerSpec> spec =
+      ParseTriggerSpec("t(): sequence(after a, after b) ==> x");
+  ASSERT_TRUE(spec.ok());
+  Result<CompiledEvent> compiled = CompileEvent(spec->event, {});
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  CostReport cost = EstimateCost(*compiled);
+  EXPECT_GT(cost.dfa_states, 0u);
+  EXPECT_EQ(cost.alphabet_size, 3u);  // a, b, OTHER.
+  EXPECT_EQ(cost.num_gates, 0u);
+  EXPECT_EQ(cost.steps_per_event, 1u);
+  EXPECT_GT(cost.table_bytes, 0u);
+  EXPECT_FALSE(cost.ToString().empty());
+}
+
+TEST(CostTest, C001FiresOverBudget) {
+  AnalyzeOptions options;
+  options.budget_dfa_states = 1;
+  TriggerAnalysis ta =
+      Analyze("t(): sequence(after a, after b) ==> x", options);
+  const Diagnostic* d = Find(ta.diagnostics, "C001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(CompareTest, CommutedOrIsEquivalent) {
+  Result<EventExprPtr> a = ParseEvent("after a | after b");
+  Result<EventExprPtr> b = ParseEvent("after b | after a");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairRelation> rel = CompareEventExprs(*a, *b, {});
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(*rel, PairRelation::kEquivalent);
+}
+
+TEST(CompareTest, SubsumptionBothDirections) {
+  Result<EventExprPtr> big = ParseEvent("after a | after b");
+  Result<EventExprPtr> small = ParseEvent("after a");
+  ASSERT_TRUE(big.ok() && small.ok());
+  Result<PairRelation> rel = CompareEventExprs(*big, *small, {});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, PairRelation::kASubsumesB);
+  rel = CompareEventExprs(*small, *big, {});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, PairRelation::kBSubsumesA);
+}
+
+TEST(CompareTest, DistinctExpressions) {
+  Result<EventExprPtr> a = ParseEvent("after a");
+  Result<EventExprPtr> b = ParseEvent("after b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairRelation> rel = CompareEventExprs(*a, *b, {});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, PairRelation::kDistinct);
+}
+
+TEST(CompareTest, DifferentRootMasksAreIncomparable) {
+  // Root composite masks gate on run-time state the automaton cannot see.
+  Result<EventExprPtr> a = ParseEvent("(after a | after b) && q > 0");
+  Result<EventExprPtr> b = ParseEvent("after a | after b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairRelation> rel = CompareEventExprs(*a, *b, {});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, PairRelation::kIncomparable);
+}
+
+TEST(CompareTest, SameRootMasksCompare) {
+  Result<EventExprPtr> a = ParseEvent("(after a | after b) && q > 0");
+  Result<EventExprPtr> b = ParseEvent("(after b | after a) && q > 0");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairRelation> rel = CompareEventExprs(*a, *b, {});
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(*rel, PairRelation::kEquivalent);
+}
+
+TEST(AnalyzeSourceTest, PairwiseDuplicateAndSubsumption) {
+  const std::string src =
+      "first(): after a | after b ==> log\n"
+      "\n"
+      "second(): after b | after a ==> log\n"
+      "\n"
+      "third(): after a ==> log\n";
+  AnalysisReport report = AnalyzeSpecSource(src);
+  ASSERT_EQ(report.triggers.size(), 3u);
+  const Diagnostic* dup = Find(report.file_diagnostics, "A004");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->trigger, "second");
+  EXPECT_NE(dup->message.find("duplicate"), std::string::npos)
+      << dup->message;
+  // The duplicate's span points at the second trigger's event expression.
+  EXPECT_EQ(src.substr(dup->span.begin, dup->span.size()),
+            "after b | after a");
+
+  const Diagnostic* sub = Find(report.file_diagnostics, "A005");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->trigger, "third");
+  EXPECT_EQ(src.substr(sub->span.begin, sub->span.size()), "after a");
+}
+
+TEST(AnalyzeSourceTest, P001ParseFailureCarriesLine) {
+  const std::string src =
+      "good(): after a ==> log\n"
+      "\n"
+      "bad(): after ( ==> log\n";
+  AnalysisReport report = AnalyzeSpecSource(src);
+  EXPECT_EQ(report.triggers.size(), 1u);
+  const Diagnostic* d = Find(report.file_diagnostics, "P001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_NE(d->message.find("line 3"), std::string::npos) << d->message;
+  EXPECT_TRUE(report.has_errors());
+}
+
+TEST(AnalyzeSourceTest, EmptyLanguageTriggerSkipsPairwise) {
+  // `never` is contained in everything vacuously; A001 already says it
+  // all, so no A004/A005 should mention it.
+  const std::string src =
+      "never(): after a & after b ==> log\n"
+      "\n"
+      "real(): after a ==> log\n";
+  AnalysisReport report = AnalyzeSpecSource(src);
+  ASSERT_EQ(report.triggers.size(), 2u);
+  EXPECT_TRUE(report.triggers[0].never_fires);
+  EXPECT_EQ(Find(report.file_diagnostics, "A004"), nullptr);
+  EXPECT_EQ(Find(report.file_diagnostics, "A005"), nullptr);
+}
+
+TEST(AnalyzeSourceTest, SpansAreFileAccurateAcrossBlocks) {
+  const std::string src =
+      "ok(): after a ==> log\n"
+      "\n"
+      "dead(): after w(q) && q > 9 && q < 1 ==> log\n";
+  AnalysisReport report = AnalyzeSpecSource(src);
+  ASSERT_EQ(report.triggers.size(), 2u);
+  const Diagnostic* d = Find(report.triggers[1].diagnostics, "L001");
+  ASSERT_NE(d, nullptr);
+  // The span indexes into the whole file, not the block.
+  EXPECT_EQ(src.substr(d->span.begin, d->span.size()), "q > 9 && q < 1");
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,102 @@
+// Layer-1 mask reasoning: constant folding and the interval/contradiction
+// analysis behind L001/L002 (analyze/mask_check.h).
+#include <gtest/gtest.h>
+
+#include "analyze/mask_check.h"
+#include "lang/mask_parser.h"
+
+namespace ode {
+namespace {
+
+MaskTruth TruthOf(const char* text) {
+  Result<MaskExprPtr> mask = ParseMask(text);
+  EXPECT_TRUE(mask.ok()) << text << ": " << mask.status().ToString();
+  if (!mask.ok()) return MaskTruth::kUnknown;
+  return AnalyzeMaskTruth(**mask);
+}
+
+TEST(FoldMaskConstTest, Literals) {
+  Result<MaskExprPtr> mask = ParseMask("1 + 2 * 3");
+  ASSERT_TRUE(mask.ok());
+  std::optional<Value> v = FoldMaskConst(**mask);
+  ASSERT_TRUE(v.has_value());
+  Result<double> d = v->AsDouble();
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, 7.0);
+}
+
+TEST(FoldMaskConstTest, NonConstantDoesNotFold) {
+  Result<MaskExprPtr> mask = ParseMask("q + 1");
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE(FoldMaskConst(**mask).has_value());
+}
+
+TEST(FoldMaskConstTest, ShortCircuitFoldsPastNonConstant) {
+  // Masks are side-effect free, so `false && q > 0` folds to false even
+  // though q does not.
+  Result<MaskExprPtr> mask = ParseMask("1 > 2 && q > 0");
+  ASSERT_TRUE(mask.ok());
+  std::optional<Value> v = FoldMaskConst(**mask);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_FALSE(v->Truthy());
+}
+
+TEST(MaskTruthTest, ConstantMasks) {
+  EXPECT_EQ(TruthOf("1 + 2 == 3"), MaskTruth::kAlways);
+  EXPECT_EQ(TruthOf("true && false"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("!(5 > 3)"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("\"a\" == \"a\""), MaskTruth::kAlways);
+}
+
+TEST(MaskTruthTest, IntervalContradictions) {
+  EXPECT_EQ(TruthOf("q > 100 && q < 50"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("q > 10 && q <= 10"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("q == 5 && q != 5"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("q == 5 && q == 6"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("q >= 10 && q <= 10 && q != 10"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("100 < q && 50 > q"), MaskTruth::kNever);  // Flipped.
+}
+
+TEST(MaskTruthTest, SatisfiableIntervalsStayUnknown) {
+  EXPECT_EQ(TruthOf("q > 100 && q < 200"), MaskTruth::kUnknown);
+  EXPECT_EQ(TruthOf("q >= 10 && q <= 10"), MaskTruth::kUnknown);
+  EXPECT_EQ(TruthOf("q > 0"), MaskTruth::kUnknown);
+  // Facts about different terms must not interfere.
+  EXPECT_EQ(TruthOf("a > 100 && b < 50"), MaskTruth::kUnknown);
+}
+
+TEST(MaskTruthTest, BooleanContradictionAndTautology) {
+  EXPECT_EQ(TruthOf("x && !x"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("x || !x"), MaskTruth::kAlways);
+  EXPECT_EQ(TruthOf("x && y && !x"), MaskTruth::kNever);
+}
+
+TEST(MaskTruthTest, OrCoverageTautology) {
+  // The union of comparisons covers every value: complement intersection
+  // is empty.
+  EXPECT_EQ(TruthOf("q > 100 || q <= 100"), MaskTruth::kAlways);
+  EXPECT_EQ(TruthOf("q > 0 || q < 10"), MaskTruth::kAlways);
+  EXPECT_EQ(TruthOf("q != 5 || q == 5"), MaskTruth::kAlways);
+  // A gap remains: not a tautology.
+  EXPECT_EQ(TruthOf("q > 0 || q < -10"), MaskTruth::kUnknown);
+  EXPECT_EQ(TruthOf("q > 100 || q < 100"), MaskTruth::kUnknown);  // q == 100.
+}
+
+TEST(MaskTruthTest, NotInverts) {
+  EXPECT_EQ(TruthOf("!(q > 100 && q < 50)"), MaskTruth::kAlways);
+  EXPECT_EQ(TruthOf("!(q > 100 || q <= 100)"), MaskTruth::kNever);
+}
+
+TEST(MaskTruthTest, NestedConjunctionsFlatten) {
+  EXPECT_EQ(TruthOf("(q > 100 && p > 0) && q < 50"), MaskTruth::kNever);
+  EXPECT_EQ(TruthOf("q > 100 && (p > 0 && q < 50)"), MaskTruth::kNever);
+}
+
+TEST(MaskTruthTest, UndecidableShapesStayUnknown) {
+  EXPECT_EQ(TruthOf("f(q) > 0 && f(q) < 0"), MaskTruth::kNever);  // Same key.
+  EXPECT_EQ(TruthOf("a.b > 0"), MaskTruth::kUnknown);
+  EXPECT_EQ(TruthOf("q * 2 > 10 && q < 1"), MaskTruth::kUnknown);  // No algebra.
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,138 @@
+// Property test: the analyzer's verdicts are claims about every possible
+// history, so no randomized history may ever contradict them. Emptiness /
+// universality (A001/A002) and pairwise equivalence / subsumption
+// (A004/A005) are each cross-validated against the §4 denotational oracle
+// on 1000+ random histories per expression / pair.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "analyze/automaton_check.h"
+#include "compile/compiler.h"
+#include "lang/event_ast.h"
+#include "semantics/oracle.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::RandomExpr;
+using testing_util::RandomHistory;
+
+constexpr int kHistoriesPerSubject = 1000;
+
+TEST(AnalyzeOracleProperty, EmptinessAndUniversalityMatchOracle) {
+  std::mt19937 rng(20260805);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 25; ++trial) {
+    EventExprPtr expr = RandomExpr(&rng, 3);
+    Result<CompiledEvent> compiled = CompileEvent(expr, CompileOptions());
+    if (!compiled.ok()) continue;  // Resource-guard rejection.
+    ++checked;
+
+    std::vector<bool> possible = ComputePossibleSymbols(*compiled);
+    bool empty = DfaEmptySigmaPlus(compiled->dfa, possible);
+    bool universal = DfaUniversalSigmaPlus(compiled->dfa, possible);
+    ASSERT_FALSE(empty && universal) << expr->ToString();
+
+    Oracle oracle(expr, &compiled->alphabet);
+    for (int h = 0; h < kHistoriesPerSubject; ++h) {
+      std::vector<SymbolId> history = RandomHistory(
+          &rng, compiled->alphabet.size(), 1 + (rng() % 8));
+      Result<std::vector<bool>> occ = oracle.OccurrencePoints(history);
+      ASSERT_TRUE(occ.ok()) << expr->ToString() << ": "
+                            << occ.status().ToString();
+      for (size_t p = 0; p < occ->size(); ++p) {
+        if (empty) {
+          ASSERT_FALSE((*occ)[p])
+              << "analyzer said never-fires, oracle found an occurrence: "
+              << expr->ToString();
+        }
+        if (universal) {
+          ASSERT_TRUE((*occ)[p])
+              << "analyzer said universal, oracle found a gap: "
+              << expr->ToString();
+        }
+      }
+    }
+  }
+  EXPECT_GE(checked, 10);
+}
+
+TEST(AnalyzeOracleProperty, PairwiseVerdictsMatchOracle) {
+  std::mt19937 rng(42);
+  int checked = 0;
+  for (int trial = 0; trial < 40 && checked < 15; ++trial) {
+    EventExprPtr a = RandomExpr(&rng, 3);
+    EventExprPtr b;
+    switch (trial % 3) {
+      case 0:  // !!E == E: an equivalent-by-construction pair.
+        b = EventExpr::Not(EventExpr::Not(a));
+        break;
+      case 1:  // L(a) ⊆ L(a | fresh): a subsumed-by-construction pair.
+        b = EventExpr::Or(a, RandomExpr(&rng, 2));
+        break;
+      default:  // Independent pair — usually distinct.
+        b = RandomExpr(&rng, 3);
+        break;
+    }
+
+    Result<PairRelation> rel = CompareEventExprs(a, b, CompileOptions());
+    if (!rel.ok()) continue;  // Resource-guard rejection.
+    if (*rel == PairRelation::kIncomparable) continue;
+
+    // The oracle must see both expressions over ONE symbol space — the
+    // same joint alphabet CompareEventExprs builds internally.
+    Result<Alphabet> joint = Alphabet::Build(*EventExpr::Or(a, b));
+    ASSERT_TRUE(joint.ok()) << joint.status().ToString();
+    Oracle oracle_a(a, &*joint);
+    Oracle oracle_b(b, &*joint);
+    ++checked;
+
+    for (int h = 0; h < kHistoriesPerSubject; ++h) {
+      std::vector<SymbolId> history =
+          RandomHistory(&rng, joint->size(), 1 + (rng() % 8));
+      Result<std::vector<bool>> occ_a = oracle_a.OccurrencePoints(history);
+      Result<std::vector<bool>> occ_b = oracle_b.OccurrencePoints(history);
+      ASSERT_TRUE(occ_a.ok() && occ_b.ok());
+      for (size_t p = 0; p < occ_a->size(); ++p) {
+        switch (*rel) {
+          case PairRelation::kEquivalent:
+            ASSERT_EQ((*occ_a)[p], (*occ_b)[p])
+                << "equivalence verdict contradicted at point " << p << ": "
+                << a->ToString() << " vs " << b->ToString();
+            break;
+          case PairRelation::kASubsumesB:  // L(b) ⊆ L(a).
+            ASSERT_TRUE(!(*occ_b)[p] || (*occ_a)[p])
+                << "subsumption verdict contradicted: " << a->ToString()
+                << " vs " << b->ToString();
+            break;
+          case PairRelation::kBSubsumesA:  // L(a) ⊆ L(b).
+            ASSERT_TRUE(!(*occ_a)[p] || (*occ_b)[p])
+                << "subsumption verdict contradicted: " << a->ToString()
+                << " vs " << b->ToString();
+            break;
+          default:
+            break;
+        }
+      }
+    }
+
+    // The constructed identities must also be *recognized*, not merely
+    // uncontradicted.
+    if (trial % 3 == 0) {
+      EXPECT_EQ(*rel, PairRelation::kEquivalent)
+          << a->ToString() << " vs !!same";
+    }
+    if (trial % 3 == 1) {
+      EXPECT_TRUE(*rel == PairRelation::kBSubsumesA ||
+                  *rel == PairRelation::kEquivalent)
+          << a->ToString() << " vs " << b->ToString();
+    }
+  }
+  EXPECT_GE(checked, 8);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,140 @@
+// The registration hook: DatabaseOptions::analyze_triggers runs the
+// ode-lint layers inside Database::RegisterClass.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ode/database.h"
+
+namespace ode {
+namespace {
+
+ClassDef AccountWith(const std::string& trigger_dsl) {
+  ClassDef def("account");
+  def.AddAttr("balance", Value(0));
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddTrigger(trigger_dsl, HistoryView::kFull, /*auto_activate=*/false);
+  return def;
+}
+
+const Diagnostic* Find(const std::vector<Diagnostic>& diags,
+                       std::string_view id) {
+  for (const Diagnostic& d : diags) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+TEST(RegisterAnalysisTest, OffModeRecordsNothing) {
+  Database db;  // analyze_triggers defaults to kOff.
+  Result<ClassId> id = db.RegisterClass(
+      AccountWith("dead(): after withdraw(q) && q > 9 && q < 1 ==> noop"));
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(db.analysis_diagnostics().empty());
+}
+
+TEST(RegisterAnalysisTest, WarnModeRecordsButRegisters) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+  Result<ClassId> id = db.RegisterClass(
+      AccountWith("dead(): after withdraw(q) && q > 9 && q < 1 ==> noop"));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+
+  const std::vector<Diagnostic>& diags = db.analysis_diagnostics();
+  const Diagnostic* l001 = Find(diags, "L001");
+  ASSERT_NE(l001, nullptr);
+  EXPECT_EQ(l001->trigger, "dead");
+  EXPECT_NE(Find(diags, "A001"), nullptr);
+
+  // The class is fully usable despite the findings.
+  EXPECT_NE(db.classes().Find("account"), nullptr);
+}
+
+TEST(RegisterAnalysisTest, RejectModeFailsRegistrationOnError) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kReject;
+  Database db(options);
+  Result<ClassId> id = db.RegisterClass(
+      AccountWith("dead(): after withdraw(q) && q > 9 && q < 1 ==> noop"));
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(id.status().message().find("rejected by trigger analysis"),
+            std::string::npos)
+      << id.status().ToString();
+  EXPECT_EQ(db.classes().Find("account"), nullptr);
+}
+
+TEST(RegisterAnalysisTest, RejectModeAcceptsCleanClassRecordingWarnings) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kReject;
+  Database db(options);
+  // A warning-level finding (universal event part) must not reject.
+  ClassDef def("account");
+  def.AddAttr("balance", Value(0));
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddTrigger("noisy(): after withdraw | !after withdraw ==> noop",
+                 HistoryView::kFull, /*auto_activate=*/false);
+  def.AddTrigger("fine(): after withdraw(amount) && amount > balance "
+                 "==> noop",
+                 HistoryView::kFull, /*auto_activate=*/false);
+  Result<ClassId> id = db.RegisterClass(std::move(def));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_NE(Find(db.analysis_diagnostics(), "A002"), nullptr);
+  EXPECT_EQ(Find(db.analysis_diagnostics(), "L004"), nullptr);
+}
+
+TEST(RegisterAnalysisTest, UnknownMethodFlaggedWithClassContext) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+  Result<ClassId> id = db.RegisterClass(
+      AccountWith("typo(): after withdrw ==> noop"));  // Misspelled.
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_NE(Find(db.analysis_diagnostics(), "L003"), nullptr);
+}
+
+TEST(RegisterAnalysisTest, PairwiseDuplicateAcrossClassTriggers) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+  ClassDef def("account");
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddTrigger("one(): after withdraw | after deposit ==> noop",
+                 HistoryView::kFull, false);
+  def.AddTrigger("two(): after deposit | after withdraw ==> noop",
+                 HistoryView::kFull, false);
+  Result<ClassId> id = db.RegisterClass(std::move(def));
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const Diagnostic* dup = Find(db.analysis_diagnostics(), "A004");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->trigger, "two");
+}
+
+TEST(RegisterAnalysisTest, DiagnosticsAccumulateAcrossRegistrations) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+  ASSERT_TRUE(db.RegisterClass(
+                    AccountWith("dead(): after withdraw(q) && q > 9 && "
+                                "q < 1 ==> noop"))
+                  .ok());
+  size_t first = db.analysis_diagnostics().size();
+  EXPECT_GT(first, 0u);
+  ClassDef other("vault");
+  other.AddMethod(MethodDef{"open", {}, MethodKind::kUpdate, nullptr});
+  other.AddTrigger("loop(): !after open ==> noop", HistoryView::kFull,
+                   false);
+  ASSERT_TRUE(db.RegisterClass(std::move(other)).ok());
+  EXPECT_GT(db.analysis_diagnostics().size(), first);
+}
+
+}  // namespace
+}  // namespace ode

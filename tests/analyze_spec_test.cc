@@ -1,0 +1,175 @@
+// Layer-1 spec checks (L-series diagnostics) and their source spans
+// (analyze/spec_check.h), plus the caret renderer (analyze/diagnostic.h).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/spec_check.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+namespace {
+
+std::vector<Diagnostic> Check(std::string_view source,
+                              const ClassDef* class_def = nullptr) {
+  Result<TriggerSpec> spec = ParseTriggerSpec(source);
+  EXPECT_TRUE(spec.ok()) << source << ": " << spec.status().ToString();
+  std::vector<Diagnostic> out;
+  if (!spec.ok()) return out;
+  SpecCheckContext ctx;
+  ctx.class_def = class_def;
+  CheckTriggerSpec(*spec, ctx, &out);
+  return out;
+}
+
+const Diagnostic* Find(const std::vector<Diagnostic>& diags,
+                       std::string_view id) {
+  for (const Diagnostic& d : diags) {
+    if (d.id == id) return &d;
+  }
+  return nullptr;
+}
+
+/// The source text the diagnostic's span covers.
+std::string Covered(std::string_view source, const Diagnostic& d) {
+  return std::string(source.substr(d.span.begin, d.span.size()));
+}
+
+TEST(SpecCheckTest, L001NeverTrueMaskWithExactSpan) {
+  const std::string src =
+      "t(): after withdraw(amt) && amt > 100 && amt < 50 ==> alert";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L001");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(Covered(src, *d), "amt > 100 && amt < 50");
+}
+
+TEST(SpecCheckTest, L002AlwaysTrueMask) {
+  const std::string src = "t(): after withdraw(amt) && amt >= 0 || amt < 1 "
+                          "==> alert";
+  // The mask parser consumes the whole `a || b` as the atom's mask.
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L002");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(SpecCheckTest, L003UnknownMethod) {
+  ClassDef def("account");
+  def.AddAttr("balance", Value(0));
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  const std::string src = "t(): after deposit ==> alert";
+  std::vector<Diagnostic> diags = Check(src, &def);
+  const Diagnostic* d = Find(diags, "L003");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+
+  // Arity mismatch against the declaration is also L003.
+  diags = Check("t(): after withdraw(a, b) ==> alert", &def);
+  EXPECT_NE(Find(diags, "L003"), nullptr);
+
+  // A declared method with matching arity is clean.
+  diags = Check("t(): after withdraw(amount) ==> alert", &def);
+  EXPECT_EQ(Find(diags, "L003"), nullptr);
+}
+
+TEST(SpecCheckTest, L004UnknownIdentifierWithClassContext) {
+  ClassDef def("account");
+  def.AddAttr("balance", Value(0));
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  const std::string src =
+      "t(): after withdraw(amount) && amout > 100 ==> alert";  // Typo.
+  std::vector<Diagnostic> diags = Check(src, &def);
+  const Diagnostic* d = Find(diags, "L004");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+
+  // Attribute, event argument, and trigger parameter references resolve.
+  diags = Check("t(limit): after withdraw(amount) && "
+                "amount > limit && balance > 0 ==> alert",
+                &def);
+  EXPECT_EQ(Find(diags, "L004"), nullptr);
+}
+
+TEST(SpecCheckTest, L005UnboundIdentifierWithoutClassContext) {
+  // Without a class the analyzer cannot see attributes, so an identifier
+  // that is not a bound parameter is only a note.
+  const std::string src =
+      "t(): after withdraw(amount) && balance > 0 ==> alert";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L005");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_EQ(Find(diags, "L004"), nullptr);
+}
+
+TEST(SpecCheckTest, L006TopLevelNot) {
+  const std::string src = "t(): !after withdraw ==> alert";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L006");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+}
+
+TEST(SpecCheckTest, L007DegenerateCount) {
+  std::vector<Diagnostic> diags = Check("t(): relative 1 (after a) ==> x");
+  EXPECT_NE(Find(diags, "L007"), nullptr);
+  // prior 1 (E) means "E has occurred at some point" — not degenerate.
+  diags = Check("t(): prior 1 (after a) ==> x");
+  EXPECT_EQ(Find(diags, "L007"), nullptr);
+  diags = Check("t(): relative 2 (after a) ==> x");
+  EXPECT_EQ(Find(diags, "L007"), nullptr);
+}
+
+TEST(SpecCheckTest, L008EmptyOperand) {
+  std::vector<Diagnostic> diags = Check("t(): after a | empty ==> x");
+  const Diagnostic* d = Find(diags, "L008");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+}
+
+TEST(SpecCheckTest, CleanSpecHasNoDiagnostics) {
+  ClassDef def("account");
+  def.AddAttr("balance", Value(0));
+  def.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  def.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  std::vector<Diagnostic> diags = Check(
+      "overdraft(): after withdraw(amount) && amount > balance ==> alert",
+      &def);
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(DiagnosticRenderTest, CaretPointsAtSpan) {
+  const std::string src = "t(): after w(q) && q > 9 && q < 1 ==> a";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L001");
+  ASSERT_NE(d, nullptr);
+  std::string rendered = RenderDiagnostic(*d, src, "spec.trig");
+  // Header: file:line:col, severity, id.
+  EXPECT_NE(rendered.find("spec.trig:1:"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("error: [L001]"), std::string::npos) << rendered;
+  // Caret line underlines the full mask.
+  EXPECT_NE(rendered.find("^~~~"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("q > 9 && q < 1"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticRenderTest, EmptySpanRendersHeaderOnly) {
+  Diagnostic d;
+  d.id = "P001";
+  d.severity = Severity::kError;
+  d.message = "does not parse";
+  std::string rendered = RenderDiagnostic(d, "whatever", "f.trig");
+  EXPECT_NE(rendered.find("error: [P001] does not parse"), std::string::npos)
+      << rendered;
+  EXPECT_EQ(rendered.find('^'), std::string::npos) << rendered;
+}
+
+}  // namespace
+}  // namespace ode

@@ -5,6 +5,7 @@
 #include <random>
 
 #include "lang/event_parser.h"
+#include "lang/lexer.h"
 #include "lang/trigger_spec.h"
 #include "test_util.h"
 
@@ -116,6 +117,62 @@ TEST(ParserRobustnessTest, LongUnionChain) {
   Result<EventExprPtr> r = ParseEvent(chain);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ((*r)->NodeCount(), 1001u);  // 501 atoms + 500 unions.
+}
+
+// --- Exact source positions in errors and tokens ------------------------
+
+TEST(ParserPositionTest, ErrorOnFirstLineReportsColumn) {
+  Result<EventExprPtr> r = ParseEvent("after a ) after b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("at line 1, column 9"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserPositionTest, ErrorOnLaterLineReportsLineAndColumn) {
+  // The offending ')' sits on line 2, column 9.
+  Result<EventExprPtr> r = ParseEvent("relative(after a,\n        )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2, column 9"),
+            std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserPositionTest, TriggerSpecErrorsCarryPositions) {
+  Result<TriggerSpec> r =
+      ParseTriggerSpec("t():\n  after a |\n     ==> act");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserPositionTest, LexerErrorsCarryPositions) {
+  // An unterminated string on line 2.
+  Result<EventExprPtr> r = ParseEvent("after f &&\n  x == \"oops");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(ParserPositionTest, TokensCarryLineColumnAndLength) {
+  Result<std::vector<Token>> tokens = Tokenize("after aa\n  q >= 10");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 5u);
+  const Token& kw = (*tokens)[0];  // `after`
+  EXPECT_EQ(kw.line, 1);
+  EXPECT_EQ(kw.col, 1);
+  EXPECT_EQ(kw.length, 5u);
+  const Token& ident = (*tokens)[1];  // `aa`
+  EXPECT_EQ(ident.line, 1);
+  EXPECT_EQ(ident.col, 7);
+  EXPECT_EQ(ident.length, 2u);
+  const Token& q = (*tokens)[2];  // `q` on line 2.
+  EXPECT_EQ(q.line, 2);
+  EXPECT_EQ(q.col, 3);
+  const Token& ge = (*tokens)[3];  // `>=`
+  EXPECT_EQ(ge.line, 2);
+  EXPECT_EQ(ge.col, 5);
+  EXPECT_EQ(ge.length, 2u);
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// ode-lint: static analyzer for trigger specification files.
+//
+// Reads one or more specification files (blank-line-separated trigger
+// declarations in the repo's DSL), runs the three analysis layers
+// (AST/mask checks, automaton checks on the compiled DFA, cost
+// estimation), and renders every finding caret-style against the source.
+//
+// Exit status: 0 when no file produced an error-severity diagnostic,
+// 1 when at least one did, 2 on usage / I/O failure.
+//
+// See docs/ANALYSIS.md for the diagnostic catalogue.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "common/strutil.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ode-lint [options] <spec-file>...\n"
+    "\n"
+    "Statically analyzes trigger specification files: mask\n"
+    "satisfiability, automaton emptiness/universality/liveness,\n"
+    "pairwise duplicate and subsumption detection, and cost reports.\n"
+    "\n"
+    "options:\n"
+    "  --no-automaton        skip layer-2 automaton checks\n"
+    "  --no-pairwise         skip pairwise equivalence/subsumption\n"
+    "  --cost                print a per-trigger cost report\n"
+    "  --budget-states=N     warn (C001) when a DFA exceeds N states\n"
+    "  --budget-bytes=N      warn (C001) when tables exceed N bytes\n"
+    "  -h, --help            show this help\n";
+
+bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
+  size_t len = std::strlen(prefix);
+  if (std::strncmp(arg, prefix, len) != 0) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(arg + len, &end, 10);
+  if (end == arg + len || *end != '\0') {
+    std::fprintf(stderr, "ode-lint: bad value in '%s'\n", arg);
+    std::exit(2);
+  }
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ode::AnalyzeOptions options;
+  bool print_cost = false;
+  std::vector<std::string> files;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (std::strcmp(arg, "--no-automaton") == 0) {
+      options.automaton_checks = false;
+    } else if (std::strcmp(arg, "--no-pairwise") == 0) {
+      options.pairwise_checks = false;
+    } else if (std::strcmp(arg, "--cost") == 0) {
+      print_cost = true;
+    } else if (ParseSizeFlag(arg, "--budget-states=",
+                             &options.budget_dfa_states) ||
+               ParseSizeFlag(arg, "--budget-bytes=",
+                             &options.budget_table_bytes)) {
+      // Parsed into options.
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "ode-lint: unknown option '%s'\n%s", arg, kUsage);
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+  bool io_failure = false;
+  for (const std::string& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "ode-lint: cannot open '%s'\n", file.c_str());
+      io_failure = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string source = buf.str();
+
+    ode::AnalysisReport report = ode::AnalyzeSpecSource(source, options);
+    std::vector<ode::Diagnostic> diags = report.AllDiagnostics();
+    for (const ode::Diagnostic& d : diags) {
+      switch (d.severity) {
+        case ode::Severity::kError: ++errors; break;
+        case ode::Severity::kWarning: ++warnings; break;
+        case ode::Severity::kNote: ++notes; break;
+      }
+    }
+    std::string rendered = ode::RenderDiagnostics(diags, source, file);
+    if (!rendered.empty()) std::fputs(rendered.c_str(), stdout);
+
+    if (print_cost) {
+      for (const ode::TriggerAnalysis& t : report.triggers) {
+        if (!t.compiled) continue;
+        std::printf("%s: cost: trigger '%s': %s\n", file.c_str(),
+                    t.name.c_str(), t.cost.ToString().c_str());
+      }
+    }
+  }
+
+  std::printf("ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s\n",
+              files.size(), files.size() == 1 ? "" : "s", errors,
+              errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s",
+              notes, notes == 1 ? "" : "s");
+  if (io_failure) return 2;
+  return errors > 0 ? 1 : 0;
+}
