@@ -1,0 +1,146 @@
+// Network ingest throughput: events/sec through the full loopback stack
+// (IngestClient → TCP → IngestServer → IngestRuntime) as a function of
+// shard count and worker batch size, against the in-process Post() path
+// as the baseline. The wire protocol's pipelining (buffered POSTs,
+// cumulative ACKs roughly every 1024 accepted posts) is what keeps the
+// network path within shouting distance of in-process ingest; the
+// acceptance bar (BENCH_net_ingest.json, compared against
+// BENCH_ingest.json by bench/run_ingest_bench.sh) is >= 50% of the
+// in-process rate at batch >= 128 on loopback.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "ode/database.h"
+#include "runtime/ingest_runtime.h"
+
+namespace ode {
+namespace {
+
+using runtime::IngestOptions;
+using runtime::IngestRuntime;
+
+constexpr size_t kObjects = 16;
+constexpr int kEventsPerIter = 4096;
+
+// Same schema as bench_ingest so the two JSON reports compare
+// like-for-like: a live counting trigger, state-event postings off.
+ClassDef BenchClass() {
+  ClassDef def("cell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("T1(): perpetual every 3 (after add) ==> count");
+  def.SetPostingPolicy(EventPostingPolicy{
+      /*method_events=*/true, /*access_events=*/false,
+      /*read_update_events=*/false});
+  return def;
+}
+
+std::vector<Oid> Setup(Database* db) {
+  (void)db->RegisterAction("count", [](const ActionContext& ctx) -> Status {
+    Result<Value> t = ctx.db->PeekAttr(ctx.self, "touches");
+    if (!t.ok()) return t.status();
+    Result<Value> next = t->Add(Value(1));
+    if (!next.ok()) return next.status();
+    return ctx.db->SetAttr(ctx.txn, ctx.self, "touches", *next);
+  });
+  (void)db->RegisterClass(BenchClass());
+  std::vector<Oid> oids;
+  TxnId t = db->Begin().value();
+  for (size_t i = 0; i < kObjects; ++i) {
+    Oid oid = db->New(t, "cell").value();
+    (void)db->ActivateTrigger(t, oid, "T1");
+    oids.push_back(oid);
+  }
+  (void)db->Commit(t);
+  return oids;
+}
+
+/// The full network path on loopback: pipelined POSTs from one client,
+/// DRAIN as the end-of-iteration barrier (which is also what forces the
+/// reply stream to be consumed inside the timed region).
+void BM_NetIngestLoopback(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Database db;
+  std::vector<Oid> oids = Setup(&db);
+  IngestOptions opts;
+  opts.num_shards = shards;
+  opts.max_batch = batch;
+  opts.queue_capacity = 4096;
+  opts.record_latency = false;
+  IngestRuntime rt(&db, opts);
+  (void)rt.Start();
+  net::IngestServer server(&rt);
+  (void)server.Start();
+
+  net::ClientOptions client_options;
+  client_options.port = server.port();
+  client_options.recv_timeout_ms = 30000;
+  net::IngestClient client(client_options);
+  (void)client.Connect();
+
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventsPerIter; ++i) {
+      (void)client.Post(oids[next++ % kObjects], "add", {Value(1)});
+    }
+    (void)client.Drain();
+  }
+  server.Stop();
+  (void)rt.Stop();
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = static_cast<double>(batch);
+  state.counters["acked"] = static_cast<double>(client.stats().acked);
+}
+BENCHMARK(BM_NetIngestLoopback)
+    ->ArgsProduct({{1, 2, 4}, {1, 16, 128, 512}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// In-process reference with identical runtime settings, so the report
+/// carries its own baseline (run_ingest_bench.sh computes the ratio).
+void BM_NetBaselineInProcess(benchmark::State& state) {
+  const size_t shards = static_cast<size_t>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  Database db;
+  std::vector<Oid> oids = Setup(&db);
+  IngestOptions opts;
+  opts.num_shards = shards;
+  opts.max_batch = batch;
+  opts.queue_capacity = 4096;
+  opts.record_latency = false;
+  IngestRuntime rt(&db, opts);
+  (void)rt.Start();
+  size_t next = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kEventsPerIter; ++i) {
+      (void)rt.Post(oids[next++ % kObjects], "add", {Value(1)});
+    }
+    (void)rt.Drain();
+  }
+  (void)rt.Stop();
+  state.SetItemsProcessed(state.iterations() * kEventsPerIter);
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["batch"] = static_cast<double>(batch);
+}
+BENCHMARK(BM_NetBaselineInProcess)
+    ->ArgsProduct({{1, 2, 4}, {1, 16, 128, 512}})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace ode

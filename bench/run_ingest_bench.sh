@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs the ingest benchmarks and records machine-readable reports:
+#
+#   BENCH_ingest.json      — in-process sharded runtime (bench_ingest)
+#   BENCH_net_ingest.json  — loopback network stack (bench_net_ingest)
+#
+# Then checks the PR-3 acceptance bar: at every shards x batch point with
+# batch >= 128, the loopback path must reach >= 50% of the in-process
+# events/sec (bench_net_ingest carries its own in-process baseline so the
+# ratio compares identical runtime settings within one process run).
+#
+# Usage: bench/run_ingest_bench.sh [build-dir] [output-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+REPS="${BENCH_REPS:-1}"
+
+for bench in bench_ingest bench_net_ingest; do
+  if [ ! -x "${BUILD_DIR}/bench/${bench}" ]; then
+    echo "run_ingest_bench: ${BUILD_DIR}/bench/${bench} not built" >&2
+    echo "  (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target ${bench})" >&2
+    exit 2
+  fi
+done
+
+"${BUILD_DIR}/bench/bench_ingest" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_out="${OUT_DIR}/BENCH_ingest.json" \
+  --benchmark_out_format=json
+
+"${BUILD_DIR}/bench/bench_net_ingest" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_out="${OUT_DIR}/BENCH_net_ingest.json" \
+  --benchmark_out_format=json
+
+python3 - "${OUT_DIR}/BENCH_net_ingest.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+# items_per_second keyed by (name, shards, batch), aggregate rows skipped.
+rates = {}
+for b in doc["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    base = b["name"].split("/")[0]
+    key = (int(b["shards"]), int(b["batch"]))
+    rates.setdefault(base, {})[key] = b["items_per_second"]
+
+net = rates.get("BM_NetIngestLoopback", {})
+ref = rates.get("BM_NetBaselineInProcess", {})
+failures = []
+print(f"{'shards':>6} {'batch':>6} {'net ev/s':>12} {'in-proc ev/s':>13} {'ratio':>6}")
+for key in sorted(net):
+    if key not in ref:
+        continue
+    ratio = net[key] / ref[key]
+    shards, batch = key
+    bar = " <-- FAIL (< 0.50 at batch >= 128)" if batch >= 128 and ratio < 0.5 else ""
+    print(f"{shards:>6} {batch:>6} {net[key]:>12.0f} {ref[key]:>13.0f} {ratio:>6.2f}{bar}")
+    if bar:
+        failures.append(key)
+
+if failures:
+    print(f"run_ingest_bench: FAIL: loopback below 50% of in-process at {failures}")
+    sys.exit(1)
+print("run_ingest_bench: ok: loopback >= 50% of in-process at every batch >= 128 point")
+EOF

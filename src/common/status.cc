@@ -30,6 +30,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "WouldBlock";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kShutdown:
+      return "Shutdown";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kDeadlock,          ///< Lock acquisition would deadlock.
   kWouldBlock,        ///< Lock held by another transaction; caller may retry.
   kResourceExhausted, ///< A configured limit (states, alphabet, ...) exceeded.
+  kShutdown,          ///< Component stopped; no further work is accepted.
+  kUnavailable,       ///< Peer unreachable (connection refused/lost).
 };
 
 /// Returns a stable human-readable name for a code, e.g. "InvalidArgument".
@@ -83,6 +85,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Shutdown(std::string msg) {
+    return Status(StatusCode::kShutdown, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

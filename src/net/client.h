@@ -1,0 +1,138 @@
+#ifndef ODE_NET_CLIENT_H_
+#define ODE_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace ode {
+namespace net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Post() buffers frames and writes once this many bytes accumulate
+  /// (pipelining); Flush()/Drain() write immediately.
+  size_t flush_threshold = 128 * 1024;
+  /// Resend posts the server bounced with ERR_WOULD_BLOCK (kReject
+  /// backpressure): Drain() keeps running resend rounds while they make
+  /// progress (fewer posts bounce back each time) and gives up with
+  /// kWouldBlock after this many consecutive rounds without progress,
+  /// backing off with doubling delays while stalled.
+  int max_drain_retries = 8;
+  std::chrono::microseconds initial_backoff{200};
+  /// Redial on a broken connection. Unacked posts are replayed after the
+  /// reconnect — delivery becomes at-least-once across a reconnect (the
+  /// server may have accepted posts whose ACK was lost).
+  bool auto_reconnect = true;
+  int max_reconnect_attempts = 3;
+  std::chrono::milliseconds reconnect_backoff{50};
+  /// SO_RCVTIMEO for blocking reply reads; 0 = wait forever.
+  int recv_timeout_ms = 0;
+};
+
+/// Blocking client for the ingest wire protocol. Posts are pipelined: they
+/// are buffered, written in large batches, and not individually
+/// acknowledged — the server replies only with cumulative ACKs, per-seq
+/// errors, and barrier completions, which this client processes during
+/// Flush()/Drain(). Not thread-safe; use one client per producer thread.
+///
+/// Delivery semantics: on a healthy connection every post is delivered
+/// exactly once (accepted, or bounced and resent by Drain's retry rounds,
+/// which re-targets only the bounced seqs). Across an auto-reconnect,
+/// unacked posts are replayed, so delivery is at-least-once.
+class IngestClient {
+ public:
+  explicit IngestClient(ClientOptions options);
+  ~IngestClient();
+
+  IngestClient(const IngestClient&) = delete;
+  IngestClient& operator=(const IngestClient&) = delete;
+
+  Status Connect();
+  void Close();
+  bool connected() const { return sock_.valid(); }
+
+  /// Queues one method invocation. Usually returns immediately (the frame
+  /// lands in the send buffer); writes when the buffer is full. A non-OK
+  /// return reports a transport failure, not a server-side verdict —
+  /// server verdicts surface at Drain().
+  Status Post(Oid oid, std::string_view method,
+              const std::vector<Value>& args = {});
+
+  /// Writes buffered frames and opportunistically processes any replies
+  /// that already arrived (non-blocking read).
+  Status Flush();
+
+  /// Full barrier with retry: flushes, sends DRAIN, and blocks until the
+  /// server confirms every prior post processed. Posts bounced by kReject
+  /// backpressure are resent with doubling backoff (max_drain_retries
+  /// rounds); kWouldBlock if some still bounce, kShutdown if the server is
+  /// stopping, otherwise the first hard per-post error observed.
+  Status Drain();
+
+  /// Requests the server's runtime metrics snapshot (blocking).
+  Result<RemoteMetrics> Metrics();
+
+  /// Round-trip liveness probe (blocking).
+  Status Ping();
+
+  struct Stats {
+    uint64_t posted = 0;     ///< Post() calls accepted into the pipeline.
+    uint64_t acked = 0;      ///< Posts confirmed by cumulative ACKs.
+    uint64_t rejected = 0;   ///< ERR_WOULD_BLOCK bounces received.
+    uint64_t resent = 0;     ///< Bounced posts resent by Drain().
+    uint64_t errors = 0;     ///< Hard per-post errors received.
+    uint64_t reconnects = 0; ///< Successful redials.
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct PendingPost {
+    uint64_t seq;
+    Oid oid;
+    std::string method;
+    std::vector<Value> args;
+  };
+
+  /// Appends one POST for `event` (with a fresh seq) to the send buffer
+  /// and tracks it as unacked.
+  void EncodePost(Oid oid, std::string_view method, std::vector<Value> args);
+  /// Writes the whole send buffer to the socket, reconnecting if allowed.
+  Status WriteAll();
+  /// Processes every buffered/readable reply; with `block`, waits until at
+  /// least one frame arrives (or the wait seq shows up).
+  Status PumpReplies(bool block, uint64_t wait_seq, bool* saw_wait_seq,
+                     Frame* reply = nullptr);
+  /// Applies one reply frame to client state.
+  void ApplyReply(const Frame& frame);
+  /// Flushes, sends one control frame (encoded by `append` with a fresh
+  /// seq), and blocks for its reply. Re-sends the control frame when a
+  /// mid-send reconnect dropped it (the replayed pipeline carries only
+  /// POSTs). kErr replies come back as their mapped Status.
+  Status Roundtrip(void (*append)(std::string*, uint64_t), Frame* reply);
+  Status Reconnect();
+
+  const ClientOptions options_;
+  Socket sock_;
+  std::string outbuf_;
+  FrameDecoder decoder_;
+  uint64_t next_seq_ = 1;
+  std::deque<PendingPost> unacked_;   ///< Sent, not yet covered by an ACK.
+  std::vector<PendingPost> bounced_;  ///< ERR_WOULD_BLOCK'd; Drain resends.
+  Status hard_error_;                 ///< First non-retryable post error.
+  bool server_shutting_down_ = false;
+  Stats stats_;
+};
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_CLIENT_H_

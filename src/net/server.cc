@@ -1,0 +1,238 @@
+#include "net/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strutil.h"
+
+namespace ode {
+namespace net {
+
+namespace {
+constexpr size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+IngestServer::IngestServer(runtime::IngestRuntime* rt, ServerOptions options)
+    : rt_(rt), options_(std::move(options)) {}
+
+IngestServer::~IngestServer() { Stop(); }
+
+Status IngestServer::Start() {
+  if (started_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("ingest server cannot be restarted");
+  }
+  Result<Socket> listener =
+      TcpListen(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  ODE_RETURN_IF_ERROR(SetNonBlocking(listener_.fd(), true));
+  ODE_ASSIGN_OR_RETURN(port_, LocalPort(listener_.fd()));
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return Status::Internal("pipe: " + std::string(std::strerror(errno)));
+  }
+  wake_read_.Reset(pipe_fds[0]);
+  wake_write_.Reset(pipe_fds[1]);
+  ODE_RETURN_IF_ERROR(SetNonBlocking(wake_read_.fd(), true));
+
+  running_.store(true, std::memory_order_release);
+  loop_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void IngestServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll; the loop notices running_ == false and exits.
+  if (wake_write_.valid()) {
+    char byte = 0;
+    (void)!::write(wake_write_.fd(), &byte, 1);
+  }
+  if (loop_.joinable()) loop_.join();
+  conns_.clear();
+  listener_.Reset();
+  wake_read_.Reset();
+  wake_write_.Reset();
+}
+
+void IngestServer::Loop() {
+  std::vector<pollfd> fds;
+  while (running_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back(pollfd{wake_read_.fd(), POLLIN, 0});
+    fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = 0;
+      // A closing connection only flushes; everyone else also reads.
+      if (!conn->closing) events |= POLLIN;
+      if (conn->out_pos < conn->out.size()) events |= POLLOUT;
+      fds.push_back(pollfd{conn->sock.fd(), events, 0});
+    }
+    int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;  // Unrecoverable poll failure; drop the server loop.
+    }
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(wake_read_.fd(), drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) AcceptOne();
+
+    // fds[i + 2] belongs to conns_[i]; handle I/O, collect the dead.
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      Conn* conn = conns_[i].get();
+      short revents = fds[i + 2].revents;
+      bool alive = true;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Peer is gone; pending replies are undeliverable.
+        alive = false;
+      } else {
+        if (alive && (revents & POLLIN)) alive = HandleReadable(conn);
+        if (alive && (revents & (POLLIN | POLLOUT))) alive = FlushWrites(conn);
+      }
+      // A closing connection dies once its replies are flushed.
+      if (alive && conn->closing && conn->out_pos >= conn->out.size()) {
+        alive = false;
+      }
+      if (!alive) conns_[i] = nullptr;
+    }
+    std::erase(conns_, nullptr);
+  }
+}
+
+void IngestServer::AcceptOne() {
+  // Drain the accept backlog (the listener is edge-ish under poll: one
+  // POLLIN may cover several pending connections).
+  while (true) {
+    std::string peer;
+    Result<Socket> accepted = Accept(listener_.fd(), &peer);
+    if (!accepted.ok()) return;  // EAGAIN or transient failure.
+    if (conns_.size() >= options_.max_connections) {
+      // Reject politely: one ERR frame, then close.
+      std::string reply;
+      AppendErr(&reply, 0, WireError::kInternal, "connection limit reached");
+      (void)!::send(accepted->fd(), reply.data(), reply.size(), MSG_NOSIGNAL);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(accepted).value();
+    conn->peer = peer;
+    if (!SetNonBlocking(conn->sock.fd(), true).ok()) continue;
+    conn->producer = rt_->RegisterProducer(
+        StrFormat("conn%llu[%s]",
+                  static_cast<unsigned long long>(next_conn_id_++),
+                  peer.c_str()));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_.push_back(std::move(conn));
+  }
+}
+
+bool IngestServer::HandleReadable(Conn* conn) {
+  char chunk[kReadChunk];
+  ssize_t n = ::recv(conn->sock.fd(), chunk, sizeof(chunk), 0);
+  if (n == 0) return false;  // EOF.
+  if (n < 0) {
+    return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+  }
+  conn->decoder.Append(chunk, static_cast<size_t>(n));
+  Frame frame;
+  while (!conn->closing) {
+    FrameDecoder::State state = conn->decoder.Next(&frame);
+    if (state == FrameDecoder::State::kNeedMore) break;
+    if (state == FrameDecoder::State::kError) {
+      // Framing is lost: report once, flush, close.
+      AppendErr(&conn->out, 0, WireError::kMalformed, conn->decoder.error());
+      conn->closing = true;
+      break;
+    }
+    frames_handled_.fetch_add(1, std::memory_order_relaxed);
+    if (!HandleFrame(conn, std::move(frame))) {
+      conn->closing = true;
+      break;
+    }
+  }
+  if (conn->out.size() - conn->out_pos > options_.max_write_buffer) {
+    return false;  // Peer is not reading its replies; cut it loose.
+  }
+  return true;
+}
+
+bool IngestServer::HandleFrame(Conn* conn, Frame&& frame) {
+  switch (frame.type) {
+    case FrameType::kPost: {
+      Status s = rt_->Post(frame.oid, std::move(frame.method),
+                           std::move(frame.args), conn->producer);
+      if (s.ok()) {
+        conn->last_accepted_seq = frame.seq;
+        ++conn->accepted_since_ack;
+        MaybeAck(conn, /*force=*/false);
+        return true;
+      }
+      // Acknowledge what preceded the failure, then report it with the
+      // failing seq so the client can retarget exactly that event.
+      MaybeAck(conn, /*force=*/true);
+      AppendErr(&conn->out, frame.seq, WireErrorFromStatus(s), s.message());
+      return s.code() != StatusCode::kShutdown;
+    }
+    case FrameType::kDrain: {
+      Status s = rt_->Drain();
+      MaybeAck(conn, /*force=*/true);
+      if (!s.ok()) {
+        AppendErr(&conn->out, frame.seq, WireErrorFromStatus(s), s.message());
+        return s.code() != StatusCode::kShutdown;
+      }
+      AppendDrainOk(&conn->out, frame.seq);
+      return true;
+    }
+    case FrameType::kMetrics: {
+      runtime::RuntimeMetricsSnapshot snap = rt_->Metrics();
+      RemoteMetrics remote;
+      remote.total = snap.total;
+      remote.shards = std::move(snap.shards);
+      remote.producers = std::move(snap.producers);
+      AppendMetricsReply(&conn->out, frame.seq, remote);
+      return true;
+    }
+    case FrameType::kPing:
+      AppendPong(&conn->out, frame.seq);
+      return true;
+    default:
+      // Reply frame types are not valid requests.
+      AppendErr(&conn->out, frame.seq, WireError::kUnsupported,
+                StrFormat("%s is not a request", FrameTypeName(frame.type)));
+      return false;
+  }
+}
+
+void IngestServer::MaybeAck(Conn* conn, bool force) {
+  if (conn->accepted_since_ack == 0) return;
+  if (!force && conn->accepted_since_ack < options_.ack_every) return;
+  AppendAck(&conn->out, conn->last_accepted_seq);
+  conn->accepted_since_ack = 0;
+}
+
+bool IngestServer::FlushWrites(Conn* conn) {
+  while (conn->out_pos < conn->out.size()) {
+    ssize_t n = ::send(conn->sock.fd(), conn->out.data() + conn->out_pos,
+                       conn->out.size() - conn->out_pos, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return errno == EINTR;
+    }
+    conn->out_pos += static_cast<size_t>(n);
+  }
+  conn->out.clear();
+  conn->out_pos = 0;
+  return true;
+}
+
+}  // namespace net
+}  // namespace ode

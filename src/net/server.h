@@ -1,0 +1,126 @@
+#ifndef ODE_NET_SERVER_H_
+#define ODE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "runtime/ingest_runtime.h"
+
+namespace ode {
+namespace net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the choice back with port().
+  uint16_t port = 0;
+  int backlog = 64;
+  size_t max_connections = 256;
+  /// Cumulative-ACK cadence: one kAck frame per this many accepted posts
+  /// (plus one before every kDrainOk). Lower = tighter client retry
+  /// buffers, higher = fewer reply bytes.
+  uint64_t ack_every = 1024;
+  /// A connection whose pending reply bytes exceed this is dropped — it is
+  /// not reading its errors/acks.
+  size_t max_write_buffer = 8 * 1024 * 1024;
+};
+
+/// Multi-connection poll(2) server bridging the wire protocol onto an
+/// IngestRuntime.
+///
+/// One thread runs the event loop: accept, read, decode, dispatch, reply.
+/// Runtime backpressure maps onto the wire as:
+///
+///  * kBlock      — Post blocks the loop until the shard queue has space.
+///                  The loop stops reading every socket, receive windows
+///                  fill, and TCP flow control stalls the producers: the
+///                  runtime's pace propagates to the clients (head-of-line
+///                  blocking across connections is the documented cost).
+///  * kReject     — Post returns kWouldBlock; the client gets
+///                  ERR_WOULD_BLOCK with the post's seq and does its own
+///                  retry/backoff (IngestClient resends at Drain).
+///  * kDropNewest — Post returns OK; losses are visible in metrics only.
+///
+/// A Post after IngestRuntime::Stop() returns kShutdown, which becomes a
+/// clean ERR_SHUTTING_DOWN reply, after which the connection is flushed
+/// and closed. A malformed frame gets ERR_MALFORMED and the connection is
+/// closed (framing is lost).
+///
+/// Each connection registers a producer with the runtime, so Metrics()
+/// attributes accepted/rejected/failed posts per connection.
+class IngestServer {
+ public:
+  IngestServer(runtime::IngestRuntime* rt, ServerOptions options = {});
+  ~IngestServer();  ///< Stops if still running.
+
+  IngestServer(const IngestServer&) = delete;
+  IngestServer& operator=(const IngestServer&) = delete;
+
+  /// Binds, listens, and launches the event-loop thread.
+  /// kFailedPrecondition on a second Start.
+  Status Start();
+
+  /// Closes the listener and every connection, joins the loop thread.
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after Start; useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_handled() const {
+    return frames_handled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    Socket sock;
+    std::string peer;
+    FrameDecoder decoder;
+    std::string out;      ///< Pending reply bytes.
+    size_t out_pos = 0;   ///< Flushed prefix of out.
+    runtime::ProducerMetrics* producer = nullptr;
+    uint64_t last_accepted_seq = 0;  ///< ACK watermark: accepted posts only.
+    uint64_t accepted_since_ack = 0;
+    bool closing = false;  ///< Flush remaining replies, then close.
+  };
+
+  void Loop();
+  void AcceptOne();
+  /// Reads once; decodes and handles every complete frame. False when the
+  /// connection should be dropped now (EOF/error with nothing to flush).
+  bool HandleReadable(Conn* conn);
+  /// Handles one decoded frame. False = enter closing state.
+  bool HandleFrame(Conn* conn, Frame&& frame);
+  /// Writes as much pending output as the socket accepts. False on a dead
+  /// socket.
+  bool FlushWrites(Conn* conn);
+  void MaybeAck(Conn* conn, bool force);
+
+  runtime::IngestRuntime* const rt_;
+  const ServerOptions options_;
+  Socket listener_;
+  Socket wake_read_, wake_write_;  ///< Self-pipe: Stop wakes poll().
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::thread loop_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_handled_{0};
+  uint64_t next_conn_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_SERVER_H_

@@ -1,0 +1,168 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strutil.h"
+
+namespace ode {
+namespace net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Unavailable(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+/// Resolves host:port for TCP; the caller frees with freeaddrinfo.
+Result<addrinfo*> Resolve(const std::string& host, uint16_t port,
+                          bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_protocol = IPPROTO_TCP;
+  if (passive) hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  std::string port_str = StrFormat("%u", static_cast<unsigned>(port));
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         port_str.c_str(), &hints, &res);
+  if (rc != 0) {
+    return Status::Unavailable(
+        StrFormat("resolve %s:%u: %s", host.c_str(),
+                  static_cast<unsigned>(port), gai_strerror(rc)));
+  }
+  return res;
+}
+
+std::string FormatPeer(const sockaddr_storage& addr) {
+  char host[INET6_ADDRSTRLEN] = "?";
+  uint16_t port = 0;
+  if (addr.ss_family == AF_INET) {
+    const sockaddr_in* v4 = reinterpret_cast<const sockaddr_in*>(&addr);
+    ::inet_ntop(AF_INET, &v4->sin_addr, host, sizeof(host));
+    port = ntohs(v4->sin_port);
+  } else if (addr.ss_family == AF_INET6) {
+    const sockaddr_in6* v6 = reinterpret_cast<const sockaddr_in6*>(&addr);
+    ::inet_ntop(AF_INET6, &v6->sin6_addr, host, sizeof(host));
+    port = ntohs(v6->sin6_port);
+  }
+  return StrFormat("%s:%u", host, static_cast<unsigned>(port));
+}
+
+}  // namespace
+
+void Socket::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<Socket> TcpListen(const std::string& host, uint16_t port, int backlog) {
+  ODE_ASSIGN_OR_RETURN(addrinfo * res, Resolve(host, port, /*passive=*/true));
+  Status last = Status::Unavailable("no usable address");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      last = Errno("socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(sock.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("bind");
+      continue;
+    }
+    if (::listen(sock.fd(), backlog) != 0) {
+      last = Errno("listen");
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return sock;
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Result<Socket> TcpConnect(const std::string& host, uint16_t port) {
+  ODE_ASSIGN_OR_RETURN(addrinfo * res, Resolve(host, port, /*passive=*/false));
+  Status last = Status::Unavailable("no usable address");
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Socket sock(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!sock.valid()) {
+      last = Errno("socket");
+      continue;
+    }
+    if (::connect(sock.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last = Errno("connect");
+      continue;
+    }
+    ::freeaddrinfo(res);
+    (void)SetNoDelay(sock.fd());
+    return sock;
+  }
+  ::freeaddrinfo(res);
+  return last;
+}
+
+Result<Socket> Accept(int listen_fd, std::string* peer) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = sizeof(addr);
+  int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  if (fd < 0) return Errno("accept");
+  Socket sock(fd);
+  (void)SetNoDelay(fd);
+  if (peer != nullptr) *peer = FormatPeer(addr);
+  return sock;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    return Errno("getsockname");
+  }
+  if (addr.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  }
+  if (addr.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+  return Status::Internal("unexpected socket family");
+}
+
+Status SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  flags = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, flags) < 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Status SetRecvTimeout(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace ode

@@ -1,0 +1,71 @@
+#ifndef ODE_NET_SOCKET_H_
+#define ODE_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ode {
+namespace net {
+
+/// Move-only RAII wrapper around a file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Reset(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.Release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Reset(other.Release());
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void Reset(int fd = -1);
+  /// Detaches and returns the fd without closing it.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port (TCP, SO_REUSEADDR). Port 0 binds an
+/// ephemeral port — read it back with LocalPort.
+Result<Socket> TcpListen(const std::string& host, uint16_t port, int backlog);
+
+/// Blocking connect to host:port; TCP_NODELAY is set on success.
+/// kUnavailable when the peer refuses or the host does not resolve.
+Result<Socket> TcpConnect(const std::string& host, uint16_t port);
+
+/// Accepts one pending connection (the listener must be readable).
+/// TCP_NODELAY is set on the accepted socket. `*peer` (optional) receives
+/// "ip:port" of the remote end.
+Result<Socket> Accept(int listen_fd, std::string* peer);
+
+/// The port a bound socket actually listens on.
+Result<uint16_t> LocalPort(int fd);
+
+Status SetNonBlocking(int fd, bool enable);
+Status SetNoDelay(int fd);
+
+/// Sets SO_RCVTIMEO; 0 ms means block forever.
+Status SetRecvTimeout(int fd, int timeout_ms);
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_SOCKET_H_

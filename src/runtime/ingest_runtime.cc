@@ -36,15 +36,31 @@ Status IngestRuntime::Start() {
 }
 
 Status IngestRuntime::Post(Oid oid, std::string method,
-                           std::vector<Value> args) {
+                           std::vector<Value> args,
+                           ProducerMetrics* producer) {
+  Status status;
   if (!running()) {
-    return Status::FailedPrecondition("ingest runtime is not running");
+    // Distinguish "never started" from "stopped": front ends translate
+    // kShutdown into a clean shutting-down reply and close, while
+    // kFailedPrecondition is a caller bug.
+    status = started_.load(std::memory_order_acquire)
+                 ? Status::Shutdown("ingest runtime is stopped")
+                 : Status::FailedPrecondition("ingest runtime is not running");
+  } else {
+    IngestEvent event;
+    event.oid = oid;
+    event.method = std::move(method);
+    event.args = std::move(args);
+    status = shards_[ShardOf(oid)]->Enqueue(std::move(event));
   }
-  IngestEvent event;
-  event.oid = oid;
-  event.method = std::move(method);
-  event.args = std::move(args);
-  return shards_[ShardOf(oid)]->Enqueue(std::move(event));
+  if (producer != nullptr) producer->RecordPost(status);
+  return status;
+}
+
+ProducerMetrics* IngestRuntime::RegisterProducer(std::string name) {
+  std::lock_guard<std::mutex> lock(producers_mu_);
+  producers_.push_back(std::make_unique<ProducerMetrics>(std::move(name)));
+  return producers_.back().get();
 }
 
 Status IngestRuntime::Drain() {
@@ -82,6 +98,11 @@ RuntimeMetricsSnapshot IngestRuntime::Metrics() const {
   for (const auto& shard : shards_) {
     snapshot.shards.push_back(shard->MetricsSnapshot());
     snapshot.shards.back().AddInto(&snapshot.total);
+  }
+  {
+    std::lock_guard<std::mutex> lock(producers_mu_);
+    snapshot.producers.reserve(producers_.size());
+    for (const auto& p : producers_) snapshot.producers.push_back(p->Snapshot());
   }
   return snapshot;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,8 +84,17 @@ class IngestRuntime {
   /// Queues one method invocation for `oid`. Thread-safe; any number of
   /// producer threads may post concurrently. The outcome under a full
   /// queue depends on the backpressure policy (see BackpressurePolicy).
-  /// kFailedPrecondition when the runtime is not running.
-  Status Post(Oid oid, std::string method, std::vector<Value> args = {});
+  /// kFailedPrecondition before Start(); kShutdown after Stop() — distinct
+  /// so front ends (e.g. the network server) can tell "retry elsewhere"
+  /// from "never started". When `producer` is non-null the outcome is also
+  /// recorded against that producer's counters.
+  Status Post(Oid oid, std::string method, std::vector<Value> args = {},
+              ProducerMetrics* producer = nullptr);
+
+  /// Registers a named producer (a connection, a replay file, a thread)
+  /// whose posts should be attributed in Metrics(). The returned pointer
+  /// stays valid for the runtime's lifetime; pass it to Post. Thread-safe.
+  ProducerMetrics* RegisterProducer(std::string name);
 
   /// Barrier: returns once every event posted before the call has been
   /// processed (committed or dead-lettered). Callers must quiesce
@@ -116,6 +126,10 @@ class IngestRuntime {
   /// One-shot latch claimed by atomic exchange, so concurrent Start calls
   /// cannot both build the shard vector.
   std::atomic<bool> started_{false};
+  /// Producer registry: append-only unique_ptrs, so handed-out pointers
+  /// stay stable while Metrics() snapshots under the same lock.
+  mutable std::mutex producers_mu_;
+  std::vector<std::unique_ptr<ProducerMetrics>> producers_;
 };
 
 }  // namespace runtime

@@ -151,6 +151,14 @@ std::string RuntimeMetricsSnapshot::ToString() const {
         static_cast<unsigned long long>(s.batches),
         static_cast<unsigned long long>(s.queue_high_water));
   }
+  for (const ProducerMetricsSnapshot& p : producers) {
+    out += StrFormat(
+        "  producer %s: posted=%llu accepted=%llu rejected=%llu failed=%llu\n",
+        p.name.c_str(), static_cast<unsigned long long>(p.posted),
+        static_cast<unsigned long long>(p.accepted),
+        static_cast<unsigned long long>(p.rejected),
+        static_cast<unsigned long long>(p.failed));
+  }
   return out;
 }
 

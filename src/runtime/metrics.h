@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace ode {
 namespace runtime {
 
@@ -92,10 +94,61 @@ class ShardMetrics {
   std::array<std::atomic<uint64_t>, kLatencyHistBuckets> latency_us_hist_{};
 };
 
-/// Aggregated view over all shards, plus the per-shard breakdown.
+/// Plain-value copy of one producer's counters (`posted` = Post attempts;
+/// the other three partition it by outcome).
+struct ProducerMetricsSnapshot {
+  std::string name;
+  uint64_t posted = 0;    ///< Post calls attributed to this producer.
+  uint64_t accepted = 0;  ///< Posts the runtime accepted (incl. drops).
+  uint64_t rejected = 0;  ///< kWouldBlock bounces (kReject backpressure).
+  uint64_t failed = 0;    ///< Everything else (shutdown, bad lifecycle).
+};
+
+/// One producer's counters — the per-connection accounting the network
+/// front end attributes posts to. Same wait-free discipline as
+/// ShardMetrics: relaxed atomic bumps only.
+class ProducerMetrics {
+ public:
+  explicit ProducerMetrics(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Classifies one Post outcome into the counters.
+  void RecordPost(const Status& status) {
+    posted_.fetch_add(1, std::memory_order_relaxed);
+    if (status.ok()) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kWouldBlock) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  ProducerMetricsSnapshot Snapshot() const {
+    ProducerMetricsSnapshot s;
+    s.name = name_;
+    s.posted = posted_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  const std::string name_;
+  std::atomic<uint64_t> posted_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> failed_{0};
+};
+
+/// Aggregated view over all shards, plus the per-shard breakdown and the
+/// per-producer (e.g. per-connection) attribution.
 struct RuntimeMetricsSnapshot {
   ShardMetricsSnapshot total;
   std::vector<ShardMetricsSnapshot> shards;
+  std::vector<ProducerMetricsSnapshot> producers;
 
   /// Multi-line text dump for benches and operator logs.
   std::string ToString() const;

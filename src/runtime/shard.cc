@@ -48,7 +48,7 @@ Status Shard::Enqueue(IngestEvent event) {
       break;
   }
   if (result == EventQueue::PushResult::kClosed) {
-    return Status::FailedPrecondition("shard is stopped");
+    return Status::Shutdown("shard is stopped");
   }
   metrics_.RecordEnqueue();
   std::lock_guard<std::mutex> lock(drain_mu_);

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Asserts the stable `ode-lint --format=json` schema (schema_version 1).
+
+Usage: check_lint_json.py <ode-lint-binary> <spec-file>...
+
+Runs the linter over the given fixtures and validates the shape of the
+emitted document: top-level keys, per-file diagnostic records with exactly
+{id, severity, message, trigger, line, column}, trigger records, and a
+summary whose counts match the diagnostics. Exits non-zero on any
+mismatch, so a schema change must be deliberate (bump schema_version).
+"""
+import json
+import subprocess
+import sys
+
+
+def fail(msg):
+    print("check_lint_json: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 3:
+        fail("usage: check_lint_json.py <ode-lint> <spec-file>...")
+    lint, files = sys.argv[1], sys.argv[2:]
+    proc = subprocess.run(
+        [lint, "--format=json", *files], capture_output=True, text=True
+    )
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"output is not valid JSON: {e}\n{proc.stdout}")
+
+    if doc.get("tool") != "ode-lint":
+        fail(f"tool: {doc.get('tool')!r}")
+    if doc.get("schema_version") != 1:
+        fail(f"schema_version: {doc.get('schema_version')!r}")
+    if not isinstance(doc.get("files"), list) or len(doc["files"]) != len(files):
+        fail("files: wrong type or count")
+
+    counts = {"error": 0, "warning": 0, "note": 0}
+    for f in doc["files"]:
+        if not isinstance(f.get("path"), str):
+            fail(f"path: {f.get('path')!r}")
+        if not isinstance(f.get("diagnostics"), list):
+            fail("diagnostics missing or not a list")
+        for d in f["diagnostics"]:
+            if set(d) != {"id", "severity", "message", "trigger", "line", "column"}:
+                fail(f"diagnostic keys: {sorted(d)}")
+            if d["severity"] not in counts:
+                fail(f"severity: {d['severity']!r}")
+            if not isinstance(d["line"], int) or not isinstance(d["column"], int):
+                fail("line/column must be integers")
+            counts[d["severity"]] += 1
+        if not isinstance(f.get("triggers"), list):
+            fail("triggers missing or not a list")
+        for t in f["triggers"]:
+            if not isinstance(t.get("name"), str) or not isinstance(t.get("compiled"), bool):
+                fail(f"trigger record: {t!r}")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict) or set(summary) != {
+        "files", "errors", "warnings", "notes",
+    }:
+        fail(f"summary: {summary!r}")
+    if summary["files"] != len(files):
+        fail(f"summary.files: {summary['files']}")
+    for key, sev in (("errors", "error"), ("warnings", "warning"), ("notes", "note")):
+        if summary[key] != counts[sev]:
+            fail(f"summary.{key}={summary[key]} but counted {counts[sev]}")
+    want_rc = 1 if counts["error"] else 0
+    if proc.returncode != want_rc:
+        fail(f"exit code {proc.returncode}, want {want_rc}")
+    print("check_lint_json: ok:", json.dumps(summary))
+
+
+if __name__ == "__main__":
+    main()

@@ -437,6 +437,7 @@ TEST(IngestRuntimeTest, NonRetryableFailureDeadLettersImmediately) {
 TEST(IngestRuntimeTest, LifecycleErrors) {
   Database db;
   IngestRuntime rt(&db, {});
+  // Before Start: a caller bug, not a shutdown.
   EXPECT_EQ(rt.Post(Oid{1}, "m").code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(rt.Drain().code(), StatusCode::kFailedPrecondition);
   ODE_ASSERT_OK(rt.Start());
@@ -445,8 +446,40 @@ TEST(IngestRuntimeTest, LifecycleErrors) {
   ODE_ASSERT_OK(rt.Stop());
   ODE_ASSERT_OK(rt.Stop());  // Idempotent.
   EXPECT_FALSE(rt.running());
-  EXPECT_EQ(rt.Post(Oid{1}, "m").code(), StatusCode::kFailedPrecondition);
+  // After Stop: the distinct kShutdown lets front ends reply
+  // "shutting down" instead of a generic error.
+  EXPECT_EQ(rt.Post(Oid{1}, "m").code(), StatusCode::kShutdown);
   EXPECT_EQ(rt.Start().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IngestRuntimeTest, ProducerAccountingAttributesOutcomes) {
+  BackpressureRig rig(BackpressurePolicy::kReject);
+  runtime::ProducerMetrics* alice = rig.rt->RegisterProducer("alice");
+  runtime::ProducerMetrics* bob = rig.rt->RegisterProducer("bob");
+  // Queue capacity is 2 and the worker is parked: alice fills it, bob
+  // bounces off it.
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}, alice));
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}, alice));
+  EXPECT_EQ(rig.rt->Post(rig.oid, "add", {Value(1)}, bob).code(),
+            StatusCode::kWouldBlock);
+  rig.gate.Release();
+  ODE_ASSERT_OK(rig.rt->Drain());
+  ODE_ASSERT_OK(rig.rt->Stop());
+  // Post after Stop is a failure attributed to the producer that tried.
+  EXPECT_EQ(rig.rt->Post(rig.oid, "add", {Value(1)}, bob).code(),
+            StatusCode::kShutdown);
+
+  RuntimeMetricsSnapshot m = rig.rt->Metrics();
+  ASSERT_EQ(m.producers.size(), 2u);
+  EXPECT_EQ(m.producers[0].name, "alice");
+  EXPECT_EQ(m.producers[0].posted, 2u);
+  EXPECT_EQ(m.producers[0].accepted, 2u);
+  EXPECT_EQ(m.producers[0].rejected, 0u);
+  EXPECT_EQ(m.producers[1].name, "bob");
+  EXPECT_EQ(m.producers[1].posted, 2u);
+  EXPECT_EQ(m.producers[1].rejected, 1u);
+  EXPECT_EQ(m.producers[1].failed, 1u);
+  EXPECT_NE(m.ToString().find("producer bob"), std::string::npos);
 }
 
 TEST(IngestRuntimeTest, ShardRoutingIsStableAndCoversAllShards) {

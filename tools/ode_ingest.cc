@@ -1,0 +1,200 @@
+// ode-ingest: command-line client for the ingest wire protocol.
+//
+// Talks to an ode-ingestd (or any IngestServer) over TCP:
+//
+//   ode-ingest ping                          round-trip liveness probe
+//   ode-ingest metrics                       print the server's snapshot
+//   ode-ingest post <oid> <method> [arg...]  one invocation + drain
+//   ode-ingest replay <file>                 replay an event file + drain
+//
+// Event files are one event per line: `<oid> <method> [arg...]`, with
+// blank lines and '#' comments ignored. Arguments parse as int, then
+// float, then `true`/`false`, then string.
+//
+// Exit status: 0 on success, 1 on a server-reported failure, 2 on
+// usage / I/O / connection failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ode-ingest [options] <command> [args]\n"
+    "\n"
+    "commands:\n"
+    "  ping                          round-trip liveness probe\n"
+    "  metrics                       print the server metrics snapshot\n"
+    "  drain                         barrier: wait until all posted events\n"
+    "                                are processed\n"
+    "  post <oid> <method> [arg...]  post one invocation, then drain\n"
+    "  replay <file>                 post every event in the file, then\n"
+    "                                drain and print client stats\n"
+    "\n"
+    "options:\n"
+    "  --host=ADDR       server address (default 127.0.0.1)\n"
+    "  --port=N          server port (default 7311)\n"
+    "  --timeout-ms=N    receive timeout for replies (default 30000)\n"
+    "  -h, --help        show this help\n";
+
+ode::Value ParseArg(const std::string& text) {
+  if (text == "true") return ode::Value(true);
+  if (text == "false") return ode::Value(false);
+  char* end = nullptr;
+  long long i = std::strtoll(text.c_str(), &end, 10);
+  if (end != text.c_str() && *end == '\0') {
+    return ode::Value(static_cast<int64_t>(i));
+  }
+  double d = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() && *end == '\0') return ode::Value(d);
+  return ode::Value(text);
+}
+
+bool ParseOid(const std::string& text, ode::Oid* out) {
+  char* end = nullptr;
+  unsigned long long id = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || id == 0) return false;
+  out->id = id;
+  return true;
+}
+
+int Fail(const ode::Status& s) {
+  std::fprintf(stderr, "ode-ingest: %s\n", s.ToString().c_str());
+  return s.code() == ode::StatusCode::kUnavailable ? 2 : 1;
+}
+
+int DoReplay(ode::net::IngestClient* client, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "ode-ingest: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  size_t lineno = 0;
+  uint64_t posted = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream fields(line);
+    std::string oid_text;
+    if (!(fields >> oid_text) || oid_text[0] == '#') continue;
+    ode::Oid oid;
+    std::string method;
+    if (!ParseOid(oid_text, &oid) || !(fields >> method)) {
+      std::fprintf(stderr, "ode-ingest: %s:%zu: expected '<oid> <method> "
+                   "[arg...]'\n", path.c_str(), lineno);
+      return 2;
+    }
+    std::vector<ode::Value> args;
+    std::string arg;
+    while (fields >> arg) args.push_back(ParseArg(arg));
+    ode::Status s = client->Post(oid, method, args);
+    if (!s.ok()) return Fail(s);
+    ++posted;
+  }
+  ode::Status s = client->Drain();
+  if (!s.ok()) return Fail(s);
+  const ode::net::IngestClient::Stats& st = client->stats();
+  std::printf(
+      "ode-ingest: replayed %llu events (acked %llu, rejected %llu, "
+      "resent %llu, errors %llu)\n",
+      static_cast<unsigned long long>(posted),
+      static_cast<unsigned long long>(st.acked),
+      static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.resent),
+      static_cast<unsigned long long>(st.errors));
+  return st.errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ode::net::ClientOptions options;
+  options.port = 7311;
+  options.recv_timeout_ms = 30000;
+  std::vector<std::string> args;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0) {
+      std::fputs(kUsage, stdout);
+      return 0;
+    }
+    if (std::strncmp(arg, "--host=", 7) == 0) {
+      options.host = arg + 7;
+    } else if (std::strncmp(arg, "--port=", 7) == 0) {
+      options.port = static_cast<uint16_t>(std::atoi(arg + 7));
+    } else if (std::strncmp(arg, "--timeout-ms=", 13) == 0) {
+      options.recv_timeout_ms = std::atoi(arg + 13);
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "ode-ingest: unknown option '%s'\n%s", arg,
+                   kUsage);
+      return 2;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+
+  ode::net::IngestClient client(options);
+  ode::Status s = client.Connect();
+  if (!s.ok()) return Fail(s);
+
+  const std::string& cmd = args[0];
+  if (cmd == "ping") {
+    s = client.Ping();
+    if (!s.ok()) return Fail(s);
+    std::printf("ode-ingest: pong from %s:%u\n", options.host.c_str(),
+                static_cast<unsigned>(options.port));
+    return 0;
+  }
+  if (cmd == "metrics") {
+    ode::Result<ode::net::RemoteMetrics> m = client.Metrics();
+    if (!m.ok()) return Fail(m.status());
+    std::printf("%s", m->ToString().c_str());
+    return 0;
+  }
+  if (cmd == "drain") {
+    s = client.Drain();
+    if (!s.ok()) return Fail(s);
+    std::printf("ode-ingest: drained\n");
+    return 0;
+  }
+  if (cmd == "post") {
+    ode::Oid oid;
+    if (args.size() < 3 || !ParseOid(args[1], &oid)) {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+    std::vector<ode::Value> call_args;
+    for (size_t i = 3; i < args.size(); ++i) {
+      call_args.push_back(ParseArg(args[i]));
+    }
+    s = client.Post(oid, args[2], call_args);
+    if (!s.ok()) return Fail(s);
+    s = client.Drain();
+    if (!s.ok()) return Fail(s);
+    std::printf("ode-ingest: posted %s to oid %s\n", args[2].c_str(),
+                args[1].c_str());
+    return 0;
+  }
+  if (cmd == "replay") {
+    if (args.size() != 2) {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+    return DoReplay(&client, args[1]);
+  }
+  std::fprintf(stderr, "ode-ingest: unknown command '%s'\n%s", cmd.c_str(),
+               kUsage);
+  return 2;
+}

@@ -20,6 +20,7 @@
 
 #include "analyze/analyzer.h"
 #include "common/strutil.h"
+#include "lang/token.h"
 
 namespace {
 
@@ -36,7 +37,103 @@ constexpr char kUsage[] =
     "  --cost                print a per-trigger cost report\n"
     "  --budget-states=N     warn (C001) when a DFA exceeds N states\n"
     "  --budget-bytes=N      warn (C001) when tables exceed N bytes\n"
+    "  --format=text|json    output format (default text); json emits one\n"
+    "                        machine-readable document on stdout\n"
     "  -h, --help            show this help\n";
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += ode::StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// One analyzed file, retained until all inputs are processed so the JSON
+/// document can be emitted in one piece.
+struct FileResult {
+  std::string path;
+  std::string source;
+  ode::AnalysisReport report;
+};
+
+/// Emits the machine-readable report. Schema (stable; see
+/// docs/ANALYSIS.md):
+///
+/// {
+///   "tool": "ode-lint", "schema_version": 1,
+///   "files": [{
+///     "path": ..., "diagnostics": [{
+///       "id": ..., "severity": "error|warning|note", "message": ...,
+///       "trigger": ..., "line": N, "column": N   // 0,0 = no position
+///     }],
+///     "triggers": [{"name": ..., "compiled": bool[, "cost": ...]}]
+///   }],
+///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N}
+/// }
+void PrintJson(const std::vector<FileResult>& results, bool print_cost,
+               size_t errors, size_t warnings, size_t notes) {
+  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 1,\n");
+  std::printf("  \"files\": [");
+  for (size_t fi = 0; fi < results.size(); ++fi) {
+    const FileResult& fr = results[fi];
+    std::printf("%s\n    {\n      \"path\": \"%s\",\n", fi == 0 ? "" : ",",
+                JsonEscape(fr.path).c_str());
+    std::printf("      \"diagnostics\": [");
+    std::vector<ode::Diagnostic> diags = fr.report.AllDiagnostics();
+    for (size_t di = 0; di < diags.size(); ++di) {
+      const ode::Diagnostic& d = diags[di];
+      int line = 0;
+      int column = 0;
+      if (!d.span.empty()) {
+        ode::LineCol lc = ode::LineColAt(fr.source, d.span.begin);
+        line = lc.line;
+        column = lc.col;
+      }
+      std::printf(
+          "%s\n        {\"id\": \"%s\", \"severity\": \"%s\", "
+          "\"message\": \"%s\", \"trigger\": \"%s\", "
+          "\"line\": %d, \"column\": %d}",
+          di == 0 ? "" : ",", JsonEscape(d.id).c_str(),
+          std::string(ode::SeverityName(d.severity)).c_str(),
+          JsonEscape(d.message).c_str(), JsonEscape(d.trigger).c_str(), line,
+          column);
+    }
+    std::printf("%s],\n", diags.empty() ? "" : "\n      ");
+    std::printf("      \"triggers\": [");
+    for (size_t ti = 0; ti < fr.report.triggers.size(); ++ti) {
+      const ode::TriggerAnalysis& t = fr.report.triggers[ti];
+      std::printf("%s\n        {\"name\": \"%s\", \"compiled\": %s",
+                  ti == 0 ? "" : ",", JsonEscape(t.name).c_str(),
+                  t.compiled ? "true" : "false");
+      if (print_cost && t.compiled) {
+        std::printf(", \"cost\": \"%s\"",
+                    JsonEscape(t.cost.ToString()).c_str());
+      }
+      std::printf("}");
+    }
+    std::printf("%s]\n    }", fr.report.triggers.empty() ? "" : "\n      ");
+  }
+  std::printf("%s],\n", results.empty() ? "" : "\n  ");
+  std::printf(
+      "  \"summary\": {\"files\": %zu, \"errors\": %zu, "
+      "\"warnings\": %zu, \"notes\": %zu}\n}\n",
+      results.size(), errors, warnings, notes);
+}
 
 bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
   size_t len = std::strlen(prefix);
@@ -56,6 +153,7 @@ bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
 int main(int argc, char** argv) {
   ode::AnalyzeOptions options;
   bool print_cost = false;
+  bool json = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,6 +168,10 @@ int main(int argc, char** argv) {
       options.pairwise_checks = false;
     } else if (std::strcmp(arg, "--cost") == 0) {
       print_cost = true;
+    } else if (std::strcmp(arg, "--format=text") == 0) {
+      json = false;
+    } else if (std::strcmp(arg, "--format=json") == 0) {
+      json = true;
     } else if (ParseSizeFlag(arg, "--budget-states=",
                              &options.budget_dfa_states) ||
                ParseSizeFlag(arg, "--budget-bytes=",
@@ -91,6 +193,7 @@ int main(int argc, char** argv) {
   size_t warnings = 0;
   size_t notes = 0;
   bool io_failure = false;
+  std::vector<FileResult> results;
   for (const std::string& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -111,6 +214,10 @@ int main(int argc, char** argv) {
         case ode::Severity::kNote: ++notes; break;
       }
     }
+    if (json) {
+      results.push_back(FileResult{file, std::move(source), std::move(report)});
+      continue;
+    }
     std::string rendered = ode::RenderDiagnostics(diags, source, file);
     if (!rendered.empty()) std::fputs(rendered.c_str(), stdout);
 
@@ -123,10 +230,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s\n",
-              files.size(), files.size() == 1 ? "" : "s", errors,
-              errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s",
-              notes, notes == 1 ? "" : "s");
+  if (json) {
+    PrintJson(results, print_cost, errors, warnings, notes);
+  } else {
+    std::printf(
+        "ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s\n",
+        files.size(), files.size() == 1 ? "" : "s", errors,
+        errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s", notes,
+        notes == 1 ? "" : "s");
+  }
   if (io_failure) return 2;
   return errors > 0 ? 1 : 0;
 }
