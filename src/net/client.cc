@@ -56,13 +56,16 @@ void IngestClient::Close() {
   outbuf_.clear();
 }
 
-void IngestClient::EncodePost(Oid oid, std::string_view method,
-                              std::vector<Value> args) {
+Status IngestClient::EncodePost(Oid oid, std::string_view method,
+                                std::vector<Value> args) {
+  // Validate-then-commit: the seq is consumed and the post tracked only
+  // once AppendPost accepted it (a rejected post leaves no state behind).
+  ODE_RETURN_IF_ERROR(AppendPost(&outbuf_, next_seq_, oid, method, args));
   uint64_t seq = next_seq_++;
-  AppendPost(&outbuf_, seq, oid, method, args);
   unacked_.push_back(
       PendingPost{seq, oid, std::string(method), std::move(args)});
   ++stats_.posted;
+  return Status::OK();
 }
 
 Status IngestClient::Post(Oid oid, std::string_view method,
@@ -73,7 +76,7 @@ Status IngestClient::Post(Oid oid, std::string_view method,
     }
     ODE_RETURN_IF_ERROR(Reconnect());
   }
-  EncodePost(oid, method, args);
+  ODE_RETURN_IF_ERROR(EncodePost(oid, method, args));
   if (outbuf_.size() >= options_.flush_threshold) return Flush();
   return Status::OK();
 }
@@ -131,7 +134,9 @@ Status IngestClient::Reconnect() {
       // not have seen these before the cut — at-least-once across redials.
       outbuf_.clear();
       for (const PendingPost& p : unacked_) {
-        AppendPost(&outbuf_, p.seq, p.oid, p.method, p.args);
+        // Cannot fail: every unacked post already passed AppendPost's
+        // validation when it was first encoded.
+        (void)AppendPost(&outbuf_, p.seq, p.oid, p.method, p.args);
       }
       return Status::OK();
     }
@@ -261,7 +266,8 @@ Status IngestClient::Drain() {
       std::vector<PendingPost> resend = std::move(bounced_);
       bounced_.clear();
       for (PendingPost& p : resend) {
-        EncodePost(p.oid, p.method, std::move(p.args));
+        // Cannot fail: a bounced post already passed validation once.
+        (void)EncodePost(p.oid, p.method, std::move(p.args));
         ++stats_.resent;
         --stats_.posted;  // A resend is not a new logical post.
       }

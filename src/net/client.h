@@ -63,7 +63,10 @@ class IngestClient {
   /// Queues one method invocation. Usually returns immediately (the frame
   /// lands in the send buffer); writes when the buffer is full. A non-OK
   /// return reports a transport failure, not a server-side verdict —
-  /// server verdicts surface at Drain().
+  /// server verdicts surface at Drain(). Exception: a post that cannot be
+  /// encoded within the protocol caps (method > kMaxMethodLen, more than
+  /// kMaxPostArgs args, or an encoded frame over kMaxFramePayload) returns
+  /// kInvalidArgument and is not queued.
   Status Post(Oid oid, std::string_view method,
               const std::vector<Value>& args = {});
 
@@ -103,8 +106,9 @@ class IngestClient {
   };
 
   /// Appends one POST for `event` (with a fresh seq) to the send buffer
-  /// and tracks it as unacked.
-  void EncodePost(Oid oid, std::string_view method, std::vector<Value> args);
+  /// and tracks it as unacked. kInvalidArgument (and no state change) when
+  /// the post cannot be encoded within the protocol caps.
+  Status EncodePost(Oid oid, std::string_view method, std::vector<Value> args);
   /// Writes the whole send buffer to the socket, reconnecting if allowed.
   Status WriteAll();
   /// Processes every buffered/readable reply; with `block`, waits until at

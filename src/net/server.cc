@@ -54,6 +54,7 @@ void IngestServer::Stop() {
     (void)!::write(wake_write_.fd(), &byte, 1);
   }
   if (loop_.joinable()) loop_.join();
+  for (const auto& conn : conns_) RetireConn(conn.get());
   conns_.clear();
   listener_.Reset();
   wake_read_.Reset();
@@ -84,10 +85,13 @@ void IngestServer::Loop() {
       while (::read(wake_read_.fd(), drain, sizeof(drain)) > 0) {
       }
     }
+    // fds[i + 2] belongs to conns_[i] only for the connections that were
+    // polled this round; AcceptOne may append to conns_, so bound the I/O
+    // loop by the polled count (fresh connections get polled next round).
+    const size_t polled = conns_.size();
     if (fds[1].revents & POLLIN) AcceptOne();
 
-    // fds[i + 2] belongs to conns_[i]; handle I/O, collect the dead.
-    for (size_t i = 0; i < conns_.size(); ++i) {
+    for (size_t i = 0; i < polled; ++i) {
       Conn* conn = conns_[i].get();
       short revents = fds[i + 2].revents;
       bool alive = true;
@@ -102,7 +106,10 @@ void IngestServer::Loop() {
       if (alive && conn->closing && conn->out_pos >= conn->out.size()) {
         alive = false;
       }
-      if (!alive) conns_[i] = nullptr;
+      if (!alive) {
+        RetireConn(conn);
+        conns_[i] = nullptr;
+      }
     }
     std::erase(conns_, nullptr);
   }
@@ -210,6 +217,13 @@ bool IngestServer::HandleFrame(Conn* conn, Frame&& frame) {
                 StrFormat("%s is not a request", FrameTypeName(frame.type)));
       return false;
   }
+}
+
+void IngestServer::RetireConn(Conn* conn) {
+  // Fold the connection's producer counters into the runtime's retired
+  // aggregate so connection churn cannot grow Metrics() without bound.
+  rt_->RetireProducer(conn->producer);
+  conn->producer = nullptr;
 }
 
 void IngestServer::MaybeAck(Conn* conn, bool force) {

@@ -53,7 +53,11 @@ struct ServerOptions {
 /// closed (framing is lost).
 ///
 /// Each connection registers a producer with the runtime, so Metrics()
-/// attributes accepted/rejected/failed posts per connection.
+/// attributes accepted/rejected/failed posts per connection. On
+/// disconnect the producer is retired: its counters fold into the
+/// runtime's aggregate "retired[n]" entry, so the producer list (and the
+/// METRICS_REPLY payload) stays bounded by the live connection count even
+/// under heavy connection churn.
 class IngestServer {
  public:
   IngestServer(runtime::IngestRuntime* rt, ServerOptions options = {});
@@ -105,6 +109,10 @@ class IngestServer {
   /// socket.
   bool FlushWrites(Conn* conn);
   void MaybeAck(Conn* conn, bool force);
+  /// Retires the connection's producer with the runtime (folding its
+  /// counters into the retired aggregate). Called on every path that
+  /// destroys a connection.
+  void RetireConn(Conn* conn);
 
   runtime::IngestRuntime* const rt_;
   const ServerOptions options_;

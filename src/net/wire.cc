@@ -279,8 +279,17 @@ std::string RemoteMetrics::ToString() const {
   return snap.ToString();
 }
 
-void AppendPost(std::string* out, uint64_t seq, Oid oid,
-                std::string_view method, const std::vector<Value>& args) {
+Status AppendPost(std::string* out, uint64_t seq, Oid oid,
+                  std::string_view method, const std::vector<Value>& args) {
+  if (method.size() > kMaxMethodLen) {
+    return Status::InvalidArgument(
+        StrFormat("method name is %zu bytes, limit %zu", method.size(),
+                  kMaxMethodLen));
+  }
+  if (args.size() > kMaxPostArgs) {
+    return Status::InvalidArgument(StrFormat(
+        "post has %zu args, limit %zu", args.size(), kMaxPostArgs));
+  }
   size_t at = OpenFrame(out, FrameType::kPost);
   PutU64(out, seq);
   PutU64(out, oid.id);
@@ -288,7 +297,15 @@ void AppendPost(std::string* out, uint64_t seq, Oid oid,
   PutBytes(out, method);
   PutU16(out, static_cast<uint16_t>(args.size()));
   for (const Value& v : args) PutValue(out, v);
+  size_t payload = out->size() - at - kFrameHeaderBytes;
+  if (payload > kMaxFramePayload) {
+    out->resize(at);  // Roll the partial frame back out of the buffer.
+    return Status::InvalidArgument(
+        StrFormat("encoded post payload is %zu bytes, limit %u", payload,
+                  kMaxFramePayload));
+  }
   CloseFrame(out, at);
+  return Status::OK();
 }
 
 void AppendDrain(std::string* out, uint64_t seq) {

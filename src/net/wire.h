@@ -95,8 +95,13 @@ struct Frame {
 
 // --- Encoders: append one complete frame to *out. -----------------------
 
-void AppendPost(std::string* out, uint64_t seq, Oid oid,
-                std::string_view method, const std::vector<Value>& args);
+/// Unlike the other encoders, AppendPost validates its input against the
+/// protocol caps (kMaxMethodLen, kMaxPostArgs, kMaxFramePayload): a post
+/// that cannot be encoded as a legal frame returns kInvalidArgument and
+/// leaves *out untouched, instead of emitting bytes the server would
+/// reject as malformed.
+Status AppendPost(std::string* out, uint64_t seq, Oid oid,
+                  std::string_view method, const std::vector<Value>& args);
 void AppendDrain(std::string* out, uint64_t seq);
 void AppendMetricsRequest(std::string* out, uint64_t seq);
 void AppendPing(std::string* out, uint64_t seq);

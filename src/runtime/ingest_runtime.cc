@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/strutil.h"
 #include "ode/database.h"
 
 namespace ode {
@@ -63,6 +64,22 @@ ProducerMetrics* IngestRuntime::RegisterProducer(std::string name) {
   return producers_.back().get();
 }
 
+void IngestRuntime::RetireProducer(ProducerMetrics* producer) {
+  if (producer == nullptr) return;
+  std::lock_guard<std::mutex> lock(producers_mu_);
+  for (auto it = producers_.begin(); it != producers_.end(); ++it) {
+    if (it->get() != producer) continue;
+    ProducerMetricsSnapshot last = producer->Snapshot();
+    retired_.posted += last.posted;
+    retired_.accepted += last.accepted;
+    retired_.rejected += last.rejected;
+    retired_.failed += last.failed;
+    ++retired_count_;
+    producers_.erase(it);
+    return;
+  }
+}
+
 Status IngestRuntime::Drain() {
   if (!running()) {
     return Status::FailedPrecondition("ingest runtime is not running");
@@ -101,8 +118,14 @@ RuntimeMetricsSnapshot IngestRuntime::Metrics() const {
   }
   {
     std::lock_guard<std::mutex> lock(producers_mu_);
-    snapshot.producers.reserve(producers_.size());
+    snapshot.producers.reserve(producers_.size() + (retired_count_ > 0));
     for (const auto& p : producers_) snapshot.producers.push_back(p->Snapshot());
+    if (retired_count_ > 0) {
+      ProducerMetricsSnapshot retired = retired_;
+      retired.name = StrFormat("retired[%llu]",
+                               static_cast<unsigned long long>(retired_count_));
+      snapshot.producers.push_back(std::move(retired));
+    }
   }
   return snapshot;
 }

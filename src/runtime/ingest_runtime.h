@@ -93,8 +93,18 @@ class IngestRuntime {
 
   /// Registers a named producer (a connection, a replay file, a thread)
   /// whose posts should be attributed in Metrics(). The returned pointer
-  /// stays valid for the runtime's lifetime; pass it to Post. Thread-safe.
+  /// stays valid until RetireProducer (or the runtime's destruction); pass
+  /// it to Post. Thread-safe.
   ProducerMetrics* RegisterProducer(std::string name);
+
+  /// Retires a producer returned by RegisterProducer: its final counters
+  /// are folded into an aggregate "retired" entry (so Metrics() totals
+  /// keep accounting for it) and its registry slot is freed. Front ends
+  /// with per-connection producers call this on disconnect, which keeps
+  /// long-running servers from growing the producer list without bound.
+  /// The pointer is invalid afterwards. Thread-safe; unknown/null
+  /// producers are ignored.
+  void RetireProducer(ProducerMetrics* producer);
 
   /// Barrier: returns once every event posted before the call has been
   /// processed (committed or dead-lettered). Callers must quiesce
@@ -126,10 +136,15 @@ class IngestRuntime {
   /// One-shot latch claimed by atomic exchange, so concurrent Start calls
   /// cannot both build the shard vector.
   std::atomic<bool> started_{false};
-  /// Producer registry: append-only unique_ptrs, so handed-out pointers
-  /// stay stable while Metrics() snapshots under the same lock.
+  /// Producer registry: unique_ptrs, so handed-out pointers stay stable
+  /// while Metrics() snapshots under the same lock. RetireProducer erases
+  /// entries after folding them into retired_.
   mutable std::mutex producers_mu_;
   std::vector<std::unique_ptr<ProducerMetrics>> producers_;
+  /// Sum of the counters of every retired producer (name unused here;
+  /// Metrics() reports it as "retired[<count>]").
+  ProducerMetricsSnapshot retired_;
+  uint64_t retired_count_ = 0;
 };
 
 }  // namespace runtime

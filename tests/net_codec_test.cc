@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "test_util.h"
+
 namespace ode {
 namespace net {
 namespace {
@@ -236,20 +238,74 @@ TEST(NetCodecTest, BitFlipSweepNeverCrashes) {
   EXPECT_EQ(frames + need_more + errors, bytes.size() * 8);
 }
 
+/// Hand-rolls a POST frame the validated encoder refuses to produce:
+/// little-endian header + seq/oid/method, then an arg count with no arg
+/// bytes behind it (the decoder's cap checks fire before the args are
+/// read).
+std::string RawPostFrame(uint64_t seq, uint64_t oid, const std::string& method,
+                         uint16_t argc) {
+  std::string payload;
+  auto put_le = [](std::string* out, uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out->push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  put_le(&payload, seq, 8);
+  put_le(&payload, oid, 8);
+  put_le(&payload, method.size(), 2);
+  payload.append(method);
+  put_le(&payload, argc, 2);
+  std::string frame;
+  put_le(&frame, payload.size(), 4);
+  frame.push_back(static_cast<char>(FrameType::kPost));
+  frame.append(payload);
+  return frame;
+}
+
+TEST(NetCodecTest, PostEncoderRefusesOverCapInput) {
+  // AppendPost validates against the protocol caps and leaves the buffer
+  // untouched on rejection — it never emits a frame the server would
+  // poison the connection over.
+  std::string buf;
+  AppendPing(&buf, 7);
+  const std::string before = buf;
+
+  Status s =
+      AppendPost(&buf, 1, Oid{1}, std::string(kMaxMethodLen + 1, 'm'), {});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(buf, before);
+
+  s = AppendPost(&buf, 1, Oid{1}, "m",
+                 std::vector<Value>(kMaxPostArgs + 1, Value(int64_t{0})));
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(buf, before);
+
+  // Method and argc within caps, but the encoded payload overflows the
+  // frame limit: rejected after the size of the real encoding is known.
+  s = AppendPost(&buf, 1, Oid{1}, "m",
+                 {Value(std::string(kMaxFramePayload, 'x'))});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(buf, before);
+
+  // At-cap input is legal and round-trips.
+  std::string ok_buf;
+  ODE_ASSERT_OK(
+      AppendPost(&ok_buf, 2, Oid{3}, std::string(kMaxMethodLen, 'm'), {}));
+  Frame frame = DecodeOne(ok_buf);
+  EXPECT_EQ(frame.method.size(), kMaxMethodLen);
+}
+
 TEST(NetCodecTest, MethodAndArgCountCapsEnforced) {
-  // Method longer than kMaxMethodLen: encode manually-ish by relying on
-  // AppendPost (it writes whatever it is given), then expect the decoder
-  // to reject it.
-  std::string bytes;
-  AppendPost(&bytes, 1, Oid{1}, std::string(kMaxMethodLen + 1, 'm'), {});
+  // A peer that hand-rolls an over-cap POST (our encoder will not emit
+  // one) is rejected cleanly by the decoder.
+  Frame frame;
+  std::string bytes =
+      RawPostFrame(1, 1, std::string(kMaxMethodLen + 1, 'm'), 0);
   FrameDecoder decoder;
   decoder.Append(bytes.data(), bytes.size());
-  Frame frame;
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::State::kError);
 
-  std::string bytes2;
-  AppendPost(&bytes2, 1, Oid{1}, "m",
-             std::vector<Value>(kMaxPostArgs + 1, Value(int64_t{0})));
+  std::string bytes2 = RawPostFrame(1, 1, "m", kMaxPostArgs + 1);
   FrameDecoder decoder2;
   decoder2.Append(bytes2.data(), bytes2.size());
   EXPECT_EQ(decoder2.Next(&frame), FrameDecoder::State::kError);

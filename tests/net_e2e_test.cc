@@ -14,6 +14,7 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -331,6 +332,34 @@ TEST(NetE2eTest, PingAndRemoteMetrics) {
   runtime::RuntimeMetricsSnapshot local = rig.rt.Metrics();
   EXPECT_EQ(metrics->total.enqueued, local.total.enqueued);
   EXPECT_EQ(metrics->total.fired, local.total.fired);
+}
+
+// Connection churn: each disconnect retires the connection's producer
+// into the aggregate "retired[n]" entry, so the producer list (and the
+// METRICS_REPLY payload) stays bounded on a long-running daemon while the
+// totals are preserved.
+TEST(NetE2eTest, DisconnectRetiresProducers) {
+  Rig rig;
+  constexpr int kChurn = 8;
+  for (int i = 0; i < kChurn; ++i) {
+    IngestClient client(rig.Client());
+    ODE_ASSERT_OK(client.Connect());
+    ODE_ASSERT_OK(client.Post(rig.oids[0], "add", {Value(1)}));
+    ODE_ASSERT_OK(client.Drain());
+    client.Close();
+  }
+  // Retirement happens when the server's loop observes the disconnect;
+  // poll briefly for the list to collapse to the aggregate entry.
+  runtime::RuntimeMetricsSnapshot snap;
+  for (int spin = 0; spin < 200; ++spin) {
+    snap = rig.rt.Metrics();
+    if (snap.producers.size() == 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(snap.producers.size(), 1u);
+  EXPECT_EQ(snap.producers[0].name, "retired[8]");
+  EXPECT_EQ(snap.producers[0].posted, static_cast<uint64_t>(kChurn));
+  EXPECT_EQ(snap.producers[0].accepted, static_cast<uint64_t>(kChurn));
 }
 
 // The server survives a mid-stream disconnect, and a client reconnects to

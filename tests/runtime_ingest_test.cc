@@ -482,6 +482,42 @@ TEST(IngestRuntimeTest, ProducerAccountingAttributesOutcomes) {
   EXPECT_NE(m.ToString().find("producer bob"), std::string::npos);
 }
 
+TEST(IngestRuntimeTest, RetiredProducersFoldIntoAggregate) {
+  BackpressureRig rig(BackpressurePolicy::kReject);
+  runtime::ProducerMetrics* conn0 = rig.rt->RegisterProducer("conn0");
+  runtime::ProducerMetrics* conn1 = rig.rt->RegisterProducer("conn1");
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}, conn0));
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}, conn1));
+  EXPECT_EQ(rig.rt->Post(rig.oid, "add", {Value(1)}, conn1).code(),
+            StatusCode::kWouldBlock);
+  rig.gate.Release();
+  ODE_ASSERT_OK(rig.rt->Drain());
+
+  // Retiring removes the named entries but folds their counters into one
+  // aggregate entry, so Metrics() totals survive connection churn without
+  // the producer list growing.
+  rig.rt->RetireProducer(conn0);
+  rig.rt->RetireProducer(conn1);
+  rig.rt->RetireProducer(nullptr);  // Ignored.
+  RuntimeMetricsSnapshot m = rig.rt->Metrics();
+  ASSERT_EQ(m.producers.size(), 1u);
+  EXPECT_EQ(m.producers[0].name, "retired[2]");
+  EXPECT_EQ(m.producers[0].posted, 3u);
+  EXPECT_EQ(m.producers[0].accepted, 2u);
+  EXPECT_EQ(m.producers[0].rejected, 1u);
+  EXPECT_EQ(m.producers[0].failed, 0u);
+
+  // New registrations coexist with the aggregate.
+  runtime::ProducerMetrics* conn2 = rig.rt->RegisterProducer("conn2");
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}, conn2));
+  ODE_ASSERT_OK(rig.rt->Drain());
+  m = rig.rt->Metrics();
+  ASSERT_EQ(m.producers.size(), 2u);
+  EXPECT_EQ(m.producers[0].name, "conn2");
+  EXPECT_EQ(m.producers[0].posted, 1u);
+  EXPECT_EQ(m.producers[1].name, "retired[2]");
+}
+
 TEST(IngestRuntimeTest, ShardRoutingIsStableAndCoversAllShards) {
   Database db;
   IngestOptions opts;
