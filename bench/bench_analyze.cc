@@ -1,0 +1,172 @@
+// Analyzer throughput over a generated 1000-trigger rulebase, with a
+// per-layer breakdown: parse, layer-1 spec checks, compile + automaton
+// checks (the full per-trigger pipeline), whole-source analysis without
+// pairwise, and the pairwise+grouping sweep over a 64-trigger slice
+// (pairwise is quadratic; measuring it over the full rulebase would
+// measure only itself).
+//
+// Plain main() rather than google-benchmark: the deliverable is
+// BENCH_analyze.json (specs/sec per layer), not a time-per-iteration
+// table. Usage: bench_analyze [output.json] [n_triggers]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "analyze/spec_check.h"
+#include "common/strutil.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// One generated declaration. The shapes cycle through the operator
+/// repertoire so compilation cost is representative, and the method pool
+/// keeps alphabets small but overlapping (pairwise work is real).
+std::string MakeTrigger(size_t i) {
+  static const char* kMethods[] = {"deposit", "withdraw", "audit",
+                                   "restock", "take",     "close"};
+  const char* m1 = kMethods[i % 6];
+  const char* m2 = kMethods[(i / 6 + 1) % 6];
+  switch (i % 7) {
+    case 0:
+      return StrFormat("t%zu(): after %s ==> log", i, m1);
+    case 1:
+      return StrFormat("t%zu(): after %s ; after %s ==> log", i, m1, m2);
+    case 2:
+      return StrFormat("t%zu(): every %zu (after %s) ==> log", i, 2 + i % 4,
+                       m1);
+    case 3:
+      return StrFormat("t%zu(): after %s(q) && q > %zu ==> log", i, m1,
+                       i % 100);
+    case 4:
+      return StrFormat("t%zu(): after %s | after %s ==> log", i, m1, m2);
+    case 5:
+      return StrFormat("t%zu(): relative 2 (after %s) ==> log", i, m1);
+    default:
+      return StrFormat("t%zu(): (after %s ; after %s) && q > %zu ==> log", i,
+                       m1, m2, i % 50);
+  }
+}
+
+std::string MakeRulebase(size_t n) {
+  std::string source;
+  for (size_t i = 0; i < n; ++i) {
+    source += MakeTrigger(i);
+    source += "\n\n";
+  }
+  return source;
+}
+
+int Run(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_analyze.json";
+  size_t n = argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 1000;
+
+  std::string source = MakeRulebase(n);
+
+  // Layer 0: parse.
+  Clock::time_point t0 = Clock::now();
+  std::vector<TriggerSpec> specs;
+  specs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Result<TriggerSpec> spec = ParseTriggerSpec(MakeTrigger(i));
+    if (!spec.ok()) {
+      std::fprintf(stderr, "generated trigger %zu does not parse: %s\n", i,
+                   spec.status().ToString().c_str());
+      return 1;
+    }
+    specs.push_back(std::move(*spec));
+  }
+  Clock::time_point t1 = Clock::now();
+  double parse_s = Seconds(t0, t1);
+
+  // Layer 1: spec checks (AST + masks, no automata).
+  t0 = Clock::now();
+  size_t layer1_diags = 0;
+  for (const TriggerSpec& spec : specs) {
+    std::vector<Diagnostic> diags;
+    CheckTriggerSpec(spec, SpecCheckContext{}, &diags);
+    layer1_diags += diags.size();
+  }
+  t1 = Clock::now();
+  double spec_check_s = Seconds(t0, t1);
+
+  // Layer 2: the full per-trigger pipeline (compile, automaton checks,
+  // cost report).
+  t0 = Clock::now();
+  size_t compiled = 0;
+  for (const TriggerSpec& spec : specs) {
+    TriggerAnalysis ta = AnalyzeTrigger(spec);
+    compiled += ta.compiled ? 1 : 0;
+  }
+  t1 = Clock::now();
+  double automaton_s = Seconds(t0, t1);
+
+  // Whole-source analysis, pairwise off: what `ode-lint --no-pairwise`
+  // does per file (split, parse, per-trigger layers).
+  AnalyzeOptions no_pairwise;
+  no_pairwise.pairwise_checks = false;
+  t0 = Clock::now();
+  AnalysisReport full = AnalyzeSpecSource(source, no_pairwise);
+  t1 = Clock::now();
+  double full_s = Seconds(t0, t1);
+
+  // Pairwise + group planning over a 64-trigger slice (2016 pairs).
+  const size_t kSlice = n < 64 ? n : 64;
+  std::string slice_source = MakeRulebase(kSlice);
+  t0 = Clock::now();
+  AnalysisReport sliced = AnalyzeSpecSource(slice_source);
+  t1 = Clock::now();
+  double pairwise_s = Seconds(t0, t1);
+  size_t pairs = kSlice * (kSlice - 1) / 2;
+
+  std::string json = StrFormat(
+      "{\n"
+      "  \"bench\": \"analyze\",\n"
+      "  \"rulebase_triggers\": %zu,\n"
+      "  \"compiled_triggers\": %zu,\n"
+      "  \"layers\": {\n"
+      "    \"parse\": {\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
+      "    \"spec_check\": {\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
+      "    \"compile_and_automaton\": "
+      "{\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
+      "    \"full_no_pairwise\": "
+      "{\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
+      "    \"pairwise_and_groups_64\": "
+      "{\"seconds\": %.6f, \"pairs\": %zu, \"pairs_per_sec\": %.1f}\n"
+      "  },\n"
+      "  \"specs_per_sec\": %.1f,\n"
+      "  \"layer1_diagnostics\": %zu,\n"
+      "  \"pairwise_findings_64\": %zu\n"
+      "}\n",
+      n, compiled, parse_s, n / parse_s, spec_check_s, n / spec_check_s,
+      automaton_s, n / automaton_s, full_s, n / full_s, pairwise_s, pairs,
+      pairs / pairwise_s, n / full_s, layer1_diags,
+      sliced.pair_findings.size());
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fputs(json.c_str(), out);
+  std::fclose(out);
+  std::fputs(json.c_str(), stdout);
+  std::fprintf(stderr, "wrote %s (%zu triggers analyzed, %zu compiled)\n",
+               out_path, full.triggers.size(), compiled);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ode
+
+int main(int argc, char** argv) { return ode::Run(argc, argv); }

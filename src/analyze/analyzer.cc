@@ -144,18 +144,10 @@ TriggerAnalysis AnalyzeTrigger(const TriggerSpec& spec,
   return ta;
 }
 
-namespace {
-
-/// One blank-line-separated declaration block.
-struct Block {
-  size_t begin = 0;  ///< Byte offset of the block's first line.
-  size_t end = 0;    ///< One past the block's last byte.
-};
-
-std::vector<Block> SplitBlocks(std::string_view source) {
-  std::vector<Block> blocks;
+std::vector<SpecBlock> SplitSpecBlocks(std::string_view source) {
+  std::vector<SpecBlock> blocks;
   size_t pos = 0;
-  std::optional<Block> current;
+  std::optional<SpecBlock> current;
   while (pos <= source.size()) {
     size_t eol = source.find('\n', pos);
     if (eol == std::string_view::npos) eol = source.size();
@@ -167,7 +159,7 @@ std::vector<Block> SplitBlocks(std::string_view source) {
         current.reset();
       }
     } else {
-      if (!current) current = Block{pos, eol};
+      if (!current) current = SpecBlock{pos, eol};
       current->end = eol;
     }
     if (eol == source.size()) break;
@@ -177,10 +169,7 @@ std::vector<Block> SplitBlocks(std::string_view source) {
   return blocks;
 }
 
-/// The whole source with everything outside [block.begin, block.end)
-/// blanked to spaces (newlines kept), so parsing the block yields offsets
-/// and line/columns that are valid for the original file.
-std::string PadToFile(std::string_view source, const Block& block) {
+std::string PadBlockToFile(std::string_view source, const SpecBlock& block) {
   std::string padded(source);
   for (size_t i = 0; i < padded.size(); ++i) {
     if (i >= block.begin && i < block.end) continue;
@@ -189,13 +178,17 @@ std::string PadToFile(std::string_view source, const Block& block) {
   return padded;
 }
 
+namespace {
+
 /// True when the block contains no tokens (comments / whitespace only).
 bool BlockIsEmpty(const std::string& padded) {
   Result<std::vector<Token>> tokens = Tokenize(padded);
   return tokens.ok() && tokens->size() == 1;  // Just kEnd.
 }
 
-/// The pairwise A004/A005 sweep over every compiled trigger in the report.
+/// The pairwise A004/A005/A007 sweep over every compiled trigger in the
+/// report. Decided relations are recorded in report->pair_findings for the
+/// group planner.
 void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
   for (size_t i = 0; i < report->triggers.size(); ++i) {
     for (size_t j = i + 1; j < report->triggers.size(); ++j) {
@@ -205,13 +198,27 @@ void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
       // An empty-language trigger (A001) is vacuously contained in every
       // other; repeating that pairwise would only bury the real finding.
       if (a.never_fires || b.never_fires) continue;
-      Result<PairRelation> rel =
-          CompareEventExprs(a.spec.event, b.spec.event, options.compile);
-      if (!rel.ok()) continue;  // Resource limits: treat as incomparable.
-      switch (*rel) {
+      Result<PairComparison> cmp = CompareEventExprsDetailed(
+          a.spec.event, b.spec.event, options.compile);
+      if (!cmp.ok()) continue;  // Resource limits: treat as incomparable.
+      if (cmp->relation != PairRelation::kIncomparable &&
+          cmp->relation != PairRelation::kDistinct) {
+        report->pair_findings.push_back(
+            PairFinding{i, j, cmp->relation, cmp->via_mask_implication});
+      }
+      // Verdicts reached through solver-proved root-mask implication get
+      // their own id: the automata differ, only the arithmetic relates
+      // them — a different review action than a textual duplicate.
+      const char* subsume_id = cmp->via_mask_implication ? "A007" : "A005";
+      const char* subsume_how = cmp->via_mask_implication
+                                    ? " (its root mask provably entails the "
+                                      "other's)"
+                                    : " (its language is contained in the "
+                                      "other's)";
+      switch (cmp->relation) {
         case PairRelation::kEquivalent:
           report->file_diagnostics.push_back(MakeDiag(
-              "A004", Severity::kWarning,
+              cmp->via_mask_implication ? "A007" : "A004", Severity::kWarning,
               StrFormat("trigger '%s' is equivalent to trigger '%s' — they "
                         "fire at exactly the same history points%s",
                         b.name.c_str(), a.name.c_str(),
@@ -222,20 +229,18 @@ void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
           break;
         case PairRelation::kASubsumesB:
           report->file_diagnostics.push_back(MakeDiag(
-              "A005", Severity::kWarning,
+              subsume_id, Severity::kWarning,
               StrFormat("every firing of trigger '%s' is also a firing of "
-                        "trigger '%s' (its language is contained in the "
-                        "other's)",
-                        b.name.c_str(), a.name.c_str()),
+                        "trigger '%s'%s",
+                        b.name.c_str(), a.name.c_str(), subsume_how),
               EventSpan(b.spec), b.name));
           break;
         case PairRelation::kBSubsumesA:
           report->file_diagnostics.push_back(MakeDiag(
-              "A005", Severity::kWarning,
+              subsume_id, Severity::kWarning,
               StrFormat("every firing of trigger '%s' is also a firing of "
-                        "trigger '%s' (its language is contained in the "
-                        "other's)",
-                        a.name.c_str(), b.name.c_str()),
+                        "trigger '%s'%s",
+                        a.name.c_str(), b.name.c_str(), subsume_how),
               EventSpan(a.spec), a.name));
           break;
         case PairRelation::kDistinct:
@@ -246,13 +251,47 @@ void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
   }
 }
 
+/// Runs the §5 fn. 5 group planner over the pairwise findings and emits
+/// one G001 note per verified plan, carrying the measured cost delta.
+void RunGroupPlanning(const AnalyzeOptions& options, AnalysisReport* report) {
+  if (report->pair_findings.empty()) return;
+  std::vector<TriggerSpec> specs;
+  specs.reserve(report->triggers.size());
+  for (const TriggerAnalysis& ta : report->triggers) specs.push_back(ta.spec);
+  GroupPlanOptions plan_options = options.group_plan;
+  plan_options.combined.compile = options.compile;
+  report->groups =
+      PlanTriggerGroups(specs, report->pair_findings, plan_options);
+  for (const TriggerGroupPlan& plan : report->groups) {
+    std::string names;
+    for (size_t i = 0; i < plan.member_names.size(); ++i) {
+      if (i > 0) names += i + 1 == plan.member_names.size() ? "' and '" : "', '";
+      names += plan.member_names[i];
+    }
+    size_t first = plan.members.front();
+    report->file_diagnostics.push_back(MakeDiag(
+        "G001", Severity::kNote,
+        StrFormat("triggers '%s' can be combined into one automaton "
+                  "(§5 fn. 5): separate %zu states / %zu table bytes / %zu "
+                  "steps per event vs combined %zu states / %zu bytes / 1 "
+                  "step — combined program validated against the §4 oracle "
+                  "on %zu random histories",
+                  names.c_str(), plan.separate.dfa_states,
+                  plan.separate.table_bytes, plan.separate.steps_per_event,
+                  plan.combined.dfa_states, plan.combined.table_bytes,
+                  plan.oracle_histories),
+        EventSpan(report->triggers[first].spec),
+        report->triggers[first].name));
+  }
+}
+
 }  // namespace
 
 AnalysisReport AnalyzeSpecSource(std::string_view source,
                                  const AnalyzeOptions& options) {
   AnalysisReport report;
-  for (const Block& block : SplitBlocks(source)) {
-    std::string padded = PadToFile(source, block);
+  for (const SpecBlock& block : SplitSpecBlocks(source)) {
+    std::string padded = PadBlockToFile(source, block);
     if (BlockIsEmpty(padded)) continue;
     Result<TriggerSpec> spec = ParseTriggerSpec(padded);
     if (!spec.ok()) {
@@ -275,8 +314,114 @@ AnalysisReport AnalyzeSpecSource(std::string_view source,
     report.triggers.push_back(std::move(ta));
   }
 
-  if (options.pairwise_checks) RunPairwiseChecks(options, &report);
+  if (options.pairwise_checks) {
+    RunPairwiseChecks(options, &report);
+    if (options.group_suggestions) RunGroupPlanning(options, &report);
+  }
   return report;
+}
+
+ClassTriggerSet CollectClassTriggerSet(const ClassDef& def) {
+  ClassTriggerSet set;
+  set.class_name = def.name();
+  for (const MethodDef& m : def.methods()) {
+    set.method_arity[m.name] = m.params.size();
+  }
+  size_t index = 0;
+  for (const ClassDef::PendingTrigger& pending : def.pending_triggers()) {
+    ++index;
+    TriggerSpec spec;
+    if (pending.spec) {
+      spec = *pending.spec;
+    } else {
+      Result<TriggerSpec> parsed = ParseTriggerSpec(pending.dsl_text);
+      if (!parsed.ok()) continue;
+      spec = std::move(*parsed);
+    }
+    if (spec.event == nullptr) continue;
+    set.trigger_names.push_back(
+        spec.name.empty() ? StrFormat("<trigger #%zu>", index) : spec.name);
+    set.triggers.push_back(std::move(spec));
+  }
+  return set;
+}
+
+namespace {
+
+/// True when every method event `event` references is declared by both
+/// classes with the same arity.
+bool MethodAlphabetShared(const EventExprPtr& event, const ClassTriggerSet& a,
+                          const ClassTriggerSet& b) {
+  if (event == nullptr) return false;
+  std::vector<const EventExpr*> atoms;
+  event->CollectAtoms(&atoms);
+  for (const EventExpr* atom : atoms) {
+    const BasicEvent& be = atom->atom;
+    if (be.kind != BasicEventKind::kMethod) continue;
+    auto ia = a.method_arity.find(be.method_name);
+    auto ib = b.method_arity.find(be.method_name);
+    if (ia == a.method_arity.end() || ib == b.method_arity.end() ||
+        ia->second != ib->second) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
+    const ClassTriggerSet& a, const ClassTriggerSet& b,
+    const CompileOptions& compile) {
+  std::vector<Diagnostic> out;
+  for (size_t i = 0; i < a.triggers.size(); ++i) {
+    for (size_t j = 0; j < b.triggers.size(); ++j) {
+      const TriggerSpec& ta = a.triggers[i];
+      const TriggerSpec& tb = b.triggers[j];
+      if (!MethodAlphabetShared(ta.event, a, b) ||
+          !MethodAlphabetShared(tb.event, a, b)) {
+        continue;
+      }
+      Result<PairComparison> cmp =
+          CompareEventExprsDetailed(ta.event, tb.event, compile);
+      if (!cmp.ok()) continue;
+      std::string qa = a.class_name + "::" + a.trigger_names[i];
+      std::string qb = b.class_name + "::" + b.trigger_names[j];
+      const char* subsume_id = cmp->via_mask_implication ? "A007" : "A005";
+      switch (cmp->relation) {
+        case PairRelation::kEquivalent:
+          out.push_back(MakeDiag(
+              cmp->via_mask_implication ? "A007" : "A004", Severity::kWarning,
+              StrFormat("trigger '%s' is equivalent to trigger '%s' — the "
+                        "classes declare the referenced method events with "
+                        "the same names and arities, so they fire at exactly "
+                        "the same history points",
+                        qb.c_str(), qa.c_str()),
+              EventSpan(tb), qb));
+          break;
+        case PairRelation::kASubsumesB:
+          out.push_back(MakeDiag(
+              subsume_id, Severity::kWarning,
+              StrFormat("every firing of trigger '%s' is also a firing of "
+                        "trigger '%s' of the other class",
+                        qb.c_str(), qa.c_str()),
+              EventSpan(tb), qb));
+          break;
+        case PairRelation::kBSubsumesA:
+          out.push_back(MakeDiag(
+              subsume_id, Severity::kWarning,
+              StrFormat("every firing of trigger '%s' is also a firing of "
+                        "trigger '%s' of the other class",
+                        qa.c_str(), qb.c_str()),
+              EventSpan(ta), qa));
+          break;
+        case PairRelation::kDistinct:
+        case PairRelation::kIncomparable:
+          break;
+      }
+    }
+  }
+  return out;
 }
 
 AnalysisReport AnalyzeClassDef(const ClassDef& def, AnalyzeOptions options) {
@@ -310,7 +455,10 @@ AnalysisReport AnalyzeClassDef(const ClassDef& def, AnalyzeOptions options) {
     }
     report.triggers.push_back(std::move(ta));
   }
-  if (options.pairwise_checks) RunPairwiseChecks(options, &report);
+  if (options.pairwise_checks) {
+    RunPairwiseChecks(options, &report);
+    if (options.group_suggestions) RunGroupPlanning(options, &report);
+  }
   return report;
 }
 

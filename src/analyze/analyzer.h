@@ -1,6 +1,7 @@
 #ifndef ODE_ANALYZE_ANALYZER_H_
 #define ODE_ANALYZE_ANALYZER_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "analyze/automaton_check.h"
 #include "analyze/cost.h"
 #include "analyze/diagnostic.h"
+#include "analyze/group_plan.h"
 #include "analyze/spec_check.h"
 #include "compile/compiler.h"
 #include "lang/trigger_spec.h"
@@ -23,6 +25,10 @@ struct AnalyzeOptions {
   bool automaton_checks = true;
   /// Pairwise subsumption/equivalence across the analyzed triggers.
   bool pairwise_checks = true;
+  /// §5 fn. 5 trigger-group planning over the pairwise findings (G001
+  /// suggestions with measured cost deltas). Needs pairwise_checks.
+  bool group_suggestions = true;
+  GroupPlanOptions group_plan;
   /// Optional class context for method/attribute resolution (layer 1).
   const ClassDef* class_def = nullptr;
   /// Cost budgets; 0 disables the check. Exceeding one emits C001.
@@ -45,9 +51,14 @@ struct TriggerAnalysis {
 /// declarations separated by blank lines).
 struct AnalysisReport {
   std::vector<TriggerAnalysis> triggers;
-  /// File-level diagnostics: parse failures (P001) and pairwise findings
-  /// (A004/A005).
+  /// File-level diagnostics: parse failures (P001), pairwise findings
+  /// (A004/A005/A007), and group suggestions (G001).
   std::vector<Diagnostic> file_diagnostics;
+  /// Decided pairwise relations (indices into `triggers`) — the group
+  /// planner's input, also useful to downstream tooling.
+  std::vector<PairFinding> pair_findings;
+  /// Verified trigger-group suggestions (each backed by a G001 note).
+  std::vector<TriggerGroupPlan> groups;
 
   /// Every diagnostic — per-trigger ones first, in declaration order.
   std::vector<Diagnostic> AllDiagnostics() const;
@@ -77,6 +88,47 @@ AnalysisReport AnalyzeSpecSource(std::string_view source,
 /// text); Diagnostic::ToString() renders without source context.
 AnalysisReport AnalyzeClassDef(const ClassDef& def,
                                AnalyzeOptions options = {});
+
+/// One class's triggers prepared for the cross-class pairwise sweep.
+/// Independent classes often declare the same method events (§2: every
+/// account-like class has a `deposit`); when the declarations agree on
+/// name and arity, the triggers watch the same history symbols and the
+/// A004/A005/A007 comparison is meaningful across the class boundary.
+struct ClassTriggerSet {
+  std::string class_name;
+  /// Declared method name -> arity (parameter count).
+  std::map<std::string, size_t> method_arity;
+  std::vector<std::string> trigger_names;  ///< Parallel to `triggers`.
+  std::vector<TriggerSpec> triggers;
+};
+
+/// Collects a class's pending triggers into a ClassTriggerSet.
+/// Unparseable triggers are skipped here — registration-time analysis
+/// already reports them as P001.
+ClassTriggerSet CollectClassTriggerSet(const ClassDef& def);
+
+/// Pairwise comparison across two classes' triggers. A pair is compared
+/// only when every method event either trigger references is declared by
+/// BOTH classes with the same arity — otherwise equal names denote
+/// different history symbols and no verdict is sound. Findings carry
+/// class-qualified trigger names ("account::watch").
+std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
+    const ClassTriggerSet& a, const ClassTriggerSet& b,
+    const CompileOptions& compile = {});
+
+/// One blank-line-separated declaration block of a spec source, as a byte
+/// range into it. Exposed so tools that edit blocks in place (ode-lint
+/// --fix) split exactly the way the analyzer does.
+struct SpecBlock {
+  size_t begin = 0;  ///< Byte offset of the block's first line.
+  size_t end = 0;    ///< One past the block's last byte.
+};
+std::vector<SpecBlock> SplitSpecBlocks(std::string_view source);
+
+/// The whole source with everything outside [block.begin, block.end)
+/// blanked to spaces (newlines kept), so parsing the block yields offsets
+/// and line/columns valid for the original file.
+std::string PadBlockToFile(std::string_view source, const SpecBlock& block);
 
 }  // namespace ode
 

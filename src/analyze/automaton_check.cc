@@ -5,36 +5,62 @@
 #include <string>
 
 #include "analyze/mask_check.h"
+#include "analyze/mask_solver.h"
 #include "automaton/determinize.h"
 #include "automaton/minimize.h"
 
 namespace ode {
 
-std::vector<bool> ComputePossibleSymbols(const CompiledEvent& compiled) {
-  const Alphabet& alphabet = compiled.alphabet;
+namespace {
+
+/// Largest mask group the solver sweeps for joint infeasibility: 2^6
+/// sign patterns × a DNF check each is the point past which the sweep
+/// costs more than the pruning is worth.
+constexpr size_t kMaxSolverGroupMasks = 6;
+
+}  // namespace
+
+std::vector<bool> ComputeAlphabetPossibleSymbols(const Alphabet& alphabet) {
   std::vector<bool> base(alphabet.size(), true);
+  MaskSolver solver;
   for (size_t g = 0; g < alphabet.num_groups(); ++g) {
     const std::vector<MaskSlot>& masks = alphabet.group_masks(g);
     if (masks.empty()) continue;
     std::vector<MaskTruth> truth(masks.size());
-    bool any_decided = false;
     for (size_t i = 0; i < masks.size(); ++i) {
       truth[i] = AnalyzeMaskTruth(*masks[i].mask);
-      any_decided |= truth[i] != MaskTruth::kUnknown;
     }
-    if (!any_decided) continue;
+    bool sweep_conjunctions = masks.size() >= 2 &&
+                              masks.size() <= kMaxSolverGroupMasks;
     SymbolId first = alphabet.group_base(g);
     for (size_t bits = 0; bits < alphabet.group_num_symbols(g); ++bits) {
+      bool possible = true;
       for (size_t i = 0; i < masks.size(); ++i) {
         bool required = (bits >> i) & 1;
         if ((required && truth[i] == MaskTruth::kNever) ||
             (!required && truth[i] == MaskTruth::kAlways)) {
-          base[first + bits] = false;
+          possible = false;
           break;
         }
       }
+      if (possible && sweep_conjunctions) {
+        // Per-mask truth passed; the *joint* sign assignment may still be
+        // contradictory (`q > 100` asserted while `q > 50` is denied).
+        std::vector<MaskSolver::SignedMask> conj(masks.size());
+        for (size_t i = 0; i < masks.size(); ++i) {
+          conj[i] = {masks[i].mask.get(), ((bits >> i) & 1) != 0};
+        }
+        possible = solver.ConjunctionSatisfiable(conj);
+      }
+      base[first + bits] = possible;
     }
   }
+  return base;
+}
+
+std::vector<bool> ComputePossibleSymbols(const CompiledEvent& compiled) {
+  const Alphabet& alphabet = compiled.alphabet;
+  std::vector<bool> base = ComputeAlphabetPossibleSymbols(alphabet);
   // The DFA runs over the extended alphabet (base symbol × gate bits); a
   // gate bit can go either way, so extended feasibility is the base's.
   size_t gates = compiled.num_gates();
@@ -78,10 +104,6 @@ std::vector<bool> Reachable(const Dfa& dfa, Dfa::State from,
     expand(cur);
   }
   return seen;
-}
-
-std::vector<bool> AllPossible(const Dfa& dfa) {
-  return std::vector<bool>(dfa.alphabet_size(), true);
 }
 
 }  // namespace
@@ -152,14 +174,39 @@ StateReport AnalyzeStates(const Dfa& dfa, const std::vector<bool>& possible) {
 
 namespace {
 
-/// Strips the root chain of kMasked nodes, collecting the canonical text of
-/// each stripped mask (the compiler does the same into composite_masks).
-EventExprPtr StripRootMasks(EventExprPtr e, std::vector<std::string>* masks) {
+/// Strips the root chain of kMasked nodes, collecting each stripped mask
+/// (the compiler does the same into composite_masks). Masks are deduped by
+/// canonical text, sorted for set comparison.
+struct RootMasks {
+  std::vector<std::string> texts;   ///< Sorted, unique canonical texts.
+  std::vector<MaskExprPtr> exprs;   ///< In the same order as `texts`.
+};
+
+EventExprPtr StripRootMasks(EventExprPtr e, RootMasks* masks) {
+  std::vector<std::pair<std::string, MaskExprPtr>> found;
   while (e->kind == EventExprKind::kMasked) {
-    masks->push_back(e->mask->ToString());
+    found.emplace_back(e->mask->ToString(), e->mask);
     e = e->children[0];
   }
+  std::sort(found.begin(), found.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (auto& [text, expr] : found) {
+    if (!masks->texts.empty() && masks->texts.back() == text) continue;
+    masks->texts.push_back(std::move(text));
+    masks->exprs.push_back(std::move(expr));
+  }
   return e;
+}
+
+/// The conjunction of a stripped root-mask set as one MaskExpr (the empty
+/// set is the mask `true`).
+MaskExprPtr MaskConjunction(const RootMasks& masks) {
+  if (masks.exprs.empty()) return MaskExpr::Literal(Value(true));
+  MaskExprPtr conj = masks.exprs[0];
+  for (size_t i = 1; i < masks.exprs.size(); ++i) {
+    conj = MaskExpr::And(conj, masks.exprs[i]);
+  }
+  return conj;
 }
 
 bool HasMaskedNode(const EventExpr& e) {
@@ -172,25 +219,35 @@ bool HasMaskedNode(const EventExpr& e) {
 
 }  // namespace
 
-Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
-                                       const EventExprPtr& b,
-                                       const CompileOptions& options) {
-  std::vector<std::string> masks_a, masks_b;
+Result<PairComparison> CompareEventExprsDetailed(const EventExprPtr& a,
+                                                 const EventExprPtr& b,
+                                                 const CompileOptions& options) {
+  PairComparison result;
+  RootMasks masks_a, masks_b;
   EventExprPtr core_a = StripRootMasks(a, &masks_a);
   EventExprPtr core_b = StripRootMasks(b, &masks_b);
 
-  // Root masks gate firing on run-time state; the languages are comparable
-  // only when both triggers apply the same set of them.
-  std::sort(masks_a.begin(), masks_a.end());
-  std::sort(masks_b.begin(), masks_b.end());
-  masks_a.erase(std::unique(masks_a.begin(), masks_a.end()), masks_a.end());
-  masks_b.erase(std::unique(masks_b.begin(), masks_b.end()), masks_b.end());
-  if (masks_a != masks_b) return PairRelation::kIncomparable;
+  // Root masks gate firing on run-time state. With equal sets the gates
+  // cancel and the core languages decide the relation outright. With
+  // differing sets, the solver may still prove one conjunction entails the
+  // other — then containment (not equivalence) verdicts survive, flagged
+  // via_mask_implication.
+  bool masks_equal = masks_a.texts == masks_b.texts;
+  bool a_implies_b = masks_equal;
+  bool b_implies_a = masks_equal;
+  if (!masks_equal) {
+    MaskSolver solver;
+    MaskExprPtr conj_a = MaskConjunction(masks_a);
+    MaskExprPtr conj_b = MaskConjunction(masks_b);
+    a_implies_b = solver.Implies(*conj_a, *conj_b);
+    b_implies_a = solver.Implies(*conj_b, *conj_a);
+    if (!a_implies_b && !b_implies_a) return result;  // kIncomparable.
+  }
 
   // Nested composite masks compile to gates whose bits depend on run-time
   // state — not a regular-language question anymore.
   if (HasMaskedNode(*core_a) || HasMaskedNode(*core_b)) {
-    return PairRelation::kIncomparable;
+    return result;  // kIncomparable.
   }
 
   // One alphabet over both expressions, so their DFAs share symbols. Build
@@ -198,27 +255,47 @@ Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
   // an overlap the §5 rewrite cannot express, hence incomparable.
   EventExprPtr joined = EventExpr::Or(core_a, core_b);
   Result<Alphabet> joint = Alphabet::Build(*joined, options.alphabet);
-  if (!joint.ok()) return PairRelation::kIncomparable;
+  if (!joint.ok()) return result;  // kIncomparable.
 
   ODE_ASSIGN_OR_RETURN(Nfa nfa_a, CompileToNfa(*core_a, *joint, options));
   ODE_ASSIGN_OR_RETURN(Nfa nfa_b, CompileToNfa(*core_b, *joint, options));
   ODE_ASSIGN_OR_RETURN(Dfa dfa_a, Determinize(nfa_a, options.max_states));
   ODE_ASSIGN_OR_RETURN(Dfa dfa_b, Determinize(nfa_b, options.max_states));
 
-  if (DfaEquivalent(dfa_a, dfa_b)) return PairRelation::kEquivalent;
-
-  std::vector<bool> all_a = AllPossible(dfa_a);
+  // Containment is decided over *realizable* joint symbols only: a
+  // micro-symbol whose signed mask conjunction the solver refutes cannot
+  // occur in any history, so strings using it don't witness distinctness.
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(*joint);
   // L(b) ⊆ L(a)  iff  L(b) ∩ (Σ⁺ \ L(a)) = ∅. Event languages never
   // contain ε, so plain emptiness of the product suffices.
   Dfa not_a = ComplementSigmaPlus(dfa_a);
-  if (DfaEmptySigmaPlus(IntersectDfa(dfa_b, not_a), all_a)) {
-    return PairRelation::kASubsumesB;
-  }
   Dfa not_b = ComplementSigmaPlus(dfa_b);
-  if (DfaEmptySigmaPlus(IntersectDfa(dfa_a, not_b), all_a)) {
-    return PairRelation::kBSubsumesA;
-  }
-  return PairRelation::kDistinct;
+  bool core_b_in_a = DfaEmptySigmaPlus(IntersectDfa(dfa_b, not_a), possible);
+  bool core_a_in_b = DfaEmptySigmaPlus(IntersectDfa(dfa_a, not_b), possible);
+
+  // Firings(x) ⊆ firings(y) needs both the core-language containment and
+  // the mask-conjunction implication in the same direction.
+  bool b_in_a = core_b_in_a && b_implies_a;
+  bool a_in_b = core_a_in_b && a_implies_b;
+  result.via_mask_implication = !masks_equal;
+  if (a_in_b && b_in_a) {
+    result.relation = PairRelation::kEquivalent;
+  } else if (b_in_a) {
+    result.relation = PairRelation::kASubsumesB;
+  } else if (a_in_b) {
+    result.relation = PairRelation::kBSubsumesA;
+  } else if (masks_equal) {
+    result.relation = PairRelation::kDistinct;
+  }  // Differing masks without proven containment: kIncomparable.
+  return result;
+}
+
+Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
+                                       const EventExprPtr& b,
+                                       const CompileOptions& options) {
+  ODE_ASSIGN_OR_RETURN(PairComparison cmp,
+                       CompareEventExprsDetailed(a, b, options));
+  return cmp.relation;
 }
 
 }  // namespace ode

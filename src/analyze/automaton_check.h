@@ -20,6 +20,14 @@ namespace ode {
 /// make the trigger unfireable, and this is where the two views meet.
 std::vector<bool> ComputePossibleSymbols(const CompiledEvent& compiled);
 
+/// Per-symbol feasibility of a bare alphabet (no gate extension). Combines
+/// two layers: per-mask three-valued truth (a never-true slot kills every
+/// symbol asserting it), and the linear solver's conjunction check — a
+/// symbol whose *signed* mask conjunction is unsatisfiable (e.g. the bit
+/// pattern demanding `q > 100 && !(q > 50)`) is pruned even though each
+/// mask alone is satisfiable.
+std::vector<bool> ComputeAlphabetPossibleSymbols(const Alphabet& alphabet);
+
 /// True iff the DFA accepts no string of length >= 1 over the `possible`
 /// symbols (Σ⁺ emptiness: a trigger never fires on any realizable
 /// history). `possible` must have dfa.alphabet_size() entries.
@@ -62,6 +70,26 @@ enum class PairRelation : uint8_t {
 Result<PairRelation> CompareEventExprs(const EventExprPtr& a,
                                        const EventExprPtr& b,
                                        const CompileOptions& options = {});
+
+/// Comparison verdict plus how it was reached.
+struct PairComparison {
+  PairRelation relation = PairRelation::kIncomparable;
+  /// True when the verdict required solver-proved implication between the
+  /// two triggers' *differing* root-mask conjunctions (A007 territory):
+  /// the containment holds because one mask set entails the other, not
+  /// because the mask sets are textually equal.
+  bool via_mask_implication = false;
+};
+
+/// Like CompareEventExprs, but (1) decides containment over *realizable*
+/// joint symbols (solver-pruned micro-symbols cannot occur in any
+/// history), and (2) when the root-mask sets differ, attempts to prove
+/// implication between the two mask conjunctions with the linear solver —
+/// upgrading pairs the textual comparison calls kIncomparable into
+/// subsumption/equivalence verdicts flagged `via_mask_implication`.
+Result<PairComparison> CompareEventExprsDetailed(
+    const EventExprPtr& a, const EventExprPtr& b,
+    const CompileOptions& options = {});
 
 }  // namespace ode
 

@@ -29,15 +29,23 @@ bool HasErrors(const std::vector<Diagnostic>& diags) {
 
 namespace {
 
-/// The full source line containing `offset` (without the newline).
+/// The full source line containing `offset`, without the newline and
+/// without a trailing '\r' (CRLF sources would otherwise smuggle a
+/// carriage return into the rendered line and shift the caret run).
 std::string_view LineAt(std::string_view source, size_t offset) {
   if (offset > source.size()) offset = source.size();
   size_t begin = offset;
   while (begin > 0 && source[begin - 1] != '\n') --begin;
   size_t end = source.find('\n', offset);
   if (end == std::string_view::npos) end = source.size();
-  return source.substr(begin, end - begin);
+  std::string_view line = source.substr(begin, end - begin);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
 }
+
+/// At most this many source lines are echoed for one span; longer spans
+/// get an elision marker instead of a screenful of carets.
+constexpr int kMaxCaretLines = 3;
 
 }  // namespace
 
@@ -59,21 +67,43 @@ std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
     out += StrFormat(" (trigger '%s')", diag.trigger.c_str());
   }
   if (!diag.span.empty() && diag.span.begin <= source.size()) {
-    LineCol lc = LineColAt(source, diag.span.begin);
-    std::string_view line = LineAt(source, diag.span.begin);
-    out += "\n  ";
-    out += std::string(line);
-    out += "\n  ";
-    size_t col = static_cast<size_t>(lc.col - 1);
-    for (size_t i = 0; i < col && i < line.size(); ++i) {
-      out += (line[i] == '\t') ? '\t' : ' ';
+    // Echo every source line the span touches (up to kMaxCaretLines),
+    // each with its own caret run clamped to that line's end — a span
+    // crossing a line boundary must not drag the run through the
+    // newline into the next line's text.
+    size_t span_end =
+        std::max(std::min(diag.span.end, source.size()), diag.span.begin + 1);
+    size_t pos = diag.span.begin;
+    int rendered = 0;
+    bool elided = false;
+    while (pos < span_end) {
+      if (rendered == kMaxCaretLines) {
+        elided = true;
+        break;
+      }
+      size_t line_begin = pos;
+      while (line_begin > 0 && source[line_begin - 1] != '\n') --line_begin;
+      std::string_view line = LineAt(source, pos);
+      size_t col = pos - line_begin;
+      out += "\n  ";
+      out += std::string(line);
+      out += "\n  ";
+      for (size_t i = 0; i < col && i < line.size(); ++i) {
+        out += (line[i] == '\t') ? '\t' : ' ';
+      }
+      size_t run_end = std::min(span_end - line_begin, line.size());
+      size_t run_len = run_end > col ? run_end - col : 0;
+      // The first line always gets its anchor caret, even at EOL.
+      if (rendered == 0 && run_len == 0) run_len = 1;
+      for (size_t i = 0; i < run_len; ++i) {
+        out += (rendered == 0 && i == 0) ? '^' : '~';
+      }
+      ++rendered;
+      size_t next = source.find('\n', pos);
+      if (next == std::string_view::npos) break;
+      pos = next + 1;
     }
-    // The caret run covers the span but stops at the end of the line.
-    size_t span_len = std::max<size_t>(diag.span.size(), 1);
-    size_t max_len = line.size() > col ? line.size() - col : 1;
-    size_t len = std::min(span_len, max_len);
-    out += '^';
-    for (size_t i = 1; i < len; ++i) out += '~';
+    if (elided) out += "\n  ...";
   }
   return out;
 }

@@ -1,0 +1,286 @@
+#include "analyze/fix.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+#include "analyze/automaton_check.h"
+#include "analyze/mask_check.h"
+#include "common/strutil.h"
+#include "lang/event_parser.h"
+#include "lang/lexer.h"
+#include "semantics/oracle.h"
+
+namespace ode {
+
+namespace {
+
+bool IsLiteralBool(const MaskExpr& m, bool value) {
+  return m.kind == MaskKind::kLiteral && m.literal.Truthy() == value;
+}
+
+/// Bottom-up constant simplification of a mask: boolean structure is
+/// recursed into, and any non-literal subterm the analyzer proves constant
+/// (interval engine + linear solver) is replaced by the literal. A node
+/// proven kNever is only folded *inside* boolean structure — a whole mask
+/// collapsing to `false` is an L001 error to surface, not to rewrite.
+MaskExprPtr SimplifyMask(const MaskExprPtr& mask) {
+  MaskExprPtr node = mask;
+  if (mask->kind == MaskKind::kBinary &&
+      (mask->op == MaskOp::kAnd || mask->op == MaskOp::kOr)) {
+    MaskExprPtr a = SimplifyMask(mask->children[0]);
+    MaskExprPtr b = SimplifyMask(mask->children[1]);
+    bool is_and = mask->op == MaskOp::kAnd;
+    // Literal short-circuits: the neutral operand vanishes, the absorbing
+    // one wins.
+    if (IsLiteralBool(*a, is_and)) return b;
+    if (IsLiteralBool(*b, is_and)) return a;
+    if (IsLiteralBool(*a, !is_and)) return a;
+    if (IsLiteralBool(*b, !is_and)) return b;
+    if (a != mask->children[0] || b != mask->children[1]) {
+      node = MaskExpr::Binary(mask->op, a, b);
+    }
+  } else if (mask->kind == MaskKind::kUnary && mask->op == MaskOp::kNot) {
+    MaskExprPtr a = SimplifyMask(mask->children[0]);
+    if (a->kind == MaskKind::kLiteral) {
+      return MaskExpr::Literal(Value(!a->literal.Truthy()));
+    }
+    if (a != mask->children[0]) node = MaskExpr::Unary(MaskOp::kNot, a);
+  }
+  if (node->kind != MaskKind::kLiteral) {
+    switch (AnalyzeMaskTruth(*node)) {
+      case MaskTruth::kAlways:
+        return MaskExpr::Literal(Value(true));
+      case MaskTruth::kNever:
+        return MaskExpr::Literal(Value(false));
+      case MaskTruth::kUnknown:
+        break;
+    }
+  }
+  return node;
+}
+
+/// Shallow clone with replaced children (EventExpr nodes are immutable).
+EventExprPtr WithChildren(const EventExpr& e,
+                          std::vector<EventExprPtr> children) {
+  auto copy = std::make_shared<EventExpr>(e);
+  copy->children = std::move(children);
+  return copy;
+}
+
+void Note(std::vector<AppliedFix>* fixes, const std::string& trigger,
+          const char* code, std::string description) {
+  fixes->push_back(AppliedFix{trigger, std::move(description), code});
+}
+
+/// Drops kMasked nodes whose mask the analyzer proves always true.
+/// `Masked(E, true)` is `E` at every history point whatever the database
+/// state, so this normalization preserves semantics; it lets the
+/// DFA/oracle gates see through a mask drop made *under* a count
+/// operator, where the original's nested mask node would otherwise be an
+/// unverifiable gate (the comparison calls it incomparable and the
+/// oracle refuses it).
+EventExprPtr DropProvenMasks(const EventExprPtr& event) {
+  std::vector<EventExprPtr> children;
+  bool changed = false;
+  children.reserve(event->children.size());
+  for (const EventExprPtr& c : event->children) {
+    EventExprPtr r = DropProvenMasks(c);
+    changed |= r != c;
+    children.push_back(std::move(r));
+  }
+  EventExprPtr node =
+      changed ? WithChildren(*event, std::move(children)) : event;
+  if (node->kind == EventExprKind::kMasked &&
+      AnalyzeMaskTruth(*node->mask) == MaskTruth::kAlways) {
+    return node->children[0];
+  }
+  return node;
+}
+
+}  // namespace
+
+EventExprPtr RewriteEventExpr(const EventExprPtr& event,
+                              std::vector<AppliedFix>* fixes,
+                              const std::string& trigger_name) {
+  const EventExpr& e = *event;
+
+  // Children first, so count collapses and mask drops see rewritten
+  // operands.
+  std::vector<EventExprPtr> children;
+  bool child_changed = false;
+  children.reserve(e.children.size());
+  for (const EventExprPtr& c : e.children) {
+    EventExprPtr r = RewriteEventExpr(c, fixes, trigger_name);
+    child_changed |= r != c;
+    children.push_back(std::move(r));
+  }
+  EventExprPtr node =
+      child_changed ? WithChildren(e, std::move(children)) : event;
+
+  switch (e.kind) {
+    case EventExprKind::kAtom:
+      if (e.atom_mask != nullptr) {
+        MaskExprPtr simplified = SimplifyMask(e.atom_mask);
+        if (IsLiteralBool(*simplified, true)) {
+          Note(fixes, trigger_name, "L002",
+               StrFormat("dropped always-true mask '%s'",
+                         e.atom_mask->ToString().c_str()));
+          return EventExpr::Atom(e.atom, nullptr);
+        }
+        if (simplified != e.atom_mask &&
+            !IsLiteralBool(*simplified, false)) {
+          Note(fixes, trigger_name, "L002",
+               StrFormat("simplified mask '%s' to '%s'",
+                         e.atom_mask->ToString().c_str(),
+                         simplified->ToString().c_str()));
+          return EventExpr::Atom(e.atom, std::move(simplified));
+        }
+      }
+      return node;
+    case EventExprKind::kMasked: {
+      MaskExprPtr simplified = SimplifyMask(e.mask);
+      if (IsLiteralBool(*simplified, true)) {
+        Note(fixes, trigger_name, "L002",
+             StrFormat("dropped always-true mask '%s'",
+                       e.mask->ToString().c_str()));
+        return node->children[0];
+      }
+      if (simplified != e.mask && !IsLiteralBool(*simplified, false)) {
+        Note(fixes, trigger_name, "L002",
+             StrFormat("simplified mask '%s' to '%s'",
+                       e.mask->ToString().c_str(),
+                       simplified->ToString().c_str()));
+        return EventExpr::Masked(node->children[0], std::move(simplified));
+      }
+      return node;
+    }
+    case EventExprKind::kRelativeN:
+    case EventExprKind::kSequenceN:
+    case EventExprKind::kEvery:
+      // `relative/sequence/every 1 (E)` is `E` (the L007 note verbatim).
+      if (e.n == 1) {
+        Note(fixes, trigger_name, "L007",
+             StrFormat("collapsed degenerate '%s 1' count",
+                       e.kind == EventExprKind::kRelativeN ? "relative"
+                       : e.kind == EventExprKind::kSequenceN ? "sequence"
+                                                             : "every"));
+        return node->children[0];
+      }
+      return node;
+    case EventExprKind::kOr: {
+      // `E | empty` is `E`. (In every other operator an `empty` operand
+      // collapses the surrounding event — that is a finding to surface,
+      // not a rewrite to make.)
+      bool a_empty = node->children[0]->kind == EventExprKind::kEmpty;
+      bool b_empty = node->children[1]->kind == EventExprKind::kEmpty;
+      if (a_empty != b_empty) {
+        Note(fixes, trigger_name, "L008",
+             "pruned 'empty' operand of '|'");
+        return node->children[a_empty ? 1 : 0];
+      }
+      return node;
+    }
+    default:
+      return node;
+  }
+}
+
+bool VerifyRewrite(const EventExprPtr& original, const EventExprPtr& fixed,
+                   const FixOptions& options) {
+  if (original->ToString() == fixed->ToString()) return true;
+
+  // Normalize away masks the analyzer proves always true (a solver
+  // theorem, re-derived here independently of the rewrite pass). The
+  // gates below then verify every *structural* change against the
+  // normalized original.
+  EventExprPtr norm_original = DropProvenMasks(original);
+  EventExprPtr norm_fixed = DropProvenMasks(fixed);
+  if (norm_original->ToString() == norm_fixed->ToString()) return true;
+
+  // Gate 1: DFA equivalence over the realizable joint alphabet, with
+  // root-mask differences resolved by solver implication (both ways, or
+  // the relation is not kEquivalent).
+  Result<PairComparison> cmp =
+      CompareEventExprsDetailed(norm_original, norm_fixed, options.compile);
+  if (!cmp.ok() || cmp->relation != PairRelation::kEquivalent) return false;
+
+  // Gate 2: agreement with the §4 denotational oracle at every point of
+  // random realizable histories over the joint alphabet.
+  EventExprPtr core_a = norm_original;
+  EventExprPtr core_b = norm_fixed;
+  while (core_a->kind == EventExprKind::kMasked) core_a = core_a->children[0];
+  while (core_b->kind == EventExprKind::kMasked) core_b = core_b->children[0];
+  Result<Alphabet> joint = Alphabet::Build(*EventExpr::Or(core_a, core_b),
+                                           options.compile.alphabet);
+  if (!joint.ok()) return false;
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(*joint);
+  std::vector<SymbolId> realizable;
+  for (size_t s = 0; s < possible.size(); ++s) {
+    if (possible[s]) realizable.push_back(static_cast<SymbolId>(s));
+  }
+  if (realizable.empty()) return true;  // No history exists to disagree on.
+
+  Oracle oracle_a(core_a, &*joint);
+  Oracle oracle_b(core_b, &*joint);
+  std::mt19937_64 rng(options.oracle_seed);
+  std::uniform_int_distribution<size_t> pick(0, realizable.size() - 1);
+  for (size_t h = 0; h < options.oracle_histories; ++h) {
+    std::vector<SymbolId> history(options.oracle_history_length);
+    for (SymbolId& sym : history) sym = realizable[pick(rng)];
+    Result<std::vector<bool>> pa = oracle_a.OccurrencePoints(history);
+    Result<std::vector<bool>> pb = oracle_b.OccurrencePoints(history);
+    if (!pa.ok() || !pb.ok() || *pa != *pb) return false;
+  }
+  return true;
+}
+
+FixResult FixSpecSource(std::string_view source, const FixOptions& options) {
+  FixResult result;
+  result.fixed_source = std::string(source);
+
+  struct Splice {
+    size_t begin;
+    size_t end;
+    std::string text;
+  };
+  std::vector<Splice> splices;
+
+  for (const SpecBlock& block : SplitSpecBlocks(source)) {
+    std::string padded = PadBlockToFile(source, block);
+    Result<std::vector<Token>> tokens = Tokenize(padded);
+    if (!tokens.ok() || tokens->size() < 2) continue;  // Comments only.
+    Result<TriggerSpec> spec = ParseTriggerSpec(padded);
+    if (!spec.ok() || spec->event == nullptr) continue;
+
+    std::string name = spec->name.empty() ? "<trigger>" : spec->name;
+    std::vector<AppliedFix> fixes;
+    EventExprPtr rewritten = RewriteEventExpr(spec->event, &fixes, name);
+    if (fixes.empty()) continue;
+
+    if (!VerifyRewrite(spec->event, rewritten, options)) {
+      result.suppressed += fixes.size();
+      continue;
+    }
+
+    TriggerSpec fixed_spec = *spec;
+    fixed_spec.event = rewritten;
+    // Replace the declaration's token range (first token to last real
+    // token before kEnd), preserving surrounding comments.
+    const Token& first = tokens->front();
+    const Token& last = (*tokens)[tokens->size() - 2];
+    splices.push_back(Splice{first.offset, last.offset + last.length,
+                             fixed_spec.ToString()});
+    result.applied.insert(result.applied.end(), fixes.begin(), fixes.end());
+  }
+
+  // Splice back-to-front so earlier offsets stay valid.
+  std::sort(splices.begin(), splices.end(),
+            [](const Splice& a, const Splice& b) { return a.begin > b.begin; });
+  for (const Splice& s : splices) {
+    result.fixed_source.replace(s.begin, s.end - s.begin, s.text);
+  }
+  return result;
+}
+
+}  // namespace ode

@@ -1,0 +1,72 @@
+#ifndef ODE_ANALYZE_FIX_H_
+#define ODE_ANALYZE_FIX_H_
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.h"
+#include "common/result.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+
+/// One machine-applied rewrite of a trigger declaration.
+struct AppliedFix {
+  std::string trigger;       ///< Trigger name (or placeholder).
+  std::string description;   ///< What changed, human-readable.
+  std::string code;          ///< The lint code the rewrite targets
+                             ///< (L002 / L007 / L008).
+};
+
+/// Result of a --fix pass over one spec source.
+struct FixResult {
+  /// The source with every *verified* rewrite spliced in. Comments outside
+  /// rewritten declarations survive; a rewritten declaration is replaced
+  /// by its canonical one-line form.
+  std::string fixed_source;
+  std::vector<AppliedFix> applied;
+  /// Rewrites that were produced but failed semantics verification — they
+  /// are suppressed, never spliced. A non-zero count is a rewriter bug
+  /// worth reporting; the output is still safe.
+  size_t suppressed = 0;
+};
+
+struct FixOptions {
+  CompileOptions compile;
+  /// Random histories per rewrite for the §4-oracle agreement check
+  /// (in addition to DFA equivalence over realizable joint symbols).
+  size_t oracle_histories = 64;
+  size_t oracle_history_length = 10;
+  uint64_t oracle_seed = 0x0defced;
+};
+
+/// Verifies that `fixed` preserves the semantics of `original`: the two
+/// event expressions must be DFA-equivalent over the realizable joint
+/// alphabet (root-mask differences resolved by solver implication both
+/// ways), AND agree with the §4 denotational oracle at every point of
+/// `options.oracle_histories` random realizable histories. Returns false
+/// on any doubt — a fix failing this check is suppressed, not offered.
+bool VerifyRewrite(const EventExprPtr& original, const EventExprPtr& fixed,
+                   const FixOptions& options = {});
+
+/// Rewrites one trigger's event expression, dropping always-true masks
+/// (L002), collapsing degenerate `relative/sequence/every 1` counts
+/// (L007), pruning `empty` operands of `|` (L008), and replacing
+/// solver-proven-constant mask subterms by literals. Returns the rewritten
+/// expression (== `event` when nothing applies) and appends a description
+/// per rewrite to `descriptions`.
+EventExprPtr RewriteEventExpr(const EventExprPtr& event,
+                              std::vector<AppliedFix>* fixes,
+                              const std::string& trigger_name);
+
+/// The --fix entry point: splits `source` into declaration blocks exactly
+/// like AnalyzeSpecSource, rewrites each parseable trigger, verifies every
+/// rewrite with VerifyRewrite, and splices only the verified ones back
+/// into the source (replacing the declaration's token range, so comments
+/// before/after the declaration survive). Unparseable blocks are left
+/// untouched.
+FixResult FixSpecSource(std::string_view source, const FixOptions& options = {});
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_FIX_H_

@@ -1,0 +1,119 @@
+#include "analyze/group_plan.h"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+#include "semantics/oracle.h"
+
+namespace ode {
+
+namespace {
+
+/// CombinedProgram packs acceptance into a uint64_t per state.
+constexpr size_t kMaxGroupSize = 64;
+
+size_t Find(std::vector<size_t>& parent, size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+/// Validates every member's acceptance bit of the product automaton
+/// against its §4 oracle on `options.oracle_histories` random histories
+/// over the shared alphabet's realizable symbols. Returns false on any
+/// mismatch (or when no realizable symbol exists to build histories from).
+bool OracleValidate(const CombinedProgram& program,
+                    const GroupPlanOptions& options) {
+  const Alphabet& alphabet = program.alphabet();
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(alphabet);
+  std::vector<SymbolId> realizable;
+  for (size_t s = 0; s < possible.size(); ++s) {
+    if (possible[s]) realizable.push_back(static_cast<SymbolId>(s));
+  }
+  if (realizable.empty()) return false;
+
+  std::vector<Oracle> oracles;
+  oracles.reserve(program.num_triggers());
+  for (size_t i = 0; i < program.num_triggers(); ++i) {
+    oracles.emplace_back(program.spec(i).event, &alphabet);
+  }
+
+  std::mt19937_64 rng(options.oracle_seed);
+  std::uniform_int_distribution<size_t> pick(0, realizable.size() - 1);
+  for (size_t h = 0; h < options.oracle_histories; ++h) {
+    std::vector<SymbolId> history(options.oracle_history_length);
+    for (SymbolId& sym : history) sym = realizable[pick(rng)];
+
+    // Run the product automaton once; compare each member's bit with its
+    // oracle at every history point.
+    std::vector<uint64_t> accept(history.size());
+    Dfa::State state = program.dfa().start();
+    for (size_t p = 0; p < history.size(); ++p) {
+      state = program.dfa().Step(state, history[p]);
+      accept[p] = program.AcceptMask(state);
+    }
+    for (size_t i = 0; i < oracles.size(); ++i) {
+      Result<std::vector<bool>> points = oracles[i].OccurrencePoints(history);
+      if (!points.ok()) return false;
+      for (size_t p = 0; p < history.size(); ++p) {
+        if ((*points)[p] != (((accept[p] >> i) & 1) != 0)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<TriggerGroupPlan> PlanTriggerGroups(
+    const std::vector<TriggerSpec>& specs,
+    const std::vector<PairFinding>& findings,
+    const GroupPlanOptions& options) {
+  std::vector<size_t> parent(specs.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  for (const PairFinding& f : findings) {
+    bool related = f.relation == PairRelation::kEquivalent ||
+                   f.relation == PairRelation::kASubsumesB ||
+                   f.relation == PairRelation::kBSubsumesA;
+    if (!related || f.a >= specs.size() || f.b >= specs.size()) continue;
+    parent[Find(parent, f.a)] = Find(parent, f.b);
+  }
+
+  std::vector<std::vector<size_t>> clusters(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    clusters[Find(parent, i)].push_back(i);
+  }
+
+  std::vector<TriggerGroupPlan> plans;
+  for (const std::vector<size_t>& members : clusters) {
+    if (members.size() < 2 || members.size() > kMaxGroupSize) continue;
+
+    std::vector<TriggerSpec> group_specs;
+    group_specs.reserve(members.size());
+    for (size_t idx : members) group_specs.push_back(specs[idx]);
+    Result<CombinedProgram> program =
+        CombinedProgram::Build(std::move(group_specs), options.combined);
+    if (!program.ok()) continue;  // Gates / state blowup: no suggestion.
+    if (!OracleValidate(*program, options)) continue;
+
+    TriggerGroupPlan plan;
+    plan.members = members;
+    for (size_t idx : members) plan.member_names.push_back(specs[idx].name);
+    for (const Dfa& component : program->component_dfas()) {
+      plan.separate.dfa_states += component.num_states();
+    }
+    plan.separate.table_bytes = program->SeparateTableBytes();
+    plan.separate.steps_per_event = members.size();
+    plan.combined.dfa_states = program->dfa().num_states();
+    plan.combined.table_bytes = program->CombinedTableBytes();
+    plan.combined.steps_per_event = 1;
+    plan.oracle_histories = options.oracle_histories;
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+}  // namespace ode

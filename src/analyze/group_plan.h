@@ -1,0 +1,69 @@
+#ifndef ODE_ANALYZE_GROUP_PLAN_H_
+#define ODE_ANALYZE_GROUP_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/automaton_check.h"
+#include "compile/combined.h"
+#include "lang/trigger_spec.h"
+
+namespace ode {
+
+/// One decided pairwise relation between analyzed triggers (indices into
+/// the analysis report's trigger list). Recorded by the pairwise sweep and
+/// consumed by the group planner.
+struct PairFinding {
+  size_t a = 0;
+  size_t b = 0;
+  PairRelation relation = PairRelation::kIncomparable;
+  /// The verdict needed solver-proved root-mask implication (A007).
+  bool via_mask_implication = false;
+};
+
+/// Cost of monitoring a trigger group, in the three currencies the §5
+/// fn. 5 trade weighs: automaton states, transition-table bytes, and DFA
+/// steps per posted event.
+struct GroupCost {
+  size_t dfa_states = 0;
+  size_t table_bytes = 0;
+  size_t steps_per_event = 0;
+};
+
+/// A suggested trigger group: related triggers whose product automaton was
+/// actually built, measured, and oracle-validated.
+struct TriggerGroupPlan {
+  std::vector<size_t> members;            ///< Indices into the trigger list.
+  std::vector<std::string> member_names;  ///< Same order as `members`.
+  GroupCost separate;  ///< Per-trigger automata over the shared alphabet.
+  GroupCost combined;  ///< The product automaton.
+  /// Random histories on which every member's product acceptance bit
+  /// matched the §4 oracle (the plan is dropped on any mismatch).
+  size_t oracle_histories = 0;
+};
+
+struct GroupPlanOptions {
+  CombinedProgram::Options combined;
+  /// Oracle cross-validation: histories per group and symbols per history.
+  size_t oracle_histories = 24;
+  size_t oracle_history_length = 10;
+  uint64_t oracle_seed = 0x0de5eed;
+};
+
+/// The §5 footnote-5 planner: clusters triggers related by the pairwise
+/// sweep's A004/A005/A007 findings (union-find over `findings`), builds
+/// the combined product automaton per cluster of two or more, measures
+/// separate-vs-combined cost, and cross-validates every member's
+/// acceptance bit against the §4 denotational oracle on random realizable
+/// histories. Clusters whose combined build fails (gates, >64 members,
+/// state blowup) or whose validation finds any mismatch are silently
+/// dropped — a G001 suggestion is only ever backed by a verified program.
+std::vector<TriggerGroupPlan> PlanTriggerGroups(
+    const std::vector<TriggerSpec>& specs,
+    const std::vector<PairFinding>& findings,
+    const GroupPlanOptions& options = {});
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_GROUP_PLAN_H_

@@ -1,6 +1,8 @@
 #include "analyze/mask_check.h"
 
 #include <cmath>
+
+#include "analyze/mask_solver.h"
 #include <map>
 #include <set>
 #include <string>
@@ -310,6 +312,12 @@ MaskTruth Truth(const MaskExpr& e) {
 
 }  // namespace
 
-MaskTruth AnalyzeMaskTruth(const MaskExpr& mask) { return Truth(mask); }
+MaskTruth AnalyzeMaskTruth(const MaskExpr& mask) {
+  MaskTruth t = Truth(mask);
+  if (t != MaskTruth::kUnknown) return t;
+  // The interval engine handles one term per conjunct; hand the leftovers
+  // to the linear-arithmetic solver (multi-variable, scaled terms).
+  return SolveMaskTruth(mask);
+}
 
 }  // namespace ode

@@ -1,0 +1,393 @@
+#include "analyze/mask_solver.h"
+
+#include <cmath>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace ode {
+
+namespace {
+
+/// Tolerance separating a genuine arithmetic contradiction from
+/// floating-point noise; a derived constant constraint must clear it
+/// before its clause is declared empty.
+constexpr double kTol = 1e-9;
+
+/// A linear combination Σ coeffs[v]·v + constant over canonical-text
+/// variables. Coefficients with |a| <= kTol are dropped on normalization.
+struct LinTerm {
+  std::map<std::string, double> coeffs;
+  double constant = 0;
+
+  void Add(const LinTerm& other, double scale) {
+    constant += scale * other.constant;
+    for (const auto& [v, a] : other.coeffs) coeffs[v] += scale * a;
+  }
+  void Normalize() {
+    for (auto it = coeffs.begin(); it != coeffs.end();) {
+      if (std::fabs(it->second) <= kTol) {
+        it = coeffs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+};
+
+/// One normalized inequality: term < 0 (strict) or term <= 0.
+struct LinConstraint {
+  LinTerm term;
+  bool strict = false;
+};
+
+/// A DNF clause: a conjunction of linear constraints and signed opaque
+/// boolean literals (keyed by canonical text).
+struct Clause {
+  std::vector<LinConstraint> lin;
+  std::map<std::string, bool> bools;
+
+  /// Returns false when adding the literal makes the clause trivially
+  /// contradictory (same opaque literal asserted and denied).
+  bool AddBool(const std::string& key, bool sign) {
+    auto [it, inserted] = bools.emplace(key, sign);
+    return inserted || it->second == sign;
+  }
+};
+
+using ClauseList = std::vector<Clause>;
+
+/// Linearizes an arithmetic mask subexpression. A subterm that cannot be
+/// expressed linearly (products of variables, mod, non-constant divisor,
+/// host calls, members, identifiers) becomes one atomic variable keyed by
+/// its canonical text. Returns nullopt only when the term involves a
+/// non-numeric literal — the caller then treats the enclosing comparison
+/// as opaque.
+std::optional<LinTerm> Linearize(const MaskExpr& e) {
+  LinTerm t;
+  switch (e.kind) {
+    case MaskKind::kLiteral: {
+      Result<double> d = e.literal.AsDouble();
+      if (!d.ok()) return std::nullopt;
+      t.constant = *d;
+      return t;
+    }
+    case MaskKind::kIdent:
+    case MaskKind::kMember:
+    case MaskKind::kCall:
+      t.coeffs[e.ToString()] = 1;
+      return t;
+    case MaskKind::kUnary:
+      if (e.op == MaskOp::kNeg || e.op == MaskOp::kNot) {
+        // `!x` in arithmetic position evaluates to a bool at run time;
+        // treat the whole node as atomic (kNot) or negate (kNeg).
+        if (e.op == MaskOp::kNot) {
+          t.coeffs[e.ToString()] = 1;
+          return t;
+        }
+        std::optional<LinTerm> inner = Linearize(*e.children[0]);
+        if (!inner) return std::nullopt;
+        t.Add(*inner, -1);
+        return t;
+      }
+      t.coeffs[e.ToString()] = 1;
+      return t;
+    case MaskKind::kBinary:
+      switch (e.op) {
+        case MaskOp::kAdd:
+        case MaskOp::kSub: {
+          std::optional<LinTerm> a = Linearize(*e.children[0]);
+          std::optional<LinTerm> b = Linearize(*e.children[1]);
+          if (!a || !b) return std::nullopt;
+          t = *a;
+          t.Add(*b, e.op == MaskOp::kAdd ? 1 : -1);
+          return t;
+        }
+        case MaskOp::kMul: {
+          std::optional<LinTerm> a = Linearize(*e.children[0]);
+          std::optional<LinTerm> b = Linearize(*e.children[1]);
+          if (!a || !b) return std::nullopt;
+          if (a->coeffs.empty()) {
+            t = *b;
+            for (auto& [v, c] : t.coeffs) c *= a->constant;
+            t.constant *= a->constant;
+            return t;
+          }
+          if (b->coeffs.empty()) {
+            t = *a;
+            for (auto& [v, c] : t.coeffs) c *= b->constant;
+            t.constant *= b->constant;
+            return t;
+          }
+          // Product of two non-constant terms: atomic.
+          t = LinTerm{};
+          t.coeffs[e.ToString()] = 1;
+          return t;
+        }
+        case MaskOp::kDiv: {
+          std::optional<LinTerm> a = Linearize(*e.children[0]);
+          std::optional<LinTerm> b = Linearize(*e.children[1]);
+          if (!a || !b) return std::nullopt;
+          if (b->coeffs.empty() && std::fabs(b->constant) > kTol) {
+            t = *a;
+            for (auto& [v, c] : t.coeffs) c /= b->constant;
+            t.constant /= b->constant;
+            return t;
+          }
+          t = LinTerm{};
+          t.coeffs[e.ToString()] = 1;
+          return t;
+        }
+        default:
+          // Mod, comparisons, and boolean operators in arithmetic
+          // position: atomic.
+          t.coeffs[e.ToString()] = 1;
+          return t;
+      }
+  }
+  return std::nullopt;
+}
+
+bool IsRelational(MaskOp op) {
+  switch (op) {
+    case MaskOp::kEq: case MaskOp::kNe: case MaskOp::kLt:
+    case MaskOp::kLe: case MaskOp::kGt: case MaskOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The single clause every assignment satisfies (the DNF of `true`).
+ClauseList TrueDnf() { return ClauseList{Clause{}}; }
+
+/// Conjoins two clause lists (DNF × DNF distribution). Clauses that become
+/// trivially contradictory are dropped; nullopt when the product exceeds
+/// the cap.
+std::optional<ClauseList> AndDnf(const ClauseList& a, const ClauseList& b,
+                                 size_t max_clauses) {
+  if (a.size() * b.size() > max_clauses) return std::nullopt;
+  ClauseList out;
+  for (const Clause& ca : a) {
+    for (const Clause& cb : b) {
+      Clause merged = ca;
+      bool consistent = true;
+      for (const auto& [key, sign] : cb.bools) {
+        if (!merged.AddBool(key, sign)) {
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) continue;
+      merged.lin.insert(merged.lin.end(), cb.lin.begin(), cb.lin.end());
+      out.push_back(std::move(merged));
+    }
+  }
+  return out;
+}
+
+/// DNF of a comparison `lhs op rhs` (or its negation). Returns nullopt if
+/// the comparison cannot be expressed linearly — the caller then falls
+/// back to an opaque literal.
+std::optional<ClauseList> ComparisonDnf(const MaskExpr& lhs, MaskOp op,
+                                        const MaskExpr& rhs, bool negate) {
+  std::optional<LinTerm> l = Linearize(lhs);
+  std::optional<LinTerm> r = Linearize(rhs);
+  if (!l || !r) return std::nullopt;
+
+  LinTerm d = *l;       // d = lhs - rhs.
+  d.Add(*r, -1);
+  d.Normalize();
+  LinTerm nd;           // -d.
+  nd.Add(d, -1);
+
+  if (negate) op = op == MaskOp::kLt   ? MaskOp::kGe
+               : op == MaskOp::kLe   ? MaskOp::kGt
+               : op == MaskOp::kGt   ? MaskOp::kLe
+               : op == MaskOp::kGe   ? MaskOp::kLt
+               : op == MaskOp::kEq   ? MaskOp::kNe
+                                     : MaskOp::kEq;
+
+  auto one = [](LinTerm t, bool strict) {
+    Clause c;
+    c.lin.push_back(LinConstraint{std::move(t), strict});
+    return ClauseList{std::move(c)};
+  };
+  switch (op) {
+    case MaskOp::kLt: return one(d, /*strict=*/true);        // d < 0
+    case MaskOp::kLe: return one(d, /*strict=*/false);       // d <= 0
+    case MaskOp::kGt: return one(nd, /*strict=*/true);       // -d < 0
+    case MaskOp::kGe: return one(nd, /*strict=*/false);      // -d <= 0
+    case MaskOp::kEq: {                                      // d == 0
+      Clause c;
+      c.lin.push_back(LinConstraint{d, false});
+      c.lin.push_back(LinConstraint{nd, false});
+      return ClauseList{std::move(c)};
+    }
+    case MaskOp::kNe: {                                      // d < 0 || d > 0
+      ClauseList out = one(d, true);
+      ClauseList other = one(nd, true);
+      out.push_back(std::move(other[0]));
+      return out;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Recursive DNF conversion with negation pushed down. Returns nullopt
+/// when the clause cap is exceeded (give up — kUnknown).
+std::optional<ClauseList> Dnf(const MaskExpr& e, bool negate,
+                              size_t max_clauses) {
+  switch (e.kind) {
+    case MaskKind::kLiteral: {
+      bool truth = e.literal.Truthy();
+      if (negate) truth = !truth;
+      return truth ? TrueDnf() : ClauseList{};
+    }
+    case MaskKind::kUnary:
+      if (e.op == MaskOp::kNot) {
+        return Dnf(*e.children[0], !negate, max_clauses);
+      }
+      break;  // Arithmetic in boolean position: opaque.
+    case MaskKind::kBinary: {
+      bool conj = e.op == MaskOp::kAnd;
+      bool disj = e.op == MaskOp::kOr;
+      if (conj || disj) {
+        std::optional<ClauseList> a = Dnf(*e.children[0], negate, max_clauses);
+        std::optional<ClauseList> b = Dnf(*e.children[1], negate, max_clauses);
+        if (!a || !b) return std::nullopt;
+        // De Morgan: a negated && is an ||.
+        if (conj != negate) return AndDnf(*a, *b, max_clauses);
+        if (a->size() + b->size() > max_clauses) return std::nullopt;
+        a->insert(a->end(), b->begin(), b->end());
+        return a;
+      }
+      if (IsRelational(e.op)) {
+        std::optional<ClauseList> cmp =
+            ComparisonDnf(*e.children[0], e.op, *e.children[1], negate);
+        if (cmp) return cmp;
+      }
+      break;  // Non-linear comparison or arithmetic: opaque.
+    }
+    default:
+      break;
+  }
+  // Opaque boolean literal keyed by canonical text.
+  Clause c;
+  c.AddBool(e.ToString(), !negate);
+  return ClauseList{std::move(c)};
+}
+
+/// Fourier–Motzkin emptiness check of one clause's linear constraints.
+/// Returns true only when the constraint system is provably
+/// unsatisfiable over the reals.
+bool LinearSystemEmpty(std::vector<LinConstraint> cs,
+                       const MaskSolver::Options& options) {
+  std::set<std::string> vars;
+  for (LinConstraint& c : cs) {
+    c.term.Normalize();
+    for (const auto& [v, a] : c.term.coeffs) vars.insert(v);
+  }
+  if (vars.size() > options.max_vars) return false;  // Conservatively sat.
+
+  for (const std::string& v : vars) {
+    std::vector<LinConstraint> lower, upper, rest;
+    for (LinConstraint& c : cs) {
+      auto it = c.term.coeffs.find(v);
+      if (it == c.term.coeffs.end()) {
+        rest.push_back(std::move(c));
+      } else if (it->second > 0) {
+        upper.push_back(std::move(c));
+      } else {
+        lower.push_back(std::move(c));
+      }
+    }
+    if (rest.size() + lower.size() * upper.size() > options.max_constraints) {
+      return false;  // Growth guard: give up.
+    }
+    // Each (lower, upper) pair combines into a v-free consequence:
+    // scale so the v coefficients cancel (both scale factors positive,
+    // preserving inequality direction).
+    for (const LinConstraint& lo : lower) {
+      double a_lo = lo.term.coeffs.at(v);   // < 0
+      for (const LinConstraint& up : upper) {
+        double a_up = up.term.coeffs.at(v);  // > 0
+        LinConstraint merged;
+        merged.term.Add(lo.term, a_up);
+        merged.term.Add(up.term, -a_lo);
+        merged.term.Normalize();
+        merged.term.coeffs.erase(v);
+        merged.strict = lo.strict || up.strict;
+        rest.push_back(std::move(merged));
+      }
+    }
+    cs = std::move(rest);
+  }
+
+  for (const LinConstraint& c : cs) {
+    // All variables eliminated: `constant {<,<=} 0` must hold.
+    double value = c.term.constant;
+    if (c.strict ? value >= 0 : value > kTol) return true;
+  }
+  return false;
+}
+
+bool ClauseUnsatisfiable(const Clause& c, const MaskSolver::Options& options) {
+  // Opaque-literal clashes were dropped at construction; what remains is
+  // the linear system.
+  return LinearSystemEmpty(c.lin, options);
+}
+
+/// True when every clause of the DNF is provably unsatisfiable (an empty
+/// list is the DNF of `false`).
+bool AllClausesUnsat(const ClauseList& clauses,
+                     const MaskSolver::Options& options) {
+  for (const Clause& c : clauses) {
+    if (!ClauseUnsatisfiable(c, options)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+MaskTruth MaskSolver::Truth(const MaskExpr& mask) const {
+  std::optional<ClauseList> pos = Dnf(mask, /*negate=*/false,
+                                      options_.max_clauses);
+  if (pos && AllClausesUnsat(*pos, options_)) return MaskTruth::kNever;
+  std::optional<ClauseList> neg = Dnf(mask, /*negate=*/true,
+                                      options_.max_clauses);
+  if (neg && AllClausesUnsat(*neg, options_)) return MaskTruth::kAlways;
+  return MaskTruth::kUnknown;
+}
+
+bool MaskSolver::Implies(const MaskExpr& a, const MaskExpr& b) const {
+  std::optional<ClauseList> pa = Dnf(a, /*negate=*/false, options_.max_clauses);
+  std::optional<ClauseList> nb = Dnf(b, /*negate=*/true, options_.max_clauses);
+  if (!pa || !nb) return false;
+  std::optional<ClauseList> both = AndDnf(*pa, *nb, options_.max_clauses);
+  if (!both) return false;
+  return AllClausesUnsat(*both, options_);
+}
+
+bool MaskSolver::ConjunctionSatisfiable(
+    const std::vector<SignedMask>& literals) const {
+  ClauseList acc = TrueDnf();
+  for (const SignedMask& lit : literals) {
+    if (lit.mask == nullptr) continue;
+    std::optional<ClauseList> d =
+        Dnf(*lit.mask, /*negate=*/!lit.positive, options_.max_clauses);
+    if (!d) return true;  // Undecided: conservatively satisfiable.
+    std::optional<ClauseList> merged = AndDnf(acc, *d, options_.max_clauses);
+    if (!merged) return true;
+    acc = std::move(*merged);
+  }
+  return !AllClausesUnsat(acc, options_);
+}
+
+MaskTruth SolveMaskTruth(const MaskExpr& mask) {
+  return MaskSolver().Truth(mask);
+}
+
+}  // namespace ode

@@ -1,0 +1,89 @@
+#ifndef ODE_ANALYZE_MASK_SOLVER_H_
+#define ODE_ANALYZE_MASK_SOLVER_H_
+
+#include <utility>
+#include <vector>
+
+#include "analyze/mask_check.h"
+#include "mask/mask_ast.h"
+
+namespace ode {
+
+/// A small linear-arithmetic satisfiability solver for mask expressions —
+/// the engine behind the upgraded L001/L002 verdicts, cross-mask
+/// implication (A007), micro-symbol feasibility pruning, and the `--fix`
+/// constant-atom simplifier.
+///
+/// ## What it decides
+///
+/// The mask is rewritten into disjunctive normal form (negations pushed to
+/// the leaves, `||` split into clauses, `!=` split into `< || >`). Each
+/// clause is a conjunction of
+///
+///   * linear atoms  Σ aᵢ·xᵢ + c ⋈ 0   with ⋈ ∈ {<, <=} after
+///     normalization (equalities expand to a <=-pair), and
+///   * opaque boolean literals (a bare identifier, host call, string
+///     comparison, ... asserted or denied).
+///
+/// A *variable* xᵢ is the canonical text of a maximal non-linearizable
+/// subterm: `q * 2` is linear in the variable `q`, while `f(q)`, `a.b`,
+/// `q * r`, and `q % 3` each become one atomic variable. Clause
+/// satisfiability is then decided by Fourier–Motzkin elimination over the
+/// rationals (a clause with more than `max_vars` distinct variables is
+/// conservatively treated as satisfiable).
+///
+/// ## Soundness envelope
+///
+/// Verdicts are claims over *real-valued* variables, evaluated without
+/// runtime error — the same envelope documented for MaskTruth: a clause
+/// unsatisfiable over the reals is certainly unsatisfiable over runtime
+/// numerics, so kNever/kAlways are sound; integer-only gaps
+/// (`q > 1 && q < 2`) stay kUnknown. Constant comparisons near the
+/// floating-point noise floor are resolved conservatively (a contradiction
+/// must clear a small tolerance before a clause is declared empty).
+class MaskSolver {
+ public:
+  struct Options {
+    /// DNF clause cap; conversion past it gives up (kUnknown).
+    size_t max_clauses = 64;
+    /// Distinct linear variables per clause Fourier–Motzkin will attempt.
+    size_t max_vars = 3;
+    /// Inequality-count cap during elimination (quadratic growth guard).
+    size_t max_constraints = 128;
+  };
+
+  MaskSolver() = default;
+  explicit MaskSolver(Options options) : options_(options) {}
+
+  /// Three-valued truth of one mask. Strictly extends the interval
+  /// engine's verdicts: everything it decided stays decided, and linear
+  /// multi-variable contradictions/tautologies are added.
+  MaskTruth Truth(const MaskExpr& mask) const;
+
+  /// True iff `a && !b` is unsatisfiable, i.e. every assignment making `a`
+  /// true makes `b` true. False means "not proved" (never "disproved").
+  bool Implies(const MaskExpr& a, const MaskExpr& b) const;
+
+  /// One signed mask of a conjunction: `positive` asserts the mask,
+  /// otherwise its negation is asserted.
+  struct SignedMask {
+    const MaskExpr* mask = nullptr;
+    bool positive = true;
+  };
+
+  /// False iff the conjunction of the signed masks is provably
+  /// unsatisfiable — the micro-symbol feasibility question (§5: a symbol's
+  /// sign assignment over its group's masks). True means satisfiable *or
+  /// undecided*.
+  bool ConjunctionSatisfiable(const std::vector<SignedMask>& literals) const;
+
+ private:
+  Options options_;
+};
+
+/// Convenience: MaskSolver{}.Truth(mask).
+MaskTruth SolveMaskTruth(const MaskExpr& mask);
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_MASK_SOLVER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "analyze/analyzer.h"
@@ -21,6 +22,7 @@ Database::~Database() = default;
 Result<ClassId> Database::RegisterClass(ClassDef def) {
   std::string name = def.name();
 
+  std::optional<ClassTriggerSet> trigger_set;
   if (options_.analyze_triggers != DatabaseOptions::TriggerAnalysisMode::kOff) {
     AnalyzeOptions aopts;
     aopts.compile = options_.compile;
@@ -40,10 +42,21 @@ Result<ClassId> Database::RegisterClass(ClassDef def) {
           StrFormat("class '%s' rejected by trigger analysis: %s",
                     name.c_str(), first_error.c_str()));
     }
+    // Cross-class sweep: this class's triggers against every previously
+    // analyzed class that declares the referenced method events with the
+    // same names and arities (A004/A005/A007 with class-qualified names).
+    trigger_set = CollectClassTriggerSet(def);
+    for (const ClassTriggerSet& prior : analyzed_trigger_sets_) {
+      for (Diagnostic& d : CompareTriggerSetsAcrossClasses(
+               prior, *trigger_set, options_.compile)) {
+        analysis_diagnostics_.push_back(std::move(d));
+      }
+    }
   }
 
   Result<ClassId> id = classes_.Register(std::move(def), options_.compile);
   if (!id.ok()) return id;
+  if (trigger_set) analyzed_trigger_sets_.push_back(std::move(*trigger_set));
 
   // §3 database-scope events: announce the schema modification to the
   // schema object (from a system transaction, like other global events).

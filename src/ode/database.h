@@ -23,6 +23,7 @@
 namespace ode {
 
 class TriggerEngine;
+struct ClassTriggerSet;
 
 /// Context passed to host functions registered for mask expressions
 /// (e.g. `authorized(user())` in §3.5 trigger T1).
@@ -354,6 +355,9 @@ class Database {
   DatabaseOptions options_;
   ClassRegistry classes_;
   std::vector<Diagnostic> analysis_diagnostics_;
+  /// Trigger sets of successfully registered classes, kept (only when
+  /// analyze_triggers is on) for the cross-class pairwise sweep.
+  std::vector<ClassTriggerSet> analyzed_trigger_sets_;
 
   /// Guards the object registry *structure* (insert/erase/find on
   /// `objects_`) and oid allocation. Object *contents* are single-writer

@@ -152,14 +152,39 @@ TEST(CompareTest, DistinctExpressions) {
   EXPECT_EQ(*rel, PairRelation::kDistinct);
 }
 
-TEST(CompareTest, DifferentRootMasksAreIncomparable) {
-  // Root composite masks gate on run-time state the automaton cannot see.
+TEST(CompareTest, RootMaskImplicationProvesSubsumption) {
+  // The masked trigger's firings are a subset of the unmasked one's:
+  // `q > 0` entails the empty mask set (`true`), so the solver upgrades
+  // what used to be kIncomparable into containment.
   Result<EventExprPtr> a = ParseEvent("(after a | after b) && q > 0");
   Result<EventExprPtr> b = ParseEvent("after a | after b");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairComparison> cmp = CompareEventExprsDetailed(*a, *b, {});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->relation, PairRelation::kBSubsumesA);
+  EXPECT_TRUE(cmp->via_mask_implication);
+}
+
+TEST(CompareTest, UnrelatedRootMasksAreIncomparable) {
+  // Neither `q > 0` nor `p > 0` entails the other: run-time state the
+  // analyzer cannot see still makes the pair incomparable.
+  Result<EventExprPtr> a = ParseEvent("(after a | after b) && q > 0");
+  Result<EventExprPtr> b = ParseEvent("(after a | after b) && p > 0");
   ASSERT_TRUE(a.ok() && b.ok());
   Result<PairRelation> rel = CompareEventExprs(*a, *b, {});
   ASSERT_TRUE(rel.ok());
   EXPECT_EQ(*rel, PairRelation::kIncomparable);
+}
+
+TEST(CompareTest, StrongerRootMaskSubsumes) {
+  // `q > 100` entails `q > 50`: equal cores, strictly narrower gate.
+  Result<EventExprPtr> a = ParseEvent("(after a | after b) && q > 100");
+  Result<EventExprPtr> b = ParseEvent("(after a | after b) && q > 50");
+  ASSERT_TRUE(a.ok() && b.ok());
+  Result<PairComparison> cmp = CompareEventExprsDetailed(*a, *b, {});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->relation, PairRelation::kBSubsumesA);
+  EXPECT_TRUE(cmp->via_mask_implication);
 }
 
 TEST(CompareTest, SameRootMasksCompare) {

@@ -95,7 +95,8 @@ TEST(MaskTruthTest, NestedConjunctionsFlatten) {
 TEST(MaskTruthTest, UndecidableShapesStayUnknown) {
   EXPECT_EQ(TruthOf("f(q) > 0 && f(q) < 0"), MaskTruth::kNever);  // Same key.
   EXPECT_EQ(TruthOf("a.b > 0"), MaskTruth::kUnknown);
-  EXPECT_EQ(TruthOf("q * 2 > 10 && q < 1"), MaskTruth::kUnknown);  // No algebra.
+  // Decided by the linear solver (interval engine alone could not).
+  EXPECT_EQ(TruthOf("q * 2 > 10 && q < 1"), MaskTruth::kNever);
 }
 
 }  // namespace

@@ -136,5 +136,95 @@ TEST(RegisterAnalysisTest, DiagnosticsAccumulateAcrossRegistrations) {
   EXPECT_GT(db.analysis_diagnostics().size(), first);
 }
 
+TEST(RegisterAnalysisTest, CrossClassEquivalentTriggersAreFlagged) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+
+  // Two independent classes declare deposit(int); their triggers watch
+  // the same history symbols and fire at the same points.
+  ClassDef checking("checking");
+  checking.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  checking.AddTrigger("watch(): every 2 (after deposit) ==> noop",
+                      HistoryView::kFull, false);
+  ASSERT_TRUE(db.RegisterClass(std::move(checking)).ok());
+  size_t before = db.analysis_diagnostics().size();
+
+  ClassDef savings("savings");
+  savings.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  savings.AddTrigger("audit(): every 2 (after deposit) ==> noop",
+                     HistoryView::kFull, false);
+  ASSERT_TRUE(db.RegisterClass(std::move(savings)).ok());
+
+  std::vector<Diagnostic> fresh(db.analysis_diagnostics().begin() + before,
+                                db.analysis_diagnostics().end());
+  const Diagnostic* dup = Find(fresh, "A004");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_EQ(dup->trigger, "savings::audit");
+  EXPECT_NE(dup->message.find("checking::watch"), std::string::npos)
+      << dup->message;
+}
+
+TEST(RegisterAnalysisTest, CrossClassArityMismatchIsNotCompared) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+
+  ClassDef checking("checking");
+  checking.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  checking.AddTrigger("watch(): after deposit ==> noop", HistoryView::kFull,
+                      false);
+  ASSERT_TRUE(db.RegisterClass(std::move(checking)).ok());
+  size_t before = db.analysis_diagnostics().size();
+
+  // Same method name, different arity: `deposit` here is a different
+  // event, so no cross-class verdict may be produced.
+  ClassDef ledger("ledger");
+  ledger.AddMethod(MethodDef{"deposit",
+                             {{"int", "amount"}, {"string", "memo"}},
+                             MethodKind::kUpdate, nullptr});
+  ledger.AddTrigger("watch(): after deposit ==> noop", HistoryView::kFull,
+                    false);
+  ASSERT_TRUE(db.RegisterClass(std::move(ledger)).ok());
+
+  std::vector<Diagnostic> fresh(db.analysis_diagnostics().begin() + before,
+                                db.analysis_diagnostics().end());
+  EXPECT_EQ(Find(fresh, "A004"), nullptr);
+  EXPECT_EQ(Find(fresh, "A005"), nullptr);
+}
+
+TEST(RegisterAnalysisTest, CrossClassSubsumptionIsFlagged) {
+  DatabaseOptions options;
+  options.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(options);
+
+  ClassDef broad("broad");
+  broad.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  broad.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  broad.AddTrigger("any(): after deposit | after withdraw ==> noop",
+                   HistoryView::kFull, false);
+  ASSERT_TRUE(db.RegisterClass(std::move(broad)).ok());
+
+  ClassDef narrow("narrow");
+  narrow.AddMethod(MethodDef{
+      "deposit", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  narrow.AddMethod(MethodDef{
+      "withdraw", {{"int", "amount"}}, MethodKind::kUpdate, nullptr});
+  narrow.AddTrigger("just_d(): after deposit ==> noop", HistoryView::kFull,
+                    false);
+  ASSERT_TRUE(db.RegisterClass(std::move(narrow)).ok());
+
+  const Diagnostic* sub = Find(db.analysis_diagnostics(), "A005");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->trigger, "narrow::just_d");
+  EXPECT_NE(sub->message.find("broad::any"), std::string::npos)
+      << sub->message;
+}
+
 }  // namespace
 }  // namespace ode

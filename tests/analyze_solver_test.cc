@@ -1,0 +1,156 @@
+// Tests for the linear-arithmetic mask solver (mask_solver.{h,cc}):
+// verdicts the interval engine could not reach, implication between
+// masks, signed-conjunction feasibility, and the conservative limits
+// (non-linear forms, integer gaps, variable caps).
+
+#include "analyze/mask_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "analyze/mask_check.h"
+#include "test_util.h"
+
+namespace ode {
+namespace {
+
+using testing_util::ParseMaskOrDie;
+
+MaskTruth SolveOf(const std::string& text) {
+  return SolveMaskTruth(*ParseMaskOrDie(text));
+}
+
+// --- New verdicts beyond the interval engine ---------------------------
+
+TEST(MaskSolverTest, ScaledVariableContradiction) {
+  // The flagship ISSUE case: q*2 > 10 forces q > 5, contradicting q < 1.
+  EXPECT_EQ(SolveOf("q * 2 > 10 && q < 1"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("2 * q > 10 && q < 1"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, TwoVariableSumContradiction) {
+  EXPECT_EQ(SolveOf("a + b > 10 && a < 2 && b < 2"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, AffineContradiction) {
+  // 2q + 3 <= 1 forces q <= -1, contradicting q >= 0.
+  EXPECT_EQ(SolveOf("2 * q + 3 <= 1 && q >= 0"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, ThreeVariableCycle) {
+  EXPECT_EQ(SolveOf("a > b && b > c && c > a"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, ScaledTautology) {
+  // q/2 >= 5 means q >= 10; its complement is q < 10.
+  EXPECT_EQ(SolveOf("q / 2 >= 5 || q < 10"), MaskTruth::kAlways);
+}
+
+TEST(MaskSolverTest, DisequalityTautology) {
+  EXPECT_EQ(SolveOf("q * 2 != 10 || q == 5"), MaskTruth::kAlways);
+}
+
+TEST(MaskSolverTest, EqualityPropagation) {
+  EXPECT_EQ(SolveOf("a == b && a > 10 && b < 0"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("a - b == 0 && a > b"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, NegationPushing) {
+  EXPECT_EQ(SolveOf("!(q * 2 <= 10) && q < 1"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("!(a + b > 10 && a < 2) || b >= 0 || a >= 2"),
+            MaskTruth::kAlways);
+}
+
+TEST(MaskSolverTest, NegatedTermContradiction) {
+  EXPECT_EQ(SolveOf("-q > 5 && q > 0"), MaskTruth::kNever);
+}
+
+// --- The integrated entry point uses the solver as fallback ------------
+
+TEST(MaskSolverTest, AnalyzeMaskTruthUsesSolver) {
+  EXPECT_EQ(AnalyzeMaskTruth(*ParseMaskOrDie("q * 2 > 10 && q < 1")),
+            MaskTruth::kNever);
+  // Interval-engine verdicts still hold through the combined path.
+  EXPECT_EQ(AnalyzeMaskTruth(*ParseMaskOrDie("q > 100 && q < 50")),
+            MaskTruth::kNever);
+  EXPECT_EQ(AnalyzeMaskTruth(*ParseMaskOrDie("q < 10 || q >= 10")),
+            MaskTruth::kAlways);
+}
+
+// --- Conservative limits ------------------------------------------------
+
+TEST(MaskSolverTest, IntegerGapsStayUnknown) {
+  // Unsat over the integers but sat over the reals: must stay kUnknown.
+  EXPECT_EQ(SolveOf("q > 1 && q < 2"), MaskTruth::kUnknown);
+}
+
+TEST(MaskSolverTest, NonLinearFormsAreOpaque) {
+  // Products of variables and mod are atomic; no verdict follows from
+  // their argument structure.
+  EXPECT_EQ(SolveOf("a * b > 0 && a < 0 && b > 0"), MaskTruth::kUnknown);
+  EXPECT_EQ(SolveOf("q % 2 == 0 && q + 1 < 0"), MaskTruth::kUnknown);
+  // But an opaque term is still one consistent variable.
+  EXPECT_EQ(SolveOf("a * b > 0 && a * b < 0"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("q % 2 == 0 && q % 2 == 1"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("q % 3 >= 2 && q % 3 < 1"), MaskTruth::kNever);
+}
+
+TEST(MaskSolverTest, OpaqueBooleanClash) {
+  EXPECT_EQ(SolveOf("flag && !flag"), MaskTruth::kNever);
+  EXPECT_EQ(SolveOf("flag || !flag"), MaskTruth::kAlways);
+}
+
+TEST(MaskSolverTest, VariableCapGivesUp) {
+  MaskSolver solver(MaskSolver::Options{.max_clauses = 64,
+                                        .max_vars = 2,
+                                        .max_constraints = 128});
+  // Three distinct variables in one clause exceeds max_vars = 2.
+  EXPECT_EQ(solver.Truth(*ParseMaskOrDie("a > b && b > c && c > a")),
+            MaskTruth::kUnknown);
+}
+
+TEST(MaskSolverTest, SatisfiableStaysUnknown) {
+  EXPECT_EQ(SolveOf("q * 2 > 10 && q < 100"), MaskTruth::kUnknown);
+  EXPECT_EQ(SolveOf("a + b > 10"), MaskTruth::kUnknown);
+}
+
+// --- Implication --------------------------------------------------------
+
+TEST(MaskSolverTest, Implication) {
+  MaskSolver solver;
+  EXPECT_TRUE(solver.Implies(*ParseMaskOrDie("q > 100"),
+                             *ParseMaskOrDie("q > 50")));
+  EXPECT_TRUE(solver.Implies(*ParseMaskOrDie("q * 2 > 100"),
+                             *ParseMaskOrDie("q > 10")));
+  EXPECT_TRUE(solver.Implies(*ParseMaskOrDie("a > 0 && b > 0"),
+                             *ParseMaskOrDie("a + b > 0")));
+  EXPECT_FALSE(solver.Implies(*ParseMaskOrDie("q > 50"),
+                              *ParseMaskOrDie("q > 100")));
+  // Unproved (opaque relation) is reported false, never "disproved".
+  EXPECT_FALSE(solver.Implies(*ParseMaskOrDie("f(q) > 0"),
+                              *ParseMaskOrDie("q > 0")));
+  // Identical opaque terms do imply themselves.
+  EXPECT_TRUE(solver.Implies(*ParseMaskOrDie("f(q) > 1"),
+                             *ParseMaskOrDie("f(q) > 0")));
+}
+
+// --- Signed-conjunction feasibility (micro-symbol pruning) --------------
+
+TEST(MaskSolverTest, ConjunctionSatisfiable) {
+  MaskSolver solver;
+  MaskExprPtr over100 = ParseMaskOrDie("q > 100");
+  MaskExprPtr over50 = ParseMaskOrDie("q > 50");
+  // q > 100 && !(q > 50) is the infeasible micro-symbol bit pattern.
+  EXPECT_FALSE(solver.ConjunctionSatisfiable(
+      {{over100.get(), true}, {over50.get(), false}}));
+  EXPECT_TRUE(solver.ConjunctionSatisfiable(
+      {{over100.get(), true}, {over50.get(), true}}));
+  EXPECT_TRUE(solver.ConjunctionSatisfiable(
+      {{over100.get(), false}, {over50.get(), true}}));
+  EXPECT_TRUE(solver.ConjunctionSatisfiable(
+      {{over100.get(), false}, {over50.get(), false}}));
+  // Empty conjunction is trivially satisfiable.
+  EXPECT_TRUE(solver.ConjunctionSatisfiable({}));
+}
+
+}  // namespace
+}  // namespace ode

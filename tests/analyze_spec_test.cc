@@ -2,6 +2,7 @@
 // (analyze/spec_check.h), plus the caret renderer (analyze/diagnostic.h).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -158,6 +159,55 @@ TEST(DiagnosticRenderTest, CaretPointsAtSpan) {
   // Caret line underlines the full mask.
   EXPECT_NE(rendered.find("^~~~"), std::string::npos) << rendered;
   EXPECT_NE(rendered.find("q > 9 && q < 1"), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticRenderTest, SpanCrossingLineBoundaryClampsToEol) {
+  // The unsatisfiable mask spans two physical lines; each line gets its
+  // own caret run and neither run swallows the newline.
+  const std::string src =
+      "t(): after w(q) && q > 9 &&\n"
+      "     q < 1 ==> a";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L001");
+  ASSERT_NE(d, nullptr);
+  ASSERT_GT(d->span.end, src.find('\n')) << "span should cross the newline";
+  std::string rendered = RenderDiagnostic(*d, src, "spec.trig");
+  // Both source lines are echoed, each followed by a caret line.
+  EXPECT_NE(rendered.find("q > 9 &&"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("q < 1"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find('^'), std::string::npos) << rendered;
+  // No caret line may be longer than its source line (the old renderer
+  // let the run of the first line spill past EOL).
+  std::istringstream lines(rendered);
+  std::string prev, cur;
+  while (std::getline(lines, cur)) {
+    if (cur.find_first_not_of(" \t^~") == std::string::npos &&
+        cur.find('^') != std::string::npos) {
+      EXPECT_LE(cur.size(), prev.size()) << rendered;
+    }
+    prev = cur;
+  }
+}
+
+TEST(DiagnosticRenderTest, CarriageReturnIsStrippedFromEchoedLine) {
+  const std::string src = "t(): after w(q) && q > 9 && q < 1 ==> a\r\n";
+  std::vector<Diagnostic> diags = Check(src);
+  const Diagnostic* d = Find(diags, "L001");
+  ASSERT_NE(d, nullptr);
+  std::string rendered = RenderDiagnostic(*d, src, "spec.trig");
+  EXPECT_EQ(rendered.find('\r'), std::string::npos) << rendered;
+}
+
+TEST(DiagnosticRenderTest, LongSpanIsElided) {
+  Diagnostic d;
+  d.id = "X000";
+  d.severity = Severity::kNote;
+  d.message = "long span";
+  const std::string src = "aa\nbb\ncc\ndd\nee";
+  d.span = SourceSpan{0, src.size()};
+  std::string rendered = RenderDiagnostic(d, src, "f.trig");
+  EXPECT_NE(rendered.find("..."), std::string::npos) << rendered;
+  EXPECT_EQ(rendered.find("dd"), std::string::npos) << rendered;
 }
 
 TEST(DiagnosticRenderTest, EmptySpanRendersHeaderOnly) {

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Asserts the stable `ode-lint --format=json` schema (schema_version 1).
+"""Asserts the stable `ode-lint --format=json` schema (schema_version 2).
 
 Usage: check_lint_json.py <ode-lint-binary> <spec-file>...
 
 Runs the linter over the given fixtures and validates the shape of the
 emitted document: top-level keys, per-file diagnostic records with exactly
-{id, severity, message, trigger, line, column}, trigger records, and a
-summary whose counts match the diagnostics. Exits non-zero on any
-mismatch, so a schema change must be deliberate (bump schema_version).
+{id, severity, message, trigger, line, column, end_line, end_column},
+trigger records, group records with separate/combined cost objects, fix
+records, and a summary whose counts match the diagnostics. Exits non-zero
+on any mismatch, so a schema change must be deliberate (bump
+schema_version).
 """
 import json
 import subprocess
@@ -17,6 +19,27 @@ import sys
 def fail(msg):
     print("check_lint_json: FAIL:", msg, file=sys.stderr)
     sys.exit(1)
+
+
+DIAG_KEYS = {
+    "id", "severity", "message", "trigger",
+    "line", "column", "end_line", "end_column",
+}
+COST_KEYS = {"states", "table_bytes", "steps_per_event"}
+GROUP_KEYS = {"members", "separate", "combined", "oracle_histories"}
+FIX_KEYS = {"trigger", "code", "description"}
+SUMMARY_KEYS = {
+    "files", "errors", "warnings", "notes",
+    "fixes_applied", "fixes_suppressed",
+}
+
+
+def check_cost(obj, label):
+    if not isinstance(obj, dict) or set(obj) != COST_KEYS:
+        fail(f"{label}: {obj!r}")
+    for key in COST_KEYS:
+        if not isinstance(obj[key], int):
+            fail(f"{label}.{key} must be an integer")
 
 
 def main():
@@ -33,7 +56,7 @@ def main():
 
     if doc.get("tool") != "ode-lint":
         fail(f"tool: {doc.get('tool')!r}")
-    if doc.get("schema_version") != 1:
+    if doc.get("schema_version") != 2:
         fail(f"schema_version: {doc.get('schema_version')!r}")
     if not isinstance(doc.get("files"), list) or len(doc["files"]) != len(files):
         fail("files: wrong type or count")
@@ -45,29 +68,47 @@ def main():
         if not isinstance(f.get("diagnostics"), list):
             fail("diagnostics missing or not a list")
         for d in f["diagnostics"]:
-            if set(d) != {"id", "severity", "message", "trigger", "line", "column"}:
+            if set(d) != DIAG_KEYS:
                 fail(f"diagnostic keys: {sorted(d)}")
             if d["severity"] not in counts:
                 fail(f"severity: {d['severity']!r}")
-            if not isinstance(d["line"], int) or not isinstance(d["column"], int):
-                fail("line/column must be integers")
+            for key in ("line", "column", "end_line", "end_column"):
+                if not isinstance(d[key], int):
+                    fail(f"{key} must be an integer")
             counts[d["severity"]] += 1
         if not isinstance(f.get("triggers"), list):
             fail("triggers missing or not a list")
         for t in f["triggers"]:
             if not isinstance(t.get("name"), str) or not isinstance(t.get("compiled"), bool):
                 fail(f"trigger record: {t!r}")
+        if not isinstance(f.get("groups"), list):
+            fail("groups missing or not a list")
+        for g in f["groups"]:
+            if set(g) != GROUP_KEYS:
+                fail(f"group keys: {sorted(g)}")
+            if not isinstance(g["members"], list) or len(g["members"]) < 2:
+                fail(f"group members: {g['members']!r}")
+            check_cost(g["separate"], "group.separate")
+            check_cost(g["combined"], "group.combined")
+            if not isinstance(g["oracle_histories"], int) or g["oracle_histories"] < 1:
+                fail(f"group.oracle_histories: {g['oracle_histories']!r}")
+        if not isinstance(f.get("fixes"), list):
+            fail("fixes missing or not a list")
+        for x in f["fixes"]:
+            if set(x) != FIX_KEYS:
+                fail(f"fix keys: {sorted(x)}")
 
     summary = doc.get("summary")
-    if not isinstance(summary, dict) or set(summary) != {
-        "files", "errors", "warnings", "notes",
-    }:
+    if not isinstance(summary, dict) or set(summary) != SUMMARY_KEYS:
         fail(f"summary: {summary!r}")
     if summary["files"] != len(files):
         fail(f"summary.files: {summary['files']}")
     for key, sev in (("errors", "error"), ("warnings", "warning"), ("notes", "note")):
         if summary[key] != counts[sev]:
             fail(f"summary.{key}={summary[key]} but counted {counts[sev]}")
+    for key in ("fixes_applied", "fixes_suppressed"):
+        if not isinstance(summary[key], int):
+            fail(f"summary.{key} must be an integer")
     want_rc = 1 if counts["error"] else 0
     if proc.returncode != want_rc:
         fail(f"exit code {proc.returncode}, want {want_rc}")

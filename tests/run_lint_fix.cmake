@@ -1,0 +1,34 @@
+# Round-trip check for `ode-lint --fix`: copy the fixable fixture into the
+# build tree, run --fix in place, and assert (1) fixes were reported,
+# (2) the file actually changed, and (3) the fixed file re-lints clean of
+# the targeted codes with exit code 0.
+#
+# Inputs: -DLINT=<ode-lint binary> -DFIXTURE=<source .trig> -DWORK=<copy>.
+
+file(COPY_FILE ${FIXTURE} ${WORK})
+
+execute_process(COMMAND ${LINT} --fix ${WORK}
+  OUTPUT_VARIABLE fix_out ERROR_VARIABLE fix_err RESULT_VARIABLE fix_rc)
+if(NOT fix_out MATCHES "fix: trigger")
+  message(FATAL_ERROR "--fix reported no fixes:\n${fix_out}${fix_err}")
+endif()
+
+file(READ ${FIXTURE} before)
+file(READ ${WORK} after)
+if(before STREQUAL after)
+  message(FATAL_ERROR "--fix did not modify the file")
+endif()
+
+execute_process(COMMAND ${LINT} ${WORK}
+  OUTPUT_VARIABLE relint_out ERROR_VARIABLE relint_err
+  RESULT_VARIABLE relint_rc)
+if(NOT relint_rc EQUAL 0)
+  message(FATAL_ERROR
+    "fixed file does not lint clean (rc=${relint_rc}):\n${relint_out}")
+endif()
+foreach(code L002 L007 L008)
+  if(relint_out MATCHES "\\[${code}\\]")
+    message(FATAL_ERROR "residual ${code} after --fix:\n${relint_out}")
+  endif()
+endforeach()
+message(STATUS "ode-lint --fix round-trip ok")

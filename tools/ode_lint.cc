@@ -3,7 +3,10 @@
 // Reads one or more specification files (blank-line-separated trigger
 // declarations in the repo's DSL), runs the three analysis layers
 // (AST/mask checks, automaton checks on the compiled DFA, cost
-// estimation), and renders every finding caret-style against the source.
+// estimation), the cross-trigger group planner, and renders every finding
+// caret-style against the source. With --fix, mechanical rewrites that
+// pass semantics verification (DFA equivalence + oracle agreement) are
+// applied to the files in place.
 //
 // Exit status: 0 when no file produced an error-severity diagnostic,
 // 1 when at least one did, 2 on usage / I/O failure.
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "analyze/fix.h"
 #include "common/strutil.h"
 #include "lang/token.h"
 
@@ -29,11 +33,17 @@ constexpr char kUsage[] =
     "\n"
     "Statically analyzes trigger specification files: mask\n"
     "satisfiability, automaton emptiness/universality/liveness,\n"
-    "pairwise duplicate and subsumption detection, and cost reports.\n"
+    "pairwise duplicate and subsumption detection, trigger-group\n"
+    "suggestions, and cost reports.\n"
     "\n"
     "options:\n"
     "  --no-automaton        skip layer-2 automaton checks\n"
     "  --no-pairwise         skip pairwise equivalence/subsumption\n"
+    "  --no-groups           skip trigger-group (G001) suggestions\n"
+    "  --fix                 apply verified mechanical rewrites in place\n"
+    "                        (drop always-true masks, collapse degenerate\n"
+    "                        counts, prune 'empty' | operands); a rewrite\n"
+    "                        failing semantics verification is suppressed\n"
     "  --cost                print a per-trigger cost report\n"
     "  --budget-states=N     warn (C001) when a DFA exceeds N states\n"
     "  --budget-bytes=N      warn (C001) when tables exceed N bytes\n"
@@ -69,25 +79,31 @@ struct FileResult {
   std::string path;
   std::string source;
   ode::AnalysisReport report;
+  std::vector<ode::AppliedFix> fixes;
 };
 
-/// Emits the machine-readable report. Schema (stable; see
-/// docs/ANALYSIS.md):
+/// Emits the machine-readable report. Schema v2 (see docs/ANALYSIS.md):
 ///
 /// {
-///   "tool": "ode-lint", "schema_version": 1,
+///   "tool": "ode-lint", "schema_version": 2,
 ///   "files": [{
 ///     "path": ..., "diagnostics": [{
 ///       "id": ..., "severity": "error|warning|note", "message": ...,
-///       "trigger": ..., "line": N, "column": N   // 0,0 = no position
+///       "trigger": ..., "line": N, "column": N,      // 0,0 = no position
+///       "end_line": N, "end_column": N               // one past the span
 ///     }],
-///     "triggers": [{"name": ..., "compiled": bool[, "cost": ...]}]
+///     "triggers": [{"name": ..., "compiled": bool[, "cost": ...]}],
+///     "groups": [{"members": [...], "separate": {...}, "combined": {...},
+///                 "oracle_histories": N}],
+///     "fixes": [{"trigger": ..., "code": ..., "description": ...}]
 ///   }],
-///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N}
+///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N,
+///               "fixes_applied": N, "fixes_suppressed": N}
 /// }
 void PrintJson(const std::vector<FileResult>& results, bool print_cost,
-               size_t errors, size_t warnings, size_t notes) {
-  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 1,\n");
+               size_t errors, size_t warnings, size_t notes,
+               size_t fixes_applied, size_t fixes_suppressed) {
+  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 2,\n");
   std::printf("  \"files\": [");
   for (size_t fi = 0; fi < results.size(); ++fi) {
     const FileResult& fr = results[fi];
@@ -99,19 +115,25 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
       const ode::Diagnostic& d = diags[di];
       int line = 0;
       int column = 0;
+      int end_line = 0;
+      int end_column = 0;
       if (!d.span.empty()) {
         ode::LineCol lc = ode::LineColAt(fr.source, d.span.begin);
         line = lc.line;
         column = lc.col;
+        ode::LineCol end = ode::LineColAt(fr.source, d.span.end);
+        end_line = end.line;
+        end_column = end.col;
       }
       std::printf(
           "%s\n        {\"id\": \"%s\", \"severity\": \"%s\", "
           "\"message\": \"%s\", \"trigger\": \"%s\", "
-          "\"line\": %d, \"column\": %d}",
+          "\"line\": %d, \"column\": %d, "
+          "\"end_line\": %d, \"end_column\": %d}",
           di == 0 ? "" : ",", JsonEscape(d.id).c_str(),
           std::string(ode::SeverityName(d.severity)).c_str(),
           JsonEscape(d.message).c_str(), JsonEscape(d.trigger).c_str(), line,
-          column);
+          column, end_line, end_column);
     }
     std::printf("%s],\n", diags.empty() ? "" : "\n      ");
     std::printf("      \"triggers\": [");
@@ -126,13 +148,44 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
       }
       std::printf("}");
     }
-    std::printf("%s]\n    }", fr.report.triggers.empty() ? "" : "\n      ");
+    std::printf("%s],\n", fr.report.triggers.empty() ? "" : "\n      ");
+    std::printf("      \"groups\": [");
+    for (size_t gi = 0; gi < fr.report.groups.size(); ++gi) {
+      const ode::TriggerGroupPlan& g = fr.report.groups[gi];
+      std::printf("%s\n        {\"members\": [", gi == 0 ? "" : ",");
+      for (size_t mi = 0; mi < g.member_names.size(); ++mi) {
+        std::printf("%s\"%s\"", mi == 0 ? "" : ", ",
+                    JsonEscape(g.member_names[mi]).c_str());
+      }
+      std::printf(
+          "], \"separate\": {\"states\": %zu, \"table_bytes\": %zu, "
+          "\"steps_per_event\": %zu}, \"combined\": {\"states\": %zu, "
+          "\"table_bytes\": %zu, \"steps_per_event\": %zu}, "
+          "\"oracle_histories\": %zu}",
+          g.separate.dfa_states, g.separate.table_bytes,
+          g.separate.steps_per_event, g.combined.dfa_states,
+          g.combined.table_bytes, g.combined.steps_per_event,
+          g.oracle_histories);
+    }
+    std::printf("%s],\n", fr.report.groups.empty() ? "" : "\n      ");
+    std::printf("      \"fixes\": [");
+    for (size_t xi = 0; xi < fr.fixes.size(); ++xi) {
+      const ode::AppliedFix& x = fr.fixes[xi];
+      std::printf(
+          "%s\n        {\"trigger\": \"%s\", \"code\": \"%s\", "
+          "\"description\": \"%s\"}",
+          xi == 0 ? "" : ",", JsonEscape(x.trigger).c_str(),
+          JsonEscape(x.code).c_str(), JsonEscape(x.description).c_str());
+    }
+    std::printf("%s]\n    }", fr.fixes.empty() ? "" : "\n      ");
   }
   std::printf("%s],\n", results.empty() ? "" : "\n  ");
   std::printf(
       "  \"summary\": {\"files\": %zu, \"errors\": %zu, "
-      "\"warnings\": %zu, \"notes\": %zu}\n}\n",
-      results.size(), errors, warnings, notes);
+      "\"warnings\": %zu, \"notes\": %zu, \"fixes_applied\": %zu, "
+      "\"fixes_suppressed\": %zu}\n}\n",
+      results.size(), errors, warnings, notes, fixes_applied,
+      fixes_suppressed);
 }
 
 bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
@@ -154,6 +207,7 @@ int main(int argc, char** argv) {
   ode::AnalyzeOptions options;
   bool print_cost = false;
   bool json = false;
+  bool apply_fixes = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -166,6 +220,10 @@ int main(int argc, char** argv) {
       options.automaton_checks = false;
     } else if (std::strcmp(arg, "--no-pairwise") == 0) {
       options.pairwise_checks = false;
+    } else if (std::strcmp(arg, "--no-groups") == 0) {
+      options.group_suggestions = false;
+    } else if (std::strcmp(arg, "--fix") == 0) {
+      apply_fixes = true;
     } else if (std::strcmp(arg, "--cost") == 0) {
       print_cost = true;
     } else if (std::strcmp(arg, "--format=text") == 0) {
@@ -192,6 +250,8 @@ int main(int argc, char** argv) {
   size_t errors = 0;
   size_t warnings = 0;
   size_t notes = 0;
+  size_t fixes_applied = 0;
+  size_t fixes_suppressed = 0;
   bool io_failure = false;
   std::vector<FileResult> results;
   for (const std::string& file : files) {
@@ -204,7 +264,30 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string source = buf.str();
+    in.close();
 
+    std::vector<ode::AppliedFix> fixes;
+    if (apply_fixes) {
+      ode::FixOptions fix_options;
+      fix_options.compile = options.compile;
+      ode::FixResult fixed = ode::FixSpecSource(source, fix_options);
+      fixes_suppressed += fixed.suppressed;
+      if (!fixed.applied.empty()) {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          std::fprintf(stderr, "ode-lint: cannot write '%s'\n", file.c_str());
+          io_failure = true;
+        } else {
+          out << fixed.fixed_source;
+          source = std::move(fixed.fixed_source);
+          fixes = std::move(fixed.applied);
+          fixes_applied += fixes.size();
+        }
+      }
+    }
+
+    // The report reflects the file as it now stands (post-fix when --fix
+    // ran and wrote).
     ode::AnalysisReport report = ode::AnalyzeSpecSource(source, options);
     std::vector<ode::Diagnostic> diags = report.AllDiagnostics();
     for (const ode::Diagnostic& d : diags) {
@@ -215,8 +298,13 @@ int main(int argc, char** argv) {
       }
     }
     if (json) {
-      results.push_back(FileResult{file, std::move(source), std::move(report)});
+      results.push_back(FileResult{file, std::move(source), std::move(report),
+                                   std::move(fixes)});
       continue;
+    }
+    for (const ode::AppliedFix& x : fixes) {
+      std::printf("%s: fix: trigger '%s': [%s] %s\n", file.c_str(),
+                  x.trigger.c_str(), x.code.c_str(), x.description.c_str());
     }
     std::string rendered = ode::RenderDiagnostics(diags, source, file);
     if (!rendered.empty()) std::fputs(rendered.c_str(), stdout);
@@ -231,13 +319,22 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    PrintJson(results, print_cost, errors, warnings, notes);
+    PrintJson(results, print_cost, errors, warnings, notes, fixes_applied,
+              fixes_suppressed);
   } else {
     std::printf(
-        "ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s\n",
+        "ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s",
         files.size(), files.size() == 1 ? "" : "s", errors,
         errors == 1 ? "" : "s", warnings, warnings == 1 ? "" : "s", notes,
         notes == 1 ? "" : "s");
+    if (apply_fixes) {
+      std::printf(", %zu fix%s applied", fixes_applied,
+                  fixes_applied == 1 ? "" : "es");
+      if (fixes_suppressed > 0) {
+        std::printf(" (%zu suppressed by verification)", fixes_suppressed);
+      }
+    }
+    std::printf("\n");
   }
   if (io_failure) return 2;
   return errors > 0 ? 1 : 0;
