@@ -3,11 +3,16 @@
 #
 #   BENCH_ingest.json      — in-process sharded runtime (bench_ingest)
 #   BENCH_net_ingest.json  — loopback network stack (bench_net_ingest)
+#   BENCH_wal.json         — durable (WAL-on) runtime (bench_wal)
 #
-# Then checks the PR-3 acceptance bar: at every shards x batch point with
-# batch >= 128, the loopback path must reach >= 50% of the in-process
-# events/sec (bench_net_ingest carries its own in-process baseline so the
-# ratio compares identical runtime settings within one process run).
+# Then checks two acceptance bars, each computed against an in-process
+# baseline carried inside the same benchmark binary so the ratio compares
+# identical runtime settings within one process run:
+#   PR-3: at every shards x batch point with batch >= 128, the loopback
+#         path must reach >= 50% of the in-process events/sec.
+#   PR-6: at every batch >= 128 point, durable ingest under the default
+#         group-commit policy (fsync every-N) must reach >= 50% of the
+#         in-memory (WAL-off) events/sec.
 #
 # Usage: bench/run_ingest_bench.sh [build-dir] [output-dir]
 set -euo pipefail
@@ -16,7 +21,7 @@ BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 REPS="${BENCH_REPS:-1}"
 
-for bench in bench_ingest bench_net_ingest; do
+for bench in bench_ingest bench_net_ingest bench_wal; do
   if [ ! -x "${BUILD_DIR}/bench/${bench}" ]; then
     echo "run_ingest_bench: ${BUILD_DIR}/bench/${bench} not built" >&2
     echo "  (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} --target ${bench})" >&2
@@ -32,6 +37,11 @@ done
 "${BUILD_DIR}/bench/bench_net_ingest" \
   --benchmark_repetitions="${REPS}" \
   --benchmark_out="${OUT_DIR}/BENCH_net_ingest.json" \
+  --benchmark_out_format=json
+
+"${BUILD_DIR}/bench/bench_wal" \
+  --benchmark_repetitions="${REPS}" \
+  --benchmark_out="${OUT_DIR}/BENCH_wal.json" \
   --benchmark_out_format=json
 
 python3 - "${OUT_DIR}/BENCH_net_ingest.json" <<'EOF'
@@ -68,4 +78,39 @@ if failures:
     print(f"run_ingest_bench: FAIL: loopback below 50% of in-process at {failures}")
     sys.exit(1)
 print("run_ingest_bench: ok: loopback >= 50% of in-process at every batch >= 128 point")
+EOF
+
+python3 - "${OUT_DIR}/BENCH_wal.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+rates = {}
+for b in doc["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    base = b["name"].split("/")[0]
+    key = (int(b["shards"]), int(b["batch"]))
+    rates.setdefault(base, {})[key] = b["items_per_second"]
+
+durable = rates.get("BM_WalDurableEveryN", {})
+ref = rates.get("BM_WalBaselineInMemory", {})
+failures = []
+print(f"{'shards':>6} {'batch':>6} {'wal ev/s':>12} {'in-mem ev/s':>13} {'ratio':>6}")
+for key in sorted(durable):
+    if key not in ref:
+        continue
+    ratio = durable[key] / ref[key]
+    shards, batch = key
+    bar = " <-- FAIL (< 0.50 at batch >= 128)" if batch >= 128 and ratio < 0.5 else ""
+    print(f"{shards:>6} {batch:>6} {durable[key]:>12.0f} {ref[key]:>13.0f} {ratio:>6.2f}{bar}")
+    if bar:
+        failures.append(key)
+
+if failures:
+    print(f"run_ingest_bench: FAIL: durable ingest below 50% of in-memory at {failures}")
+    sys.exit(1)
+print("run_ingest_bench: ok: durable ingest >= 50% of in-memory at every batch >= 128 point")
 EOF

@@ -48,6 +48,12 @@ Status IngestClient::Connect() {
   }
   decoder_ = FrameDecoder();
   server_shutting_down_ = false;
+  if (!options_.identity.empty()) {
+    // Open the session with the identity announcement. It rides in the
+    // send buffer ahead of whatever is posted (or replayed) next; the
+    // HELLO_OK reply is informational and consumed like any other frame.
+    ODE_RETURN_IF_ERROR(AppendHello(&outbuf_, next_seq_++, options_.identity));
+  }
   return Status::OK();
 }
 
@@ -130,9 +136,11 @@ Status IngestClient::Reconnect() {
     Status s = Connect();
     if (s.ok()) {
       ++stats_.reconnects;
-      // Replay everything in flight (original seqs): the server may or may
-      // not have seen these before the cut — at-least-once across redials.
-      outbuf_.clear();
+      // Replay everything in flight (original seqs) behind the HELLO that
+      // Connect just queued: the server may or may not have seen these
+      // before the cut — at-least-once across redials, exactly-once when
+      // an identity lets the server dedup the replay. Close() emptied
+      // outbuf_, so the pipeline rebuilds from scratch here.
       for (const PendingPost& p : unacked_) {
         // Cannot fail: every unacked post already passed AppendPost's
         // validation when it was first encoded.

@@ -36,6 +36,12 @@ struct ClientOptions {
   std::chrono::milliseconds reconnect_backoff{50};
   /// SO_RCVTIMEO for blocking reply reads; 0 = wait forever.
   int recv_timeout_ms = 0;
+  /// Durable producer identity. When non-empty, every (re)connect opens
+  /// with a HELLO announcing it, and the server dedups replayed seqs it
+  /// already applied under this identity — upgrading the reconnect path
+  /// from at-least-once to exactly-once (docs/DURABILITY.md). Must be
+  /// unique per logical producer and at most kMaxIdentityLen bytes.
+  std::string identity;
 };
 
 /// Blocking client for the ingest wire protocol. Posts are pipelined: they
@@ -47,7 +53,10 @@ struct ClientOptions {
 /// Delivery semantics: on a healthy connection every post is delivered
 /// exactly once (accepted, or bounced and resent by Drain's retry rounds,
 /// which re-targets only the bounced seqs). Across an auto-reconnect,
-/// unacked posts are replayed, so delivery is at-least-once.
+/// unacked posts are replayed, so delivery is at-least-once — unless the
+/// client was given a durable identity (ClientOptions::identity), in which
+/// case the server recognizes already-applied seqs at replay and the
+/// session is exactly-once, even across a server crash-recovery restart.
 class IngestClient {
  public:
   explicit IngestClient(ClientOptions options);

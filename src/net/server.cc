@@ -175,8 +175,20 @@ bool IngestServer::HandleReadable(Conn* conn) {
 bool IngestServer::HandleFrame(Conn* conn, Frame&& frame) {
   switch (frame.type) {
     case FrameType::kPost: {
+      if (!conn->identity.empty() && conn->dedup.Contains(frame.seq)) {
+        // Exactly-once replay dedup: an earlier connection (possibly in a
+        // previous server process, recovered from the WAL) already applied
+        // this seq. ACK it so the client trims its retry buffer, but do
+        // not post it again.
+        posts_deduped_.fetch_add(1, std::memory_order_relaxed);
+        conn->last_accepted_seq = frame.seq;
+        ++conn->accepted_since_ack;
+        MaybeAck(conn, /*force=*/false);
+        return true;
+      }
       Status s = rt_->Post(frame.oid, std::move(frame.method),
-                           std::move(frame.args), conn->producer);
+                           std::move(frame.args), conn->producer,
+                           conn->identity, frame.seq);
       if (s.ok()) {
         conn->last_accepted_seq = frame.seq;
         ++conn->accepted_since_ack;
@@ -211,6 +223,13 @@ bool IngestServer::HandleFrame(Conn* conn, Frame&& frame) {
     case FrameType::kPing:
       AppendPong(&conn->out, frame.seq);
       return true;
+    case FrameType::kHello: {
+      // The decoder already enforced a non-empty identity within the cap.
+      conn->identity = std::move(frame.identity);
+      conn->dedup = rt_->AppliedSeqs(conn->identity);
+      AppendHelloOk(&conn->out, frame.seq, conn->dedup.max_seq());
+      return true;
+    }
     default:
       // Reply frame types are not valid requests.
       AppendErr(&conn->out, frame.seq, WireError::kUnsupported,

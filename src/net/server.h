@@ -12,6 +12,7 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "runtime/ingest_runtime.h"
+#include "wal/log_format.h"
 
 namespace ode {
 namespace net {
@@ -58,6 +59,15 @@ struct ServerOptions {
 /// runtime's aggregate "retired[n]" entry, so the producer list (and the
 /// METRICS_REPLY payload) stays bounded by the live connection count even
 /// under heavy connection churn.
+///
+/// Exactly-once: a client that announces a durable identity (kHello)
+/// gets replay dedup. The server snapshots the runtime's applied-seq set
+/// for that identity at the handshake; a POST whose seq is in the set was
+/// applied by a previous connection (or a previous server *process*, when
+/// the runtime is durable) — it is ACKed without re-posting. Combined with
+/// the client's replay-unacked-on-reconnect, delivery for identified
+/// sessions is exactly-once across reconnects and crash-recovery restarts
+/// (docs/DURABILITY.md).
 class IngestServer {
  public:
   IngestServer(runtime::IngestRuntime* rt, ServerOptions options = {});
@@ -84,6 +94,11 @@ class IngestServer {
   uint64_t frames_handled() const {
     return frames_handled_.load(std::memory_order_relaxed);
   }
+  /// Posts ACKed via the exactly-once dedup path (seq already applied for
+  /// the connection's identity) without re-entering the runtime.
+  uint64_t posts_deduped() const {
+    return posts_deduped_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Conn {
@@ -95,6 +110,14 @@ class IngestServer {
     runtime::ProducerMetrics* producer = nullptr;
     uint64_t last_accepted_seq = 0;  ///< ACK watermark: accepted posts only.
     uint64_t accepted_since_ack = 0;
+    /// Durable identity announced by kHello; empty = anonymous session
+    /// (no dedup, plain at-least-once).
+    std::string identity;
+    /// Applied-seq snapshot for `identity`, taken at the handshake. A seq
+    /// in this set was applied by an earlier connection: ACK, don't post.
+    /// A snapshot suffices — a client never reuses a seq within one
+    /// connection, so only pre-handshake seqs can be duplicates.
+    wal::SeqSet dedup;
     bool closing = false;  ///< Flush remaining replies, then close.
   };
 
@@ -125,6 +148,7 @@ class IngestServer {
   std::atomic<bool> started_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_handled_{0};
+  std::atomic<uint64_t> posts_deduped_{0};
   uint64_t next_conn_id_ = 0;
 };
 

@@ -210,11 +210,13 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kDrain: return "DRAIN";
     case FrameType::kMetrics: return "METRICS";
     case FrameType::kPing: return "PING";
+    case FrameType::kHello: return "HELLO";
     case FrameType::kAck: return "ACK";
     case FrameType::kDrainOk: return "DRAIN_OK";
     case FrameType::kErr: return "ERR";
     case FrameType::kPong: return "PONG";
     case FrameType::kMetricsReply: return "METRICS_REPLY";
+    case FrameType::kHelloOk: return "HELLO_OK";
   }
   return "UNKNOWN";
 }
@@ -311,6 +313,31 @@ Status AppendPost(std::string* out, uint64_t seq, Oid oid,
 void AppendDrain(std::string* out, uint64_t seq) {
   size_t at = OpenFrame(out, FrameType::kDrain);
   PutU64(out, seq);
+  CloseFrame(out, at);
+}
+
+Status AppendHello(std::string* out, uint64_t seq,
+                   std::string_view identity) {
+  if (identity.empty()) {
+    return Status::InvalidArgument("HELLO requires a non-empty identity");
+  }
+  if (identity.size() > kMaxIdentityLen) {
+    return Status::InvalidArgument(
+        StrFormat("identity is %zu bytes, limit %zu", identity.size(),
+                  kMaxIdentityLen));
+  }
+  size_t at = OpenFrame(out, FrameType::kHello);
+  PutU64(out, seq);
+  PutU16(out, static_cast<uint16_t>(identity.size()));
+  PutBytes(out, identity);
+  CloseFrame(out, at);
+  return Status::OK();
+}
+
+void AppendHelloOk(std::string* out, uint64_t seq, uint64_t max_applied) {
+  size_t at = OpenFrame(out, FrameType::kHelloOk);
+  PutU64(out, seq);
+  PutU64(out, max_applied);
   CloseFrame(out, at);
 }
 
@@ -435,6 +462,16 @@ FrameDecoder::State FrameDecoder::Next(Frame* out) {
     case FrameType::kDrainOk:
     case FrameType::kPong:
       break;  // seq only.
+    case FrameType::kHello: {
+      uint16_t id_len = 0;
+      ok = ok && in.ReadU16(&id_len);
+      if (ok && (id_len == 0 || id_len > kMaxIdentityLen)) ok = false;
+      ok = ok && in.ReadBytes(id_len, &out->identity);
+      break;
+    }
+    case FrameType::kHelloOk:
+      ok = ok && in.ReadU64(&out->watermark);
+      break;
     case FrameType::kErr: {
       uint16_t code = 0, msg_len = 0;
       ok = ok && in.ReadU16(&code) && in.ReadU16(&msg_len) &&

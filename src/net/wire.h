@@ -30,6 +30,8 @@ inline constexpr uint32_t kMaxFramePayload = 1u << 20;
 /// they bound allocation before the full payload is validated).
 inline constexpr size_t kMaxMethodLen = 4096;
 inline constexpr size_t kMaxPostArgs = 1024;
+/// Cap on a HELLO identity (mirrors the WAL's kMaxWalIdentityLen).
+inline constexpr size_t kMaxIdentityLen = 256;
 
 enum class FrameType : uint8_t {
   // Requests (client → server).
@@ -37,6 +39,7 @@ enum class FrameType : uint8_t {
   kDrain = 2,    ///< Barrier; server replies kDrainOk when fully processed.
   kMetrics = 3,  ///< Runtime counter snapshot request.
   kPing = 4,     ///< Liveness probe; server replies kPong.
+  kHello = 5,    ///< Durable identity announcement; server replies kHelloOk.
   // Replies (server → client).
   kAck = 16,           ///< Cumulative: every post seq <= watermark that was
                        ///< not individually ERRed has been accepted.
@@ -44,6 +47,8 @@ enum class FrameType : uint8_t {
   kErr = 18,           ///< Typed failure for the request with this seq.
   kPong = 19,          ///< Reply to kPing.
   kMetricsReply = 20,  ///< Serialized RemoteMetrics.
+  kHelloOk = 21,       ///< Echoes the kHello seq + the server's max applied
+                       ///< seq for that identity (exactly-once handshake).
 };
 
 const char* FrameTypeName(FrameType type);
@@ -91,6 +96,10 @@ struct Frame {
   std::string message;
   // kMetricsReply:
   RemoteMetrics metrics;
+  // kHello:
+  std::string identity;
+  // kHelloOk: the server's highest applied seq for the identity (0 = none).
+  uint64_t watermark = 0;
 };
 
 // --- Encoders: append one complete frame to *out. -----------------------
@@ -103,6 +112,10 @@ struct Frame {
 Status AppendPost(std::string* out, uint64_t seq, Oid oid,
                   std::string_view method, const std::vector<Value>& args);
 void AppendDrain(std::string* out, uint64_t seq);
+/// Validates the identity against kMaxIdentityLen (and rejects an empty
+/// one — anonymous sessions simply don't send HELLO).
+Status AppendHello(std::string* out, uint64_t seq, std::string_view identity);
+void AppendHelloOk(std::string* out, uint64_t seq, uint64_t max_applied);
 void AppendMetricsRequest(std::string* out, uint64_t seq);
 void AppendPing(std::string* out, uint64_t seq);
 void AppendAck(std::string* out, uint64_t watermark);

@@ -299,6 +299,13 @@ class Database {
   Status SaveSnapshot(const std::string& path) const;
   Status LoadSnapshot(const std::string& path);
 
+  /// In-memory variants of the same codec, used by the WAL checkpoint
+  /// (src/wal/) to embed a snapshot body inside its own file. The body is
+  /// the full "ODE-SNAPSHOT v1" text *without* the trailing checksum line
+  /// (the embedding container carries its own integrity check).
+  Result<std::string> SaveSnapshotText() const;
+  Status LoadSnapshotText(std::string_view body);
+
  private:
   friend class TriggerEngine;
 

@@ -5,6 +5,7 @@
 
 #include "common/strutil.h"
 #include "ode/database.h"
+#include "ode/snapshot_codec.h"
 
 // Snapshot persistence (§2: "Persistent objects ... continue to exist after
 // the program creating them has terminated").
@@ -16,9 +17,7 @@
 
 namespace ode {
 
-namespace {
-
-std::string EncodeValue(const Value& v) {
+std::string EncodeSnapshotValue(const Value& v) {
   switch (v.kind()) {
     case ValueKind::kNull:
       return "null";
@@ -50,7 +49,7 @@ std::string EncodeValue(const Value& v) {
   return "null";
 }
 
-Result<Value> DecodeValue(std::string_view s) {
+Result<Value> DecodeSnapshotValue(std::string_view s) {
   if (s == "null") return Value();
   auto colon = s.find(':');
   if (colon == std::string_view::npos) {
@@ -77,6 +76,8 @@ Result<Value> DecodeValue(std::string_view s) {
   return Status::InvalidArgument("unknown value tag");
 }
 
+namespace {
+
 std::string EncodeSpecField(const std::optional<int>& f) {
   return f.has_value() ? StrFormat("%d", *f) : "*";
 }
@@ -88,7 +89,7 @@ std::optional<int> DecodeSpecField(const std::string& s) {
 
 }  // namespace
 
-Status Database::SaveSnapshot(const std::string& path) const {
+Result<std::string> Database::SaveSnapshotText() const {
   std::string body;
   body += "ODE-SNAPSHOT v1\n";
   body += StrFormat("clock %lld\n", static_cast<long long>(clock_.now()));
@@ -105,7 +106,7 @@ Status Database::SaveSnapshot(const std::string& path) const {
                       cls->def.name().c_str());
     for (const auto& [name, value] : obj.attrs()) {
       body += StrFormat("attr %s %s\n", name.c_str(),
-                        EncodeValue(value).c_str());
+                        EncodeSnapshotValue(value).c_str());
     }
     for (const GroupSlot& slot : obj.group_slots()) {
       body += StrFormat("group %d %d %d %llu\n", slot.group_idx,
@@ -121,7 +122,7 @@ Status Database::SaveSnapshot(const std::string& path) const {
       body += "\n";
       for (const auto& [pname, pvalue] : slot.params) {
         body += StrFormat("param %s %s\n", pname.c_str(),
-                          EncodeValue(pvalue).c_str());
+                          EncodeSnapshotValue(pvalue).c_str());
       }
     }
     body += "end\n";
@@ -141,6 +142,11 @@ Status Database::SaveSnapshot(const std::string& path) const {
         EncodeSpecField(t.spec.ms).c_str());
   }
 
+  return body;
+}
+
+Status Database::SaveSnapshot(const std::string& path) const {
+  ODE_ASSIGN_OR_RETURN(std::string body, SaveSnapshotText());
   body += StrFormat("checksum %llu\n",
                     static_cast<unsigned long long>(Fnv1a64(body)));
 
@@ -178,7 +184,12 @@ Status Database::LoadSnapshot(const std::string& path) {
     return Status::InvalidArgument("snapshot checksum mismatch (corrupt?)");
   }
 
-  std::istringstream lines(content.substr(0, checksum_pos));
+  return LoadSnapshotText(
+      std::string_view(content).substr(0, checksum_pos));
+}
+
+Status Database::LoadSnapshotText(std::string_view body) {
+  std::istringstream lines{std::string(body)};
   std::string line;
   if (!std::getline(lines, line) || line != "ODE-SNAPSHOT v1") {
     return Status::InvalidArgument("not an ODE snapshot (bad magic)");
@@ -220,7 +231,7 @@ Status Database::LoadSnapshot(const std::string& path) {
       std::string name, encoded;
       ls >> name;
       std::getline(ls, encoded);
-      Result<Value> v = DecodeValue(StripWhitespace(encoded));
+      Result<Value> v = DecodeSnapshotValue(StripWhitespace(encoded));
       if (!v.ok()) return v.status();
       current->InitAttr(name, std::move(*v));
     } else if (tag == "trigger") {
@@ -243,7 +254,7 @@ Status Database::LoadSnapshot(const std::string& path) {
       std::string name, encoded;
       ls >> name;
       std::getline(ls, encoded);
-      Result<Value> v = DecodeValue(StripWhitespace(encoded));
+      Result<Value> v = DecodeSnapshotValue(StripWhitespace(encoded));
       if (!v.ok()) return v.status();
       current_slot->params[name] = std::move(*v);
     } else if (tag == "group") {

@@ -1,0 +1,23 @@
+#ifndef ODE_ODE_SNAPSHOT_CODEC_H_
+#define ODE_ODE_SNAPSHOT_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace ode {
+
+/// The one-line text encoding of a Value used by the snapshot format
+/// ("null", "int:5", "dbl:...", "bool:1", "str:..." with \n and \\ escaped,
+/// "oid:7"). Shared between snapshot persistence (src/ode/persistence.cc)
+/// and the WAL record/checkpoint codecs (src/wal/): the encoding never
+/// contains a raw newline, so a value always fits in one line of a
+/// line-oriented file.
+std::string EncodeSnapshotValue(const Value& v);
+Result<Value> DecodeSnapshotValue(std::string_view s);
+
+}  // namespace ode
+
+#endif  // ODE_ODE_SNAPSHOT_CODEC_H_

@@ -57,7 +57,13 @@ EventQueue::PushResult EventQueue::PushFor(IngestEvent event,
 size_t EventQueue::PopBatch(std::vector<IngestEvent>* out,
                             size_t max_events) {
   std::unique_lock<std::mutex> lock(mu_);
-  not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+  not_empty_.wait(lock, [&] { return count_ > 0 || closed_ || interrupt_; });
+  if (interrupt_) {
+    // Consume the one-shot flag and surface a spurious-looking empty pop so
+    // the consumer returns to its loop head (where it checks for a pause).
+    interrupt_ = false;
+    return 0;
+  }
   size_t n = count_ < max_events ? count_ : max_events;
   for (size_t i = 0; i < n; ++i) {
     out->push_back(std::move(ring_[head_]));
@@ -66,6 +72,22 @@ size_t EventQueue::PopBatch(std::vector<IngestEvent>* out,
   count_ -= n;
   if (n > 0) not_full_.notify_all();
   return n;
+}
+
+void EventQueue::Interrupt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  interrupt_ = true;
+  not_empty_.notify_all();
+}
+
+std::vector<IngestEvent> EventQueue::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IngestEvent> out;
+  out.reserve(count_);
+  for (size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
 }
 
 void EventQueue::Close() {

@@ -24,6 +24,13 @@ struct IngestEvent {
   /// Steady-clock nanoseconds at enqueue (latency histogram); 0 when
   /// latency recording is off.
   uint64_t enqueue_ns = 0;
+  /// Durable producer identity + per-producer sequence number, carried into
+  /// the WAL for exactly-once replay dedup. Empty/0 for anonymous posts.
+  std::string producer_id;
+  uint64_t producer_seq = 0;
+  /// Set on events re-posted by crash recovery: they are already in the
+  /// (old) log, so the shard must not append them again.
+  bool replayed = false;
 };
 
 /// What a full queue does to a new event (per shard, set at runtime
@@ -63,9 +70,22 @@ class EventQueue {
   PushResult PushFor(IngestEvent event, std::chrono::milliseconds timeout);
 
   /// Dequeues up to `max_events` in FIFO order into `*out` (appended).
-  /// Blocks until at least one event is available or the queue is closed
-  /// and empty; returns the number appended (0 only at shutdown).
+  /// Blocks until at least one event is available, the queue is closed
+  /// and empty, or Interrupt() fires; returns the number appended (0 at
+  /// shutdown or on an observed interrupt — callers distinguish via
+  /// closed()/size()).
   size_t PopBatch(std::vector<IngestEvent>* out, size_t max_events);
+
+  /// Wakes the consumer out of a PopBatch wait, making it return 0 once
+  /// without dequeuing (even if events are present). Used by the shard's
+  /// checkpoint pause to get the worker back to its loop head. The flag is
+  /// consumed by the PopBatch that observes it.
+  void Interrupt();
+
+  /// Copies the queued events in FIFO order without dequeuing them — the
+  /// checkpoint's in-flight capture. Only meaningful while the consumer is
+  /// paused and producers are gated out.
+  std::vector<IngestEvent> Snapshot() const;
 
   /// No further pushes succeed; the consumer drains what remains.
   void Close();
@@ -89,6 +109,7 @@ class EventQueue {
   size_t count_ = 0;                   ///< Events currently queued.
   size_t high_water_ = 0;
   bool closed_ = false;
+  bool interrupt_ = false;  ///< One-shot PopBatch wakeup (see Interrupt()).
 };
 
 }  // namespace runtime

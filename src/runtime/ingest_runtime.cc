@@ -1,9 +1,18 @@
 #include "runtime/ingest_runtime.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/strutil.h"
 #include "ode/database.h"
+#include "wal/checkpoint.h"
 
 namespace ode {
 namespace runtime {
@@ -20,6 +29,12 @@ Status IngestRuntime::Start() {
   if (started_.exchange(true, std::memory_order_acq_rel)) {
     return Status::FailedPrecondition("ingest runtime cannot be restarted");
   }
+  durable_ = options_.durability.enabled();
+  wal::RecoveredState recovered;
+  if (durable_) {
+    ODE_RETURN_IF_ERROR(LoadDurability(&recovered));
+  }
+
   Shard::Options shard_options;
   shard_options.queue_capacity = options_.queue_capacity;
   shard_options.max_batch = options_.max_batch;
@@ -29,17 +44,155 @@ Status IngestRuntime::Start() {
   shard_options.record_latency = options_.record_latency;
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
+    shard_options.wal = durable_ ? wal_writers_[i].get() : nullptr;
     shards_.push_back(std::make_unique<Shard>(i, db_, shard_options));
   }
   for (auto& shard : shards_) shard->Start();
   running_.store(true, std::memory_order_release);
+
+  if (durable_) {
+    // Replay through the normal shard/trigger path, then publish a fresh
+    // baseline checkpoint: it captures pre-Start database state (objects
+    // created before the runtime existed) even on a virgin directory, and
+    // lets the old log files — orphans included — be retired.
+    ODE_RETURN_IF_ERROR(ReplayRecovered(std::move(recovered)));
+    ODE_RETURN_IF_ERROR(Drain());
+    ODE_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status IngestRuntime::LoadDurability(wal::RecoveredState* recovered) {
+  const std::string& dir = options_.durability.dir;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(StrFormat("mkdir '%s': %s", dir.c_str(),
+                                      std::strerror(errno)));
+  }
+  ODE_ASSIGN_OR_RETURN(*recovered, wal::LoadDurableState(dir));
+  recovery_.attempted = true;
+  recovery_.had_checkpoint = recovered->had_checkpoint;
+  recovery_.skipped_covered = recovered->skipped_covered;
+  recovery_.torn_files = recovered->torn_files;
+  recovery_.torn_bytes = recovered->torn_bytes;
+  recovery_.notes = recovered->notes;
+
+  if (recovered->had_checkpoint) {
+    const wal::CheckpointData& checkpoint = recovered->checkpoint;
+    ODE_RETURN_IF_ERROR(db_->LoadSnapshotText(checkpoint.snapshot_body));
+    if (checkpoint.shard_metrics.size() == options_.num_shards) {
+      metrics_baseline_ = checkpoint.shard_metrics;
+    } else {
+      for (const ShardMetricsSnapshot& m : checkpoint.shard_metrics) {
+        m.AddInto(&metrics_extra_base_);
+        has_extra_base_ = true;
+      }
+    }
+    if (checkpoint.has_base_metrics) {
+      checkpoint.base_metrics.AddInto(&metrics_extra_base_);
+      has_extra_base_ = true;
+    }
+    std::lock_guard<std::mutex> lock(wm_mu_);
+    applied_seqs_ = checkpoint.applied;
+  }
+
+  wal_writers_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    uint64_t start_lsn = 0;
+    auto it = recovered->file_last_lsn.find(i);
+    if (it != recovered->file_last_lsn.end()) start_lsn = it->second;
+    auto writer = std::make_unique<wal::LogWriter>();
+    // Append mode: the old records stay on disk until the post-replay
+    // checkpoint truncates them — a crash mid-recovery just recovers again.
+    ODE_RETURN_IF_ERROR(writer->Open(wal::ShardLogPath(dir, i), start_lsn,
+                                     options_.durability));
+    wal_writers_.push_back(std::move(writer));
+  }
+  for (const auto& [file, last] : recovered->file_last_lsn) {
+    if (file >= options_.num_shards) orphan_covered_[file] = last;
+  }
+  return Status::OK();
+}
+
+Status IngestRuntime::ReplayRecovered(wal::RecoveredState recovered) {
+  auto replay_one = [&](wal::WalRecord& record) -> Status {
+    IngestEvent event;
+    event.oid = record.oid;
+    event.method = std::move(record.method);
+    event.args = std::move(record.args);
+    event.producer_id = std::move(record.producer_id);
+    event.producer_seq = record.producer_seq;
+    event.replayed = true;
+    // A durable event must not be lost to kReject backpressure: retry the
+    // bounce until the worker frees space (recovery owns the runtime, so
+    // nothing else competes for it).
+    while (true) {
+      Status status = PostEvent(event, nullptr);
+      if (status.code() != StatusCode::kWouldBlock) {
+        if (status.ok()) ++recovery_.replayed_events;
+        return status;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  // Old file indices, ascending; per file the checkpoint's in-flight
+  // events precede the log's surviving records (they were queued before
+  // the records were appended).
+  std::vector<size_t> files;
+  for (size_t f = 0; f < recovered.checkpoint.inflight.size(); ++f) {
+    if (!recovered.checkpoint.inflight[f].empty()) files.push_back(f);
+  }
+  for (const auto& [f, records] : recovered.replay) {
+    if (!records.empty()) files.push_back(f);
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (size_t f : files) {
+    if (f < recovered.checkpoint.inflight.size()) {
+      for (wal::WalRecord& record : recovered.checkpoint.inflight[f]) {
+        ODE_RETURN_IF_ERROR(replay_one(record));
+      }
+    }
+    auto it = recovered.replay.find(f);
+    if (it != recovered.replay.end()) {
+      for (wal::WalRecord& record : it->second) {
+        ODE_RETURN_IF_ERROR(replay_one(record));
+      }
+    }
+  }
   return Status::OK();
 }
 
 Status IngestRuntime::Post(Oid oid, std::string method,
                            std::vector<Value> args,
                            ProducerMetrics* producer) {
+  IngestEvent event;
+  event.oid = oid;
+  event.method = std::move(method);
+  event.args = std::move(args);
+  return PostEvent(std::move(event), producer);
+}
+
+Status IngestRuntime::Post(Oid oid, std::string method,
+                           std::vector<Value> args, ProducerMetrics* producer,
+                           std::string_view identity, uint64_t seq) {
+  IngestEvent event;
+  event.oid = oid;
+  event.method = std::move(method);
+  event.args = std::move(args);
+  event.producer_id = std::string(identity);
+  event.producer_seq = seq;
+  return PostEvent(std::move(event), producer);
+}
+
+Status IngestRuntime::PostEvent(IngestEvent event, ProducerMetrics* producer) {
   Status status;
+  bool enqueued = false;
+  // Saved before the move: the watermark update below runs after Enqueue
+  // consumed the event.
+  const std::string identity = event.producer_id;
+  const uint64_t seq = event.producer_seq;
   if (!running()) {
     // Distinguish "never started" from "stopped": front ends translate
     // kShutdown into a clean shutting-down reply and close, while
@@ -47,12 +200,18 @@ Status IngestRuntime::Post(Oid oid, std::string method,
     status = started_.load(std::memory_order_acquire)
                  ? Status::Shutdown("ingest runtime is stopped")
                  : Status::FailedPrecondition("ingest runtime is not running");
+  } else if (durable_) {
+    // Shared side of the checkpoint gate: Checkpoint() takes it unique, so
+    // no post can be between "entered the queue" and "appended to the log"
+    // while the checkpoint captures both.
+    std::shared_lock<std::shared_mutex> gate(post_gate_);
+    status = shards_[ShardOf(event.oid)]->Enqueue(std::move(event), &enqueued);
   } else {
-    IngestEvent event;
-    event.oid = oid;
-    event.method = std::move(method);
-    event.args = std::move(args);
-    status = shards_[ShardOf(oid)]->Enqueue(std::move(event));
+    status = shards_[ShardOf(event.oid)]->Enqueue(std::move(event), &enqueued);
+  }
+  if (enqueued && !identity.empty()) {
+    std::lock_guard<std::mutex> lock(wm_mu_);
+    applied_seqs_[identity].Add(seq);
   }
   if (producer != nullptr) producer->RecordPost(status);
   return status;
@@ -92,12 +251,96 @@ Status IngestRuntime::Drain() {
   return Status::OK();
 }
 
+Status IngestRuntime::Checkpoint() {
+  if (!running()) {
+    return Status::FailedPrecondition("ingest runtime is not running");
+  }
+  if (!durable_) {
+    return Status::FailedPrecondition("durability is not enabled");
+  }
+  // Unique side of the post gate: no producer is inside Enqueue, so every
+  // accepted event is both in its queue and in its log. Then park the
+  // workers so queue contents and database state stop moving.
+  std::unique_lock<std::shared_mutex> gate(post_gate_);
+  for (auto& shard : shards_) shard->RequestPause();
+  for (auto& shard : shards_) shard->WaitPaused();
+  Status status = CheckpointLocked();
+  for (auto& shard : shards_) shard->Resume();
+  return status;
+}
+
+Status IngestRuntime::CheckpointLocked() {
+  wal::CheckpointData data;
+  data.num_shards = shards_.size();
+  data.inflight.resize(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (IngestEvent& event : shards_[i]->SnapshotQueue()) {
+      wal::WalRecord record;
+      record.oid = event.oid;
+      record.method = std::move(event.method);
+      record.args = std::move(event.args);
+      record.producer_id = std::move(event.producer_id);
+      record.producer_seq = event.producer_seq;
+      data.inflight[i].push_back(std::move(record));
+    }
+  }
+  ODE_ASSIGN_OR_RETURN(data.snapshot_body, db_->SaveSnapshotText());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardMetricsSnapshot m = shards_[i]->MetricsSnapshot();
+    if (i < metrics_baseline_.size()) metrics_baseline_[i].AddInto(&m);
+    data.shard_metrics.push_back(m);
+  }
+  if (has_extra_base_) {
+    data.base_metrics = metrics_extra_base_;
+    data.has_base_metrics = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wm_mu_);
+    data.applied = applied_seqs_;
+  }
+  // Every record ever appended is subsumed: processed ones are in the
+  // snapshot, queued ones in the inflight lists.
+  for (size_t i = 0; i < wal_writers_.size(); ++i) {
+    data.covered_lsn[i] = wal_writers_[i]->last_lsn();
+  }
+  for (const auto& [file, last] : orphan_covered_) {
+    uint64_t& slot = data.covered_lsn[file];
+    slot = std::max(slot, last);
+  }
+  ODE_RETURN_IF_ERROR(
+      wal::WriteCheckpointFile(options_.durability.dir, data));
+  for (auto& writer : wal_writers_) {
+    ODE_RETURN_IF_ERROR(writer->Truncate());
+  }
+  for (const auto& entry : orphan_covered_) {
+    (void)::unlink(
+        wal::ShardLogPath(options_.durability.dir, entry.first).c_str());
+  }
+  orphan_covered_.clear();
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+wal::SeqSet IngestRuntime::AppliedSeqs(std::string_view identity) const {
+  std::lock_guard<std::mutex> lock(wm_mu_);
+  auto it = applied_seqs_.find(std::string(identity));
+  if (it == applied_seqs_.end()) return wal::SeqSet();
+  return it->second;
+}
+
 Status IngestRuntime::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
     return Status::OK();
   }
   for (auto& shard : shards_) shard->Stop();
-  return Status::OK();
+  // Final durability barrier: group-commit policies may hold acked records
+  // unsynced; a clean stop must not lose them.
+  Status status = Status::OK();
+  for (auto& writer : wal_writers_) {
+    Status s = writer->Sync();
+    if (status.ok()) status = s;
+  }
+  return status;
 }
 
 size_t IngestRuntime::ShardOf(Oid oid) const {
@@ -112,9 +355,22 @@ size_t IngestRuntime::ShardOf(Oid oid) const {
 RuntimeMetricsSnapshot IngestRuntime::Metrics() const {
   RuntimeMetricsSnapshot snapshot;
   snapshot.shards.reserve(shards_.size());
-  for (const auto& shard : shards_) {
-    snapshot.shards.push_back(shard->MetricsSnapshot());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ShardMetricsSnapshot s = shards_[i]->MetricsSnapshot();
+    if (i < metrics_baseline_.size()) metrics_baseline_[i].AddInto(&s);
+    snapshot.shards.push_back(s);
     snapshot.shards.back().AddInto(&snapshot.total);
+  }
+  if (has_extra_base_) metrics_extra_base_.AddInto(&snapshot.total);
+  snapshot.wal.enabled = durable_;
+  if (durable_) {
+    for (const auto& writer : wal_writers_) {
+      snapshot.wal.appends += writer->appends();
+      snapshot.wal.fsyncs += writer->fsyncs();
+      snapshot.wal.bytes_written += writer->bytes_written();
+    }
+    snapshot.wal.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    snapshot.wal.replayed_on_recovery = recovery_.replayed_events;
   }
   {
     std::lock_guard<std::mutex> lock(producers_mu_);

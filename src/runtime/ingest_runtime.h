@@ -3,9 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -13,6 +16,9 @@
 #include "runtime/event_queue.h"
 #include "runtime/metrics.h"
 #include "runtime/shard.h"
+#include "wal/log_format.h"
+#include "wal/log_writer.h"
+#include "wal/recovery.h"
 
 namespace ode {
 
@@ -42,6 +48,23 @@ struct IngestOptions {
   /// one point where no worker can be mid-commit. Keeps long runs from
   /// accumulating one Transaction record per event.
   bool gc_finished_txns_on_drain = true;
+  /// Durable event log configuration. When `durability.dir` is set, Start()
+  /// recovers from whatever checkpoint + logs the directory holds, every
+  /// accepted Post is appended to a per-shard WAL, and Checkpoint() is
+  /// available (docs/DURABILITY.md). Default: disabled, zero hot-path cost.
+  wal::WalOptions durability;
+};
+
+/// What Start()'s recovery pass found and did (all zero/false when
+/// durability is off or the directory was empty).
+struct RecoveryInfo {
+  bool attempted = false;       ///< Durability was enabled at Start.
+  bool had_checkpoint = false;  ///< A valid checkpoint was restored.
+  uint64_t replayed_events = 0; ///< Checkpoint in-flight + WAL records re-posted.
+  uint64_t skipped_covered = 0; ///< Log records subsumed by the checkpoint.
+  uint64_t torn_files = 0;      ///< Log files with a discarded invalid tail.
+  uint64_t torn_bytes = 0;
+  std::vector<std::string> notes;  ///< Human-readable recovery log.
 };
 
 /// Sharded concurrent event-ingestion front end over a Database.
@@ -91,6 +114,16 @@ class IngestRuntime {
   Status Post(Oid oid, std::string method, std::vector<Value> args = {},
               ProducerMetrics* producer = nullptr);
 
+  /// Post carrying a durable producer identity and per-producer sequence
+  /// number. On acceptance (the event entered a queue — not dropped, not
+  /// bounced) the pair is recorded in the applied-seq set, persisted across
+  /// checkpoints, and available via AppliedSeqs() — the state behind the
+  /// network layer's exactly-once replay dedup. Identity-tracking works
+  /// with or without a WAL; an empty identity degrades to plain Post.
+  Status Post(Oid oid, std::string method, std::vector<Value> args,
+              ProducerMetrics* producer, std::string_view identity,
+              uint64_t seq);
+
   /// Registers a named producer (a connection, a replay file, a thread)
   /// whose posts should be attributed in Metrics(). The returned pointer
   /// stays valid until RetireProducer (or the runtime's destruction); pass
@@ -111,8 +144,27 @@ class IngestRuntime {
   /// producers for the barrier to be meaningful.
   Status Drain();
 
+  /// Durable-mode only: pauses all shards (gating producers out of Post),
+  /// snapshots database state + queued events + metrics + applied-seq sets
+  /// into an atomically-published checkpoint file, then truncates the
+  /// per-shard logs and resumes. Crash-safe at every step: recovery sees
+  /// either the old checkpoint + full logs or the new checkpoint (+ logs
+  /// whose covered records it skips). kFailedPrecondition when durability
+  /// is off or the runtime is not running. Call from one control thread;
+  /// do not run Drain() concurrently.
+  Status Checkpoint();
+
+  /// The applied-seq set recorded for `identity` (empty set if unknown).
+  /// A copy — safe to read while posts continue.
+  wal::SeqSet AppliedSeqs(std::string_view identity) const;
+
+  /// What recovery did during Start(). Stable once Start returns.
+  const RecoveryInfo& recovery() const { return recovery_; }
+
   /// Graceful shutdown: closes the queues (pending events are still
-  /// processed), joins all workers. Idempotent; Post fails afterwards.
+  /// processed), joins all workers, and (durable mode) fsyncs the logs so
+  /// every accepted event survives a clean stop. Idempotent; Post fails
+  /// afterwards.
   Status Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
@@ -127,6 +179,20 @@ class IngestRuntime {
   RuntimeMetricsSnapshot Metrics() const;
 
  private:
+  /// The Post path shared by both overloads; `event` carries identity/seq/
+  /// replayed flags already.
+  Status PostEvent(IngestEvent event, ProducerMetrics* producer);
+  /// Start()-side recovery, before the shards exist: read checkpoint +
+  /// logs, restore snapshot/metrics-baselines/applied-seqs, open the
+  /// per-shard writers in append mode, note orphan files.
+  Status LoadDurability(wal::RecoveredState* recovered);
+  /// Start()-side recovery, after the shards are running: re-post the
+  /// checkpoint's in-flight events and the surviving log records through
+  /// the normal shard path (per old file, in original order).
+  Status ReplayRecovered(wal::RecoveredState recovered);
+  /// Checkpoint body, called with the post gate held and shards paused.
+  Status CheckpointLocked();
+
   Database* const db_;
   IngestOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -145,6 +211,33 @@ class IngestRuntime {
   /// Metrics() reports it as "retired[<count>]").
   ProducerMetricsSnapshot retired_;
   uint64_t retired_count_ = 0;
+
+  // ---- Durability state (untouched when options_.durability is off) ----
+
+  bool durable_ = false;  ///< Set once in Start from options_.durability.
+  /// One log writer per shard, owned here (shards hold raw pointers).
+  std::vector<std::unique_ptr<wal::LogWriter>> wal_writers_;
+  /// Checkpoint/Post gate: Post holds it shared for the enqueue+append
+  /// critical section, Checkpoint holds it unique while shards are paused.
+  /// Only taken in durable mode.
+  mutable std::shared_mutex post_gate_;
+  /// Last lsn of old log files from a previous run with a *different*
+  /// shard count (no current writer reuses them). Folded into checkpoint
+  /// covered-lsn maps until the first successful checkpoint unlinks the
+  /// files.
+  std::map<size_t, uint64_t> orphan_covered_;
+  /// Per-producer-identity applied sequence sets (under wm_mu_).
+  mutable std::mutex wm_mu_;
+  std::map<std::string, wal::SeqSet> applied_seqs_;
+  RecoveryInfo recovery_;
+  std::atomic<uint64_t> checkpoints_{0};
+  /// Counter baselines restored from the checkpoint, so Metrics() totals
+  /// and the next checkpoint carry pre-restart history. Per-shard when the
+  /// shard count matches the previous run; otherwise folded into the
+  /// unattributable extra base.
+  std::vector<ShardMetricsSnapshot> metrics_baseline_;
+  ShardMetricsSnapshot metrics_extra_base_;
+  bool has_extra_base_ = false;
 };
 
 }  // namespace runtime

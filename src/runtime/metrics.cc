@@ -151,6 +151,16 @@ std::string RuntimeMetricsSnapshot::ToString() const {
         static_cast<unsigned long long>(s.batches),
         static_cast<unsigned long long>(s.queue_high_water));
   }
+  if (wal.enabled) {
+    out += StrFormat(
+        "  wal: appends=%llu fsyncs=%llu bytes=%llu checkpoints=%llu "
+        "replayed_on_recovery=%llu\n",
+        static_cast<unsigned long long>(wal.appends),
+        static_cast<unsigned long long>(wal.fsyncs),
+        static_cast<unsigned long long>(wal.bytes_written),
+        static_cast<unsigned long long>(wal.checkpoints),
+        static_cast<unsigned long long>(wal.replayed_on_recovery));
+  }
   for (const ProducerMetricsSnapshot& p : producers) {
     out += StrFormat(
         "  producer %s: posted=%llu accepted=%llu rejected=%llu failed=%llu\n",

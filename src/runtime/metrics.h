@@ -143,12 +143,25 @@ class ProducerMetrics {
   std::atomic<uint64_t> failed_{0};
 };
 
+/// Durable-log counters summed over all shard writers. Reported on the
+/// runtime snapshot only (not part of the wire metrics format — the frame
+/// codec's shard-counter layout is unchanged).
+struct WalMetricsSummary {
+  bool enabled = false;
+  uint64_t appends = 0;        ///< Records appended across all shard logs.
+  uint64_t fsyncs = 0;         ///< fsync(2) calls issued by the policy.
+  uint64_t bytes_written = 0;  ///< Framed bytes appended.
+  uint64_t checkpoints = 0;    ///< Successful Checkpoint() calls.
+  uint64_t replayed_on_recovery = 0;  ///< Events re-posted by Start().
+};
+
 /// Aggregated view over all shards, plus the per-shard breakdown and the
 /// per-producer (e.g. per-connection) attribution.
 struct RuntimeMetricsSnapshot {
   ShardMetricsSnapshot total;
   std::vector<ShardMetricsSnapshot> shards;
   std::vector<ProducerMetricsSnapshot> producers;
+  WalMetricsSummary wal;
 
   /// Multi-line text dump for benches and operator logs.
   std::string ToString() const;

@@ -22,11 +22,37 @@ void Shard::Start() {
 
 void Shard::Stop() {
   queue_.Close();
+  // A worker parked in ParkUntilResumed would never see the close; release
+  // it (Stop during a checkpoint pause is a caller bug, but must not hang).
+  pause_requested_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+  }
+  pause_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
 }
 
-Status Shard::Enqueue(IngestEvent event) {
+Status Shard::Enqueue(IngestEvent event, bool* enqueued) {
+  if (enqueued != nullptr) *enqueued = false;
   if (options_.record_latency) event.enqueue_ns = NowNs();
+
+  // With a WAL attached, build the record up front (the push consumes the
+  // event) and hold wal_mu_ across push+append so concurrent producers
+  // cannot interleave queue order and log order differently. Replayed
+  // events are already durable in the old log and are not re-appended.
+  const bool log_event =
+      options_.wal != nullptr && !event.replayed && !event.method.empty();
+  wal::WalRecord record;
+  if (log_event) {
+    record.oid = event.oid;
+    record.method = event.method;
+    record.args = event.args;
+    record.producer_id = event.producer_id;
+    record.producer_seq = event.producer_seq;
+  }
+  std::unique_lock<std::mutex> wal_lock(wal_mu_, std::defer_lock);
+  if (options_.wal != nullptr) wal_lock.lock();
+
   EventQueue::PushResult result = EventQueue::PushResult::kOk;
   switch (options_.backpressure) {
     case BackpressurePolicy::kBlock:
@@ -51,9 +77,46 @@ Status Shard::Enqueue(IngestEvent event) {
     return Status::Shutdown("shard is stopped");
   }
   metrics_.RecordEnqueue();
-  std::lock_guard<std::mutex> lock(drain_mu_);
-  ++enqueued_;
+  if (enqueued != nullptr) *enqueued = true;
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++enqueued_;
+  }
+  if (log_event) {
+    // The event is committed to the queue either way; an append failure
+    // means durability is degraded (writer failure is sticky) and the
+    // caller decides whether to keep accepting.
+    ODE_RETURN_IF_ERROR(options_.wal->Append(&record));
+  }
   return Status::OK();
+}
+
+void Shard::RequestPause() {
+  pause_requested_.store(true, std::memory_order_release);
+  queue_.Interrupt();
+}
+
+void Shard::WaitPaused() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  pause_cv_.wait(lock, [&] { return paused_; });
+}
+
+void Shard::Resume() {
+  pause_requested_.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(pause_mu_);
+  }
+  pause_cv_.notify_all();
+}
+
+void Shard::ParkUntilResumed() {
+  std::unique_lock<std::mutex> lock(pause_mu_);
+  paused_ = true;
+  pause_cv_.notify_all();
+  pause_cv_.wait(lock, [&] {
+    return !pause_requested_.load(std::memory_order_acquire);
+  });
+  paused_ = false;
 }
 
 void Shard::WaitDrained() {
@@ -71,9 +134,15 @@ void Shard::Run() {
   std::vector<IngestEvent> batch;
   batch.reserve(options_.max_batch);
   while (true) {
+    if (pause_requested_.load(std::memory_order_acquire)) ParkUntilResumed();
     batch.clear();
     size_t n = queue_.PopBatch(&batch, options_.max_batch);
-    if (n == 0) break;  // Closed and fully drained.
+    if (n == 0) {
+      // Either shutdown (closed and fully drained) or an Interrupt() kick —
+      // loop back to the pause check in the latter case.
+      if (queue_.closed() && queue_.size() == 0) break;
+      continue;
+    }
     ProcessBatch(batch);
     std::lock_guard<std::mutex> lock(drain_mu_);
     completed_ += n;

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "runtime/event_queue.h"
 #include "runtime/metrics.h"
+#include "wal/log_writer.h"
 
 namespace ode {
 
@@ -56,6 +57,10 @@ class Shard {
     ErrorPolicy error_policy;
     DeadLetterFn dead_letter;  ///< May be null (drops are still counted).
     bool record_latency = true;
+    /// Durable log for this shard (owned by the runtime); null = no WAL.
+    /// Accepted events are appended before Enqueue returns, so the log
+    /// holds every event the queue ever held, in queue order.
+    wal::LogWriter* wal = nullptr;
   };
 
   Shard(size_t index, Database* db, Options options);
@@ -71,8 +76,24 @@ class Shard {
   ///  * kBlock       — waits for space; always OK while running.
   ///  * kDropNewest  — OK even when full; the event is counted and dropped.
   ///  * kReject      — kWouldBlock when full; the caller decides.
-  /// kFailedPrecondition after Stop().
-  Status Enqueue(IngestEvent event);
+  /// kShutdown after Stop(). When `enqueued` is non-null it reports whether
+  /// the event actually entered the queue (false for drops/rejects), which
+  /// is what exactly-once dedup keys on — a dropped event was NOT applied.
+  /// With a WAL attached, accepted non-replayed events are appended to the
+  /// log inside the same critical section as the queue push (log order ==
+  /// queue order); a log I/O failure is returned (and sticks) but the event
+  /// is already queued and will be processed.
+  Status Enqueue(IngestEvent event, bool* enqueued = nullptr);
+
+  /// Checkpoint pause protocol (caller: IngestRuntime::Checkpoint, with
+  /// producers gated out of Post): RequestPause flags the worker and kicks
+  /// it out of its queue wait; WaitPaused blocks until it parks at the loop
+  /// head; Resume lets it run again. While paused the queue is quiescent,
+  /// so SnapshotQueue captures exactly the accepted-but-unprocessed events.
+  void RequestPause();
+  void WaitPaused();
+  void Resume();
+  std::vector<IngestEvent> SnapshotQueue() const { return queue_.Snapshot(); }
 
   /// Blocks until every event enqueued before this call has been processed
   /// (committed or dead-lettered). Barrier semantics only hold if no
@@ -91,6 +112,7 @@ class Shard {
 
  private:
   void Run();  ///< Worker loop: PopBatch → ProcessBatch until closed+empty.
+  void ParkUntilResumed();  ///< Worker-side half of the pause protocol.
   void ProcessBatch(const std::vector<IngestEvent>& batch);
   /// One transaction around the whole batch.
   Status RunBatch(const std::vector<IngestEvent>& batch);
@@ -116,6 +138,18 @@ class Shard {
   std::condition_variable drain_cv_;
   uint64_t enqueued_ = 0;
   uint64_t completed_ = 0;
+
+  /// Serializes producers through the push+WAL-append critical section so
+  /// the log's record order matches the queue's event order. Uncontended
+  /// (and untaken) when no WAL is attached.
+  std::mutex wal_mu_;
+
+  // Pause protocol state: pause_requested_ is the producer-side flag the
+  // worker polls at its loop head; paused_ (under pause_mu_) acknowledges.
+  std::atomic<bool> pause_requested_{false};
+  std::mutex pause_mu_;
+  std::condition_variable pause_cv_;
+  bool paused_ = false;
 };
 
 }  // namespace runtime

@@ -1,0 +1,60 @@
+#ifndef ODE_WAL_CHECKPOINT_H_
+#define ODE_WAL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "runtime/metrics.h"
+#include "wal/log_format.h"
+
+namespace ode {
+namespace wal {
+
+/// Everything a checkpoint persists beyond the plain object snapshot:
+///  * snapshot_body  — Database::SaveSnapshotText() output (objects,
+///                     trigger automaton states, clock, timers);
+///  * inflight       — per-shard queue contents at the checkpoint pause
+///                     (accepted but not yet processed events);
+///  * shard_metrics  — cumulative per-shard counters, restored as the
+///                     metrics baseline so totals survive restarts;
+///  * applied        — per-producer-identity applied-seq sets (the
+///                     exactly-once dedup state);
+///  * covered_lsn    — per log-file index, the highest lsn this checkpoint
+///                     subsumes. Recovery skips records at or below it, so
+///                     a crash *between* checkpoint rename and log
+///                     truncation cannot replay covered events twice.
+struct CheckpointData {
+  size_t num_shards = 0;  ///< Live shard count when written.
+  std::string snapshot_body;
+  std::map<size_t, uint64_t> covered_lsn;
+  std::vector<runtime::ShardMetricsSnapshot> shard_metrics;
+  /// Counters carried over from runs whose shard count no longer matches
+  /// (folded into the total, not attributable to a live shard).
+  runtime::ShardMetricsSnapshot base_metrics;
+  bool has_base_metrics = false;
+  std::map<std::string, SeqSet> applied;
+  std::vector<std::vector<WalRecord>> inflight;  ///< Size num_shards.
+};
+
+std::string CheckpointPath(const std::string& dir);
+std::string CheckpointTmpPath(const std::string& dir);
+
+/// Atomically publishes `data` as <dir>/checkpoint.ode: write to the .tmp
+/// sibling, fsync, rename over the final name, fsync the directory. A
+/// crash at any point leaves either the old checkpoint or the new one —
+/// never a mix (a stale .tmp is ignored and deleted by the next recovery).
+Status WriteCheckpointFile(const std::string& dir, const CheckpointData& data);
+
+/// kNotFound when no checkpoint exists; kInvalidArgument on checksum or
+/// format violations (a corrupt checkpoint is unrecoverable and must
+/// surface, not be silently skipped).
+Result<CheckpointData> ReadCheckpointFile(const std::string& dir);
+
+}  // namespace wal
+}  // namespace ode
+
+#endif  // ODE_WAL_CHECKPOINT_H_

@@ -1,0 +1,49 @@
+#ifndef ODE_WAL_LOG_READER_H_
+#define ODE_WAL_LOG_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/log_format.h"
+
+namespace ode {
+namespace wal {
+
+/// One log file, fully read and validated. `records` is the longest clean
+/// prefix: every record up to `valid_bytes` parsed and passed its CRC.
+/// `torn` is set when trailing bytes after the prefix failed — a write cut
+/// mid-record by a crash, or rot flagged by the CRC. Torn tails are
+/// expected after a kill; recovery reports and discards them.
+struct LogReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  uint64_t total_bytes = 0;
+  bool torn = false;
+  std::string torn_error;
+
+  uint64_t torn_bytes() const { return total_bytes - valid_bytes; }
+  /// Highest lsn in the clean prefix (0 when empty).
+  uint64_t last_lsn() const {
+    return records.empty() ? 0 : records.back().lsn;
+  }
+};
+
+/// Reads and validates one log file. kNotFound when the file is missing;
+/// a torn tail is NOT an error (see LogReadResult).
+Result<LogReadResult> ReadLogFile(const std::string& path);
+
+/// Cuts `path` down to `to_bytes` (tail repair for ode-waldump --repair
+/// and tests). Fsyncs the result.
+Status TruncateLogFile(const std::string& path, uint64_t to_bytes);
+
+/// Indices of every shard-<i>.wal present under `dir`, sorted ascending.
+/// An unreadable or absent directory yields an empty list.
+std::vector<size_t> ListShardLogs(const std::string& dir);
+
+}  // namespace wal
+}  // namespace ode
+
+#endif  // ODE_WAL_LOG_READER_H_

@@ -1,0 +1,82 @@
+#include "wal/recovery.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <utility>
+
+#include "common/strutil.h"
+#include "wal/log_writer.h"
+
+namespace ode {
+namespace wal {
+
+Result<RecoveredState> LoadDurableState(const std::string& dir) {
+  RecoveredState state;
+
+  // A checkpoint.tmp is a checkpoint whose write never reached the rename;
+  // the previous (or no) checkpoint is still authoritative.
+  const std::string tmp = CheckpointTmpPath(dir);
+  if (::unlink(tmp.c_str()) == 0) {
+    state.notes.push_back("removed stale checkpoint.tmp");
+  }
+
+  Result<CheckpointData> checkpoint = ReadCheckpointFile(dir);
+  if (checkpoint.ok()) {
+    state.had_checkpoint = true;
+    state.checkpoint = std::move(checkpoint).value();
+    state.notes.push_back(StrFormat(
+        "checkpoint: %zu shard(s), %zu covered file(s), %zu inflight "
+        "list(s), %zu producer watermark(s)",
+        state.checkpoint.num_shards, state.checkpoint.covered_lsn.size(),
+        state.checkpoint.inflight.size(), state.checkpoint.applied.size()));
+  } else if (checkpoint.status().code() != StatusCode::kNotFound) {
+    return checkpoint.status();
+  }
+
+  for (size_t index : ListShardLogs(dir)) {
+    const std::string path = ShardLogPath(dir, index);
+    ODE_ASSIGN_OR_RETURN(LogReadResult log, ReadLogFile(path));
+
+    if (log.torn) {
+      ++state.torn_files;
+      state.torn_bytes += log.torn_bytes();
+      state.notes.push_back(StrFormat(
+          "%s: discarding %llu invalid tail byte(s): %s", path.c_str(),
+          (unsigned long long)log.torn_bytes(), log.torn_error.c_str()));
+    }
+
+    uint64_t covered = 0;
+    auto it = state.checkpoint.covered_lsn.find(index);
+    if (it != state.checkpoint.covered_lsn.end()) covered = it->second;
+
+    uint64_t last = std::max(covered, log.last_lsn());
+    state.file_last_lsn[index] = last;
+
+    std::vector<WalRecord> keep;
+    keep.reserve(log.records.size());
+    for (WalRecord& record : log.records) {
+      if (record.lsn <= covered) {
+        // Subsumed by the checkpoint: the crash hit between the checkpoint
+        // rename and the log truncation. Replaying it would double-apply.
+        ++state.skipped_covered;
+        continue;
+      }
+      keep.push_back(std::move(record));
+    }
+    state.replay_records += keep.size();
+    if (!keep.empty() || covered > 0) {
+      state.notes.push_back(StrFormat(
+          "%s: %zu record(s) to replay, %llu covered by checkpoint",
+          path.c_str(), keep.size(),
+          (unsigned long long)(log.records.size() - keep.size())));
+    }
+    state.replay.emplace(index, std::move(keep));
+  }
+
+  return state;
+}
+
+}  // namespace wal
+}  // namespace ode

@@ -1,0 +1,55 @@
+#ifndef ODE_WAL_RECOVERY_H_
+#define ODE_WAL_RECOVERY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "wal/checkpoint.h"
+#include "wal/log_format.h"
+#include "wal/log_reader.h"
+
+namespace ode {
+namespace wal {
+
+/// Everything on disk under a durability directory, assembled for replay.
+/// LoadDurableState never mutates the log or checkpoint files (a crash
+/// during recovery simply reruns it); the only write is unlinking a stale
+/// checkpoint.tmp left by a crash mid-checkpoint.
+struct RecoveredState {
+  bool had_checkpoint = false;
+  CheckpointData checkpoint;  ///< Default-constructed when none on disk.
+
+  /// Per old log-file index: the records recovery must replay, already
+  /// filtered down to lsn > covered_lsn (records at or below it are inside
+  /// the checkpoint snapshot — the crash-between-rename-and-truncate case).
+  std::map<size_t, std::vector<WalRecord>> replay;
+  /// Per old log-file index: the highest lsn ever assigned in that file —
+  /// max(covered_lsn, last lsn read). Writers reopening a file must start
+  /// above this so new records always sort after covered history.
+  std::map<size_t, uint64_t> file_last_lsn;
+
+  uint64_t replay_records = 0;    ///< Total records across `replay`.
+  uint64_t skipped_covered = 0;   ///< Records dropped by the lsn filter.
+  uint64_t torn_files = 0;        ///< Files with a discarded invalid tail.
+  uint64_t torn_bytes = 0;        ///< Bytes across all discarded tails.
+  std::vector<std::string> notes; ///< Human-readable recovery log.
+
+  bool found() const {
+    return had_checkpoint || !file_last_lsn.empty();
+  }
+};
+
+/// Reads the checkpoint (if any) and every shard-*.wal under `dir`. Torn
+/// tails are tolerated and reported via notes/torn_*; a checkpoint that
+/// exists but fails its checksum is a hard error (silently dropping it
+/// would replay the whole log against an empty database).
+Result<RecoveredState> LoadDurableState(const std::string& dir);
+
+}  // namespace wal
+}  // namespace ode
+
+#endif  // ODE_WAL_RECOVERY_H_

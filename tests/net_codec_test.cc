@@ -75,6 +75,71 @@ TEST(NetCodecTest, ControlFrameRoundTrips) {
   }
 }
 
+TEST(NetCodecTest, HelloRoundTrip) {
+  std::string bytes;
+  ODE_ASSERT_OK(AppendHello(&bytes, 7, "client-a"));
+  Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(frame.seq, 7u);
+  EXPECT_EQ(frame.identity, "client-a");
+
+  bytes.clear();
+  AppendHelloOk(&bytes, 7, 9001);
+  frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.type, FrameType::kHelloOk);
+  EXPECT_EQ(frame.seq, 7u);
+  EXPECT_EQ(frame.watermark, 9001u);
+}
+
+TEST(NetCodecTest, HelloEncoderEnforcesIdentityCaps) {
+  std::string bytes;
+  // Anonymous sessions don't send HELLO; an empty identity is a bug.
+  EXPECT_FALSE(AppendHello(&bytes, 1, "").ok());
+  EXPECT_TRUE(bytes.empty());
+  EXPECT_FALSE(
+      AppendHello(&bytes, 1, std::string(kMaxIdentityLen + 1, 'x')).ok());
+  EXPECT_TRUE(bytes.empty());
+
+  const std::string max_id(kMaxIdentityLen, 'x');
+  ODE_ASSERT_OK(AppendHello(&bytes, 1, max_id));
+  Frame frame = DecodeOne(bytes);
+  EXPECT_EQ(frame.identity, max_id);
+}
+
+TEST(NetCodecTest, MalformedHelloIsError) {
+  // Hand-craft a HELLO whose id_len claims zero bytes: the decoder must
+  // reject it (the encoder cannot produce it).
+  std::string payload;
+  uint64_t seq = 3;
+  payload.append(reinterpret_cast<const char*>(&seq), 8);  // LE test hosts.
+  uint16_t id_len = 0;
+  payload.append(reinterpret_cast<const char*>(&id_len), 2);
+  std::string bytes;
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.push_back(static_cast<char>(FrameType::kHello));
+  bytes.append(payload);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::State::kError);
+
+  // And an id_len larger than the cap, with matching payload bytes.
+  payload.clear();
+  payload.append(reinterpret_cast<const char*>(&seq), 8);
+  id_len = static_cast<uint16_t>(kMaxIdentityLen + 1);
+  payload.append(reinterpret_cast<const char*>(&id_len), 2);
+  payload.append(kMaxIdentityLen + 1, 'y');
+  bytes.clear();
+  len = static_cast<uint32_t>(payload.size());
+  bytes.append(reinterpret_cast<const char*>(&len), 4);
+  bytes.push_back(static_cast<char>(FrameType::kHello));
+  bytes.append(payload);
+  FrameDecoder big;
+  big.Append(bytes.data(), bytes.size());
+  EXPECT_EQ(big.Next(&frame), FrameDecoder::State::kError);
+}
+
 TEST(NetCodecTest, ErrRoundTrip) {
   std::string bytes;
   AppendErr(&bytes, 31, WireError::kWouldBlock, "queue full");

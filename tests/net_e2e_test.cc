@@ -12,9 +12,11 @@
 // ping, and client reconnect.
 #include <gtest/gtest.h>
 
+#include <stdlib.h>
 #include <sys/socket.h>
 
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -404,6 +406,171 @@ TEST(NetE2eTest, ClientReconnectsAndReplays) {
   EXPECT_GE(client.stats().reconnects, 1u);
   EXPECT_EQ(db.PeekAttr(oids[1], "v").value().AsInt().value(), 5);
   ODE_ASSERT_OK(rt.Stop());
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/ode-net-e2e-XXXXXX";
+    char* got = mkdtemp(tmpl);
+    EXPECT_NE(got, nullptr);
+    path_ = got != nullptr ? got : "";
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::string cmd = "rm -rf '" + path_ + "'";
+      (void)!system(cmd.c_str());
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Posts `n` add(1)s to `oid` and waits until the runtime has accepted
+/// them all, WITHOUT draining — the server's cumulative-ACK cadence
+/// (default every 1024) means the client still holds every post unacked,
+/// which is exactly the duplicate-delivery hazard on reconnect.
+void PostUnacked(IngestClient* client, IngestRuntime* rt, Oid oid, int n,
+                 uint64_t expect_enqueued) {
+  for (int i = 0; i < n; ++i) {
+    ODE_ASSERT_OK(client->Post(oid, "add", {Value(1)}));
+  }
+  ODE_ASSERT_OK(client->Flush());
+  for (int spin = 0; spin < 500; ++spin) {
+    if (rt->Metrics().total.enqueued >= expect_enqueued) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(rt->Metrics().total.enqueued, expect_enqueued);
+  EXPECT_EQ(client->stats().acked, 0u);
+}
+
+// A client with a durable identity replays its unacked pipeline across a
+// server swap; the server's applied-seq snapshot recognizes every replayed
+// seq and ACKs without re-posting — exactly-once with no WAL involved.
+TEST(NetE2eTest, IdentityDedupsReplayAcrossServerSwap) {
+  Database db;
+  std::vector<Oid> oids = SetupParityDb(&db, 4);
+  IngestRuntime rt(&db, {});
+  ODE_ASSERT_OK(rt.Start());
+  auto server1 = std::make_unique<IngestServer>(&rt);
+  ODE_ASSERT_OK(server1->Start());
+  uint16_t port = server1->port();
+
+  ClientOptions client_options;
+  client_options.port = port;
+  client_options.recv_timeout_ms = 30000;
+  client_options.max_reconnect_attempts = 20;
+  client_options.reconnect_backoff = std::chrono::milliseconds(50);
+  client_options.identity = "e2e-swap-client";
+  IngestClient client(client_options);
+  ODE_ASSERT_OK(client.Connect());
+  constexpr int kFirst = 10;
+  PostUnacked(&client, &rt, oids[0], kFirst, kFirst);
+
+  // Swap servers: the applied posts are gone from no one's memory — the
+  // runtime keeps the identity's applied set.
+  server1->Stop();
+  server1.reset();
+  IngestServer server2(&rt, [port] {
+    ServerOptions o;
+    o.port = port;
+    return o;
+  }());
+  ODE_ASSERT_OK(server2.Start());
+
+  ODE_ASSERT_OK(client.Post(oids[0], "add", {Value(1)}));
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = client.Drain();
+    if (s.ok()) break;
+  }
+  ODE_ASSERT_OK(s);
+  EXPECT_GE(client.stats().reconnects, 1u);
+
+  // Exactly-once: kFirst + 1 applications, not kFirst*2 + 1.
+  EXPECT_EQ(db.PeekAttr(oids[0], "v").value().AsInt().value(), kFirst + 1);
+  EXPECT_EQ(server2.posts_deduped(), static_cast<uint64_t>(kFirst));
+  ODE_ASSERT_OK(rt.Stop());
+}
+
+// The tentpole end-to-end: server AND runtime restart over the same WAL
+// directory (crash-recovery), and a reconnecting identified client still
+// observes exactly-once — its replayed posts are recognized from the
+// recovered applied-seq state and ACKed without re-posting.
+TEST(NetE2eTest, ExactlyOnceAcrossServerRestartWithWal) {
+  TempDir wal_dir;
+  IngestOptions durable;
+  durable.num_shards = 2;
+  durable.durability.dir = wal_dir.path();
+  durable.durability.fsync = wal::FsyncPolicy::kAlways;
+
+  ClientOptions client_options;
+  client_options.recv_timeout_ms = 30000;
+  client_options.max_reconnect_attempts = 20;
+  client_options.reconnect_backoff = std::chrono::milliseconds(50);
+  client_options.identity = "e2e-restart-client";
+
+  constexpr int kFirst = 12;
+  constexpr int kSecond = 5;
+  uint16_t port = 0;
+
+  auto db1 = std::make_unique<Database>();
+  std::vector<Oid> oids = SetupParityDb(db1.get(), 4);
+  auto rt1 = std::make_unique<IngestRuntime>(db1.get(), durable);
+  ODE_ASSERT_OK(rt1->Start());
+  auto server1 = std::make_unique<IngestServer>(rt1.get());
+  ODE_ASSERT_OK(server1->Start());
+  port = server1->port();
+
+  client_options.port = port;
+  IngestClient client(client_options);
+  ODE_ASSERT_OK(client.Connect());
+  PostUnacked(&client, rt1.get(), oids[0], kFirst, kFirst);
+  ODE_ASSERT_OK(rt1->Drain());  // Server-side: process what arrived.
+
+  // "Restart": tear down the whole process state except the WAL dir.
+  // (Stop() fsyncs; the kill-without-fsync case is wal_crash_test's.)
+  server1->Stop();
+  server1.reset();
+  ODE_ASSERT_OK(rt1->Stop());
+  rt1.reset();
+  db1.reset();
+
+  Database db2;
+  std::vector<Oid> oids2 = SetupParityDb(&db2, 4);
+  IngestRuntime rt2(&db2, durable);
+  ODE_ASSERT_OK(rt2.Start());  // Recovers snapshot + replays the WAL.
+  EXPECT_EQ(rt2.AppliedSeqs(client_options.identity).count(),
+            static_cast<uint64_t>(kFirst));
+  IngestServer server2(&rt2, [port] {
+    ServerOptions o;
+    o.port = port;
+    return o;
+  }());
+  ODE_ASSERT_OK(server2.Start());
+
+  // The client never saw an ACK for its first pipeline: on the next
+  // Drain it reconnects, HELLOs, and replays all kFirst + kSecond posts.
+  for (int i = 0; i < kSecond; ++i) {
+    ODE_ASSERT_OK(client.Post(oids2[0], "add", {Value(1)}));
+  }
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = client.Drain();
+    if (s.ok()) break;
+  }
+  ODE_ASSERT_OK(s);
+  EXPECT_GE(client.stats().reconnects, 1u);
+
+  // Exactly-once across the restart: every one of the kFirst pre-restart
+  // posts was applied exactly once (recovered), every post-restart post
+  // exactly once, duplicates ACKed away.
+  EXPECT_EQ(db2.PeekAttr(oids2[0], "v").value().AsInt().value(),
+            kFirst + kSecond);
+  EXPECT_EQ(server2.posts_deduped(), static_cast<uint64_t>(kFirst));
+  ODE_ASSERT_OK(rt2.Stop());
 }
 
 }  // namespace

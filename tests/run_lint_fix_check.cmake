@@ -1,0 +1,56 @@
+# Dry-run check for `ode-lint --fix=check`: copy the fixable fixture into
+# the build tree, run --fix=check, and assert (1) it exits 1 with pending
+# fixes and a unified diff, (2) it wrote NOTHING, (3) after a real --fix
+# the same invocation exits 0 with no pending fixes, (4) --format=json is
+# rejected as incompatible (exit 2).
+#
+# Inputs: -DLINT=<ode-lint binary> -DFIXTURE=<source .trig> -DWORK=<copy>.
+
+file(COPY_FILE ${FIXTURE} ${WORK})
+
+execute_process(COMMAND ${LINT} --fix=check ${WORK}
+  OUTPUT_VARIABLE check_out ERROR_VARIABLE check_err
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 1)
+  message(FATAL_ERROR
+    "--fix=check with pending fixes must exit 1, got ${check_rc}:\n"
+    "${check_out}${check_err}")
+endif()
+if(NOT check_out MATCHES "would fix: trigger")
+  message(FATAL_ERROR "--fix=check reported no pending fixes:\n${check_out}")
+endif()
+if(NOT check_out MATCHES "\\+\\+\\+ .*\\(fixed\\)")
+  message(FATAL_ERROR "--fix=check printed no unified diff:\n${check_out}")
+endif()
+if(NOT check_out MATCHES "@@ -")
+  message(FATAL_ERROR "--fix=check diff has no hunk header:\n${check_out}")
+endif()
+
+file(READ ${FIXTURE} before)
+file(READ ${WORK} after)
+if(NOT before STREQUAL after)
+  message(FATAL_ERROR "--fix=check modified the file (dry run must not)")
+endif()
+
+execute_process(COMMAND ${LINT} --fix ${WORK}
+  OUTPUT_VARIABLE fix_out RESULT_VARIABLE fix_rc)
+execute_process(COMMAND ${LINT} --fix=check ${WORK}
+  OUTPUT_VARIABLE clean_out ERROR_VARIABLE clean_err
+  RESULT_VARIABLE clean_rc)
+if(NOT clean_rc EQUAL 0)
+  message(FATAL_ERROR
+    "--fix=check on a fixed file must exit 0, got ${clean_rc}:\n"
+    "${clean_out}${clean_err}")
+endif()
+if(NOT clean_out MATCHES "0 fixes pending")
+  message(FATAL_ERROR "--fix=check summary missing on clean file:\n${clean_out}")
+endif()
+
+execute_process(COMMAND ${LINT} --fix=check --format=json ${WORK}
+  OUTPUT_VARIABLE json_out ERROR_VARIABLE json_err
+  RESULT_VARIABLE json_rc)
+if(NOT json_rc EQUAL 2)
+  message(FATAL_ERROR
+    "--fix=check --format=json must be rejected with exit 2, got ${json_rc}")
+endif()
+message(STATUS "ode-lint --fix=check dry run ok")

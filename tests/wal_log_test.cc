@@ -1,0 +1,621 @@
+// Durable event log unit tests: SeqSet algebra, record codec roundtrips
+// and caps, writer/reader roundtrips under every fsync policy, torn-tail
+// and bit-flip detection, checkpoint file roundtrips, and clean-restart
+// recovery through IngestRuntime (stop → new runtime over the same dir →
+// identical state, each event applied exactly once).
+#include <gtest/gtest.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ode/database.h"
+#include "runtime/ingest_runtime.h"
+#include "test_util.h"
+#include "wal/checkpoint.h"
+#include "wal/log_format.h"
+#include "wal/log_reader.h"
+#include "wal/log_writer.h"
+#include "wal/recovery.h"
+
+namespace ode {
+namespace {
+
+using runtime::IngestOptions;
+using runtime::IngestRuntime;
+using wal::CheckpointData;
+using wal::FsyncPolicy;
+using wal::LogReadResult;
+using wal::LogWriter;
+using wal::SeqSet;
+using wal::WalOptions;
+using wal::WalRecord;
+
+/// Self-cleaning temp directory for one test.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/ode-wal-test-XXXXXX";
+    char* got = mkdtemp(tmpl);
+    EXPECT_NE(got, nullptr);
+    path_ = got != nullptr ? got : "";
+  }
+  ~TempDir() {
+    if (!path_.empty()) {
+      std::string cmd = "rm -rf '" + path_ + "'";
+      (void)!system(cmd.c_str());
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---- SeqSet ------------------------------------------------------------
+
+TEST(SeqSetTest, AddAndContains) {
+  SeqSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(s.max_seq(), 0u);
+
+  s.Add(5);
+  s.Add(3);
+  s.Add(4);  // Bridges 3..5 into one run.
+  s.Add(9);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(6));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_EQ(s.max_seq(), 9u);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_EQ(s.run_count(), 2u);
+  EXPECT_EQ(s.ToString(), "3-5,9");
+}
+
+TEST(SeqSetTest, DuplicateAddIsNoOp) {
+  SeqSet s;
+  s.Add(7);
+  s.Add(7);
+  s.Add(7);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.run_count(), 1u);
+}
+
+TEST(SeqSetTest, MergesAdjacentRuns) {
+  SeqSet s;
+  s.Add(1);
+  s.Add(3);
+  EXPECT_EQ(s.run_count(), 2u);
+  s.Add(2);  // Closes the hole.
+  EXPECT_EQ(s.run_count(), 1u);
+  EXPECT_EQ(s.ToString(), "1-3");
+}
+
+TEST(SeqSetTest, ParseRoundtrip) {
+  SeqSet s;
+  for (uint64_t v : {1, 2, 3, 4, 5, 7, 9, 10, 11, 12}) s.Add(v);
+  EXPECT_EQ(s.ToString(), "1-5,7,9-12");
+  Result<SeqSet> parsed = SeqSet::Parse(s.ToString());
+  ODE_ASSERT_OK(parsed.status());
+  EXPECT_EQ(*parsed, s);
+
+  Result<SeqSet> empty = SeqSet::Parse("");
+  ODE_ASSERT_OK(empty.status());
+  EXPECT_TRUE(empty->empty());
+
+  EXPECT_FALSE(SeqSet::Parse("3-1").ok());     // Inverted run.
+  EXPECT_FALSE(SeqSet::Parse("1,,2").ok());    // Empty element.
+  EXPECT_FALSE(SeqSet::Parse("banana").ok());  // Not numbers.
+}
+
+// ---- Record codec ------------------------------------------------------
+
+WalRecord SampleRecord() {
+  WalRecord r;
+  r.oid = Oid{42};
+  r.method = "add";
+  r.args = {Value(7), Value("text with spaces\nand newline")};
+  r.producer_id = "client-a";
+  r.producer_seq = 19;
+  return r;
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundtrip) {
+  WalRecord in = SampleRecord();
+  in.lsn = 3;
+  std::string buf;
+  ODE_ASSERT_OK(wal::AppendRecord(&buf, in));
+
+  WalRecord out;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(wal::DecodeRecord(buf.data(), buf.size(), &out, &consumed, &error),
+            wal::DecodeStatus::kRecord)
+      << error;
+  EXPECT_EQ(consumed, buf.size());
+  EXPECT_EQ(out.lsn, 3u);
+  EXPECT_EQ(out.oid.id, 42u);
+  EXPECT_EQ(out.method, "add");
+  ASSERT_EQ(out.args.size(), 2u);
+  EXPECT_EQ(out.args[0].AsInt().value(), 7);
+  EXPECT_EQ(out.producer_id, "client-a");
+  EXPECT_EQ(out.producer_seq, 19u);
+}
+
+TEST(WalRecordTest, RejectsOverCapRecords) {
+  std::string buf;
+  WalRecord method_too_long = SampleRecord();
+  method_too_long.method.assign(wal::kMaxWalMethodLen + 1, 'm');
+  EXPECT_FALSE(wal::AppendRecord(&buf, method_too_long).ok());
+  EXPECT_TRUE(buf.empty());
+
+  WalRecord too_many_args = SampleRecord();
+  too_many_args.args.assign(wal::kMaxWalArgs + 1, Value(1));
+  EXPECT_FALSE(wal::AppendRecord(&buf, too_many_args).ok());
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(WalRecordTest, TruncatedBufferNeedsMore) {
+  std::string buf;
+  WalRecord in = SampleRecord();
+  ODE_ASSERT_OK(wal::AppendRecord(&buf, in));
+  WalRecord out;
+  size_t consumed = 0;
+  std::string error;
+  for (size_t n = 0; n < buf.size(); ++n) {
+    EXPECT_EQ(wal::DecodeRecord(buf.data(), n, &out, &consumed, &error),
+              wal::DecodeStatus::kNeedMore)
+        << "at prefix " << n;
+  }
+}
+
+TEST(WalRecordTest, BitFlipFailsCrc) {
+  std::string buf;
+  WalRecord in = SampleRecord();
+  ODE_ASSERT_OK(wal::AppendRecord(&buf, in));
+  // Flip one payload bit (past the 8-byte header).
+  buf[10] = static_cast<char>(buf[10] ^ 0x40);
+  WalRecord out;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(wal::DecodeRecord(buf.data(), buf.size(), &out, &consumed, &error),
+            wal::DecodeStatus::kCorrupt);
+  EXPECT_FALSE(error.empty());
+}
+
+// ---- Writer / reader ---------------------------------------------------
+
+WalOptions PolicyOptions(const std::string& dir, FsyncPolicy policy) {
+  WalOptions o;
+  o.dir = dir;
+  o.fsync = policy;
+  o.fsync_every_n = 3;
+  return o;
+}
+
+TEST(LogWriterTest, RoundtripUnderEveryPolicy) {
+  for (FsyncPolicy policy : {FsyncPolicy::kAlways, FsyncPolicy::kEveryN,
+                             FsyncPolicy::kEveryMs, FsyncPolicy::kNever}) {
+    SCOPED_TRACE(wal::FsyncPolicyName(policy));
+    TempDir dir;
+    const std::string path = wal::ShardLogPath(dir.path(), 0);
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(path, /*start_lsn=*/0,
+                              PolicyOptions(dir.path(), policy)));
+    for (int i = 0; i < 10; ++i) {
+      WalRecord r = SampleRecord();
+      r.producer_seq = static_cast<uint64_t>(i + 1);
+      ODE_ASSERT_OK(writer.Append(&r));
+      EXPECT_EQ(r.lsn, static_cast<uint64_t>(i + 1));
+    }
+    ODE_ASSERT_OK(writer.Sync());
+    EXPECT_EQ(writer.last_lsn(), 10u);
+    writer.Close();
+
+    Result<LogReadResult> log = wal::ReadLogFile(path);
+    ODE_ASSERT_OK(log.status());
+    EXPECT_FALSE(log->torn);
+    ASSERT_EQ(log->records.size(), 10u);
+    EXPECT_EQ(log->records.back().lsn, 10u);
+    EXPECT_EQ(log->records.back().producer_seq, 10u);
+  }
+}
+
+TEST(LogWriterTest, ReopenContinuesLsnAndTruncateKeepsCounter) {
+  TempDir dir;
+  const std::string path = wal::ShardLogPath(dir.path(), 0);
+  WalOptions options = PolicyOptions(dir.path(), FsyncPolicy::kAlways);
+  {
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(path, 0, options));
+    WalRecord r = SampleRecord();
+    ODE_ASSERT_OK(writer.Append(&r));
+    EXPECT_EQ(r.lsn, 1u);
+  }
+  {
+    // Reopen where the file left off (recovery's append mode).
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(path, /*start_lsn=*/1, options));
+    WalRecord r = SampleRecord();
+    ODE_ASSERT_OK(writer.Append(&r));
+    EXPECT_EQ(r.lsn, 2u);
+
+    // Truncation empties the file but the lsn counter keeps running, so
+    // later records stay above any checkpoint's covered lsn.
+    ODE_ASSERT_OK(writer.Truncate());
+    r = SampleRecord();
+    ODE_ASSERT_OK(writer.Append(&r));
+    EXPECT_EQ(r.lsn, 3u);
+  }
+  Result<LogReadResult> log = wal::ReadLogFile(path);
+  ODE_ASSERT_OK(log.status());
+  ASSERT_EQ(log->records.size(), 1u);
+  EXPECT_EQ(log->records[0].lsn, 3u);
+}
+
+TEST(LogReaderTest, TornTailIsReportedAndPrefixKept) {
+  TempDir dir;
+  const std::string path = wal::ShardLogPath(dir.path(), 0);
+  {
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(path, 0, PolicyOptions(dir.path(),
+                                                     FsyncPolicy::kAlways)));
+    for (int i = 0; i < 4; ++i) {
+      WalRecord r = SampleRecord();
+      ODE_ASSERT_OK(writer.Append(&r));
+    }
+  }
+  Result<LogReadResult> whole = wal::ReadLogFile(path);
+  ODE_ASSERT_OK(whole.status());
+  ASSERT_EQ(whole->records.size(), 4u);
+  // Cut the file mid-way through the last record: a crash torn tail.
+  ODE_ASSERT_OK(wal::TruncateLogFile(path, whole->total_bytes - 5));
+
+  Result<LogReadResult> torn = wal::ReadLogFile(path);
+  ODE_ASSERT_OK(torn.status());
+  EXPECT_TRUE(torn->torn);
+  EXPECT_EQ(torn->records.size(), 3u);
+  EXPECT_EQ(torn->last_lsn(), 3u);
+  EXPECT_GT(torn->torn_bytes(), 0u);
+
+  // Repair (what ode-waldump --repair does) leaves a clean log.
+  ODE_ASSERT_OK(wal::TruncateLogFile(path, torn->valid_bytes));
+  Result<LogReadResult> repaired = wal::ReadLogFile(path);
+  ODE_ASSERT_OK(repaired.status());
+  EXPECT_FALSE(repaired->torn);
+  EXPECT_EQ(repaired->records.size(), 3u);
+}
+
+TEST(LogReaderTest, BitFlippedRecordCutsTheLog) {
+  TempDir dir;
+  const std::string path = wal::ShardLogPath(dir.path(), 0);
+  uint64_t first_record_bytes = 0;
+  {
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(path, 0, PolicyOptions(dir.path(),
+                                                     FsyncPolicy::kAlways)));
+    WalRecord r = SampleRecord();
+    ODE_ASSERT_OK(writer.Append(&r));
+    first_record_bytes = writer.bytes_written();
+    for (int i = 0; i < 2; ++i) {
+      r = SampleRecord();
+      ODE_ASSERT_OK(writer.Append(&r));
+    }
+  }
+  // Flip a bit inside the second record's payload.
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, static_cast<long>(first_record_bytes) + 12, SEEK_SET), 0);
+  int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(fseek(f, -1, SEEK_CUR), 0);
+  fputc(c ^ 0x01, f);
+  fclose(f);
+
+  Result<LogReadResult> log = wal::ReadLogFile(path);
+  ODE_ASSERT_OK(log.status());
+  EXPECT_TRUE(log->torn);
+  ASSERT_EQ(log->records.size(), 1u);  // Only the intact prefix survives.
+  EXPECT_EQ(log->valid_bytes, first_record_bytes);
+}
+
+// ---- Checkpoint file ---------------------------------------------------
+
+TEST(CheckpointTest, RoundtripAllSections) {
+  TempDir dir;
+  CheckpointData in;
+  in.num_shards = 2;
+  in.snapshot_body = "ODE-SNAPSHOT v1\nclock 5\nnext_oid 9\n";
+  in.covered_lsn[0] = 17;
+  in.covered_lsn[3] = 4;  // Orphan file from an older shard layout.
+  in.shard_metrics.resize(2);
+  in.shard_metrics[0].enqueued = 100;
+  in.shard_metrics[1].fired = 7;
+  in.base_metrics.processed = 55;
+  in.has_base_metrics = true;
+  in.applied["client a"].Add(1);  // Space forces token escaping.
+  in.applied["client a"].Add(2);
+  in.applied["client a"].Add(9);
+  in.inflight.resize(2);
+  in.inflight[1].push_back(SampleRecord());
+  ODE_ASSERT_OK(wal::WriteCheckpointFile(dir.path(), in));
+
+  Result<CheckpointData> out = wal::ReadCheckpointFile(dir.path());
+  ODE_ASSERT_OK(out.status());
+  EXPECT_EQ(out->num_shards, 2u);
+  EXPECT_EQ(out->snapshot_body, in.snapshot_body);
+  EXPECT_EQ(out->covered_lsn, in.covered_lsn);
+  ASSERT_EQ(out->shard_metrics.size(), 2u);
+  EXPECT_EQ(out->shard_metrics[0].enqueued, 100u);
+  EXPECT_EQ(out->shard_metrics[1].fired, 7u);
+  EXPECT_TRUE(out->has_base_metrics);
+  EXPECT_EQ(out->base_metrics.processed, 55u);
+  ASSERT_EQ(out->applied.count("client a"), 1u);
+  EXPECT_EQ(out->applied.at("client a").ToString(), "1-2,9");
+  ASSERT_EQ(out->inflight.size(), 2u);
+  ASSERT_EQ(out->inflight[1].size(), 1u);
+  EXPECT_EQ(out->inflight[1][0].method, "add");
+  EXPECT_EQ(out->inflight[1][0].producer_id, "client-a");
+}
+
+TEST(CheckpointTest, MissingIsNotFoundCorruptIsInvalid) {
+  TempDir dir;
+  Result<CheckpointData> missing = wal::ReadCheckpointFile(dir.path());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  CheckpointData data;
+  data.num_shards = 1;
+  data.snapshot_body = "ODE-SNAPSHOT v1\n";
+  data.inflight.resize(1);
+  ODE_ASSERT_OK(wal::WriteCheckpointFile(dir.path(), data));
+  // Flip a byte: the checksum must catch it, and a corrupt checkpoint is
+  // a hard error (silently skipping it would replay the full log against
+  // an empty database).
+  const std::string path = wal::CheckpointPath(dir.path());
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(fseek(f, 20, SEEK_SET), 0);
+  fputc('!', f);
+  fclose(f);
+  Result<CheckpointData> corrupt = wal::ReadCheckpointFile(dir.path());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- LoadDurableState --------------------------------------------------
+
+TEST(RecoveryTest, FiltersRecordsCoveredByTheCheckpoint) {
+  TempDir dir;
+  {
+    LogWriter writer;
+    ODE_ASSERT_OK(writer.Open(wal::ShardLogPath(dir.path(), 0), 0,
+                              PolicyOptions(dir.path(),
+                                            FsyncPolicy::kAlways)));
+    for (int i = 0; i < 6; ++i) {
+      WalRecord r = SampleRecord();
+      ODE_ASSERT_OK(writer.Append(&r));
+    }
+  }
+  CheckpointData ckpt;
+  ckpt.num_shards = 1;
+  ckpt.snapshot_body = "ODE-SNAPSHOT v1\n";
+  ckpt.covered_lsn[0] = 4;  // Crash landed between rename and truncate.
+  ckpt.inflight.resize(1);
+  ODE_ASSERT_OK(wal::WriteCheckpointFile(dir.path(), ckpt));
+
+  Result<wal::RecoveredState> state = wal::LoadDurableState(dir.path());
+  ODE_ASSERT_OK(state.status());
+  EXPECT_TRUE(state->had_checkpoint);
+  ASSERT_EQ(state->replay.count(0), 1u);
+  ASSERT_EQ(state->replay.at(0).size(), 2u);  // lsns 5 and 6 only.
+  EXPECT_EQ(state->replay.at(0)[0].lsn, 5u);
+  EXPECT_EQ(state->skipped_covered, 4u);
+  EXPECT_EQ(state->file_last_lsn.at(0), 6u);
+}
+
+// ---- Runtime recovery (clean restart) ----------------------------------
+
+Status CountAction(const ActionContext& ctx) {
+  Result<Value> t = ctx.db->PeekAttr(ctx.self, "touches");
+  if (!t.ok()) return t.status();
+  Result<Value> next = t->Add(Value(1));
+  if (!next.ok()) return next.status();
+  return ctx.db->SetAttr(ctx.txn, ctx.self, "touches", next.value());
+}
+
+ClassDef CellClass() {
+  ClassDef def("cell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("T1(): perpetual every 3 (after add) ==> count");
+  return def;
+}
+
+std::vector<Oid> SetupCells(Database* db, size_t n) {
+  EXPECT_TRUE(db->RegisterAction("count", CountAction).ok());
+  EXPECT_TRUE(db->RegisterClass(CellClass()).status().ok());
+  std::vector<Oid> oids;
+  TxnId t = db->Begin().value();
+  for (size_t i = 0; i < n; ++i) {
+    Result<Oid> oid = db->New(t, "cell");
+    EXPECT_TRUE(oid.ok());
+    oids.push_back(*oid);
+    ODE_EXPECT_OK(db->ActivateTrigger(t, *oid, "T1"));
+  }
+  ODE_EXPECT_OK(db->Commit(t));
+  return oids;
+}
+
+IngestOptions DurableOptions(const std::string& dir) {
+  IngestOptions o;
+  o.num_shards = 2;
+  o.durability.dir = dir;
+  o.durability.fsync = FsyncPolicy::kAlways;
+  return o;
+}
+
+TEST(DurableRuntimeTest, CleanRestartRestoresStateWithoutReplay) {
+  TempDir dir;
+  constexpr int kEvents = 50;
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 4);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    for (int i = 0; i < kEvents; ++i) {
+      ODE_ASSERT_OK(rt.Post(oids[i % oids.size()], "add", {Value(1)}));
+    }
+    ODE_ASSERT_OK(rt.Drain());
+    ODE_ASSERT_OK(rt.Checkpoint());  // Everything lands in the snapshot.
+    ODE_ASSERT_OK(rt.Stop());
+  }
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 4);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    EXPECT_TRUE(rt.recovery().had_checkpoint);
+    EXPECT_EQ(rt.recovery().replayed_events, 0u);  // Checkpoint covered all.
+    int64_t total = 0;
+    int64_t touches = 0;
+    for (const Oid& oid : oids) {
+      total += db.PeekAttr(oid, "v").value().AsInt().value();
+      touches += db.PeekAttr(oid, "touches").value().AsInt().value();
+    }
+    EXPECT_EQ(total, kEvents);
+    // 50 adds over 4 cells: 12+13+13+12 adds → 4+4+4+4 T1 firings... the
+    // exact split depends on oid routing, so check the invariant instead:
+    // touches == sum over cells of floor(adds/3).
+    int64_t expect_touches = 0;
+    for (const Oid& oid : oids) {
+      expect_touches += db.PeekAttr(oid, "v").value().AsInt().value() / 3;
+    }
+    EXPECT_EQ(touches, expect_touches);
+    // Metrics baselines carried the first run's history.
+    EXPECT_GE(rt.Metrics().total.processed, static_cast<uint64_t>(kEvents));
+    ODE_ASSERT_OK(rt.Stop());
+  }
+}
+
+TEST(DurableRuntimeTest, StopWithoutCheckpointReplaysTheLog) {
+  TempDir dir;
+  constexpr int kEvents = 30;
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 2);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    for (int i = 0; i < kEvents; ++i) {
+      ODE_ASSERT_OK(rt.Post(oids[i % oids.size()], "add", {Value(1)}));
+    }
+    ODE_ASSERT_OK(rt.Stop());  // Graceful, but no checkpoint: WAL keeps all.
+  }
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 2);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    // The baseline checkpoint from run 1's Start covered the pre-Start
+    // state; all posts after it replay from the log.
+    EXPECT_EQ(rt.recovery().replayed_events, static_cast<uint64_t>(kEvents));
+    int64_t total = 0;
+    for (const Oid& oid : oids) {
+      total += db.PeekAttr(oid, "v").value().AsInt().value();
+    }
+    EXPECT_EQ(total, kEvents);
+    ODE_ASSERT_OK(rt.Stop());
+  }
+}
+
+TEST(DurableRuntimeTest, AppliedSeqsSurviveRestartExactlyOnce) {
+  TempDir dir;
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 1);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    for (uint64_t seq = 1; seq <= 10; ++seq) {
+      ODE_ASSERT_OK(
+          rt.Post(oids[0], "add", {Value(1)}, nullptr, "client-x", seq));
+    }
+    ODE_ASSERT_OK(rt.Drain());
+    ODE_ASSERT_OK(rt.Checkpoint());
+    ODE_ASSERT_OK(rt.Stop());
+  }
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 1);
+    IngestRuntime rt(&db, DurableOptions(dir.path()));
+    ODE_ASSERT_OK(rt.Start());
+    SeqSet applied = rt.AppliedSeqs("client-x");
+    EXPECT_EQ(applied.ToString(), "1-10");
+    EXPECT_TRUE(applied.Contains(5));
+    EXPECT_TRUE(rt.AppliedSeqs("nobody").empty());
+    ODE_ASSERT_OK(rt.Stop());
+  }
+}
+
+TEST(DurableRuntimeTest, WalDisabledLeavesCheckpointUnavailable) {
+  Database db;
+  std::vector<Oid> oids = SetupCells(&db, 1);
+  IngestRuntime rt(&db);  // No durability configured.
+  ODE_ASSERT_OK(rt.Start());
+  EXPECT_FALSE(rt.recovery().attempted);
+  EXPECT_EQ(rt.Checkpoint().code(), StatusCode::kFailedPrecondition);
+  // Identity tracking still works without a WAL (in-memory dedup).
+  ODE_ASSERT_OK(rt.Post(oids[0], "add", {Value(1)}, nullptr, "mem-client", 1));
+  ODE_ASSERT_OK(rt.Drain());
+  EXPECT_TRUE(rt.AppliedSeqs("mem-client").Contains(1));
+  ODE_ASSERT_OK(rt.Stop());
+}
+
+TEST(DurableRuntimeTest, ShardCountChangeReplaysOrphanLogs) {
+  TempDir dir;
+  constexpr int kEvents = 24;
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 3);
+    IngestOptions o = DurableOptions(dir.path());
+    o.num_shards = 4;
+    IngestRuntime rt(&db, o);
+    ODE_ASSERT_OK(rt.Start());
+    for (int i = 0; i < kEvents; ++i) {
+      ODE_ASSERT_OK(rt.Post(oids[i % oids.size()], "add", {Value(1)}));
+    }
+    ODE_ASSERT_OK(rt.Stop());
+  }
+  {
+    Database db;
+    std::vector<Oid> oids = SetupCells(&db, 3);
+    IngestOptions o = DurableOptions(dir.path());
+    o.num_shards = 1;  // Fewer shards: files 1..3 become orphans.
+    IngestRuntime rt(&db, o);
+    ODE_ASSERT_OK(rt.Start());
+    EXPECT_EQ(rt.recovery().replayed_events, static_cast<uint64_t>(kEvents));
+    int64_t total = 0;
+    for (const Oid& oid : oids) {
+      total += db.PeekAttr(oid, "v").value().AsInt().value();
+    }
+    EXPECT_EQ(total, kEvents);
+    // The post-recovery checkpoint unlinked the orphan files.
+    EXPECT_EQ(wal::ListShardLogs(dir.path()), std::vector<size_t>{0});
+    ODE_ASSERT_OK(rt.Stop());
+  }
+}
+
+}  // namespace
+}  // namespace ode

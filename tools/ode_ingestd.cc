@@ -9,11 +9,15 @@
 // The daemon runs until SIGINT/SIGTERM, then shuts down gracefully
 // (drains the runtime) and prints the final metrics snapshot.
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/server.h"
@@ -37,6 +41,13 @@ constexpr char kUsage[] =
     "  --queue-capacity=N     per-shard queue capacity (default 1024)\n"
     "  --backpressure=MODE    block | reject | drop (default block)\n"
     "  --objects=N            demo cells to create (default 16)\n"
+    "  --wal-dir=PATH         durable event log directory; enables WAL,\n"
+    "                         checkpointing, and crash recovery on restart\n"
+    "                         (docs/DURABILITY.md)\n"
+    "  --fsync=POLICY         always | never | every-n:N | interval:MS\n"
+    "                         (default every-n:64)\n"
+    "  --checkpoint-every-s=N background checkpoint cadence in seconds;\n"
+    "                         0 disables (default 30; needs --wal-dir)\n"
     "  -h, --help             show this help\n";
 
 bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
@@ -85,6 +96,7 @@ int main(int argc, char** argv) {
   server_options.port = 7311;
   ode::runtime::IngestOptions ingest_options;
   size_t num_objects = 16;
+  size_t checkpoint_every_s = 30;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -101,8 +113,31 @@ int main(int argc, char** argv) {
                ParseSizeFlag(arg, "--batch=", &ingest_options.max_batch) ||
                ParseSizeFlag(arg, "--queue-capacity=",
                              &ingest_options.queue_capacity) ||
-               ParseSizeFlag(arg, "--objects=", &num_objects)) {
+               ParseSizeFlag(arg, "--objects=", &num_objects) ||
+               ParseSizeFlag(arg, "--checkpoint-every-s=",
+                             &checkpoint_every_s)) {
       // Parsed.
+    } else if (std::strncmp(arg, "--wal-dir=", 10) == 0) {
+      ingest_options.durability.dir = arg + 10;
+    } else if (std::strcmp(arg, "--fsync=always") == 0) {
+      ingest_options.durability.fsync = ode::wal::FsyncPolicy::kAlways;
+    } else if (std::strcmp(arg, "--fsync=never") == 0) {
+      ingest_options.durability.fsync = ode::wal::FsyncPolicy::kNever;
+    } else if (std::strncmp(arg, "--fsync=every-n:", 16) == 0) {
+      size_t n = 0;
+      ParseSizeFlag(arg, "--fsync=every-n:", &n);  // Exits on a bad value.
+      if (n == 0) {
+        std::fprintf(stderr, "ode-ingestd: --fsync=every-n needs N >= 1\n");
+        return 2;
+      }
+      ingest_options.durability.fsync = ode::wal::FsyncPolicy::kEveryN;
+      ingest_options.durability.fsync_every_n = n;
+    } else if (std::strncmp(arg, "--fsync=interval:", 17) == 0) {
+      size_t ms = 0;
+      ParseSizeFlag(arg, "--fsync=interval:", &ms);  // Exits on a bad value.
+      ingest_options.durability.fsync = ode::wal::FsyncPolicy::kEveryMs;
+      ingest_options.durability.fsync_interval =
+          std::chrono::milliseconds(ms);
     } else if (std::strcmp(arg, "--backpressure=block") == 0) {
       ingest_options.backpressure = ode::runtime::BackpressurePolicy::kBlock;
     } else if (std::strcmp(arg, "--backpressure=reject") == 0) {
@@ -186,12 +221,62 @@ int main(int argc, char** argv) {
       rt.num_shards(), ingest_options.max_batch, num_objects,
       static_cast<unsigned long long>(first_oid),
       static_cast<unsigned long long>(last_oid));
+  if (ingest_options.durability.enabled()) {
+    const ode::runtime::RecoveryInfo& rec = rt.recovery();
+    std::printf(
+        "ode-ingestd: wal dir %s (fsync=%s), recovered: checkpoint=%s "
+        "replayed=%llu skipped=%llu torn_files=%llu\n",
+        ingest_options.durability.dir.c_str(),
+        ode::wal::FsyncPolicyName(ingest_options.durability.fsync),
+        rec.had_checkpoint ? "yes" : "no",
+        static_cast<unsigned long long>(rec.replayed_events),
+        static_cast<unsigned long long>(rec.skipped_covered),
+        static_cast<unsigned long long>(rec.torn_files));
+  }
   std::fflush(stdout);
+
+  // Background checkpointing: bounds replay work after a crash by
+  // persisting state and truncating the logs on a timer.
+  std::mutex ckpt_mu;
+  std::condition_variable ckpt_cv;
+  bool ckpt_stop = false;
+  std::thread checkpointer;
+  if (ingest_options.durability.enabled() && checkpoint_every_s > 0) {
+    checkpointer = std::thread([&] {
+      std::unique_lock<std::mutex> lock(ckpt_mu);
+      while (!ckpt_cv.wait_for(lock, std::chrono::seconds(checkpoint_every_s),
+                               [&] { return ckpt_stop; })) {
+        lock.unlock();
+        ode::Status cs = rt.Checkpoint();
+        if (!cs.ok()) {
+          std::fprintf(stderr, "ode-ingestd: checkpoint: %s\n",
+                       cs.ToString().c_str());
+        }
+        lock.lock();
+      }
+    });
+  }
 
   int sig = 0;
   sigwait(&sigs, &sig);
   std::printf("ode-ingestd: caught %s, shutting down\n", strsignal(sig));
 
+  if (checkpointer.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ckpt_mu);
+      ckpt_stop = true;
+    }
+    ckpt_cv.notify_all();
+    checkpointer.join();
+  }
+  // Final checkpoint: restart replays nothing and starts from a clean log.
+  if (ingest_options.durability.enabled()) {
+    s = rt.Checkpoint();
+    if (!s.ok()) {
+      std::fprintf(stderr, "ode-ingestd: final checkpoint: %s\n",
+                   s.ToString().c_str());
+    }
+  }
   server.Stop();
   s = rt.Stop();
   if (!s.ok()) {

@@ -13,6 +13,7 @@
 //
 // See docs/ANALYSIS.md for the diagnostic catalogue.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,10 @@ constexpr char kUsage[] =
     "                        (drop always-true masks, collapse degenerate\n"
     "                        counts, prune 'empty' | operands); a rewrite\n"
     "                        failing semantics verification is suppressed\n"
+    "  --fix=check           dry run: print a unified diff of the rewrites\n"
+    "                        --fix would apply, write nothing, and exit 1\n"
+    "                        when any fix is pending (CI gate); text\n"
+    "                        format only\n"
     "  --cost                print a per-trigger cost report\n"
     "  --budget-states=N     warn (C001) when a DFA exceeds N states\n"
     "  --budget-bytes=N      warn (C001) when tables exceed N bytes\n"
@@ -188,6 +193,114 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
       fixes_suppressed);
 }
 
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t nl = s.find('\n', start);
+    if (nl == std::string::npos) {
+      if (start < s.size()) lines.push_back(s.substr(start));
+      break;
+    }
+    lines.push_back(s.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Minimal line-based unified diff (3 context lines) for --fix=check
+/// previews. Spec files are small, so the quadratic LCS is fine.
+std::string UnifiedDiff(const std::string& file, const std::string& a_src,
+                        const std::string& b_src) {
+  std::vector<std::string> a = SplitLines(a_src);
+  std::vector<std::string> b = SplitLines(b_src);
+  size_t n = a.size();
+  size_t m = b.size();
+  std::vector<std::vector<size_t>> lcs(n + 1, std::vector<size_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      lcs[i][j] = a[i] == b[j] ? lcs[i + 1][j + 1] + 1
+                               : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  // Edit script: ' ' keep, '-' delete (index into a), '+' add (into b).
+  struct Op {
+    char tag;
+    size_t ai;
+    size_t bi;
+  };
+  std::vector<Op> ops;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n && j < m) {
+    if (a[i] == b[j]) {
+      ops.push_back({' ', i++, j++});
+    } else if (lcs[i + 1][j] >= lcs[i][j + 1]) {
+      ops.push_back({'-', i++, 0});
+    } else {
+      ops.push_back({'+', 0, j++});
+    }
+  }
+  while (i < n) ops.push_back({'-', i++, 0});
+  while (j < m) ops.push_back({'+', 0, j++});
+
+  constexpr size_t kContext = 3;
+  std::string out;
+  out += "--- " + file + "\n+++ " + file + " (fixed)\n";
+  size_t k = 0;
+  while (k < ops.size()) {
+    if (ops[k].tag == ' ') {
+      ++k;
+      continue;
+    }
+    // Hunk: from kContext before this change through kContext after the
+    // last change that stays within 2*kContext of its predecessor.
+    size_t start = k;
+    while (start > 0 && ops[start - 1].tag == ' ' &&
+           k - start < kContext) {
+      --start;
+    }
+    size_t end = k;
+    size_t last_change = k;
+    while (end < ops.size()) {
+      if (ops[end].tag != ' ') {
+        last_change = end;
+      } else if (end - last_change >= 2 * kContext) {
+        break;
+      }
+      ++end;
+    }
+    size_t stop = std::min(ops.size(), last_change + 1 + kContext);
+    size_t a_start = n;
+    size_t b_start = m;
+    size_t a_len = 0;
+    size_t b_len = 0;
+    for (size_t x = start; x < stop; ++x) {
+      if (ops[x].tag != '+') {
+        a_start = std::min(a_start, ops[x].ai);
+        ++a_len;
+      }
+      if (ops[x].tag != '-') {
+        b_start = std::min(b_start, ops[x].bi);
+        ++b_len;
+      }
+    }
+    if (a_len == 0) a_start = b_start;  // Pure insertion: anchor on b.
+    if (b_len == 0) b_start = a_start;
+    out += "@@ -" + std::to_string(a_len == 0 ? a_start : a_start + 1) + "," +
+           std::to_string(a_len) + " +" +
+           std::to_string(b_len == 0 ? b_start : b_start + 1) + "," +
+           std::to_string(b_len) + " @@\n";
+    for (size_t x = start; x < stop; ++x) {
+      out += ops[x].tag;
+      out += ops[x].tag == '+' ? b[ops[x].bi] : a[ops[x].ai];
+      out += '\n';
+    }
+    k = stop;
+  }
+  return out;
+}
+
 bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
   size_t len = std::strlen(prefix);
   if (std::strncmp(arg, prefix, len) != 0) return false;
@@ -208,6 +321,7 @@ int main(int argc, char** argv) {
   bool print_cost = false;
   bool json = false;
   bool apply_fixes = false;
+  bool check_fixes = false;
   std::vector<std::string> files;
 
   for (int i = 1; i < argc; ++i) {
@@ -224,6 +338,8 @@ int main(int argc, char** argv) {
       options.group_suggestions = false;
     } else if (std::strcmp(arg, "--fix") == 0) {
       apply_fixes = true;
+    } else if (std::strcmp(arg, "--fix=check") == 0) {
+      check_fixes = true;
     } else if (std::strcmp(arg, "--cost") == 0) {
       print_cost = true;
     } else if (std::strcmp(arg, "--format=text") == 0) {
@@ -246,11 +362,23 @@ int main(int argc, char** argv) {
     std::fputs(kUsage, stderr);
     return 2;
   }
+  if (check_fixes && apply_fixes) {
+    std::fprintf(stderr,
+                 "ode-lint: --fix and --fix=check are mutually exclusive\n");
+    return 2;
+  }
+  if (check_fixes && json) {
+    std::fprintf(stderr,
+                 "ode-lint: --fix=check emits a diff; --format=json is not "
+                 "supported with it\n");
+    return 2;
+  }
 
   size_t errors = 0;
   size_t warnings = 0;
   size_t notes = 0;
   size_t fixes_applied = 0;
+  size_t fixes_pending = 0;
   size_t fixes_suppressed = 0;
   bool io_failure = false;
   std::vector<FileResult> results;
@@ -267,6 +395,24 @@ int main(int argc, char** argv) {
     in.close();
 
     std::vector<ode::AppliedFix> fixes;
+    if (check_fixes) {
+      // Dry run: compute what --fix would do, show it as a unified diff,
+      // write nothing. The report below still describes the file AS IS.
+      ode::FixOptions fix_options;
+      fix_options.compile = options.compile;
+      ode::FixResult fixed = ode::FixSpecSource(source, fix_options);
+      fixes_suppressed += fixed.suppressed;
+      if (!fixed.applied.empty()) {
+        fixes_pending += fixed.applied.size();
+        for (const ode::AppliedFix& x : fixed.applied) {
+          std::printf("%s: would fix: trigger '%s': [%s] %s\n", file.c_str(),
+                      x.trigger.c_str(), x.code.c_str(),
+                      x.description.c_str());
+        }
+        std::string diff = UnifiedDiff(file, source, fixed.fixed_source);
+        std::fputs(diff.c_str(), stdout);
+      }
+    }
     if (apply_fixes) {
       ode::FixOptions fix_options;
       fix_options.compile = options.compile;
@@ -334,8 +480,18 @@ int main(int argc, char** argv) {
         std::printf(" (%zu suppressed by verification)", fixes_suppressed);
       }
     }
+    if (check_fixes) {
+      std::printf(", %zu fix%s pending", fixes_pending,
+                  fixes_pending == 1 ? "" : "es");
+      if (fixes_suppressed > 0) {
+        std::printf(" (%zu suppressed by verification)", fixes_suppressed);
+      }
+    }
     std::printf("\n");
   }
   if (io_failure) return 2;
-  return errors > 0 ? 1 : 0;
+  if (errors > 0) return 1;
+  // --fix=check is a CI gate: pending rewrites fail the run even when the
+  // specification is otherwise diagnostics-clean.
+  return check_fixes && fixes_pending > 0 ? 1 : 0;
 }
