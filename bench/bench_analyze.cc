@@ -101,33 +101,60 @@ int Run(int argc, char** argv) {
   double spec_check_s = Seconds(t0, t1);
 
   // Layer 2: the full per-trigger pipeline (compile, automaton checks,
-  // cost report).
+  // cost report). Witnesses off, so the layer timings stay comparable
+  // with earlier runs; the witness engine is measured separately below.
+  AnalyzeOptions witness_off;
+  witness_off.witnesses = false;
   t0 = Clock::now();
   size_t compiled = 0;
   for (const TriggerSpec& spec : specs) {
-    TriggerAnalysis ta = AnalyzeTrigger(spec);
+    TriggerAnalysis ta = AnalyzeTrigger(spec, witness_off);
     compiled += ta.compiled ? 1 : 0;
   }
   t1 = Clock::now();
   double automaton_s = Seconds(t0, t1);
 
-  // Whole-source analysis, pairwise off: what `ode-lint --no-pairwise`
-  // does per file (split, parse, per-trigger layers).
-  AnalyzeOptions no_pairwise;
+  // Whole-source analysis, pairwise off: what `ode-lint --no-pairwise
+  // --witness=off` does per file (split, parse, per-trigger layers).
+  AnalyzeOptions no_pairwise = witness_off;
   no_pairwise.pairwise_checks = false;
   t0 = Clock::now();
   AnalysisReport full = AnalyzeSpecSource(source, no_pairwise);
   t1 = Clock::now();
   double full_s = Seconds(t0, t1);
 
-  // Pairwise + group planning over a 64-trigger slice (2016 pairs).
+  // The witness engine: the same whole-source run with witnesses on. The
+  // acceptance bar is a <= 2x slowdown of the full pipeline — witness
+  // search only runs on triggers that produced a verdict, so it must not
+  // dominate a clean-ish rulebase.
+  AnalyzeOptions with_witness = no_pairwise;
+  with_witness.witnesses = true;
+  t0 = Clock::now();
+  AnalysisReport witnessed = AnalyzeSpecSource(source, with_witness);
+  t1 = Clock::now();
+  double witness_s = Seconds(t0, t1);
+  double witness_slowdown = witness_s / full_s;
+  bool witness_ok = witness_slowdown <= 2.0;
+
+  // Pairwise + group planning over a 64-trigger slice (2016 pairs),
+  // witnesses off for layer comparability.
   const size_t kSlice = n < 64 ? n : 64;
   std::string slice_source = MakeRulebase(kSlice);
   t0 = Clock::now();
-  AnalysisReport sliced = AnalyzeSpecSource(slice_source);
+  AnalysisReport sliced = AnalyzeSpecSource(slice_source, witness_off);
   t1 = Clock::now();
   double pairwise_s = Seconds(t0, t1);
   size_t pairs = kSlice * (kSlice - 1) / 2;
+
+  // The same slice with witnesses on: the pairwise sweep produces
+  // hundreds of findings here, so this measures real witness synthesis
+  // (joint-alphabet recompiles, product BFS, oracle replays), not a
+  // no-findings fast path.
+  t0 = Clock::now();
+  AnalysisReport sliced_witnessed = AnalyzeSpecSource(slice_source);
+  t1 = Clock::now();
+  double pairwise_witness_s = Seconds(t0, t1);
+  double pairwise_witness_slowdown = pairwise_witness_s / pairwise_s;
 
   std::string json = StrFormat(
       "{\n"
@@ -141,17 +168,27 @@ int Run(int argc, char** argv) {
       "{\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
       "    \"full_no_pairwise\": "
       "{\"seconds\": %.6f, \"specs_per_sec\": %.1f},\n"
+      "    \"full_with_witnesses\": "
+      "{\"seconds\": %.6f, \"specs_per_sec\": %.1f, "
+      "\"witnesses\": %zu, \"witness_failures\": %zu, "
+      "\"slowdown_vs_no_witness\": %.3f, \"within_2x\": %s},\n"
       "    \"pairwise_and_groups_64\": "
-      "{\"seconds\": %.6f, \"pairs\": %zu, \"pairs_per_sec\": %.1f}\n"
+      "{\"seconds\": %.6f, \"pairs\": %zu, \"pairs_per_sec\": %.1f},\n"
+      "    \"pairwise_with_witnesses_64\": "
+      "{\"seconds\": %.6f, \"witnesses\": %zu, \"witness_failures\": %zu, "
+      "\"slowdown_vs_no_witness\": %.3f}\n"
       "  },\n"
       "  \"specs_per_sec\": %.1f,\n"
       "  \"layer1_diagnostics\": %zu,\n"
       "  \"pairwise_findings_64\": %zu\n"
       "}\n",
       n, compiled, parse_s, n / parse_s, spec_check_s, n / spec_check_s,
-      automaton_s, n / automaton_s, full_s, n / full_s, pairwise_s, pairs,
-      pairs / pairwise_s, n / full_s, layer1_diags,
-      sliced.pair_findings.size());
+      automaton_s, n / automaton_s, full_s, n / full_s, witness_s,
+      n / witness_s, witnessed.witnesses, witnessed.witness_failures,
+      witness_slowdown, witness_ok ? "true" : "false", pairwise_s, pairs,
+      pairs / pairwise_s, pairwise_witness_s, sliced_witnessed.witnesses,
+      sliced_witnessed.witness_failures, pairwise_witness_slowdown,
+      n / full_s, layer1_diags, sliced.pair_findings.size());
 
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
@@ -163,6 +200,13 @@ int Run(int argc, char** argv) {
   std::fputs(json.c_str(), stdout);
   std::fprintf(stderr, "wrote %s (%zu triggers analyzed, %zu compiled)\n",
                out_path, full.triggers.size(), compiled);
+  if (!witness_ok) {
+    std::fprintf(stderr,
+                 "witness engine slowdown %.2fx exceeds the 2x acceptance "
+                 "bound\n",
+                 witness_slowdown);
+    return 1;
+  }
   return 0;
 }
 

@@ -36,9 +36,20 @@ SourceSpan EventSpan(const TriggerSpec& spec) {
   return spec.event != nullptr ? spec.event->span : SourceSpan{};
 }
 
-void RunAutomatonChecks(const CompiledEvent& compiled, TriggerAnalysis* ta) {
+/// Moves a witness result's histories onto the just-emitted diagnostic and
+/// folds its accounting into the trigger analysis.
+void AttachWitness(WitnessResult witness, TriggerAnalysis* ta) {
+  ta->witnesses += witness.histories.size();
+  ta->witness_failures += witness.validation_failures;
+  ta->diagnostics.back().witness = std::move(witness.histories);
+}
+
+void RunAutomatonChecks(const CompiledEvent& compiled,
+                        const AnalyzeOptions& options, TriggerAnalysis* ta) {
   std::vector<bool> possible = ComputePossibleSymbols(compiled);
   SourceSpan span = EventSpan(ta->spec);
+  WitnessOptions wopts = options.witness;
+  wopts.compile = options.compile;
 
   if (DfaEmptySigmaPlus(compiled.dfa, possible)) {
     ta->never_fires = true;
@@ -48,6 +59,9 @@ void RunAutomatonChecks(const CompiledEvent& compiled, TriggerAnalysis* ta) {
         "trigger will never fire (empty language over the realizable "
         "symbols)",
         span, ta->name));
+    if (options.witnesses) {
+      AttachWitness(EmptinessWitness(compiled, ta->name, wopts), ta);
+    }
     return;  // Emptiness makes the remaining automaton checks vacuous.
   }
 
@@ -71,6 +85,9 @@ void RunAutomatonChecks(const CompiledEvent& compiled, TriggerAnalysis* ta) {
           "— almost certainly a specification bug",
           span, ta->name));
     }
+    if (options.witnesses) {
+      AttachWitness(UniversalityWitness(compiled, ta->name, wopts), ta);
+    }
   }
 
   StateReport states = AnalyzeStates(compiled.dfa, possible);
@@ -83,6 +100,9 @@ void RunAutomatonChecks(const CompiledEvent& compiled, TriggerAnalysis* ta) {
                   states.unreachable > 0 ? "; some states are unreachable"
                                          : ""),
         span, ta->name));
+    if (options.witnesses && states.dead > 0) {
+      AttachWitness(DeadStateWitness(compiled, ta->name, wopts), ta);
+    }
   }
 }
 
@@ -138,7 +158,7 @@ TriggerAnalysis AnalyzeTrigger(const TriggerSpec& spec,
   ta.cost = EstimateCost(*compiled);
 
   if (options.automaton_checks) {
-    RunAutomatonChecks(*compiled, &ta);
+    RunAutomatonChecks(*compiled, options, &ta);
   }
   RunBudgetChecks(options, &ta);
   return ta;
@@ -215,6 +235,7 @@ void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
                                       "other's)"
                                     : " (its language is contained in the "
                                       "other's)";
+      bool emitted = true;
       switch (cmp->relation) {
         case PairRelation::kEquivalent:
           report->file_diagnostics.push_back(MakeDiag(
@@ -245,7 +266,19 @@ void RunPairwiseChecks(const AnalyzeOptions& options, AnalysisReport* report) {
           break;
         case PairRelation::kDistinct:
         case PairRelation::kIncomparable:
+          emitted = false;
           break;
+      }
+      if (emitted && options.witnesses) {
+        WitnessOptions wopts = options.witness;
+        wopts.compile = options.compile;
+        WitnessResult witness = PairWitness(
+            a.spec.event, b.spec.event, a.name, b.name, cmp->relation,
+            cmp->via_mask_implication, wopts);
+        report->witnesses += witness.histories.size();
+        report->witness_failures += witness.validation_failures;
+        report->file_diagnostics.back().witness =
+            std::move(witness.histories);
       }
     }
   }
@@ -260,6 +293,8 @@ void RunGroupPlanning(const AnalyzeOptions& options, AnalysisReport* report) {
   for (const TriggerAnalysis& ta : report->triggers) specs.push_back(ta.spec);
   GroupPlanOptions plan_options = options.group_plan;
   plan_options.combined.compile = options.compile;
+  plan_options.witnesses = options.witnesses;
+  plan_options.witness_options = options.witness;
   report->groups =
       PlanTriggerGroups(specs, report->pair_findings, plan_options);
   for (const TriggerGroupPlan& plan : report->groups) {
@@ -282,6 +317,9 @@ void RunGroupPlanning(const AnalyzeOptions& options, AnalysisReport* report) {
                   plan.oracle_histories),
         EventSpan(report->triggers[first].spec),
         report->triggers[first].name));
+    report->witnesses += plan.witness.size();
+    report->witness_failures += plan.witness_failures;
+    report->file_diagnostics.back().witness = plan.witness;
   }
 }
 
@@ -317,6 +355,10 @@ AnalysisReport AnalyzeSpecSource(std::string_view source,
   if (options.pairwise_checks) {
     RunPairwiseChecks(options, &report);
     if (options.group_suggestions) RunGroupPlanning(options, &report);
+  }
+  for (const TriggerAnalysis& t : report.triggers) {
+    report.witnesses += t.witnesses;
+    report.witness_failures += t.witness_failures;
   }
   return report;
 }
@@ -372,7 +414,7 @@ bool MethodAlphabetShared(const EventExprPtr& event, const ClassTriggerSet& a,
 
 std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
     const ClassTriggerSet& a, const ClassTriggerSet& b,
-    const CompileOptions& compile) {
+    const CompileOptions& compile, bool witnesses) {
   std::vector<Diagnostic> out;
   for (size_t i = 0; i < a.triggers.size(); ++i) {
     for (size_t j = 0; j < b.triggers.size(); ++j) {
@@ -388,6 +430,7 @@ std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
       std::string qa = a.class_name + "::" + a.trigger_names[i];
       std::string qb = b.class_name + "::" + b.trigger_names[j];
       const char* subsume_id = cmp->via_mask_implication ? "A007" : "A005";
+      size_t before = out.size();
       switch (cmp->relation) {
         case PairRelation::kEquivalent:
           out.push_back(MakeDiag(
@@ -418,6 +461,14 @@ std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
         case PairRelation::kDistinct:
         case PairRelation::kIncomparable:
           break;
+      }
+      if (witnesses && out.size() > before) {
+        WitnessOptions wopts;
+        wopts.compile = compile;
+        WitnessResult witness =
+            PairWitness(ta.event, tb.event, qa, qb, cmp->relation,
+                        cmp->via_mask_implication, wopts);
+        out.back().witness = std::move(witness.histories);
       }
     }
   }
@@ -458,6 +509,10 @@ AnalysisReport AnalyzeClassDef(const ClassDef& def, AnalyzeOptions options) {
   if (options.pairwise_checks) {
     RunPairwiseChecks(options, &report);
     if (options.group_suggestions) RunGroupPlanning(options, &report);
+  }
+  for (const TriggerAnalysis& t : report.triggers) {
+    report.witnesses += t.witnesses;
+    report.witness_failures += t.witness_failures;
   }
   return report;
 }

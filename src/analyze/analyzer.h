@@ -11,6 +11,7 @@
 #include "analyze/diagnostic.h"
 #include "analyze/group_plan.h"
 #include "analyze/spec_check.h"
+#include "analyze/witness.h"
 #include "compile/compiler.h"
 #include "lang/trigger_spec.h"
 
@@ -29,6 +30,11 @@ struct AnalyzeOptions {
   /// suggestions with measured cost deltas). Needs pairwise_checks.
   bool group_suggestions = true;
   GroupPlanOptions group_plan;
+  /// Witness engine (analyze/witness.h): attach an oracle-validated
+  /// concrete counterexample history to every A001/A002/A003/A004/A005/
+  /// A007/G001 finding.
+  bool witnesses = true;
+  WitnessOptions witness;
   /// Optional class context for method/attribute resolution (layer 1).
   const ClassDef* class_def = nullptr;
   /// Cost budgets; 0 disables the check. Exceeding one emits C001.
@@ -45,6 +51,10 @@ struct TriggerAnalysis {
   bool never_fires = false;   ///< A001 was emitted.
   bool always_fires = false;  ///< A002 was emitted.
   std::vector<Diagnostic> diagnostics;
+  /// Witness accounting for this trigger's diagnostics: histories
+  /// attached, and histories suppressed because oracle replay failed.
+  size_t witnesses = 0;
+  size_t witness_failures = 0;
 };
 
 /// Result of analyzing a whole specification source (one or more trigger
@@ -59,6 +69,12 @@ struct AnalysisReport {
   std::vector<PairFinding> pair_findings;
   /// Verified trigger-group suggestions (each backed by a G001 note).
   std::vector<TriggerGroupPlan> groups;
+
+  /// Witness accounting across the whole report (per-trigger + pairwise +
+  /// group findings): histories attached, and histories suppressed
+  /// because oracle replay disagreed with the claimed verdict.
+  size_t witnesses = 0;
+  size_t witness_failures = 0;
 
   /// Every diagnostic — per-trigger ones first, in declaration order.
   std::vector<Diagnostic> AllDiagnostics() const;
@@ -114,7 +130,7 @@ ClassTriggerSet CollectClassTriggerSet(const ClassDef& def);
 /// class-qualified trigger names ("account::watch").
 std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
     const ClassTriggerSet& a, const ClassTriggerSet& b,
-    const CompileOptions& compile = {});
+    const CompileOptions& compile = {}, bool witnesses = true);
 
 /// One blank-line-separated declaration block of a spec source, as a byte
 /// range into it. Exposed so tools that edit blocks in place (ode-lint

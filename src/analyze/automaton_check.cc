@@ -22,13 +22,26 @@ constexpr size_t kMaxSolverGroupMasks = 6;
 
 std::vector<bool> ComputeAlphabetPossibleSymbols(const Alphabet& alphabet) {
   std::vector<bool> base(alphabet.size(), true);
-  MaskSolver solver;
   for (size_t g = 0; g < alphabet.num_groups(); ++g) {
     const std::vector<MaskSlot>& masks = alphabet.group_masks(g);
     if (masks.empty()) continue;
+    // Parameters declared with integral types make the solver's gap cuts
+    // sound for this group: `q > 1 && q < 2` over a declared `int q` has
+    // no realizable micro-symbol asserting both.
+    MaskSolver::Options solver_options;
+    AddIntegerParams(alphabet.group_spec(g).params, &solver_options);
+    for (const MaskSlot& slot : masks) {
+      AddIntegerParams(slot.params, &solver_options);
+    }
+    MaskSolver solver(std::move(solver_options));
     std::vector<MaskTruth> truth(masks.size());
     for (size_t i = 0; i < masks.size(); ++i) {
       truth[i] = AnalyzeMaskTruth(*masks[i].mask);
+      // The interval engine is integer-blind; give the undecided masks a
+      // second look with the integer-aware solver.
+      if (truth[i] == MaskTruth::kUnknown) {
+        truth[i] = solver.Truth(*masks[i].mask);
+      }
     }
     bool sweep_conjunctions = masks.size() >= 2 &&
                               masks.size() <= kMaxSolverGroupMasks;

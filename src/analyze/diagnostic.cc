@@ -47,6 +47,36 @@ std::string_view LineAt(std::string_view source, size_t offset) {
 /// get an elision marker instead of a screenful of carets.
 constexpr int kMaxCaretLines = 3;
 
+/// Renders one witness history as an indented, diff-stable trace block:
+///
+///   witness: shortest history on which both triggers fire
+///     1. withdraw(q=150)  => fires: both_a, both_b
+///     2. deposit()
+void AppendWitness(const WitnessHistory& w, std::string* out) {
+  *out += "\n  witness: ";
+  *out += w.claim;
+  for (size_t i = 0; i < w.steps.size(); ++i) {
+    const WitnessStep& s = w.steps[i];
+    *out += StrFormat("\n    %zu. %s", i + 1, s.event.c_str());
+    std::string fired;
+    for (size_t c = 0; c < s.fires.size() && c < w.columns.size(); ++c) {
+      if (s.fires[c]) {
+        if (!fired.empty()) fired += ", ";
+        fired += w.columns[c];
+      }
+    }
+    if (!fired.empty()) {
+      *out += "  => fires: ";
+      *out += fired;
+    }
+    if (!s.note.empty()) {
+      *out += "\n       note: ";
+      *out += s.note;
+    }
+  }
+  if (w.steps.empty()) *out += "\n    (empty history)";
+}
+
 }  // namespace
 
 std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
@@ -104,6 +134,13 @@ std::string RenderDiagnostic(const Diagnostic& diag, std::string_view source,
       pos = next + 1;
     }
     if (elided) out += "\n  ...";
+  }
+  for (const std::string& hint : diag.fix_hints) {
+    out += "\n  fix: ";
+    out += hint;
+  }
+  for (const WitnessHistory& w : diag.witness) {
+    AppendWitness(w, &out);
   }
   return out;
 }

@@ -22,6 +22,35 @@ enum class Severity : uint8_t {
 
 std::string_view SeverityName(Severity s);
 
+/// One step of a witness history: a concrete method call (with concrete
+/// argument values) plus, per tracked subject, whether its automaton is in
+/// an accepting state *after* this step.
+struct WitnessStep {
+  /// Rendered event, e.g. `withdraw(q=150)` or `deposit()`.
+  std::string event;
+  /// Optional annotation, e.g. `unreachable: q > 1 and q < 2 are mutually
+  /// unsatisfiable over the integers (gap cut)`. Rendered after the event.
+  std::string note;
+  /// Parallel to WitnessHistory::columns: fires[i] == true iff subject i
+  /// fires (its event occurs, §4) at this history point — the oracle's
+  /// occurrence bit, validated before the witness is attached.
+  std::vector<bool> fires;
+};
+
+/// One concrete event history demonstrating an analyzer verdict, produced
+/// by the witness engine (analyze/witness.h) and validated against the §4
+/// oracle before being attached.
+struct WitnessHistory {
+  /// What this history demonstrates, e.g. `shortest history on which both
+  /// triggers fire` or `no realizable history reaches an accepting state`.
+  std::string claim;
+  /// Names of the subjects whose firing behavior the steps track (one
+  /// trigger name, a pair, or a proposed group's members). May be empty
+  /// for histories that only demonstrate non-firing.
+  std::vector<std::string> columns;
+  std::vector<WitnessStep> steps;
+};
+
 /// One analyzer finding. `id` is a stable catalogue identifier
 /// (docs/ANALYSIS.md): L--- for AST/mask checks, A--- for automaton checks,
 /// C--- for cost checks, P--- for parse failures.
@@ -31,6 +60,12 @@ struct Diagnostic {
   std::string message;
   SourceSpan span;       ///< Into the analyzed source text; may be empty.
   std::string trigger;   ///< Owning trigger name; empty for file-level.
+  /// Oracle-validated concrete histories demonstrating the verdict; empty
+  /// when witnesses are off, unsupported (gates), or failed validation.
+  std::vector<WitnessHistory> witness;
+  /// Pending `--fix` rewrites for this finding, rendered as `fix:`
+  /// suggestion lines under the caret (e.g. a replacement expression).
+  std::vector<std::string> fix_hints;
 
   /// "error: [L001] message" (no source context).
   std::string ToString() const;

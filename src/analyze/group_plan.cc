@@ -111,6 +111,14 @@ std::vector<TriggerGroupPlan> PlanTriggerGroups(
     plan.combined.table_bytes = program->CombinedTableBytes();
     plan.combined.steps_per_event = 1;
     plan.oracle_histories = options.oracle_histories;
+    if (options.witnesses) {
+      WitnessOptions wopts = options.witness_options;
+      wopts.compile = options.combined.compile;
+      WitnessResult witness =
+          GroupWitness(*program, plan.member_names, wopts);
+      plan.witness = std::move(witness.histories);
+      plan.witness_failures = witness.validation_failures;
+    }
     plans.push_back(std::move(plan));
   }
   return plans;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analyze/automaton_check.h"
+#include "analyze/witness.h"
 #include "compile/combined.h"
 #include "lang/trigger_spec.h"
 
@@ -41,6 +42,11 @@ struct TriggerGroupPlan {
   /// Random histories on which every member's product acceptance bit
   /// matched the §4 oracle (the plan is dropped on any mismatch).
   size_t oracle_histories = 0;
+  /// Witness: the shortest realizable history on which two members fire
+  /// (analyze/witness.h), attached to the G001 diagnostic. Empty when
+  /// witnesses are off or none was found.
+  std::vector<WitnessHistory> witness;
+  size_t witness_failures = 0;
 };
 
 struct GroupPlanOptions {
@@ -49,6 +55,9 @@ struct GroupPlanOptions {
   size_t oracle_histories = 24;
   size_t oracle_history_length = 10;
   uint64_t oracle_seed = 0x0de5eed;
+  /// Build a concrete overlap witness per verified plan.
+  bool witnesses = true;
+  WitnessOptions witness_options;
 };
 
 /// The §5 footnote-5 planner: clusters triggers related by the pairwise

@@ -1,10 +1,11 @@
 #include "analyze/mask_solver.h"
 
+#include <algorithm>
 #include <cmath>
-#include <map>
-#include <optional>
-#include <set>
-#include <string>
+#include <limits>
+#include <numeric>
+
+#include "common/strutil.h"
 
 namespace ode {
 
@@ -14,6 +15,10 @@ namespace {
 /// floating-point noise; a derived constant constraint must clear it
 /// before its clause is declared empty.
 constexpr double kTol = 1e-9;
+
+bool NearlyIntegral(double v) {
+  return std::fabs(v - std::round(v)) <= kTol * std::max(1.0, std::fabs(v));
+}
 
 /// A linear combination Σ coeffs[v]·v + constant over canonical-text
 /// variables. Coefficients with |a| <= kTol are dropped on normalization.
@@ -36,11 +41,37 @@ struct LinTerm {
   }
 };
 
-/// One normalized inequality: term < 0 (strict) or term <= 0.
+/// One normalized inequality: term < 0 (strict) or term <= 0. `origins`
+/// carries the canonical texts of the source comparisons the constraint
+/// was derived from — the raw material of UNSAT certificates.
 struct LinConstraint {
   LinTerm term;
   bool strict = false;
+  std::vector<std::string> origins;
+  /// Set when an integer gap cut changed this constraint (certificate
+  /// wording: the contradiction exists only over the integers).
+  bool tightened = false;
+
+  void MergeOrigins(const LinConstraint& other) {
+    for (const std::string& o : other.origins) {
+      if (std::find(origins.begin(), origins.end(), o) == origins.end()) {
+        origins.push_back(o);
+      }
+    }
+  }
 };
+
+/// Renders a constraint's provenance for certificates:
+/// "(q > 1) ∧ (q < 2)" → "(q > 1) and (q < 2)".
+std::string OriginText(const LinConstraint& c) {
+  if (c.origins.empty()) return "a constant constraint";
+  std::string out;
+  for (size_t i = 0; i < c.origins.size(); ++i) {
+    if (i > 0) out += " and ";
+    out += c.origins[i];
+  }
+  return out;
+}
 
 /// A DNF clause: a conjunction of linear constraints and signed opaque
 /// boolean literals (keyed by canonical text).
@@ -189,9 +220,11 @@ std::optional<ClauseList> AndDnf(const ClauseList& a, const ClauseList& b,
 
 /// DNF of a comparison `lhs op rhs` (or its negation). Returns nullopt if
 /// the comparison cannot be expressed linearly — the caller then falls
-/// back to an opaque literal.
+/// back to an opaque literal. `origin` is the comparison's canonical text
+/// (for certificates).
 std::optional<ClauseList> ComparisonDnf(const MaskExpr& lhs, MaskOp op,
-                                        const MaskExpr& rhs, bool negate) {
+                                        const MaskExpr& rhs, bool negate,
+                                        const std::string& origin) {
   std::optional<LinTerm> l = Linearize(lhs);
   std::optional<LinTerm> r = Linearize(rhs);
   if (!l || !r) return std::nullopt;
@@ -209,9 +242,9 @@ std::optional<ClauseList> ComparisonDnf(const MaskExpr& lhs, MaskOp op,
                : op == MaskOp::kEq   ? MaskOp::kNe
                                      : MaskOp::kEq;
 
-  auto one = [](LinTerm t, bool strict) {
+  auto one = [&origin](LinTerm t, bool strict) {
     Clause c;
-    c.lin.push_back(LinConstraint{std::move(t), strict});
+    c.lin.push_back(LinConstraint{std::move(t), strict, {origin}, false});
     return ClauseList{std::move(c)};
   };
   switch (op) {
@@ -221,8 +254,8 @@ std::optional<ClauseList> ComparisonDnf(const MaskExpr& lhs, MaskOp op,
     case MaskOp::kGe: return one(nd, /*strict=*/false);      // -d <= 0
     case MaskOp::kEq: {                                      // d == 0
       Clause c;
-      c.lin.push_back(LinConstraint{d, false});
-      c.lin.push_back(LinConstraint{nd, false});
+      c.lin.push_back(LinConstraint{d, false, {origin}, false});
+      c.lin.push_back(LinConstraint{nd, false, {origin}, false});
       return ClauseList{std::move(c)};
     }
     case MaskOp::kNe: {                                      // d < 0 || d > 0
@@ -265,8 +298,9 @@ std::optional<ClauseList> Dnf(const MaskExpr& e, bool negate,
         return a;
       }
       if (IsRelational(e.op)) {
-        std::optional<ClauseList> cmp =
-            ComparisonDnf(*e.children[0], e.op, *e.children[1], negate);
+        std::string origin = negate ? "!" + e.ToString() : e.ToString();
+        std::optional<ClauseList> cmp = ComparisonDnf(
+            *e.children[0], e.op, *e.children[1], negate, origin);
         if (cmp) return cmp;
       }
       break;  // Non-linear comparison or arithmetic: opaque.
@@ -280,19 +314,116 @@ std::optional<ClauseList> Dnf(const MaskExpr& e, bool negate,
   return ClauseList{std::move(c)};
 }
 
+bool IsIntegerVar(const std::string& v, const MaskSolver::Options& options) {
+  return options.assume_all_integers || options.integer_vars.count(v) > 0;
+}
+
+/// Omega-test-style normalization of one constraint over declared integer
+/// variables: when every variable is integral and every coefficient is an
+/// integer, divide out the coefficient gcd and tighten the constant to the
+/// nearest integer bound — a strict bound becomes the next representable
+/// non-strict integer bound. This is an equivalence on the constraint's
+/// INTEGER solutions (each gap cut is exact per constraint), so any UNSAT
+/// derived afterwards is sound.
+void TightenForIntegers(LinConstraint* c, const MaskSolver::Options& options) {
+  if (c->term.coeffs.empty()) return;
+  long long gcd = 0;
+  for (const auto& [v, a] : c->term.coeffs) {
+    if (!IsIntegerVar(v, options) || !NearlyIntegral(a)) return;
+    long long ia = std::llabs(std::llround(a));
+    if (ia == 0) return;
+    gcd = gcd == 0 ? ia : std::gcd(gcd, ia);
+  }
+  if (gcd == 0) return;
+  // Σ a_i x_i + const {<,<=} 0, a_i integer, x_i integer. Let n = Σ
+  // (a_i/g) x_i (an integer). strict: n < -const/g → n <= ceil(-const/g)-1
+  // when -const/g is integral, else n <= floor(-const/g); non-strict:
+  // n <= floor(-const/g).
+  double g = static_cast<double>(gcd);
+  double bound = -c->term.constant / g;
+  double ibound;
+  if (c->strict) {
+    ibound = NearlyIntegral(bound) ? std::round(bound) - 1 : std::floor(bound);
+  } else {
+    ibound = NearlyIntegral(bound) ? std::round(bound) : std::floor(bound);
+  }
+  bool changed = c->strict || std::fabs(ibound - bound) > kTol ||
+                 std::fabs(g - 1.0) > kTol;
+  for (auto& [v, a] : c->term.coeffs) a = std::round(a) / g;
+  c->term.constant = -ibound;
+  c->strict = false;
+  if (changed) c->tightened = true;
+}
+
+/// Picks the variable whose elimination generates the fewest new
+/// constraints (lower-count × upper-count, tie-broken alphabetically) —
+/// the classic greedy Fourier–Motzkin ordering that keeps multi-variable
+/// clauses tractable without a hard variable cap.
+std::string PickEliminationVar(const std::vector<LinConstraint>& cs) {
+  std::map<std::string, std::pair<size_t, size_t>> occur;  // lower, upper
+  for (const LinConstraint& c : cs) {
+    for (const auto& [v, a] : c.term.coeffs) {
+      if (a > 0) {
+        ++occur[v].second;
+      } else {
+        ++occur[v].first;
+      }
+    }
+  }
+  std::string best;
+  size_t best_cost = std::numeric_limits<size_t>::max();
+  for (const auto& [v, lu] : occur) {
+    size_t cost = lu.first * lu.second;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = v;
+    }
+  }
+  return best;  // Empty when no variables remain.
+}
+
+/// A constant constraint that cannot hold: `constant {<,<=} 0` violated
+/// beyond tolerance.
+bool ConstantContradiction(const LinConstraint& c) {
+  if (!c.term.coeffs.empty()) return false;
+  double value = c.term.constant;
+  return c.strict ? value >= -kTol : value > kTol;
+}
+
+/// Scans for a constant contradiction; when found and `why` is non-null,
+/// renders the certificate from the constraint's provenance.
+bool FindContradiction(const std::vector<LinConstraint>& cs,
+                       std::string* why) {
+  for (const LinConstraint& c : cs) {
+    if (!ConstantContradiction(c)) continue;
+    if (why != nullptr) {
+      *why = StrFormat(
+          "%s %s mutually unsatisfiable%s", OriginText(c).c_str(),
+          c.origins.size() == 1 ? "is" : "are",
+          c.tightened ? " over the integers (gap cut)" : "");
+    }
+    return true;
+  }
+  return false;
+}
+
 /// Fourier–Motzkin emptiness check of one clause's linear constraints.
-/// Returns true only when the constraint system is provably
-/// unsatisfiable over the reals.
+/// Returns true only when the constraint system is provably unsatisfiable
+/// (over the reals, with integer gap cuts applied to constraints whose
+/// variables are all declared integral). Best-effort within the work
+/// bounds: running out of budget returns false (conservatively sat), but
+/// a contradiction already derived is still reported.
 bool LinearSystemEmpty(std::vector<LinConstraint> cs,
-                       const MaskSolver::Options& options) {
-  std::set<std::string> vars;
+                       const MaskSolver::Options& options, std::string* why) {
   for (LinConstraint& c : cs) {
     c.term.Normalize();
-    for (const auto& [v, a] : c.term.coeffs) vars.insert(v);
+    TightenForIntegers(&c, options);
   }
-  if (vars.size() > options.max_vars) return false;  // Conservatively sat.
+  if (FindContradiction(cs, why)) return true;
 
-  for (const std::string& v : vars) {
+  for (size_t step = 0; step < options.max_vars; ++step) {
+    std::string v = PickEliminationVar(cs);
+    if (v.empty()) break;  // Fully eliminated.
     std::vector<LinConstraint> lower, upper, rest;
     for (LinConstraint& c : cs) {
       auto it = c.term.coeffs.find(v);
@@ -305,7 +436,12 @@ bool LinearSystemEmpty(std::vector<LinConstraint> cs,
       }
     }
     if (rest.size() + lower.size() * upper.size() > options.max_constraints) {
-      return false;  // Growth guard: give up.
+      // Bounded-work fallback: no budget to eliminate further. Everything
+      // derived so far is still implied, so a contradiction among it is a
+      // sound UNSAT; otherwise give up (conservatively sat).
+      rest.insert(rest.end(), lower.begin(), lower.end());
+      rest.insert(rest.end(), upper.begin(), upper.end());
+      return FindContradiction(rest, why);
     }
     // Each (lower, upper) pair combines into a v-free consequence:
     // scale so the v coefficients cancel (both scale factors positive,
@@ -320,45 +456,216 @@ bool LinearSystemEmpty(std::vector<LinConstraint> cs,
         merged.term.Normalize();
         merged.term.coeffs.erase(v);
         merged.strict = lo.strict || up.strict;
+        merged.tightened = lo.tightened || up.tightened;
+        merged.origins = lo.origins;
+        merged.MergeOrigins(up);
+        TightenForIntegers(&merged, options);
         rest.push_back(std::move(merged));
       }
     }
     cs = std::move(rest);
+    if (FindContradiction(cs, why)) return true;
   }
-
-  for (const LinConstraint& c : cs) {
-    // All variables eliminated: `constant {<,<=} 0` must hold.
-    double value = c.term.constant;
-    if (c.strict ? value >= 0 : value > kTol) return true;
-  }
-  return false;
+  return FindContradiction(cs, why);
 }
 
-bool ClauseUnsatisfiable(const Clause& c, const MaskSolver::Options& options) {
+bool ClauseUnsatisfiable(const Clause& c, const MaskSolver::Options& options,
+                         std::string* why) {
   // Opaque-literal clashes were dropped at construction; what remains is
   // the linear system.
-  return LinearSystemEmpty(c.lin, options);
+  return LinearSystemEmpty(c.lin, options, why);
 }
 
 /// True when every clause of the DNF is provably unsatisfiable (an empty
-/// list is the DNF of `false`).
+/// list is the DNF of `false`). `why` receives the first clause's
+/// certificate (representative; every clause has one).
 bool AllClausesUnsat(const ClauseList& clauses,
-                     const MaskSolver::Options& options) {
+                     const MaskSolver::Options& options,
+                     std::string* why = nullptr) {
+  bool first = true;
   for (const Clause& c : clauses) {
-    if (!ClauseUnsatisfiable(c, options)) return false;
+    if (!ClauseUnsatisfiable(c, options, first ? why : nullptr)) return false;
+    first = false;
   }
   return true;
 }
 
+/// Builds the DNF of a signed-mask conjunction; nullopt when any literal
+/// fails to convert or a cap trips (undecided).
+std::optional<ClauseList> ConjunctionDnf(
+    const std::vector<MaskSolver::SignedMask>& literals,
+    const MaskSolver::Options& options) {
+  ClauseList acc = TrueDnf();
+  for (const MaskSolver::SignedMask& lit : literals) {
+    if (lit.mask == nullptr) continue;
+    std::optional<ClauseList> d =
+        Dnf(*lit.mask, /*negate=*/!lit.positive, options.max_clauses);
+    if (!d) return std::nullopt;
+    std::optional<ClauseList> merged = AndDnf(acc, *d, options.max_clauses);
+    if (!merged) return std::nullopt;
+    acc = std::move(*merged);
+  }
+  return acc;
+}
+
+/// One variable's elimination record for back-substitution: the
+/// constraints that mentioned it, captured at elimination time (they only
+/// reference variables eliminated later).
+struct EliminationFrame {
+  std::string var;
+  std::vector<LinConstraint> constraints;
+};
+
+/// Evaluates a term under a (partial) assignment; every coefficient
+/// variable must be assigned.
+std::optional<double> Evaluate(const LinTerm& t,
+                               const std::map<std::string, double>& values) {
+  double sum = t.constant;
+  for (const auto& [v, a] : t.coeffs) {
+    auto it = values.find(v);
+    if (it == values.end()) return std::nullopt;
+    sum += a * it->second;
+  }
+  return sum;
+}
+
+/// Picks a concrete value in (lo, hi) honoring strictness; prefers 0,
+/// then the smallest admissible integer, then the midpoint. Integer
+/// variables fail (nullopt) when the interval contains no integer.
+std::optional<double> PickValue(double lo, bool lo_strict, double hi,
+                                bool hi_strict, bool integral) {
+  auto admits = [&](double x) {
+    if (lo_strict ? x <= lo + kTol : x < lo - kTol) return false;
+    if (hi_strict ? x >= hi - kTol : x > hi + kTol) return false;
+    return true;
+  };
+  if (admits(0)) return 0;
+  // Smallest integer >= the lower bound (or toward the upper when only an
+  // upper bound exists).
+  if (lo > -std::numeric_limits<double>::infinity()) {
+    double c = std::ceil(lo - kTol);
+    if (lo_strict && NearlyIntegral(lo)) c = std::round(lo) + 1;
+    if (admits(c)) return c;
+    if (admits(c + 1)) return c + 1;
+  } else if (hi < std::numeric_limits<double>::infinity()) {
+    double f = std::floor(hi + kTol);
+    if (hi_strict && NearlyIntegral(hi)) f = std::round(hi) - 1;
+    if (admits(f)) return f;
+    if (admits(f - 1)) return f - 1;
+  }
+  if (integral) return std::nullopt;  // No integer in the gap.
+  double mid = (lo + hi) / 2;
+  if (admits(mid)) return mid;
+  return std::nullopt;
+}
+
+/// Fourier–Motzkin model extraction for one clause: eliminate with frames,
+/// back-substitute in reverse, verify every original constraint. Returns
+/// nullopt when the clause is unsatisfiable or the work budget trips.
+std::optional<MaskSolver::Model> ClauseModel(
+    const Clause& clause, const MaskSolver::Options& options) {
+  std::vector<LinConstraint> original = clause.lin;
+  for (LinConstraint& c : original) {
+    c.term.Normalize();
+    TightenForIntegers(&c, options);
+  }
+  std::vector<LinConstraint> cs = original;
+  std::vector<EliminationFrame> frames;
+  while (true) {
+    if (FindContradiction(cs, nullptr)) return std::nullopt;
+    std::string v = PickEliminationVar(cs);
+    if (v.empty()) break;
+    if (frames.size() >= options.max_vars) return std::nullopt;
+    EliminationFrame frame;
+    frame.var = v;
+    std::vector<LinConstraint> lower, upper, rest;
+    for (LinConstraint& c : cs) {
+      auto it = c.term.coeffs.find(v);
+      if (it == c.term.coeffs.end()) {
+        rest.push_back(std::move(c));
+      } else if (it->second > 0) {
+        upper.push_back(std::move(c));
+      } else {
+        lower.push_back(std::move(c));
+      }
+    }
+    if (rest.size() + lower.size() * upper.size() > options.max_constraints) {
+      return std::nullopt;  // Bounded work: no model this way.
+    }
+    for (const LinConstraint& lo : lower) {
+      double a_lo = lo.term.coeffs.at(v);
+      for (const LinConstraint& up : upper) {
+        double a_up = up.term.coeffs.at(v);
+        LinConstraint merged;
+        merged.term.Add(lo.term, a_up);
+        merged.term.Add(up.term, -a_lo);
+        merged.term.Normalize();
+        merged.term.coeffs.erase(v);
+        merged.strict = lo.strict || up.strict;
+        TightenForIntegers(&merged, options);
+        rest.push_back(std::move(merged));
+      }
+    }
+    frame.constraints = std::move(lower);
+    frame.constraints.insert(frame.constraints.end(), upper.begin(),
+                             upper.end());
+    frames.push_back(std::move(frame));
+    cs = std::move(rest);
+  }
+
+  // Back-substitution: the last-eliminated variable's constraints are
+  // variable-free once earlier frames are valued, so walk in reverse.
+  MaskSolver::Model model;
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    bool lo_strict = false;
+    bool hi_strict = false;
+    for (const LinConstraint& c : it->constraints) {
+      double a = c.term.coeffs.at(it->var);
+      LinTerm rest = c.term;
+      rest.coeffs.erase(it->var);
+      std::optional<double> r = Evaluate(rest, model.values);
+      if (!r) return std::nullopt;
+      double bound = -*r / a;
+      if (a > 0) {  // a·v + rest ≤ 0  →  v ≤ bound.
+        if (bound < hi - kTol || (c.strict && std::fabs(bound - hi) <= kTol)) {
+          hi = bound;
+          hi_strict = c.strict;
+        }
+      } else {      // v ≥ bound.
+        if (bound > lo + kTol || (c.strict && std::fabs(bound - lo) <= kTol)) {
+          lo = bound;
+          lo_strict = c.strict;
+        }
+      }
+    }
+    std::optional<double> value =
+        PickValue(lo, lo_strict, hi, hi_strict, IsIntegerVar(it->var, options));
+    if (!value) return std::nullopt;
+    model.values[it->var] = *value;
+  }
+
+  // Verification pass: the model must satisfy every original constraint
+  // (floating-point drift and integer rounding are both caught here).
+  for (const LinConstraint& c : original) {
+    std::optional<double> v = Evaluate(c.term, model.values);
+    if (!v) return std::nullopt;
+    if (c.strict ? *v >= -kTol : *v > kTol) return std::nullopt;
+  }
+  model.bools = clause.bools;
+  return model;
+}
+
 }  // namespace
 
-MaskTruth MaskSolver::Truth(const MaskExpr& mask) const {
+MaskTruth MaskSolver::Truth(const MaskExpr& mask, std::string* why) const {
   std::optional<ClauseList> pos = Dnf(mask, /*negate=*/false,
                                       options_.max_clauses);
-  if (pos && AllClausesUnsat(*pos, options_)) return MaskTruth::kNever;
+  if (pos && AllClausesUnsat(*pos, options_, why)) return MaskTruth::kNever;
   std::optional<ClauseList> neg = Dnf(mask, /*negate=*/true,
                                       options_.max_clauses);
-  if (neg && AllClausesUnsat(*neg, options_)) return MaskTruth::kAlways;
+  if (neg && AllClausesUnsat(*neg, options_, why)) return MaskTruth::kAlways;
   return MaskTruth::kUnknown;
 }
 
@@ -373,21 +680,45 @@ bool MaskSolver::Implies(const MaskExpr& a, const MaskExpr& b) const {
 
 bool MaskSolver::ConjunctionSatisfiable(
     const std::vector<SignedMask>& literals) const {
-  ClauseList acc = TrueDnf();
-  for (const SignedMask& lit : literals) {
-    if (lit.mask == nullptr) continue;
-    std::optional<ClauseList> d =
-        Dnf(*lit.mask, /*negate=*/!lit.positive, options_.max_clauses);
-    if (!d) return true;  // Undecided: conservatively satisfiable.
-    std::optional<ClauseList> merged = AndDnf(acc, *d, options_.max_clauses);
-    if (!merged) return true;
-    acc = std::move(*merged);
+  std::optional<ClauseList> acc = ConjunctionDnf(literals, options_);
+  if (!acc) return true;  // Undecided: conservatively satisfiable.
+  return !AllClausesUnsat(*acc, options_);
+}
+
+std::optional<std::string> MaskSolver::RefuteConjunction(
+    const std::vector<SignedMask>& literals) const {
+  std::optional<ClauseList> acc = ConjunctionDnf(literals, options_);
+  if (!acc) return std::nullopt;
+  std::string why;
+  if (!AllClausesUnsat(*acc, options_, &why)) return std::nullopt;
+  if (why.empty()) why = "the signed mask combination is contradictory";
+  return why;
+}
+
+std::optional<MaskSolver::Model> MaskSolver::FindModel(
+    const std::vector<SignedMask>& literals) const {
+  std::optional<ClauseList> acc = ConjunctionDnf(literals, options_);
+  if (!acc) return std::nullopt;
+  for (const Clause& clause : *acc) {
+    std::optional<Model> model = ClauseModel(clause, options_);
+    if (model) return model;
   }
-  return !AllClausesUnsat(acc, options_);
+  return std::nullopt;
 }
 
 MaskTruth SolveMaskTruth(const MaskExpr& mask) {
   return MaskSolver().Truth(mask);
+}
+
+void AddIntegerParams(const std::vector<ParamDecl>& params,
+                      MaskSolver::Options* options) {
+  for (const ParamDecl& p : params) {
+    if (p.name.empty()) continue;
+    if (p.type_name == "int" || p.type_name == "long" ||
+        p.type_name == "int64" || p.type_name == "integer") {
+      options->integer_vars.insert(p.name);
+    }
+  }
 }
 
 }  // namespace ode

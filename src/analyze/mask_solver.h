@@ -1,18 +1,24 @@
 #ifndef ODE_ANALYZE_MASK_SOLVER_H_
 #define ODE_ANALYZE_MASK_SOLVER_H_
 
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "analyze/mask_check.h"
+#include "event/basic_event.h"
 #include "mask/mask_ast.h"
 
 namespace ode {
 
 /// A small linear-arithmetic satisfiability solver for mask expressions —
 /// the engine behind the upgraded L001/L002 verdicts, cross-mask
-/// implication (A007), micro-symbol feasibility pruning, and the `--fix`
-/// constant-atom simplifier.
+/// implication (A007), micro-symbol feasibility pruning, the `--fix`
+/// constant-atom simplifier, and the witness engine's concrete argument
+/// extraction.
 ///
 /// ## What it decides
 ///
@@ -28,17 +34,32 @@ namespace ode {
 /// A *variable* xᵢ is the canonical text of a maximal non-linearizable
 /// subterm: `q * 2` is linear in the variable `q`, while `f(q)`, `a.b`,
 /// `q * r`, and `q % 3` each become one atomic variable. Clause
-/// satisfiability is then decided by Fourier–Motzkin elimination over the
-/// rationals (a clause with more than `max_vars` distinct variables is
-/// conservatively treated as satisfiable).
+/// satisfiability is then decided by Fourier–Motzkin elimination with a
+/// greedy elimination ordering (the variable with the fewest lower×upper
+/// pairings goes first) and a bounded-work fallback: elimination stops
+/// when `max_constraints` would be exceeded, but any constant
+/// contradiction already derived still yields a sound UNSAT.
+///
+/// ## Integer-aware reasoning (gap cuts)
+///
+/// Variables listed in `Options::integer_vars` (or all of them under
+/// `assume_all_integers`) are known to range over the integers. For any
+/// constraint whose variables are all integral and whose coefficients are
+/// integers, the solver applies Omega-test-style normalization before and
+/// during elimination: the coefficient gcd is divided out and the constant
+/// is tightened to the nearest integer bound (a strict `< c` becomes
+/// `<= ceil(c) - 1`). This closes integer-only gaps: `q > 1 && q < 2`
+/// over the integers tightens to `q >= 2 && q <= 1`, a contradiction the
+/// real-valued engine cannot see. Tightening preserves exactly the integer
+/// solution set of each constraint, so kNever/UNSAT verdicts stay sound;
+/// satisfiability over the tightened reals does NOT prove an integer
+/// model exists — that is what `FindModel`'s verification pass is for.
 ///
 /// ## Soundness envelope
 ///
-/// Verdicts are claims over *real-valued* variables, evaluated without
-/// runtime error — the same envelope documented for MaskTruth: a clause
-/// unsatisfiable over the reals is certainly unsatisfiable over runtime
-/// numerics, so kNever/kAlways are sound; integer-only gaps
-/// (`q > 1 && q < 2`) stay kUnknown. Constant comparisons near the
+/// Verdicts are claims over real-valued variables (integer-valued for the
+/// declared integer variables), evaluated without runtime error — the
+/// same envelope documented for MaskTruth. Constant comparisons near the
 /// floating-point noise floor are resolved conservatively (a contradiction
 /// must clear a small tolerance before a clause is declared empty).
 class MaskSolver {
@@ -46,19 +67,32 @@ class MaskSolver {
   struct Options {
     /// DNF clause cap; conversion past it gives up (kUnknown).
     size_t max_clauses = 64;
-    /// Distinct linear variables per clause Fourier–Motzkin will attempt.
-    size_t max_vars = 3;
+    /// Variable-elimination steps attempted per clause. The former hard
+    /// ≤3-variable cap is lifted: clauses with more variables are handled
+    /// by the greedy elimination ordering until this step budget or
+    /// `max_constraints` runs out (then: conservatively satisfiable).
+    size_t max_vars = 16;
     /// Inequality-count cap during elimination (quadratic growth guard).
-    size_t max_constraints = 128;
+    size_t max_constraints = 256;
+    /// Variables (by canonical text, e.g. "q") known to be integer-valued;
+    /// enables gap cuts on constraints over them.
+    std::set<std::string> integer_vars;
+    /// Treat every variable as integer-valued (property tests; callers
+    /// that know the whole domain is integral).
+    bool assume_all_integers = false;
   };
 
   MaskSolver() = default;
-  explicit MaskSolver(Options options) : options_(options) {}
+  explicit MaskSolver(Options options) : options_(std::move(options)) {}
+
+  const Options& options() const { return options_; }
 
   /// Three-valued truth of one mask. Strictly extends the interval
   /// engine's verdicts: everything it decided stays decided, and linear
-  /// multi-variable contradictions/tautologies are added.
-  MaskTruth Truth(const MaskExpr& mask) const;
+  /// multi-variable contradictions/tautologies are added. When `why` is
+  /// non-null and the verdict is kNever/kAlways, it receives a
+  /// human-readable certificate naming the contradicting constraints.
+  MaskTruth Truth(const MaskExpr& mask, std::string* why = nullptr) const;
 
   /// True iff `a && !b` is unsatisfiable, i.e. every assignment making `a`
   /// true makes `b` true. False means "not proved" (never "disproved").
@@ -77,12 +111,46 @@ class MaskSolver {
   /// undecided*.
   bool ConjunctionSatisfiable(const std::vector<SignedMask>& literals) const;
 
+  /// UNSAT certificate for a signed-mask conjunction: a one-line
+  /// explanation of the contradiction ("q >= 2 (gap cut from (q > 1))
+  /// contradicts q <= 1 ...") when the conjunction is provably
+  /// unsatisfiable, nullopt otherwise. `RefuteConjunction(x) != nullopt`
+  /// iff `!ConjunctionSatisfiable(x)`.
+  std::optional<std::string> RefuteConjunction(
+      const std::vector<SignedMask>& literals) const;
+
+  /// A satisfying assignment produced by Fourier–Motzkin back-substitution:
+  /// concrete numeric values per linear variable and truth values per
+  /// opaque boolean literal, both keyed by canonical text. Declared
+  /// integer variables receive integral values; other variables receive an
+  /// integral value whenever their bounds admit one (witness readability).
+  struct Model {
+    std::map<std::string, double> values;
+    std::map<std::string, bool> bools;
+  };
+
+  /// A model of the conjunction of the signed masks, or nullopt when the
+  /// conjunction is unsatisfiable OR no model could be produced within the
+  /// work bounds (model search is best-effort; only nullopt-vs-value is
+  /// meaningful, never use it as an UNSAT verdict). Every returned model
+  /// has been re-verified against the clause's constraints.
+  std::optional<Model> FindModel(
+      const std::vector<SignedMask>& literals) const;
+
  private:
   Options options_;
 };
 
 /// Convenience: MaskSolver{}.Truth(mask).
 MaskTruth SolveMaskTruth(const MaskExpr& mask);
+
+/// Adds every parameter declared with an integral type (`int`, `long`,
+/// `Oid`-free integer spellings) to `options->integer_vars` under its bare
+/// name — the canonical text a mask identifier linearizes to. The §3.1
+/// parameter declarations are what make integer gap cuts sound: an
+/// undeclared parameter stays real-valued (conservative).
+void AddIntegerParams(const std::vector<ParamDecl>& params,
+                      MaskSolver::Options* options);
 
 }  // namespace ode
 

@@ -1,0 +1,698 @@
+#include "analyze/witness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+
+#include "analyze/mask_solver.h"
+#include "automaton/determinize.h"
+#include "common/strutil.h"
+#include "semantics/oracle.h"
+
+namespace ode {
+
+namespace {
+
+/// A group's canonical parameter declarations: the representative basic
+/// event's signature when it has one, else the first mask slot that
+/// declares one. Parameter names are positional aliases (§3.1), so every
+/// slot's mask is rewritten onto this one name set before solving — two
+/// atoms calling the second withdraw argument `q` and `amt` constrain the
+/// same value.
+const std::vector<ParamDecl>* CanonicalParams(const Alphabet& alphabet,
+                                              size_t group) {
+  const BasicEvent& spec = alphabet.group_spec(group);
+  if (!spec.params.empty()) return &spec.params;
+  for (const MaskSlot& slot : alphabet.group_masks(group)) {
+    if (!slot.params.empty()) return &slot.params;
+  }
+  return nullptr;
+}
+
+/// Rebuilds a mask with identifiers renamed per `map` (names absent from
+/// the map are kept). MaskExpr nodes are immutable, so this is a fresh
+/// tree; spans are dropped (witness masks are synthesized, never rendered
+/// with carets).
+MaskExprPtr RenameIdents(const MaskExprPtr& e,
+                         const std::map<std::string, std::string>& map) {
+  if (map.empty() || e == nullptr) return e;
+  switch (e->kind) {
+    case MaskKind::kLiteral:
+      return e;
+    case MaskKind::kIdent: {
+      auto it = map.find(e->name);
+      return it == map.end() ? e : MaskExpr::Ident(it->second);
+    }
+    case MaskKind::kMember:
+      return MaskExpr::Member(RenameIdents(e->children[0], map), e->name);
+    case MaskKind::kCall: {
+      std::vector<MaskExprPtr> args;
+      args.reserve(e->children.size());
+      for (const MaskExprPtr& c : e->children) {
+        args.push_back(RenameIdents(c, map));
+      }
+      return MaskExpr::Call(e->name, std::move(args));
+    }
+    case MaskKind::kUnary:
+      return MaskExpr::Unary(e->op, RenameIdents(e->children[0], map));
+    case MaskKind::kBinary:
+      return MaskExpr::Binary(e->op, RenameIdents(e->children[0], map),
+                              RenameIdents(e->children[1], map));
+  }
+  return e;
+}
+
+/// The signed mask conjunction a micro-symbol asserts, with every slot's
+/// parameter names canonicalized. `storage` owns the rewritten masks for
+/// the lifetime of the returned literal pointers.
+std::vector<MaskSolver::SignedMask> SymbolLiterals(
+    const Alphabet& alphabet, size_t group, size_t bits,
+    std::vector<MaskExprPtr>* storage) {
+  const std::vector<MaskSlot>& slots = alphabet.group_masks(group);
+  const std::vector<ParamDecl>* canon = CanonicalParams(alphabet, group);
+  std::vector<MaskSolver::SignedMask> literals;
+  literals.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    std::map<std::string, std::string> rename;
+    if (canon != nullptr) {
+      for (size_t p = 0;
+           p < slots[i].params.size() && p < canon->size(); ++p) {
+        const std::string& from = slots[i].params[p].name;
+        const std::string& to = (*canon)[p].name;
+        if (!from.empty() && !to.empty() && from != to) rename[from] = to;
+      }
+    }
+    storage->push_back(RenameIdents(slots[i].mask, rename));
+    literals.push_back({storage->back().get(), ((bits >> i) & 1) != 0});
+  }
+  return literals;
+}
+
+/// A solver whose integer variables are the group's integral parameters
+/// (canonical names).
+MaskSolver GroupSolver(const Alphabet& alphabet, size_t group) {
+  MaskSolver::Options options;
+  const std::vector<ParamDecl>* canon = CanonicalParams(alphabet, group);
+  if (canon != nullptr) AddIntegerParams(*canon, &options);
+  return MaskSolver(std::move(options));
+}
+
+/// The group owning `symbol`, or nullopt for OTHER.
+std::optional<size_t> GroupOf(const Alphabet& alphabet, SymbolId symbol) {
+  for (size_t g = 0; g < alphabet.num_groups(); ++g) {
+    SymbolId base = alphabet.group_base(g);
+    if (symbol >= base &&
+        static_cast<size_t>(symbol) < base + alphabet.group_num_symbols(g)) {
+      return g;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string RenderModelValue(double v) {
+  if (std::fabs(v - std::round(v)) <= 1e-9 * std::max(1.0, std::fabs(v))) {
+    return StrFormat("%lld", static_cast<long long>(std::llround(v)));
+  }
+  return StrFormat("%g", v);
+}
+
+}  // namespace
+
+std::string RenderSymbolEvent(const Alphabet& alphabet, SymbolId symbol) {
+  if (symbol == alphabet.other_symbol()) return "<other>";
+  std::optional<size_t> g = GroupOf(alphabet, symbol);
+  if (!g) return "<other>";
+  const BasicEvent& spec = alphabet.group_spec(*g);
+  if (spec.kind != BasicEventKind::kMethod) return spec.ToString();
+
+  std::string out = spec.method_name;
+  const std::vector<ParamDecl>* canon = CanonicalParams(alphabet, *g);
+  if (canon == nullptr || canon->empty()) return out + "()";
+
+  // Concrete argument values: a model of the symbol's signed mask
+  // conjunction. Unconstrained parameters default to 0.
+  size_t bits = static_cast<size_t>(symbol - alphabet.group_base(*g));
+  std::vector<MaskExprPtr> storage;
+  std::vector<MaskSolver::SignedMask> literals =
+      SymbolLiterals(alphabet, *g, bits, &storage);
+  std::optional<MaskSolver::Model> model =
+      GroupSolver(alphabet, *g).FindModel(literals);
+
+  out += "(";
+  for (size_t p = 0; p < canon->size(); ++p) {
+    if (p > 0) out += ", ";
+    out += (*canon)[p].name;
+    out += "=";
+    if (model) {
+      auto it = model->values.find((*canon)[p].name);
+      out += it != model->values.end() ? RenderModelValue(it->second) : "0";
+    } else {
+      // No model within the work bounds (opaque/non-linear masks): the
+      // history is still valid at the symbol level, but no concrete value
+      // can be named.
+      out += "?";
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string SymbolInfeasibilityNote(const Alphabet& alphabet,
+                                    SymbolId symbol) {
+  std::optional<size_t> g = GroupOf(alphabet, symbol);
+  if (!g) return {};
+  size_t bits = static_cast<size_t>(symbol - alphabet.group_base(*g));
+  std::vector<MaskExprPtr> storage;
+  std::vector<MaskSolver::SignedMask> literals =
+      SymbolLiterals(alphabet, *g, bits, &storage);
+  if (literals.empty()) return {};
+  std::optional<std::string> why =
+      GroupSolver(alphabet, *g).RefuteConjunction(literals);
+  if (why) return "unrealizable: " + *why;
+  return "unrealizable: a required mask is constant";
+}
+
+std::optional<std::vector<SymbolId>> ShortestAcceptedString(
+    const Dfa& dfa, const std::vector<bool>& possible, size_t max_steps) {
+  if (dfa.num_states() == 0) return std::nullopt;
+  // BFS layer by layer; symbols ascending, so the first accepting state
+  // dequeued was reached by the lexicographically-least shortest string.
+  struct Visit {
+    Dfa::State state;
+    int via_state;     ///< Predecessor's index in `order`, -1 for roots.
+    SymbolId via_sym;
+  };
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::vector<Visit> order;
+  std::deque<int> frontier;
+  std::vector<size_t> depth_of;
+
+  auto reconstruct = [&order](int idx) {
+    std::vector<SymbolId> path;
+    while (idx >= 0) {
+      path.push_back(order[idx].via_sym);
+      idx = order[idx].via_state;
+    }
+    std::reverse(path.begin(), path.end());
+    return path;
+  };
+
+  // Seed with every 1-step successor of the start (length >= 1 required).
+  for (size_t s = 0; s < dfa.alphabet_size(); ++s) {
+    if (!possible[s]) continue;
+    Dfa::State to = dfa.Step(dfa.start(), static_cast<SymbolId>(s));
+    if (seen[to]) continue;
+    seen[to] = true;
+    order.push_back({to, -1, static_cast<SymbolId>(s)});
+    depth_of.push_back(1);
+    frontier.push_back(static_cast<int>(order.size()) - 1);
+  }
+  while (!frontier.empty()) {
+    int idx = frontier.front();
+    frontier.pop_front();
+    if (dfa.accepting(order[idx].state)) return reconstruct(idx);
+    if (depth_of[idx] >= max_steps) continue;
+    for (size_t s = 0; s < dfa.alphabet_size(); ++s) {
+      if (!possible[s]) continue;
+      Dfa::State to = dfa.Step(order[idx].state, static_cast<SymbolId>(s));
+      if (seen[to]) continue;
+      seen[to] = true;
+      order.push_back({to, idx, static_cast<SymbolId>(s)});
+      depth_of.push_back(depth_of[idx] + 1);
+      frontier.push_back(static_cast<int>(order.size()) - 1);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// A short realizable history touching each mask group once (its first
+/// realizable micro-symbol) and ending with OTHER — the probe appended to
+/// non-firing demonstrations.
+std::vector<SymbolId> BuildProbe(const Alphabet& alphabet,
+                                 const std::vector<bool>& possible,
+                                 size_t max_len) {
+  std::vector<SymbolId> probe;
+  for (size_t g = 0; g < alphabet.num_groups() && probe.size() + 1 < max_len;
+       ++g) {
+    SymbolId base = alphabet.group_base(g);
+    for (size_t i = 0; i < alphabet.group_num_symbols(g); ++i) {
+      if (possible[base + i]) {
+        probe.push_back(static_cast<SymbolId>(base + i));
+        break;
+      }
+    }
+  }
+  if (probe.size() < max_len) probe.push_back(alphabet.other_symbol());
+  return probe;
+}
+
+/// Builds the steps of a single-subject history: events rendered from
+/// symbols, fires column = the oracle's occurrence points.
+std::vector<WitnessStep> BuildSteps(const Alphabet& alphabet,
+                                    const std::vector<SymbolId>& history,
+                                    const std::vector<bool>& occurrence) {
+  std::vector<WitnessStep> steps(history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    steps[i].event = RenderSymbolEvent(alphabet, history[i]);
+    steps[i].fires = {i < occurrence.size() && occurrence[i]};
+  }
+  return steps;
+}
+
+bool GatesUnsupported(const CompiledEvent& compiled) {
+  return compiled.num_gates() > 0;
+}
+
+}  // namespace
+
+WitnessResult EmptinessWitness(const CompiledEvent& compiled,
+                               const std::string& name,
+                               const WitnessOptions& options) {
+  WitnessResult result;
+  if (GatesUnsupported(compiled)) return result;
+  const Alphabet& alphabet = compiled.alphabet;
+  Oracle oracle(compiled.expr, &alphabet);
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(alphabet);
+
+  // 1) The shortest symbol-level accepting path. Since the language over
+  // the realizable symbols is empty (A001), any such path uses impossible
+  // events — each annotated with the solver's refutation.
+  std::vector<bool> all(alphabet.size(), true);
+  std::optional<std::vector<SymbolId>> path =
+      ShortestAcceptedString(compiled.dfa, all, options.max_steps);
+  if (path) {
+    Result<std::vector<bool>> points = oracle.OccurrencePoints(*path);
+    if (points.ok() && !points->empty() && points->back()) {
+      WitnessHistory w;
+      w.claim = StrFormat(
+          "the only histories matching the expression require impossible "
+          "events (shortest shown); '%s' cannot fire on any real history",
+          name.c_str());
+      w.columns = {name};
+      w.steps = BuildSteps(alphabet, *path, *points);
+      for (size_t i = 0; i < path->size(); ++i) {
+        if (!possible[(*path)[i]]) {
+          w.steps[i].note = SymbolInfeasibilityNote(alphabet, (*path)[i]);
+        }
+      }
+      result.histories.push_back(std::move(w));
+    } else {
+      ++result.validation_failures;
+    }
+  }
+
+  // 2) A realizable probe the oracle confirms never fires.
+  std::vector<SymbolId> probe =
+      BuildProbe(alphabet, possible, options.probe_steps);
+  Result<std::vector<bool>> points = oracle.OccurrencePoints(probe);
+  if (points.ok() &&
+      std::none_of(points->begin(), points->end(), [](bool b) { return b; })) {
+    WitnessHistory w;
+    w.claim = StrFormat(
+        "probe: a realizable history on which '%s' never fires (validated "
+        "against the §4 oracle)",
+        name.c_str());
+    w.columns = {name};
+    w.steps = BuildSteps(alphabet, probe, *points);
+    result.histories.push_back(std::move(w));
+  } else {
+    ++result.validation_failures;
+  }
+  return result;
+}
+
+WitnessResult UniversalityWitness(const CompiledEvent& compiled,
+                                  const std::string& name,
+                                  const WitnessOptions& options) {
+  WitnessResult result;
+  if (GatesUnsupported(compiled)) return result;
+  const Alphabet& alphabet = compiled.alphabet;
+  Oracle oracle(compiled.expr, &alphabet);
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(alphabet);
+
+  std::vector<SymbolId> sample =
+      BuildProbe(alphabet, possible, options.probe_steps);
+  if (sample.empty()) return result;
+  Result<std::vector<bool>> points = oracle.OccurrencePoints(sample);
+  if (points.ok() &&
+      std::all_of(points->begin(), points->end(), [](bool b) { return b; })) {
+    WitnessHistory w;
+    w.claim = StrFormat(
+        "sample realizable history — '%s' fires at every step (it fires at "
+        "every point of every realizable history)",
+        name.c_str());
+    w.columns = {name};
+    w.steps = BuildSteps(alphabet, sample, *points);
+    result.histories.push_back(std::move(w));
+  } else {
+    ++result.validation_failures;
+  }
+  return result;
+}
+
+WitnessResult DeadStateWitness(const CompiledEvent& compiled,
+                               const std::string& name,
+                               const WitnessOptions& options) {
+  WitnessResult result;
+  if (GatesUnsupported(compiled)) return result;
+  const Alphabet& alphabet = compiled.alphabet;
+  const Dfa& dfa = compiled.dfa;
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(alphabet);
+
+  // Dead = reachable but no accepting state reachable from it: one
+  // backward closure from the accepting states (same computation as
+  // AnalyzeStates, but we need the set, not the count).
+  std::vector<std::vector<Dfa::State>> reverse(dfa.num_states());
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    for (size_t sym = 0; sym < dfa.alphabet_size(); ++sym) {
+      if (!possible[sym]) continue;
+      reverse[dfa.Step(static_cast<Dfa::State>(s),
+                       static_cast<SymbolId>(sym))]
+          .push_back(static_cast<Dfa::State>(s));
+    }
+  }
+  std::vector<bool> live(dfa.num_states(), false);
+  std::deque<Dfa::State> frontier;
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    if (dfa.accepting(static_cast<Dfa::State>(s))) {
+      live[s] = true;
+      frontier.push_back(static_cast<Dfa::State>(s));
+    }
+  }
+  while (!frontier.empty()) {
+    Dfa::State cur = frontier.front();
+    frontier.pop_front();
+    for (Dfa::State pred : reverse[cur]) {
+      if (!live[pred]) {
+        live[pred] = true;
+        frontier.push_back(pred);
+      }
+    }
+  }
+
+  // Shortest realizable path into a dead state: BFS on a DFA copy whose
+  // accepting set is the dead set.
+  Dfa probe_dfa = dfa;
+  for (size_t s = 0; s < dfa.num_states(); ++s) {
+    probe_dfa.SetAccepting(static_cast<Dfa::State>(s), !live[s]);
+  }
+  std::optional<std::vector<SymbolId>> path =
+      ShortestAcceptedString(probe_dfa, possible, options.max_steps);
+  if (!path) return result;
+  size_t entry = path->size() - 1;  // 0-based index of the entering step.
+
+  std::vector<SymbolId> history = *path;
+  for (SymbolId s : BuildProbe(alphabet, possible, options.probe_steps)) {
+    history.push_back(s);
+  }
+  Oracle oracle(compiled.expr, &alphabet);
+  Result<std::vector<bool>> points = oracle.OccurrencePoints(history);
+  bool valid = points.ok();
+  if (valid) {
+    for (size_t i = entry; i < points->size(); ++i) {
+      if ((*points)[i]) valid = false;
+    }
+  }
+  if (!valid) {
+    ++result.validation_failures;
+    return result;
+  }
+  WitnessHistory w;
+  w.claim = StrFormat(
+      "shortest realizable history driving '%s' into a dead state (the "
+      "probe suffix confirms it can never fire again)",
+      name.c_str());
+  w.columns = {name};
+  w.steps = BuildSteps(alphabet, history, *points);
+  w.steps[entry].note =
+      "dead: from this point no accepting state is reachable";
+  result.histories.push_back(std::move(w));
+  return result;
+}
+
+namespace {
+
+/// Mirror of CompareEventExprsDetailed's compilation pipeline: both cores
+/// over one joint alphabet. Fails (nullopt) exactly when the comparison
+/// would have been kIncomparable for structural reasons.
+struct JointPair {
+  EventExprPtr core_a;
+  EventExprPtr core_b;
+  Alphabet alphabet;
+  Dfa dfa_a;
+  Dfa dfa_b;
+};
+
+EventExprPtr StripMasks(EventExprPtr e) {
+  while (e->kind == EventExprKind::kMasked) e = e->children[0];
+  return e;
+}
+
+bool HasMaskedNode(const EventExpr& e) {
+  if (e.kind == EventExprKind::kMasked) return true;
+  for (const EventExprPtr& c : e.children) {
+    if (HasMaskedNode(*c)) return true;
+  }
+  return false;
+}
+
+std::optional<JointPair> BuildJointPair(const EventExprPtr& a,
+                                        const EventExprPtr& b,
+                                        const CompileOptions& options) {
+  JointPair joint;
+  joint.core_a = StripMasks(a);
+  joint.core_b = StripMasks(b);
+  if (HasMaskedNode(*joint.core_a) || HasMaskedNode(*joint.core_b)) {
+    return std::nullopt;
+  }
+  EventExprPtr joined = EventExpr::Or(joint.core_a, joint.core_b);
+  Result<Alphabet> alphabet = Alphabet::Build(*joined, options.alphabet);
+  if (!alphabet.ok()) return std::nullopt;
+  joint.alphabet = std::move(*alphabet);
+  Result<Nfa> nfa_a = CompileToNfa(*joint.core_a, joint.alphabet, options);
+  Result<Nfa> nfa_b = CompileToNfa(*joint.core_b, joint.alphabet, options);
+  if (!nfa_a.ok() || !nfa_b.ok()) return std::nullopt;
+  Result<Dfa> dfa_a = Determinize(*nfa_a, options.max_states);
+  Result<Dfa> dfa_b = Determinize(*nfa_b, options.max_states);
+  if (!dfa_a.ok() || !dfa_b.ok()) return std::nullopt;
+  joint.dfa_a = std::move(*dfa_a);
+  joint.dfa_b = std::move(*dfa_b);
+  return joint;
+}
+
+/// Builds + validates one two-column history: fires columns must match
+/// both oracles, and `expect_end` per column must hold at the last step.
+bool AppendPairHistory(const JointPair& joint, const Oracle& oracle_a,
+                       const Oracle& oracle_b,
+                       const std::vector<SymbolId>& history,
+                       const std::string& claim, const std::string& name_a,
+                       const std::string& name_b, bool expect_a_end,
+                       bool expect_b_end, WitnessResult* result) {
+  Result<std::vector<bool>> pa = oracle_a.OccurrencePoints(history);
+  Result<std::vector<bool>> pb = oracle_b.OccurrencePoints(history);
+  if (!pa.ok() || !pb.ok() || pa->empty() ||
+      pa->back() != expect_a_end || pb->back() != expect_b_end) {
+    ++result->validation_failures;
+    return false;
+  }
+  WitnessHistory w;
+  w.claim = claim;
+  w.columns = {name_a, name_b};
+  w.steps.resize(history.size());
+  for (size_t i = 0; i < history.size(); ++i) {
+    w.steps[i].event = RenderSymbolEvent(joint.alphabet, history[i]);
+    w.steps[i].fires = {(*pa)[i], (*pb)[i]};
+  }
+  result->histories.push_back(std::move(w));
+  return true;
+}
+
+}  // namespace
+
+WitnessResult PairWitness(const EventExprPtr& a, const EventExprPtr& b,
+                          const std::string& name_a,
+                          const std::string& name_b, PairRelation relation,
+                          bool via_mask_implication,
+                          const WitnessOptions& options) {
+  WitnessResult result;
+  if (relation == PairRelation::kIncomparable ||
+      relation == PairRelation::kDistinct) {
+    return result;
+  }
+  std::optional<JointPair> joint = BuildJointPair(a, b, options.compile);
+  if (!joint) return result;
+  std::vector<bool> possible =
+      ComputeAlphabetPossibleSymbols(joint->alphabet);
+  Oracle oracle_a(joint->core_a, &joint->alphabet);
+  Oracle oracle_b(joint->core_b, &joint->alphabet);
+
+  // Witnesses speak about the *core* languages; when the verdict relied on
+  // root-mask implication (A007), say so in the claim — the mask gates
+  // run-time state the history cannot bind.
+  const char* mask_caveat =
+      via_mask_implication
+          ? " (plus the solver-proven root-mask implication)"
+          : "";
+
+  // The "both fire" instance: shortest string in the contained language
+  // (for equivalence, either one — intersect for symmetry).
+  const Dfa& inner = relation == PairRelation::kASubsumesB ? joint->dfa_b
+                     : relation == PairRelation::kBSubsumesA
+                         ? joint->dfa_a
+                         : joint->dfa_b;
+  std::optional<std::vector<SymbolId>> both = ShortestAcceptedString(
+      relation == PairRelation::kEquivalent
+          ? IntersectDfa(joint->dfa_a, joint->dfa_b)
+          : inner,
+      possible, options.max_steps);
+  if (both) {
+    std::string claim =
+        relation == PairRelation::kEquivalent
+            ? StrFormat("shortest realizable history on which '%s' and '%s' "
+                        "both fire — they fire together everywhere%s",
+                        name_a.c_str(), name_b.c_str(), mask_caveat)
+            : StrFormat("shortest realizable history firing '%s' — '%s' "
+                        "fires there too%s",
+                        (relation == PairRelation::kASubsumesB ? name_b
+                                                               : name_a)
+                            .c_str(),
+                        (relation == PairRelation::kASubsumesB ? name_a
+                                                               : name_b)
+                            .c_str(),
+                        mask_caveat);
+    AppendPairHistory(*joint, oracle_a, oracle_b, *both, claim, name_a,
+                      name_b, true, true, &result);
+  }
+
+  // The strictness instance for proper subsumption: a history firing only
+  // the subsuming trigger.
+  if (relation == PairRelation::kASubsumesB ||
+      relation == PairRelation::kBSubsumesA) {
+    bool a_outer = relation == PairRelation::kASubsumesB;
+    const Dfa& outer_dfa = a_outer ? joint->dfa_a : joint->dfa_b;
+    const Dfa& inner_dfa = a_outer ? joint->dfa_b : joint->dfa_a;
+    std::optional<std::vector<SymbolId>> only = ShortestAcceptedString(
+        IntersectDfa(outer_dfa, ComplementSigmaPlus(inner_dfa)), possible,
+        options.max_steps);
+    if (only) {
+      std::string claim = StrFormat(
+          "history firing '%s' but not '%s' — the containment is strict",
+          (a_outer ? name_a : name_b).c_str(),
+          (a_outer ? name_b : name_a).c_str());
+      AppendPairHistory(*joint, oracle_a, oracle_b, *only, claim, name_a,
+                        name_b, a_outer, !a_outer, &result);
+    }
+  }
+  return result;
+}
+
+WitnessResult GroupWitness(const CombinedProgram& program,
+                           const std::vector<std::string>& member_names,
+                           const WitnessOptions& options) {
+  WitnessResult result;
+  if (program.num_triggers() < 2) return result;
+  const Alphabet& alphabet = program.alphabet();
+  std::vector<bool> possible = ComputeAlphabetPossibleSymbols(alphabet);
+
+  // Shortest realizable history on which at least two members have fired
+  // (cumulatively): BFS over (product state, fired-members bitmask). The
+  // fired-set dimension is capped — past 16 members fall back to "any two
+  // members fired" tracked as a saturating counter.
+  const Dfa& dfa = program.dfa();
+  auto popcount2 = [](uint64_t m) {
+    int n = 0;
+    while (m != 0 && n < 2) {
+      m &= m - 1;
+      ++n;
+    }
+    return n;
+  };
+  struct Node {
+    Dfa::State state;
+    uint64_t fired;
+    int via_node;
+    SymbolId via_sym;
+  };
+  std::map<std::pair<Dfa::State, uint64_t>, bool> seen;
+  std::vector<Node> order;
+  std::deque<int> frontier;
+  std::vector<size_t> depth_of;
+  std::optional<std::vector<SymbolId>> found;
+
+  auto visit = [&](Dfa::State to, uint64_t fired, int via, SymbolId sym,
+                   size_t depth) {
+    if (seen.count({to, fired}) != 0 || order.size() > 4096) return;
+    seen[{to, fired}] = true;
+    order.push_back({to, fired, via, sym});
+    depth_of.push_back(depth);
+    frontier.push_back(static_cast<int>(order.size()) - 1);
+  };
+  for (size_t s = 0; s < dfa.alphabet_size() && !found; ++s) {
+    if (!possible[s]) continue;
+    Dfa::State to = dfa.Step(dfa.start(), static_cast<SymbolId>(s));
+    visit(to, program.AcceptMask(to), -1, static_cast<SymbolId>(s), 1);
+  }
+  while (!frontier.empty() && !found) {
+    int idx = frontier.front();
+    frontier.pop_front();
+    if (popcount2(order[idx].fired) >= 2) {
+      std::vector<SymbolId> path;
+      for (int i = idx; i >= 0; i = order[i].via_node) {
+        path.push_back(order[i].via_sym);
+      }
+      std::reverse(path.begin(), path.end());
+      found = std::move(path);
+      break;
+    }
+    if (depth_of[idx] >= options.max_steps) continue;
+    for (size_t s = 0; s < dfa.alphabet_size(); ++s) {
+      if (!possible[s]) continue;
+      Dfa::State to = dfa.Step(order[idx].state, static_cast<SymbolId>(s));
+      visit(to, order[idx].fired | program.AcceptMask(to), idx,
+            static_cast<SymbolId>(s), depth_of[idx] + 1);
+    }
+  }
+  if (!found) return result;
+
+  // Validate every member's per-step firing against its oracle.
+  std::vector<std::vector<bool>> member_points(program.num_triggers());
+  size_t fired_members = 0;
+  for (size_t i = 0; i < program.num_triggers(); ++i) {
+    Oracle oracle(program.spec(i).event, &alphabet);
+    Result<std::vector<bool>> points = oracle.OccurrencePoints(*found);
+    if (!points.ok()) {
+      ++result.validation_failures;
+      return result;
+    }
+    member_points[i] = std::move(*points);
+    if (std::any_of(member_points[i].begin(), member_points[i].end(),
+                    [](bool b) { return b; })) {
+      ++fired_members;
+    }
+  }
+  if (fired_members < 2) {
+    ++result.validation_failures;
+    return result;
+  }
+
+  WitnessHistory w;
+  w.claim =
+      "shortest realizable history on which two of the grouped triggers "
+      "fire — one shared automaton step would serve both";
+  w.columns = member_names;
+  w.steps.resize(found->size());
+  for (size_t p = 0; p < found->size(); ++p) {
+    w.steps[p].event = RenderSymbolEvent(alphabet, (*found)[p]);
+    w.steps[p].fires.resize(program.num_triggers());
+    for (size_t i = 0; i < program.num_triggers(); ++i) {
+      w.steps[p].fires[i] = member_points[i][p];
+    }
+  }
+  result.histories.push_back(std::move(w));
+  return result;
+}
+
+}  // namespace ode

@@ -1,15 +1,16 @@
 #!/usr/bin/env python3
-"""Asserts the stable `ode-lint --format=json` schema (schema_version 2).
+"""Asserts the stable `ode-lint --format=json` schema (schema_version 3).
 
 Usage: check_lint_json.py <ode-lint-binary> <spec-file>...
 
 Runs the linter over the given fixtures and validates the shape of the
-emitted document: top-level keys, per-file diagnostic records with exactly
-{id, severity, message, trigger, line, column, end_line, end_column},
-trigger records, group records with separate/combined cost objects, fix
-records, and a summary whose counts match the diagnostics. Exits non-zero
-on any mismatch, so a schema change must be deliberate (bump
-schema_version).
+emitted document: top-level keys (including the solver capability record),
+per-file diagnostic records with exactly {id, severity, message, trigger,
+line, column, end_line, end_column, fix_hints, witness}, witness histories
+with per-step oracle fire bits, trigger records, group records with
+separate/combined cost objects, fix records, and a summary whose counts
+match the diagnostics and witness totals. Exits non-zero on any mismatch,
+so a schema change must be deliberate (bump schema_version).
 """
 import json
 import subprocess
@@ -24,13 +25,18 @@ def fail(msg):
 DIAG_KEYS = {
     "id", "severity", "message", "trigger",
     "line", "column", "end_line", "end_column",
+    "fix_hints", "witness",
 }
+WITNESS_KEYS = {"claim", "columns", "steps"}
+STEP_KEYS = {"event", "note", "fires"}
+SOLVER_KEYS = {"integer_aware", "gap_cuts", "elimination"}
 COST_KEYS = {"states", "table_bytes", "steps_per_event"}
 GROUP_KEYS = {"members", "separate", "combined", "oracle_histories"}
 FIX_KEYS = {"trigger", "code", "description"}
 SUMMARY_KEYS = {
     "files", "errors", "warnings", "notes",
     "fixes_applied", "fixes_suppressed",
+    "witnesses", "witness_failures",
 }
 
 
@@ -40,6 +46,30 @@ def check_cost(obj, label):
     for key in COST_KEYS:
         if not isinstance(obj[key], int):
             fail(f"{label}.{key} must be an integer")
+
+
+def check_witness(w, label):
+    if not isinstance(w, dict) or set(w) != WITNESS_KEYS:
+        fail(f"{label} keys: {sorted(w) if isinstance(w, dict) else w!r}")
+    if not isinstance(w["claim"], str) or not w["claim"]:
+        fail(f"{label}.claim: {w['claim']!r}")
+    if not isinstance(w["columns"], list) or not all(
+        isinstance(c, str) for c in w["columns"]
+    ):
+        fail(f"{label}.columns: {w['columns']!r}")
+    if not isinstance(w["steps"], list):
+        fail(f"{label}.steps not a list")
+    for s in w["steps"]:
+        if not isinstance(s, dict) or set(s) != STEP_KEYS:
+            fail(f"{label} step keys: {sorted(s) if isinstance(s, dict) else s!r}")
+        if not isinstance(s["event"], str) or not isinstance(s["note"], str):
+            fail(f"{label} step event/note must be strings")
+        if not isinstance(s["fires"], list) or len(s["fires"]) != len(
+            w["columns"]
+        ):
+            fail(f"{label} step fires must parallel columns: {s['fires']!r}")
+        if not all(isinstance(b, bool) for b in s["fires"]):
+            fail(f"{label} step fires must be booleans")
 
 
 def main():
@@ -56,12 +86,20 @@ def main():
 
     if doc.get("tool") != "ode-lint":
         fail(f"tool: {doc.get('tool')!r}")
-    if doc.get("schema_version") != 2:
+    if doc.get("schema_version") != 3:
         fail(f"schema_version: {doc.get('schema_version')!r}")
+    solver = doc.get("solver")
+    if not isinstance(solver, dict) or set(solver) != SOLVER_KEYS:
+        fail(f"solver: {solver!r}")
+    if solver["integer_aware"] is not True or solver["gap_cuts"] is not True:
+        fail(f"solver capabilities: {solver!r}")
+    if not isinstance(solver["elimination"], str):
+        fail(f"solver.elimination: {solver['elimination']!r}")
     if not isinstance(doc.get("files"), list) or len(doc["files"]) != len(files):
         fail("files: wrong type or count")
 
     counts = {"error": 0, "warning": 0, "note": 0}
+    witness_total = 0
     for f in doc["files"]:
         if not isinstance(f.get("path"), str):
             fail(f"path: {f.get('path')!r}")
@@ -75,6 +113,15 @@ def main():
             for key in ("line", "column", "end_line", "end_column"):
                 if not isinstance(d[key], int):
                     fail(f"{key} must be an integer")
+            if not isinstance(d["fix_hints"], list) or not all(
+                isinstance(h, str) for h in d["fix_hints"]
+            ):
+                fail(f"fix_hints: {d['fix_hints']!r}")
+            if not isinstance(d["witness"], list):
+                fail("witness missing or not a list")
+            for w in d["witness"]:
+                check_witness(w, f"witness of [{d['id']}]")
+            witness_total += len(d["witness"])
             counts[d["severity"]] += 1
         if not isinstance(f.get("triggers"), list):
             fail("triggers missing or not a list")
@@ -106,9 +153,20 @@ def main():
     for key, sev in (("errors", "error"), ("warnings", "warning"), ("notes", "note")):
         if summary[key] != counts[sev]:
             fail(f"summary.{key}={summary[key]} but counted {counts[sev]}")
-    for key in ("fixes_applied", "fixes_suppressed"):
+    for key in ("fixes_applied", "fixes_suppressed", "witnesses",
+                "witness_failures"):
         if not isinstance(summary[key], int):
             fail(f"summary.{key} must be an integer")
+    if summary["witnesses"] != witness_total:
+        fail(
+            f"summary.witnesses={summary['witnesses']} but counted "
+            f"{witness_total} attached histories"
+        )
+    if summary["witness_failures"] != 0:
+        fail(
+            "summary.witness_failures="
+            f"{summary['witness_failures']} on shipped fixtures (must be 0)"
+        )
     want_rc = 1 if counts["error"] else 0
     if proc.returncode != want_rc:
         fail(f"exit code {proc.returncode}, want {want_rc}")

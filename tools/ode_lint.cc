@@ -52,6 +52,10 @@ constexpr char kUsage[] =
     "  --cost                print a per-trigger cost report\n"
     "  --budget-states=N     warn (C001) when a DFA exceeds N states\n"
     "  --budget-bytes=N      warn (C001) when tables exceed N bytes\n"
+    "  --witness=on|off      attach a concrete counterexample history to\n"
+    "                        every automaton verdict (A001/A002/A003,\n"
+    "                        A004/A005/A007, G001), validated against the\n"
+    "                        §4 oracle before display (default on)\n"
     "  --format=text|json    output format (default text); json emits one\n"
     "                        machine-readable document on stdout\n"
     "  -h, --help            show this help\n";
@@ -87,15 +91,22 @@ struct FileResult {
   std::vector<ode::AppliedFix> fixes;
 };
 
-/// Emits the machine-readable report. Schema v2 (see docs/ANALYSIS.md):
+/// Emits the machine-readable report. Schema v3 (see docs/ANALYSIS.md):
 ///
 /// {
-///   "tool": "ode-lint", "schema_version": 2,
+///   "tool": "ode-lint", "schema_version": 3,
+///   "solver": {"integer_aware": true, "gap_cuts": true,
+///              "elimination": "fourier-motzkin"},
 ///   "files": [{
 ///     "path": ..., "diagnostics": [{
 ///       "id": ..., "severity": "error|warning|note", "message": ...,
 ///       "trigger": ..., "line": N, "column": N,      // 0,0 = no position
-///       "end_line": N, "end_column": N               // one past the span
+///       "end_line": N, "end_column": N,              // one past the span
+///       "fix_hints": [...],                          // verified rewrites
+///       "witness": [{                                // validated histories
+///         "claim": ..., "columns": [...],
+///         "steps": [{"event": ..., "note": ..., "fires": [bool, ...]}]
+///       }]
 ///     }],
 ///     "triggers": [{"name": ..., "compiled": bool[, "cost": ...]}],
 ///     "groups": [{"members": [...], "separate": {...}, "combined": {...},
@@ -103,12 +114,17 @@ struct FileResult {
 ///     "fixes": [{"trigger": ..., "code": ..., "description": ...}]
 ///   }],
 ///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N,
-///               "fixes_applied": N, "fixes_suppressed": N}
+///               "fixes_applied": N, "fixes_suppressed": N,
+///               "witnesses": N, "witness_failures": N}
 /// }
 void PrintJson(const std::vector<FileResult>& results, bool print_cost,
                size_t errors, size_t warnings, size_t notes,
-               size_t fixes_applied, size_t fixes_suppressed) {
-  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 2,\n");
+               size_t fixes_applied, size_t fixes_suppressed,
+               size_t witnesses, size_t witness_failures) {
+  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 3,\n");
+  std::printf(
+      "  \"solver\": {\"integer_aware\": true, \"gap_cuts\": true, "
+      "\"elimination\": \"fourier-motzkin\"},\n");
   std::printf("  \"files\": [");
   for (size_t fi = 0; fi < results.size(); ++fi) {
     const FileResult& fr = results[fi];
@@ -134,11 +150,40 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
           "%s\n        {\"id\": \"%s\", \"severity\": \"%s\", "
           "\"message\": \"%s\", \"trigger\": \"%s\", "
           "\"line\": %d, \"column\": %d, "
-          "\"end_line\": %d, \"end_column\": %d}",
+          "\"end_line\": %d, \"end_column\": %d, \"fix_hints\": [",
           di == 0 ? "" : ",", JsonEscape(d.id).c_str(),
           std::string(ode::SeverityName(d.severity)).c_str(),
           JsonEscape(d.message).c_str(), JsonEscape(d.trigger).c_str(), line,
           column, end_line, end_column);
+      for (size_t hi = 0; hi < d.fix_hints.size(); ++hi) {
+        std::printf("%s\"%s\"", hi == 0 ? "" : ", ",
+                    JsonEscape(d.fix_hints[hi]).c_str());
+      }
+      std::printf("], \"witness\": [");
+      for (size_t wi = 0; wi < d.witness.size(); ++wi) {
+        const ode::WitnessHistory& w = d.witness[wi];
+        std::printf("%s\n          {\"claim\": \"%s\", \"columns\": [",
+                    wi == 0 ? "" : ",", JsonEscape(w.claim).c_str());
+        for (size_t ci = 0; ci < w.columns.size(); ++ci) {
+          std::printf("%s\"%s\"", ci == 0 ? "" : ", ",
+                      JsonEscape(w.columns[ci]).c_str());
+        }
+        std::printf("], \"steps\": [");
+        for (size_t si = 0; si < w.steps.size(); ++si) {
+          const ode::WitnessStep& step = w.steps[si];
+          std::printf("%s\n            {\"event\": \"%s\", \"note\": \"%s\", "
+                      "\"fires\": [",
+                      si == 0 ? "" : ",", JsonEscape(step.event).c_str(),
+                      JsonEscape(step.note).c_str());
+          for (size_t ci = 0; ci < step.fires.size(); ++ci) {
+            std::printf("%s%s", ci == 0 ? "" : ", ",
+                        step.fires[ci] ? "true" : "false");
+          }
+          std::printf("]}");
+        }
+        std::printf("%s]}", w.steps.empty() ? "" : "\n          ");
+      }
+      std::printf("%s]}", d.witness.empty() ? "" : "\n        ");
     }
     std::printf("%s],\n", diags.empty() ? "" : "\n      ");
     std::printf("      \"triggers\": [");
@@ -188,9 +233,10 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
   std::printf(
       "  \"summary\": {\"files\": %zu, \"errors\": %zu, "
       "\"warnings\": %zu, \"notes\": %zu, \"fixes_applied\": %zu, "
-      "\"fixes_suppressed\": %zu}\n}\n",
+      "\"fixes_suppressed\": %zu, \"witnesses\": %zu, "
+      "\"witness_failures\": %zu}\n}\n",
       results.size(), errors, warnings, notes, fixes_applied,
-      fixes_suppressed);
+      fixes_suppressed, witnesses, witness_failures);
 }
 
 std::vector<std::string> SplitLines(const std::string& s) {
@@ -342,6 +388,10 @@ int main(int argc, char** argv) {
       check_fixes = true;
     } else if (std::strcmp(arg, "--cost") == 0) {
       print_cost = true;
+    } else if (std::strcmp(arg, "--witness=on") == 0) {
+      options.witnesses = true;
+    } else if (std::strcmp(arg, "--witness=off") == 0) {
+      options.witnesses = false;
     } else if (std::strcmp(arg, "--format=text") == 0) {
       json = false;
     } else if (std::strcmp(arg, "--format=json") == 0) {
@@ -380,6 +430,8 @@ int main(int argc, char** argv) {
   size_t fixes_applied = 0;
   size_t fixes_pending = 0;
   size_t fixes_suppressed = 0;
+  size_t witnesses_total = 0;
+  size_t witness_failures_total = 0;
   bool io_failure = false;
   std::vector<FileResult> results;
   for (const std::string& file : files) {
@@ -395,22 +447,29 @@ int main(int argc, char** argv) {
     in.close();
 
     std::vector<ode::AppliedFix> fixes;
-    if (check_fixes) {
-      // Dry run: compute what --fix would do, show it as a unified diff,
-      // write nothing. The report below still describes the file AS IS.
+    std::vector<ode::AppliedFix> pending;
+    if (!apply_fixes) {
+      // Dry run: compute what --fix would do without writing anything. The
+      // verified rewrites become `fix:` hints under the matching
+      // diagnostics; with --fix=check they are also shown as a unified
+      // diff and gate the exit status. The report below still describes
+      // the file AS IS.
       ode::FixOptions fix_options;
       fix_options.compile = options.compile;
       ode::FixResult fixed = ode::FixSpecSource(source, fix_options);
-      fixes_suppressed += fixed.suppressed;
-      if (!fixed.applied.empty()) {
-        fixes_pending += fixed.applied.size();
-        for (const ode::AppliedFix& x : fixed.applied) {
-          std::printf("%s: would fix: trigger '%s': [%s] %s\n", file.c_str(),
-                      x.trigger.c_str(), x.code.c_str(),
-                      x.description.c_str());
+      pending = std::move(fixed.applied);
+      if (check_fixes) {
+        fixes_suppressed += fixed.suppressed;
+        if (!pending.empty()) {
+          fixes_pending += pending.size();
+          for (const ode::AppliedFix& x : pending) {
+            std::printf("%s: would fix: trigger '%s': [%s] %s\n",
+                        file.c_str(), x.trigger.c_str(), x.code.c_str(),
+                        x.description.c_str());
+          }
+          std::string diff = UnifiedDiff(file, source, fixed.fixed_source);
+          std::fputs(diff.c_str(), stdout);
         }
-        std::string diff = UnifiedDiff(file, source, fixed.fixed_source);
-        std::fputs(diff.c_str(), stdout);
       }
     }
     if (apply_fixes) {
@@ -435,6 +494,29 @@ int main(int argc, char** argv) {
     // The report reflects the file as it now stands (post-fix when --fix
     // ran and wrote).
     ode::AnalysisReport report = ode::AnalyzeSpecSource(source, options);
+    // Attach each pending verified rewrite as a fix-it hint on the first
+    // matching diagnostic (same trigger, same code) that lacks it.
+    for (const ode::AppliedFix& x : pending) {
+      std::string hint =
+          ode::StrFormat("%s (run --fix to apply)", x.description.c_str());
+      ode::Diagnostic* target = nullptr;
+      for (ode::TriggerAnalysis& t : report.triggers) {
+        if (t.name != x.trigger) continue;
+        for (ode::Diagnostic& d : t.diagnostics) {
+          if (d.id != x.code) continue;
+          if (target == nullptr) target = &d;
+          if (std::find(d.fix_hints.begin(), d.fix_hints.end(), hint) ==
+              d.fix_hints.end()) {
+            target = &d;
+            break;
+          }
+        }
+        if (target != nullptr) break;
+      }
+      if (target != nullptr) target->fix_hints.push_back(hint);
+    }
+    witnesses_total += report.witnesses;
+    witness_failures_total += report.witness_failures;
     std::vector<ode::Diagnostic> diags = report.AllDiagnostics();
     for (const ode::Diagnostic& d : diags) {
       switch (d.severity) {
@@ -466,7 +548,7 @@ int main(int argc, char** argv) {
 
   if (json) {
     PrintJson(results, print_cost, errors, warnings, notes, fixes_applied,
-              fixes_suppressed);
+              fixes_suppressed, witnesses_total, witness_failures_total);
   } else {
     std::printf(
         "ode-lint: %zu file%s, %zu error%s, %zu warning%s, %zu note%s",
