@@ -271,7 +271,15 @@ FixResult FixSpecSource(std::string_view source, const FixOptions& options) {
     const Token& last = (*tokens)[tokens->size() - 2];
     splices.push_back(Splice{first.offset, last.offset + last.length,
                              fixed_spec.ToString()});
-    result.applied.insert(result.applied.end(), fixes.begin(), fixes.end());
+    for (AppliedFix& fix : fixes) {
+      fix.has_span = true;
+      fix.byte_start = splices.back().begin;
+      fix.byte_end = splices.back().end;
+      fix.replacement = splices.back().text;
+    }
+    result.applied.insert(result.applied.end(),
+                          std::make_move_iterator(fixes.begin()),
+                          std::make_move_iterator(fixes.end()));
   }
 
   // Splice back-to-front so earlier offsets stay valid.

@@ -16,6 +16,15 @@ struct AppliedFix {
   std::string description;   ///< What changed, human-readable.
   std::string code;          ///< The lint code the rewrite targets
                              ///< (L002 / L007 / L008).
+  /// Machine-applicable edit span over the *original* source (schema v4):
+  /// replacing bytes [byte_start, byte_end) with `replacement` applies the
+  /// whole declaration's verified rewrite. Fixes from the same declaration
+  /// share one span; appliers must deduplicate by (byte_start, byte_end).
+  /// has_span=false for fixes produced outside a source context.
+  bool has_span = false;
+  size_t byte_start = 0;
+  size_t byte_end = 0;
+  std::string replacement;
 };
 
 /// Result of a --fix pass over one spec source.

@@ -1,9 +1,67 @@
 #include "compile/trigger_program.h"
 
+#include <cstdint>
+#include <map>
+#include <vector>
+
 #include "automaton/committed_transform.h"
 #include "automaton/minimize.h"
 
 namespace ode {
+
+namespace {
+
+/// Partitions states by future occurrence behaviour: q ~ q' iff every
+/// input string steps both through transitions with identical accepting
+/// flags. The states' OWN flags are deliberately excluded — a resting
+/// state's occurrence was already reported by the transition that entered
+/// it, so two states that differ only in "just fired" are equivalent for
+/// everything that happens next.
+std::vector<int32_t> FutureEquivalence(const Dfa& dfa) {
+  const size_t n = dfa.num_states();
+  const size_t k = dfa.alphabet_size();
+  std::vector<int32_t> part(n, 0);
+  for (;;) {
+    std::map<std::vector<int32_t>, int32_t> classes;
+    std::vector<int32_t> next(n, 0);
+    for (size_t q = 0; q < n; ++q) {
+      std::vector<int32_t> sig;
+      sig.reserve(2 * k + 1);
+      sig.push_back(part[q]);
+      for (size_t s = 0; s < k; ++s) {
+        Dfa::State to = dfa.Step(static_cast<Dfa::State>(q),
+                                 static_cast<SymbolId>(s));
+        sig.push_back(dfa.accepting(to) ? 1 : 0);
+        sig.push_back(part[to]);
+      }
+      auto [it, inserted] =
+          classes.emplace(std::move(sig), static_cast<int32_t>(classes.size()));
+      next[q] = it->second;
+    }
+    if (next == part) return part;
+    part = std::move(next);
+  }
+}
+
+bool ComputeOtherInert(const TriggerProgram& program) {
+  // Gates step their sub-DFA on every posted event, and composite masks
+  // re-evaluate against live database state whenever the automaton rests
+  // accepting — both make OTHER events observable.
+  if (!program.event.gates.empty()) return false;
+  if (!program.event.composite_masks.empty()) return false;
+  const Dfa& dfa = program.ActiveDfa();
+  const SymbolId other = program.event.alphabet.other_symbol();
+  if (static_cast<size_t>(other) >= dfa.alphabet_size()) return false;
+  std::vector<int32_t> cls = FutureEquivalence(dfa);
+  for (size_t q = 0; q < dfa.num_states(); ++q) {
+    Dfa::State to = dfa.Step(static_cast<Dfa::State>(q), other);
+    if (dfa.accepting(to)) return false;  // OTHER itself would fire.
+    if (cls[to] != cls[static_cast<int32_t>(q)]) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string_view HistoryViewName(HistoryView view) {
   switch (view) {
@@ -45,6 +103,7 @@ Result<TriggerProgram> CompileTrigger(TriggerSpec spec, HistoryView view,
     if (!transformed.ok()) return transformed.status();
     out.committed_dfa = Minimize(*transformed);
   }
+  out.other_inert = ComputeOtherInert(out);
   return out;
 }
 

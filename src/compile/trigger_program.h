@@ -37,6 +37,18 @@ struct TriggerProgram {
   HistoryView view = HistoryView::kFull;
   std::optional<Dfa> committed_dfa;  ///< Set for kCommittedViaTransform.
 
+  /// True when an OTHER-classified posted event provably cannot affect
+  /// this trigger from any state: no gates or composite masks (those run
+  /// per event / per resting-accept state), OTHER never steps into an
+  /// accepting state, and every OTHER step lands in a state
+  /// future-equivalent to where it left. The sequencer's publish path uses
+  /// this to drop such events from the class-scope stream entirely, which
+  /// keeps each lane's published sequence a pure function of the shard's
+  /// WAL order — transaction-marker events vary with runtime batch
+  /// boundaries and would otherwise make crash-replay dedup misalign
+  /// (docs/SEQUENCER.md).
+  bool other_inert = false;
+
   /// The automaton this trigger actually runs.
   const Dfa& ActiveDfa() const {
     return committed_dfa.has_value() ? *committed_dfa : event.dfa;

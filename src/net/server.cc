@@ -217,6 +217,7 @@ bool IngestServer::HandleFrame(Conn* conn, Frame&& frame) {
       remote.total = snap.total;
       remote.shards = std::move(snap.shards);
       remote.producers = std::move(snap.producers);
+      remote.sequencer = std::move(snap.sequencer);
       AppendMetricsReply(&conn->out, frame.seq, remote);
       return true;
     }

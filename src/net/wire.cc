@@ -278,6 +278,7 @@ std::string RemoteMetrics::ToString() const {
   snap.total = total;
   snap.shards = shards;
   snap.producers = producers;
+  snap.sequencer = sequencer;
   return snap.ToString();
 }
 
@@ -398,6 +399,20 @@ void AppendMetricsReply(std::string* out, uint64_t seq,
     PutU64(out, p.rejected);
     PutU64(out, p.failed);
   }
+  const seq::SequencerMetricsSnapshot& sq = metrics.sequencer;
+  PutU8(out, sq.enabled ? 1 : 0);
+  PutU64(out, sq.published);
+  PutU64(out, sq.sequenced);
+  PutU64(out, sq.firings);
+  PutU64(out, sq.dropped);
+  PutU64(out, sq.apply_errors);
+  PutU64(out, sq.lock_timeouts);
+  PutU64(out, sq.queue_depth);
+  PutU64(out, sq.queue_high_water);
+  PutU64(out, sq.merge_lag);
+  PutU64(out, sq.replay_deduped);
+  PutU16(out, static_cast<uint16_t>(sq.lane_watermark.size()));
+  for (uint64_t w : sq.lane_watermark) PutU64(out, w);
   CloseFrame(out, at);
 }
 
@@ -506,6 +521,22 @@ FrameDecoder::State FrameDecoder::Next(Frame* out) {
              in.ReadU64(&p.posted) && in.ReadU64(&p.accepted) &&
              in.ReadU64(&p.rejected) && in.ReadU64(&p.failed);
         if (ok) out->metrics.producers.push_back(std::move(p));
+      }
+      seq::SequencerMetricsSnapshot& sq = out->metrics.sequencer;
+      uint8_t seq_enabled = 0;
+      uint16_t lane_count = 0;
+      ok = ok && in.ReadU8(&seq_enabled) && in.ReadU64(&sq.published) &&
+           in.ReadU64(&sq.sequenced) && in.ReadU64(&sq.firings) &&
+           in.ReadU64(&sq.dropped) && in.ReadU64(&sq.apply_errors) &&
+           in.ReadU64(&sq.lock_timeouts) && in.ReadU64(&sq.queue_depth) &&
+           in.ReadU64(&sq.queue_high_water) && in.ReadU64(&sq.merge_lag) &&
+           in.ReadU64(&sq.replay_deduped) && in.ReadU16(&lane_count);
+      if (ok && seq_enabled > 1) ok = false;
+      if (ok) sq.enabled = seq_enabled != 0;
+      for (uint16_t i = 0; ok && i < lane_count; ++i) {
+        uint64_t w = 0;
+        ok = in.ReadU64(&w);
+        if (ok) sq.lane_watermark.push_back(w);
       }
       break;
     }

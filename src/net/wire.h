@@ -78,6 +78,9 @@ struct RemoteMetrics {
   runtime::ShardMetricsSnapshot total;
   std::vector<runtime::ShardMetricsSnapshot> shards;
   std::vector<runtime::ProducerMetricsSnapshot> producers;
+  /// Class-scope sequencer counters (enabled=false when the serving
+  /// runtime evaluates class triggers inline).
+  seq::SequencerMetricsSnapshot sequencer;
 
   std::string ToString() const;
 };

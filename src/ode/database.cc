@@ -7,6 +7,8 @@
 
 #include "analyze/analyzer.h"
 #include "common/strutil.h"
+#include "seq/seq_event.h"
+#include "seq/sequencer.h"
 #include "trigger/trigger_engine.h"
 
 namespace ode {
@@ -1005,6 +1007,44 @@ std::vector<ActiveTrigger>* Database::ClassSlots(ClassId cls) {
   return it == class_slots_.end() ? nullptr : &it->second;
 }
 
+uint64_t Database::ClassActiveMask(ClassId cls) const {
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
+  auto it = class_active_masks_.find(cls);
+  return it == class_active_masks_.end()
+             ? 0
+             : it->second.load(std::memory_order_acquire);
+}
+
+void Database::SyncClassActiveMask(ClassId cls) {
+  std::shared_lock<std::shared_mutex> lock(aux_mu_);
+  auto slots_it = class_slots_.find(cls);
+  auto mask_it = class_active_masks_.find(cls);
+  if (slots_it == class_slots_.end() ||
+      mask_it == class_active_masks_.end()) {
+    return;
+  }
+  uint64_t mask = 0;
+  const std::vector<ActiveTrigger>& slots = slots_it->second;
+  for (size_t i = 0; i < slots.size() && i < 64; ++i) {
+    if (slots[i].active) mask |= (uint64_t{1} << i);
+  }
+  mask_it->second.store(mask, std::memory_order_release);
+}
+
+void Database::AttachSequencer(seq::Sequencer* sequencer) {
+  sequencer_.store(sequencer, std::memory_order_release);
+}
+
+void Database::DetachSequencer() {
+  sequencer_.store(nullptr, std::memory_order_release);
+}
+
+Result<int> Database::ApplySequencedEvent(const seq::SeqEvent& event,
+                                          seq::SeqApplyProgress* progress,
+                                          bool allow_unlocked) {
+  return engine_->ApplySequenced(event, progress, allow_unlocked);
+}
+
 Status Database::ActivateClassTrigger(std::string_view class_name,
                                       std::string_view trigger_name,
                                       std::vector<Value> params) {
@@ -1045,34 +1085,53 @@ Status Database::ActivateClassTrigger(std::string_view class_name,
   }
 
   // The slot vector's *structure* lives under aux_mu_; its *contents* are
-  // shared mutable state with the engine's posting loop, so mutate them
-  // only under class_post_mu_ — (de)activation is then safe even while
-  // shard workers are posting events to instances of the class.
+  // shared mutable state with the posting path. Standalone, mutating under
+  // class_post_mu_ suffices. With a sequencer attached, posting no longer
+  // takes that mutex — the mutation instead runs quiesced: publishers
+  // gated out, the merge pipeline drained, so no reader exists anywhere.
   std::unique_lock<std::shared_mutex> structure_lock(aux_mu_);
   std::vector<ActiveTrigger>& slots = class_slots_[cls->id];
+  class_active_masks_[cls->id];  // Ensure the mask entry exists alongside.
   structure_lock.unlock();
+
+  auto mutate = [&]() -> Status {
+    ActiveTrigger* slot = nullptr;
+    for (ActiveTrigger& s : slots) {
+      if (s.trigger_idx == idx) slot = &s;
+    }
+    if (slot == nullptr) {
+      if (slots.size() >= 64) {
+        return Status::ResourceExhausted(
+            "a class supports at most 64 class-scope trigger slots (the "
+            "publish path's active bitmask)");
+      }
+      // Growth also under aux_mu_: introspection reads the vector shape
+      // under a shared lock while we are quiesced.
+      std::unique_lock<std::shared_mutex> grow_lock(aux_mu_);
+      slots.emplace_back();
+      slot = &slots.back();
+      slot->trigger_idx = idx;
+    }
+    slot->active = true;
+    slot->state = program.ActiveDfa().start();
+    slot->witnesses.clear();
+    slot->gate_states.assign(program.event.gates.size(), 0);
+    for (size_t g = 0; g < program.event.gates.size(); ++g) {
+      slot->gate_states[g] = program.event.gates[g].dfa.start();
+    }
+    slot->params.clear();
+    for (size_t i = 0; i < params.size(); ++i) {
+      slot->params[program.spec.params[i].name] = std::move(params[i]);
+    }
+    SyncClassActiveMask(cls->id);
+    return Status::OK();
+  };
+
+  if (seq::Sequencer* sequencer = this->sequencer()) {
+    return sequencer->ExecuteQuiesced(mutate);
+  }
   std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
-  ActiveTrigger* slot = nullptr;
-  for (ActiveTrigger& s : slots) {
-    if (s.trigger_idx == idx) slot = &s;
-  }
-  if (slot == nullptr) {
-    slots.emplace_back();
-    slot = &slots.back();
-    slot->trigger_idx = idx;
-  }
-  slot->active = true;
-  slot->state = program.ActiveDfa().start();
-  slot->witnesses.clear();
-  slot->gate_states.assign(program.event.gates.size(), 0);
-  for (size_t g = 0; g < program.event.gates.size(); ++g) {
-    slot->gate_states[g] = program.event.gates[g].dfa.start();
-  }
-  slot->params.clear();
-  for (size_t i = 0; i < params.size(); ++i) {
-    slot->params[program.spec.params[i].name] = std::move(params[i]);
-  }
-  return Status::OK();
+  return mutate();
 }
 
 Status Database::DeactivateClassTrigger(std::string_view class_name,
@@ -1088,11 +1147,18 @@ Status Database::DeactivateClassTrigger(std::string_view class_name,
     if (it == class_slots_.end()) return Status::OK();
     slots = &it->second;
   }
-  std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
-  for (ActiveTrigger& s : *slots) {
-    if (s.trigger_idx == idx) s.active = false;
+  auto mutate = [&]() -> Status {
+    for (ActiveTrigger& s : *slots) {
+      if (s.trigger_idx == idx) s.active = false;
+    }
+    SyncClassActiveMask(cls->id);
+    return Status::OK();
+  };
+  if (seq::Sequencer* sequencer = this->sequencer()) {
+    return sequencer->ExecuteQuiesced(mutate);
   }
-  return Status::OK();
+  std::lock_guard<std::recursive_mutex> post_lock(class_post_mu_);
+  return mutate();
 }
 
 Result<bool> Database::ClassTriggerActive(
@@ -1101,6 +1167,22 @@ Result<bool> Database::ClassTriggerActive(
   if (cls == nullptr) return Status::NotFound("unknown class");
   int idx = cls->TriggerIndex(trigger_name);
   if (idx < 0) return Status::NotFound("no such trigger");
+  if (sequencer_.load(std::memory_order_acquire) != nullptr) {
+    // The merge thread owns slot contents; read the publish-side bitmask
+    // instead (re-synced after firings — drain the runtime for an exact
+    // answer).
+    std::shared_lock<std::shared_mutex> lock(aux_mu_);
+    auto it = class_slots_.find(cls->id);
+    if (it == class_slots_.end()) return false;
+    auto mask_it = class_active_masks_.find(cls->id);
+    uint64_t mask = mask_it == class_active_masks_.end()
+                        ? 0
+                        : mask_it->second.load(std::memory_order_acquire);
+    for (size_t i = 0; i < it->second.size() && i < 64; ++i) {
+      if (it->second[i].trigger_idx == idx) return ((mask >> i) & 1) != 0;
+    }
+    return false;
+  }
   const std::vector<ActiveTrigger>* slots = nullptr;
   {
     std::shared_lock<std::shared_mutex> lock(aux_mu_);

@@ -25,6 +25,12 @@ namespace ode {
 class TriggerEngine;
 struct ClassTriggerSet;
 
+namespace seq {
+class Sequencer;
+struct SeqEvent;
+struct SeqApplyProgress;
+}  // namespace seq
+
 /// Context passed to host functions registered for mask expressions
 /// (e.g. `authorized(user())` in §3.5 trigger T1).
 struct HostContext {
@@ -234,9 +240,21 @@ class Database {
   // as `self`. Because the merged stream interleaves transactions, only
   // HistoryView::kFull triggers may be activated at class scope, and
   // triggers referencing time events are rejected (timers are per-object).
-  // Activation is a schema-level operation: it is not transactional and —
-  // like actions and host functions — not persisted by SaveSnapshot;
-  // re-activate after LoadSnapshot.
+  // Activation is a schema-level operation: it is not transactional, and
+  // its per-trigger params are limited to snapshot-codable values when a
+  // snapshot will be taken. Slot state (activation flag, automaton state,
+  // gate states, params — not witnesses) IS persisted by SaveSnapshot and
+  // restored by LoadSnapshot, provided the class (and the action, for
+  // firing) is re-registered first.
+  //
+  // Evaluation has two modes. Standalone (no sequencer attached): slots
+  // advance and fire inline in Post, serialized by class_post_mu_. Under
+  // IngestRuntime a seq::Sequencer is attached and class-scope evaluation
+  // becomes its own pipeline stage: shards classify and publish, one
+  // merge thread advances and fires in a deterministic total order, and
+  // (de)activation quiesces publishers instead of just locking. See
+  // docs/SEQUENCER.md. A class may have at most 64 class-scope slots
+  // (the publish path's active bitmask).
 
   // --- Trigger groups (§5 footnote 5) -----------------------------------
   //
@@ -272,6 +290,25 @@ class Database {
                                   std::string_view trigger_name) const;
   uint64_t ClassFireCount(std::string_view class_name,
                           std::string_view trigger_name) const;
+
+  // --- Class-scope sequencer (src/seq/, docs/SEQUENCER.md) --------------
+
+  /// Routes class-scope evaluation through `sequencer` (owned by the
+  /// caller — IngestRuntime — and already recovered but not necessarily
+  /// started). Attach before concurrent posting begins; detach only after
+  /// the sequencer is stopped.
+  void AttachSequencer(seq::Sequencer* sequencer);
+  void DetachSequencer();
+  seq::Sequencer* sequencer() const {
+    return sequencer_.load(std::memory_order_acquire);
+  }
+
+  /// Applies one sequenced class-scope event (sequencer thread only);
+  /// forwards to the trigger engine and re-syncs the publish-side active
+  /// bitmask after firings. See TriggerEngine::ApplySequenced.
+  Result<int> ApplySequencedEvent(const seq::SeqEvent& event,
+                                  seq::SeqApplyProgress* progress,
+                                  bool allow_unlocked);
 
   // --- Time (§3.1) ----------------------------------------------------------
 
@@ -324,6 +361,16 @@ class Database {
   /// Class-scope trigger slots for the engine's posting loop (null when the
   /// class has none).
   std::vector<ActiveTrigger>* ClassSlots(ClassId cls);
+  /// Publish-side view of which class slots are active (bit = slot index).
+  /// Updated synchronously by quiesced (de)activation and re-synced by the
+  /// sequencer after firings disarm ordinary triggers; a stale SET bit is
+  /// harmless (the apply path re-checks slot->active), and active→inactive
+  /// is the only transition that can be observed stale.
+  uint64_t ClassActiveMask(ClassId cls) const;
+  /// Recomputes the mask from the slot vector. Call only where slot
+  /// contents are stable: the sequencer thread, quiesced (de)activation,
+  /// or under class_post_mu_ in standalone mode.
+  void SyncClassActiveMask(ClassId cls);
   void ReleaseTriggerTimers(Oid oid, const TriggerProgram& program);
   void AcquireTriggerTimers(Oid oid, const TriggerProgram& program);
   void ReleaseAlphabetTimers(Oid oid, const Alphabet& alphabet);
@@ -391,6 +438,8 @@ class Database {
   std::map<Oid, uint64_t> seq_counters_;
   std::map<std::pair<uint64_t, std::string>, uint64_t> fire_counts_;
   std::map<ClassId, std::vector<ActiveTrigger>> class_slots_;
+  /// Atomic values (see ClassActiveMask): read lock-free on every publish.
+  std::map<ClassId, std::atomic<uint64_t>> class_active_masks_;
   /// Atomic values: class triggers fire from any shard worker (keyed by
   /// class, not object), so increments have no single-writer owner.
   std::map<std::pair<ClassId, std::string>, std::atomic<uint64_t>>
@@ -406,6 +455,8 @@ class Database {
 
   DatabaseStats stats_;
   std::unique_ptr<TriggerEngine> engine_;
+  /// Non-owning; set by IngestRuntime for the lifetime of its run.
+  std::atomic<seq::Sequencer*> sequencer_{nullptr};
 };
 
 }  // namespace ode

@@ -128,6 +128,29 @@ Result<std::string> Database::SaveSnapshotText() const {
     body += "end\n";
   }
 
+  // Class-scope slot states (§9), keyed by class name like instance slots
+  // are keyed by trigger index: re-registering the same classes before
+  // loading restores the activation flags and automaton states exactly.
+  // Witnesses are monitoring metadata and are not persisted.
+  for (const auto& [class_id, slots] : class_slots_) {
+    const RegisteredClass* cls = classes_.FindById(class_id);
+    if (cls == nullptr) {
+      return Status::Internal("class slots with unknown class during snapshot");
+    }
+    for (const ActiveTrigger& slot : slots) {
+      body += StrFormat("classtrigger %s %d %d %d", cls->def.name().c_str(),
+                        slot.trigger_idx, slot.active ? 1 : 0, slot.state);
+      for (int32_t gs : slot.gate_states) {
+        body += StrFormat(" %d", gs);
+      }
+      body += "\n";
+      for (const auto& [pname, pvalue] : slot.params) {
+        body += StrFormat("classparam %s %s\n", pname.c_str(),
+                          EncodeSnapshotValue(pvalue).c_str());
+      }
+    }
+  }
+
   for (const VirtualClock::TimerState& t : clock_.ExportTimers()) {
     body += StrFormat(
         "timer %llu %d %lld %d %s %s %s %s %s %s %s\n",
@@ -196,11 +219,13 @@ Status Database::LoadSnapshotText(std::string_view body) {
   }
 
   std::map<Oid, Object> objects;
+  std::map<ClassId, std::vector<ActiveTrigger>> class_slots;
   std::vector<VirtualClock::TimerState> timers;
   TimeMs clock_now = 0;
   uint64_t next_oid = 1;
   Object* current = nullptr;
   ActiveTrigger* current_slot = nullptr;
+  ActiveTrigger* current_class_slot = nullptr;
 
   while (std::getline(lines, line)) {
     std::istringstream ls(line);
@@ -257,6 +282,42 @@ Status Database::LoadSnapshotText(std::string_view body) {
       Result<Value> v = DecodeSnapshotValue(StripWhitespace(encoded));
       if (!v.ok()) return v.status();
       current_slot->params[name] = std::move(*v);
+    } else if (tag == "classtrigger") {
+      std::string class_name;
+      int idx, active, state;
+      ls >> class_name >> idx >> active >> state;
+      const RegisteredClass* cls = classes_.Find(class_name);
+      if (cls == nullptr) {
+        return Status::FailedPrecondition(StrFormat(
+            "snapshot references class '%s'; register it before loading",
+            class_name.c_str()));
+      }
+      std::vector<ActiveTrigger>& slots = class_slots[cls->id];
+      ActiveTrigger* slot = nullptr;
+      for (ActiveTrigger& s : slots) {
+        if (s.trigger_idx == idx) slot = &s;
+      }
+      if (slot == nullptr) {
+        slots.emplace_back();
+        slot = &slots.back();
+        slot->trigger_idx = idx;
+      }
+      slot->active = active != 0;
+      slot->state = state;
+      slot->gate_states.clear();
+      int gs;
+      while (ls >> gs) slot->gate_states.push_back(gs);
+      current_class_slot = slot;
+    } else if (tag == "classparam") {
+      if (current_class_slot == nullptr) {
+        return Status::InvalidArgument("orphan classparam");
+      }
+      std::string name, encoded;
+      ls >> name;
+      std::getline(ls, encoded);
+      Result<Value> v = DecodeSnapshotValue(StripWhitespace(encoded));
+      if (!v.ok()) return v.status();
+      current_class_slot->params[name] = std::move(*v);
     } else if (tag == "group") {
       if (current == nullptr) {
         return Status::InvalidArgument("orphan group");
@@ -309,6 +370,19 @@ Status Database::LoadSnapshotText(std::string_view body) {
     histories_.clear();
     seq_counters_.clear();
     fire_counts_.clear();
+    class_fire_counts_.clear();
+    // The snapshot's class-scope slots are authoritative, like objects_:
+    // slots activated since (or not captured) are replaced. The publish
+    // bitmasks are rebuilt to match.
+    class_slots_ = std::move(class_slots);
+    class_active_masks_.clear();
+    for (const auto& [class_id, slots] : class_slots_) {
+      uint64_t mask = 0;
+      for (size_t i = 0; i < slots.size() && i < 64; ++i) {
+        if (slots[i].active) mask |= uint64_t{1} << i;
+      }
+      class_active_masks_[class_id].store(mask, std::memory_order_release);
+    }
   }
   ODE_RETURN_IF_ERROR(clock_.ImportTimers(std::move(timers), clock_now));
   return Status::OK();

@@ -6,12 +6,14 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 #include <utility>
 
 #include "common/strutil.h"
 #include "ode/database.h"
+#include "seq/order_log.h"
 #include "wal/checkpoint.h"
 
 namespace ode {
@@ -34,6 +36,12 @@ Status IngestRuntime::Start() {
   if (durable_) {
     ODE_RETURN_IF_ERROR(LoadDurability(&recovered));
   }
+  if (options_.class_sequencer) {
+    // Before the shards: workers must see the attached sequencer from
+    // their very first posted event, and order-log recovery must finish
+    // before shard-WAL replay republishes.
+    ODE_RETURN_IF_ERROR(StartSequencer(recovered));
+  }
 
   Shard::Options shard_options;
   shard_options.queue_capacity = options_.queue_capacity;
@@ -42,6 +50,9 @@ Status IngestRuntime::Start() {
   shard_options.error_policy = options_.error_policy;
   shard_options.dead_letter = options_.dead_letter;
   shard_options.record_latency = options_.record_latency;
+  shard_options.on_wal_failure = [this](const Status& status) {
+    DegradeWal("shard wal", status);
+  };
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     shard_options.wal = durable_ ? wal_writers_[i].get() : nullptr;
@@ -55,11 +66,110 @@ Status IngestRuntime::Start() {
     // baseline checkpoint: it captures pre-Start database state (objects
     // created before the runtime existed) even on a virgin directory, and
     // lets the old log files — orphans included — be retired.
+    //
+    // Replay-dedup brackets the shard replay: replayed events republish
+    // their class-scope records with regenerated lane sequences, and the
+    // sequencer drops those at or below the order-log watermark (already
+    // applied pre-crash) — exactly-once for the class automata too.
+    if (sequencer_) sequencer_->BeginReplayDedup();
     ODE_RETURN_IF_ERROR(ReplayRecovered(std::move(recovered)));
     ODE_RETURN_IF_ERROR(Drain());
+    if (sequencer_) sequencer_->FinishReplay();
     ODE_RETURN_IF_ERROR(Checkpoint());
   }
   return Status::OK();
+}
+
+Status IngestRuntime::StartSequencer(const wal::RecoveredState& recovered) {
+  seq::Sequencer::Options seq_options;
+  seq_options.queue_capacity = options_.seq_queue_capacity;
+  // One FIFO lane per shard worker plus the external lane for
+  // unregistered threads (direct Database posts, tests).
+  seq_options.num_lanes = static_cast<uint32_t>(options_.num_shards) + 1;
+  if (durable_) {
+    order_log_ = std::make_unique<seq::OrderLogWriter>();
+    ODE_RETURN_IF_ERROR(order_log_->Open(
+        seq::OrderLogPath(options_.durability.dir), options_.durability));
+    seq_options.order_log = order_log_.get();
+    seq_options.on_log_failure = [this](const Status& status) {
+      DegradeWal("sequencer order log", status);
+    };
+  }
+  sequencer_ = std::make_unique<seq::Sequencer>(db_, seq_options);
+
+  if (durable_) {
+    // Re-apply the order log: the exact class-scope apply order of the
+    // pre-crash run, re-executed against the checkpoint's restored class
+    // automaton states. Usable only when the lane layout survived the
+    // restart — otherwise the log's (lane, lane_seq) keys are meaningless
+    // and the class order is re-derived from the shard logs instead (a
+    // valid order, not necessarily the original one).
+    const std::vector<uint64_t>& seqlane = recovered.checkpoint.seqlane;
+    bool use_order_log = true;
+    std::string why;
+    if (recovered.had_checkpoint && !seqlane.empty() &&
+        seqlane.size() != seq_options.num_lanes) {
+      use_order_log = false;
+      why = StrFormat("checkpoint has %zu lanes, runtime has %u",
+                      seqlane.size(), seq_options.num_lanes);
+    }
+    seq::OrderLogReadResult order;
+    if (use_order_log) {
+      Result<seq::OrderLogReadResult> read =
+          seq::ReadOrderLog(seq::OrderLogPath(options_.durability.dir));
+      if (!read.ok()) {
+        use_order_log = false;
+        why = read.status().message();
+      } else {
+        order = std::move(*read);
+        for (const seq::SeqEvent& event : order.records) {
+          if (event.lane >= seq_options.num_lanes) {
+            use_order_log = false;
+            why = StrFormat("record lane %u out of range", event.lane);
+            break;
+          }
+        }
+      }
+    }
+    if (use_order_log) {
+      if (seqlane.size() == seq_options.num_lanes) {
+        sequencer_->RestoreLaneCounters(seqlane);
+      }
+      for (const seq::SeqEvent& event : order.records) {
+        ODE_RETURN_IF_ERROR(sequencer_->ApplyRecovered(event));
+        ++recovery_.sequenced_replayed;
+      }
+      if (order.torn) {
+        recovery_.notes.push_back(StrFormat(
+            "sequencer order log: discarded torn tail (%s)",
+            order.torn_error.c_str()));
+      }
+      if (recovery_.sequenced_replayed > 0) {
+        recovery_.notes.push_back(StrFormat(
+            "sequencer order log: re-applied %llu class-scope record(s)",
+            (unsigned long long)recovery_.sequenced_replayed));
+      }
+    } else {
+      // The stale log would interleave incompatible lane layouts with new
+      // appends; drop it and note the degraded (order-re-derived) recovery.
+      recovery_.notes.push_back(StrFormat(
+          "sequencer order log ignored (%s); class-scope order re-derived "
+          "from shard logs", why.c_str()));
+      (void)order_log_->Truncate();
+    }
+  }
+
+  db_->AttachSequencer(sequencer_.get());
+  return sequencer_->Start();
+}
+
+void IngestRuntime::DegradeWal(const char* what, const Status& status) {
+  if (wal_degraded_.exchange(true, std::memory_order_acq_rel)) return;
+  std::fprintf(stderr,
+               "[ode-runtime] DURABILITY DEGRADED: %s append failed: %s\n"
+               "[ode-runtime] continuing in-memory; events accepted from "
+               "now on will NOT survive a crash\n",
+               what, status.message().c_str());
 }
 
 Status IngestRuntime::LoadDurability(wal::RecoveredState* recovered) {
@@ -244,6 +354,11 @@ Status IngestRuntime::Drain() {
     return Status::FailedPrecondition("ingest runtime is not running");
   }
   for (auto& shard : shards_) shard->WaitDrained();
+  // Second stage of the barrier: the shard drains guarantee every
+  // class-scope record has been *published*; wait until the sequencer has
+  // *applied* them all, so "drained" includes class automaton advancement
+  // and class-trigger firings.
+  if (sequencer_) sequencer_->WaitDrained();
   // All workers are parked on their queues here (nothing mid-commit, as
   // long as producers honour the barrier contract), so reclaiming
   // finished transaction records is safe.
@@ -258,12 +373,22 @@ Status IngestRuntime::Checkpoint() {
   if (!durable_) {
     return Status::FailedPrecondition("durability is not enabled");
   }
+  if (wal_degraded()) {
+    // Truncating logs that are missing records would turn degraded
+    // durability into silent data loss.
+    return Status::FailedPrecondition(
+        "wal degraded (a log writer failed); checkpoint refused");
+  }
   // Unique side of the post gate: no producer is inside Enqueue, so every
   // accepted event is both in its queue and in its log. Then park the
   // workers so queue contents and database state stop moving.
   std::unique_lock<std::shared_mutex> gate(post_gate_);
   for (auto& shard : shards_) shard->RequestPause();
   for (auto& shard : shards_) shard->WaitPaused();
+  // With the workers parked no shard can publish; drain the sequencer so
+  // the snapshot's class automaton states and the lane counters are the
+  // settled post-apply values.
+  if (sequencer_) sequencer_->WaitDrained();
   Status status = CheckpointLocked();
   for (auto& shard : shards_) shard->Resume();
   return status;
@@ -298,6 +423,10 @@ Status IngestRuntime::CheckpointLocked() {
     std::lock_guard<std::mutex> lock(wm_mu_);
     data.applied = applied_seqs_;
   }
+  // Lane counters at the quiesce point: everything at or below them is in
+  // snapshot_body's class automaton states, and replayed shards resume
+  // assigning from them.
+  if (sequencer_) data.seqlane = sequencer_->LaneCounters();
   // Every record ever appended is subsumed: processed ones are in the
   // snapshot, queued ones in the inflight lists.
   for (size_t i = 0; i < wal_writers_.size(); ++i) {
@@ -312,6 +441,9 @@ Status IngestRuntime::CheckpointLocked() {
   for (auto& writer : wal_writers_) {
     ODE_RETURN_IF_ERROR(writer->Truncate());
   }
+  // The order log's records are likewise subsumed by the snapshot's class
+  // automaton states.
+  if (order_log_) ODE_RETURN_IF_ERROR(order_log_->Truncate());
   for (const auto& entry : orphan_covered_) {
     (void)::unlink(
         wal::ShardLogPath(options_.durability.dir, entry.first).c_str());
@@ -333,6 +465,13 @@ Status IngestRuntime::Stop() {
     return Status::OK();
   }
   for (auto& shard : shards_) shard->Stop();
+  // After the shards: their final batches may still publish class-scope
+  // records, which Stop applies before joining the merge thread. Detach so
+  // post-Stop direct posting falls back to the inline class path.
+  if (sequencer_) {
+    sequencer_->Stop();
+    db_->DetachSequencer();
+  }
   // Final durability barrier: group-commit policies may hold acked records
   // unsynced; a clean stop must not lose them.
   Status status = Status::OK();
@@ -371,7 +510,14 @@ RuntimeMetricsSnapshot IngestRuntime::Metrics() const {
     }
     snapshot.wal.checkpoints = checkpoints_.load(std::memory_order_relaxed);
     snapshot.wal.replayed_on_recovery = recovery_.replayed_events;
+    if (order_log_) {
+      snapshot.wal.appends += order_log_->appends();
+      snapshot.wal.fsyncs += order_log_->fsyncs();
+      snapshot.wal.bytes_written += order_log_->bytes_written();
+    }
+    snapshot.wal.degraded = wal_degraded();
   }
+  if (sequencer_) snapshot.sequencer = sequencer_->Metrics();
   {
     std::lock_guard<std::mutex> lock(producers_mu_);
     snapshot.producers.reserve(producers_.size() + (retired_count_ > 0));

@@ -16,6 +16,8 @@
 #include "runtime/event_queue.h"
 #include "runtime/metrics.h"
 #include "runtime/shard.h"
+#include "seq/order_log.h"
+#include "seq/sequencer.h"
 #include "wal/log_format.h"
 #include "wal/log_writer.h"
 #include "wal/recovery.h"
@@ -53,6 +55,14 @@ struct IngestOptions {
   /// accepted Post is appended to a per-shard WAL, and Checkpoint() is
   /// available (docs/DURABILITY.md). Default: disabled, zero hot-path cost.
   wal::WalOptions durability;
+  /// Run §9 class-scope triggers through the dedicated sequencer stage
+  /// (docs/SEQUENCER.md): shards publish compact class-event records, one
+  /// merge thread advances the shared class automata in a deterministic
+  /// total order. When false, class slots advance inline under the class
+  /// posting mutex (the pre-sequencer behaviour, kept for A/B benching).
+  bool class_sequencer = true;
+  /// Capacity of the sequencer's bounded merge queue (events).
+  size_t seq_queue_capacity = 4096;
 };
 
 /// What Start()'s recovery pass found and did (all zero/false when
@@ -64,6 +74,8 @@ struct RecoveryInfo {
   uint64_t skipped_covered = 0; ///< Log records subsumed by the checkpoint.
   uint64_t torn_files = 0;      ///< Log files with a discarded invalid tail.
   uint64_t torn_bytes = 0;
+  /// Sequencer order-log records re-applied to the class automata.
+  uint64_t sequenced_replayed = 0;
   std::vector<std::string> notes;  ///< Human-readable recovery log.
 };
 
@@ -178,6 +190,16 @@ class IngestRuntime {
   /// Aggregated + per-shard counter snapshot.
   RuntimeMetricsSnapshot Metrics() const;
 
+  /// The class-scope sequencer (null when options.class_sequencer is off
+  /// or the runtime has not started). Valid until Stop() returns.
+  seq::Sequencer* sequencer() const { return sequencer_.get(); }
+
+  /// True once any log writer (shard WAL or sequencer order log) hit a
+  /// sticky I/O failure and the runtime fell back to in-memory operation.
+  bool wal_degraded() const {
+    return wal_degraded_.load(std::memory_order_acquire);
+  }
+
  private:
   /// The Post path shared by both overloads; `event` carries identity/seq/
   /// replayed flags already.
@@ -192,6 +214,13 @@ class IngestRuntime {
   Status ReplayRecovered(wal::RecoveredState recovered);
   /// Checkpoint body, called with the post gate held and shards paused.
   Status CheckpointLocked();
+  /// Builds the sequencer (durable mode also opens the order log and
+  /// re-applies its records), attaches it to the database, and starts its
+  /// merge thread. Called from Start() before the shards begin replay.
+  Status StartSequencer(const wal::RecoveredState& recovered);
+  /// First-failure escalation: latch wal_degraded_, print the operator
+  /// banner once. Safe from any thread.
+  void DegradeWal(const char* what, const Status& status);
 
   Database* const db_;
   IngestOptions options_;
@@ -238,6 +267,17 @@ class IngestRuntime {
   std::vector<ShardMetricsSnapshot> metrics_baseline_;
   ShardMetricsSnapshot metrics_extra_base_;
   bool has_extra_base_ = false;
+
+  /// Latched by the first sticky log-writer failure anywhere (shard WAL or
+  /// order log); Checkpoint() refuses while set — truncating logs that are
+  /// missing records would turn degraded durability into silent data loss.
+  std::atomic<bool> wal_degraded_{false};
+
+  // ---- Class-scope sequencer (see docs/SEQUENCER.md) ----
+  // Declaration order matters: ~Sequencer flushes through the order-log
+  // writer, so the writer must outlive it.
+  std::unique_ptr<seq::OrderLogWriter> order_log_;
+  std::unique_ptr<seq::Sequencer> sequencer_;
 };
 
 }  // namespace runtime

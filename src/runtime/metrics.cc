@@ -160,6 +160,24 @@ std::string RuntimeMetricsSnapshot::ToString() const {
         static_cast<unsigned long long>(wal.bytes_written),
         static_cast<unsigned long long>(wal.checkpoints),
         static_cast<unsigned long long>(wal.replayed_on_recovery));
+    if (wal.degraded) out += "  wal: DEGRADED (in-memory fallback)\n";
+  }
+  if (sequencer.enabled) {
+    out += StrFormat(
+        "  sequencer: published=%llu sequenced=%llu firings=%llu "
+        "dropped=%llu apply_errors=%llu lock_timeouts=%llu "
+        "queue_depth=%llu high_water=%llu merge_lag=%llu "
+        "replay_deduped=%llu\n",
+        static_cast<unsigned long long>(sequencer.published),
+        static_cast<unsigned long long>(sequencer.sequenced),
+        static_cast<unsigned long long>(sequencer.firings),
+        static_cast<unsigned long long>(sequencer.dropped),
+        static_cast<unsigned long long>(sequencer.apply_errors),
+        static_cast<unsigned long long>(sequencer.lock_timeouts),
+        static_cast<unsigned long long>(sequencer.queue_depth),
+        static_cast<unsigned long long>(sequencer.queue_high_water),
+        static_cast<unsigned long long>(sequencer.merge_lag),
+        static_cast<unsigned long long>(sequencer.replay_deduped));
   }
   for (const ProducerMetricsSnapshot& p : producers) {
     out += StrFormat(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "seq/sequencer_metrics.h"
 
 namespace ode {
 namespace runtime {
@@ -153,6 +154,9 @@ struct WalMetricsSummary {
   uint64_t bytes_written = 0;  ///< Framed bytes appended.
   uint64_t checkpoints = 0;    ///< Successful Checkpoint() calls.
   uint64_t replayed_on_recovery = 0;  ///< Events re-posted by Start().
+  /// A log writer hit a sticky I/O failure and the runtime fell back to
+  /// in-memory operation: events keep flowing but are no longer durable.
+  bool degraded = false;
 };
 
 /// Aggregated view over all shards, plus the per-shard breakdown and the
@@ -162,6 +166,9 @@ struct RuntimeMetricsSnapshot {
   std::vector<ShardMetricsSnapshot> shards;
   std::vector<ProducerMetricsSnapshot> producers;
   WalMetricsSummary wal;
+  /// Class-scope sequencer counters (enabled=false when the runtime runs
+  /// without a sequencer and class triggers evaluate inline).
+  seq::SequencerMetricsSnapshot sequencer;
 
   /// Multi-line text dump for benches and operator logs.
   std::string ToString() const;

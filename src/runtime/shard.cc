@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "ode/database.h"
+#include "seq/sequencer.h"
 
 namespace ode {
 namespace runtime {
@@ -41,7 +42,8 @@ Status Shard::Enqueue(IngestEvent event, bool* enqueued) {
   // cannot interleave queue order and log order differently. Replayed
   // events are already durable in the old log and are not re-appended.
   const bool log_event =
-      options_.wal != nullptr && !event.replayed && !event.method.empty();
+      options_.wal != nullptr && !event.replayed && !event.method.empty() &&
+      !wal_degraded_.load(std::memory_order_acquire);
   wal::WalRecord record;
   if (log_event) {
     record.oid = event.oid;
@@ -84,9 +86,14 @@ Status Shard::Enqueue(IngestEvent event, bool* enqueued) {
   }
   if (log_event) {
     // The event is committed to the queue either way; an append failure
-    // means durability is degraded (writer failure is sticky) and the
-    // caller decides whether to keep accepting.
-    ODE_RETURN_IF_ERROR(options_.wal->Append(&record));
+    // (sticky in the writer) permanently switches this shard to in-memory
+    // mode. The event flows on — losing durability must not lose events —
+    // and the runtime's escalation hook makes the degradation loud.
+    Status logged = options_.wal->Append(&record);
+    if (!logged.ok()) {
+      wal_degraded_.store(true, std::memory_order_release);
+      if (options_.on_wal_failure) options_.on_wal_failure(logged);
+    }
   }
   return Status::OK();
 }
@@ -131,6 +138,10 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
 }
 
 void Shard::Run() {
+  // Register this worker as a sequencer publisher lane: class-scope events
+  // it posts carry per-lane FIFO sequence numbers keyed by the shard index,
+  // which is what makes the sequencer's merge order deterministic.
+  seq::SetThreadPublisherLane(static_cast<int32_t>(index_));
   std::vector<IngestEvent> batch;
   batch.reserve(options_.max_batch);
   while (true) {

@@ -61,6 +61,11 @@ class Shard {
     /// Accepted events are appended before Enqueue returns, so the log
     /// holds every event the queue ever held, in queue order.
     wal::LogWriter* wal = nullptr;
+    /// Invoked at most once, when the WAL append hits its first (sticky)
+    /// I/O failure. After the call the shard stops logging and keeps
+    /// accepting events in-memory — the runtime escalates (degraded flag,
+    /// operator banner) rather than bouncing producers.
+    std::function<void(const Status& status)> on_wal_failure;
   };
 
   Shard(size_t index, Database* db, Options options);
@@ -81,9 +86,16 @@ class Shard {
   /// is what exactly-once dedup keys on — a dropped event was NOT applied.
   /// With a WAL attached, accepted non-replayed events are appended to the
   /// log inside the same critical section as the queue push (log order ==
-  /// queue order); a log I/O failure is returned (and sticks) but the event
-  /// is already queued and will be processed.
+  /// queue order). The first log I/O failure (sticky in the writer)
+  /// permanently disables this shard's logging, fires on_wal_failure, and
+  /// is swallowed: the event is already queued and will be processed, so
+  /// ingestion continues in degraded (in-memory) mode.
   Status Enqueue(IngestEvent event, bool* enqueued = nullptr);
+
+  /// True once a WAL append has failed and logging was disabled.
+  bool wal_degraded() const {
+    return wal_degraded_.load(std::memory_order_acquire);
+  }
 
   /// Checkpoint pause protocol (caller: IngestRuntime::Checkpoint, with
   /// producers gated out of Post): RequestPause flags the worker and kicks
@@ -143,6 +155,9 @@ class Shard {
   /// the log's record order matches the queue's event order. Uncontended
   /// (and untaken) when no WAL is attached.
   std::mutex wal_mu_;
+  /// Latched by the first WAL append failure (under wal_mu_); read lock-free
+  /// by monitoring.
+  std::atomic<bool> wal_degraded_{false};
 
   // Pause protocol state: pause_requested_ is the producer-side flag the
   // worker polls at its loop head; paused_ (under pause_mu_) acknowledges.

@@ -1,0 +1,58 @@
+#ifndef ODE_SEQ_SEQ_EVENT_H_
+#define ODE_SEQ_SEQ_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "event/posted_event.h"
+#include "ode/class_def.h"
+
+namespace ode {
+namespace seq {
+
+/// One trigger slot's precomputed classification for a published event.
+/// Classification (atom-mask evaluation against the posting object, §5)
+/// happens on the owner shard at publish time, where the object's lock is
+/// already held; the sequencer thread then only steps automata and fires.
+/// This is the local-detection / global-composition split: the shard does
+/// the per-event work that needs the object, the sequencer does the
+/// order-sensitive work that needs the merged stream.
+struct SeqSym {
+  int32_t trigger_idx = -1;  ///< Index into RegisteredClass::triggers.
+  int32_t symbol = 0;        ///< Base SymbolId under that trigger's alphabet.
+};
+
+/// What an instance shard publishes into the sequencer queue: one posted
+/// event destined for a class's shared (§9 class-scope) trigger automata.
+/// `(lane, lane_seq)` is the replay-stable identity — lane = shard index
+/// (plus one external lane for non-worker posters), lane_seq a per-lane
+/// monotone counter — used for tie-breaking within a drained batch, for
+/// watermark accounting, and for exactly-once dedup during crash recovery.
+struct SeqEvent {
+  ClassId class_id = 0;
+  Oid oid;                    ///< The posting instance (action `self`).
+  uint32_t lane = 0;
+  uint64_t lane_seq = 0;
+  PostedEvent event;          ///< Full payload (args feed masks/witnesses).
+  std::vector<SeqSym> syms;   ///< One entry per publish-time-active slot.
+};
+
+/// Retry bookkeeping for TriggerEngine::ApplySequenced. The lock-free
+/// advancement phase must run at most once per event (DFA steps are not
+/// idempotent); `advanced` latches it so a kWouldBlock bounce from the
+/// firing transaction's object acquisition retries only the firing.
+struct SeqApplyProgress {
+  bool advanced = false;
+  std::vector<int32_t> pending_fire;  ///< trigger_idx of occurred slots.
+  /// First non-retryable error from the firing phase (action failures are
+  /// recorded, counted, and skipped — never retried, so fire counters
+  /// cannot drift).
+  std::string error;
+};
+
+}  // namespace seq
+}  // namespace ode
+
+#endif  // ODE_SEQ_SEQ_EVENT_H_

@@ -1,0 +1,501 @@
+#include "seq/sequencer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+#include "ode/database.h"
+
+namespace ode {
+namespace seq {
+
+namespace {
+
+thread_local int32_t t_publisher_lane = -1;
+thread_local bool t_on_sequencer_thread = false;
+
+/// Scoped "this thread is the sequencer" marker (the merge thread for its
+/// lifetime, ApplyRecovered for one call).
+class SequencerThreadScope {
+ public:
+  SequencerThreadScope() : prev_(t_on_sequencer_thread) {
+    t_on_sequencer_thread = true;
+  }
+  ~SequencerThreadScope() { t_on_sequencer_thread = prev_; }
+
+ private:
+  bool prev_;
+};
+
+bool SeqOrder(const SeqEvent& a, const SeqEvent& b) {
+  if (a.lane != b.lane) return a.lane < b.lane;
+  return a.lane_seq < b.lane_seq;
+}
+
+}  // namespace
+
+void SetThreadPublisherLane(int32_t lane) { t_publisher_lane = lane; }
+int32_t ThreadPublisherLane() { return t_publisher_lane; }
+bool OnSequencerThread() { return t_on_sequencer_thread; }
+
+Sequencer::Sequencer(Database* db, Options options)
+    : db_(db),
+      options_([&] {
+        if (options.num_lanes == 0) options.num_lanes = 1;
+        return options;
+      }()),
+      queue_(options_.queue_capacity),
+      lane_next_(options_.num_lanes),
+      watermark_(options_.num_lanes) {
+  for (auto& n : lane_next_) n.store(0, std::memory_order_relaxed);
+  for (auto& w : watermark_) w.store(0, std::memory_order_relaxed);
+}
+
+Sequencer::~Sequencer() { Stop(); }
+
+Status Sequencer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("sequencer already started");
+  }
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void Sequencer::Stop() {
+  if (stopped_.exchange(true)) return;
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+  if (options_.order_log != nullptr && options_.order_log->open()) {
+    (void)options_.order_log->Sync();
+  }
+}
+
+Sequencer::PublishScope::PublishScope(Sequencer* s) : s_(s) {
+  if (s_ != nullptr) s_->EnterPublish();
+}
+
+Sequencer::PublishScope::~PublishScope() {
+  if (s_ != nullptr) s_->ExitPublish();
+}
+
+void Sequencer::EnterPublish() {
+  std::unique_lock<std::mutex> lock(gate_mu_);
+  gate_cv_.wait(lock, [&] { return !gate_closed_; });
+  ++publishing_;
+}
+
+void Sequencer::ExitPublish() {
+  std::lock_guard<std::mutex> lock(gate_mu_);
+  if (--publishing_ == 0) gate_cv_.notify_all();
+}
+
+bool Sequencer::Publish(SeqEvent event) {
+  uint32_t lane = external_lane();
+  int32_t registered = t_publisher_lane;
+  if (registered >= 0 &&
+      static_cast<uint32_t>(registered) < external_lane()) {
+    lane = static_cast<uint32_t>(registered);
+  }
+  event.lane = lane;
+  if (lane == external_lane()) {
+    // The external lane is shared by every unregistered thread: assigning
+    // the sequence number and enqueuing must be one atomic step or two
+    // externals could enter the queue in counter-inverted order.
+    std::lock_guard<std::mutex> lock(external_mu_);
+    event.lane_seq =
+        lane_next_[lane].fetch_add(1, std::memory_order_relaxed) + 1;
+    return Enqueue(std::move(event));
+  }
+  // A shard lane has exactly one producer thread: no serialization needed.
+  event.lane_seq =
+      lane_next_[lane].fetch_add(1, std::memory_order_relaxed) + 1;
+  return Enqueue(std::move(event));
+}
+
+bool Sequencer::Enqueue(SeqEvent event) {
+  SeqQueue::PushResult r = options_.overflow == OverflowPolicy::kDropNewest
+                               ? queue_.TryPush(std::move(event))
+                               : queue_.Push(std::move(event));
+  if (r == SeqQueue::PushResult::kOk) {
+    published_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool Sequencer::Drained() const {
+  return consumed_.load(std::memory_order_acquire) ==
+         published_.load(std::memory_order_acquire);
+}
+
+void Sequencer::NoteConsumed() {
+  consumed_.fetch_add(1, std::memory_order_release);
+  if (Drained()) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drained_cv_.notify_all();
+  }
+}
+
+void Sequencer::WaitDrained() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [&] {
+    return Drained() &&
+           deferred_count_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void Sequencer::WaitMergeIdle() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [&] { return Drained(); });
+}
+
+Status Sequencer::ExecuteQuiesced(const std::function<Status()>& fn) {
+  const bool on_merge_thread = OnSequencerThread();
+  {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    gate_cv_.wait(lock, [&] { return !gate_closed_; });
+    gate_closed_ = true;
+    // Shard workers now parking at the gate may hold their batch
+    // transaction's object locks mid-transaction. Tell the merge loop:
+    // with the flag up it defers firings that hit such a lock instead of
+    // burning its full retry budget against a holder that cannot release
+    // until the gate reopens.
+    if (!on_merge_thread) {
+      quiescing_.store(true, std::memory_order_release);
+    }
+    // Publishers past the gate may be blocked in a full queue; when the
+    // merge thread itself is the quiescer nobody else will free them, so
+    // interleave drains with the wait.
+    while (publishing_ != 0) {
+      if (on_merge_thread) {
+        lock.unlock();
+        queue_.DrainInto(&spill_);
+        lock.lock();
+        gate_cv_.wait_for(lock, std::chrono::milliseconds(1),
+                          [&] { return publishing_ == 0; });
+      } else {
+        gate_cv_.wait(lock, [&] { return publishing_ == 0; });
+      }
+    }
+  }
+  // From any other thread, also wait for the merge loop to consume every
+  // accepted publish so it is not touching slot memory while `fn` mutates
+  // it. Merge-idle, not fully drained: deferred firings need the gate we
+  // are holding closed, and they only touch objects, never slot structure.
+  // The merge thread skips this (it is the one that would have to drain).
+  if (!on_merge_thread && started_.load(std::memory_order_acquire) &&
+      !stopped_.load(std::memory_order_acquire)) {
+    WaitMergeIdle();
+  }
+  Status s = fn();
+  {
+    std::lock_guard<std::mutex> lock(gate_mu_);
+    gate_closed_ = false;
+    if (!on_merge_thread) {
+      quiescing_.store(false, std::memory_order_release);
+    }
+    gate_cv_.notify_all();
+  }
+  // The merge thread may be asleep on an empty queue with deferred
+  // firings in hand; wake it to flush them.
+  if (deferred_count_.load(std::memory_order_acquire) > 0) {
+    queue_.Kick();
+  }
+  return s;
+}
+
+void Sequencer::ApplyOne(SeqEvent& event) {
+  if (replay_dedup_.load(std::memory_order_relaxed) &&
+      event.lane < watermark_.size() &&
+      event.lane_seq <=
+          watermark_[event.lane].load(std::memory_order_relaxed)) {
+    replay_deduped_.fetch_add(1, std::memory_order_relaxed);
+    NoteConsumed();
+    return;
+  }
+
+  SeqApplyProgress progress;
+  for (int attempt = 0;; ++attempt) {
+    const bool unlocked = attempt >= options_.lock_retry_limit;
+    if (unlocked && attempt == options_.lock_retry_limit) {
+      lock_timeouts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Result<int> fired = db_->ApplySequencedEvent(event, &progress, unlocked);
+    if (fired.ok()) {
+      if (*fired > 0) {
+        firings_.fetch_add(static_cast<uint64_t>(*fired),
+                           std::memory_order_relaxed);
+      }
+      break;
+    }
+    StatusCode code = fired.status().code();
+    if (!unlocked && (code == StatusCode::kWouldBlock ||
+                      code == StatusCode::kDeadlock)) {
+      if (progress.advanced &&
+          quiescing_.load(std::memory_order_acquire)) {
+        // The lock holder is a shard transaction parked at the closed
+        // publish gate: it cannot commit (and release the lock) until the
+        // quiesce — which is in turn waiting on this merge loop — ends.
+        // The automaton step is already latched, so park just the firing
+        // phase and finish it right after the gate reopens; the event's
+        // position in the total order (watermark, order log) is fixed now,
+        // below.
+        deferred_.push_back({event, std::move(progress)});
+        deferred_count_.fetch_add(1, std::memory_order_release);
+        progress = SeqApplyProgress{};
+        break;
+      }
+      // The posting object's lock is held by a shard transaction; free any
+      // publishers blocked on a full queue, then retry. This is what
+      // breaks the shard-holds-lock / queue-full cycle.
+      queue_.DrainInto(&spill_);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.lock_retry_sleep_us));
+      continue;
+    }
+    apply_errors_.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+  if (!progress.error.empty()) {
+    apply_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  sequenced_.fetch_add(1, std::memory_order_relaxed);
+  if (event.lane < watermark_.size()) {
+    std::atomic<uint64_t>& wm = watermark_[event.lane];
+    if (event.lane_seq > wm.load(std::memory_order_relaxed)) {
+      wm.store(event.lane_seq, std::memory_order_relaxed);
+    }
+  }
+
+  // Write-behind order log: logged ⊆ applied. A sticky failure stops
+  // logging (recovery exactness is lost, not correctness) and escalates
+  // once through the runtime's wal-degrade hook.
+  if (options_.order_log != nullptr &&
+      !log_failed_.load(std::memory_order_relaxed)) {
+    Status s = options_.order_log->Append(event);
+    if (!s.ok()) {
+      log_failed_.store(true, std::memory_order_relaxed);
+      if (options_.on_log_failure) options_.on_log_failure(s);
+    }
+  }
+  NoteConsumed();
+}
+
+void Sequencer::FlushDeferred() {
+  // Participate in the publish gate: FireSlot reads the slot memory a
+  // quiescer's fn may mutate, so a gate-closer must be able to wait this
+  // flush out via publishing_ == 0 — and we must not start one while the
+  // gate is closed (the reopen kick will bring us back).
+  {
+    std::unique_lock<std::mutex> lock(gate_mu_);
+    if (gate_closed_) return;
+    ++publishing_;
+  }
+  size_t done = 0;
+  while (done < deferred_.size()) {
+    if (quiescing_.load(std::memory_order_acquire)) break;  // re-park
+    DeferredFire& d = deferred_[done];
+    bool reparked = false;
+    for (int attempt = 0;; ++attempt) {
+      const bool unlocked = attempt >= options_.lock_retry_limit;
+      if (unlocked && attempt == options_.lock_retry_limit) {
+        lock_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      }
+      // progress.advanced is latched, so only the firing transaction runs.
+      Result<int> fired =
+          db_->ApplySequencedEvent(d.event, &d.progress, unlocked);
+      if (fired.ok()) {
+        if (*fired > 0) {
+          firings_.fetch_add(static_cast<uint64_t>(*fired),
+                             std::memory_order_relaxed);
+        }
+        break;
+      }
+      StatusCode code = fired.status().code();
+      if (!unlocked && (code == StatusCode::kWouldBlock ||
+                        code == StatusCode::kDeadlock)) {
+        if (quiescing_.load(std::memory_order_acquire)) {
+          reparked = true;  // lock holder is parked at the new gate close
+          break;
+        }
+        queue_.DrainInto(&spill_);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(options_.lock_retry_sleep_us));
+        continue;
+      }
+      apply_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (reparked) break;
+    if (!d.progress.error.empty()) {
+      apply_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++done;
+    deferred_count_.fetch_sub(1, std::memory_order_release);
+  }
+  deferred_.erase(deferred_.begin(),
+                  deferred_.begin() + static_cast<ptrdiff_t>(done));
+  ExitPublish();
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drained_cv_.notify_all();
+}
+
+void Sequencer::Run() {
+  SequencerThreadScope scope;
+  for (;;) {
+    if (pending_.empty()) {
+      if (deferred_count_.load(std::memory_order_acquire) > 0 &&
+          !quiescing_.load(std::memory_order_acquire)) {
+        FlushDeferred();
+      }
+      if (!spill_.empty()) {
+        // Events drained to unblock publishers while a deferred firing
+        // waited on a lock.
+        std::stable_sort(spill_.begin(), spill_.end(), SeqOrder);
+        pending_.swap(spill_);
+      } else {
+        size_t n = queue_.WaitDrainInto(&pending_);
+        if (n == 0) {
+          if (queue_.closed()) break;
+          continue;  // A kick: loop back to flush deferred firings.
+        }
+        // Deterministic batch merge: everything drained together is applied
+        // in ascending (lane, lane_seq) — the tie-break of the ordering
+        // contract. Per-lane FIFO is preserved because a lane's events
+        // enter the queue in lane_seq order.
+        std::stable_sort(pending_.begin(), pending_.end(), SeqOrder);
+      }
+    }
+    size_t i = 0;
+    while (i < pending_.size()) {
+      // Published before apply: ApplyOne of the final event wakes drain
+      // waiters, who may sample Metrics() immediately — the backlog must
+      // already exclude the event being applied.
+      backlog_.store(pending_.size() - i - 1, std::memory_order_relaxed);
+      ApplyOne(pending_[i]);
+      ++i;
+      if (!spill_.empty()) {
+        // Events drained while the head waited on a lock: newer than
+        // everything already pending on their lanes, so they sort among
+        // themselves and go to the back.
+        std::stable_sort(spill_.begin(), spill_.end(), SeqOrder);
+        for (SeqEvent& e : spill_) pending_.push_back(std::move(e));
+        spill_.clear();
+        backlog_.store(pending_.size() - i, std::memory_order_relaxed);
+      }
+    }
+    pending_.clear();
+    backlog_.store(0, std::memory_order_relaxed);
+  }
+  // Queue closed: everything pending was applied above. Firings still
+  // deferred run now (bounded, ending unlocked if need be) — Stop() must
+  // not lose actions. A quiesce racing the shutdown keeps the gate closed
+  // only briefly (ExecuteQuiesced always reopens), so spin until flushed.
+  while (deferred_count_.load(std::memory_order_acquire) > 0) {
+    FlushDeferred();
+    if (deferred_count_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // Wake any waiter.
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  drained_cv_.notify_all();
+}
+
+void Sequencer::RestoreLaneCounters(
+    const std::vector<uint64_t>& last_assigned) {
+  for (size_t i = 0; i < last_assigned.size() && i < lane_next_.size(); ++i) {
+    lane_next_[i].store(last_assigned[i], std::memory_order_relaxed);
+    // Everything at or below the checkpoint counter was applied before the
+    // checkpoint: the watermark floor for replay dedup.
+    if (last_assigned[i] > watermark_[i].load(std::memory_order_relaxed)) {
+      watermark_[i].store(last_assigned[i], std::memory_order_relaxed);
+    }
+  }
+}
+
+Status Sequencer::ApplyRecovered(const SeqEvent& event) {
+  if (started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition(
+        "ApplyRecovered requires a not-yet-started sequencer");
+  }
+  // A crash between checkpoint publication and order-log truncation leaves
+  // records the checkpoint's snapshot already covers; the restored
+  // watermark floor identifies and skips them.
+  if (event.lane < watermark_.size() &&
+      event.lane_seq <= watermark_[event.lane].load(std::memory_order_relaxed)) {
+    replay_deduped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  SequencerThreadScope scope;  // Action cascades apply inline.
+  SeqEvent ev = event;
+  SeqApplyProgress progress;
+  Result<int> fired = db_->ApplySequencedEvent(ev, &progress,
+                                               /*allow_unlocked=*/false);
+  if (fired.ok()) {
+    if (*fired > 0) {
+      firings_.fetch_add(static_cast<uint64_t>(*fired),
+                         std::memory_order_relaxed);
+    }
+  } else {
+    apply_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (!progress.error.empty()) {
+    apply_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  sequenced_.fetch_add(1, std::memory_order_relaxed);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  consumed_.fetch_add(1, std::memory_order_relaxed);
+  if (ev.lane < watermark_.size() &&
+      ev.lane_seq > watermark_[ev.lane].load(std::memory_order_relaxed)) {
+    watermark_[ev.lane].store(ev.lane_seq, std::memory_order_relaxed);
+  }
+  // Deliberately NOT re-appended to the order log: the record is already
+  // in it (recovery replays the log, it does not rewrite it).
+  return Status::OK();
+}
+
+void Sequencer::BeginReplayDedup() {
+  replay_dedup_.store(true, std::memory_order_relaxed);
+}
+
+void Sequencer::FinishReplay() {
+  replay_dedup_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Sequencer::LaneCounters() const {
+  std::vector<uint64_t> out(lane_next_.size());
+  for (size_t i = 0; i < lane_next_.size(); ++i) {
+    out[i] = lane_next_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+SequencerMetricsSnapshot Sequencer::Metrics() const {
+  SequencerMetricsSnapshot snap;
+  snap.enabled = true;
+  snap.published = published_.load(std::memory_order_relaxed);
+  snap.sequenced = sequenced_.load(std::memory_order_relaxed);
+  snap.firings = firings_.load(std::memory_order_relaxed);
+  snap.dropped = dropped_.load(std::memory_order_relaxed);
+  snap.apply_errors = apply_errors_.load(std::memory_order_relaxed);
+  snap.lock_timeouts = lock_timeouts_.load(std::memory_order_relaxed);
+  snap.queue_depth =
+      queue_.size() + backlog_.load(std::memory_order_relaxed);
+  snap.queue_high_water = queue_.high_water();
+  uint64_t consumed = consumed_.load(std::memory_order_relaxed);
+  snap.merge_lag = snap.published > consumed ? snap.published - consumed : 0;
+  snap.replay_deduped = replay_deduped_.load(std::memory_order_relaxed);
+  snap.lane_watermark.resize(watermark_.size());
+  for (size_t i = 0; i < watermark_.size(); ++i) {
+    snap.lane_watermark[i] = watermark_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace seq
+}  // namespace ode

@@ -1,0 +1,235 @@
+#ifndef ODE_SEQ_SEQUENCER_H_
+#define ODE_SEQ_SEQUENCER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "seq/order_log.h"
+#include "seq/seq_event.h"
+#include "seq/seq_queue.h"
+#include "seq/sequencer_metrics.h"
+
+namespace ode {
+
+class Database;
+
+namespace seq {
+
+/// Publisher lane bound to the calling thread (shard workers call
+/// SetThreadPublisherLane(shard_index) once at startup). Threads that never
+/// register publish on the sequencer's last, mutex-serialized "external"
+/// lane. -1 = unregistered.
+void SetThreadPublisherLane(int32_t lane);
+int32_t ThreadPublisherLane();
+
+/// True on the sequencer's merge thread (and inside ApplyRecovered).
+/// TriggerEngine::Post uses this to apply action-cascade events inline —
+/// a cascaded event is a synchronous child of the firing event, so its
+/// correct position in the total order IS the firing point, not the back
+/// of the queue.
+bool OnSequencerThread();
+
+/// The §9 class-scope event sequencer: a dedicated pipeline stage that
+/// merges every shard's class-scope postings into ONE deterministic total
+/// order and advances/fires the shared class automata from a single
+/// thread, replacing the old advance-inline-under-class_post_mu_ scheme.
+///
+/// Ordering contract (docs/SEQUENCER.md): per-lane FIFO (a lane is one
+/// shard worker, plus one external lane); events drained in one batch are
+/// merged in ascending (lane, lane_seq); the resulting apply order is THE
+/// authoritative order — it is what the order log records and what crash
+/// recovery reproduces. Watermarks (highest lane_seq applied per lane) are
+/// monotone.
+class Sequencer {
+ public:
+  /// What Publish does when the queue is full. kBlock bounds memory and
+  /// throttles shards to the merge rate; kDropNewest sheds the publish
+  /// (counted) — acceptable only when class triggers are advisory.
+  enum class OverflowPolicy { kBlock, kDropNewest };
+
+  struct Options {
+    size_t queue_capacity = 4096;
+    /// Shard lanes [0, num_lanes-2] plus the external lane (num_lanes-1).
+    uint32_t num_lanes = 2;
+    OverflowPolicy overflow = OverflowPolicy::kBlock;
+    /// Bounded wait for the posting object's lock in the firing phase:
+    /// retry_limit attempts x retry_sleep_us, then fire without the lock
+    /// (same discipline as Database::AcquireEpilogueLock).
+    int lock_retry_limit = 1000;
+    int lock_retry_sleep_us = 50;
+    /// Optional durable order log (owned by the caller, must outlive the
+    /// sequencer). Written *behind* each apply.
+    OrderLogWriter* order_log = nullptr;
+    /// Invoked once, off the hot path, when the order log fails sticky
+    /// (the runtime escalates to wal-degraded mode).
+    std::function<void(const Status&)> on_log_failure;
+  };
+
+  Sequencer(Database* db, Options options);
+  ~Sequencer();
+
+  Sequencer(const Sequencer&) = delete;
+  Sequencer& operator=(const Sequencer&) = delete;
+
+  /// Spawns the merge thread. Call after recovery (ApplyRecovered /
+  /// RestoreLaneCounters) and before the first Publish.
+  Status Start();
+
+  /// Closes the queue, applies everything still buffered, joins the merge
+  /// thread, and syncs the order log. Idempotent.
+  void Stop();
+
+  /// RAII publish-side gate. TriggerEngine holds one across its whole
+  /// publish section (slot reads + classification + Publish) so
+  /// ExecuteQuiesced can establish a moment where no publisher is touching
+  /// class-slot memory. Blocks in the constructor while the gate is closed.
+  class PublishScope {
+   public:
+    explicit PublishScope(Sequencer* s);
+    ~PublishScope();
+
+    PublishScope(const PublishScope&) = delete;
+    PublishScope& operator=(const PublishScope&) = delete;
+
+   private:
+    Sequencer* s_;
+  };
+
+  /// Assigns (lane, lane_seq) from the calling thread's lane and enqueues.
+  /// Caller must hold a PublishScope. Returns false when the event was
+  /// dropped (kDropNewest overflow or sequencer stopped).
+  bool Publish(SeqEvent event);
+
+  /// Blocks until every accepted publish has been applied — automaton
+  /// steps AND firings, including firings deferred past a quiesce window —
+  /// and the queue is empty (the runtime's drain barrier).
+  void WaitDrained();
+
+  /// Runs `fn` with publishers gated out and the pipeline fully drained —
+  /// the (de)activation barrier: class-slot structure may be mutated inside
+  /// `fn` with no publisher or merge-side reader racing. Reentrant-safe
+  /// from the sequencer thread itself (an action (de)activating a class
+  /// trigger), where the drain wait is skipped — the merge thread is the
+  /// caller, so slot memory is already exclusively ours.
+  Status ExecuteQuiesced(const std::function<Status()>& fn);
+
+  // --- Crash recovery (all pre-Start) ------------------------------------
+
+  /// Restores per-lane publish counters (and watermark floors) from a
+  /// checkpoint: `last_assigned[lane]` is the highest lane_seq handed out
+  /// before the checkpoint. Replayed shards then regenerate the same
+  /// lane_seq values the original run assigned.
+  void RestoreLaneCounters(const std::vector<uint64_t>& last_assigned);
+
+  /// Re-applies one recovered order-log record on the caller thread, in
+  /// logged order: advances automata, fires actions, raises the lane
+  /// watermark. Does NOT re-append to the order log.
+  Status ApplyRecovered(const SeqEvent& event);
+
+  /// Enters replay-dedup mode: published events whose (lane, lane_seq) is
+  /// at or below the lane watermark were already applied before the crash
+  /// (recovered from the order log) and are dropped, giving exactly-once
+  /// re-execution during shard-WAL replay.
+  void BeginReplayDedup();
+  void FinishReplay();
+
+  /// Current per-lane publish counters (checkpoint capture; call only
+  /// while quiesced/drained).
+  std::vector<uint64_t> LaneCounters() const;
+
+  SequencerMetricsSnapshot Metrics() const;
+
+  uint32_t num_lanes() const { return options_.num_lanes; }
+  uint32_t external_lane() const { return options_.num_lanes - 1; }
+  uint64_t firings() const { return firings_.load(std::memory_order_relaxed); }
+
+ private:
+  /// A firing postponed past a quiesce window: the automaton step already
+  /// latched (progress.advanced), only the action/disarm transaction — the
+  /// part that needs the posting object's lock — remains.
+  struct DeferredFire {
+    SeqEvent event;
+    SeqApplyProgress progress;
+  };
+
+  void Run();
+  /// Applies one merged event with bounded lock retries; updates counters,
+  /// watermark, and the order log.
+  void ApplyOne(SeqEvent& event);
+  /// Runs the firing phase of every deferred event (merge thread, gate
+  /// open) and wakes drain waiters.
+  void FlushDeferred();
+  bool Enqueue(SeqEvent event);
+  void NoteConsumed();
+  void EnterPublish();
+  void ExitPublish();
+  bool Drained() const;
+  /// Quiescer-side barrier: merge thread idle (consumed == published) but
+  /// possibly holding deferred firings — unlike WaitDrained, this cannot
+  /// wait for those, because they need the gate the quiescer holds closed.
+  void WaitMergeIdle();
+
+  Database* db_;
+  Options options_;
+  SeqQueue queue_;
+
+  std::thread thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  /// Publish gate (quiesce protocol).
+  std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool gate_closed_ = false;
+  int publishing_ = 0;
+
+  /// Per-lane publish counters; shard lanes are single-producer, the
+  /// external lane serializes on external_mu_.
+  std::vector<std::atomic<uint64_t>> lane_next_;
+  std::mutex external_mu_;
+
+  /// Merge-thread-owned backlog carried across drains, and the spill
+  /// buffer filled when the queue is drained mid-retry to free blocked
+  /// publishers.
+  std::vector<SeqEvent> pending_;
+  std::vector<SeqEvent> spill_;
+
+  /// Firings deferred while a quiesce is pending (merge-thread-owned);
+  /// deferred_count_ is the cross-thread view for the drain barrier.
+  std::vector<DeferredFire> deferred_;
+  std::atomic<uint64_t> deferred_count_{0};
+  /// True between gate close and reopen of a non-merge-thread quiesce:
+  /// tells ApplyOne that lock waits cannot succeed (the holders are parked
+  /// at the closed gate) and firings must be deferred instead.
+  std::atomic<bool> quiescing_{false};
+
+  std::atomic<bool> replay_dedup_{false};
+  std::vector<std::atomic<uint64_t>> watermark_;
+
+  std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> consumed_{0};  ///< sequenced + replay-deduped.
+  std::atomic<uint64_t> sequenced_{0};
+  std::atomic<uint64_t> firings_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> apply_errors_{0};
+  std::atomic<uint64_t> lock_timeouts_{0};
+  std::atomic<uint64_t> replay_deduped_{0};
+  std::atomic<uint64_t> backlog_{0};  ///< pending_.size(), for metrics.
+
+  std::atomic<bool> log_failed_{false};
+
+  mutable std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
+};
+
+}  // namespace seq
+}  // namespace ode
+
+#endif  // ODE_SEQ_SEQUENCER_H_

@@ -5,6 +5,8 @@
 #include "common/strutil.h"
 #include "mask/mask_eval.h"
 #include "ode/database.h"
+#include "seq/seq_event.h"
+#include "seq/sequencer.h"
 
 namespace ode {
 
@@ -114,7 +116,14 @@ Result<bool> TriggerEngine::AdvanceSlot(ActiveTrigger* slot,
   Result<SymbolId> base_sym =
       program.event.alphabet.Classify(event, eval_mask);
   if (!base_sym.ok()) return base_sym.status();
+  return AdvanceClassified(slot, program, txn, obj, oid, event, *base_sym,
+                           undo_logged);
+}
 
+Result<bool> TriggerEngine::AdvanceClassified(
+    ActiveTrigger* slot, const TriggerProgram& program, Transaction* txn,
+    Object* obj, Oid oid, const PostedEvent& event, int32_t base_sym,
+    bool undo_logged) {
   // §9 argument capture: remember the latest occurrence of each referenced
   // logical event for the action's Witness() lookups.
   if (db_->options().capture_witnesses) {
@@ -137,7 +146,7 @@ Result<bool> TriggerEngine::AdvanceSlot(ActiveTrigger* slot,
     slot->gate_states.resize(gates.size(), 0);
   }
   for (size_t g = 0; g < gates.size(); ++g) {
-    SymbolId ext = program.event.ExtendSymbol(*base_sym, gate_bits);
+    SymbolId ext = program.event.ExtendSymbol(base_sym, gate_bits);
     int32_t gs = gates[g].dfa.Step(slot->gate_states[g], ext);
     slot->gate_states[g] = gs;
     if (gates[g].dfa.accepting(gs)) {
@@ -150,7 +159,7 @@ Result<bool> TriggerEngine::AdvanceSlot(ActiveTrigger* slot,
     }
   }
 
-  SymbolId ext_sym = program.event.ExtendSymbol(*base_sym, gate_bits);
+  SymbolId ext_sym = program.event.ExtendSymbol(base_sym, gate_bits);
   int32_t new_state = dfa.Step(old_state, ext_sym);
   if (undo_logged && program.view == HistoryView::kCommitted &&
       txn != nullptr &&
@@ -377,14 +386,64 @@ Result<int> TriggerEngine::Post(Transaction* txn, Oid oid, PostedEvent event) {
     if (*occurred) fired.push_back({Scope::kObject, i, 0});
   }
   // Class-scope slots are shared mutable state across every instance of
-  // the class: serialize their advancement AND firing (held to the end of
-  // this Post) so two shard workers posting to different objects cannot
-  // race on the same automaton. Recursive, so actions that post
-  // re-entrantly on this thread do not self-deadlock; lock-manager
-  // acquires inside actions never block (kWouldBlock), so no cycle.
+  // the class. With a sequencer attached (the runtime's ingestion path),
+  // the shard does only the per-event work that needs the posting object —
+  // mask classification, evaluated here while the poster still owns the
+  // object — and publishes a SeqEvent; the dedicated sequencer thread owns
+  // all slot advancement and firing in its deterministic merge order
+  // (docs/SEQUENCER.md). Without a sequencer, and for action cascades on
+  // the sequencer thread itself (a cascaded event is a synchronous child
+  // of the firing event, so its place in the total order IS the firing
+  // point), the legacy inline path advances under class_post_mu_:
+  // recursive, so actions that post re-entrantly on this thread do not
+  // self-deadlock; lock-manager acquires inside actions never block
+  // (kWouldBlock), so no cycle.
   std::unique_lock<std::recursive_mutex> class_lock;
   std::vector<ActiveTrigger>* class_slots = db_->ClassSlots(class_id);
-  if (class_slots != nullptr) {
+  seq::Sequencer* sequencer =
+      class_slots != nullptr ? db_->sequencer() : nullptr;
+  if (class_slots != nullptr && sequencer != nullptr &&
+      !seq::OnSequencerThread()) {
+    // Publish-side critical section: the scope keeps (de)activation's
+    // quiesce barrier out while slot params are being read.
+    seq::Sequencer::PublishScope publish_scope(sequencer);
+    seq::SeqEvent sev;
+    sev.class_id = class_id;
+    sev.oid = oid;
+    const uint64_t active_mask = db_->ClassActiveMask(class_id);
+    for (size_t i = 0; i < class_slots->size() && i < 64; ++i) {
+      if (((active_mask >> i) & 1) == 0) continue;
+      ActiveTrigger& slot = (*class_slots)[i];
+      const TriggerProgram& program = cls->triggers[slot.trigger_idx];
+      auto eval_mask = [&](const MaskSlot& mask_slot,
+                           const PostedEvent& ev) -> Result<bool> {
+        db_->BumpMaskEvaluations();
+        DbMaskEnv env(db_, txn != nullptr ? txn->id() : 0, obj, &ev,
+                      &mask_slot.params, &slot.params);
+        return EvalMaskBool(*mask_slot.mask, env);
+      };
+      Result<SymbolId> base_sym =
+          program.event.alphabet.Classify(event, eval_mask);
+      if (!base_sym.ok()) return base_sym.status();
+      if (program.other_inert &&
+          *base_sym == program.event.alphabet.other_symbol()) {
+        // Provably a no-op for this slot from every state (and OTHER
+        // never updates witnesses): leave it out of the stream.
+        continue;
+      }
+      sev.syms.push_back(seq::SeqSym{slot.trigger_idx, *base_sym});
+    }
+    // Publish only events that can affect some slot. This keeps each
+    // lane's published sequence a pure function of the shard's WAL event
+    // order: transaction-marker and other inert events vary with runtime
+    // batch boundaries, and admitting them would shift lane sequence
+    // numbers so crash replay could not line regenerated publishes up
+    // with the order log's watermarks (docs/SEQUENCER.md).
+    if (!sev.syms.empty()) {
+      sev.event = event;
+      sequencer->Publish(std::move(sev));
+    }
+  } else if (class_slots != nullptr) {
     class_lock =
         std::unique_lock<std::recursive_mutex>(db_->class_post_mu_);
     for (size_t i = 0; i < class_slots->size(); ++i) {
@@ -452,6 +511,124 @@ Result<int> TriggerEngine::Post(Transaction* txn, Oid oid, PostedEvent event) {
                                  p.scope == Scope::kClass, class_id));
   }
   return total_fired;
+}
+
+Result<int> TriggerEngine::ApplySequenced(const seq::SeqEvent& sev,
+                                          seq::SeqApplyProgress* progress,
+                                          bool allow_unlocked) {
+  const RegisteredClass* cls = db_->classes().FindById(sev.class_id);
+  if (cls == nullptr) {
+    return Status::NotFound("sequenced event for unknown class");
+  }
+  std::vector<ActiveTrigger>* slots = db_->ClassSlots(sev.class_id);
+  if (slots == nullptr) return 0;
+
+  auto find_slot = [&](int32_t trigger_idx) -> ActiveTrigger* {
+    for (ActiveTrigger& s : *slots) {
+      if (s.trigger_idx == trigger_idx) return &s;
+    }
+    return nullptr;
+  };
+  auto valid_idx = [&](int32_t idx) {
+    return idx >= 0 && static_cast<size_t>(idx) < cls->triggers.size();
+  };
+
+  // Gates and composite masks read database state (attributes, host fns),
+  // which requires the firing transaction; everything else steps automata
+  // from the publish-time symbols without touching shared database state.
+  bool needs_db = false;
+  for (const seq::SeqSym& sym : sev.syms) {
+    if (!valid_idx(sym.trigger_idx)) continue;
+    const TriggerProgram& p = cls->triggers[sym.trigger_idx];
+    if (!p.event.gates.empty() || !p.event.composite_masks.empty()) {
+      needs_db = true;
+    }
+  }
+
+  if (!needs_db && !progress->advanced) {
+    // Fast path: advance without any transaction or lock. The latch is set
+    // after the loop — nothing below can fail, and DFA steps must never
+    // rerun on a firing-phase retry.
+    for (const seq::SeqSym& sym : sev.syms) {
+      if (!valid_idx(sym.trigger_idx)) continue;
+      ActiveTrigger* slot = find_slot(sym.trigger_idx);
+      if (slot == nullptr || !slot->active) continue;
+      const TriggerProgram& program = cls->triggers[sym.trigger_idx];
+      if (db_->options().capture_witnesses) {
+        const BasicEvent* spec =
+            program.event.alphabet.MatchingSpec(sev.event);
+        if (spec != nullptr) slot->witnesses[spec->CanonicalKey()] = sev.event;
+      }
+      const Dfa& dfa = program.ActiveDfa();
+      SymbolId ext = program.event.ExtendSymbol(sym.symbol, 0);
+      slot->state = dfa.Step(slot->state, ext);
+      // No composite masks on this path (needs_db would be true), so
+      // acceptance is occurrence.
+      if (dfa.accepting(slot->state)) {
+        progress->pending_fire.push_back(sym.trigger_idx);
+      }
+    }
+    progress->advanced = true;
+  }
+  if (progress->advanced && progress->pending_fire.empty()) return 0;
+
+  // Firing (and gate/composite-bearing advancement) runs in a system
+  // transaction that first acquires the posting object — the same lock
+  // shard transactions take — so a class trigger's action is serialized
+  // with the object's own shard. TouchObject comes FIRST: its
+  // kWouldBlock/kDeadlock bounce out before any non-idempotent mutation,
+  // making the whole call safely retryable until `progress->advanced`.
+  int fired = 0;
+  Status txn_status = db_->RunSystemTxn([&](Transaction* sys) -> Status {
+    Object* obj = nullptr;
+    if (db_->Exists(sev.oid)) {
+      if (!allow_unlocked) {
+        ODE_RETURN_IF_ERROR(
+            db_->TouchObject(sys, sev.oid, LockMode::kExclusive));
+      }
+      Result<Object*> got = db_->GetObject(sev.oid);
+      if (got.ok()) obj = *got;
+    }
+    if (!progress->advanced) {
+      // Latch first: a mask error below is recorded and skipped, never
+      // retried (retrying would double-step the automata).
+      progress->advanced = true;
+      for (const seq::SeqSym& sym : sev.syms) {
+        if (!valid_idx(sym.trigger_idx)) continue;
+        ActiveTrigger* slot = find_slot(sym.trigger_idx);
+        if (slot == nullptr || !slot->active) continue;
+        const TriggerProgram& program = cls->triggers[sym.trigger_idx];
+        Result<bool> occurred =
+            AdvanceClassified(slot, program, sys, obj, sev.oid, sev.event,
+                              sym.symbol, /*undo_logged=*/false);
+        if (!occurred.ok()) {
+          if (progress->error.empty()) {
+            progress->error = occurred.status().message();
+          }
+          continue;
+        }
+        if (*occurred) progress->pending_fire.push_back(sym.trigger_idx);
+      }
+    }
+    for (int32_t idx : progress->pending_fire) {
+      if (!valid_idx(idx)) continue;
+      ActiveTrigger* slot = find_slot(idx);
+      if (slot == nullptr) continue;
+      const TriggerProgram& program = cls->triggers[idx];
+      ++fired;
+      Status s = FireSlot(slot, program, sys, sev.oid, sev.event,
+                          /*class_scope=*/true, sev.class_id);
+      // Action failures — including demands to abort, which cannot reach
+      // the long-committed posting transaction — are recorded and never
+      // retried (fire counters must not drift).
+      if (!s.ok() && progress->error.empty()) progress->error = s.message();
+    }
+    progress->pending_fire.clear();
+    return Status::OK();
+  });
+  if (!txn_status.ok()) return txn_status;
+  if (fired > 0) db_->SyncClassActiveMask(sev.class_id);
+  return fired;
 }
 
 Result<int> TriggerEngine::PostSimple(Transaction* txn, Oid oid,

@@ -12,6 +12,11 @@ namespace ode {
 
 class Database;
 
+namespace seq {
+struct SeqEvent;
+struct SeqApplyProgress;
+}  // namespace seq
+
 /// The event-posting pipeline of §5:
 ///
 ///   "Whenever a basic event (with any associated parameters) is posted to
@@ -47,6 +52,17 @@ class TriggerEngine {
   Result<int> PostTime(Transaction* txn, Oid oid, const std::string& time_key,
                        TimeMs fire_time);
 
+  /// Applies one sequenced class-scope event on the sequencer thread: steps
+  /// the class automata using the publish-time classification, then fires
+  /// occurred triggers from a system transaction that first acquires the
+  /// posting object's lock (unless `allow_unlocked`, the bounded-wait
+  /// fallback). kWouldBlock/kDeadlock are retryable: `progress` latches the
+  /// non-idempotent advancement so a retry redoes only the firing. Returns
+  /// the number of triggers fired.
+  Result<int> ApplySequenced(const seq::SeqEvent& event,
+                             seq::SeqApplyProgress* progress,
+                             bool allow_unlocked);
+
   /// Current recursive posting depth on the calling thread. Depth is
   /// thread-local: each shard worker's action cascade is its own call
   /// chain, so the §5 depth bound applies per thread.
@@ -60,6 +76,15 @@ class TriggerEngine {
   Result<bool> AdvanceSlot(ActiveTrigger* slot, const TriggerProgram& program,
                            Transaction* txn, Object* obj, Oid oid,
                            const PostedEvent& event, bool undo_logged);
+
+  /// AdvanceSlot minus the classification: steps gates and the main DFA
+  /// from an already-classified base symbol (the sequencer's apply path,
+  /// where classification happened shard-side at publish time).
+  Result<bool> AdvanceClassified(ActiveTrigger* slot,
+                                 const TriggerProgram& program,
+                                 Transaction* txn, Object* obj, Oid oid,
+                                 const PostedEvent& event, int32_t base_sym,
+                                 bool undo_logged);
 
   /// Deactivates an ordinary trigger and runs the action (§2/§5).
   Status FireSlot(ActiveTrigger* slot, const TriggerProgram& program,

@@ -134,6 +134,10 @@ std::string Serialize(const CheckpointData& data) {
     out += StrFormat("watermark %s %s\n", EscapeToken(id).c_str(),
                      seqs.ToString().c_str());
   }
+  for (size_t lane = 0; lane < data.seqlane.size(); ++lane) {
+    out += StrFormat("seqlane %zu %llu\n", lane,
+                     (unsigned long long)data.seqlane[lane]);
+  }
   for (size_t shard = 0; shard < data.inflight.size(); ++shard) {
     for (const WalRecord& record : data.inflight[shard]) {
       out += StrFormat("inflight %zu %llu %llu %s %s %zu\n", shard,
@@ -260,6 +264,14 @@ Result<CheckpointData> Parse(std::string_view content) {
       ODE_ASSIGN_OR_RETURN(std::string id, UnescapeToken(tokens[1]));
       ODE_ASSIGN_OR_RETURN(SeqSet seqs, SeqSet::Parse(tokens[2]));
       data.applied[std::move(id)] = std::move(seqs);
+    } else if (kind == "seqlane") {
+      uint64_t lane = 0, count = 0;
+      if (tokens.size() != 3 || !ParseU64(tokens[1], &lane) ||
+          lane != data.seqlane.size() || lane > 4096 ||
+          !ParseU64(tokens[2], &count)) {
+        return corrupt("bad seqlane line");
+      }
+      data.seqlane.push_back(count);
     } else if (kind == "inflight") {
       uint64_t shard = 0, oid = 0, seq = 0, argc = 0;
       if (tokens.size() != 7 || !saw_shards ||

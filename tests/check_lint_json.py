@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Asserts the stable `ode-lint --format=json` schema (schema_version 3).
+"""Asserts the stable `ode-lint --format=json` schema (schema_version 4).
 
 Usage: check_lint_json.py <ode-lint-binary> <spec-file>...
 
@@ -8,7 +8,8 @@ emitted document: top-level keys (including the solver capability record),
 per-file diagnostic records with exactly {id, severity, message, trigger,
 line, column, end_line, end_column, fix_hints, witness}, witness histories
 with per-step oracle fire bits, trigger records, group records with
-separate/combined cost objects, fix records, and a summary whose counts
+separate/combined cost objects, fix records (v4: with machine-applicable
+byte_start/byte_end/replacement spans), and a summary whose counts
 match the diagnostics and witness totals. Exits non-zero on any mismatch,
 so a schema change must be deliberate (bump schema_version).
 """
@@ -33,6 +34,8 @@ SOLVER_KEYS = {"integer_aware", "gap_cuts", "elimination"}
 COST_KEYS = {"states", "table_bytes", "steps_per_event"}
 GROUP_KEYS = {"members", "separate", "combined", "oracle_histories"}
 FIX_KEYS = {"trigger", "code", "description"}
+# v4: fixes spliced from a source file additionally carry an edit span.
+FIX_SPAN_KEYS = {"byte_start", "byte_end", "replacement"}
 SUMMARY_KEYS = {
     "files", "errors", "warnings", "notes",
     "fixes_applied", "fixes_suppressed",
@@ -86,7 +89,7 @@ def main():
 
     if doc.get("tool") != "ode-lint":
         fail(f"tool: {doc.get('tool')!r}")
-    if doc.get("schema_version") != 3:
+    if doc.get("schema_version") != 4:
         fail(f"schema_version: {doc.get('schema_version')!r}")
     solver = doc.get("solver")
     if not isinstance(solver, dict) or set(solver) != SOLVER_KEYS:
@@ -142,8 +145,20 @@ def main():
         if not isinstance(f.get("fixes"), list):
             fail("fixes missing or not a list")
         for x in f["fixes"]:
-            if set(x) != FIX_KEYS:
+            if set(x) not in (FIX_KEYS, FIX_KEYS | FIX_SPAN_KEYS):
                 fail(f"fix keys: {sorted(x)}")
+            if "byte_start" in x:
+                if not isinstance(x["byte_start"], int) or not isinstance(
+                    x["byte_end"], int
+                ):
+                    fail("fix byte span must be integers")
+                if not 0 <= x["byte_start"] <= x["byte_end"]:
+                    fail(
+                        f"fix byte span out of order: "
+                        f"[{x['byte_start']}, {x['byte_end']})"
+                    )
+                if not isinstance(x["replacement"], str) or not x["replacement"]:
+                    fail(f"fix replacement: {x['replacement']!r}")
 
     summary = doc.get("summary")
     if not isinstance(summary, dict) or set(summary) != SUMMARY_KEYS:

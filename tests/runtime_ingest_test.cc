@@ -720,5 +720,67 @@ TEST(IngestRuntimeTest, CommitEpilogueFailureDoesNotReplay) {
   EXPECT_EQ(db.PeekAttr(oid, "v").value().AsInt().value(), kPosts);
 }
 
+// A WAL append failure must degrade the shard to in-memory operation, not
+// bounce producers or lose the already-queued event: the first failure
+// fires on_wal_failure exactly once, latches wal_degraded(), disables
+// further append attempts, and every post before and after the failure is
+// still processed. The writer is opened on /dev/full, whose writes always
+// fail with ENOSPC — the canonical disk-full injection.
+TEST(IngestRuntimeTest, WalAppendFailureDegradesToInMemory) {
+  Database db;
+  ODE_ASSERT_OK(db.RegisterAction("count", CountAction));
+  ODE_ASSERT_OK(db.RegisterClass(ParityClass()).status());
+  Oid oid;
+  {
+    TxnId t = db.Begin().value();
+    oid = db.New(t, "cell").value();
+    ODE_ASSERT_OK(db.Commit(t));
+  }
+
+  wal::LogWriter writer;
+  wal::WalOptions wal_options;
+  wal_options.fsync = wal::FsyncPolicy::kNever;  // Write-through, no flusher.
+  Status opened = writer.Open("/dev/full", /*start_lsn=*/0, wal_options);
+  if (!opened.ok()) {
+    GTEST_SKIP() << "/dev/full unavailable: " << opened.ToString();
+  }
+
+  std::atomic<int> failures{0};
+  Status first_failure = Status::OK();
+  runtime::Shard::Options options;
+  options.wal = &writer;
+  options.on_wal_failure = [&](const Status& status) {
+    if (failures.fetch_add(1) == 0) first_failure = status;
+  };
+  runtime::Shard shard(0, &db, options);
+  shard.Start();
+  EXPECT_FALSE(shard.wal_degraded());
+
+  constexpr int kPosts = 10;
+  for (int i = 0; i < kPosts; ++i) {
+    IngestEvent event;
+    event.oid = oid;
+    event.method = "add";
+    event.args = {Value(1)};
+    bool enqueued = false;
+    // The append failure is swallowed: the event entered the queue, so the
+    // producer sees OK and the shard carries on without a log.
+    ODE_ASSERT_OK(shard.Enqueue(std::move(event), &enqueued));
+    EXPECT_TRUE(enqueued);
+  }
+  shard.WaitDrained();
+  shard.Stop();
+
+  // Exactly one escalation, carrying the real I/O error.
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_TRUE(shard.wal_degraded());
+  EXPECT_FALSE(first_failure.ok());
+  // Only the first append was attempted; the writer's sticky failure was
+  // never poked again (appends counts successful appends only).
+  EXPECT_EQ(writer.appends(), 0u);
+  // Every event — including the one whose append failed — was processed.
+  EXPECT_EQ(db.PeekAttr(oid, "v").value().AsInt().value(), kPosts);
+}
+
 }  // namespace
 }  // namespace ode

@@ -205,6 +205,150 @@ void RecoverAndVerify(const std::string& dir, size_t shards) {
   ODE_ASSERT_OK(rt.Stop());
 }
 
+// --- Class-scope (§9) crash recovery ------------------------------------
+//
+// Same forked-child scheme, but the trigger is class-scope: ONE counting
+// automaton over the merged stream of every instance's `add`s, advanced by
+// the sequencer and made durable through seqorder.log. Recovery must
+// reproduce the automaton's exact mid-cycle state, which the parent proves
+// at the firing boundary: after A recovered adds, the next fire must land
+// exactly on add number 3 * (floor(A/3) + 1) — one early or one late means
+// the recovered cycle position is wrong.
+
+ClassDef ClassCellClass() {
+  ClassDef def("ccell");
+  def.AddAttr("v", Value(0));
+  def.AddAttr("touches", Value(0));
+  def.AddMethod(MethodDef{
+      "add",
+      {{"int", "d"}},
+      MethodKind::kUpdate,
+      [](MethodContext* ctx) -> Status {
+        ODE_ASSIGN_OR_RETURN(Value v, ctx->Get("v"));
+        ODE_ASSIGN_OR_RETURN(Value d, ctx->Arg("d"));
+        ODE_ASSIGN_OR_RETURN(Value next, v.Add(d));
+        return ctx->Set("v", next);
+      }});
+  def.AddTrigger("CT(): perpetual every 3 (after add) ==> count");
+  return def;
+}
+
+std::vector<Oid> SetupClassCells(Database* db) {
+  EXPECT_TRUE(db->RegisterAction("count", CountAction).ok());
+  EXPECT_TRUE(db->RegisterClass(ClassCellClass()).status().ok());
+  std::vector<Oid> oids;
+  TxnId t = db->Begin().value();
+  for (size_t i = 0; i < kObjects; ++i) {
+    Result<Oid> oid = db->New(t, "ccell");
+    EXPECT_TRUE(oid.ok());
+    oids.push_back(*oid);
+  }
+  EXPECT_TRUE(db->Commit(t).ok());
+  // Class-scope activation precedes runtime start: recovery replays
+  // seqorder.log into the already-activated slots.
+  EXPECT_TRUE(db->ActivateClassTrigger("ccell", "CT").ok());
+  return oids;
+}
+
+[[noreturn]] void ChildClassIngestLoop(const std::string& dir,
+                                       size_t shards) {
+  Database db;
+  std::vector<Oid> oids = SetupClassCells(&db);
+  IngestRuntime rt(&db, DurableOptions(dir, shards));
+  if (!rt.Start().ok()) _exit(3);
+  for (int i = 1; i <= kMaxChildEvents; ++i) {
+    Status s = rt.Post(oids[(i - 1) % kObjects], "add", {Value(1)}, nullptr,
+                       kIdentity, static_cast<uint64_t>(i));
+    if (!s.ok()) _exit(3);
+    if (i % kCheckpointEvery == 0) {
+      if (!rt.Checkpoint().ok()) _exit(3);
+    }
+  }
+  _exit(0);
+}
+
+int64_t SumAttr(Database* db, const std::vector<Oid>& oids,
+                const char* attr) {
+  int64_t sum = 0;
+  for (const Oid& oid : oids) {
+    sum += db->PeekAttr(oid, attr).value().AsInt().value();
+  }
+  return sum;
+}
+
+void RecoverAndVerifyClassScope(const std::string& dir, size_t shards) {
+  Database db;
+  std::vector<Oid> oids = SetupClassCells(&db);
+  IngestRuntime rt(&db, DurableOptions(dir, shards));
+  ODE_ASSERT_OK(rt.Start());
+  ODE_ASSERT_OK(rt.Drain());
+
+  // A = adds made durable before the kill (each contributes exactly 1 to
+  // Σv); the exactly-once bookkeeping must agree.
+  const int64_t a = SumAttr(&db, oids, "v");
+  wal::SeqSet applied = rt.AppliedSeqs(kIdentity);
+  EXPECT_EQ(applied.count(), static_cast<uint64_t>(a));
+  EXPECT_EQ(applied.max_seq(), static_cast<uint64_t>(a));
+
+  // Every 3rd add in the merged class stream fired `count` on the posting
+  // object — checkpoint snapshot plus exactly-once replay (order log, then
+  // deduped shard replay) must land the total on the oracle value.
+  EXPECT_EQ(SumAttr(&db, oids, "touches"), a / 3);
+
+  // Boundary probe: the automaton sits (a mod 3) symbols into its cycle,
+  // so the next fire comes after exactly r = 3 - (a mod 3) more adds.
+  const int64_t r = 3 - (a % 3);
+  for (int64_t j = 1; j < r; ++j) {
+    ODE_ASSERT_OK(rt.Post(oids[(a + j - 1) % kObjects], "add", {Value(1)},
+                          nullptr, kIdentity, static_cast<uint64_t>(a + j)));
+  }
+  ODE_ASSERT_OK(rt.Drain());
+  EXPECT_EQ(SumAttr(&db, oids, "touches"), a / 3) << "fired one add early";
+  ODE_ASSERT_OK(rt.Post(oids[(a + r - 1) % kObjects], "add", {Value(1)},
+                        nullptr, kIdentity, static_cast<uint64_t>(a + r)));
+  ODE_ASSERT_OK(rt.Drain());
+  EXPECT_EQ(SumAttr(&db, oids, "touches"), a / 3 + 1)
+      << "recovered cycle position lost the fire boundary";
+  EXPECT_EQ(SumAttr(&db, oids, "v"), a + r);
+  ODE_ASSERT_OK(rt.Stop());
+}
+
+TEST(WalCrashTest, ClassScopeAutomatonSurvivesKill) {
+  for (int delay_us : {1000, 8000, 30000}) {
+    SCOPED_TRACE(delay_us);
+    TempDir dir;
+    pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) ChildClassIngestLoop(dir.path(), /*shards=*/2);
+    usleep(static_cast<useconds_t>(delay_us));
+    kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFEXITED(status)) {
+      ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+    RecoverAndVerifyClassScope(dir.path(), /*shards=*/2);
+  }
+}
+
+TEST(WalCrashTest, ClassScopeRecoveryIsRepeatable) {
+  // The boundary probe itself posts r more adds and checkpoints nothing;
+  // a second recovery must replay those too and land on the next boundary.
+  TempDir dir;
+  pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) ChildClassIngestLoop(dir.path(), /*shards=*/2);
+  usleep(20000);
+  kill(pid, SIGKILL);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) {
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+  }
+  RecoverAndVerifyClassScope(dir.path(), /*shards=*/2);
+  RecoverAndVerifyClassScope(dir.path(), /*shards=*/2);
+}
+
 TEST(WalCrashTest, KillAtRandomizedPointsRecoversToOracleState) {
   // Sweep kill delays from "before the runtime even starts" to "well into
   // steady-state ingest with several checkpoints behind it".

@@ -111,7 +111,8 @@ struct FileResult {
 ///     "triggers": [{"name": ..., "compiled": bool[, "cost": ...]}],
 ///     "groups": [{"members": [...], "separate": {...}, "combined": {...},
 ///                 "oracle_histories": N}],
-///     "fixes": [{"trigger": ..., "code": ..., "description": ...}]
+///     "fixes": [{"trigger": ..., "code": ..., "description": ...,
+///                "byte_start": N, "byte_end": N, "replacement": ...}]
 ///   }],
 ///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N,
 ///               "fixes_applied": N, "fixes_suppressed": N,
@@ -121,7 +122,7 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
                size_t errors, size_t warnings, size_t notes,
                size_t fixes_applied, size_t fixes_suppressed,
                size_t witnesses, size_t witness_failures) {
-  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 3,\n");
+  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 4,\n");
   std::printf(
       "  \"solver\": {\"integer_aware\": true, \"gap_cuts\": true, "
       "\"elimination\": \"fourier-motzkin\"},\n");
@@ -223,9 +224,19 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
       const ode::AppliedFix& x = fr.fixes[xi];
       std::printf(
           "%s\n        {\"trigger\": \"%s\", \"code\": \"%s\", "
-          "\"description\": \"%s\"}",
+          "\"description\": \"%s\"",
           xi == 0 ? "" : ",", JsonEscape(x.trigger).c_str(),
           JsonEscape(x.code).c_str(), JsonEscape(x.description).c_str());
+      if (x.has_span) {
+        // Schema v4: a machine-applicable edit — replace bytes
+        // [byte_start, byte_end) of the original file with `replacement`.
+        // Fixes of one declaration share a span; appliers deduplicate.
+        std::printf(
+            ", \"byte_start\": %zu, \"byte_end\": %zu, "
+            "\"replacement\": \"%s\"",
+            x.byte_start, x.byte_end, JsonEscape(x.replacement).c_str());
+      }
+      std::printf("}");
     }
     std::printf("%s]\n    }", fr.fixes.empty() ? "" : "\n      ");
   }

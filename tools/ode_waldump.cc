@@ -20,6 +20,7 @@
 #include "ode/database.h"
 #include "ode/snapshot_codec.h"
 #include "runtime/ingest_runtime.h"
+#include "seq/order_log.h"
 #include "wal/checkpoint.h"
 #include "wal/log_reader.h"
 #include "wal/log_writer.h"
@@ -29,8 +30,9 @@ namespace {
 constexpr char kUsage[] =
     "usage: ode-waldump [options] <wal-dir>\n"
     "\n"
-    "Dumps the checkpoint and per-shard WAL records of a durable event\n"
-    "log directory (docs/DURABILITY.md), distinguishing records a\n"
+    "Dumps the checkpoint, per-shard WAL records, and sequencer order\n"
+    "log (seqorder.log) of a durable event log directory\n"
+    "(docs/DURABILITY.md, docs/SEQUENCER.md), distinguishing records a\n"
     "checkpoint already covers from records recovery would replay.\n"
     "\n"
     "options:\n"
@@ -74,6 +76,15 @@ int GenFixture(const std::string& dir) {
         ODE_ASSIGN_OR_RETURN(ode::Value next, v.Add(d));
         return ctx->Set("v", next);
       }});
+  // One class-scope trigger so the fixture also exercises the sequencer
+  // order log (the posts after the checkpoint leave seqorder records).
+  def.AddTrigger("CT(): perpetual every 2 (after add) ==> count");
+  ode::Status reg = db.RegisterAction(
+      "count", [](const ode::ActionContext&) { return ode::Status::OK(); });
+  if (!reg.ok()) {
+    std::fprintf(stderr, "ode-waldump: %s\n", reg.ToString().c_str());
+    return 2;
+  }
   ode::Result<ode::ClassId> cls = db.RegisterClass(std::move(def));
   if (!cls.ok()) {
     std::fprintf(stderr, "ode-waldump: %s\n", cls.status().ToString().c_str());
@@ -91,6 +102,11 @@ int GenFixture(const std::string& dir) {
     return 2;
   }
   oid = *created;
+  ode::Status act = db.ActivateClassTrigger("cell", "CT");
+  if (!act.ok()) {
+    std::fprintf(stderr, "ode-waldump: %s\n", act.ToString().c_str());
+    return 2;
+  }
 
   ode::runtime::IngestOptions options;
   options.num_shards = 2;
@@ -247,6 +263,59 @@ int main(int argc, char** argv) {
         }
         std::printf("  repaired: truncated to %" PRIu64 " byte(s)\n",
                     log->valid_bytes);
+      }
+    }
+  }
+
+  // Sequencer order log: the merged class-scope order the sequencer
+  // already applied (docs/SEQUENCER.md). Absent when the run had no
+  // class-scope activity (the file is created lazily) or predates the
+  // sequencer.
+  const std::string seqpath = ode::seq::OrderLogPath(dir);
+  ode::Result<ode::seq::OrderLogReadResult> seqlog =
+      ode::seq::ReadOrderLog(seqpath);
+  if (!seqlog.ok()) {
+    std::fprintf(stderr, "ode-waldump: %s: %s\n", seqpath.c_str(),
+                 seqlog.status().ToString().c_str());
+    return 2;
+  }
+  if (!seqlog->records.empty() || seqlog->torn || seqlog->valid_bytes > 0) {
+    std::map<ode::ClassId, uint64_t> per_class;
+    uint64_t max_lane = 0;
+    for (const ode::seq::SeqEvent& r : seqlog->records) {
+      ++per_class[r.class_id];
+      if (r.lane > max_lane) max_lane = r.lane;
+    }
+    std::printf("seqorder.log: records=%zu lanes<=%" PRIu64
+                " bytes=%" PRIu64 "%s\n",
+                seqlog->records.size(), max_lane + 1, seqlog->valid_bytes,
+                seqlog->torn ? " TORN" : "");
+    for (const auto& entry : per_class) {
+      std::printf("  class %u: sequenced=%" PRIu64 "\n", entry.first,
+                  entry.second);
+    }
+    if (!summary_only) {
+      for (const ode::seq::SeqEvent& r : seqlog->records) {
+        std::printf("    lane=%u seq=%" PRIu64 " class=%u oid=%" PRIu64
+                    " method=%s syms=%zu\n",
+                    r.lane, r.lane_seq, r.class_id, r.oid.id,
+                    r.event.method_name.c_str(), r.syms.size());
+      }
+    }
+    if (seqlog->torn) {
+      damage = true;
+      std::printf("  torn tail after %zu record(s) — %s\n",
+                  seqlog->records.size(), seqlog->torn_error.c_str());
+      if (repair) {
+        ode::Status ts =
+            ode::wal::TruncateLogFile(seqpath, seqlog->valid_bytes);
+        if (!ts.ok()) {
+          std::fprintf(stderr, "ode-waldump: repair %s: %s\n",
+                       seqpath.c_str(), ts.ToString().c_str());
+          return 2;
+        }
+        std::printf("  repaired: truncated to %" PRIu64 " byte(s)\n",
+                    seqlog->valid_bytes);
       }
     }
   }
