@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "analyze/analyzer.h"
+#include "analyze/cascade.h"
 #include "analyze/spec_check.h"
 #include "common/strutil.h"
 #include "lang/trigger_spec.h"
@@ -136,6 +137,35 @@ int Run(int argc, char** argv) {
   double witness_slowdown = witness_s / full_s;
   bool witness_ok = witness_slowdown <= 2.0;
 
+  // Cascade analysis over the full rulebase: the same no-pairwise run
+  // with an effects declaration for the shared `log` action, so the
+  // triggering graph is built and every candidate source→target edge is
+  // evaluated. All n triggers share one action and one (file) scope, so
+  // the per-(target, action, class) memoization must collapse the n²
+  // candidate evaluations to O(n) automaton work; the posted event
+  // (`note_entry`) is one no generated trigger names, keeping the graph
+  // sparse like a production rulebase (a dense graph is a T001 finding,
+  // not a throughput scenario). Acceptance bar: <= 25% overhead on top
+  // of the plain no-pairwise run.
+  EffectMap effects;
+  effects["log"] = ActionSignature{
+      {ActionEffect::MakeMethod("note_entry", /*arity=*/-1)}};
+  AnalyzeOptions with_cascade = no_pairwise;
+  with_cascade.effects = &effects;
+  t0 = Clock::now();
+  AnalysisReport cascaded = AnalyzeSpecSource(source, with_cascade);
+  t1 = Clock::now();
+  double cascade_s = Seconds(t0, t1);
+  double cascade_overhead = cascade_s / full_s - 1.0;
+  bool cascade_ok = cascade_overhead <= 0.25;
+  size_t graph_nodes = 0, graph_edges = 0;
+  bool graph_cycle = false;
+  if (cascaded.cascade.has_value()) {
+    graph_nodes = cascaded.cascade->nodes.size();
+    graph_edges = cascaded.cascade->edges.size();
+    graph_cycle = cascaded.cascade->has_cycle;
+  }
+
   // Pairwise + group planning over a 64-trigger slice (2016 pairs),
   // witnesses off for layer comparability.
   const size_t kSlice = n < 64 ? n : 64;
@@ -172,6 +202,10 @@ int Run(int argc, char** argv) {
       "{\"seconds\": %.6f, \"specs_per_sec\": %.1f, "
       "\"witnesses\": %zu, \"witness_failures\": %zu, "
       "\"slowdown_vs_no_witness\": %.3f, \"within_2x\": %s},\n"
+      "    \"full_with_cascade\": "
+      "{\"seconds\": %.6f, \"specs_per_sec\": %.1f, "
+      "\"graph_nodes\": %zu, \"graph_edges\": %zu, \"has_cycle\": %s, "
+      "\"overhead_vs_no_cascade\": %.3f, \"within_25pct\": %s},\n"
       "    \"pairwise_and_groups_64\": "
       "{\"seconds\": %.6f, \"pairs\": %zu, \"pairs_per_sec\": %.1f},\n"
       "    \"pairwise_with_witnesses_64\": "
@@ -185,7 +219,9 @@ int Run(int argc, char** argv) {
       n, compiled, parse_s, n / parse_s, spec_check_s, n / spec_check_s,
       automaton_s, n / automaton_s, full_s, n / full_s, witness_s,
       n / witness_s, witnessed.witnesses, witnessed.witness_failures,
-      witness_slowdown, witness_ok ? "true" : "false", pairwise_s, pairs,
+      witness_slowdown, witness_ok ? "true" : "false", cascade_s,
+      n / cascade_s, graph_nodes, graph_edges, graph_cycle ? "true" : "false",
+      cascade_overhead, cascade_ok ? "true" : "false", pairwise_s, pairs,
       pairs / pairwise_s, pairwise_witness_s, sliced_witnessed.witnesses,
       sliced_witnessed.witness_failures, pairwise_witness_slowdown,
       n / full_s, layer1_diags, sliced.pair_findings.size());
@@ -205,6 +241,13 @@ int Run(int argc, char** argv) {
                  "witness engine slowdown %.2fx exceeds the 2x acceptance "
                  "bound\n",
                  witness_slowdown);
+    return 1;
+  }
+  if (!cascade_ok) {
+    std::fprintf(stderr,
+                 "cascade analysis overhead %.1f%% exceeds the 25%% "
+                 "acceptance bound\n",
+                 cascade_overhead * 100.0);
     return 1;
   }
   return 0;

@@ -46,7 +46,9 @@ void AttachWitness(WitnessResult witness, TriggerAnalysis* ta) {
 
 void RunAutomatonChecks(const CompiledEvent& compiled,
                         const AnalyzeOptions& options, TriggerAnalysis* ta) {
-  std::vector<bool> possible = ComputePossibleSymbols(compiled);
+  ta->possible_symbols = std::make_shared<const std::vector<bool>>(
+      ComputePossibleSymbols(compiled));
+  const std::vector<bool>& possible = *ta->possible_symbols;
   SourceSpan span = EventSpan(ta->spec);
   WitnessOptions wopts = options.witness;
   wopts.compile = options.compile;
@@ -155,10 +157,12 @@ TriggerAnalysis AnalyzeTrigger(const TriggerSpec& spec,
     return ta;
   }
   ta.compiled = true;
-  ta.cost = EstimateCost(*compiled);
+  ta.compiled_event =
+      std::make_shared<const CompiledEvent>(std::move(*compiled));
+  ta.cost = EstimateCost(*ta.compiled_event);
 
   if (options.automaton_checks) {
-    RunAutomatonChecks(*compiled, options, &ta);
+    RunAutomatonChecks(*ta.compiled_event, options, &ta);
   }
   RunBudgetChecks(options, &ta);
   return ta;
@@ -356,6 +360,35 @@ AnalysisReport AnalyzeSpecSource(std::string_view source,
     RunPairwiseChecks(options, &report);
     if (options.group_suggestions) RunGroupPlanning(options, &report);
   }
+  if (options.effects != nullptr) {
+    // Cascade/termination layer: the triggering graph over this file's
+    // triggers, reusing each trigger's compilation + realizability sweep.
+    std::vector<CascadeTrigger> inputs;
+    inputs.reserve(report.triggers.size());
+    for (const TriggerAnalysis& t : report.triggers) {
+      CascadeTrigger input;
+      input.name = t.name;
+      input.spec = &t.spec;
+      input.compiled = t.compiled_event.get();
+      input.possible = t.possible_symbols.get();
+      inputs.push_back(input);
+    }
+    CascadeOptions copts;
+    copts.compile = options.compile;
+    copts.effects = options.effects;
+    copts.witnesses = options.witnesses;
+    copts.witness = options.witness;
+    copts.witness.compile = options.compile;
+    copts.max_chain_steps = options.cascade_max_chain_steps;
+    copts.runtime_depth_limit = options.cascade_depth_limit;
+    CascadeResult cascade = AnalyzeCascade(inputs, copts);
+    for (Diagnostic& d : cascade.diagnostics) {
+      report.file_diagnostics.push_back(std::move(d));
+    }
+    report.witnesses += cascade.witnesses;
+    report.witness_failures += cascade.witness_failures;
+    report.cascade = std::move(cascade.graph);
+  }
   for (const TriggerAnalysis& t : report.triggers) {
     report.witnesses += t.witnesses;
     report.witness_failures += t.witness_failures;
@@ -473,6 +506,42 @@ std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
     }
   }
   return out;
+}
+
+CascadeResult AnalyzeCascadeOverClassSets(
+    const std::vector<const ClassTriggerSet*>& sets,
+    const CascadeOptions& options) {
+  struct CompiledSlot {
+    std::string name;
+    std::string class_name;
+    const TriggerSpec* spec = nullptr;
+    std::optional<CompiledEvent> compiled;
+  };
+  std::vector<CompiledSlot> storage;
+  for (const ClassTriggerSet* set : sets) {
+    if (set == nullptr) continue;
+    for (size_t i = 0; i < set->triggers.size(); ++i) {
+      CompiledSlot slot;
+      slot.name = set->class_name + "::" + set->trigger_names[i];
+      slot.class_name = set->class_name;
+      slot.spec = &set->triggers[i];
+      Result<CompiledEvent> compiled =
+          CompileEvent(slot.spec->event, options.compile);
+      if (compiled.ok()) slot.compiled = std::move(*compiled);
+      storage.push_back(std::move(slot));
+    }
+  }
+  std::vector<CascadeTrigger> inputs;
+  inputs.reserve(storage.size());
+  for (const CompiledSlot& slot : storage) {
+    CascadeTrigger input;
+    input.name = slot.name;
+    input.class_name = slot.class_name;
+    input.spec = slot.spec;
+    input.compiled = slot.compiled.has_value() ? &*slot.compiled : nullptr;
+    inputs.push_back(input);
+  }
+  return AnalyzeCascade(inputs, options);
 }
 
 AnalysisReport AnalyzeClassDef(const ClassDef& def, AnalyzeOptions options) {

@@ -2,11 +2,13 @@
 #define ODE_ANALYZE_ANALYZER_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "analyze/automaton_check.h"
+#include "analyze/cascade.h"
 #include "analyze/cost.h"
 #include "analyze/diagnostic.h"
 #include "analyze/group_plan.h"
@@ -40,6 +42,14 @@ struct AnalyzeOptions {
   /// Cost budgets; 0 disables the check. Exceeding one emits C001.
   size_t budget_dfa_states = 0;
   size_t budget_table_bytes = 0;
+  /// Rulebase cascade/termination analysis (analyze/cascade.h): when set,
+  /// AnalyzeSpecSource builds the triggering graph over the file's
+  /// triggers from these declared action effects and reports T001–T004
+  /// into file_diagnostics + AnalysisReport::cascade. Null skips the layer.
+  const EffectMap* effects = nullptr;
+  /// Cascade knobs (see CascadeOptions).
+  size_t cascade_max_chain_steps = 8;
+  int cascade_depth_limit = 0;
 };
 
 /// Analysis result for one trigger.
@@ -47,6 +57,12 @@ struct TriggerAnalysis {
   std::string name;        ///< Spec name, or a synthesized placeholder.
   TriggerSpec spec;
   bool compiled = false;   ///< CompileEvent succeeded.
+  /// The compilation artifact, kept so downstream layers (cascade) reuse
+  /// it without recompiling; null when compilation failed.
+  std::shared_ptr<const CompiledEvent> compiled_event;
+  /// ComputePossibleSymbols(*compiled_event), cached when the automaton
+  /// checks ran (null otherwise).
+  std::shared_ptr<const std::vector<bool>> possible_symbols;
   CostReport cost;         ///< Valid when `compiled`.
   bool never_fires = false;   ///< A001 was emitted.
   bool always_fires = false;  ///< A002 was emitted.
@@ -69,6 +85,10 @@ struct AnalysisReport {
   std::vector<PairFinding> pair_findings;
   /// Verified trigger-group suggestions (each backed by a G001 note).
   std::vector<TriggerGroupPlan> groups;
+  /// The triggering graph, present when cascade analysis ran
+  /// (AnalyzeOptions::effects was set). Its T001–T004 findings are merged
+  /// into file_diagnostics.
+  std::optional<CascadeGraph> cascade;
 
   /// Witness accounting across the whole report (per-trigger + pairwise +
   /// group findings): histories attached, and histories suppressed
@@ -131,6 +151,15 @@ ClassTriggerSet CollectClassTriggerSet(const ClassDef& def);
 std::vector<Diagnostic> CompareTriggerSetsAcrossClasses(
     const ClassTriggerSet& a, const ClassTriggerSet& b,
     const CompileOptions& compile = {}, bool witnesses = true);
+
+/// Cascade analysis across every registered class's triggers — the
+/// Database registration hook's entry point. Each set's triggers are
+/// compiled with `options.compile` (the hook runs once per registration,
+/// so recompiling is acceptable there); finding names are class-qualified
+/// ("account::watch"). `options.effects` must be set.
+CascadeResult AnalyzeCascadeOverClassSets(
+    const std::vector<const ClassTriggerSet*>& sets,
+    const CascadeOptions& options);
 
 /// One blank-line-separated declaration block of a spec source, as a byte
 /// range into it. Exposed so tools that edit blocks in place (ode-lint

@@ -1,0 +1,175 @@
+#ifndef ODE_ANALYZE_CASCADE_H_
+#define ODE_ANALYZE_CASCADE_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analyze/diagnostic.h"
+#include "analyze/witness.h"
+#include "common/result.h"
+#include "compile/compiler.h"
+#include "lang/trigger_spec.h"
+#include "trigger/trigger_def.h"
+
+namespace ode {
+
+/// Whole-rulebase cascade/termination analysis: the triggering graph.
+///
+/// Trigger actions run inside transactions and may post further events
+/// (method calls, `tabort`), so one external posting can cascade through
+/// the rulebase. The runtime bounds that with a depth limit
+/// (`DatabaseOptions::max_posting_depth` → kResourceExhausted) — a circuit
+/// breaker, not a diagnosis. This layer decides the question *statically*,
+/// the classic active-database triggering-graph construction made precise
+/// with the compiled DFAs:
+///
+///   node  = one active trigger slot
+///   edge  T→U when some declared effect of T's action produces a
+///           micro-symbol that can advance U's compiled DFA toward an
+///           accepting state from a reachable live state.
+///
+/// Edges are *refined*, not syntactic: a candidate symbol whose signed
+/// mask conjunction the integer-aware solver refutes
+/// (ComputePossibleSymbols) cannot occur in any history and is pruned, and
+/// a symbol that only moves U sideways (no shorter distance-to-accepting,
+/// not accepting) adds no edge. An edge is additionally marked *firing*
+/// when a chain of effect symbols alone drives U from a reachable state
+/// into an accepting state — the strict condition a real cascade needs.
+///
+/// Findings (docs/ANALYSIS.md):
+///   T001  cycle of signature-backed firing edges — potential
+///         non-termination (error when every member is perpetual, warning
+///         otherwise; note when the cycle needs assumed/progress-only
+///         edges). Carries a witness cascade: oracle-replayed histories
+///         priming the first member and firing each edge of the cycle.
+///   T002  self-loop on an immediate-coupling trigger (fires inside the
+///         posting transaction, so each firing recurses before commit).
+///   T003  opaque action (no declared effect signature): its edges are
+///         assumed, the graph is an over-approximation (note).
+///   T004  the graph is acyclic but the longest cascade chain exceeds the
+///         configured runtime posting-depth limit.
+struct CascadeOptions;
+
+/// Action name → declared signature; actions absent from the map are
+/// opaque. This is ActionRegistry::SignatureMap()'s type, also producible
+/// from a `--effects` sidecar file via ParseEffectsSource.
+using EffectMap = std::map<std::string, ActionSignature, std::less<>>;
+
+/// Parses the `--effects=<file>` sidecar format (docs/LANGUAGE.md). One
+/// action per line, `#` starts a comment:
+///
+///   alert: none
+///   post_prod: posts prod on self
+///   escalate: posts notify/2 on same-class, posts audit on class ledger
+///   kill: aborts
+///   launch: opaque
+///
+/// `none` declares a pure action; `opaque` is accepted for documentation
+/// and leaves the action out of the map (the default for unlisted
+/// actions). Errors carry 1-based line numbers.
+Result<EffectMap> ParseEffectsSource(std::string_view source);
+
+/// One trigger offered to cascade analysis. `compiled` may be null (the
+/// trigger failed to compile): such nodes join the graph but get no edges.
+struct CascadeTrigger {
+  std::string name;        ///< Display name (possibly class-qualified).
+  std::string class_name;  ///< Empty for spec-file analysis (all triggers
+                           ///< are then treated as one class).
+  const TriggerSpec* spec = nullptr;
+  const CompiledEvent* compiled = nullptr;
+  /// Optional: precomputed ComputePossibleSymbols(*compiled) (extended
+  /// alphabet), to avoid re-running the solver sweep. Null = computed here.
+  const std::vector<bool>* possible = nullptr;
+};
+
+struct CascadeOptions {
+  CompileOptions compile;
+  /// Required: the rulebase's declared action effects.
+  const EffectMap* effects = nullptr;
+  /// Synthesize oracle-replayed witness cascades for T001 findings.
+  bool witnesses = true;
+  WitnessOptions witness;
+  /// BFS cap on effect-only firing chains per edge (symbols posted by one
+  /// action activation that drive the target to fire).
+  size_t max_chain_steps = 8;
+  /// When > 0: the runtime's max_posting_depth, validated against the max
+  /// acyclic cascade chain (T004 when the limit is too small).
+  int runtime_depth_limit = 0;
+  /// Edge-count guard; construction stops adding edges past it (the graph
+  /// is then marked truncated and cycle verdicts are partial).
+  size_t max_edges = 1 << 18;
+};
+
+struct CascadeNode {
+  std::string name;
+  std::string class_name;
+  std::string action;
+  bool perpetual = false;
+  /// True when the trigger's alphabet observes no transaction markers: it
+  /// fires inside the posting transaction (§7 immediate coupling), so a
+  /// cascade through it consumes runtime posting depth.
+  bool immediate = true;
+  bool opaque_action = false;  ///< Action has no declared signature.
+  bool compiled = false;       ///< Joined edge construction.
+};
+
+struct CascadeEdge {
+  size_t from = 0;
+  size_t to = 0;
+  /// Rendered effect event that advances `to`, e.g. `prod(q=2)`; for
+  /// assumed edges, the opaque action's name.
+  std::string via;
+  bool opaque = false;  ///< Assumed edge (opaque source action).
+  /// Effect symbols alone can drive `to` from a reachable live state into
+  /// an accepting state (a strict firing, not just progress toward one).
+  bool fires = false;
+  /// Chain explanation: why the effect advances the target automaton.
+  std::string why;
+};
+
+/// One detected cycle of signature-backed firing edges, reported as T001.
+struct CascadeCycle {
+  std::vector<size_t> nodes;  ///< In cycle order (first node repeats last).
+  std::vector<size_t> edges;  ///< Edge index per hop; edges[i] goes
+                              ///< nodes[i] → nodes[(i+1) % nodes.size()].
+  bool all_perpetual = false;
+};
+
+struct CascadeGraph {
+  std::vector<CascadeNode> nodes;
+  std::vector<CascadeEdge> edges;
+  /// Proven cycles (non-opaque firing edges only), one T001 each.
+  std::vector<CascadeCycle> cycles;
+  /// True when a cycle exists even counting opaque / progress-only edges.
+  bool has_cycle = false;
+  /// True when max_edges stopped edge construction (verdicts partial).
+  bool truncated = false;
+  /// Longest cascade chain in *firings* (nodes on the longest path over
+  /// all edges) when the full graph is acyclic; 0 when it cycles (chain
+  /// depth unbounded) or the graph is empty. The runtime posting-depth
+  /// limit must be at least this for every legal cascade to complete.
+  size_t max_chain = 0;
+};
+
+struct CascadeResult {
+  CascadeGraph graph;
+  std::vector<Diagnostic> diagnostics;
+  /// Witness accounting (same contract as the witness engine): histories
+  /// attached to T001 findings, and histories suppressed because oracle
+  /// replay disagreed.
+  size_t witnesses = 0;
+  size_t witness_failures = 0;
+};
+
+/// Builds the triggering graph over `triggers` and reports T001–T004.
+/// `options.effects` must be set. Diagnostics carry each finding's source
+/// span (the owning trigger's event span) when the spec is available.
+CascadeResult AnalyzeCascade(const std::vector<CascadeTrigger>& triggers,
+                             const CascadeOptions& options);
+
+}  // namespace ode
+
+#endif  // ODE_ANALYZE_CASCADE_H_

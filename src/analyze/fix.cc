@@ -70,7 +70,11 @@ EventExprPtr WithChildren(const EventExpr& e,
 
 void Note(std::vector<AppliedFix>* fixes, const std::string& trigger,
           const char* code, std::string description) {
-  fixes->push_back(AppliedFix{trigger, std::move(description), code});
+  AppliedFix fix;
+  fix.trigger = trigger;
+  fix.description = std::move(description);
+  fix.code = code;
+  fixes->push_back(std::move(fix));
 }
 
 /// Drops kMasked nodes whose mask the analyzer proves always true.
@@ -96,6 +100,104 @@ EventExprPtr DropProvenMasks(const EventExprPtr& event) {
     return node->children[0];
   }
   return node;
+}
+
+/// Minimal disjoint edits turning the original declaration into
+/// `fixed_text`: a token-level LCS aligns the two token streams, and each
+/// maximal run of mismatched tokens becomes one byte-range edit (replace
+/// runs keep the canonical rewrite's exact spacing; insert runs anchor
+/// before the next surviving token). Offsets index the *original* file.
+/// Returns empty when the fixed text does not tokenize (caller falls back
+/// to the whole-declaration span).
+std::vector<FixEdit> ComputeFixEdits(const std::vector<Token>& all_tokens,
+                                     std::string_view padded,
+                                     const std::string& fixed_text) {
+  Result<std::vector<Token>> fixed_tokens = Tokenize(fixed_text);
+  if (!fixed_tokens.ok() || fixed_tokens->size() < 2) return {};
+  // Both streams end with a kEnd sentinel; drop it.
+  const size_t n = all_tokens.size() - 1;
+  const size_t m = fixed_tokens->size() - 1;
+  auto a_tok = [&](size_t i) -> const Token& { return all_tokens[i]; };
+  auto b_tok = [&](size_t j) -> const Token& { return (*fixed_tokens)[j]; };
+  auto a_text = [&](size_t i) {
+    return padded.substr(a_tok(i).offset, a_tok(i).length);
+  };
+  auto b_text = [&](size_t j) {
+    return std::string_view(fixed_text)
+        .substr(b_tok(j).offset, b_tok(j).length);
+  };
+  std::vector<std::vector<size_t>> lcs(n + 1, std::vector<size_t>(m + 1, 0));
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      lcs[i][j] = a_text(i) == b_text(j)
+                      ? lcs[i + 1][j + 1] + 1
+                      : std::max(lcs[i + 1][j], lcs[i][j + 1]);
+    }
+  }
+  std::vector<FixEdit> edits;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < n || j < m) {
+    if (i < n && j < m && a_text(i) == b_text(j)) {
+      ++i;
+      ++j;
+      continue;
+    }
+    // A maximal run of mismatches: consecutive deletions from the original
+    // and insertions from the rewrite, merged into one replacement.
+    const size_t i0 = i;
+    const size_t j0 = j;
+    while (i < n || j < m) {
+      if (i < n && j < m && a_text(i) == b_text(j)) break;
+      if (i < n && (j >= m || lcs[i + 1][j] >= lcs[i][j + 1])) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+    FixEdit edit;
+    std::string inserted;
+    if (j > j0) {
+      const Token& bf = b_tok(j0);
+      const Token& bl = b_tok(j - 1);
+      inserted = fixed_text.substr(bf.offset,
+                                   bl.offset + bl.length - bf.offset);
+    }
+    if (i > i0) {
+      edit.byte_start = a_tok(i0).offset;
+      edit.byte_end = a_tok(i - 1).offset + a_tok(i - 1).length;
+      edit.replacement = std::move(inserted);
+    } else if (i < n) {
+      // Pure insertion before the next surviving original token.
+      edit.byte_start = edit.byte_end = a_tok(i).offset;
+      edit.replacement = inserted + " ";
+    } else {
+      // Pure insertion at the end of the declaration.
+      edit.byte_start = edit.byte_end =
+          a_tok(n - 1).offset + a_tok(n - 1).length;
+      edit.replacement = " " + inserted;
+    }
+    edits.push_back(std::move(edit));
+  }
+  return edits;
+}
+
+/// Applies `edits` (sorted, disjoint) to a copy of `padded` and reparses:
+/// the minimal edit list is only offered when the patched declaration
+/// round-trips to exactly the verified rewrite.
+bool VerifyEdits(const std::vector<FixEdit>& edits, std::string_view padded,
+                 const std::string& fixed_text) {
+  if (edits.empty()) return false;
+  std::string patched(padded);
+  for (auto it = edits.rbegin(); it != edits.rend(); ++it) {
+    if (it->byte_end > patched.size() || it->byte_start > it->byte_end) {
+      return false;
+    }
+    patched.replace(it->byte_start, it->byte_end - it->byte_start,
+                    it->replacement);
+  }
+  Result<TriggerSpec> reparsed = ParseTriggerSpec(patched);
+  return reparsed.ok() && reparsed->ToString() == fixed_text;
 }
 
 }  // namespace
@@ -271,11 +373,21 @@ FixResult FixSpecSource(std::string_view source, const FixOptions& options) {
     const Token& last = (*tokens)[tokens->size() - 2];
     splices.push_back(Splice{first.offset, last.offset + last.length,
                              fixed_spec.ToString()});
+    // Prefer minimal disjoint edits (one per touched span, schema v5);
+    // fall back to the whole-declaration splice when the minimal form
+    // fails its apply-and-reparse check.
+    std::vector<FixEdit> edits =
+        ComputeFixEdits(*tokens, padded, splices.back().text);
+    if (!VerifyEdits(edits, padded, splices.back().text)) {
+      edits = {FixEdit{splices.back().begin, splices.back().end,
+                       splices.back().text}};
+    }
     for (AppliedFix& fix : fixes) {
       fix.has_span = true;
       fix.byte_start = splices.back().begin;
       fix.byte_end = splices.back().end;
       fix.replacement = splices.back().text;
+      fix.edits = edits;
     }
     result.applied.insert(result.applied.end(),
                           std::make_move_iterator(fixes.begin()),

@@ -10,21 +10,39 @@
 
 namespace ode {
 
+/// One byte-range replacement over the *original* source: replace bytes
+/// [byte_start, byte_end) with `replacement`. byte_start == byte_end is a
+/// pure insertion.
+struct FixEdit {
+  size_t byte_start = 0;
+  size_t byte_end = 0;
+  std::string replacement;
+};
+
 /// One machine-applied rewrite of a trigger declaration.
 struct AppliedFix {
   std::string trigger;       ///< Trigger name (or placeholder).
   std::string description;   ///< What changed, human-readable.
   std::string code;          ///< The lint code the rewrite targets
                              ///< (L002 / L007 / L008).
-  /// Machine-applicable edit span over the *original* source (schema v4):
-  /// replacing bytes [byte_start, byte_end) with `replacement` applies the
-  /// whole declaration's verified rewrite. Fixes from the same declaration
-  /// share one span; appliers must deduplicate by (byte_start, byte_end).
-  /// has_span=false for fixes produced outside a source context.
+  /// Machine-applicable edit span over the *original* source (legacy
+  /// schema-v4 form): replacing bytes [byte_start, byte_end) with
+  /// `replacement` applies the whole declaration's verified rewrite. Fixes
+  /// from the same declaration share one span; appliers must deduplicate
+  /// by (byte_start, byte_end). has_span=false for fixes produced outside
+  /// a source context.
   bool has_span = false;
   size_t byte_start = 0;
   size_t byte_end = 0;
   std::string replacement;
+  /// Schema v5: the same rewrite as minimal disjoint edits (sorted by
+  /// byte_start, non-overlapping), computed by token-level diff against
+  /// the canonical rewrite and verified by apply-and-reparse. A rewrite
+  /// touching disjoint spans of one declaration carries one edit per span;
+  /// when the minimal form cannot be verified this degenerates to the
+  /// single whole-declaration span above. Empty iff has_span is false.
+  /// Fixes from the same declaration share the edit list.
+  std::vector<FixEdit> edits;
 };
 
 /// Result of a --fix pass over one spec source.

@@ -54,6 +54,41 @@ Result<ClassId> Database::RegisterClass(ClassDef def) {
         analysis_diagnostics_.push_back(std::move(d));
       }
     }
+    // Cascade/termination sweep (analyze/cascade.h) across the whole
+    // rulebase including the class being registered. Opt-in: it runs only
+    // once some action has declared an effect signature (RegisterAction
+    // with an ActionSignature), since without signatures every edge would
+    // be an assumed opaque edge. Under kReject a T001-error rulebase
+    // (statically diverging cascade) fails the registration; T004 validates
+    // the acyclic cascade depth against max_posting_depth.
+    if (actions_.has_declared_signatures()) {
+      std::vector<const ClassTriggerSet*> sets;
+      sets.reserve(analyzed_trigger_sets_.size() + 1);
+      for (const ClassTriggerSet& prior : analyzed_trigger_sets_) {
+        sets.push_back(&prior);
+      }
+      sets.push_back(&*trigger_set);
+      EffectMap effects = actions_.SignatureMap();
+      CascadeOptions copts;
+      copts.compile = options_.compile;
+      copts.effects = &effects;
+      copts.runtime_depth_limit = options_.max_posting_depth;
+      CascadeResult cascade = AnalyzeCascadeOverClassSets(sets, copts);
+      std::string cascade_error;
+      for (Diagnostic& d : cascade.diagnostics) {
+        if (cascade_error.empty() && d.severity == Severity::kError) {
+          cascade_error = d.ToString();
+        }
+        analysis_diagnostics_.push_back(std::move(d));
+      }
+      if (!cascade_error.empty() &&
+          options_.analyze_triggers ==
+              DatabaseOptions::TriggerAnalysisMode::kReject) {
+        return Status::InvalidArgument(
+            StrFormat("class '%s' rejected by cascade analysis: %s",
+                      name.c_str(), cascade_error.c_str()));
+      }
+    }
   }
 
   Result<ClassId> id = classes_.Register(std::move(def), options_.compile);
@@ -122,6 +157,12 @@ Status Database::EnableSchemaEvents() {
 
 Status Database::RegisterAction(std::string name, TriggerAction action) {
   return actions_.Register(std::move(name), std::move(action));
+}
+
+Status Database::RegisterAction(std::string name, TriggerAction action,
+                                ActionSignature signature) {
+  return actions_.Register(std::move(name), std::move(action),
+                           std::move(signature));
 }
 
 Status Database::RegisterHostFunction(std::string name, HostFn fn) {

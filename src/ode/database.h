@@ -148,6 +148,16 @@ class Database {
   /// Registers a named trigger action callback (`==> name` in trigger DSL).
   Status RegisterAction(std::string name, TriggerAction action);
 
+  /// Registers an action together with its declared effect signature (what
+  /// it may post, on which targets). Once any action declares a signature,
+  /// RegisterClass additionally runs cascade/termination analysis over the
+  /// whole rulebase (analyze/cascade.h: T001 cycles, T002 immediate
+  /// self-loops, T003 opaque actions, T004 depth-limit validation), and
+  /// under analyze_triggers=kReject a statically-diverging rulebase fails
+  /// registration.
+  Status RegisterAction(std::string name, TriggerAction action,
+                        ActionSignature signature);
+
   /// Registers a host function callable from masks.
   Status RegisterHostFunction(std::string name, HostFn fn);
 

@@ -1,9 +1,11 @@
 #ifndef ODE_TRIGGER_TRIGGER_DEF_H_
 #define ODE_TRIGGER_TRIGGER_DEF_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -50,16 +52,74 @@ struct ActionContext {
 /// does so).
 using TriggerAction = std::function<Status(const ActionContext&)>;
 
-/// Name → action mapping. A database owns one; `tabort` is pre-registered.
+/// One declared observable effect of a trigger action — an event the action
+/// may (directly or through the methods it calls) cause to be posted. The
+/// cascade analyzer (analyze/cascade.h) builds the triggering graph from
+/// these declarations; the engine does not enforce them.
+struct ActionEffect {
+  enum class Kind : uint8_t {
+    kMethod = 0,  ///< The action calls a public method (posting its
+                  ///< before/after method + update/access events).
+    kAbort,       ///< The action aborts the transaction (tabort markers).
+  };
+  /// Which objects the posted events land on. kSelf and kSameClass both
+  /// mean "some object of the posting trigger's class" to the static
+  /// analysis; the distinction is kept for documentation and rendering.
+  enum class Target : uint8_t { kSelf = 0, kSameClass, kClass };
+
+  Kind kind = Kind::kMethod;
+  Target target = Target::kSelf;
+  std::string method;      ///< Kind::kMethod: the called method's name.
+  int arity = -1;          ///< Parameter count; -1 = unspecified.
+  std::string class_name;  ///< Target::kClass: the targeted class.
+
+  static ActionEffect MakeMethod(std::string method, int arity = -1,
+                                 Target target = Target::kSelf,
+                                 std::string class_name = {});
+  static ActionEffect MakeAbort();
+
+  /// Sidecar syntax, e.g. "posts restock/2 on class stockroom" or "aborts".
+  std::string ToString() const;
+};
+
+/// The declared effect signature of a named action: the complete set of
+/// events it may cause. An empty effect list declares the action *pure*
+/// (posts nothing). Actions registered WITHOUT a signature are *opaque* to
+/// cascade analysis, which must then assume they may post anything (T003).
+struct ActionSignature {
+  std::vector<ActionEffect> effects;
+
+  std::string ToString() const;  ///< "none" or comma-joined effects.
+};
+
+/// Name → action mapping. A database owns one; `tabort` is pre-registered
+/// (with its abort effect signature).
 class ActionRegistry {
  public:
   ActionRegistry();
 
   Status Register(std::string name, TriggerAction action);
+  /// Registers an action together with its declared effect signature.
+  Status Register(std::string name, TriggerAction action,
+                  ActionSignature signature);
   const TriggerAction* Find(std::string_view name) const;
+
+  /// The declared signature, or null when the action is unregistered or
+  /// was registered without one (opaque).
+  const ActionSignature* FindSignature(std::string_view name) const;
+
+  /// True when any action beyond the built-ins declared a signature — the
+  /// opt-in the Database registration hook keys cascade analysis on.
+  bool has_declared_signatures() const { return has_declared_signatures_; }
+
+  /// Snapshot of every declared signature (built-ins included), keyed by
+  /// action name — the cascade analyzer's effect map.
+  std::map<std::string, ActionSignature, std::less<>> SignatureMap() const;
 
  private:
   std::map<std::string, TriggerAction, std::less<>> actions_;
+  std::map<std::string, ActionSignature, std::less<>> signatures_;
+  bool has_declared_signatures_ = false;
 };
 
 /// Per-(object, trigger) activation record. `state` is the §5 "one word

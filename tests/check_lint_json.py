@@ -1,19 +1,24 @@
 #!/usr/bin/env python3
-"""Asserts the stable `ode-lint --format=json` schema (schema_version 4).
+"""Asserts the stable `ode-lint --format=json` schema (schema_version 5).
 
-Usage: check_lint_json.py <ode-lint-binary> <spec-file>...
+Usage: check_lint_json.py <ode-lint-binary> [--lint-flag...] <spec-file>...
 
-Runs the linter over the given fixtures and validates the shape of the
-emitted document: top-level keys (including the solver capability record),
-per-file diagnostic records with exactly {id, severity, message, trigger,
-line, column, end_line, end_column, fix_hints, witness}, witness histories
-with per-step oracle fire bits, trigger records, group records with
-separate/combined cost objects, fix records (v4: with machine-applicable
-byte_start/byte_end/replacement spans), and a summary whose counts
-match the diagnostics and witness totals. Exits non-zero on any mismatch,
-so a schema change must be deliberate (bump schema_version).
+Any `--`-prefixed argument is passed through to the linter (e.g.
+`--effects=<file>` to exercise the cascade object, `--fix` to exercise fix
+records). Runs the linter over the given fixtures and validates the shape
+of the emitted document: top-level keys (including the solver capability
+record), per-file diagnostic records with exactly {id, severity, message,
+trigger, line, column, end_line, end_column, fix_hints, witness}, witness
+histories with per-step oracle fire bits, trigger records, group records
+with separate/combined cost objects, fix records (v5: an `edits` array of
+machine-applicable byte spans — in-bounds, ordered, and non-overlapping),
+the optional per-file cascade graph object (v5, present when --effects was
+given), and a summary whose counts match the diagnostics and witness
+totals. Exits non-zero on any mismatch, so a schema change must be
+deliberate (bump schema_version).
 """
 import json
+import os
 import subprocess
 import sys
 
@@ -34,8 +39,12 @@ SOLVER_KEYS = {"integer_aware", "gap_cuts", "elimination"}
 COST_KEYS = {"states", "table_bytes", "steps_per_event"}
 GROUP_KEYS = {"members", "separate", "combined", "oracle_histories"}
 FIX_KEYS = {"trigger", "code", "description"}
-# v4: fixes spliced from a source file additionally carry an edit span.
-FIX_SPAN_KEYS = {"byte_start", "byte_end", "replacement"}
+# v5: fixes spliced from a source file additionally carry an edit list.
+EDIT_KEYS = {"byte_start", "byte_end", "replacement"}
+CASCADE_KEYS = {"nodes", "edges", "has_cycle", "truncated", "max_chain"}
+CASCADE_NODE_KEYS = {"name", "action", "perpetual", "immediate",
+                     "opaque_action"}
+CASCADE_EDGE_KEYS = {"from", "to", "via", "kind", "fires"}
 SUMMARY_KEYS = {
     "files", "errors", "warnings", "notes",
     "fixes_applied", "fixes_suppressed",
@@ -75,12 +84,92 @@ def check_witness(w, label):
             fail(f"{label} step fires must be booleans")
 
 
+def check_edits(edits, file_size, label):
+    """Edit spans must be integers, in-bounds, ordered, non-overlapping."""
+    if not isinstance(edits, list) or not edits:
+        fail(f"{label}: must be a non-empty list: {edits!r}")
+    prev_end = 0
+    for i, e in enumerate(edits):
+        if not isinstance(e, dict) or set(e) != EDIT_KEYS:
+            fail(f"{label}[{i}] keys: {sorted(e) if isinstance(e, dict) else e!r}")
+        if not isinstance(e["byte_start"], int) or not isinstance(
+            e["byte_end"], int
+        ):
+            fail(f"{label}[{i}] byte span must be integers")
+        if not 0 <= e["byte_start"] <= e["byte_end"]:
+            fail(
+                f"{label}[{i}] byte span out of order: "
+                f"[{e['byte_start']}, {e['byte_end']})"
+            )
+        if file_size is not None and e["byte_end"] > file_size:
+            fail(
+                f"{label}[{i}] byte span [{e['byte_start']}, "
+                f"{e['byte_end']}) exceeds file size {file_size}"
+            )
+        if i > 0 and e["byte_start"] < prev_end:
+            fail(
+                f"{label}[{i}] overlaps the previous edit "
+                f"(starts at {e['byte_start']}, previous ends at {prev_end})"
+            )
+        prev_end = e["byte_end"]
+        if not isinstance(e["replacement"], str):
+            fail(f"{label}[{i}].replacement: {e['replacement']!r}")
+        if e["byte_start"] == e["byte_end"] and not e["replacement"]:
+            fail(f"{label}[{i}] is a no-op (empty span, empty replacement)")
+
+
+def check_cascade(c, label):
+    if not isinstance(c, dict) or set(c) != CASCADE_KEYS:
+        fail(f"{label} keys: {sorted(c) if isinstance(c, dict) else c!r}")
+    if not isinstance(c["nodes"], list) or not isinstance(c["edges"], list):
+        fail(f"{label}.nodes/edges must be lists")
+    for i, node in enumerate(c["nodes"]):
+        if not isinstance(node, dict) or set(node) != CASCADE_NODE_KEYS:
+            fail(f"{label}.nodes[{i}] keys: "
+                 f"{sorted(node) if isinstance(node, dict) else node!r}")
+        if not isinstance(node["name"], str) or not node["name"]:
+            fail(f"{label}.nodes[{i}].name: {node['name']!r}")
+        if not isinstance(node["action"], str):
+            fail(f"{label}.nodes[{i}].action: {node['action']!r}")
+        for key in ("perpetual", "immediate", "opaque_action"):
+            if not isinstance(node[key], bool):
+                fail(f"{label}.nodes[{i}].{key} must be a boolean")
+    for i, edge in enumerate(c["edges"]):
+        if not isinstance(edge, dict) or set(edge) != CASCADE_EDGE_KEYS:
+            fail(f"{label}.edges[{i}] keys: "
+                 f"{sorted(edge) if isinstance(edge, dict) else edge!r}")
+        for key in ("from", "to"):
+            if not isinstance(edge[key], int) or not (
+                0 <= edge[key] < len(c["nodes"])
+            ):
+                fail(f"{label}.edges[{i}].{key} out of node range: "
+                     f"{edge[key]!r}")
+        if not isinstance(edge["via"], str) or not edge["via"]:
+            fail(f"{label}.edges[{i}].via: {edge['via']!r}")
+        if edge["kind"] not in ("posts", "assumed"):
+            fail(f"{label}.edges[{i}].kind: {edge['kind']!r}")
+        if not isinstance(edge["fires"], bool):
+            fail(f"{label}.edges[{i}].fires must be a boolean")
+    for key in ("has_cycle", "truncated"):
+        if not isinstance(c[key], bool):
+            fail(f"{label}.{key} must be a boolean")
+    if not isinstance(c["max_chain"], int) or c["max_chain"] < 0:
+        fail(f"{label}.max_chain: {c['max_chain']!r}")
+    if c["has_cycle"] and c["max_chain"] != 0:
+        fail(f"{label}: max_chain must be 0 when the graph cycles")
+
+
 def main():
     if len(sys.argv) < 3:
-        fail("usage: check_lint_json.py <ode-lint> <spec-file>...")
-    lint, files = sys.argv[1], sys.argv[2:]
+        fail("usage: check_lint_json.py <ode-lint> [--flag...] <spec-file>...")
+    lint = sys.argv[1]
+    flags = [a for a in sys.argv[2:] if a.startswith("--")]
+    files = [a for a in sys.argv[2:] if not a.startswith("--")]
+    if not files:
+        fail("no spec files given")
+    expect_cascade = any(a.startswith("--effects=") for a in flags)
     proc = subprocess.run(
-        [lint, "--format=json", *files], capture_output=True, text=True
+        [lint, "--format=json", *flags, *files], capture_output=True, text=True
     )
     try:
         doc = json.loads(proc.stdout)
@@ -89,7 +178,7 @@ def main():
 
     if doc.get("tool") != "ode-lint":
         fail(f"tool: {doc.get('tool')!r}")
-    if doc.get("schema_version") != 4:
+    if doc.get("schema_version") != 5:
         fail(f"schema_version: {doc.get('schema_version')!r}")
     solver = doc.get("solver")
     if not isinstance(solver, dict) or set(solver) != SOLVER_KEYS:
@@ -106,6 +195,10 @@ def main():
     for f in doc["files"]:
         if not isinstance(f.get("path"), str):
             fail(f"path: {f.get('path')!r}")
+        try:
+            file_size = os.path.getsize(f["path"])
+        except OSError:
+            file_size = None
         if not isinstance(f.get("diagnostics"), list):
             fail("diagnostics missing or not a list")
         for d in f["diagnostics"]:
@@ -145,20 +238,17 @@ def main():
         if not isinstance(f.get("fixes"), list):
             fail("fixes missing or not a list")
         for x in f["fixes"]:
-            if set(x) not in (FIX_KEYS, FIX_KEYS | FIX_SPAN_KEYS):
+            if set(x) not in (FIX_KEYS, FIX_KEYS | {"edits"}):
                 fail(f"fix keys: {sorted(x)}")
-            if "byte_start" in x:
-                if not isinstance(x["byte_start"], int) or not isinstance(
-                    x["byte_end"], int
-                ):
-                    fail("fix byte span must be integers")
-                if not 0 <= x["byte_start"] <= x["byte_end"]:
-                    fail(
-                        f"fix byte span out of order: "
-                        f"[{x['byte_start']}, {x['byte_end']})"
-                    )
-                if not isinstance(x["replacement"], str) or not x["replacement"]:
-                    fail(f"fix replacement: {x['replacement']!r}")
+            if "edits" in x:
+                check_edits(
+                    x["edits"], file_size,
+                    f"fix [{x['code']}] '{x['trigger']}' edits",
+                )
+        if "cascade" in f:
+            check_cascade(f["cascade"], "cascade")
+        elif expect_cascade:
+            fail("cascade object missing although --effects was given")
 
     summary = doc.get("summary")
     if not isinstance(summary, dict) or set(summary) != SUMMARY_KEYS:

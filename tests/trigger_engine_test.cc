@@ -260,6 +260,47 @@ TEST(TriggerEngineTest, RecursivePostingDepthGuard) {
             StatusCode::kResourceExhausted);
 }
 
+TEST(TriggerEngineTest, StaticCascadeVerdictAgreesWithRuntimeDepthGuard) {
+  // One rulebase, two verdicts that must agree: registering the action
+  // WITH its effect signature lets the cascade sweep prove statically
+  // (T001, with an oracle-replayed witness cascade) what the runtime
+  // depth guard can only detect after the fact (kResourceExhausted).
+  ClassDef def = ItemClass();
+  def.AddTrigger("T(): perpetual after deposit ==> recurse");
+  DatabaseOptions opts;
+  opts.analyze_triggers = DatabaseOptions::TriggerAnalysisMode::kWarn;
+  Database db(opts);
+  ODE_ASSERT_OK(db.RegisterAction(
+      "recurse",
+      [](const ActionContext& ctx) -> Status {
+        return ctx.db->Call(ctx.txn, ctx.self, "deposit", {Value(1)})
+            .status();
+      },
+      ActionSignature{{ActionEffect::MakeMethod("deposit", 1)}}));
+  ODE_ASSERT_OK(db.RegisterClass(std::move(def)).status());
+
+  // Static verdict: the sweep flags the self-sustaining loop as T001 and
+  // the witness cascade (priming history + one posted hop) replays
+  // through the §4 oracle without failures.
+  const Diagnostic* t001 = nullptr;
+  for (const Diagnostic& d : db.analysis_diagnostics()) {
+    if (d.id == "T001" && d.severity == Severity::kError) t001 = &d;
+  }
+  ASSERT_NE(t001, nullptr);
+  EXPECT_NE(t001->message.find("'item::T'"), std::string::npos);
+  ASSERT_EQ(t001->witness.size(), 2u);
+  EXPECT_NE(t001->witness[0].claim.find("priming"), std::string::npos);
+  EXPECT_NE(t001->witness[1].claim.find("posted by"), std::string::npos);
+
+  // Runtime verdict: the same loop actually diverges and trips the
+  // posting depth guard.
+  TxnId t = db.Begin().value();
+  Oid item = db.New(t, "item").value();
+  ODE_ASSERT_OK(db.ActivateTrigger(t, item, "T"));
+  EXPECT_EQ(db.Call(t, item, "deposit", {Value(1)}).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(TriggerEngineTest, MultipleTriggersOneEvent) {
   ClassDef def = ItemClass();
   def.AddTrigger("A(): perpetual after deposit ==> log");

@@ -56,6 +56,17 @@ constexpr char kUsage[] =
     "                        every automaton verdict (A001/A002/A003,\n"
     "                        A004/A005/A007, G001), validated against the\n"
     "                        §4 oracle before display (default on)\n"
+    "  --effects=<file>      declared action effect signatures (one per\n"
+    "                        line: `action: posts NAME[/arity] [on self|\n"
+    "                        same-class|class NAME] | aborts | none |\n"
+    "                        opaque`); enables whole-rulebase cascade /\n"
+    "                        termination analysis over the triggering\n"
+    "                        graph (T001-T004)\n"
+    "  --max-chain=N         cap on effect-chain length per cascade edge\n"
+    "                        (default 8)\n"
+    "  --depth-limit=N       the runtime posting-depth limit to validate\n"
+    "                        against the longest acyclic cascade (T004);\n"
+    "                        0 (default) skips the check\n"
     "  --format=text|json    output format (default text); json emits one\n"
     "                        machine-readable document on stdout\n"
     "  -h, --help            show this help\n";
@@ -91,10 +102,10 @@ struct FileResult {
   std::vector<ode::AppliedFix> fixes;
 };
 
-/// Emits the machine-readable report. Schema v3 (see docs/ANALYSIS.md):
+/// Emits the machine-readable report. Schema v5 (see docs/ANALYSIS.md):
 ///
 /// {
-///   "tool": "ode-lint", "schema_version": 3,
+///   "tool": "ode-lint", "schema_version": 5,
 ///   "solver": {"integer_aware": true, "gap_cuts": true,
 ///              "elimination": "fourier-motzkin"},
 ///   "files": [{
@@ -112,17 +123,28 @@ struct FileResult {
 ///     "groups": [{"members": [...], "separate": {...}, "combined": {...},
 ///                 "oracle_histories": N}],
 ///     "fixes": [{"trigger": ..., "code": ..., "description": ...,
-///                "byte_start": N, "byte_end": N, "replacement": ...}]
+///                "edits": [{"byte_start": N, "byte_end": N,   // disjoint,
+///                           "replacement": ...}]}],           // sorted
+///     "cascade": {                       // only when --effects was given
+///       "nodes": [{"name": ..., "action": ..., "perpetual": bool,
+///                  "immediate": bool, "opaque_action": bool}],
+///       "edges": [{"from": N, "to": N, "via": ...,
+///                  "kind": "posts|assumed", "fires": bool}],
+///       "has_cycle": bool, "truncated": bool, "max_chain": N}
 ///   }],
 ///   "summary": {"files": N, "errors": N, "warnings": N, "notes": N,
 ///               "fixes_applied": N, "fixes_suppressed": N,
 ///               "witnesses": N, "witness_failures": N}
 /// }
+///
+/// v5: per-fix flat byte_start/byte_end/replacement keys became the
+/// "edits" array (one entry per disjoint span), and the optional per-file
+/// "cascade" graph object was added.
 void PrintJson(const std::vector<FileResult>& results, bool print_cost,
                size_t errors, size_t warnings, size_t notes,
                size_t fixes_applied, size_t fixes_suppressed,
                size_t witnesses, size_t witness_failures) {
-  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 4,\n");
+  std::printf("{\n  \"tool\": \"ode-lint\",\n  \"schema_version\": 5,\n");
   std::printf(
       "  \"solver\": {\"integer_aware\": true, \"gap_cuts\": true, "
       "\"elimination\": \"fourier-motzkin\"},\n");
@@ -228,17 +250,53 @@ void PrintJson(const std::vector<FileResult>& results, bool print_cost,
           xi == 0 ? "" : ",", JsonEscape(x.trigger).c_str(),
           JsonEscape(x.code).c_str(), JsonEscape(x.description).c_str());
       if (x.has_span) {
-        // Schema v4: a machine-applicable edit — replace bytes
-        // [byte_start, byte_end) of the original file with `replacement`.
-        // Fixes of one declaration share a span; appliers deduplicate.
-        std::printf(
-            ", \"byte_start\": %zu, \"byte_end\": %zu, "
-            "\"replacement\": \"%s\"",
-            x.byte_start, x.byte_end, JsonEscape(x.replacement).c_str());
+        // Schema v5: machine-applicable edits — replace each byte range
+        // [byte_start, byte_end) of the original file with its
+        // `replacement` (sorted, disjoint; apply back-to-front). Fixes of
+        // one declaration share the edit list; appliers deduplicate.
+        std::printf(", \"edits\": [");
+        for (size_t ei = 0; ei < x.edits.size(); ++ei) {
+          const ode::FixEdit& e = x.edits[ei];
+          std::printf(
+              "%s\n          {\"byte_start\": %zu, \"byte_end\": %zu, "
+              "\"replacement\": \"%s\"}",
+              ei == 0 ? "" : ",", e.byte_start, e.byte_end,
+              JsonEscape(e.replacement).c_str());
+        }
+        std::printf("%s]", x.edits.empty() ? "" : "\n        ");
       }
       std::printf("}");
     }
-    std::printf("%s]\n    }", fr.fixes.empty() ? "" : "\n      ");
+    std::printf("%s]", fr.fixes.empty() ? "" : "\n      ");
+    if (fr.report.cascade.has_value()) {
+      const ode::CascadeGraph& g = *fr.report.cascade;
+      std::printf(",\n      \"cascade\": {\"nodes\": [");
+      for (size_t ni = 0; ni < g.nodes.size(); ++ni) {
+        const ode::CascadeNode& node = g.nodes[ni];
+        std::printf(
+            "%s\n        {\"name\": \"%s\", \"action\": \"%s\", "
+            "\"perpetual\": %s, \"immediate\": %s, \"opaque_action\": %s}",
+            ni == 0 ? "" : ",", JsonEscape(node.name).c_str(),
+            JsonEscape(node.action).c_str(),
+            node.perpetual ? "true" : "false",
+            node.immediate ? "true" : "false",
+            node.opaque_action ? "true" : "false");
+      }
+      std::printf("%s], \"edges\": [", g.nodes.empty() ? "" : "\n      ");
+      for (size_t ei = 0; ei < g.edges.size(); ++ei) {
+        const ode::CascadeEdge& e = g.edges[ei];
+        std::printf(
+            "%s\n        {\"from\": %zu, \"to\": %zu, \"via\": \"%s\", "
+            "\"kind\": \"%s\", \"fires\": %s}",
+            ei == 0 ? "" : ",", e.from, e.to, JsonEscape(e.via).c_str(),
+            e.opaque ? "assumed" : "posts", e.fires ? "true" : "false");
+      }
+      std::printf(
+          "%s], \"has_cycle\": %s, \"truncated\": %s, \"max_chain\": %zu}",
+          g.edges.empty() ? "" : "\n      ", g.has_cycle ? "true" : "false",
+          g.truncated ? "true" : "false", g.max_chain);
+    }
+    std::printf("\n    }");
   }
   std::printf("%s],\n", results.empty() ? "" : "\n  ");
   std::printf(
@@ -375,6 +433,7 @@ bool ParseSizeFlag(const char* arg, const char* prefix, size_t* out) {
 
 int main(int argc, char** argv) {
   ode::AnalyzeOptions options;
+  ode::EffectMap effects;  // Keeps options.effects alive when --effects set.
   bool print_cost = false;
   bool json = false;
   bool apply_fixes = false;
@@ -407,11 +466,35 @@ int main(int argc, char** argv) {
       json = false;
     } else if (std::strcmp(arg, "--format=json") == 0) {
       json = true;
+    } else if (std::strncmp(arg, "--effects=", 10) == 0) {
+      const char* path = arg + 10;
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "ode-lint: cannot open effects file '%s'\n",
+                     path);
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      ode::Result<ode::EffectMap> parsed =
+          ode::ParseEffectsSource(buf.str());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "ode-lint: %s: %s\n", path,
+                     parsed.status().ToString().c_str());
+        return 2;
+      }
+      effects = std::move(*parsed);
+      options.effects = &effects;
     } else if (ParseSizeFlag(arg, "--budget-states=",
                              &options.budget_dfa_states) ||
                ParseSizeFlag(arg, "--budget-bytes=",
-                             &options.budget_table_bytes)) {
+                             &options.budget_table_bytes) ||
+               ParseSizeFlag(arg, "--max-chain=",
+                             &options.cascade_max_chain_steps)) {
       // Parsed into options.
+    } else if (size_t depth = 0;
+               ParseSizeFlag(arg, "--depth-limit=", &depth)) {
+      options.cascade_depth_limit = static_cast<int>(depth);
     } else if (arg[0] == '-' && arg[1] != '\0') {
       std::fprintf(stderr, "ode-lint: unknown option '%s'\n%s", arg, kUsage);
       return 2;

@@ -6,9 +6,9 @@
 // which records a checkpoint already covers, which would replay, and
 // where a torn tail or corrupt record cuts a log short.
 //
-// Exit codes: 0 = directory is clean; 1 = damage found (torn tail or a
-// corrupt/unreadable checkpoint) — everything readable is still printed;
-// 2 = usage or I/O error.
+// Exit codes: 0 = directory is clean; 1 = damage found (torn tail, a
+// corrupt/unreadable checkpoint, or a per-lane seqorder watermark gap) —
+// everything readable is still printed; 2 = usage or I/O error.
 
 #include <cinttypes>
 #include <cstdio>
@@ -33,7 +33,10 @@ constexpr char kUsage[] =
     "Dumps the checkpoint, per-shard WAL records, and sequencer order\n"
     "log (seqorder.log) of a durable event log directory\n"
     "(docs/DURABILITY.md, docs/SEQUENCER.md), distinguishing records a\n"
-    "checkpoint already covers from records recovery would replay.\n"
+    "checkpoint already covers from records recovery would replay. The\n"
+    "order log is also checked for per-lane watermark gaps (lane_seq must\n"
+    "be contiguous within a lane after its first record): a gap means\n"
+    "sequenced events were lost and counts as damage.\n"
     "\n"
     "options:\n"
     "  --summary       per-file totals only, no per-record lines\n"
@@ -282,9 +285,30 @@ int main(int argc, char** argv) {
   if (!seqlog->records.empty() || seqlog->torn || seqlog->valid_bytes > 0) {
     std::map<ode::ClassId, uint64_t> per_class;
     uint64_t max_lane = 0;
+    // Per-lane watermark check: within one lane the sequencer assigns
+    // lane_seq contiguously, so after the first record seen for a lane
+    // (the starting watermark is arbitrary — a checkpoint may have
+    // truncated the prefix) every record must follow its predecessor by
+    // exactly one. A gap means order records were lost or reordered:
+    // replaying this log would silently skip sequenced events.
+    struct LaneGap {
+      uint32_t lane;
+      uint64_t prev, got;
+    };
+    std::map<uint32_t, uint64_t> lane_watermark;
+    std::vector<LaneGap> gaps;
     for (const ode::seq::SeqEvent& r : seqlog->records) {
       ++per_class[r.class_id];
       if (r.lane > max_lane) max_lane = r.lane;
+      auto it = lane_watermark.find(r.lane);
+      if (it == lane_watermark.end()) {
+        lane_watermark.emplace(r.lane, r.lane_seq);
+      } else {
+        if (r.lane_seq != it->second + 1) {
+          gaps.push_back(LaneGap{r.lane, it->second, r.lane_seq});
+        }
+        it->second = r.lane_seq;
+      }
     }
     std::printf("seqorder.log: records=%zu lanes<=%" PRIu64
                 " bytes=%" PRIu64 "%s\n",
@@ -293,6 +317,13 @@ int main(int argc, char** argv) {
     for (const auto& entry : per_class) {
       std::printf("  class %u: sequenced=%" PRIu64 "\n", entry.first,
                   entry.second);
+    }
+    for (const LaneGap& gap : gaps) {
+      damage = true;
+      std::printf("  lane %u: WATERMARK GAP — lane_seq %" PRIu64
+                  " follows %" PRIu64 " (expected %" PRIu64
+                  "); sequenced events were lost or reordered\n",
+                  gap.lane, gap.got, gap.prev, gap.prev + 1);
     }
     if (!summary_only) {
       for (const ode::seq::SeqEvent& r : seqlog->records) {
