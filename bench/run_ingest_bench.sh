@@ -18,6 +18,9 @@
 #         >= 2x the 1-shard events/sec on hosts with >= 4 CPUs (on
 #         smaller hosts the bar degrades to "sharding must not collapse":
 #         4-shard >= 0.6x 1-shard).
+#   PR-10: no head-of-line blocking: with one peer wedged on a kBlock-full
+#         shard, a healthy client must sustain >= 80% of its unstalled
+#         loopback events/sec.
 #
 # Usage: bench/run_ingest_bench.sh [build-dir] [output-dir]
 set -euo pipefail
@@ -88,6 +91,29 @@ if failures:
     print(f"run_ingest_bench: FAIL: loopback below 50% of in-process at {failures}")
     sys.exit(1)
 print("run_ingest_bench: ok: loopback >= 50% of in-process at every batch >= 128 point")
+
+# PR-10: a peer parked on a kBlock-full shard must not drag down healthy
+# connections — the stalled-peer variant holds >= 80% of the baseline
+# (means across repetitions, since single runs on a loaded host are noisy).
+def mean_rate(name):
+    vals = [b["items_per_second"] for b in doc["benchmarks"]
+            if b.get("run_type") == "iteration"
+            and b["name"].split("/")[0] == name]
+    return sum(vals) / len(vals) if vals else 0.0
+
+base_rate = mean_rate("BM_NetHealthyBaseline")
+stalled_rate = mean_rate("BM_NetHealthyWithStalledPeer")
+if base_rate == 0.0 or stalled_rate == 0.0:
+    print("run_ingest_bench: FAIL: BENCH_net_ingest.json missing stalled-peer rows")
+    sys.exit(1)
+ratio = stalled_rate / base_rate
+print(f"stalled-peer: healthy {base_rate:.0f} ev/s, with stalled peer "
+      f"{stalled_rate:.0f} ev/s, ratio {ratio:.2f}")
+if ratio < 0.8:
+    print(f"run_ingest_bench: FAIL: stalled-peer ratio {ratio:.2f} < 0.80 "
+          "(head-of-line blocking)")
+    sys.exit(1)
+print("run_ingest_bench: ok: healthy connections hold >= 80% of baseline with a stalled peer")
 EOF
 
 python3 - "${OUT_DIR}/BENCH_wal.json" <<'EOF'

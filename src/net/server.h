@@ -2,8 +2,11 @@
 #define ODE_NET_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,21 +31,46 @@ struct ServerOptions {
   /// buffers, higher = fewer reply bytes.
   uint64_t ack_every = 1024;
   /// A connection whose pending reply bytes exceed this is dropped — it is
-  /// not reading its errors/acks.
+  /// not reading its errors/acks. (A closing connection still gets one
+  /// best-effort flush first, so the promised final ERR is attempted.)
   size_t max_write_buffer = 8 * 1024 * 1024;
+  /// IO worker threads (clamped to >= 1). The acceptor thread dispatches
+  /// each fresh connection to the least-loaded worker; each worker runs
+  /// its own poll(2) loop over its own connection table.
+  size_t io_threads = 1;
+  /// Per-connection cap on frames parked while the posting shard's queue
+  /// is full (kBlock runtimes, see the threading model below). While any
+  /// frame is parked the connection's reads are masked, so once the park
+  /// budget is spent TCP flow control paces that one peer.
+  size_t max_deferred_frames = 256;
 };
 
-/// Multi-connection poll(2) server bridging the wire protocol onto an
+/// Multi-threaded poll(2) server bridging the wire protocol onto an
 /// IngestRuntime.
 ///
-/// One thread runs the event loop: accept, read, decode, dispatch, reply.
+/// Threading model (docs/NETWORK.md#threading-model):
+///
+///  * One acceptor thread owns the listener: it accepts, sets the socket
+///    non-blocking, registers the per-connection producer, and hands the
+///    connection to the least-loaded of `io_threads` IO workers through a
+///    mutex-protected mailbox + self-pipe wakeup.
+///  * Each IO worker owns its connections outright — pollfd set, decoder
+///    state, write buffers, ACK watermarks, dedup snapshots — so the data
+///    path needs no locking. Per-worker activity folds into the shared
+///    server counters (relaxed atomics) and METRICS_REPLY.
+///  * One drain-service thread serializes kDrain barriers, so a
+///    seconds-long Drain() never wedges an IO worker; DRAIN_OK is routed
+///    back to the owning worker by connection id.
+///
 /// Runtime backpressure maps onto the wire as:
 ///
-///  * kBlock      — Post blocks the loop until the shard queue has space.
-///                  The loop stops reading every socket, receive windows
-///                  fill, and TCP flow control stalls the producers: the
-///                  runtime's pace propagates to the clients (head-of-line
-///                  blocking across connections is the documented cost).
+///  * kBlock      — the handoff is IngestRuntime::TryPost: a full shard
+///                  queue parks the posting frame (and everything after
+///                  it, FIFO) in the connection's bounded deferred queue
+///                  and masks that connection's reads; shard capacity
+///                  wakeups (plus the poll timeout) retry the deferral.
+///                  Only the posting connection stalls — no head-of-line
+///                  blocking across connections or workers.
 ///  * kReject     — Post returns kWouldBlock; the client gets
 ///                  ERR_WOULD_BLOCK with the post's seq and does its own
 ///                  retry/backoff (IngestClient resends at Drain).
@@ -51,7 +79,9 @@ struct ServerOptions {
 /// A Post after IngestRuntime::Stop() returns kShutdown, which becomes a
 /// clean ERR_SHUTTING_DOWN reply, after which the connection is flushed
 /// and closed. A malformed frame gets ERR_MALFORMED and the connection is
-/// closed (framing is lost).
+/// closed (framing is lost). Stop() flushes each connection's earned ACK
+/// watermark best-effort before closing, so a clean shutdown does not
+/// strand acked-but-unsent watermarks.
 ///
 /// Each connection registers a producer with the runtime, so Metrics()
 /// attributes accepted/rejected/failed posts per connection. On
@@ -67,7 +97,9 @@ struct ServerOptions {
 /// the runtime is durable) — it is ACKed without re-posting. Combined with
 /// the client's replay-unacked-on-reconnect, delivery for identified
 /// sessions is exactly-once across reconnects and crash-recovery restarts
-/// (docs/DURABILITY.md).
+/// (docs/DURABILITY.md). The guarantees are per connection and therefore
+/// hold unchanged per worker: deferral is strict FIFO, so a cumulative ACK
+/// can never cover a still-parked post.
 class IngestServer {
  public:
   IngestServer(runtime::IngestRuntime* rt, ServerOptions options = {});
@@ -76,17 +108,22 @@ class IngestServer {
   IngestServer(const IngestServer&) = delete;
   IngestServer& operator=(const IngestServer&) = delete;
 
-  /// Binds, listens, and launches the event-loop thread.
-  /// kFailedPrecondition on a second Start.
+  /// Binds, listens, and launches the acceptor + IO worker + drain-service
+  /// threads. Call after the runtime's Start() (the capacity listener
+  /// registers against the live shards). kFailedPrecondition on a second
+  /// Start.
   Status Start();
 
-  /// Closes the listener and every connection, joins the loop thread.
+  /// Closes the listener and every connection and joins all threads. Each
+  /// connection's pending ACK watermark is flushed best-effort first.
   /// Idempotent.
   void Stop();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
   /// The bound port (valid after Start; useful with options.port = 0).
   uint16_t port() const { return port_; }
+  /// IO worker count actually running (options.io_threads clamped).
+  size_t io_threads() const { return workers_.size(); }
 
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
@@ -99,9 +136,26 @@ class IngestServer {
   uint64_t posts_deduped() const {
     return posts_deduped_.load(std::memory_order_relaxed);
   }
+  /// Frames parked at least once behind a full shard queue (kBlock).
+  uint64_t frames_deferred() const {
+    return frames_deferred_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// A frame parked behind a full shard queue. Posts are held as the
+  /// ready-to-enqueue IngestEvent (TryPost hands it back intact on a
+  /// bounce); anything else keeps the decoded frame. FIFO discipline over
+  /// *all* frame kinds is what keeps the ACK watermark truthful: a later
+  /// frame must never be handled while an earlier post is still parked.
+  struct DeferredFrame {
+    bool is_post = false;
+    runtime::IngestEvent event;  ///< Valid when is_post.
+    Frame frame;                 ///< Valid when !is_post.
+  };
+
   struct Conn {
+    uint64_t id = 0;            ///< Server-unique; drain completions route by it.
+    size_t worker = 0;          ///< Owning worker index.
     Socket sock;
     std::string peer;
     FrameDecoder decoder;
@@ -115,19 +169,67 @@ class IngestServer {
     std::string identity;
     /// Applied-seq snapshot for `identity`, taken at the handshake. A seq
     /// in this set was applied by an earlier connection: ACK, don't post.
-    /// A snapshot suffices — a client never reuses a seq within one
-    /// connection, so only pre-handshake seqs can be duplicates.
+    /// The snapshot is a lock-free fast path, not the full guarantee — a
+    /// predecessor connection may still be draining this identity's
+    /// frames on another worker when the snapshot is taken, so seqs it
+    /// posts afterwards are missing here. TryPost's atomic applied-seq
+    /// check (see IngestRuntime::TryPost) is the authoritative arbiter
+    /// that keeps those replays exactly-once.
     wal::SeqSet dedup;
+    /// Frames parked behind a full shard queue, strict arrival order.
+    /// Non-empty ⇒ reads are masked (undecoded bytes wait in the decoder).
+    std::deque<DeferredFrame> deferred;
+    uint64_t pending_drains = 0;  ///< kDrain barriers in flight.
     bool closing = false;  ///< Flush remaining replies, then close.
   };
 
-  void Loop();
-  void AcceptOne();
+  /// A kDrain barrier outcome travelling back to the owning worker.
+  struct DrainDone {
+    uint64_t conn_id = 0;
+    uint64_t seq = 0;
+    Status status;
+  };
+
+  /// One IO worker: its thread, wake pipe, thread-owned connection table,
+  /// and the mailbox other threads feed (under mu).
+  struct Worker {
+    size_t index = 0;
+    std::thread thread;
+    Socket wake_read, wake_write;
+    std::mutex mu;  ///< Guards incoming + completions.
+    std::vector<std::unique_ptr<Conn>> incoming;  ///< From the acceptor.
+    std::vector<DrainDone> completions;           ///< From the drain service.
+    std::vector<std::unique_ptr<Conn>> conns;     ///< Worker-thread only.
+    /// Connections owned (live + mailbox); the acceptor's load-balance key.
+    std::atomic<size_t> load{0};
+  };
+
+  enum class FrameResult {
+    kContinue,  ///< Handled (reply appended or post accepted).
+    kParked,    ///< Full shard: frame sits in conn->deferred, retry later.
+    kClose,     ///< Enter closing state (flush, then drop).
+  };
+
+  void AcceptLoop();
+  void WorkerLoop(Worker* w);
+  void DrainServiceLoop();
+
   /// Reads once; decodes and handles every complete frame. False when the
-  /// connection should be dropped now (EOF/error with nothing to flush).
-  bool HandleReadable(Conn* conn);
-  /// Handles one decoded frame. False = enter closing state.
-  bool HandleFrame(Conn* conn, Frame&& frame);
+  /// connection should be dropped now (EOF/error, or reply backlog over
+  /// max_write_buffer after a best-effort flush).
+  bool HandleReadable(Worker* w, Conn* conn);
+  /// Decodes buffered bytes until out of data, the deferral budget is
+  /// spent, or the connection enters closing.
+  void DecodeBuffered(Worker* w, Conn* conn);
+  /// Retries the connection's parked frames in FIFO order; on progress to
+  /// empty, resumes decoding the bytes that arrived while reads were
+  /// masked. False when the connection should be dropped.
+  bool PumpDeferred(Worker* w, Conn* conn);
+  /// Handles one decoded non-reply frame (posts go through HandlePost).
+  FrameResult DispatchFrame(Worker* w, Conn* conn, Frame&& frame);
+  /// The TryPost handoff: dedup check, then a non-blocking post. kParked
+  /// leaves *event intact for the caller to park.
+  FrameResult HandlePost(Conn* conn, runtime::IngestEvent* event);
   /// Writes as much pending output as the socket accepts. False on a dead
   /// socket.
   bool FlushWrites(Conn* conn);
@@ -136,20 +238,36 @@ class IngestServer {
   /// counters into the retired aggregate). Called on every path that
   /// destroys a connection.
   void RetireConn(Conn* conn);
+  /// Hands a fresh connection to the least-loaded worker.
+  void DispatchConn(std::unique_ptr<Conn> conn);
+  /// Queues a kDrain barrier for the drain-service thread.
+  void SubmitDrain(Conn* conn, uint64_t seq);
 
   runtime::IngestRuntime* const rt_;
   const ServerOptions options_;
+  /// kBlock runtimes defer bounced posts; kReject/kDropNewest never bounce
+  /// a TryPost that a blocking Post would have absorbed.
+  bool defer_on_full_ = false;
   Socket listener_;
-  Socket wake_read_, wake_write_;  ///< Self-pipe: Stop wakes poll().
+  Socket accept_wake_read_, accept_wake_write_;
   uint16_t port_ = 0;
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::thread loop_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> started_{false};
+  std::atomic<size_t> live_conns_{0};  ///< Across all workers (limit check).
   std::atomic<uint64_t> connections_accepted_{0};
   std::atomic<uint64_t> frames_handled_{0};
   std::atomic<uint64_t> posts_deduped_{0};
-  uint64_t next_conn_id_ = 0;
+  std::atomic<uint64_t> frames_deferred_{0};
+  std::atomic<uint64_t> next_conn_id_{0};
+
+  // Drain service: requests in, completions routed to the owning worker.
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  std::deque<std::pair<size_t, DrainDone>> drain_requests_;  ///< worker, job.
+  bool drain_stop_ = false;
+  std::thread drain_thread_;
 };
 
 }  // namespace net

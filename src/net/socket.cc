@@ -164,5 +164,26 @@ Status SetRecvTimeout(int fd, int timeout_ms) {
   return Status::OK();
 }
 
+Status OpenWakePipe(Socket* read_end, Socket* write_end) {
+  int fds[2];
+  if (::pipe(fds) != 0) return Errno("pipe");
+  read_end->Reset(fds[0]);
+  write_end->Reset(fds[1]);
+  ODE_RETURN_IF_ERROR(SetNonBlocking(fds[0], true));
+  return SetNonBlocking(fds[1], true);
+}
+
+void WakePipe(int write_fd) {
+  if (write_fd < 0) return;
+  char byte = 0;
+  (void)!::write(write_fd, &byte, 1);
+}
+
+void DrainWakePipe(int read_fd) {
+  char drain[64];
+  while (::read(read_fd, drain, sizeof(drain)) > 0) {
+  }
+}
+
 }  // namespace net
 }  // namespace ode

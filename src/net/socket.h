@@ -65,6 +65,20 @@ Status SetNoDelay(int fd);
 /// Sets SO_RCVTIMEO; 0 ms means block forever.
 Status SetRecvTimeout(int fd, int timeout_ms);
 
+/// Creates a self-pipe wakeup pair with both ends non-blocking: poll the
+/// read end, WakePipe the write end from any thread. The server's
+/// acceptor/IO-worker threads each own one.
+Status OpenWakePipe(Socket* read_end, Socket* write_end);
+
+/// Best-effort single-byte write to a wake pipe's write end (a no-op on an
+/// invalid fd or a full pipe — a full pipe already guarantees a pending
+/// wakeup). Async-signal-ish cheap; callable with unrelated locks held.
+void WakePipe(int write_fd);
+
+/// Discards everything currently readable from a (non-blocking) wake
+/// pipe's read end.
+void DrainWakePipe(int read_fd);
+
 }  // namespace net
 }  // namespace ode
 

@@ -36,7 +36,7 @@ EventQueue::PushResult EventQueue::Push(IngestEvent event) {
   return PushLocked(lock, std::move(event));
 }
 
-EventQueue::PushResult EventQueue::TryPush(IngestEvent event) {
+EventQueue::PushResult EventQueue::TryPush(IngestEvent&& event) {
   std::unique_lock<std::mutex> lock(mu_);
   if (closed_) return PushResult::kClosed;
   if (count_ >= capacity_) return PushResult::kFull;
@@ -64,14 +64,25 @@ size_t EventQueue::PopBatch(std::vector<IngestEvent>* out,
     interrupt_ = false;
     return 0;
   }
+  const bool was_full = count_ >= capacity_;
   size_t n = count_ < max_events ? count_ : max_events;
   for (size_t i = 0; i < n; ++i) {
     out->push_back(std::move(ring_[head_]));
     head_ = (head_ + 1) % capacity_;
   }
   count_ -= n;
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    not_full_.notify_all();
+    // Capacity wakeup for non-blocking producers: fires only on the
+    // full→not-full edge, under mu_ (see SetSpaceCallback).
+    if (was_full && space_cb_) space_cb_();
+  }
   return n;
+}
+
+void EventQueue::SetSpaceCallback(std::function<void()> cb) {
+  std::lock_guard<std::mutex> lock(mu_);
+  space_cb_ = std::move(cb);
 }
 
 void EventQueue::Interrupt() {

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -63,8 +64,11 @@ class EventQueue {
   /// Blocks while the queue is full. kClosed if Close() ran first.
   PushResult Push(IngestEvent event);
 
-  /// Never blocks: kFull when at capacity.
-  PushResult TryPush(IngestEvent event);
+  /// Never blocks: kFull when at capacity. On kFull/kClosed the event is
+  /// left intact (not moved from), so a caller can park it and retry the
+  /// exact same event later — the contract the server's deferred-post
+  /// queue relies on.
+  PushResult TryPush(IngestEvent&& event);
 
   /// Blocks up to `timeout` for space.
   PushResult PushFor(IngestEvent event, std::chrono::milliseconds timeout);
@@ -86,6 +90,15 @@ class EventQueue {
   /// checkpoint's in-flight capture. Only meaningful while the consumer is
   /// paused and producers are gated out.
   std::vector<IngestEvent> Snapshot() const;
+
+  /// Installs (or clears, with nullptr) a hook invoked whenever a pop
+  /// frees space in a previously-*full* queue — the capacity wakeup behind
+  /// non-blocking producers that parked on kFull. The hook runs on the
+  /// consumer thread *while the queue mutex is held*: it must be cheap and
+  /// must not touch the queue. Holding the lock is deliberate — after
+  /// SetSpaceCallback(nullptr) returns, no further invocation is possible,
+  /// which lets the owner of the callback's captures tear them down safely.
+  void SetSpaceCallback(std::function<void()> cb);
 
   /// No further pushes succeed; the consumer drains what remains.
   void Close();
@@ -110,6 +123,7 @@ class EventQueue {
   size_t high_water_ = 0;
   bool closed_ = false;
   bool interrupt_ = false;  ///< One-shot PopBatch wakeup (see Interrupt()).
+  std::function<void()> space_cb_;  ///< Full→not-full hook (under mu_).
 };
 
 }  // namespace runtime

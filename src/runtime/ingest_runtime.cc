@@ -234,9 +234,10 @@ Status IngestRuntime::ReplayRecovered(wal::RecoveredState recovered) {
     event.replayed = true;
     // A durable event must not be lost to kReject backpressure: retry the
     // bounce until the worker frees space (recovery owns the runtime, so
-    // nothing else competes for it).
+    // nothing else competes for it). A kWouldBlock bounce leaves the event
+    // intact for the next attempt.
     while (true) {
-      Status status = PostEvent(event, nullptr);
+      Status status = PostEvent(&event, nullptr);
       if (status.code() != StatusCode::kWouldBlock) {
         if (status.ok()) ++recovery_.replayed_events;
         return status;
@@ -281,7 +282,7 @@ Status IngestRuntime::Post(Oid oid, std::string method,
   event.oid = oid;
   event.method = std::move(method);
   event.args = std::move(args);
-  return PostEvent(std::move(event), producer);
+  return PostEvent(&event, producer);
 }
 
 Status IngestRuntime::Post(Oid oid, std::string method,
@@ -293,16 +294,32 @@ Status IngestRuntime::Post(Oid oid, std::string method,
   event.args = std::move(args);
   event.producer_id = std::string(identity);
   event.producer_seq = seq;
-  return PostEvent(std::move(event), producer);
+  return PostEvent(&event, producer);
 }
 
-Status IngestRuntime::PostEvent(IngestEvent event, ProducerMetrics* producer) {
+Status IngestRuntime::TryPost(IngestEvent* event, ProducerMetrics* producer,
+                              bool* duplicate) {
+  return PostEvent(event, producer, /*non_blocking=*/true, duplicate);
+}
+
+Status IngestRuntime::PostEvent(IngestEvent* event, ProducerMetrics* producer,
+                                bool non_blocking, bool* duplicate) {
   Status status;
   bool enqueued = false;
   // Saved before the move: the watermark update below runs after Enqueue
   // consumed the event.
-  const std::string identity = event.producer_id;
-  const uint64_t seq = event.producer_seq;
+  const std::string identity = event->producer_id;
+  const uint64_t seq = event->producer_seq;
+  // Identified non-blocking posts (the network front end) hold wm_mu_
+  // across check + enqueue + record, making the applied-seq set the
+  // authoritative exactly-once arbiter: when a reconnecting client's
+  // replay races the dying connection still draining the same frames on
+  // another IO worker, exactly one copy of each (identity, seq) can pass
+  // the check and enter a queue. Lock order note: this nests
+  // wm_mu_ -> post_gate_(shared), while Checkpoint() nests
+  // post_gate_(unique) -> wm_mu_; there is no deadlock only because the
+  // non-blocking path try_locks the gate and bounces on failure.
+  std::unique_lock<std::mutex> wm_lock;
   if (!running()) {
     // Distinguish "never started" from "stopped": front ends translate
     // kShutdown into a clean shutting-down reply and close, while
@@ -310,21 +327,65 @@ Status IngestRuntime::PostEvent(IngestEvent event, ProducerMetrics* producer) {
     status = started_.load(std::memory_order_acquire)
                  ? Status::Shutdown("ingest runtime is stopped")
                  : Status::FailedPrecondition("ingest runtime is not running");
-  } else if (durable_) {
-    // Shared side of the checkpoint gate: Checkpoint() takes it unique, so
-    // no post can be between "entered the queue" and "appended to the log"
-    // while the checkpoint captures both.
-    std::shared_lock<std::shared_mutex> gate(post_gate_);
-    status = shards_[ShardOf(event.oid)]->Enqueue(std::move(event), &enqueued);
   } else {
-    status = shards_[ShardOf(event.oid)]->Enqueue(std::move(event), &enqueued);
+    if (non_blocking && !identity.empty()) {
+      wm_lock = std::unique_lock<std::mutex>(wm_mu_);
+      auto it = applied_seqs_.find(identity);
+      if (it != applied_seqs_.end() && it->second.Contains(seq)) {
+        // Accepted by an earlier post of this identity (possibly still
+        // queued): report duplicate so the caller ACKs without enqueuing
+        // a second copy. *event is left untouched and unconsumed.
+        if (duplicate != nullptr) *duplicate = true;
+        return Status::OK();
+      }
+    }
+    if (durable_) {
+      // Shared side of the checkpoint gate: Checkpoint() takes it unique,
+      // so no post can be between "entered the queue" and "appended to
+      // the log" while the checkpoint captures both. A non-blocking
+      // caller must not park behind the checkpoint's pause window either
+      // — bounce with the same park-and-retry contract as a full queue.
+      std::shared_lock<std::shared_mutex> gate(post_gate_, std::defer_lock);
+      if (non_blocking) {
+        if (!gate.try_lock()) {
+          return Status::WouldBlock("checkpoint in progress");
+        }
+      } else {
+        gate.lock();
+      }
+      status = shards_[ShardOf(event->oid)]->Enqueue(std::move(*event),
+                                                     &enqueued, non_blocking);
+    } else {
+      status = shards_[ShardOf(event->oid)]->Enqueue(std::move(*event),
+                                                     &enqueued, non_blocking);
+    }
+  }
+  if (non_blocking && status.code() == StatusCode::kWouldBlock &&
+      options_.backpressure == BackpressurePolicy::kBlock) {
+    // Park-and-retry bounce: *event is intact, the caller will re-post the
+    // same event, so recording it (producer counters, applied-seqs) here
+    // would double-count the retry.
+    return status;
   }
   if (enqueued && !identity.empty()) {
-    std::lock_guard<std::mutex> lock(wm_mu_);
+    if (!wm_lock.owns_lock()) {
+      wm_lock = std::unique_lock<std::mutex>(wm_mu_);
+    }
     applied_seqs_[identity].Add(seq);
   }
   if (producer != nullptr) producer->RecordPost(status);
   return status;
+}
+
+void IngestRuntime::SetCapacityListener(
+    std::function<void(size_t shard)> listener) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (listener) {
+      shards_[i]->SetCapacityCallback([listener, i] { listener(i); });
+    } else {
+      shards_[i]->SetCapacityCallback(nullptr);
+    }
+  }
 }
 
 ProducerMetrics* IngestRuntime::RegisterProducer(std::string name) {

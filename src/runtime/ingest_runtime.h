@@ -136,6 +136,46 @@ class IngestRuntime {
               ProducerMetrics* producer, std::string_view identity,
               uint64_t seq);
 
+  /// Non-blocking Post: never parks the calling thread, whatever the
+  /// backpressure policy. Differences from Post, all scoped to the paths
+  /// that could block:
+  ///  * kBlock policy, full shard queue  → kWouldBlock, `*event` left
+  ///    intact (not moved from) so the caller can park the exact event and
+  ///    retry it later; nothing is recorded anywhere (no producer
+  ///    counters, no applied-seq entry, no shard metrics) because the
+  ///    event is still in flight from the caller's point of view.
+  ///  * durable mode, Checkpoint() holding the post gate → same
+  ///    kWouldBlock park-and-retry contract (the gate is only held for the
+  ///    checkpoint's pause window).
+  /// Every other outcome (accept, kReject bounce, drop, shutdown, bad
+  /// state) is identical to Post — recorded identically, and `*event` is
+  /// consumed. Pair with SetCapacityListener for retry wakeups. This is
+  /// the shard handoff the network IO workers use so one full queue parks
+  /// one connection instead of a whole worker (docs/NETWORK.md).
+  ///
+  /// For an identified event the applied-seq check-and-record is atomic
+  /// (held across the enqueue), making the runtime the authoritative
+  /// exactly-once arbiter: if the (identity, seq) pair was already
+  /// accepted — even by a concurrent post on another thread, even if the
+  /// event is still queued — TryPost returns OK, sets `*duplicate`, and
+  /// enqueues nothing (`*event` is untouched). The front end's HELLO-time
+  /// snapshot dedup is a lock-free fast path over the same state; this
+  /// check is what keeps replay exactly-once when a reconnecting client
+  /// races its dying predecessor connection on another IO worker.
+  Status TryPost(IngestEvent* event, ProducerMetrics* producer = nullptr,
+                 bool* duplicate = nullptr);
+
+  /// Installs (or clears, with nullptr) a capacity listener invoked with
+  /// the shard index whenever a previously-full shard queue frees space —
+  /// the wakeup that tells a TryPost caller its parked events may now fit.
+  /// The listener runs on shard worker threads with the shard's queue
+  /// mutex held: it must be cheap and nonblocking (e.g. write to a wake
+  /// pipe). Clearing the listener synchronizes with that mutex, so after
+  /// SetCapacityListener(nullptr) returns no invocation is in flight —
+  /// callers may then tear down whatever the listener captured. Call only
+  /// while the runtime is started (the shards must exist).
+  void SetCapacityListener(std::function<void(size_t shard)> listener);
+
   /// Registers a named producer (a connection, a replay file, a thread)
   /// whose posts should be attributed in Metrics(). The returned pointer
   /// stays valid until RetireProducer (or the runtime's destruction); pass
@@ -201,9 +241,11 @@ class IngestRuntime {
   }
 
  private:
-  /// The Post path shared by both overloads; `event` carries identity/seq/
-  /// replayed flags already.
-  Status PostEvent(IngestEvent event, ProducerMetrics* producer);
+  /// The Post path shared by Post/TryPost; `event` carries identity/seq/
+  /// replayed flags already. Takes the event by pointer so the
+  /// non-blocking park-and-retry bounce can hand it back intact.
+  Status PostEvent(IngestEvent* event, ProducerMetrics* producer,
+                   bool non_blocking = false, bool* duplicate = nullptr);
   /// Start()-side recovery, before the shards exist: read checkpoint +
   /// logs, restore snapshot/metrics-baselines/applied-seqs, open the
   /// per-shard writers in append mode, note orphan files.

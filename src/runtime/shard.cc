@@ -33,7 +33,7 @@ void Shard::Stop() {
   if (worker_.joinable()) worker_.join();
 }
 
-Status Shard::Enqueue(IngestEvent event, bool* enqueued) {
+Status Shard::Enqueue(IngestEvent&& event, bool* enqueued, bool non_blocking) {
   if (enqueued != nullptr) *enqueued = false;
   if (options_.record_latency) event.enqueue_ns = NowNs();
 
@@ -58,7 +58,17 @@ Status Shard::Enqueue(IngestEvent event, bool* enqueued) {
   EventQueue::PushResult result = EventQueue::PushResult::kOk;
   switch (options_.backpressure) {
     case BackpressurePolicy::kBlock:
-      result = queue_.Push(std::move(event));
+      if (non_blocking) {
+        result = queue_.TryPush(std::move(event));
+        if (result == EventQueue::PushResult::kFull) {
+          // Deliberately unrecorded: this bounce is a park-and-retry signal
+          // for the caller, not a client-visible rejection, and the same
+          // event will come back. TryPush left it intact.
+          return Status::WouldBlock("shard queue full");
+        }
+      } else {
+        result = queue_.Push(std::move(event));
+      }
       break;
     case BackpressurePolicy::kDropNewest:
       result = queue_.TryPush(std::move(event));

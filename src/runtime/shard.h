@@ -90,7 +90,21 @@ class Shard {
   /// permanently disables this shard's logging, fires on_wal_failure, and
   /// is swallowed: the event is already queued and will be processed, so
   /// ingestion continues in degraded (in-memory) mode.
-  Status Enqueue(IngestEvent event, bool* enqueued = nullptr);
+  ///
+  /// With `non_blocking` set, a kBlock-policy shard whose queue is full
+  /// returns kWouldBlock *without recording anything* and leaves `event`
+  /// intact (not moved from): the caller owns the retry. This is the
+  /// TryPost handoff the network front end uses to park one connection
+  /// instead of wedging an IO worker inside a blocking Push. Other
+  /// policies are unaffected (they never block anyway).
+  Status Enqueue(IngestEvent&& event, bool* enqueued = nullptr,
+                 bool non_blocking = false);
+
+  /// Installs (or clears) the queue's full→not-full space hook; see
+  /// EventQueue::SetSpaceCallback for the (locked) invocation contract.
+  void SetCapacityCallback(std::function<void()> cb) {
+    queue_.SetSpaceCallback(std::move(cb));
+  }
 
   /// True once a WAL append has failed and logging was disabled.
   bool wal_degraded() const {

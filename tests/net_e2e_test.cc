@@ -495,6 +495,60 @@ TEST(NetE2eTest, IdentityDedupsReplayAcrossServerSwap) {
   ODE_ASSERT_OK(rt.Stop());
 }
 
+// The shutdown-path complement to the swap test: a clean Stop() flushes
+// each connection's earned ACK watermark, so a client that pumps its
+// replies before redialing has an empty replay pipeline — the follow-up
+// session posts only new work and the dedup path never fires.
+TEST(NetE2eTest, StopFlushedAcksKeepReplayExactlyOnce) {
+  Database db;
+  std::vector<Oid> oids = SetupParityDb(&db, 4);
+  IngestRuntime rt(&db, {});
+  ODE_ASSERT_OK(rt.Start());
+  auto server1 = std::make_unique<IngestServer>(&rt);
+  ODE_ASSERT_OK(server1->Start());
+  uint16_t port = server1->port();
+
+  ClientOptions client_options;
+  client_options.port = port;
+  client_options.recv_timeout_ms = 30000;
+  client_options.max_reconnect_attempts = 20;
+  client_options.reconnect_backoff = std::chrono::milliseconds(50);
+  client_options.identity = "e2e-stop-flush-client";
+  IngestClient client(client_options);
+  ODE_ASSERT_OK(client.Connect());
+  constexpr int kFirst = 10;
+  PostUnacked(&client, &rt, oids[0], kFirst, kFirst);
+
+  // Stop() sends the watermark before closing (the data precedes the FIN,
+  // so one reply pump is enough); the ACK empties the client's unacked
+  // pipeline.
+  server1->Stop();
+  server1.reset();
+  ODE_ASSERT_OK(client.Flush());
+  EXPECT_EQ(client.stats().acked, static_cast<uint64_t>(kFirst));
+
+  IngestServer server2(&rt, [port] {
+    ServerOptions o;
+    o.port = port;
+    return o;
+  }());
+  ODE_ASSERT_OK(server2.Start());
+
+  ODE_ASSERT_OK(client.Post(oids[0], "add", {Value(1)}));
+  Status s;
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    s = client.Drain();
+    if (s.ok()) break;
+  }
+  ODE_ASSERT_OK(s);
+  EXPECT_GE(client.stats().reconnects, 1u);
+
+  // Exactly-once with zero replay: only the new post crossed the wire.
+  EXPECT_EQ(db.PeekAttr(oids[0], "v").value().AsInt().value(), kFirst + 1);
+  EXPECT_EQ(server2.posts_deduped(), 0u);
+  ODE_ASSERT_OK(rt.Stop());
+}
+
 // The tentpole end-to-end: server AND runtime restart over the same WAL
 // directory (crash-recovery), and a reconnecting identified client still
 // observes exactly-once — its replayed posts are recognized from the

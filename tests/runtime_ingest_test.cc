@@ -336,6 +336,83 @@ TEST(IngestRuntimeTest, DropNewestPolicyDiscardsWhenFull) {
   EXPECT_EQ(rig.db.PeekAttr(rig.oid, "v").value().AsInt().value(), 2);
 }
 
+// TryPost on a kBlock runtime: a full queue bounces with kWouldBlock,
+// hands the event back intact, and records NOTHING — no producer
+// counters, no applied-seq — so the caller can retry the same event later
+// without double counting. This is the network front end's non-blocking
+// handoff.
+TEST(IngestRuntimeTest, TryPostBouncesIntactWhenBlockPolicyFull) {
+  BackpressureRig rig(BackpressurePolicy::kBlock);
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}));
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}));
+
+  IngestEvent event;
+  event.oid = rig.oid;
+  event.method = "add";
+  event.args = {Value(5)};
+  Status s = rig.rt->TryPost(&event);
+  EXPECT_EQ(s.code(), StatusCode::kWouldBlock) << s.ToString();
+  // The bounce left the event intact...
+  EXPECT_EQ(event.method, "add");
+  ASSERT_EQ(event.args.size(), 1u);
+  EXPECT_EQ(event.args[0].AsInt().value(), 5);
+  // ...and recorded nothing: kBlock never rejects, it defers to the caller.
+  RuntimeMetricsSnapshot m = rig.rt->Metrics();
+  EXPECT_EQ(m.total.rejected, 0u);
+  EXPECT_EQ(m.total.enqueued, 3u);  // block + the two accepted adds.
+
+  // Retrying the same event object after the wedge clears succeeds and
+  // counts exactly once.
+  rig.gate.Release();
+  Status retry = Status::WouldBlock("never retried");
+  for (int spin = 0; spin < 2000; ++spin) {
+    retry = rig.rt->TryPost(&event);
+    if (retry.code() != StatusCode::kWouldBlock) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ODE_ASSERT_OK(retry);
+  ODE_ASSERT_OK(rig.rt->Drain());
+  EXPECT_EQ(rig.db.PeekAttr(rig.oid, "v").value().AsInt().value(), 7);
+  m = rig.rt->Metrics();
+  EXPECT_EQ(m.total.enqueued, 4u);
+  EXPECT_EQ(m.total.processed, 4u);
+  EXPECT_EQ(m.total.rejected, 0u);
+}
+
+// TryPost under kReject keeps the old contract: a bounce IS a rejection
+// and is recorded as one (the wire layer surfaces it to the client as
+// ERR_WOULD_BLOCK rather than deferring).
+TEST(IngestRuntimeTest, TryPostUnderRejectPolicyRecordsTheBounce) {
+  BackpressureRig rig(BackpressurePolicy::kReject);
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}));
+  ODE_ASSERT_OK(rig.rt->Post(rig.oid, "add", {Value(1)}));
+
+  IngestEvent event;
+  event.oid = rig.oid;
+  event.method = "add";
+  event.args = {Value(5)};
+  Status s = rig.rt->TryPost(&event);
+  EXPECT_EQ(s.code(), StatusCode::kWouldBlock) << s.ToString();
+  EXPECT_EQ(rig.rt->Metrics().total.rejected, 1u);
+
+  rig.gate.Release();
+  ODE_ASSERT_OK(rig.rt->Drain());
+  EXPECT_EQ(rig.db.PeekAttr(rig.oid, "v").value().AsInt().value(), 2);
+}
+
+TEST(IngestRuntimeTest, TryPostAfterStopIsShutdown) {
+  Database db;
+  std::vector<Oid> oids = SetupParityDb(&db, 1);
+  IngestRuntime rt(&db, {});
+  ODE_ASSERT_OK(rt.Start());
+  ODE_ASSERT_OK(rt.Stop());
+  IngestEvent event;
+  event.oid = oids[0];
+  event.method = "add";
+  event.args = {Value(1)};
+  EXPECT_EQ(rt.TryPost(&event).code(), StatusCode::kShutdown);
+}
+
 TEST(IngestRuntimeTest, DrainIsACompletionBarrier) {
   Database db;
   std::vector<Oid> oids = SetupParityDb(&db, 4);
@@ -622,6 +699,13 @@ TEST(IngestRuntimeTest, ClassTriggerUnderMpscLoad) {
   opts.num_shards = 4;
   opts.max_batch = 16;
   opts.queue_capacity = 256;
+  // Every worker contends on the shared class slot, so a slow box (TSan on
+  // few cores) can make one event lose the deadlock-abort lottery four
+  // times in a row; the default budget of 3 retries then dead-letters it
+  // and the exact-count assertions below go off by one. The exactness is
+  // what this test is about — buy enough retries that a loser always
+  // eventually wins (backoff doubles, so 8 retries ≈ 12ms of yielding).
+  opts.error_policy.max_retries = 8;
   IngestRuntime rt(&db, opts);
   ODE_ASSERT_OK(rt.Start());
   std::vector<std::thread> producers;

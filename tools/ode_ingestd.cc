@@ -39,6 +39,8 @@ constexpr char kUsage[] =
     "  --shards=N             ingest worker shards (default 4)\n"
     "  --batch=N              max events per worker transaction (default 64)\n"
     "  --queue-capacity=N     per-shard queue capacity (default 1024)\n"
+    "  --io-threads=N         network IO worker threads (default 4); the\n"
+    "                         acceptor dispatches connections least-loaded\n"
     "  --backpressure=MODE    block | reject | drop (default block)\n"
     "  --objects=N            demo cells to create (default 16)\n"
     "  --wal-dir=PATH         durable event log directory; enables WAL,\n"
@@ -94,6 +96,7 @@ ode::ClassDef CellClass() {
 int main(int argc, char** argv) {
   ode::net::ServerOptions server_options;
   server_options.port = 7311;
+  server_options.io_threads = 4;
   ode::runtime::IngestOptions ingest_options;
   size_t num_objects = 16;
   size_t checkpoint_every_s = 30;
@@ -113,6 +116,8 @@ int main(int argc, char** argv) {
                ParseSizeFlag(arg, "--batch=", &ingest_options.max_batch) ||
                ParseSizeFlag(arg, "--queue-capacity=",
                              &ingest_options.queue_capacity) ||
+               ParseSizeFlag(arg, "--io-threads=",
+                             &server_options.io_threads) ||
                ParseSizeFlag(arg, "--objects=", &num_objects) ||
                ParseSizeFlag(arg, "--checkpoint-every-s=",
                              &checkpoint_every_s)) {
@@ -215,10 +220,11 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "ode-ingestd: listening on %s:%u (%zu shards, batch %zu, %zu cells, "
-      "oids %llu..%llu)\n",
+      "ode-ingestd: listening on %s:%u (%zu shards, batch %zu, %zu io "
+      "threads, %zu cells, oids %llu..%llu)\n",
       server_options.host.c_str(), static_cast<unsigned>(server.port()),
-      rt.num_shards(), ingest_options.max_batch, num_objects,
+      rt.num_shards(), ingest_options.max_batch, server.io_threads(),
+      num_objects,
       static_cast<unsigned long long>(first_oid),
       static_cast<unsigned long long>(last_oid));
   if (ingest_options.durability.enabled()) {
